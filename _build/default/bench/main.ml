@@ -1,0 +1,444 @@
+(* Benchmark and reproduction harness.
+
+   Part 1 regenerates every table and figure of the paper (Tables 1-4,
+   Figures 3-8) from the implementation, prints the Table 4 shape
+   comparison against the paper's numbers, and runs the ablation studies
+   called out in DESIGN.md (arbitration, CRC offload, RTOS scheduling,
+   grouping objective).
+
+   Part 2 runs Bechamel micro/macro benchmarks — one Test.make per
+   regenerated table plus the component benchmarks.
+
+   Environment: TUTBENCH_DURATION_MS overrides the Table 4 simulation
+   horizon (default 2000 ms, the shape is stable from ~200 ms). *)
+
+let section title =
+  Printf.printf "\n================ %s ================\n\n" title
+
+let duration_ms =
+  match Sys.getenv_opt "TUTBENCH_DURATION_MS" with
+  | Some s -> (match int_of_string_opt s with Some n when n > 0 -> n | _ -> 2000)
+  | None -> 2000
+
+let table4_config =
+  {
+    Tutmac.Scenario.default with
+    Tutmac.Scenario.duration_ns = Int64.mul (Int64.of_int duration_ms) 1_000_000L;
+  }
+
+let short_config =
+  { Tutmac.Scenario.default with Tutmac.Scenario.duration_ns = 100_000_000L }
+
+let run_scenario config =
+  match Tutmac.Scenario.run config with
+  | Ok result -> result
+  | Error e ->
+    prerr_endline e;
+    exit 1
+
+(* ---- Part 1: table and figure regeneration -------------------------- *)
+
+let paper_table4a =
+  [ ("Group1", 92.1); ("Group2", 5.2); ("Group3", 2.5); ("Group4", 0.2);
+    ("Environment", 0.0) ]
+
+let print_tables_1_2_3 () =
+  section "Table 1 (stereotype summary)";
+  print_string (Tut_profile.Summary.table1 ());
+  section "Table 2 (application tagged values)";
+  print_string (Tut_profile.Summary.table2 ());
+  section "Table 3 (platform tagged values)";
+  print_string (Tut_profile.Summary.table3 ())
+
+let print_figures () =
+  section "Figures 3-8";
+  List.iter
+    (fun (id, text) -> Printf.printf "---- %s ----\n%s\n" id text)
+    (Tutmac.Scenario.render_figures table4_config)
+
+let print_table4 () =
+  section
+    (Printf.sprintf "Table 4 (profiling report, %d ms simulated)" duration_ms);
+  let result = run_scenario table4_config in
+  let report = result.Tutmac.Scenario.report in
+  print_string (Profiler.Report.render report);
+  Printf.printf "\nPaper vs. measured (execution-time proportion):\n";
+  Printf.printf "  %-12s %10s %10s\n" "group" "paper" "measured";
+  List.iter
+    (fun (display, paper) ->
+      let group =
+        if display = "Environment" then Profiler.Groups.environment_group
+        else "group" ^ String.sub display 5 1
+      in
+      Printf.printf "  %-12s %9.1f%% %9.1f%%\n" display paper
+        (100.0 *. Profiler.Report.proportion report group))
+    paper_table4a;
+  (match
+     Profiler.Latency.measure ~src_signal:Tutmac.Signals.msdu_req
+       ~dst_signal:Tutmac.Signals.msdu_ind result.Tutmac.Scenario.trace
+   with
+  | Some stats ->
+    print_newline ();
+    print_string (Profiler.Latency.render ~label:"MSDU request -> indication" stats)
+  | None -> ());
+  report
+
+(* ---- ablations -------------------------------------------------------- *)
+
+let total_words result =
+  List.fold_left
+    (fun acc (_, s) -> Int64.add acc s.Hibi.Network.words)
+    0L
+    (Codegen.Runtime.segment_stats result.Tutmac.Scenario.runtime)
+
+let ablation_arbitration () =
+  section "Ablation: HIBI arbitration (Table 3's Arbitration tag)";
+  let variant arbitration =
+    let config =
+      {
+        short_config with
+        Tutmac.Scenario.platform =
+          { Tutmac.Platform_model.default_params with
+            Tutmac.Platform_model.arbitration };
+      }
+    in
+    run_scenario config
+  in
+  let pri = variant Tut_profile.Stereotypes.arb_priority in
+  let rr = variant Tut_profile.Stereotypes.arb_round_robin in
+  let queue result seg =
+    (List.assoc seg (Codegen.Runtime.segment_stats result.Tutmac.Scenario.runtime))
+      .Hibi.Network.max_waiting
+  in
+  Printf.printf "  %-22s %12s %12s\n" "" "priority" "round-robin";
+  Printf.printf "  %-22s %12Ld %12Ld\n" "words transferred" (total_words pri)
+    (total_words rr);
+  List.iter
+    (fun seg ->
+      Printf.printf "  %-22s %12d %12d\n" ("max queue " ^ seg) (queue pri seg)
+        (queue rr seg))
+    [ "hibisegment1"; "hibisegment2"; "bridge" ]
+
+let ablation_crc_offload () =
+  section "Ablation: CRC offload (the Figure 8 mapping decision)";
+  let hw = run_scenario short_config in
+  let sw =
+    run_scenario { short_config with Tutmac.Scenario.crc_on_accelerator = false }
+  in
+  let busy result pe =
+    Int64.to_float
+      (List.assoc pe (Codegen.Runtime.pe_busy_ns result.Tutmac.Scenario.runtime))
+    /. 1e6
+  in
+  Printf.printf "  %-26s %14s %14s\n" "" "accelerator" "software(P3)";
+  Printf.printf "  %-26s %11.3f ms %11.3f ms\n" "CRC engine busy"
+    (busy hw "accelerator1") (busy sw "processor3");
+  Printf.printf "  %-26s %11.3f ms %11.3f ms\n" "processor1 busy"
+    (busy hw "processor1") (busy sw "processor1");
+  Printf.printf
+    "  the accelerator does the same CRC work in %.1fx less busy time\n"
+    (busy sw "processor3" /. max 1e-9 (busy hw "accelerator1"));
+  let msdu_latency result =
+    match
+      Profiler.Latency.measure ~src_signal:Tutmac.Signals.msdu_req
+        ~dst_signal:Tutmac.Signals.msdu_ind result.Tutmac.Scenario.trace
+    with
+    | Some stats -> stats.Profiler.Latency.mean_ns /. 1e6
+    | None -> nan
+  in
+  Printf.printf "  %-26s %11.3f ms %11.3f ms\n" "mean MSDU latency"
+    (msdu_latency hw) (msdu_latency sw)
+
+let ablation_rtos () =
+  section "Ablation: RTOS scheduling (paper future work)";
+  (* Saturating traffic (one MSDU per 2 ms) makes processor1 contended so
+     the scheduling policy becomes visible in queueing latency. *)
+  let loaded =
+    {
+      short_config with
+      Tutmac.Scenario.workload =
+        {
+          Tutmac.Workload.default_params with
+          Tutmac.Workload.msdu_period_ns = 2_000_000;
+        };
+    }
+  in
+  let pri = run_scenario loaded in
+  let fifo =
+    run_scenario { loaded with Tutmac.Scenario.scheduling = Codegen.Ir.Fifo }
+  in
+  let total r = r.Tutmac.Scenario.report.Profiler.Report.total_cycles in
+  Printf.printf "  %-28s %14s %14s\n" "" "priority-rtos" "fifo";
+  Printf.printf "  %-28s %14Ld %14Ld\n" "application cycles" (total pri)
+    (total fifo);
+  let busy r =
+    Int64.to_float
+      (List.assoc "processor1" (Codegen.Runtime.pe_busy_ns r.Tutmac.Scenario.runtime))
+    /. 1e6
+  in
+  Printf.printf "  %-28s %11.3f ms %11.3f ms\n" "processor1 busy" (busy pri)
+    (busy fifo);
+  (* Scheduling changes latency, not work: the hard-real-time channel
+     access process queues longer under FIFO because low-priority data
+     work cannot be preempted. *)
+  let rca_wait r =
+    match
+      List.assoc_opt "Tutmac_Protocol.rca"
+        (Codegen.Runtime.queue_latencies r.Tutmac.Scenario.runtime)
+    with
+    | Some (_, mean, _) -> mean /. 1000.0
+    | None -> 0.0
+  in
+  let rca_max r =
+    match
+      List.assoc_opt "Tutmac_Protocol.rca"
+        (Codegen.Runtime.queue_latencies r.Tutmac.Scenario.runtime)
+    with
+    | Some (_, _, max_ns) -> Int64.to_float max_ns /. 1000.0
+    | None -> 0.0
+  in
+  Printf.printf "  %-28s %11.3f us %11.3f us\n" "rca mean queue wait"
+    (rca_wait pri) (rca_wait fifo);
+  Printf.printf "  %-28s %11.3f us %11.3f us\n" "rca max queue wait"
+    (rca_max pri) (rca_max fifo)
+
+let ablation_grouping_objective report =
+  section "Ablation: communication-minimising grouping (paper's objective)";
+  (* Compare the paper mapping's remote-communication cost against all
+     alternative feasible mappings (beta-only cost isolates the
+     communication term the grouping was designed to minimise). *)
+  let view =
+    Tut_profile.Builder.view (Tutmac.Scenario.build_model table4_config)
+  in
+  let profile = Dse.Cost.of_report report in
+  let platform = Dse.Cost.of_view view in
+  let comm_cost = Dse.Cost.cost ~alpha:0.0 ~beta:1.0 ~profile ~platform in
+  let candidates = Dse.Cost.candidates view in
+  let paper = Dse.Cost.current_assignment view in
+  let best = Dse.Explore.exhaustive ~eval:comm_cost ~candidates () in
+  let costs = ref [] in
+  let rec enumerate prefix = function
+    | [] -> costs := comm_cost (List.rev prefix) :: !costs
+    | (group, options) :: rest ->
+      List.iter (fun pe -> enumerate ((group, pe) :: prefix) rest) options
+  in
+  enumerate [] candidates;
+  let sorted = List.sort compare !costs in
+  Printf.printf "  paper mapping comm cost:    %10.0f weighted signals\n"
+    (comm_cost paper);
+  Printf.printf "  best possible:              %10.0f\n" best.Dse.Explore.best_cost;
+  Printf.printf "  median over all mappings:   %10.0f\n"
+    (List.nth sorted (List.length sorted / 2));
+  Printf.printf "  worst:                      %10.0f\n"
+    (List.nth sorted (List.length sorted - 1))
+
+let sweep_series () =
+  section "Series: Table 4a shape vs offered load (100 ms horizon)";
+  Printf.printf "  %-16s %8s %8s %8s %8s %14s\n" "MSDU period" "G1" "G2" "G3"
+    "G4" "total cycles";
+  List.iter
+    (fun period_ms ->
+      let config =
+        {
+          short_config with
+          Tutmac.Scenario.workload =
+            {
+              Tutmac.Workload.default_params with
+              Tutmac.Workload.msdu_period_ns = period_ms * 1_000_000;
+            };
+        }
+      in
+      let result = run_scenario config in
+      let report = result.Tutmac.Scenario.report in
+      let pct g = 100.0 *. Profiler.Report.proportion report g in
+      Printf.printf "  %13d ms %7.1f%% %7.1f%% %7.1f%% %7.1f%% %14Ld\n"
+        period_ms (pct "group1") (pct "group2") (pct "group3") (pct "group4")
+        report.Profiler.Report.total_cycles)
+    [ 5; 10; 20; 40; 80 ]
+
+let analysis_section () =
+  section "Analysis: response times and platform costs (Table 3 parameters)";
+  (match Tutmac.Scenario.system short_config with
+  | Error problems -> List.iter prerr_endline problems
+  | Ok sys -> print_string (Analysis.Rta.render (Analysis.Rta.of_system sys)));
+  print_newline ();
+  let result = run_scenario short_config in
+  let builder = Tutmac.Scenario.build_model short_config in
+  print_string
+    (Analysis.Platform_report.render
+       (Analysis.Platform_report.build
+          ~view:(Tut_profile.Builder.view builder)
+          ~busy:(Codegen.Runtime.pe_busy_ns result.Tutmac.Scenario.runtime)
+          ~duration_ns:short_config.Tutmac.Scenario.duration_ns))
+
+let ablation_regrouping () =
+  section "Ablation: automatic regrouping (paper future work)";
+  let result = run_scenario short_config in
+  let view = Tut_profile.Builder.view (Tutmac.Scenario.build_model short_config) in
+  let suggestion =
+    Dse.Grouping.suggest ~view ~report:result.Tutmac.Scenario.report
+  in
+  Printf.printf "  inter-group traffic: %d signals before, %d after (%d moves)\n"
+    suggestion.Dse.Grouping.before suggestion.Dse.Grouping.after
+    (List.length suggestion.Dse.Grouping.moves);
+  List.iter
+    (fun (process, from_group, to_group) ->
+      Printf.printf "    move %s: %s -> %s\n"
+        (Uml.Element.to_string process)
+        from_group to_group)
+    suggestion.Dse.Grouping.moves
+
+(* ---- Part 2: Bechamel benchmarks -------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+let bench_config = { short_config with Tutmac.Scenario.duration_ns = 20_000_000L }
+
+let staged_tests () =
+  let builder = Tutmac.Scenario.build_model bench_config in
+  let view = Tut_profile.Builder.view builder in
+  let xml =
+    Xmi.Write.to_string
+      (Tut_profile.Builder.model builder)
+      (Tut_profile.Builder.apps builder)
+  in
+  let sys =
+    match Tutmac.Scenario.system bench_config with
+    | Ok sys -> sys
+    | Error _ -> exit 1
+  in
+  let payload = String.make 1500 'x' in
+  let profile_data =
+    let result = run_scenario bench_config in
+    Dse.Cost.of_report result.Tutmac.Scenario.report
+  in
+  let platform_data = Dse.Cost.of_view view in
+  [
+    (* One Test.make per regenerated table. *)
+    Test.make ~name:"table1_render"
+      (Staged.stage (fun () -> Sys.opaque_identity (Tut_profile.Summary.table1 ())));
+    Test.make ~name:"table2_render"
+      (Staged.stage (fun () -> Sys.opaque_identity (Tut_profile.Summary.table2 ())));
+    Test.make ~name:"table3_render"
+      (Staged.stage (fun () -> Sys.opaque_identity (Tut_profile.Summary.table3 ())));
+    Test.make ~name:"table4_profile_20ms"
+      (Staged.stage (fun () ->
+           match Tutmac.Scenario.run bench_config with
+           | Ok result ->
+             Sys.opaque_identity
+               (Profiler.Report.render result.Tutmac.Scenario.report)
+           | Error e -> failwith e));
+    (* Figures. *)
+    Test.make ~name:"figures_render"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Tutmac.Scenario.render_figures bench_config)));
+    (* Flow stages. *)
+    Test.make ~name:"validate_model"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Tut_profile.Builder.validate builder)));
+    Test.make ~name:"xmi_write"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Xmi.Write.to_string
+                (Tut_profile.Builder.model builder)
+                (Tut_profile.Builder.apps builder))));
+    Test.make ~name:"xmi_read"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Xmi.Read.of_string ~profile:Tut_profile.Stereotypes.profile xml)));
+    Test.make ~name:"codegen_lower"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Codegen.Lower.lower
+                ~environment:
+                  (Tutmac.Workload.environment
+                     bench_config.Tutmac.Scenario.workload)
+                view)));
+    Test.make ~name:"c_emit_all"
+      (Staged.stage (fun () -> Sys.opaque_identity (Codegen.C_emit.all_files sys)));
+    (* Substrates. *)
+    Test.make ~name:"crc32_table_1500B"
+      (Staged.stage (fun () -> Sys.opaque_identity (Crc.Crc32.digest payload)));
+    Test.make ~name:"crc32_bitwise_1500B"
+      (Staged.stage (fun () -> Sys.opaque_identity (Crc.Crc32.bitwise payload)));
+    Test.make ~name:"hibi_transfer_3hop"
+      (Staged.stage (fun () ->
+           let engine = Sim.Engine.create () in
+           let net = Hibi.Network.create engine in
+           Hibi.Network.add_segment net ~name:"s1" ~data_width_bits:32
+             ~frequency_mhz:50 ~arbitration:Hibi.Network.Priority ();
+           Hibi.Network.add_segment net ~name:"s2" ~data_width_bits:32
+             ~frequency_mhz:50 ~arbitration:Hibi.Network.Priority ();
+           Hibi.Network.add_segment net ~name:"br" ~data_width_bits:32
+             ~frequency_mhz:50 ~arbitration:Hibi.Network.Priority ();
+           Hibi.Network.add_agent_wrapper net ~name:"wa" ~agent:"a" ~address:1
+             ~segment:"s1" ();
+           Hibi.Network.add_agent_wrapper net ~name:"wb" ~agent:"b" ~address:2
+             ~segment:"s2" ();
+           Hibi.Network.add_bridge_wrapper net ~name:"b1" ~address:3
+             ~segments:("s1", "br") ();
+           Hibi.Network.add_bridge_wrapper net ~name:"b2" ~address:4
+             ~segments:("s2", "br") ();
+           ignore
+             (Hibi.Network.send net ~src:"a" ~dst:"b" ~words:100
+                ~on_delivered:(fun () -> ()));
+           Sys.opaque_identity (Sim.Engine.run engine)));
+    Test.make ~name:"engine_10k_events"
+      (Staged.stage (fun () ->
+           let engine = Sim.Engine.create () in
+           for i = 1 to 10_000 do
+             ignore
+               (Sim.Engine.schedule engine
+                  ~delay:(Int64.of_int (i mod 997))
+                  (fun () -> ()))
+           done;
+           Sys.opaque_identity (Sim.Engine.run engine)));
+    Test.make ~name:"rta_of_system"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Analysis.Rta.of_system sys)));
+    Test.make ~name:"dse_greedy"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Dse.Explore.greedy
+                ~eval:(Dse.Cost.cost ~profile:profile_data ~platform:platform_data)
+                ~candidates:(Dse.Cost.candidates view)
+                ~init:(Dse.Cost.current_assignment view)
+                ())));
+  ]
+
+let run_benchmarks () =
+  section "Bechamel benchmarks (monotonic clock, ns/run)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 200) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (estimate :: _) ->
+            Printf.printf "  %-26s %14.1f ns/run\n" name estimate
+          | Some [] | None -> Printf.printf "  %-26s (no estimate)\n" name)
+        analysed)
+    (staged_tests ())
+
+let () =
+  print_tables_1_2_3 ();
+  print_figures ();
+  let report = print_table4 () in
+  ablation_arbitration ();
+  ablation_crc_offload ();
+  ablation_rtos ();
+  ablation_grouping_objective report;
+  ablation_regrouping ();
+  sweep_series ();
+  analysis_section ();
+  run_benchmarks ();
+  print_newline ()

@@ -1,0 +1,539 @@
+(* tutflow: command-line driver for the TUT-Profile design and profiling
+   flow (Figures 1 and 2 of the paper), exercised on the TUTMAC/TUTWLAN
+   case study. *)
+
+open Cmdliner
+
+let config_of ~duration_ms ~arbitration ~fifo ~crc_sw =
+  let platform =
+    {
+      Tutmac.Platform_model.default_params with
+      Tutmac.Platform_model.arbitration =
+        (if arbitration = "round_robin" then
+           Tut_profile.Stereotypes.arb_round_robin
+         else Tut_profile.Stereotypes.arb_priority);
+    }
+  in
+  {
+    Tutmac.Scenario.default with
+    Tutmac.Scenario.duration_ns = Int64.mul (Int64.of_int duration_ms) 1_000_000L;
+    Tutmac.Scenario.platform = platform;
+    Tutmac.Scenario.scheduling =
+      (if fifo then Codegen.Ir.Fifo else Codegen.Ir.Priority_preemptive);
+    Tutmac.Scenario.crc_on_accelerator = not crc_sw;
+  }
+
+let duration_arg =
+  let doc = "Simulated duration in milliseconds." in
+  Arg.(value & opt int 2000 & info [ "duration" ] ~docv:"MS" ~doc)
+
+let arbitration_arg =
+  let doc = "HIBI arbitration: priority or round_robin." in
+  Arg.(value & opt string "priority" & info [ "arbitration" ] ~docv:"SCHEME" ~doc)
+
+let fifo_arg =
+  let doc = "Use FIFO run-to-completion scheduling instead of the RTOS." in
+  Arg.(value & flag & info [ "fifo" ] ~doc)
+
+let crc_sw_arg =
+  let doc = "Map the CRC group to a processor instead of the accelerator." in
+  Arg.(value & flag & info [ "crc-software" ] ~doc)
+
+let config_term =
+  Term.(
+    const (fun duration_ms arbitration fifo crc_sw ->
+        config_of ~duration_ms ~arbitration ~fifo ~crc_sw)
+    $ duration_arg $ arbitration_arg $ fifo_arg $ crc_sw_arg)
+
+(* -- model loading ----------------------------------------------------- *)
+
+let model_arg =
+  let doc =
+    "Validate/render this XMI model file instead of the built-in \
+     TUTMAC/TUTWLAN model."
+  in
+  Arg.(value & opt (some file) None & info [ "model" ] ~docv:"FILE" ~doc)
+
+let builder_of config model_file =
+  match model_file with
+  | None -> Ok (Tutmac.Scenario.build_model config)
+  | Some path -> (
+    let ic = open_in path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match
+      Xmi.Read.of_string ~profile:Tut_profile.Stereotypes.profile contents
+    with
+    | Ok (model, apps) ->
+      Ok { Tut_profile.Builder.model; Tut_profile.Builder.apps }
+    | Error e -> Error (Printf.sprintf "%s: %s" path e))
+
+(* Generic diagram rendering for any stereotyped model: class diagram and
+   composite structure of the application and platform classes, grouping
+   and mapping dependency diagrams. *)
+let generic_figures builder =
+  let view = Tut_profile.Builder.view builder in
+  let model = Tut_profile.Builder.model builder in
+  let apps = Tut_profile.Builder.apps builder in
+  let annotate = Tut_profile.View.annotator view in
+  let stereotyped_dep stereotype (d : Uml.Dependency.t) =
+    Profile.Apply.has apps
+      (Uml.Element.Dependency_ref d.Uml.Dependency.name)
+      stereotype
+  in
+  [ ("figure3", Tut_profile.Summary.hierarchy ()) ]
+  @ List.concat_map
+      (fun root ->
+        [
+          ("figure4", Uml.Render.class_diagram ~annotate model ~root);
+          ( "figure5",
+            Uml.Render.composite_structure ~annotate model ~class_name:root );
+        ])
+      view.Tut_profile.View.application_classes
+  @ [
+      ( "figure6",
+        Uml.Render.dependency_diagram ~annotate
+          ~filter:(stereotyped_dep Tut_profile.Stereotypes.process_grouping)
+          model );
+    ]
+  @ List.map
+      (fun platform ->
+        ( "figure7",
+          Uml.Render.composite_structure ~annotate model ~class_name:platform ))
+      view.Tut_profile.View.platform_classes
+  @ [
+      ( "figure8",
+        Uml.Render.dependency_diagram ~annotate
+          ~filter:(stereotyped_dep Tut_profile.Stereotypes.platform_mapping)
+          model );
+    ]
+
+(* -- validate -------------------------------------------------------- *)
+
+let validate_cmd =
+  let run config model_file =
+    match builder_of config model_file with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok builder ->
+      let report = Tut_profile.Builder.validate builder in
+      Format.printf "%a@." Tut_profile.Rules.pp_report report;
+      if Tut_profile.Rules.is_valid report then 0 else 1
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Check the model against the TUT-Profile design rules")
+    Term.(const run $ config_term $ model_arg)
+
+(* -- tables ---------------------------------------------------------- *)
+
+let table_arg =
+  let doc = "Which table to print (1, 2, 3 or 4)." in
+  Arg.(value & opt int 1 & info [ "table" ] ~docv:"N" ~doc)
+
+let via_xmi_arg =
+  let doc = "Recover group info by serialising to XML and parsing it back." in
+  Arg.(value & flag & info [ "via-xmi" ] ~doc)
+
+let tables_cmd =
+  let run config table via_xmi =
+    match table with
+    | 1 ->
+      print_string (Tut_profile.Summary.table1 ());
+      0
+    | 2 ->
+      print_string (Tut_profile.Summary.table2 ());
+      0
+    | 3 ->
+      print_string (Tut_profile.Summary.table3 ());
+      0
+    | 4 -> (
+      match Tutmac.Scenario.run ~via_xmi config with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok result ->
+        print_string (Profiler.Report.render result.Tutmac.Scenario.report);
+        0)
+    | n ->
+      Printf.eprintf "no such table: %d\n" n;
+      1
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Regenerate the paper's tables")
+    Term.(const run $ config_term $ table_arg $ via_xmi_arg)
+
+(* -- diagrams -------------------------------------------------------- *)
+
+let figure_arg =
+  let doc = "Which figure to print (3-8); 0 prints all." in
+  Arg.(value & opt int 0 & info [ "figure" ] ~docv:"N" ~doc)
+
+let diagrams_cmd =
+  let run config figure model_file =
+    match builder_of config model_file with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok builder ->
+      let figures =
+        match model_file with
+        | None -> Tutmac.Scenario.render_figures config
+        | Some _ -> generic_figures builder
+      in
+      let wanted = Printf.sprintf "figure%d" figure in
+      let matched =
+        List.filter (fun (id, _) -> figure = 0 || id = wanted) figures
+      in
+      if matched = [] then begin
+        Printf.eprintf "no such figure: %d\n" figure;
+        1
+      end
+      else begin
+        List.iter
+          (fun (id, text) -> Printf.printf "---- %s ----\n%s\n" id text)
+          matched;
+        0
+      end
+  in
+  Cmd.v (Cmd.info "diagrams" ~doc:"Render the paper's diagrams as text")
+    Term.(const run $ config_term $ figure_arg $ model_arg)
+
+(* -- xmi ------------------------------------------------------------- *)
+
+let output_arg =
+  let doc = "Output file (stdout when absent)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let xmi_cmd =
+  let run config output =
+    let builder = Tutmac.Scenario.build_model config in
+    let xml =
+      Xmi.Write.to_string
+        (Tut_profile.Builder.model builder)
+        (Tut_profile.Builder.apps builder)
+    in
+    (match output with
+    | None -> print_string xml
+    | Some path ->
+      let oc = open_out path in
+      output_string oc xml;
+      close_out oc);
+    0
+  in
+  Cmd.v (Cmd.info "xmi" ~doc:"Serialise the model to its XML presentation")
+    Term.(const run $ config_term $ output_arg)
+
+(* -- generate -------------------------------------------------------- *)
+
+let outdir_arg =
+  let doc = "Directory for the generated C sources." in
+  Arg.(value & opt string "generated" & info [ "d"; "dir" ] ~docv:"DIR" ~doc)
+
+let generate_cmd =
+  let run config dir =
+    match Tutmac.Scenario.system config with
+    | Error problems ->
+      List.iter prerr_endline problems;
+      1
+    | Ok sys ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter
+        (fun (name, contents) ->
+          let path = Filename.concat dir name in
+          let oc = open_out path in
+          output_string oc contents;
+          close_out oc;
+          Printf.printf "wrote %s (%d bytes)\n" path (String.length contents))
+        (Codegen.C_emit.all_files sys);
+      0
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate application C code from the model")
+    Term.(const run $ config_term $ outdir_arg)
+
+(* -- simulate -------------------------------------------------------- *)
+
+let log_arg =
+  let doc = "Write the simulation log-file here." in
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+
+let simulate_cmd =
+  let run config log =
+    match Tutmac.Scenario.run config with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok result ->
+      let trace = result.Tutmac.Scenario.trace in
+      Printf.printf "simulated %Ld ms of protocol operation\n"
+        (Int64.div config.Tutmac.Scenario.duration_ns 1_000_000L);
+      Printf.printf "log events: %d\n" (Sim.Trace.length trace);
+      List.iter
+        (fun (pe, busy) -> Printf.printf "  %-14s busy %Ld ns\n" pe busy)
+        (Codegen.Runtime.pe_busy_ns result.Tutmac.Scenario.runtime);
+      List.iter
+        (fun (seg, stats) ->
+          Printf.printf "  %-14s %Ld words, %Ld grants, max queue %d\n" seg
+            stats.Hibi.Network.words stats.Hibi.Network.grants
+            stats.Hibi.Network.max_waiting)
+        (Codegen.Runtime.segment_stats result.Tutmac.Scenario.runtime);
+      (match Codegen.Runtime.runtime_errors result.Tutmac.Scenario.runtime with
+      | [] -> ()
+      | errors ->
+        Printf.printf "runtime errors:\n";
+        List.iter (Printf.printf "  %s\n") errors);
+      (match log with
+      | None -> ()
+      | Some path ->
+        Sim.Trace.save trace path;
+        Printf.printf "log written to %s\n" path);
+      0
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute the generated application on the platform model")
+    Term.(const run $ config_term $ log_arg)
+
+(* -- profile --------------------------------------------------------- *)
+
+let transfers_arg =
+  let doc = "Also print per-process transfer metrics." in
+  Arg.(value & flag & info [ "transfers" ] ~doc)
+
+let timeline_arg =
+  let doc = "Also print the per-window load timeline (window in ms)." in
+  Arg.(value & opt (some int) None & info [ "timeline" ] ~docv:"MS" ~doc)
+
+let latency_arg =
+  let doc = "Also print end-to-end MSDU latency (request to indication)." in
+  Arg.(value & flag & info [ "latency" ] ~doc)
+
+let profile_cmd =
+  let run config via_xmi transfers timeline latency =
+    match Tutmac.Scenario.run ~via_xmi config with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok result ->
+      print_string (Profiler.Report.render result.Tutmac.Scenario.report);
+      if transfers then begin
+        print_newline ();
+        print_string
+          (Profiler.Report.render_transfers result.Tutmac.Scenario.report)
+      end;
+      (if latency then
+         match
+           Profiler.Latency.measure ~src_signal:Tutmac.Signals.msdu_req
+             ~dst_signal:Tutmac.Signals.msdu_ind result.Tutmac.Scenario.trace
+         with
+         | Some stats ->
+           print_newline ();
+           print_string
+             (Profiler.Latency.render ~label:"MSDU request -> indication" stats)
+         | None -> print_endline "no MSDU latencies matched");
+      (match timeline with
+      | None -> ()
+      | Some window_ms ->
+        let builder = Tutmac.Scenario.build_model config in
+        let groups =
+          Profiler.Groups.of_view (Tut_profile.Builder.view builder)
+        in
+        print_newline ();
+        print_string
+          (Profiler.Timeline.render
+             (Profiler.Timeline.build groups
+                ~window_ns:(Int64.mul (Int64.of_int window_ms) 1_000_000L)
+                result.Tutmac.Scenario.trace)));
+      0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run the full profiling flow and print the Table 4 report")
+    Term.(
+      const run $ config_term $ via_xmi_arg $ transfers_arg $ timeline_arg
+      $ latency_arg)
+
+(* -- explore --------------------------------------------------------- *)
+
+let algorithm_arg =
+  let doc = "Exploration algorithm: greedy, sa, random or exhaustive." in
+  Arg.(value & opt string "greedy" & info [ "algorithm" ] ~docv:"ALGO" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for stochastic algorithms." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let iterations_arg =
+  let doc = "Iteration budget for stochastic algorithms." in
+  Arg.(value & opt int 500 & info [ "iterations" ] ~docv:"N" ~doc)
+
+let explore_cmd =
+  let run config algorithm seed iterations =
+    match Tutmac.Scenario.run config with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok result ->
+      let builder = Tutmac.Scenario.build_model config in
+      let view = Tut_profile.Builder.view builder in
+      let profile = Dse.Cost.of_report result.Tutmac.Scenario.report in
+      let platform = Dse.Cost.of_view view in
+      let eval = Dse.Cost.cost ~profile ~platform in
+      let candidates = Dse.Cost.candidates view in
+      let init = Dse.Cost.current_assignment view in
+      let outcome =
+        match algorithm with
+        | "greedy" -> Ok (Dse.Explore.greedy ~eval ~candidates ~init ())
+        | "sa" ->
+          Ok
+            (Dse.Explore.simulated_annealing ~seed ~iterations ~eval ~candidates
+               ~init ())
+        | "random" -> Ok (Dse.Explore.random_search ~seed ~iterations ~eval ~candidates ())
+        | "exhaustive" -> Ok (Dse.Explore.exhaustive ~eval ~candidates ())
+        | other -> Error ("unknown algorithm " ^ other)
+      in
+      (match outcome with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok result ->
+        Printf.printf "initial mapping cost: %.2f\n" (eval init);
+        Printf.printf "best cost: %.2f after %d evaluations\n"
+          result.Dse.Explore.best_cost result.Dse.Explore.evaluations;
+        List.iter
+          (fun (group, pe) -> Printf.printf "  %-10s -> %s\n" group pe)
+          result.Dse.Explore.best;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Explore alternative group-to-PE mappings over profiling data")
+    Term.(
+      const run $ config_term $ algorithm_arg $ seed_arg $ iterations_arg)
+
+(* -- analyze --------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run config =
+    match Tutmac.Scenario.system config with
+    | Error problems ->
+      List.iter prerr_endline problems;
+      1
+    | Ok sys -> (
+      print_string (Analysis.Rta.render (Analysis.Rta.of_system sys));
+      print_newline ();
+      match Tutmac.Scenario.run config with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok result ->
+        let builder = Tutmac.Scenario.build_model config in
+        let report =
+          Analysis.Platform_report.build
+            ~view:(Tut_profile.Builder.view builder)
+            ~busy:(Codegen.Runtime.pe_busy_ns result.Tutmac.Scenario.runtime)
+            ~duration_ns:config.Tutmac.Scenario.duration_ns
+        in
+        print_string (Analysis.Platform_report.render report);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static response-time analysis plus the measured platform \
+          utilisation/energy report")
+    Term.(const run $ config_term)
+
+(* -- regroup --------------------------------------------------------- *)
+
+let regroup_cmd =
+  let run config =
+    match Tutmac.Scenario.run config with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok result ->
+      let builder = Tutmac.Scenario.build_model config in
+      let view = Tut_profile.Builder.view builder in
+      let suggestion =
+        Dse.Grouping.suggest ~view ~report:result.Tutmac.Scenario.report
+      in
+      Printf.printf "inter-group traffic: %d signals before, %d after\n"
+        suggestion.Dse.Grouping.before suggestion.Dse.Grouping.after;
+      if suggestion.Dse.Grouping.moves = [] then begin
+        print_endline "the current grouping is locally optimal";
+        0
+      end
+      else begin
+        List.iter
+          (fun (process, from_group, to_group) ->
+            Printf.printf "  move %s: %s -> %s\n"
+              (Uml.Element.to_string process)
+              from_group to_group)
+          suggestion.Dse.Grouping.moves;
+        let builder' =
+          Dse.Grouping.apply builder suggestion.Dse.Grouping.assignment
+        in
+        let validation = Tut_profile.Builder.validate builder' in
+        Printf.printf "regrouped model validity: %s\n"
+          (if Tut_profile.Rules.is_valid validation then "valid" else "INVALID");
+        (* Close the loop: re-simulate the regrouped model and print the
+           measured report, as the designer of Figure 2 would. *)
+        match Tutmac.Scenario.run_builder config builder' with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok result' ->
+          print_newline ();
+          print_endline "profiling report after regrouping:";
+          print_string (Profiler.Report.render result'.Tutmac.Scenario.report);
+          0
+      end
+  in
+  Cmd.v
+    (Cmd.info "regroup"
+       ~doc:
+         "Suggest an automatic process regrouping that minimises \
+          inter-group communication (paper future work)")
+    Term.(const run $ config_term)
+
+(* -- rules ------------------------------------------------------------ *)
+
+let rules_cmd =
+  let run () =
+    List.iter
+      (fun (code, severity, summary) ->
+        Printf.printf "%s [%s] %s\n" code
+          (match severity with
+          | Tut_profile.Rules.Error -> "error  "
+          | Tut_profile.Rules.Warning -> "warning")
+          summary)
+      Tut_profile.Rules.catalog;
+    0
+  in
+  Cmd.v
+    (Cmd.info "rules" ~doc:"List the TUT-Profile design rules (R01-R18)")
+    Term.(const run $ const ())
+
+let main_cmd =
+  let doc =
+    "TUT-Profile design and profiling flow (UML 2.0 Profile for Embedded \
+     System Design, DATE 2005)"
+  in
+  Cmd.group (Cmd.info "tutflow" ~version:"1.0.0" ~doc)
+    [
+      validate_cmd;
+      tables_cmd;
+      diagrams_cmd;
+      xmi_cmd;
+      generate_cmd;
+      simulate_cmd;
+      profile_cmd;
+      explore_cmd;
+      analyze_cmd;
+      regroup_cmd;
+      rules_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

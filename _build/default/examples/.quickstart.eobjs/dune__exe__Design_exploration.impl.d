@@ -1,0 +1,1 @@
+examples/design_exploration.ml: Codegen Dse Int64 List Printf Profiler String Tut_profile Tutmac

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Codegen Efsm Format Fun List Printf Profiler Tut_profile Uml

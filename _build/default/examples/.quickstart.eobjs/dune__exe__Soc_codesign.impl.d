@@ -1,0 +1,1 @@
+examples/soc_codesign.ml: Codegen Dse Efsm Format Int64 List Printf Profiler String Tut_profile Uml

@@ -1,0 +1,1 @@
+examples/statechart_authoring.ml: Codegen Efsm Format List Option Printf String Tut_profile Uml

@@ -1,0 +1,1 @@
+examples/statechart_authoring.mli:

@@ -1,0 +1,1 @@
+examples/video_pipeline.ml: Codegen Efsm Format Int64 List Printf Profiler Tut_profile Uml

@@ -1,0 +1,1 @@
+examples/wlan_terminal.ml: Codegen Format Hibi Int64 List Printf Profiler Sim String Tut_profile Tutmac

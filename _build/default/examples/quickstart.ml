@@ -1,0 +1,200 @@
+(* Quickstart: model a two-process producer/consumer application with
+   TUT-Profile, validate it, map it onto a two-processor platform,
+   generate and execute it, and print the profiling report.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let part name class_name = { Uml.Classifier.name; Uml.Classifier.class_name }
+
+let conn name a b =
+  let ep (p, q) = Uml.Connector.endpoint ?part:p q in
+  Uml.Connector.make ~name ~from_:(ep a) ~to_:(ep b)
+
+(* 1. Behaviours: EFSMs in the textual-action notation.  The producer
+   emits an Item every 50 us; the consumer filters even payloads on to a
+   sink counter. *)
+
+let producer_machine =
+  let open Efsm.Action in
+  Efsm.Machine.make ~name:"Producer" ~states:[ "run" ] ~initial:"run"
+    ~variables:[ ("n", V_int 0) ]
+    [
+      Efsm.Machine.transition ~src:"run" ~dst:"run" (Efsm.Machine.After 50_000)
+        ~actions:
+          [
+            compute (i 400);
+            send ~port:"out" "Item" ~args:[ v "n" ];
+            assign "n" (v "n" + i 1);
+          ];
+    ]
+
+let consumer_machine =
+  let open Efsm.Action in
+  Efsm.Machine.make ~name:"Consumer" ~states:[ "run" ] ~initial:"run"
+    ~variables:[ ("seen", V_int 0); ("kept", V_int 0) ]
+    [
+      Efsm.Machine.transition ~src:"run" ~dst:"run"
+        (Efsm.Machine.On_signal "Item")
+        ~actions:
+          [
+            compute (i 900);
+            assign "seen" (v "seen" + i 1);
+            If
+              ( p "n" mod i 2 = i 0,
+                [
+                  assign "kept" (v "kept" + i 1);
+                  send ~port:"out" "Kept" ~args:[ p "n" ];
+                ],
+                [] );
+          ];
+    ]
+
+let sink_machine =
+  let open Efsm.Action in
+  Efsm.Machine.make ~name:"Sink" ~states:[ "run" ] ~initial:"run"
+    ~variables:[ ("total", V_int 0) ]
+    [
+      Efsm.Machine.transition ~src:"run" ~dst:"run"
+        (Efsm.Machine.On_signal "Kept")
+        ~actions:[ compute (i 100); assign "total" (v "total" + i 1) ];
+    ]
+
+(* 2. The stereotyped model, built with the fluent Builder API. *)
+
+let model_builder () =
+  let open Tut_profile.Builder in
+  let b = create "quickstart" in
+  let b =
+    b
+    |> Fun.flip signal (Uml.Signal.make ~params:[ ("n", Uml.Signal.P_int) ] "Item")
+    |> Fun.flip signal (Uml.Signal.make ~params:[ ("n", Uml.Signal.P_int) ] "Kept")
+  in
+  (* Application components (active classes). *)
+  let b =
+    component_class b
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active
+         ~ports:[ Uml.Port.make "out" ~sends:[ "Item" ] ]
+         ~behavior:producer_machine "Producer")
+  in
+  let b =
+    component_class b
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active
+         ~ports:
+           [
+             Uml.Port.make "inp" ~receives:[ "Item" ];
+             Uml.Port.make "out" ~sends:[ "Kept" ];
+           ]
+         ~behavior:consumer_machine "Consumer")
+  in
+  let b =
+    component_class b
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active
+         ~ports:[ Uml.Port.make "inp" ~receives:[ "Kept" ] ]
+         ~behavior:sink_machine "Sink")
+  in
+  (* The top-level application class: composite structure. *)
+  let b =
+    application_class b
+      (Uml.Classifier.make
+         ~parts:
+           [ part "prod" "Producer"; part "cons" "Consumer"; part "sink" "Sink" ]
+         ~connectors:
+           [
+             conn "items" (Some "prod", "out") (Some "cons", "inp");
+             conn "kepts" (Some "cons", "out") (Some "sink", "inp");
+           ]
+         "PipelineApp")
+  in
+  (* Stereotype the parts as application processes. *)
+  let b = process ~tags:[ tint "Priority" 2 ] b ~owner:"PipelineApp" ~part:"prod" in
+  let b = process ~tags:[ tint "Priority" 1 ] b ~owner:"PipelineApp" ~part:"cons" in
+  let b = process ~tags:[ tint "Priority" 1 ] b ~owner:"PipelineApp" ~part:"sink" in
+  (* Process groups and grouping dependencies. *)
+  let b = plain_class b (Uml.Classifier.make "GroupType") in
+  let b =
+    plain_class b
+      (Uml.Classifier.make ~parts:[ part "gsrc" "GroupType"; part "gproc" "GroupType" ] "Grouping")
+  in
+  let b = group b ~owner:"Grouping" ~part:"gsrc" in
+  let b = group b ~owner:"Grouping" ~part:"gproc" in
+  let b = grouping b ~name:"g_prod" ~process:("PipelineApp", "prod") ~group:("Grouping", "gsrc") in
+  let b = grouping b ~name:"g_cons" ~process:("PipelineApp", "cons") ~group:("Grouping", "gproc") in
+  let b = grouping b ~name:"g_sink" ~process:("PipelineApp", "sink") ~group:("Grouping", "gproc") in
+  (* Platform: two CPUs on one HIBI segment. *)
+  let b =
+    platform_component_class
+      ~tags:[ tint "Frequency" 50; tfloat "Area" 10.0; tfloat "Power" 70.0 ]
+      b
+      (Uml.Classifier.make ~ports:[ Uml.Port.make "bus" ] "NiosCpu")
+  in
+  let b =
+    plain_class b
+      (Uml.Classifier.make ~ports:[ Uml.Port.make "p0"; Uml.Port.make "p1" ] "HibiSeg")
+  in
+  let b =
+    platform_class b
+      (Uml.Classifier.make
+         ~parts:[ part "cpu1" "NiosCpu"; part "cpu2" "NiosCpu"; part "seg" "HibiSeg" ]
+         ~connectors:
+           [
+             conn "w1" (Some "cpu1", "bus") (Some "seg", "p0");
+             conn "w2" (Some "cpu2", "bus") (Some "seg", "p1");
+           ]
+         "DuoPlatform")
+  in
+  let b = pe_instance b ~owner:"DuoPlatform" ~part:"cpu1" ~id:1 in
+  let b = pe_instance b ~owner:"DuoPlatform" ~part:"cpu2" ~id:2 in
+  let b = comm_segment ~hibi:true b ~owner:"DuoPlatform" ~part:"seg" in
+  let b = comm_wrapper ~hibi:true b ~owner:"DuoPlatform" ~connector:"w1" ~address:0x10 in
+  let b = comm_wrapper ~hibi:true b ~owner:"DuoPlatform" ~connector:"w2" ~address:0x11 in
+  (* Mapping: source group on cpu1, processing group on cpu2. *)
+  let b = mapping b ~name:"m_src" ~group:("Grouping", "gsrc") ~pe:("DuoPlatform", "cpu1") in
+  let b = mapping b ~name:"m_proc" ~group:("Grouping", "gproc") ~pe:("DuoPlatform", "cpu2") in
+  b
+
+let () =
+  let builder = model_builder () in
+
+  (* 3. Validate against the TUT-Profile design rules. *)
+  let report = Tut_profile.Builder.validate builder in
+  Format.printf "== validation ==@.%a@." Tut_profile.Rules.pp_report report;
+  if not (Tut_profile.Rules.is_valid report) then exit 1;
+
+  (* 4. Generate the executable process network. *)
+  let sys =
+    match Codegen.Lower.lower (Tut_profile.Builder.view builder) with
+    | Ok sys -> sys
+    | Error problems ->
+      List.iter prerr_endline problems;
+      exit 1
+  in
+  Format.printf "== generated system ==@.%a@." Codegen.Ir.pp sys;
+
+  (* 5. Simulate 10 ms and profile. *)
+  let runtime =
+    match Codegen.Runtime.create sys with
+    | Ok rt -> rt
+    | Error problems ->
+      List.iter prerr_endline problems;
+      exit 1
+  in
+  Codegen.Runtime.start runtime;
+  ignore (Codegen.Runtime.run runtime ~until_ns:10_000_000L);
+  let read proc var =
+    match Codegen.Runtime.process_var runtime proc var with
+    | Some (Efsm.Action.V_int n) -> n
+    | _ -> 0
+  in
+  Printf.printf "== results ==\n";
+  Printf.printf "produced: %d\n" (read "PipelineApp.prod" "n");
+  Printf.printf "consumed: %d (kept %d)\n"
+    (read "PipelineApp.cons" "seen")
+    (read "PipelineApp.cons" "kept");
+  Printf.printf "sink total: %d\n" (read "PipelineApp.sink" "total");
+
+  let groups = Profiler.Groups.of_view (Tut_profile.Builder.view builder) in
+  let profile_report =
+    Profiler.Report.build groups (Codegen.Runtime.trace runtime)
+  in
+  print_newline ();
+  print_string (Profiler.Report.render profile_report)

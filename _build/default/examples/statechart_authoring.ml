@@ -1,0 +1,199 @@
+(* Authoring behaviours as text and as hierarchical statecharts.
+
+   The paper models behaviour with "statechart diagrams combined with the
+   UML 2.0 textual notation".  This example shows both authoring paths
+   feeding the same flow:
+
+   1. a traffic-light controller written in the textual machine notation
+      (parsed with Efsm.Notation.parse_machine);
+   2. a fault-monitor written as a hierarchical statechart (composite
+      Normal state with Green/Amber/Red substates, a composite-level
+      fault handler) and flattened with Efsm.Hsm.flatten;
+
+   then both are dropped into a two-process TUT-Profile model, validated,
+   executed, and their interaction is reported.
+
+   Run with: dune exec examples/statechart_authoring.exe *)
+
+let controller_source =
+  {|
+machine TrafficLight {
+  var cycles : int = 0
+  initial red
+  state red {
+    after 30000000000 -> green { status!Changed(1); cycles := cycles + 1 }
+    on fault -> flashing { status!Changed(99) }
+  }
+  state green {
+    after 40000000000 -> amber { status!Changed(2) }
+    on fault -> flashing { status!Changed(99) }
+  }
+  state amber {
+    entry { compute(500) }
+    after 5000000000 -> red { status!Changed(0) }
+    on fault -> flashing { status!Changed(99) }
+  }
+  state flashing {
+    after 60000000000 -> red { status!Changed(0) }
+  }
+}
+|}
+
+let controller =
+  match Efsm.Notation.parse_machine controller_source with
+  | Ok machine -> machine
+  | Error e -> failwith ("controller parse error: " ^ e)
+
+(* The monitor as a hierarchical statechart: the composite Watching state
+   owns the handler for status changes; its Counting substate carries a
+   periodic self-check that occasionally injects a fault. *)
+let monitor =
+  let open Efsm.Action in
+  let tr = Efsm.Machine.transition in
+  let hsm =
+    {
+      Efsm.Hsm.name = "Monitor";
+      Efsm.Hsm.states =
+        [
+          Efsm.Hsm.composite ~name:"Watching" ~initial:"Counting"
+            [ Efsm.Hsm.simple "Counting" ];
+          Efsm.Hsm.simple "Alarmed";
+        ];
+      Efsm.Hsm.initial = "Watching";
+      Efsm.Hsm.variables = [ ("changes", V_int 0); ("checks", V_int 0) ];
+      Efsm.Hsm.transitions =
+        [
+          (* Composite-level handler: any status change is counted. *)
+          tr ~src:"Watching" ~dst:"Watching"
+            (Efsm.Machine.On_signal "Changed")
+            ~guard:(p "state" < i 99)
+            ~actions:[ compute (i 200); assign "changes" (v "changes" + i 1) ];
+          tr ~src:"Watching" ~dst:"Alarmed"
+            (Efsm.Machine.On_signal "Changed")
+            ~guard:(p "state" >= i 99)
+            ~actions:[ compute (i 300) ];
+          tr ~src:"Alarmed" ~dst:"Watching"
+            (Efsm.Machine.On_signal "Changed");
+          (* Substate-level periodic self-check (2 s — shorter than any
+             light phase, since the flat runtime restarts timers on state
+             re-entry); every 40th check (~80 s) injects a fault drill. *)
+          tr ~src:"Counting" ~dst:"Counting" (Efsm.Machine.After 2_000_000_000)
+            ~actions:
+              [
+                compute (i 400);
+                assign "checks" (v "checks" + i 1);
+                If
+                  ( v "checks" mod i 40 = i 0,
+                    [ send ~port:"ctl" "fault" ~args:[] ],
+                    [] );
+              ];
+        ];
+    }
+  in
+  match Efsm.Hsm.flatten hsm with
+  | Ok machine -> machine
+  | Error problems -> failwith (String.concat "; " problems)
+
+let part name class_name = { Uml.Classifier.name; Uml.Classifier.class_name }
+
+let conn name a b =
+  let ep (p, q) = Uml.Connector.endpoint ?part:p q in
+  Uml.Connector.make ~name ~from_:(ep a) ~to_:(ep b)
+
+let builder () =
+  let open Tut_profile.Builder in
+  let b = create "crossing" in
+  let b =
+    signal b (Uml.Signal.make ~params:[ ("state", Uml.Signal.P_int) ] "Changed")
+  in
+  let b = signal b (Uml.Signal.make "fault") in
+  let b =
+    component_class b
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active
+         ~ports:
+           [
+             Uml.Port.make "status" ~sends:[ "Changed" ];
+             Uml.Port.make "ctl_in" ~receives:[ "fault" ];
+           ]
+         ~behavior:controller "TrafficLight")
+  in
+  let b =
+    component_class b
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active
+         ~ports:
+           [
+             Uml.Port.make "watch" ~receives:[ "Changed" ];
+             Uml.Port.make "ctl" ~sends:[ "fault" ];
+           ]
+         ~behavior:monitor "Monitor")
+  in
+  let b =
+    application_class b
+      (Uml.Classifier.make
+         ~parts:[ part "light" "TrafficLight"; part "mon" "Monitor" ]
+         ~connectors:
+           [
+             conn "c_status" (Some "light", "status") (Some "mon", "watch");
+             conn "c_fault" (Some "mon", "ctl") (Some "light", "ctl_in");
+           ]
+         "Crossing")
+  in
+  let b = process b ~owner:"Crossing" ~part:"light" in
+  let b = process b ~owner:"Crossing" ~part:"mon" in
+  let b = plain_class b (Uml.Classifier.make "Pgt") in
+  let b = plain_class b (Uml.Classifier.make ~parts:[ part "g" "Pgt" ] "Grp") in
+  let b = group b ~owner:"Grp" ~part:"g" in
+  let b = grouping b ~name:"gl" ~process:("Crossing", "light") ~group:("Grp", "g") in
+  let b = grouping b ~name:"gm" ~process:("Crossing", "mon") ~group:("Grp", "g") in
+  let b =
+    platform_component_class b
+      (Uml.Classifier.make ~ports:[ Uml.Port.make "bus" ] "Mcu")
+  in
+  let b =
+    platform_class b (Uml.Classifier.make ~parts:[ part "mcu" "Mcu" ] "Board")
+  in
+  let b = pe_instance b ~owner:"Board" ~part:"mcu" ~id:1 in
+  mapping b ~name:"m" ~group:("Grp", "g") ~pe:("Board", "mcu")
+
+let () =
+  Printf.printf "parsed controller from text: %d states, %d transitions\n"
+    (List.length controller.Efsm.Machine.states)
+    (List.length controller.Efsm.Machine.transitions);
+  Printf.printf "flattened monitor HSM: states %s\n\n"
+    (String.concat ", " monitor.Efsm.Machine.states);
+  (* Print the monitor back as text — the notation is bidirectional. *)
+  print_endline "monitor, printed in the textual notation:";
+  print_string (Efsm.Notation.print_machine monitor);
+  print_newline ();
+
+  let b = builder () in
+  let validation = Tut_profile.Builder.validate b in
+  Format.printf "validation: %a@." Tut_profile.Rules.pp_report validation;
+  if not (Tut_profile.Rules.is_valid validation) then exit 1;
+
+  match Codegen.Lower.lower (Tut_profile.Builder.view b) with
+  | Error problems ->
+    List.iter prerr_endline problems;
+    exit 1
+  | Ok sys -> (
+    match Codegen.Runtime.create sys with
+    | Error problems ->
+      List.iter prerr_endline problems;
+      exit 1
+    | Ok rt ->
+      Codegen.Runtime.start rt;
+      (* Ten simulated minutes of the crossing. *)
+      ignore (Codegen.Runtime.run rt ~until_ns:600_000_000_000L);
+      let read proc var =
+        match Codegen.Runtime.process_var rt proc var with
+        | Some (Efsm.Action.V_int n) -> n
+        | _ -> 0
+      in
+      Printf.printf "after 10 simulated minutes:\n";
+      Printf.printf "  light cycles completed: %d\n" (read "Crossing.light" "cycles");
+      Printf.printf "  monitor: %d changes observed, %d self-checks\n"
+        (read "Crossing.mon" "changes")
+        (read "Crossing.mon" "checks");
+      Printf.printf "  light is now: %s\n"
+        (Option.value ~default:"?"
+           (Codegen.Runtime.process_state rt "Crossing.light")))

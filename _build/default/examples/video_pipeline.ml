@@ -1,0 +1,297 @@
+(* A second domain-specific application: a video-encoder pipeline
+   (camera -> capture -> DCT -> quantise -> VLC -> packetiser -> network)
+   showing that TUT-Profile is not TUTMAC-specific.  The DSP stages use
+   the dsp ProcessType and run on a DSP platform component; the profiling
+   report shows where the cycles go over a frame workload.
+
+   Run with: dune exec examples/video_pipeline.exe *)
+
+let part name class_name = { Uml.Classifier.name; Uml.Classifier.class_name }
+
+let conn name a b =
+  let ep (p, q) = Uml.Connector.endpoint ?part:p q in
+  Uml.Connector.make ~name ~from_:(ep a) ~to_:(ep b)
+
+(* Stage machine: receive a block, spend [cycles], forward it. *)
+let stage_machine ~name ~in_signal ~out_signal ~cycles =
+  let open Efsm.Action in
+  Efsm.Machine.make ~name ~states:[ "run" ] ~initial:"run"
+    ~variables:[ ("blocks", V_int 0) ]
+    [
+      Efsm.Machine.transition ~src:"run" ~dst:"run"
+        (Efsm.Machine.On_signal in_signal)
+        ~actions:
+          [
+            compute (i cycles);
+            assign "blocks" (v "blocks" + i 1);
+            send ~port:"out" out_signal ~args:[ p "n" ];
+          ];
+    ]
+
+let sink_stage ~name ~in_signal ~cycles =
+  let open Efsm.Action in
+  Efsm.Machine.make ~name ~states:[ "run" ] ~initial:"run"
+    ~variables:[ ("blocks", V_int 0) ]
+    [
+      Efsm.Machine.transition ~src:"run" ~dst:"run"
+        (Efsm.Machine.On_signal in_signal)
+        ~actions:
+          [
+            compute (i cycles);
+            assign "blocks" (v "blocks" + i 1);
+            send ~port:"net" "Packet" ~args:[ p "n" ];
+          ];
+    ]
+
+let stage_class ~class_name ~machine ~in_signal ~out_signal =
+  Uml.Classifier.make ~kind:Uml.Classifier.Active
+    ~ports:
+      [
+        Uml.Port.make "inp" ~receives:[ in_signal ];
+        Uml.Port.make "out" ~sends:[ out_signal ];
+      ]
+    ~behavior:machine class_name
+
+let builder () =
+  let open Tut_profile.Builder in
+  let dsp = Tut_profile.Stereotypes.pt_dsp in
+  let b = create "video_pipeline" in
+  let sig_names = [ "Frame"; "Block"; "Coef"; "QCoef"; "Bits"; "Packet" ] in
+  let b =
+    List.fold_left
+      (fun b name ->
+        signal b
+          (Uml.Signal.make ~params:[ ("n", Uml.Signal.P_int) ] ~payload_bytes:256
+             name))
+      b sig_names
+  in
+  (* Components. *)
+  let b =
+    component_class b
+      (stage_class ~class_name:"Capture"
+         ~machine:
+           (stage_machine ~name:"Capture" ~in_signal:"Frame" ~out_signal:"Block"
+              ~cycles:600)
+         ~in_signal:"Frame" ~out_signal:"Block")
+  in
+  let b =
+    component_class b
+      (stage_class ~class_name:"Dct"
+         ~machine:
+           (stage_machine ~name:"Dct" ~in_signal:"Block" ~out_signal:"Coef"
+              ~cycles:4000)
+         ~in_signal:"Block" ~out_signal:"Coef")
+  in
+  let b =
+    component_class b
+      (stage_class ~class_name:"Quantiser"
+         ~machine:
+           (stage_machine ~name:"Quantiser" ~in_signal:"Coef" ~out_signal:"QCoef"
+              ~cycles:1500)
+         ~in_signal:"Coef" ~out_signal:"QCoef")
+  in
+  let b =
+    component_class b
+      (stage_class ~class_name:"Vlc"
+         ~machine:
+           (stage_machine ~name:"Vlc" ~in_signal:"QCoef" ~out_signal:"Bits"
+              ~cycles:2200)
+         ~in_signal:"QCoef" ~out_signal:"Bits")
+  in
+  let b =
+    component_class b
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active
+         ~ports:
+           [
+             Uml.Port.make "inp" ~receives:[ "Bits" ];
+             Uml.Port.make "net" ~sends:[ "Packet" ];
+           ]
+         ~behavior:(sink_stage ~name:"Packetiser" ~in_signal:"Bits" ~cycles:800)
+         "Packetiser")
+  in
+  (* Top class with boundary ports to the camera and the network. *)
+  let b =
+    application_class b
+      (Uml.Classifier.make
+         ~ports:
+           [
+             Uml.Port.make "pCamera" ~receives:[ "Frame" ];
+             Uml.Port.make "pNet" ~sends:[ "Packet" ];
+           ]
+         ~parts:
+           [
+             part "capture" "Capture";
+             part "dct" "Dct";
+             part "quant" "Quantiser";
+             part "vlc" "Vlc";
+             part "pack" "Packetiser";
+           ]
+         ~connectors:
+           [
+             conn "cam" (None, "pCamera") (Some "capture", "inp");
+             conn "c1" (Some "capture", "out") (Some "dct", "inp");
+             conn "c2" (Some "dct", "out") (Some "quant", "inp");
+             conn "c3" (Some "quant", "out") (Some "vlc", "inp");
+             conn "c4" (Some "vlc", "out") (Some "pack", "inp");
+             conn "net" (Some "pack", "net") (None, "pNet");
+           ]
+         "VideoEncoder")
+  in
+  let b =
+    List.fold_left
+      (fun b (p, ptype) ->
+        process ~tags:[ tenum "ProcessType" ptype ] b ~owner:"VideoEncoder" ~part:p)
+      b
+      [
+        ("capture", Tut_profile.Stereotypes.pt_general);
+        ("dct", dsp);
+        ("quant", dsp);
+        ("vlc", dsp);
+        ("pack", Tut_profile.Stereotypes.pt_general);
+      ]
+  in
+  (* Grouping: control vs signal-processing. *)
+  let b = plain_class b (Uml.Classifier.make "Pgt") in
+  let b =
+    plain_class b
+      (Uml.Classifier.make ~parts:[ part "g_ctrl" "Pgt"; part "g_dsp" "Pgt" ] "Vgroups")
+  in
+  let b = group b ~owner:"Vgroups" ~part:"g_ctrl" in
+  let b = group ~process_type:dsp b ~owner:"Vgroups" ~part:"g_dsp" in
+  let b =
+    List.fold_left
+      (fun b (p, g) ->
+        grouping b ~name:("g_" ^ p) ~process:("VideoEncoder", p) ~group:("Vgroups", g))
+      b
+      [
+        ("capture", "g_ctrl"); ("pack", "g_ctrl");
+        ("dct", "g_dsp"); ("quant", "g_dsp"); ("vlc", "g_dsp");
+      ]
+  in
+  (* Platform: a RISC for control and a DSP for the transform stages. *)
+  let b =
+    platform_component_class
+      ~tags:[ tenum "Type" Tut_profile.Stereotypes.ct_general; tint "Frequency" 50 ]
+      b
+      (Uml.Classifier.make ~ports:[ Uml.Port.make "bus" ] "RiscCore")
+  in
+  let b =
+    platform_component_class
+      ~tags:
+        [
+          tenum "Type" Tut_profile.Stereotypes.ct_dsp;
+          tint "Frequency" 100;
+          tfloat "PerfFactor" 2.0;
+        ]
+      b
+      (Uml.Classifier.make ~ports:[ Uml.Port.make "bus" ] "DspCore")
+  in
+  let b =
+    plain_class b
+      (Uml.Classifier.make ~ports:[ Uml.Port.make "p0"; Uml.Port.make "p1" ] "Seg")
+  in
+  let b =
+    platform_class b
+      (Uml.Classifier.make
+         ~parts:[ part "risc" "RiscCore"; part "dsp0" "DspCore"; part "seg" "Seg" ]
+         ~connectors:
+           [
+             conn "w_risc" (Some "risc", "bus") (Some "seg", "p0");
+             conn "w_dsp" (Some "dsp0", "bus") (Some "seg", "p1");
+           ]
+         "VideoPlatform")
+  in
+  let b = pe_instance b ~owner:"VideoPlatform" ~part:"risc" ~id:1 in
+  let b = pe_instance b ~owner:"VideoPlatform" ~part:"dsp0" ~id:2 in
+  let b = comm_segment ~hibi:true b ~owner:"VideoPlatform" ~part:"seg" in
+  let b = comm_wrapper ~hibi:true b ~owner:"VideoPlatform" ~connector:"w_risc" ~address:0x40 in
+  let b = comm_wrapper ~hibi:true b ~owner:"VideoPlatform" ~connector:"w_dsp" ~address:0x41 in
+  let b = mapping b ~name:"m_ctrl" ~group:("Vgroups", "g_ctrl") ~pe:("VideoPlatform", "risc") in
+  let b = mapping b ~name:"m_dsp" ~group:("Vgroups", "g_dsp") ~pe:("VideoPlatform", "dsp0") in
+  b
+
+(* Environment: a 25 fps camera (one Frame per 40 ms, treated as one
+   block batch) and the network sink. *)
+let environment =
+  let open Efsm.Action in
+  let camera =
+    Efsm.Machine.make ~name:"Camera" ~states:[ "run" ] ~initial:"run"
+      ~variables:[ ("frame", V_int 0) ]
+      [
+        Efsm.Machine.transition ~src:"run" ~dst:"run"
+          (Efsm.Machine.After 40_000_000)
+          ~actions:
+            [
+              send ~port:"cam" "Frame" ~args:[ v "frame" ];
+              assign "frame" (v "frame" + i 1);
+            ];
+      ]
+  in
+  let network =
+    Efsm.Machine.make ~name:"NetworkSink" ~states:[ "run" ] ~initial:"run"
+      ~variables:[ ("packets", V_int 0) ]
+      [
+        Efsm.Machine.transition ~src:"run" ~dst:"run"
+          (Efsm.Machine.On_signal "Packet")
+          ~actions:[ assign "packets" (v "packets" + i 1) ];
+      ]
+  in
+  [
+    {
+      Codegen.Lower.name = "camera";
+      Codegen.Lower.machine = camera;
+      Codegen.Lower.ports = [ Uml.Port.make "cam" ~sends:[ "Frame" ] ];
+      Codegen.Lower.attachments = [ ("cam", "pCamera") ];
+    };
+    {
+      Codegen.Lower.name = "network";
+      Codegen.Lower.machine = network;
+      Codegen.Lower.ports = [ Uml.Port.make "net" ~receives:[ "Packet" ] ];
+      Codegen.Lower.attachments = [ ("net", "pNet") ];
+    };
+  ]
+
+let () =
+  let b = builder () in
+  let validation = Tut_profile.Builder.validate b in
+  Format.printf "== validation ==@.%a@." Tut_profile.Rules.pp_report validation;
+  if not (Tut_profile.Rules.is_valid validation) then exit 1;
+  match Codegen.Lower.lower ~environment (Tut_profile.Builder.view b) with
+  | Error problems ->
+    List.iter prerr_endline problems;
+    exit 1
+  | Ok sys -> (
+    match Codegen.Runtime.create sys with
+    | Error problems ->
+      List.iter prerr_endline problems;
+      exit 1
+    | Ok rt ->
+      Codegen.Runtime.start rt;
+      (* Encode two seconds of video. *)
+      ignore (Codegen.Runtime.run rt ~until_ns:2_000_000_000L);
+      let read proc var =
+        match Codegen.Runtime.process_var rt proc var with
+        | Some (Efsm.Action.V_int n) -> n
+        | _ -> 0
+      in
+      Printf.printf "== pipeline throughput (2 s @ 25 fps) ==\n";
+      List.iter
+        (fun (stage, proc) ->
+          Printf.printf "  %-10s %4d blocks\n" stage (read proc "blocks"))
+        [
+          ("capture", "VideoEncoder.capture");
+          ("dct", "VideoEncoder.dct");
+          ("quantise", "VideoEncoder.quant");
+          ("vlc", "VideoEncoder.vlc");
+          ("packetise", "VideoEncoder.pack");
+        ];
+      Printf.printf "  %-10s %4d packets\n" "network" (read "network" "packets");
+      Printf.printf "\n== PE load ==\n";
+      List.iter
+        (fun (pe, busy_ns) ->
+          Printf.printf "  %-6s busy %8.3f ms\n" pe (Int64.to_float busy_ns /. 1e6))
+        (Codegen.Runtime.pe_busy_ns rt);
+      let groups = Profiler.Groups.of_view (Tut_profile.Builder.view b) in
+      let report = Profiler.Report.build groups (Codegen.Runtime.trace rt) in
+      print_newline ();
+      print_string (Profiler.Report.render report))

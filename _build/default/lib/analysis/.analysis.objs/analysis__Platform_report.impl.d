@@ -1,0 +1,1 @@
+lib/analysis/platform_report.ml: Buffer Int64 List Option Printf Tut_profile

@@ -1,0 +1,1 @@
+lib/analysis/platform_report.mli: Tut_profile

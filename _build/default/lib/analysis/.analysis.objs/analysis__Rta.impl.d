@@ -1,0 +1,1 @@
+lib/analysis/rta.ml: Buffer Codegen Efsm Int64 List Printf

@@ -1,0 +1,78 @@
+type pe_row = {
+  pe : string;
+  component : string;
+  utilisation : float;
+  busy_ns : int64;
+  area_mm2 : float option;
+  power_mw : float option;
+  energy_uj : float option;
+}
+
+type t = {
+  duration_ns : int64;
+  rows : pe_row list;
+  total_area_mm2 : float;
+  total_energy_uj : float;
+}
+
+let build ~(view : Tut_profile.View.t) ~busy ~duration_ns =
+  let rows =
+    List.map
+      (fun (pe : Tut_profile.View.pe_instance) ->
+        let busy_ns =
+          Option.value ~default:0L (List.assoc_opt pe.Tut_profile.View.part busy)
+        in
+        let utilisation =
+          if duration_ns = 0L then 0.0
+          else Int64.to_float busy_ns /. Int64.to_float duration_ns
+        in
+        let power_mw = pe.Tut_profile.View.power in
+        (* mW * ns = pJ; /1e6 -> uJ. *)
+        let energy_uj =
+          Option.map (fun p -> p *. Int64.to_float busy_ns /. 1e6) power_mw
+        in
+        {
+          pe = pe.Tut_profile.View.part;
+          component = pe.Tut_profile.View.component;
+          utilisation;
+          busy_ns;
+          area_mm2 = pe.Tut_profile.View.area;
+          power_mw;
+          energy_uj;
+        })
+      view.Tut_profile.View.pes
+  in
+  let total_area_mm2 =
+    List.fold_left
+      (fun acc row -> acc +. Option.value ~default:0.0 row.area_mm2)
+      0.0 rows
+  in
+  let total_energy_uj =
+    List.fold_left
+      (fun acc row -> acc +. Option.value ~default:0.0 row.energy_uj)
+      0.0 rows
+  in
+  { duration_ns; rows; total_area_mm2; total_energy_uj }
+
+let render t =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "Platform report (%.1f ms simulated)"
+    (Int64.to_float t.duration_ns /. 1e6);
+  line "  %-14s %-16s %10s %12s %10s %10s" "instance" "component" "util"
+    "busy(ms)" "area(mm2)" "energy(uJ)";
+  List.iter
+    (fun row ->
+      let opt fmt_float = function
+        | Some v -> Printf.sprintf fmt_float v
+        | None -> "-"
+      in
+      line "  %-14s %-16s %9.1f%% %12.3f %10s %10s" row.pe row.component
+        (100.0 *. row.utilisation)
+        (Int64.to_float row.busy_ns /. 1e6)
+        (opt "%.1f" row.area_mm2)
+        (opt "%.2f" row.energy_uj))
+    t.rows;
+  line "  total area %.1f mm2, total active energy %.2f uJ" t.total_area_mm2
+    t.total_energy_uj;
+  Buffer.contents buf

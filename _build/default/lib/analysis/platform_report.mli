@@ -1,0 +1,37 @@
+(** Platform-level cost report: utilisation, area, power and energy.
+
+    Table 3 parameterises platform components with Area and Power; the
+    paper uses the parameterised models "to perform a high-level
+    hardware/software co-simulation".  This report combines those static
+    parameters with measured busy times from a simulation run:
+
+    - utilisation = PE busy time / simulated time,
+    - energy      = Power (mW) x busy time (active energy, idle power
+      excluded — a documented simplification),
+    - area        = sum of component areas over instantiated components.  *)
+
+type pe_row = {
+  pe : string;
+  component : string;
+  utilisation : float;
+  busy_ns : int64;
+  area_mm2 : float option;
+  power_mw : float option;
+  energy_uj : float option;
+}
+
+type t = {
+  duration_ns : int64;
+  rows : pe_row list;
+  total_area_mm2 : float;
+  total_energy_uj : float;
+}
+
+val build :
+  view:Tut_profile.View.t ->
+  busy:(string * int64) list ->
+  duration_ns:int64 ->
+  t
+(** [busy] is [Codegen.Runtime.pe_busy_ns]'s output. *)
+
+val render : t -> string

@@ -1,0 +1,167 @@
+type task = {
+  task : string;
+  period_ns : int64;
+  wcet_ns : int64;
+  deadline_ns : int64;
+  priority : int;
+}
+
+type result = {
+  task : task;
+  response_ns : int64 option;
+}
+
+let ceil_div a b = Int64.div (Int64.add a (Int64.sub b 1L)) b
+
+(* Fixed-point iteration for one task against its interference set. *)
+let response_time task higher =
+  let rec iterate r =
+    let interference =
+      List.fold_left
+        (fun acc h ->
+          Int64.add acc (Int64.mul (ceil_div r h.period_ns) h.wcet_ns))
+        0L higher
+    in
+    let r' = Int64.add task.wcet_ns interference in
+    if r' = r then Some r
+    else if r' > task.deadline_ns then None
+    else iterate r'
+  in
+  if task.wcet_ns > task.deadline_ns then None else iterate task.wcet_ns
+
+let response_times tasks =
+  List.map
+    (fun task ->
+      let higher =
+        List.filter
+          (fun other -> other != task && other.priority >= task.priority)
+          tasks
+      in
+      { task; response_ns = response_time task higher })
+    tasks
+
+let schedulable tasks =
+  List.for_all (fun r -> r.response_ns <> None) (response_times tasks)
+
+let utilisation tasks =
+  List.fold_left
+    (fun acc t -> acc +. (Int64.to_float t.wcet_ns /. Int64.to_float t.period_ns))
+    0.0 tasks
+
+(* Worst-case computation of a statement list: conditionals cost the
+   heavier branch, loops are approximated by a single iteration (the
+   model's loops are bounded data walks; a safe bound would need loop
+   annotations the profile does not define — documented approximation). *)
+let rec stmt_cycles (stmt : Efsm.Action.stmt) =
+  match stmt with
+  | Compute (Int n) -> Int64.of_int n
+  | Compute _ -> 0L (* data-dependent compute: not statically boundable *)
+  | Assign _ | Send _ -> 0L
+  | If (_, then_, else_) -> max (block_cycles then_) (block_cycles else_)
+  | While (_, body) -> block_cycles body
+
+and block_cycles stmts =
+  List.fold_left (fun acc s -> Int64.add acc (stmt_cycles s)) 0L stmts
+
+let wcet_of_machine ~overhead_cycles machine =
+  let worst =
+    List.fold_left
+      (fun acc (tr : Efsm.Machine.transition) ->
+        max acc (block_cycles tr.Efsm.Machine.actions))
+      0L machine.Efsm.Machine.transitions
+  in
+  Int64.add worst (Int64.of_int overhead_cycles)
+
+let machine_period machine =
+  let periods =
+    List.filter_map
+      (fun (tr : Efsm.Machine.transition) ->
+        match tr.Efsm.Machine.trigger with
+        | Efsm.Machine.After delay -> Some delay
+        | Efsm.Machine.On_signal _ | Efsm.Machine.Completion -> None)
+      machine.Efsm.Machine.transitions
+  in
+  match List.sort compare periods with
+  | [] -> None
+  | shortest :: _ -> Some (Int64.of_int shortest)
+
+type pe_analysis = {
+  pe : string;
+  tasks : task list;
+  results : result list;
+  total_utilisation : float;
+  all_schedulable : bool;
+}
+
+let cycles_to_ns (pe : Codegen.Ir.pe_decl) cycles =
+  let effective_cycles =
+    Int64.of_float (Int64.to_float cycles /. pe.Codegen.Ir.perf_factor)
+  in
+  let mhz = Int64.of_int pe.Codegen.Ir.frequency_mhz in
+  ceil_div (Int64.mul (max 1L effective_cycles) 1000L) mhz
+
+let of_system (sys : Codegen.Ir.system) =
+  List.filter_map
+    (fun (pe : Codegen.Ir.pe_decl) ->
+      let tasks =
+        List.filter_map
+          (fun (p : Codegen.Ir.proc_decl) ->
+            if p.Codegen.Ir.pe <> Some pe.Codegen.Ir.pe_name then None
+            else
+              match machine_period p.Codegen.Ir.machine with
+              | None -> None
+              | Some period_ns ->
+                let wcet_cycles =
+                  wcet_of_machine
+                    ~overhead_cycles:sys.Codegen.Ir.dispatch_overhead_cycles
+                    p.Codegen.Ir.machine
+                in
+                let wcet_ns = cycles_to_ns pe wcet_cycles in
+                Some
+                  {
+                    task = p.Codegen.Ir.proc_name;
+                    period_ns;
+                    wcet_ns;
+                    deadline_ns = period_ns;
+                    priority = p.Codegen.Ir.priority;
+                  })
+          sys.Codegen.Ir.procs
+      in
+      if tasks = [] then None
+      else
+        let results = response_times tasks in
+        Some
+          {
+            pe = pe.Codegen.Ir.pe_name;
+            tasks;
+            results;
+            total_utilisation = utilisation tasks;
+            all_schedulable = List.for_all (fun r -> r.response_ns <> None) results;
+          })
+    sys.Codegen.Ir.pes
+
+let render analyses =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "Response-time analysis (fixed-priority preemptive)";
+  List.iter
+    (fun a ->
+      line "";
+      line "PE %s: periodic utilisation %.4f, %s" a.pe a.total_utilisation
+        (if a.all_schedulable then "schedulable" else "NOT schedulable");
+      List.iter
+        (fun r ->
+          match r.response_ns with
+          | Some response ->
+            line "  %-32s T=%8Ld us  C=%6Ld ns  prio %d  R=%8Ld ns"
+              r.task.task
+              (Int64.div r.task.period_ns 1000L)
+              r.task.wcet_ns r.task.priority response
+          | None ->
+            line "  %-32s T=%8Ld us  C=%6Ld ns  prio %d  MISSES DEADLINE"
+              r.task.task
+              (Int64.div r.task.period_ns 1000L)
+              r.task.wcet_ns r.task.priority)
+        a.results)
+    analyses;
+  Buffer.contents buf

@@ -1,0 +1,62 @@
+(** Response-time analysis for fixed-priority preemptive scheduling.
+
+    The paper's processes carry Priority and RealTimeType tagged values
+    and its future work puts an RTOS on the system processors; this
+    module closes that loop: classic RTA (Joseph & Pandya / Audsley) over
+    the periodic tasks of one processing element:
+
+    R_i = C_i + sum over higher-priority j of ceil(R_i / T_j) * C_j
+
+    iterated to a fixed point; a task set is schedulable when every
+    R_i <= D_i (deadline, default the period).
+
+    {!of_system} derives the task set from a lowered {!Codegen.Ir.system}:
+    every process with an [After] self-loop is a periodic task whose
+    worst-case execution time is the largest total computation of any
+    single transition of its machine (dispatch overhead included),
+    scaled to time by the PE's clock and performance factor. *)
+
+type task = {
+  task : string;
+  period_ns : int64;
+  wcet_ns : int64;
+  deadline_ns : int64;
+  priority : int;  (** larger = more urgent, as in the profile *)
+}
+
+type result = {
+  task : task;
+  response_ns : int64 option;  (** [None] = unschedulable (exceeds deadline) *)
+}
+
+val response_times : task list -> result list
+(** Analyse one PE's task set.  Tasks are independent; ties in priority
+    are broken pessimistically (both interfere with each other). *)
+
+val schedulable : task list -> bool
+
+val utilisation : task list -> float
+(** Classic U = sum C_i / T_i. *)
+
+val wcet_of_machine :
+  overhead_cycles:int -> Efsm.Machine.t -> int64
+(** Largest per-transition computation (sum of top-level [Compute]
+    actions, both branches of conditionals counted as max, loops counted
+    once per bound estimate of 1) plus the dispatch overhead, in
+    reference cycles. *)
+
+type pe_analysis = {
+  pe : string;
+  tasks : task list;
+  results : result list;
+  total_utilisation : float;
+  all_schedulable : bool;
+}
+
+val of_system : Codegen.Ir.system -> pe_analysis list
+(** One analysis per PE hosting at least one periodic process.
+    Aperiodic (purely reactive) processes are folded in as interference
+    only if they have a period; otherwise they are skipped — RTA needs
+    a minimum inter-arrival assumption the model does not state. *)
+
+val render : pe_analysis list -> string

@@ -1,0 +1,1 @@
+lib/codegen/c_emit.ml: Buffer Efsm Hashtbl Ir List Printf String

@@ -1,0 +1,1 @@
+lib/codegen/ir.ml: Efsm Format List Option Printf

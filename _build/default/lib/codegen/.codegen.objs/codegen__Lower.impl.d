@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Efsm Hashtbl Ir List Option Printf Queue Tut_profile Uml

@@ -1,0 +1,1 @@
+lib/codegen/lower.mli: Efsm Ir Tut_profile Uml

@@ -1,0 +1,1 @@
+lib/codegen/runtime.ml: Efsm Hashtbl Hibi Int64 Ir List Option Printf Queue Sim

@@ -1,0 +1,1 @@
+lib/codegen/runtime.mli: Efsm Hibi Ir Sim

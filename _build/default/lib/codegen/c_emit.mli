@@ -1,0 +1,23 @@
+(** C source emission.
+
+    The paper's flow compiles the generated application C code against
+    run-time libraries for the Nios targets; we cannot run that
+    cross-toolchain, but the emitter produces the same artefact shape so
+    the generate-inspect-compile workflow stays demonstrable: one
+    translation unit per processing element (switch-based state machines
+    plus a scheduler main loop), a shared header, and a signal-routing
+    table. *)
+
+val header : Ir.system -> string
+(** [tut_app.h]: signal ids, process ids, run-time library interface. *)
+
+val pe_source : Ir.system -> pe:string -> string
+(** [pe_<name>.c]: state machine functions and main loop for every
+    process mapped to [pe].  Raises [Invalid_argument] for an unknown
+    PE. *)
+
+val routing_table : Ir.system -> string
+(** [routing.c]: the static signal-routing table. *)
+
+val all_files : Ir.system -> (string * string) list
+(** [(filename, contents)] for the complete generated tree. *)

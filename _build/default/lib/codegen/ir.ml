@@ -1,0 +1,172 @@
+type scheduling = Fifo | Priority_preemptive
+
+type pe_decl = {
+  pe_name : string;
+  frequency_mhz : int;
+  perf_factor : float;
+  scheduling : scheduling;
+}
+
+type arbitration = Priority | Round_robin
+
+type segment_decl = {
+  seg_name : string;
+  data_width_bits : int;
+  seg_frequency_mhz : int;
+  arbitration : arbitration;
+  max_send_size : int;
+}
+
+type wrapper_decl =
+  | Agent_wrapper of {
+      name : string;
+      agent : string;
+      address : int;
+      segment : string;
+      buffer_size : int;
+      max_time : int;
+      bus_priority : int;
+    }
+  | Bridge_wrapper of {
+      name : string;
+      address : int;
+      segments : string * string;
+      buffer_size : int;
+      max_time : int;
+      bus_priority : int;
+    }
+
+type proc_decl = {
+  proc_name : string;
+  machine : Efsm.Machine.t;
+  priority : int;
+  pe : string option;
+  group : string option;
+}
+
+type binding = {
+  b_src : string;
+  b_port : string;
+  b_signal : string;
+  b_dst : string;
+}
+
+type system = {
+  sys_name : string;
+  procs : proc_decl list;
+  bindings : binding list;
+  pes : pe_decl list;
+  segments : segment_decl list;
+  wrappers : wrapper_decl list;
+  signal_words : (string * int) list;
+  signal_params : (string * string list) list;
+  dispatch_overhead_cycles : int;
+}
+
+let find_proc sys name = List.find_opt (fun p -> p.proc_name = name) sys.procs
+let find_pe sys name = List.find_opt (fun pe -> pe.pe_name = name) sys.pes
+
+let signal_words sys signal =
+  Option.value ~default:1 (List.assoc_opt signal sys.signal_words)
+
+let signal_params sys signal =
+  Option.value ~default:[] (List.assoc_opt signal sys.signal_params)
+
+let destinations sys ~src ~port ~signal =
+  List.filter_map
+    (fun b ->
+      if b.b_src = src && b.b_port = port && b.b_signal = signal then
+        Some b.b_dst
+      else None)
+    sys.bindings
+
+let is_environment p = p.pe = None
+
+let rec duplicates seen = function
+  | [] -> []
+  | x :: rest ->
+    if List.mem x seen then x :: duplicates seen rest
+    else duplicates (x :: seen) rest
+
+let wrapper_name = function
+  | Agent_wrapper { name; _ } | Bridge_wrapper { name; _ } -> name
+
+let check sys =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  List.iter
+    (fun d -> problem "duplicate process %s" d)
+    (duplicates [] (List.map (fun p -> p.proc_name) sys.procs));
+  List.iter
+    (fun d -> problem "duplicate PE %s" d)
+    (duplicates [] (List.map (fun pe -> pe.pe_name) sys.pes));
+  List.iter
+    (fun d -> problem "duplicate segment %s" d)
+    (duplicates [] (List.map (fun s -> s.seg_name) sys.segments));
+  List.iter
+    (fun d -> problem "duplicate wrapper %s" d)
+    (duplicates [] (List.map wrapper_name sys.wrappers));
+  List.iter
+    (fun p ->
+      match p.pe with
+      | Some pe when find_pe sys pe = None ->
+        problem "process %s runs on unknown PE %s" p.proc_name pe
+      | Some _ | None -> ())
+    sys.procs;
+  List.iter
+    (fun b ->
+      if find_proc sys b.b_src = None then
+        problem "binding from unknown process %s" b.b_src;
+      if find_proc sys b.b_dst = None then
+        problem "binding to unknown process %s" b.b_dst)
+    sys.bindings;
+  let segment_exists name =
+    List.exists (fun s -> s.seg_name = name) sys.segments
+  in
+  List.iter
+    (fun w ->
+      match w with
+      | Agent_wrapper { agent; segment; name; _ } ->
+        if find_pe sys agent = None then
+          problem "wrapper %s attaches unknown PE %s" name agent;
+        if not (segment_exists segment) then
+          problem "wrapper %s uses unknown segment %s" name segment
+      | Bridge_wrapper { segments = (a, b); name; _ } ->
+        if not (segment_exists a) then
+          problem "bridge %s uses unknown segment %s" name a;
+        if not (segment_exists b) then
+          problem "bridge %s uses unknown segment %s" name b)
+    sys.wrappers;
+  List.rev !problems
+
+let pp fmt sys =
+  Format.fprintf fmt "@[<v>system %s@," sys.sys_name;
+  List.iter
+    (fun pe ->
+      Format.fprintf fmt "  pe %s @@ %d MHz (x%.2f, %s)@," pe.pe_name
+        pe.frequency_mhz pe.perf_factor
+        (match pe.scheduling with
+        | Fifo -> "fifo"
+        | Priority_preemptive -> "priority"))
+    sys.pes;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  segment %s %d-bit @@ %d MHz (%s)@," s.seg_name
+        s.data_width_bits s.seg_frequency_mhz
+        (match s.arbitration with
+        | Priority -> "priority"
+        | Round_robin -> "round-robin"))
+    sys.segments;
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "  proc %s on %s group %s prio %d@," p.proc_name
+        (Option.value ~default:"<env>" p.pe)
+        (Option.value ~default:"<env>" p.group)
+        p.priority)
+    sys.procs;
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "  route %s.%s!%s -> %s@," b.b_src b.b_port b.b_signal
+        b.b_dst)
+    sys.bindings;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,88 @@
+(** Process-network intermediate representation.
+
+    The paper generates C code from the UML model and links it against
+    run-time libraries; our equivalent lowers the model into this IR,
+    which both the C-source emitter ({!C_emit}) and the executable
+    co-simulation runtime ({!Runtime}) consume. *)
+
+type scheduling = Fifo | Priority_preemptive
+
+type pe_decl = {
+  pe_name : string;  (** platform component instance (part) name *)
+  frequency_mhz : int;
+  perf_factor : float;
+  scheduling : scheduling;
+}
+
+type arbitration = Priority | Round_robin
+
+type segment_decl = {
+  seg_name : string;
+  data_width_bits : int;
+  seg_frequency_mhz : int;
+  arbitration : arbitration;
+  max_send_size : int;
+}
+
+type wrapper_decl =
+  | Agent_wrapper of {
+      name : string;
+      agent : string;  (** PE name *)
+      address : int;
+      segment : string;
+      buffer_size : int;
+      max_time : int;
+      bus_priority : int;
+    }
+  | Bridge_wrapper of {
+      name : string;
+      address : int;
+      segments : string * string;
+      buffer_size : int;
+      max_time : int;
+      bus_priority : int;
+    }
+
+type proc_decl = {
+  proc_name : string;  (** hierarchical instance path, e.g. [top.dp.frag] *)
+  machine : Efsm.Machine.t;
+  priority : int;
+  pe : string option;  (** [None] for environment processes *)
+  group : string option;  (** [None] for environment processes *)
+}
+
+type binding = {
+  b_src : string;  (** sending process *)
+  b_port : string;
+  b_signal : string;
+  b_dst : string;  (** receiving process *)
+}
+
+type system = {
+  sys_name : string;
+  procs : proc_decl list;
+  bindings : binding list;
+  pes : pe_decl list;
+  segments : segment_decl list;
+  wrappers : wrapper_decl list;
+  signal_words : (string * int) list;  (** payload size per signal *)
+  signal_params : (string * string list) list;
+      (** declared parameter names per signal, positionally *)
+  dispatch_overhead_cycles : int;
+      (** fixed cycles charged per handled signal (run-time library
+          queue management) *)
+}
+
+val find_proc : system -> string -> proc_decl option
+val find_pe : system -> string -> pe_decl option
+val signal_words : system -> string -> int
+val signal_params : system -> string -> string list
+val destinations : system -> src:string -> port:string -> signal:string -> string list
+val is_environment : proc_decl -> bool
+
+val check : system -> string list
+(** Structural sanity: process PEs exist, binding endpoints exist,
+    wrapper segments/agents exist, names unique.  Empty = consistent. *)
+
+val pp : Format.formatter -> system -> unit
+(** Human-readable dump (deterministic). *)

@@ -1,0 +1,369 @@
+type env_proc = {
+  name : string;
+  machine : Efsm.Machine.t;
+  ports : Uml.Port.t list;
+  attachments : (string * string) list;
+}
+
+type instance = {
+  path : string;
+  cls : Uml.Classifier.t option;  (** [None] for environment processes *)
+  env : env_proc option;
+  owner_class : string option;  (** class owning the part, for stereotypes *)
+  part_name : string option;
+}
+
+let lower ?(dispatch_overhead_cycles = 20) ?(scheduling = Ir.Priority_preemptive)
+    ?(environment = []) (view : Tut_profile.View.t) =
+  let errors = ref [] in
+  let error fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let model = view.Tut_profile.View.model in
+
+  (* -- instantiate the application hierarchy ------------------------- *)
+  let instances : (string, instance) Hashtbl.t = Hashtbl.create 64 in
+  let edges : (string * string, (string * string) list) Hashtbl.t =
+    Hashtbl.create 128
+  in
+  let add_edge a b =
+    let add x y =
+      let current = Option.value ~default:[] (Hashtbl.find_opt edges x) in
+      if not (List.mem y current) then Hashtbl.replace edges x (y :: current)
+    in
+    add a b;
+    add b a
+  in
+  let rec instantiate path owner_class part_name (cls : Uml.Classifier.t) =
+    Hashtbl.replace instances path
+      { path; cls = Some cls; env = None; owner_class; part_name };
+    let key_of (ep : Uml.Connector.endpoint) =
+      match ep.Uml.Connector.part with
+      | None -> (path, ep.Uml.Connector.port)
+      | Some part -> (path ^ "." ^ part, ep.Uml.Connector.port)
+    in
+    List.iter
+      (fun (c : Uml.Connector.t) ->
+        add_edge (key_of c.Uml.Connector.from_) (key_of c.Uml.Connector.to_))
+      cls.Uml.Classifier.connectors;
+    List.iter
+      (fun (p : Uml.Classifier.part) ->
+        match Uml.Model.find_class model p.Uml.Classifier.class_name with
+        | None ->
+          error "part %s.%s has unresolved class %s" path p.Uml.Classifier.name
+            p.Uml.Classifier.class_name
+        | Some part_cls ->
+          instantiate
+            (path ^ "." ^ p.Uml.Classifier.name)
+            (Some cls.Uml.Classifier.name)
+            (Some p.Uml.Classifier.name)
+            part_cls)
+      cls.Uml.Classifier.parts
+  in
+  let root_path =
+    match view.Tut_profile.View.application_classes with
+    | [ root ] -> (
+      match Uml.Model.find_class model root with
+      | Some cls ->
+        instantiate root None None cls;
+        Some root
+      | None ->
+        error "application class %s not found" root;
+        None)
+    | [] ->
+      error "model has no <<Application>> class";
+      None
+    | _ :: _ :: _ ->
+      error "model has more than one <<Application>> class";
+      None
+  in
+
+  (* -- environment processes ---------------------------------------- *)
+  List.iter
+    (fun env ->
+      Hashtbl.replace instances env.name
+        {
+          path = env.name;
+          cls = None;
+          env = Some env;
+          owner_class = None;
+          part_name = None;
+        };
+      match root_path with
+      | None -> ()
+      | Some root ->
+        List.iter
+          (fun (env_port, boundary_port) ->
+            add_edge (env.name, env_port) (root, boundary_port))
+          env.attachments)
+    environment;
+
+  let instance_machine inst =
+    match inst.cls, inst.env with
+    | Some cls, _ -> cls.Uml.Classifier.behavior
+    | None, Some env -> Some env.machine
+    | None, None -> None
+  in
+  let instance_ports inst =
+    match inst.cls, inst.env with
+    | Some cls, _ -> cls.Uml.Classifier.ports
+    | None, Some env -> env.ports
+    | None, None -> []
+  in
+  let is_process inst = instance_machine inst <> None in
+
+  (* -- resolve signal routes ----------------------------------------- *)
+  let receives inst signal port_name =
+    match
+      List.find_opt
+        (fun (p : Uml.Port.t) -> p.Uml.Port.name = port_name)
+        (instance_ports inst)
+    with
+    | Some port -> Uml.Port.can_receive port signal
+    | None -> false
+  in
+  let targets ~src_path ~port ~signal =
+    let visited = Hashtbl.create 16 in
+    let found = ref [] in
+    let queue = Queue.create () in
+    let push key =
+      if not (Hashtbl.mem visited key) then begin
+        Hashtbl.replace visited key ();
+        Queue.push key queue
+      end
+    in
+    push (src_path, port);
+    while not (Queue.is_empty queue) do
+      let ((path, port_name) as key) = Queue.pop queue in
+      let inst = Hashtbl.find_opt instances path in
+      let is_dest =
+        match inst with
+        | Some inst ->
+          path <> src_path && is_process inst && receives inst signal port_name
+        | None -> false
+      in
+      if is_dest then found := path :: !found
+      else
+        (* Pass through structural boundary ports and fan out along
+           connectors; process ports that do not receive the signal are
+           dead ends, but the source's own port must still expand. *)
+        let expand =
+          match inst with
+          | Some inst -> (not (is_process inst)) || path = src_path
+          | None -> true
+        in
+        if expand then
+          List.iter push (Option.value ~default:[] (Hashtbl.find_opt edges key))
+    done;
+    List.sort_uniq compare !found
+  in
+
+  let process_instances =
+    Hashtbl.fold (fun _ inst acc -> if is_process inst then inst :: acc else acc)
+      instances []
+    |> List.sort (fun a b -> compare a.path b.path)
+  in
+
+  let bindings =
+    List.concat_map
+      (fun inst ->
+        match instance_machine inst with
+        | None -> []
+        | Some machine ->
+          List.concat_map
+            (fun (port, signal) ->
+              match targets ~src_path:inst.path ~port ~signal with
+              | [] ->
+                error "signal %s sent from %s.%s has no receiver" signal
+                  inst.path port;
+                []
+              | dests ->
+                List.map
+                  (fun dst ->
+                    {
+                      Ir.b_src = inst.path;
+                      Ir.b_port = port;
+                      Ir.b_signal = signal;
+                      Ir.b_dst = dst;
+                    })
+                  dests)
+            (Efsm.Machine.signals_sent machine))
+      process_instances
+  in
+
+  (* -- map processes to groups and PEs -------------------------------- *)
+  let view_process inst =
+    match inst.owner_class, inst.part_name with
+    | Some owner, Some part ->
+      Tut_profile.View.find_process view
+        (Uml.Element.Part_ref { class_name = owner; part })
+    | _, _ -> None
+  in
+  let procs =
+    List.filter_map
+      (fun inst ->
+        match instance_machine inst with
+        | None -> None
+        | Some machine ->
+          if inst.env <> None then
+            Some
+              {
+                Ir.proc_name = inst.path;
+                Ir.machine = machine;
+                Ir.priority = 0;
+                Ir.pe = None;
+                Ir.group = None;
+              }
+          else (
+            match view_process inst with
+            | None ->
+              error "process instance %s carries no <<ApplicationProcess>>"
+                inst.path;
+              None
+            | Some p ->
+              let group =
+                Tut_profile.View.group_of_process view p.Tut_profile.View.ref_
+              in
+              let pe =
+                Tut_profile.View.pe_of_process view p.Tut_profile.View.ref_
+              in
+              (match group, pe with
+              | Some _, Some _ -> ()
+              | None, _ -> error "process %s is not grouped" inst.path
+              | Some _, None -> error "process %s's group is not mapped" inst.path);
+              Some
+                {
+                  Ir.proc_name = inst.path;
+                  Ir.machine = machine;
+                  Ir.priority = p.Tut_profile.View.priority;
+                  Ir.pe =
+                    Option.map (fun (x : Tut_profile.View.pe_instance) ->
+                        x.Tut_profile.View.part) pe;
+                  Ir.group =
+                    Option.map (fun (g : Tut_profile.View.group) ->
+                        g.Tut_profile.View.part) group;
+                }))
+      process_instances
+  in
+
+  (* -- platform ------------------------------------------------------- *)
+  let pes =
+    List.map
+      (fun (pe : Tut_profile.View.pe_instance) ->
+        {
+          Ir.pe_name = pe.Tut_profile.View.part;
+          Ir.frequency_mhz = pe.Tut_profile.View.frequency_mhz;
+          Ir.perf_factor = pe.Tut_profile.View.perf_factor;
+          Ir.scheduling = scheduling;
+        })
+      view.Tut_profile.View.pes
+  in
+  let segments =
+    List.map
+      (fun (s : Tut_profile.View.segment) ->
+        {
+          Ir.seg_name = s.Tut_profile.View.part;
+          Ir.data_width_bits = s.Tut_profile.View.data_width_bits;
+          Ir.seg_frequency_mhz = s.Tut_profile.View.frequency_mhz;
+          Ir.arbitration =
+            (match s.Tut_profile.View.arbitration with
+            | Tut_profile.View.Arb_priority -> Ir.Priority
+            | Tut_profile.View.Arb_round_robin -> Ir.Round_robin);
+          Ir.max_send_size =
+            Option.value ~default:16 s.Tut_profile.View.max_send_size;
+        })
+      view.Tut_profile.View.segments
+  in
+  let wrappers =
+    List.filter_map
+      (fun (w : Tut_profile.View.wrapper) ->
+        match w.Tut_profile.View.pe_part, w.Tut_profile.View.segment_parts with
+        | Some pe, [ segment ] ->
+          Some
+            (Ir.Agent_wrapper
+               {
+                 name = w.Tut_profile.View.connector;
+                 agent = pe;
+                 address = w.Tut_profile.View.address;
+                 segment;
+                 buffer_size = w.Tut_profile.View.buffer_size;
+                 max_time = w.Tut_profile.View.max_time;
+                 bus_priority = w.Tut_profile.View.bus_priority;
+               })
+        | None, [ a; b ] ->
+          Some
+            (Ir.Bridge_wrapper
+               {
+                 name = w.Tut_profile.View.connector;
+                 address = w.Tut_profile.View.address;
+                 segments = (a, b);
+                 buffer_size = w.Tut_profile.View.buffer_size;
+                 max_time = w.Tut_profile.View.max_time;
+                 bus_priority = w.Tut_profile.View.bus_priority;
+               })
+        | _, _ ->
+          error "wrapper %s has unsupported endpoint shape"
+            w.Tut_profile.View.connector;
+          None)
+      view.Tut_profile.View.wrappers
+  in
+  let signal_words =
+    List.map
+      (fun (s : Uml.Signal.t) ->
+        let payload_words = (s.Uml.Signal.payload_bytes + 3) / 4 in
+        (s.Uml.Signal.name, max 1 (payload_words + List.length s.Uml.Signal.params)))
+      model.Uml.Model.signals
+  in
+  let signal_params =
+    List.map
+      (fun (s : Uml.Signal.t) ->
+        (s.Uml.Signal.name, List.map fst s.Uml.Signal.params))
+      model.Uml.Model.signals
+  in
+  match List.rev !errors with
+  | [] ->
+    let sys =
+      {
+        Ir.sys_name = model.Uml.Model.name;
+        Ir.procs = procs;
+        Ir.bindings = bindings;
+        Ir.pes = pes;
+        Ir.segments = segments;
+        Ir.wrappers = wrappers;
+        Ir.signal_words;
+        Ir.signal_params;
+        Ir.dispatch_overhead_cycles;
+      }
+    in
+    (match Ir.check sys with
+    | [] -> Ok sys
+    | problems -> Error problems)
+  | errors -> Error errors
+
+let process_instances (view : Tut_profile.View.t) =
+  let model = view.Tut_profile.View.model in
+  let acc = ref [] in
+  let rec walk path (cls : Uml.Classifier.t) =
+    List.iter
+      (fun (p : Uml.Classifier.part) ->
+        match Uml.Model.find_class model p.Uml.Classifier.class_name with
+        | None -> ()
+        | Some part_cls ->
+          let child = path ^ "." ^ p.Uml.Classifier.name in
+          if Uml.Classifier.is_active part_cls then
+            acc :=
+              ( child,
+                Uml.Element.Part_ref
+                  {
+                    class_name = cls.Uml.Classifier.name;
+                    part = p.Uml.Classifier.name;
+                  } )
+              :: !acc
+          else walk child part_cls)
+      cls.Uml.Classifier.parts
+  in
+  (match view.Tut_profile.View.application_classes with
+  | [ root ] -> (
+    match Uml.Model.find_class model root with
+    | Some cls -> walk root cls
+    | None -> ())
+  | [] | _ :: _ :: _ -> ());
+  List.sort compare !acc

@@ -1,0 +1,38 @@
+(** Lowering: validated UML model + TUT-Profile annotations -> {!Ir.system}.
+
+    This is the "automatic code generation" stage of Figure 2.  The
+    composite-structure hierarchy is flattened: every part typed by an
+    active class becomes a process instance with a hierarchical name
+    (e.g. [Tutmac_Protocol.dp.frag]); connector chains — including chains
+    through the boundary ports of structural components — are resolved to
+    direct process-to-process signal routes.
+
+    Environment processes model the world outside the top-level class
+    (the user and the radio in the TUTMAC case): they attach to the
+    application's boundary ports and are excluded from the application
+    cycle accounting, like the "Environment" row of the paper's Table 4. *)
+
+type env_proc = {
+  name : string;
+  machine : Efsm.Machine.t;
+  ports : Uml.Port.t list;
+  attachments : (string * string) list;
+      (** [(env_port, application_boundary_port)] pairs *)
+}
+
+val lower :
+  ?dispatch_overhead_cycles:int ->
+  ?scheduling:Ir.scheduling ->
+  ?environment:env_proc list ->
+  Tut_profile.View.t ->
+  (Ir.system, string list) result
+(** Errors describe unroutable signals, missing grouping/mapping, or a
+    missing/ambiguous top-level application class.  Defaults: 20
+    overhead cycles, priority-preemptive scheduling, no environment. *)
+
+val process_instances :
+  Tut_profile.View.t -> (string * Uml.Element.ref_) list
+(** Flatten only the instance tree: every active-class part instance as
+    [(hierarchical path, part reference)].  This is the subset of
+    lowering the profiling tool's model-parsing stage needs — it works
+    on models whose signals are not (yet) routable. *)

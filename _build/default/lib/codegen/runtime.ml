@@ -1,0 +1,364 @@
+type pending = {
+  p_signal : string;
+  p_args : (string * Efsm.Action.value) list;
+  p_enqueued_at : int64;
+}
+
+type queue_stats = {
+  mutable handled : int;
+  mutable total_wait_ns : int64;
+  mutable max_wait_ns : int64;
+}
+
+type proc_rt = {
+  decl : Ir.proc_decl;
+  interp : Efsm.Interp.t;
+  queue : pending Queue.t;
+  mutable busy : bool;
+  mutable timer : Sim.Engine.handle option;
+  stats : queue_stats;
+}
+
+type t = {
+  sys : Ir.system;
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  network : Hibi.Network.t;
+  rtos : (string, Sim.Rtos.t) Hashtbl.t;  (** PE name -> scheduler *)
+  env_rtos : Sim.Rtos.t;
+  procs : (string, proc_rt) Hashtbl.t;
+  mutable errors : string list;
+}
+
+(* Timer expiries are queued like signals so a busy process finishes its
+   current event first; the marker never collides with model signals. *)
+let timeout_signal = "__timeout__"
+
+let engine t = t.engine
+let trace t = t.trace
+let system t = t.sys
+let runtime_errors t = List.rev t.errors
+
+let rtos_of t (proc : proc_rt) =
+  match proc.decl.Ir.pe with
+  | None -> t.env_rtos
+  | Some pe -> (
+    match Hashtbl.find_opt t.rtos pe with
+    | Some r -> r
+    | None -> t.env_rtos)
+
+let is_env (proc : proc_rt) = proc.decl.Ir.pe = None
+
+let record_exec t proc cycles =
+  if not (is_env proc) then
+    Sim.Trace.record t.trace
+      (Sim.Trace.Exec
+         {
+           time = Sim.Engine.now t.engine;
+           process = proc.decl.Ir.proc_name;
+           cycles;
+         })
+
+let same_pe _t a b =
+  match a.decl.Ir.pe, b.decl.Ir.pe with
+  | Some x, Some y -> x = y
+  | None, _ | _, None -> true
+  (* environment delivery is local: the env agent sits conceptually next
+     to whatever boundary hardware it stimulates *)
+
+let local_delivery_ns = 100L
+
+let rec pump t proc =
+  if (not proc.busy) && not (Queue.is_empty proc.queue) then begin
+    let event = Queue.pop proc.queue in
+    let wait = Int64.sub (Sim.Engine.now t.engine) event.p_enqueued_at in
+    proc.stats.handled <- proc.stats.handled + 1;
+    proc.stats.total_wait_ns <- Int64.add proc.stats.total_wait_ns wait;
+    if wait > proc.stats.max_wait_ns then proc.stats.max_wait_ns <- wait;
+    proc.busy <- true;
+    let before_state = Efsm.Interp.state proc.interp in
+    let step =
+      if event.p_signal = timeout_signal then
+        Efsm.Interp.fire_timer proc.interp ~entered_state:before_state
+      else
+        Efsm.Interp.dispatch proc.interp ~signal:event.p_signal
+          ~args:event.p_args
+    in
+    match step.Efsm.Interp.fired with
+    | None ->
+      if event.p_signal <> timeout_signal && not (is_env proc) then
+        Sim.Trace.record t.trace
+          (Sim.Trace.Discard
+             {
+               time = Sim.Engine.now t.engine;
+               process = proc.decl.Ir.proc_name;
+               signal = event.p_signal;
+             });
+      proc.busy <- false;
+      pump t proc
+    | Some _ ->
+      let after_state = Efsm.Interp.state proc.interp in
+      if not (is_env proc) then
+        Sim.Trace.record t.trace
+          (Sim.Trace.State_change
+             {
+               time = Sim.Engine.now t.engine;
+               process = proc.decl.Ir.proc_name;
+               from_ = before_state;
+               to_ = after_state;
+             });
+      let overhead = Int64.of_int t.sys.Ir.dispatch_overhead_cycles in
+      let effects =
+        Efsm.Action.Eff_compute (Int64.to_int overhead) :: step.Efsm.Interp.effects
+      in
+      run_effects t proc effects (fun () ->
+          proc.busy <- false;
+          arm_timer t proc;
+          pump t proc)
+  end
+
+and run_effects t proc effects k =
+  match effects with
+  | [] -> k ()
+  | Efsm.Action.Eff_compute cycles :: rest ->
+    let cycles64 = Int64.of_int cycles in
+    Sim.Rtos.submit (rtos_of t proc) ~task:proc.decl.Ir.proc_name
+      ~priority:proc.decl.Ir.priority ~cycles:cycles64 (fun () ->
+        record_exec t proc cycles64;
+        run_effects t proc rest k)
+  | Efsm.Action.Eff_send { port; signal; args } :: rest ->
+    send t proc ~port ~signal ~args;
+    run_effects t proc rest k
+
+and send t proc ~port ~signal ~args =
+  let dests =
+    Ir.destinations t.sys ~src:proc.decl.Ir.proc_name ~port ~signal
+  in
+  if dests = [] then
+    t.errors <-
+      Printf.sprintf "no binding for %s.%s!%s" proc.decl.Ir.proc_name port signal
+      :: t.errors;
+  let words = Ir.signal_words t.sys signal in
+  (* Positional send arguments become the named trigger parameters the
+     receiving machine declared for this signal. *)
+  let param_names = Ir.signal_params t.sys signal in
+  let named_args =
+    List.mapi
+      (fun i value ->
+        match List.nth_opt param_names i with
+        | Some name -> (name, value)
+        | None -> (Printf.sprintf "arg%d" i, value))
+      args
+  in
+  (* The first (non-negative) integer argument is recorded as the
+     correlation tag — for TUTMAC that is the MSDU/PDU sequence number,
+     which lets the profiler compute end-to-end latencies. *)
+  let tag =
+    match args with
+    | Efsm.Action.V_int n :: _ when n >= 0 -> n
+    | _ -> -1
+  in
+  List.iter
+    (fun dst_name ->
+      match Hashtbl.find_opt t.procs dst_name with
+      | None ->
+        t.errors <- Printf.sprintf "unknown destination %s" dst_name :: t.errors
+      | Some dst ->
+        Sim.Trace.record t.trace
+          (Sim.Trace.Signal
+             {
+               time = Sim.Engine.now t.engine;
+               sender = proc.decl.Ir.proc_name;
+               receiver = dst_name;
+               signal;
+               words;
+               tag;
+             });
+        let deliver () =
+          Queue.push
+            {
+              p_signal = signal;
+              p_args = named_args;
+              p_enqueued_at = Sim.Engine.now t.engine;
+            }
+            dst.queue;
+          pump t dst
+        in
+        if same_pe t proc dst then
+          ignore (Sim.Engine.schedule t.engine ~delay:local_delivery_ns deliver)
+        else begin
+          let src_pe = Option.get proc.decl.Ir.pe in
+          let dst_pe = Option.get dst.decl.Ir.pe in
+          match
+            Hibi.Network.send t.network ~src:src_pe ~dst:dst_pe ~words
+              ~on_delivered:deliver
+          with
+          | Ok () -> ()
+          | Error e ->
+            t.errors <- Printf.sprintf "hibi: %s" e :: t.errors;
+            (* Fall back to local delivery so the simulation continues. *)
+            ignore (Sim.Engine.schedule t.engine ~delay:local_delivery_ns deliver)
+        end)
+    dests
+
+and arm_timer t proc =
+  (* One outstanding timer per process: firing a transition re-enters a
+     state, which restarts its After timer (UML state-entry semantics). *)
+  (match proc.timer with
+  | Some handle -> Sim.Engine.cancel handle
+  | None -> ());
+  proc.timer <- None;
+  match Efsm.Interp.timer_request proc.interp with
+  | None -> ()
+  | Some delay_ns ->
+    let armed_state = Efsm.Interp.state proc.interp in
+    let handle =
+      Sim.Engine.schedule t.engine ~delay:(Int64.of_int delay_ns) (fun () ->
+          proc.timer <- None;
+          (* Stale timers (state changed meanwhile) are discarded; only
+             deliver when still in the armed state. *)
+          if Efsm.Interp.state proc.interp = armed_state then begin
+            Queue.push
+              {
+                p_signal = timeout_signal;
+                p_args = [];
+                p_enqueued_at = Sim.Engine.now t.engine;
+              }
+              proc.queue;
+            pump t proc
+          end)
+    in
+    proc.timer <- Some handle
+
+let create ?trace:(trace_store = Sim.Trace.create ()) sys =
+  match Ir.check sys with
+  | _ :: _ as problems -> Error problems
+  | [] ->
+    let engine = Sim.Engine.create () in
+    let network = Hibi.Network.create engine in
+    List.iter
+      (fun (s : Ir.segment_decl) ->
+        Hibi.Network.add_segment network ~name:s.Ir.seg_name
+          ~data_width_bits:s.Ir.data_width_bits
+          ~frequency_mhz:s.Ir.seg_frequency_mhz
+          ~arbitration:
+            (match s.Ir.arbitration with
+            | Ir.Priority -> Hibi.Network.Priority
+            | Ir.Round_robin -> Hibi.Network.Round_robin)
+          ~max_send_size:s.Ir.max_send_size ())
+      sys.Ir.segments;
+    List.iter
+      (fun w ->
+        match w with
+        | Ir.Agent_wrapper { name; agent; address; segment; buffer_size; max_time; bus_priority } ->
+          Hibi.Network.add_agent_wrapper network ~name ~agent ~address ~segment
+            ~buffer_size ~max_time ~bus_priority ()
+        | Ir.Bridge_wrapper { name; address; segments; buffer_size; max_time; bus_priority } ->
+          Hibi.Network.add_bridge_wrapper network ~name ~address ~segments
+            ~buffer_size ~max_time ~bus_priority ())
+      sys.Ir.wrappers;
+    let rtos = Hashtbl.create 8 in
+    List.iter
+      (fun (pe : Ir.pe_decl) ->
+        Hashtbl.replace rtos pe.Ir.pe_name
+          (Sim.Rtos.create ~engine ~name:pe.Ir.pe_name
+             ~policy:
+               (match pe.Ir.scheduling with
+               | Ir.Fifo -> Sim.Rtos.Fifo
+               | Ir.Priority_preemptive -> Sim.Rtos.Priority_preemptive)
+             ~frequency_mhz:pe.Ir.frequency_mhz ~perf_factor:pe.Ir.perf_factor
+             ()))
+      sys.Ir.pes;
+    let env_rtos =
+      Sim.Rtos.create ~engine ~name:"environment"
+        ~policy:Sim.Rtos.Fifo ~frequency_mhz:1_000_000 ()
+    in
+    let procs = Hashtbl.create 32 in
+    List.iter
+      (fun (decl : Ir.proc_decl) ->
+        Hashtbl.replace procs decl.Ir.proc_name
+          {
+            decl;
+            interp = Efsm.Interp.create decl.Ir.machine;
+            queue = Queue.create ();
+            busy = false;
+            timer = None;
+            stats = { handled = 0; total_wait_ns = 0L; max_wait_ns = 0L };
+          })
+      sys.Ir.procs;
+    Ok
+      {
+        sys;
+        engine;
+        trace = trace_store;
+        network;
+        rtos;
+        env_rtos;
+        procs;
+        errors = [];
+      }
+
+let start t =
+  Hashtbl.iter
+    (fun _ proc ->
+      let effects =
+        Efsm.Interp.initial_entry proc.interp
+        @ Efsm.Interp.run_completions proc.interp
+      in
+      if effects <> [] then begin
+        proc.busy <- true;
+        run_effects t proc effects (fun () ->
+            proc.busy <- false;
+            arm_timer t proc;
+            pump t proc)
+      end
+      else arm_timer t proc)
+    t.procs
+
+let run t ~until_ns = Sim.Engine.run ~until:until_ns t.engine
+
+let inject t ~dst ~signal ~args =
+  match Hashtbl.find_opt t.procs dst with
+  | None -> t.errors <- Printf.sprintf "inject: unknown process %s" dst :: t.errors
+  | Some proc ->
+    Queue.push
+      { p_signal = signal; p_args = args; p_enqueued_at = Sim.Engine.now t.engine }
+      proc.queue;
+    pump t proc
+
+let queue_latencies t =
+  Hashtbl.fold
+    (fun name proc acc ->
+      if proc.stats.handled = 0 then acc
+      else
+        let mean =
+          Int64.to_float proc.stats.total_wait_ns
+          /. float_of_int proc.stats.handled
+        in
+        (name, (proc.stats.handled, mean, proc.stats.max_wait_ns)) :: acc)
+    t.procs []
+  |> List.sort compare
+
+let process_state t name =
+  Option.map (fun p -> Efsm.Interp.state p.interp) (Hashtbl.find_opt t.procs name)
+
+let process_var t name var =
+  match Hashtbl.find_opt t.procs name with
+  | None -> None
+  | Some p -> Efsm.Interp.read_var p.interp var
+
+let pe_busy_ns t =
+  Hashtbl.fold (fun name r acc -> (name, Sim.Rtos.busy_ns r) :: acc) t.rtos []
+  |> List.sort compare
+
+let pe_executed_cycles t =
+  Hashtbl.fold
+    (fun name r acc -> (name, Sim.Rtos.executed_cycles r) :: acc)
+    t.rtos []
+  |> List.sort compare
+
+let segment_stats t =
+  List.map
+    (fun (s : Ir.segment_decl) ->
+      (s.Ir.seg_name, Hibi.Network.stats t.network ~segment:s.Ir.seg_name))
+    t.sys.Ir.segments

@@ -1,0 +1,51 @@
+(** Co-simulation runtime: executes an {!Ir.system} on the discrete-event
+    kernel, with one RTOS scheduler per processing element and signal
+    transport over the HIBI network.
+
+    This stands in for the paper's "executable application" running on
+    the FPGA platform (Figure 2, right column): computation effects are
+    charged to the mapped PE (scaled by frequency and performance
+    factor), inter-PE signals arbitrate for HIBI segments, and every
+    execution burst / signal / state change is recorded in the
+    simulation log ({!Sim.Trace}) for the profiling tool.
+
+    Environment processes run outside the platform on an ideal PE; their
+    execution is not logged (the paper's Table 4 reports the Environment
+    group with 0 cycles) but their signals are. *)
+
+type t
+
+val create : ?trace:Sim.Trace.t -> Ir.system -> (t, string list) result
+(** Builds PEs, the HIBI network and process instances; returns errors
+    from {!Ir.check} or inconsistent wrappers. *)
+
+val engine : t -> Sim.Engine.t
+val trace : t -> Sim.Trace.t
+val system : t -> Ir.system
+
+val start : t -> unit
+(** Run initial completion transitions and arm initial timers of every
+    process.  Call once before {!run}. *)
+
+val run : t -> until_ns:int64 -> int
+(** Advance simulated time; returns the number of events fired. *)
+
+val inject :
+  t -> dst:string -> signal:string -> args:(string * Efsm.Action.value) list -> unit
+(** Deliver an external signal to a process (test stimulus). *)
+
+val process_state : t -> string -> string option
+val process_var : t -> string -> string -> Efsm.Action.value option
+
+val pe_busy_ns : t -> (string * int64) list
+val pe_executed_cycles : t -> (string * int64) list
+val segment_stats : t -> (string * Hibi.Network.segment_stats) list
+val queue_latencies : t -> (string * (int * float * int64)) list
+(** Per process: [(events handled, mean queueing wait ns, max wait ns)] —
+    the time signal events spend in the input queue before the EFSM
+    dispatches them.  Scheduling policy changes these latencies even when
+    total work is identical. *)
+
+val runtime_errors : t -> string list
+(** Routing failures observed during execution (should stay empty for a
+    validated model). *)

@@ -1,0 +1,1 @@
+lib/core/builder.ml: List Printf Profile Rules Stereotypes Uml View

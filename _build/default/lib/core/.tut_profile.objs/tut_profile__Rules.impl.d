@@ -1,0 +1,1 @@
+lib/core/rules.ml: Format Hashtbl List Option Printf Profile Stereotypes String Uml View

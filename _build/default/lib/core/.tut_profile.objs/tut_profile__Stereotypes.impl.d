@@ -1,0 +1,1 @@
+lib/core/stereotypes.ml: Option Profile Stereotype Tag Uml

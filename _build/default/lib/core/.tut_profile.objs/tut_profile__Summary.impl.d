@@ -1,0 +1,1 @@
+lib/core/summary.ml: Buffer List Printf Profile Stereotypes String Uml

@@ -1,0 +1,1 @@
+lib/core/view.ml: List Option Profile Stereotypes String Uml

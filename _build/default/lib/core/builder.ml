@@ -1,0 +1,132 @@
+type t = { model : Uml.Model.t; apps : Profile.Apply.t }
+
+let create name = { model = Uml.Model.empty name; apps = Profile.Apply.empty }
+let model t = t.model
+let apps t = t.apps
+
+let tint name n = (name, Profile.Tag.V_int n)
+let tfloat name f = (name, Profile.Tag.V_float f)
+let tbool name b = (name, Profile.Tag.V_bool b)
+let tstr name s = (name, Profile.Tag.V_string s)
+let tenum name lit = (name, Profile.Tag.V_enum lit)
+
+let signal t s = { t with model = Uml.Model.add_signal t.model s }
+let plain_class t cls = { t with model = Uml.Model.add_class t.model cls }
+
+let package t ~name ~members =
+  { t with model = Uml.Model.add_package t.model ~name ~members }
+
+let stereotyped_class t ~stereotype ?(tags = []) cls =
+  let model = Uml.Model.add_class t.model cls in
+  let element = Uml.Element.Class_ref cls.Uml.Classifier.name in
+  let apps = Profile.Apply.apply t.apps ~stereotype ~element ~values:tags () in
+  { model; apps }
+
+let application_class ?tags t cls =
+  stereotyped_class t ~stereotype:Stereotypes.application ?tags cls
+
+let component_class ?tags t cls =
+  stereotyped_class t ~stereotype:Stereotypes.application_component ?tags cls
+
+let platform_class ?tags t cls =
+  stereotyped_class t ~stereotype:Stereotypes.platform ?tags cls
+
+let platform_component_class ?tags t cls =
+  stereotyped_class t ~stereotype:Stereotypes.platform_component ?tags cls
+
+let require_part t ~owner ~part =
+  match Uml.Model.find_class t.model owner with
+  | None -> invalid_arg (Printf.sprintf "Builder: unknown class %s" owner)
+  | Some cls ->
+    if Uml.Classifier.find_part cls part = None then
+      invalid_arg (Printf.sprintf "Builder: class %s has no part %s" owner part)
+
+let stereotype_part t ~stereotype ?(tags = []) ~owner ~part () =
+  require_part t ~owner ~part;
+  let element = Uml.Element.Part_ref { class_name = owner; part } in
+  let apps = Profile.Apply.apply t.apps ~stereotype ~element ~values:tags () in
+  { t with apps }
+
+let process ?tags t ~owner ~part =
+  stereotype_part t ~stereotype:Stereotypes.application_process ?tags ~owner
+    ~part ()
+
+let group ?(fixed = false) ?(process_type = Stereotypes.pt_general) t ~owner
+    ~part =
+  stereotype_part t ~stereotype:Stereotypes.process_group
+    ~tags:[ tbool "Fixed" fixed; tenum "ProcessType" process_type ]
+    ~owner ~part ()
+
+let pe_instance ?(tags = []) t ~owner ~part ~id =
+  stereotype_part t ~stereotype:Stereotypes.platform_component_instance
+    ~tags:(tint "ID" id :: tags) ~owner ~part ()
+
+let comm_segment ?(hibi = false) ?tags t ~owner ~part =
+  let stereotype =
+    if hibi then Stereotypes.hibi_segment else Stereotypes.communication_segment
+  in
+  stereotype_part t ~stereotype ?tags ~owner ~part ()
+
+let comm_wrapper ?(hibi = false) ?(tags = []) t ~owner ~connector ~address =
+  (match Uml.Model.find_class t.model owner with
+  | None -> invalid_arg (Printf.sprintf "Builder: unknown class %s" owner)
+  | Some cls ->
+    if Uml.Classifier.find_connector cls connector = None then
+      invalid_arg
+        (Printf.sprintf "Builder: class %s has no connector %s" owner connector));
+  let stereotype =
+    if hibi then Stereotypes.hibi_wrapper else Stereotypes.communication_wrapper
+  in
+  let element = Uml.Element.Connector_ref { class_name = owner; connector } in
+  let apps =
+    Profile.Apply.apply t.apps ~stereotype ~element
+      ~values:(tint "Address" address :: tags)
+      ()
+  in
+  { t with apps }
+
+let part_ref (owner, part) = Uml.Element.Part_ref { class_name = owner; part }
+
+let stereotyped_dependency t ~stereotype ~tags ~name ~client ~supplier =
+  let dep = Uml.Dependency.make ~name ~client ~supplier in
+  let model = Uml.Model.add_dependency t.model dep in
+  let element = Uml.Element.Dependency_ref name in
+  let apps = Profile.Apply.apply t.apps ~stereotype ~element ~values:tags () in
+  { model; apps }
+
+let grouping ?(fixed = false) t ~name ~process ~group =
+  stereotyped_dependency t ~stereotype:Stereotypes.process_grouping
+    ~tags:[ tbool "Fixed" fixed ]
+    ~name ~client:(part_ref process) ~supplier:(part_ref group)
+
+let mapping ?(fixed = false) t ~name ~group ~pe =
+  stereotyped_dependency t ~stereotype:Stereotypes.platform_mapping
+    ~tags:[ tbool "Fixed" fixed ]
+    ~name ~client:(part_ref group) ~supplier:(part_ref pe)
+
+let remap t ~group ~pe =
+  let group_ref = part_ref group in
+  let existing =
+    List.find_opt
+      (fun (d : Uml.Dependency.t) ->
+        Uml.Element.equal d.Uml.Dependency.client group_ref
+        && Profile.Apply.has t.apps
+             (Uml.Element.Dependency_ref d.Uml.Dependency.name)
+             Stereotypes.platform_mapping)
+      t.model.Uml.Model.dependencies
+  in
+  match existing with
+  | None -> raise Not_found
+  | Some dep ->
+    let dependencies =
+      List.map
+        (fun (d : Uml.Dependency.t) ->
+          if d.Uml.Dependency.name = dep.Uml.Dependency.name then
+            { d with Uml.Dependency.supplier = part_ref pe }
+          else d)
+        t.model.Uml.Model.dependencies
+    in
+    { t with model = { t.model with Uml.Model.dependencies } }
+
+let view t = View.of_model t.model t.apps
+let validate t = Rules.validate t.model t.apps

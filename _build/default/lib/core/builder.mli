@@ -1,0 +1,123 @@
+(** Fluent construction of TUT-Profile models.
+
+    A {!t} pairs the UML model with its profile layer; each combinator
+    adds an element and its stereotype application in one step so models
+    stay consistent by construction.  Raw access ([model] / [apps]) is
+    available for anything the combinators do not cover. *)
+
+type t = { model : Uml.Model.t; apps : Profile.Apply.t }
+
+val create : string -> t
+val model : t -> Uml.Model.t
+val apps : t -> Profile.Apply.t
+
+(** Tagged-value helpers. *)
+
+val tint : string -> int -> string * Profile.Tag.value
+val tfloat : string -> float -> string * Profile.Tag.value
+val tbool : string -> bool -> string * Profile.Tag.value
+val tstr : string -> string -> string * Profile.Tag.value
+val tenum : string -> string -> string * Profile.Tag.value
+
+val signal : t -> Uml.Signal.t -> t
+val plain_class : t -> Uml.Classifier.t -> t
+
+val package : t -> name:string -> members:string list -> t
+(** Group already-added classes into a UML package. *)
+
+val application_class :
+  ?tags:(string * Profile.Tag.value) list -> t -> Uml.Classifier.t -> t
+(** Add a class stereotyped [<<Application>>] (the top-level class). *)
+
+val component_class :
+  ?tags:(string * Profile.Tag.value) list -> t -> Uml.Classifier.t -> t
+(** Add an active class stereotyped [<<ApplicationComponent>>]. *)
+
+val stereotype_part :
+  t ->
+  stereotype:string ->
+  ?tags:(string * Profile.Tag.value) list ->
+  owner:string ->
+  part:string ->
+  unit ->
+  t
+(** Apply a part-level stereotype to an existing part.  Raises
+    [Invalid_argument] when the part does not exist. *)
+
+val process :
+  ?tags:(string * Profile.Tag.value) list -> t -> owner:string -> part:string -> t
+(** [<<ApplicationProcess>>] on an existing part. *)
+
+val group :
+  ?fixed:bool ->
+  ?process_type:string ->
+  t ->
+  owner:string ->
+  part:string ->
+  t
+(** [<<ProcessGroup>>] on an existing part. *)
+
+val grouping :
+  ?fixed:bool ->
+  t ->
+  name:string ->
+  process:string * string ->
+  group:string * string ->
+  t
+(** Add a [<<ProcessGrouping>>] dependency; endpoints are
+    [(owner_class, part)] pairs. *)
+
+val platform_class :
+  ?tags:(string * Profile.Tag.value) list -> t -> Uml.Classifier.t -> t
+
+val platform_component_class :
+  ?tags:(string * Profile.Tag.value) list -> t -> Uml.Classifier.t -> t
+
+val pe_instance :
+  ?tags:(string * Profile.Tag.value) list ->
+  t ->
+  owner:string ->
+  part:string ->
+  id:int ->
+  t
+(** [<<PlatformComponentInstance>>] on an existing part. *)
+
+val comm_segment :
+  ?hibi:bool ->
+  ?tags:(string * Profile.Tag.value) list ->
+  t ->
+  owner:string ->
+  part:string ->
+  t
+(** [<<CommunicationSegment>>] (or [<<HIBISegment>>] with [hibi:true]). *)
+
+val comm_wrapper :
+  ?hibi:bool ->
+  ?tags:(string * Profile.Tag.value) list ->
+  t ->
+  owner:string ->
+  connector:string ->
+  address:int ->
+  t
+(** [<<CommunicationWrapper>>] (or [<<HIBIWrapper>>]) on an existing
+    connector. *)
+
+val mapping :
+  ?fixed:bool ->
+  t ->
+  name:string ->
+  group:string * string ->
+  pe:string * string ->
+  t
+(** Add a [<<PlatformMapping>>] dependency; endpoints are
+    [(owner_class, part)] pairs. *)
+
+val remap : t -> group:string * string -> pe:string * string -> t
+(** Replace the existing mapping of [group] with one targeting [pe]
+    (used by the exploration tools).  Raises [Not_found] when the group
+    has no mapping.  Fixed mappings are replaced too — honouring the
+    Fixed tag is the *tool*'s responsibility per the paper, and the DSE
+    library checks it before calling. *)
+
+val view : t -> View.t
+val validate : t -> Rules.report

@@ -1,0 +1,378 @@
+type severity = Error | Warning
+
+type diagnostic = {
+  rule : string;
+  severity : severity;
+  element : Uml.Element.ref_ option;
+  message : string;
+}
+
+let pp_severity fmt = function
+  | Error -> Format.pp_print_string fmt "error"
+  | Warning -> Format.pp_print_string fmt "warning"
+
+let pp_diagnostic fmt d =
+  let pp_elt fmt = function
+    | None -> ()
+    | Some e -> Format.fprintf fmt " at %s" (Uml.Element.to_string e)
+  in
+  Format.fprintf fmt "%s %a%a: %s" d.rule pp_severity d.severity pp_elt
+    d.element d.message
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+
+let check (view : View.t) =
+  let out = ref [] in
+  let diag ?element rule severity fmt =
+    Printf.ksprintf
+      (fun message -> out := { rule; severity; element; message } :: !out)
+      fmt
+  in
+  let profile = Stereotypes.profile in
+  let model = view.View.model in
+  let apps = view.View.apps in
+
+  (* R01 / R08: single, passive top-level classes. *)
+  let check_top rule stereotype classes =
+    (match classes with
+    | [] | [ _ ] -> ()
+    | _ :: _ :: _ ->
+      diag rule Error "more than one <<%s>> class: %s" stereotype
+        (String.concat ", " classes));
+    List.iter
+      (fun name ->
+        match Uml.Model.find_class model name with
+        | Some cls when Uml.Classifier.is_active cls ->
+          diag ~element:(Uml.Element.Class_ref name) rule Error
+            "<<%s>> class %s must be passive (composite structure only)"
+            stereotype name
+        | Some _ | None -> ())
+      classes
+  in
+  check_top "R01" Stereotypes.application view.View.application_classes;
+  check_top "R08" Stereotypes.platform view.View.platform_classes;
+
+  (* R02: ApplicationComponent classes are active. *)
+  List.iter
+    (fun ref_ ->
+      match ref_ with
+      | Uml.Element.Class_ref name -> (
+        match Uml.Model.find_class model name with
+        | Some cls when not (Uml.Classifier.is_active cls) ->
+          diag ~element:ref_ "R02" Error
+            "<<ApplicationComponent>> class %s has no behaviour" name
+        | Some _ | None -> ())
+      | _ -> ())
+    (Profile.Apply.elements_with apps Stereotypes.application_component);
+
+  let component_classes =
+    List.filter_map
+      (function Uml.Element.Class_ref c -> Some c | _ -> None)
+      (Profile.Apply.elements_with apps Stereotypes.application_component)
+  in
+
+  (* R03: parts typed by components are stereotyped processes. *)
+  List.iter
+    (fun (owner, (part : Uml.Classifier.part)) ->
+      if List.mem part.Uml.Classifier.class_name component_classes then begin
+        let ref_ =
+          Uml.Element.Part_ref
+            { class_name = owner; part = part.Uml.Classifier.name }
+        in
+        if not (Profile.Apply.has apps ref_ Stereotypes.application_process)
+        then
+          diag ~element:ref_ "R03" Error
+            "part %s is typed by component %s but lacks <<ApplicationProcess>>"
+            part.Uml.Classifier.name part.Uml.Classifier.class_name
+      end)
+    (Uml.Model.all_parts model);
+
+  (* R04: processes are typed by components. *)
+  List.iter
+    (fun (p : View.process) ->
+      if not (List.mem p.View.component component_classes) then
+        diag ~element:p.View.ref_ "R04" Error
+          "<<ApplicationProcess>> part %s is typed by %s which is not an \
+           <<ApplicationComponent>>"
+          p.View.part p.View.component)
+    view.View.processes;
+
+  (* R05: grouping endpoints. *)
+  List.iter
+    (fun (g : View.grouping) ->
+      if View.find_process view g.View.process = None then
+        diag
+          ~element:(Uml.Element.Dependency_ref g.View.dependency)
+          "R05" Error "grouping client %s is not an <<ApplicationProcess>>"
+          (Uml.Element.to_string g.View.process);
+      if View.find_group view g.View.group = None then
+        diag
+          ~element:(Uml.Element.Dependency_ref g.View.dependency)
+          "R05" Error "grouping supplier %s is not a <<ProcessGroup>>"
+          (Uml.Element.to_string g.View.group))
+    view.View.groupings;
+
+  (* R06: group membership cardinality. *)
+  List.iter
+    (fun (p : View.process) ->
+      let memberships =
+        List.filter
+          (fun (g : View.grouping) -> Uml.Element.equal g.View.process p.View.ref_)
+          view.View.groupings
+      in
+      match memberships with
+      | [] ->
+        diag ~element:p.View.ref_ "R06" Warning
+          "process %s belongs to no process group (cannot be mapped)"
+          p.View.part
+      | [ _ ] -> ()
+      | _ :: _ :: _ ->
+        diag ~element:p.View.ref_ "R06" Error
+          "process %s belongs to %d process groups" p.View.part
+          (List.length memberships))
+    view.View.processes;
+
+  (* R07: group/member ProcessType agreement. *)
+  List.iter
+    (fun (g : View.group) ->
+      List.iter
+        (fun (p : View.process) ->
+          if p.View.process_type <> g.View.process_type then
+            diag ~element:p.View.ref_ "R07" Error
+              "process %s has ProcessType %s but its group %s declares %s"
+              p.View.part
+              (View.process_type_to_string p.View.process_type)
+              g.View.part
+              (View.process_type_to_string g.View.process_type))
+        (View.members_of_group view g.View.ref_))
+    view.View.groups;
+
+  (* R09: PE instances typed by platform components. *)
+  let platform_component_classes =
+    List.filter_map
+      (function Uml.Element.Class_ref c -> Some c | _ -> None)
+      (Profile.Apply.elements_with apps Stereotypes.platform_component)
+  in
+  List.iter
+    (fun (pe : View.pe_instance) ->
+      if not (List.mem pe.View.component platform_component_classes) then
+        diag ~element:pe.View.ref_ "R09" Error
+          "<<PlatformComponentInstance>> %s is typed by %s which is not a \
+           <<PlatformComponent>>"
+          pe.View.part pe.View.component)
+    view.View.pes;
+
+  (* R10: unique PE IDs. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (pe : View.pe_instance) ->
+      match Hashtbl.find_opt seen pe.View.id with
+      | Some other ->
+        diag ~element:pe.View.ref_ "R10" Error
+          "PE instance %s reuses ID %d already used by %s" pe.View.part
+          pe.View.id other
+      | None -> Hashtbl.add seen pe.View.id pe.View.part)
+    view.View.pes;
+
+  (* R11: wrapper endpoint shapes. *)
+  List.iter
+    (fun (w : View.wrapper) ->
+      match w.View.pe_part, w.View.segment_parts with
+      | Some _, [ _ ] | None, [ _; _ ] -> ()
+      | _, _ ->
+        diag ~element:w.View.ref_ "R11" Error
+          "wrapper %s must join a PE instance to a segment, or two segments \
+           (bridge)"
+          w.View.connector)
+    view.View.wrappers;
+
+  (* R12: unique wrapper addresses. *)
+  let seen_addr = Hashtbl.create 8 in
+  List.iter
+    (fun (w : View.wrapper) ->
+      match Hashtbl.find_opt seen_addr w.View.address with
+      | Some other ->
+        diag ~element:w.View.ref_ "R12" Error
+          "wrapper %s reuses address %d already used by %s" w.View.connector
+          w.View.address other
+      | None -> Hashtbl.add seen_addr w.View.address w.View.connector)
+    view.View.wrappers;
+
+  (* R13: mapping endpoints. *)
+  List.iter
+    (fun (m : View.mapping) ->
+      if View.find_group view m.View.group = None then
+        diag
+          ~element:(Uml.Element.Dependency_ref m.View.dependency)
+          "R13" Error "mapping client %s is not a <<ProcessGroup>>"
+          (Uml.Element.to_string m.View.group);
+      if View.find_pe view m.View.pe = None then
+        diag
+          ~element:(Uml.Element.Dependency_ref m.View.dependency)
+          "R13" Error "mapping supplier %s is not a <<PlatformComponentInstance>>"
+          (Uml.Element.to_string m.View.pe))
+    view.View.mappings;
+
+  (* R14: mapping cardinality per group. *)
+  List.iter
+    (fun (g : View.group) ->
+      let targets =
+        List.filter
+          (fun (m : View.mapping) -> Uml.Element.equal m.View.group g.View.ref_)
+          view.View.mappings
+      in
+      match targets with
+      | [] ->
+        diag ~element:g.View.ref_ "R14" Warning
+          "process group %s is not mapped to any platform component instance"
+          g.View.part
+      | [ _ ] -> ()
+      | _ :: _ :: _ ->
+        diag ~element:g.View.ref_ "R14" Error
+          "process group %s is mapped to %d platform component instances"
+          g.View.part (List.length targets))
+    view.View.groups;
+
+  (* R15: hardware groups <-> hw accelerators. *)
+  List.iter
+    (fun (m : View.mapping) ->
+      match View.find_group view m.View.group, View.find_pe view m.View.pe with
+      | Some g, Some pe ->
+        let group_hw = g.View.process_type = View.Pt_hardware in
+        let pe_hw = pe.View.component_type = View.Ct_hw_accelerator in
+        if group_hw && not pe_hw then
+          diag
+            ~element:(Uml.Element.Dependency_ref m.View.dependency)
+            "R15" Error
+            "hardware process group %s mapped to non-accelerator %s"
+            g.View.part pe.View.part;
+        if pe_hw && not group_hw then
+          diag
+            ~element:(Uml.Element.Dependency_ref m.View.dependency)
+            "R15" Error
+            "accelerator %s can only host hardware process groups, got %s"
+            pe.View.part g.View.part
+      | _, _ -> ())
+    view.View.mappings;
+
+  (* R16: PE connectivity. *)
+  List.iter
+    (fun (pe : View.pe_instance) ->
+      if view.View.segments <> [] && View.segments_of_pe view pe.View.ref_ = []
+      then
+        diag ~element:pe.View.ref_ "R16" Warning
+          "PE instance %s is not attached to any communication segment"
+          pe.View.part)
+    view.View.pes;
+
+  (* R17: hard real-time co-location. *)
+  List.iter
+    (fun (pe : View.pe_instance) ->
+      let hosted = View.processes_on_pe view pe.View.ref_ in
+      let hard =
+        List.filter (fun (p : View.process) -> p.View.real_time = View.Rt_hard) hosted
+      in
+      List.iter
+        (fun (h : View.process) ->
+          List.iter
+            (fun (p : View.process) ->
+              let same_group =
+                match
+                  ( View.group_of_process view h.View.ref_,
+                    View.group_of_process view p.View.ref_ )
+                with
+                | Some a, Some b -> Uml.Element.equal a.View.ref_ b.View.ref_
+                | _, _ -> false
+              in
+              if
+                (not (Uml.Element.equal p.View.ref_ h.View.ref_))
+                && (not same_group)
+                && p.View.priority > h.View.priority
+              then
+                diag ~element:h.View.ref_ "R17" Warning
+                  "hard real-time process %s shares PE %s with higher-priority \
+                   process %s from another group"
+                  h.View.part pe.View.part p.View.part)
+            hosted)
+        hard)
+    view.View.pes;
+
+  (* R18: memory budget per PE instance. *)
+  List.iter
+    (fun (pe : View.pe_instance) ->
+      match pe.View.int_memory with
+      | None -> ()
+      | Some capacity ->
+        let demand =
+          List.fold_left
+            (fun acc (p : View.process) ->
+              acc
+              + Option.value ~default:0 p.View.code_memory
+              + Option.value ~default:0 p.View.data_memory)
+            0
+            (View.processes_on_pe view pe.View.ref_)
+        in
+        if demand > capacity then
+          diag ~element:pe.View.ref_ "R18" Warning
+            "processes mapped to %s need %d bytes but IntMemory is %d"
+            pe.View.part demand capacity)
+    view.View.pes;
+
+  ignore profile;
+  List.rev !out
+
+let catalog =
+  [
+    ("R01", Error, "at most one <<Application>> class per model, and it is passive");
+    ("R02", Error, "every <<ApplicationComponent>> class is active (has behaviour)");
+    ("R03", Error, "parts typed by an <<ApplicationComponent>> carry <<ApplicationProcess>>");
+    ("R04", Error, "every <<ApplicationProcess>> part is typed by an <<ApplicationComponent>>");
+    ("R05", Error, "<<ProcessGrouping>> runs from an <<ApplicationProcess>> to a <<ProcessGroup>>");
+    ("R06", Error, "every process belongs to at most one group (none: warning)");
+    ("R07", Error, "a group's ProcessType matches every member's ProcessType");
+    ("R08", Error, "at most one <<Platform>> class per model, and it is passive");
+    ("R09", Error, "every <<PlatformComponentInstance>> is typed by a <<PlatformComponent>>");
+    ("R10", Error, "PlatformComponentInstance IDs are unique");
+    ("R11", Error, "a wrapper joins a PE instance to a segment, or two segments (bridge)");
+    ("R12", Error, "wrapper addresses are unique within a platform");
+    ("R13", Error, "<<PlatformMapping>> runs from a <<ProcessGroup>> to a <<PlatformComponentInstance>>");
+    ("R14", Error, "every group maps to exactly one PE (unmapped: warning; multiple: error)");
+    ("R15", Error, "hardware groups map to hw accelerators, and only they do");
+    ("R16", Warning, "every PE instance is attached to some communication segment");
+    ("R17", Warning, "hard-real-time processes do not share a PE with higher-priority foreign processes");
+    ("R18", Warning, "the mapped processes' code+data memory fits the PE's IntMemory");
+  ]
+
+type report = {
+  uml_diagnostics : Uml.Model.diagnostic list;
+  profile_problems : Profile.Apply.problem list;
+  rule_diagnostics : diagnostic list;
+}
+
+let validate model apps =
+  let view = View.of_model model apps in
+  {
+    uml_diagnostics = Uml.Model.check model;
+    profile_problems = Profile.Apply.check Stereotypes.profile model apps;
+    rule_diagnostics = check view;
+  }
+
+let is_valid r =
+  r.uml_diagnostics = [] && r.profile_problems = []
+  && errors r.rule_diagnostics = []
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun d -> Format.fprintf fmt "uml: %a@," Uml.Model.pp_diagnostic d)
+    r.uml_diagnostics;
+  List.iter
+    (fun p -> Format.fprintf fmt "profile: %a@," Profile.Apply.pp_problem p)
+    r.profile_problems;
+  List.iter
+    (fun d -> Format.fprintf fmt "rule: %a@," pp_diagnostic d)
+    r.rule_diagnostics;
+  if r.uml_diagnostics = [] && r.profile_problems = [] && r.rule_diagnostics = []
+  then Format.fprintf fmt "model is valid@,";
+  Format.fprintf fmt "@]"

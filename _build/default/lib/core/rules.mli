@@ -1,0 +1,84 @@
+(** TUT-Profile design rules.
+
+    The paper: "TUT-Profile classifies different application and platform
+    components by defining various stereotypes and strict rules how to
+    use them.  The objective is to enhance the support of external tools
+    for automatic analyzing, profiling, and modifying the UML 2.0 model."
+    The rules below are those strict usage rules, numbered so diagnostics
+    are stable across releases.
+
+    - R01 at most one [<<Application>>] class per model, and it is passive.
+    - R02 every [<<ApplicationComponent>>] class is active (has behaviour).
+    - R03 every part typed by an [<<ApplicationComponent>>] class carries
+          [<<ApplicationProcess>>].
+    - R04 every [<<ApplicationProcess>>] part is typed by an
+          [<<ApplicationComponent>>] class.
+    - R05 a [<<ProcessGrouping>>] dependency runs from an
+          [<<ApplicationProcess>>] to a [<<ProcessGroup>>].
+    - R06 every [<<ApplicationProcess>>] belongs to at most one group;
+          ungrouped processes are reported as warnings (they cannot be
+          mapped).
+    - R07 if a [<<ProcessGroup>>] declares a ProcessType, every member
+          process declares the same ProcessType.
+    - R08 at most one [<<Platform>>] class per model, and it is passive.
+    - R09 every [<<PlatformComponentInstance>>] part is typed by a
+          [<<PlatformComponent>>] class.
+    - R10 PlatformComponentInstance IDs are unique.
+    - R11 a [<<CommunicationWrapper>>] connector joins a PE instance to a
+          communication segment, or two segments (a bridge).
+    - R12 wrapper addresses are unique within a platform.
+    - R13 a [<<PlatformMapping>>] dependency runs from a
+          [<<ProcessGroup>>] to a [<<PlatformComponentInstance>>].
+    - R14 every group is mapped to exactly one PE instance (unmapped:
+          warning; multiply mapped: error).
+    - R15 a group with ProcessType [hardware] maps to a PE whose
+          component Type is [hw_accelerator], and vice versa.
+    - R16 every PE instance is reachable from some communication segment
+          (isolated PEs cannot communicate) — warning.
+    - R17 hard-real-time processes must not share a PE with a
+          lower-priority process of a different group — warning (the
+          schedulability analysis of the Real-time UML profile is out of
+          scope; this is the profile's structural approximation).
+    - R18 the code+data memory of the processes mapped to a PE instance
+          must fit its IntMemory — warning ("size of a process group
+          (code size, memory requirements)" is one of the paper's
+          grouping criteria).  Only checked when both sides declare the
+          relevant tags. *)
+
+type severity = Error | Warning
+
+type diagnostic = {
+  rule : string;  (** e.g. "R03" *)
+  severity : severity;
+  element : Uml.Element.ref_ option;
+  message : string;
+}
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+val check : View.t -> diagnostic list
+(** Run all design rules on a typed view. *)
+
+val catalog : (string * severity * string) list
+(** The rule catalogue: (code, worst severity it can emit, summary).
+    Used by the CLI's [rules] listing; kept next to the implementation
+    so the documentation cannot drift. *)
+
+val errors : diagnostic list -> diagnostic list
+val warnings : diagnostic list -> diagnostic list
+
+type report = {
+  uml_diagnostics : Uml.Model.diagnostic list;
+  profile_problems : Profile.Apply.problem list;
+  rule_diagnostics : diagnostic list;
+}
+
+val validate : Uml.Model.t -> Profile.Apply.t -> report
+(** Full validation: UML well-formedness, profile type-checking, design
+    rules. *)
+
+val is_valid : report -> bool
+(** No UML diagnostics, no profile problems, no rule [Error]s
+    (warnings allowed). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,234 @@
+let application = "Application"
+let application_component = "ApplicationComponent"
+let application_process = "ApplicationProcess"
+let process_group = "ProcessGroup"
+let process_grouping = "ProcessGrouping"
+let platform = "Platform"
+let platform_component = "PlatformComponent"
+let platform_component_instance = "PlatformComponentInstance"
+let communication_segment = "CommunicationSegment"
+let communication_wrapper = "CommunicationWrapper"
+let platform_mapping = "PlatformMapping"
+let hibi_segment = "HIBISegment"
+let hibi_wrapper = "HIBIWrapper"
+
+let rt_hard = "hard"
+let rt_soft = "soft"
+let rt_none = "none"
+let pt_general = "general"
+let pt_dsp = "dsp"
+let pt_hardware = "hardware"
+let ct_general = "general"
+let ct_dsp = "dsp"
+let ct_hw_accelerator = "hw_accelerator"
+let arb_priority = "priority"
+let arb_round_robin = "round_robin"
+
+open Profile
+
+let rt_type = Tag.T_enum [ rt_hard; rt_soft; rt_none ]
+let process_type = Tag.T_enum [ pt_general; pt_dsp; pt_hardware ]
+let component_type = Tag.T_enum [ ct_general; ct_dsp; ct_hw_accelerator ]
+let arbitration_type = Tag.T_enum [ arb_priority; arb_round_robin ]
+
+let tag = Tag.def
+let int_tag ?required ?default name doc =
+  tag ?required ?default:(Option.map (fun n -> Tag.V_int n) default) ~name
+    ~ty:Tag.T_int doc
+
+let st = Stereotype.make
+
+(* Table 2: tagged values of the application stereotypes. *)
+
+let application_st =
+  st ~name:application ~extends:Uml.Element.M_class
+    ~doc:"Top-level application class"
+    ~tags:
+      [
+        int_tag "Priority" "Execution priority of an application";
+        int_tag "CodeMemory" "Required memory for application code";
+        int_tag "DataMemory" "Required memory for application data";
+        tag ~name:"RealTimeType" ~ty:rt_type
+          ~default:(Tag.V_enum rt_none)
+          "Type of real-time requirements (hard/soft/none)";
+      ]
+    ()
+
+let application_component_st =
+  st ~name:application_component ~extends:Uml.Element.M_class
+    ~doc:"Functional application component (active class, has behavior)"
+    ~tags:
+      [
+        int_tag "CodeMemory" "Required memory for application component code";
+        int_tag "DataMemory" "Required memory for application component data";
+        tag ~name:"RealTimeType" ~ty:rt_type
+          ~default:(Tag.V_enum rt_none)
+          "Type of real-time requirements (hard/soft/none)";
+      ]
+    ()
+
+let application_process_st =
+  st ~name:application_process ~extends:Uml.Element.M_part
+    ~doc:"Instance of a functional application component"
+    ~tags:
+      [
+        int_tag ~default:0 "Priority" "Execution priority of application process";
+        int_tag "CodeMemory" "Required memory for application process code";
+        int_tag "DataMemory" "Required memory for application process data";
+        tag ~name:"RealTimeType" ~ty:rt_type
+          ~default:(Tag.V_enum rt_none)
+          "Type of real-time requirements (hard/soft/none)";
+        tag ~name:"ProcessType" ~ty:process_type
+          ~default:(Tag.V_enum pt_general)
+          "Type of process (general/dsp/hardware)";
+      ]
+    ()
+
+let process_group_st =
+  st ~name:process_group ~extends:Uml.Element.M_part
+    ~doc:"Group of application processes"
+    ~tags:
+      [
+        tag ~name:"Fixed" ~ty:Tag.T_bool
+          ~default:(Tag.V_bool false)
+          "Defines if the group is fixed (true/false)";
+        tag ~name:"ProcessType" ~ty:process_type
+          ~default:(Tag.V_enum pt_general)
+          "Type of processes in a group (general/dsp/hardware)";
+      ]
+    ()
+
+let process_grouping_st =
+  st ~name:process_grouping ~extends:Uml.Element.M_dependency
+    ~doc:"Dependency between an application process and a process group"
+    ~tags:
+      [
+        tag ~name:"Fixed" ~ty:Tag.T_bool
+          ~default:(Tag.V_bool false)
+          "Defines if the grouping is fixed (true/false)";
+      ]
+    ()
+
+(* Table 3: tagged values of the platform stereotypes. *)
+
+let platform_st =
+  st ~name:platform ~extends:Uml.Element.M_class
+    ~doc:"Top-level platform class" ()
+
+let platform_component_st =
+  st ~name:platform_component ~extends:Uml.Element.M_class
+    ~doc:"Defines features of a platform component"
+    ~tags:
+      [
+        tag ~name:"Type" ~ty:component_type
+          ~default:(Tag.V_enum ct_general)
+          "Type of a component (general/dsp/hw accelerator)";
+        tag ~name:"Area" ~ty:Tag.T_float "Area of a component (mm^2)";
+        tag ~name:"Power" ~ty:Tag.T_float "Power consumption of a component (mW)";
+        int_tag ~default:50 "Frequency"
+          "Clock frequency of the component in MHz (executable-model \
+           addition; see DESIGN.md)";
+        tag ~name:"PerfFactor" ~ty:Tag.T_float
+          ~default:(Tag.V_float 1.0)
+          "Relative cycles-per-operation factor against the reference \
+           platform (executable-model addition)";
+      ]
+    ()
+
+let platform_component_instance_st =
+  st ~name:platform_component_instance ~extends:Uml.Element.M_part
+    ~doc:"Instantiated platform component"
+    ~tags:
+      [
+        int_tag ~default:0 "Priority" "Execution priority of a component instance";
+        int_tag ~required:true "ID" "Unique ID of a component instance";
+        int_tag "IntMemory" "Amount of internal memory (bytes)";
+      ]
+    ()
+
+let communication_segment_st =
+  st ~name:communication_segment ~extends:Uml.Element.M_part
+    ~doc:"Interconnection structure of communicating agents"
+    ~tags:
+      [
+        int_tag ~default:32 "DataWidth"
+          "Data width (in bits) of a communication segment";
+        int_tag ~default:50 "Frequency"
+          "Clock frequency of a communication segment (MHz)";
+        tag ~name:"Arbitration" ~ty:arbitration_type
+          ~default:(Tag.V_enum arb_priority)
+          "Arbitration scheme (e.g. priority or round-robin)";
+      ]
+    ()
+
+let communication_wrapper_st =
+  st ~name:communication_wrapper ~extends:Uml.Element.M_connector
+    ~doc:"Defines wrapper parameters of a communication agent"
+    ~tags:
+      [
+        int_tag ~required:true "Address" "Address of a wrapper";
+        int_tag ~default:8 "BufferSize" "Buffer size of a wrapper (words)";
+        int_tag ~default:64 "MaxTime"
+          "Maximum time a wrapper can reserve the segment (cycles)";
+      ]
+    ()
+
+let platform_mapping_st =
+  st ~name:platform_mapping ~extends:Uml.Element.M_dependency
+    ~doc:"Dependency between a process group and a platform component instance"
+    ~tags:
+      [
+        tag ~name:"Fixed" ~ty:Tag.T_bool
+          ~default:(Tag.V_bool false)
+          "When fixed, profiling tools may not change the mapping";
+      ]
+    ()
+
+(* HIBI specialisations (Section 4.2): "the specialized information
+   contains sizes of buffers, bus arbitration, and addressing" — those
+   tags are inherited; the specialisations add HIBI-specific limits. *)
+
+let hibi_segment_st =
+  st ~name:hibi_segment ~extends:Uml.Element.M_part
+    ~parent:communication_segment
+    ~doc:"HIBI bus segment (specialises CommunicationSegment)"
+    ~tags:
+      [
+        int_tag ~default:16 "MaxSendSize"
+          "Maximum words of a single HIBI transfer burst";
+      ]
+    ()
+
+let hibi_wrapper_st =
+  st ~name:hibi_wrapper ~extends:Uml.Element.M_connector
+    ~parent:communication_wrapper
+    ~doc:"HIBI wrapper (specialises CommunicationWrapper)"
+    ~tags:
+      [
+        int_tag ~default:0 "BusPriority"
+          "Priority of this wrapper in HIBI priority arbitration";
+      ]
+    ()
+
+let profile =
+  Stereotype.profile ~name:"TUT-Profile"
+    [
+      application_st;
+      application_component_st;
+      application_process_st;
+      process_group_st;
+      process_grouping_st;
+      platform_st;
+      platform_component_st;
+      platform_component_instance_st;
+      communication_segment_st;
+      communication_wrapper_st;
+      platform_mapping_st;
+      hibi_segment_st;
+      hibi_wrapper_st;
+    ]
+
+let find name =
+  match Stereotype.find profile name with
+  | Some st -> st
+  | None -> raise Not_found

@@ -1,0 +1,58 @@
+(** The TUT-Profile stereotypes (Tables 1–3 of the paper).
+
+    Names are exposed as constants so client code never spells a
+    stereotype as a bare string.  Metaclass choices where the scanned
+    Table 1 is ambiguous are documented per stereotype:
+
+    - type-level stereotypes ([Application], [ApplicationComponent],
+      [Platform], [PlatformComponent]) extend {b Class};
+    - instance-level stereotypes ([ApplicationProcess], [ProcessGroup],
+      [PlatformComponentInstance], [CommunicationSegment]) extend
+      {b Part}, matching the figures where they annotate parts such as
+      [mng : Management] and [processor1 : Processor];
+    - [ProcessGrouping] and [PlatformMapping] extend {b Dependency};
+    - [CommunicationWrapper] extends {b Connector} — the paper defines
+      wrappers as the elements "used to connect processing elements to
+      communication segments", which in a composite structure diagram is
+      the connector between a PE part and a segment part.
+
+    Two tags are additions needed by the executable platform model and
+    are marked as such in their docs: [PlatformComponent.Frequency] and
+    [PlatformComponent.PerfFactor] (the paper parameterises components
+    with "properties, capabilities and limitations" but the printed
+    Table 3 lists only Type/Area/Power). *)
+
+val application : string
+val application_component : string
+val application_process : string
+val process_group : string
+val process_grouping : string
+val platform : string
+val platform_component : string
+val platform_component_instance : string
+val communication_segment : string
+val communication_wrapper : string
+val platform_mapping : string
+val hibi_segment : string
+val hibi_wrapper : string
+
+(** Enumeration literals used by the tagged values. *)
+
+val rt_hard : string
+val rt_soft : string
+val rt_none : string
+val pt_general : string
+val pt_dsp : string
+val pt_hardware : string
+val ct_general : string
+val ct_dsp : string
+val ct_hw_accelerator : string
+val arb_priority : string
+val arb_round_robin : string
+
+val profile : Profile.Stereotype.profile
+(** The TUT-Profile: all thirteen stereotypes with their tag
+    definitions. *)
+
+val find : string -> Profile.Stereotype.t
+(** Lookup in {!profile}; raises [Not_found] for unknown names. *)

@@ -1,0 +1,113 @@
+let buffer_table title header rows =
+  (* Column widths fit the widest cell. *)
+  let cols = List.length header in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row i)))
+      (String.length (List.nth header i))
+      rows
+  in
+  let widths = List.init cols width in
+  let buf = Buffer.create 1024 in
+  let rule () =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let render_row row =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        Buffer.add_string buf (Printf.sprintf "| %-*s " w cell))
+      row;
+    Buffer.add_string buf "|\n"
+  in
+  Buffer.add_string buf (title ^ "\n");
+  rule ();
+  render_row header;
+  rule ();
+  List.iter render_row rows;
+  rule ();
+  Buffer.contents buf
+
+let stereotype_row (s : Profile.Stereotype.t) =
+  let metaclass = Uml.Element.metaclass_name s.Profile.Stereotype.extends in
+  let name =
+    match s.Profile.Stereotype.parent with
+    | None -> s.Profile.Stereotype.name
+    | Some parent ->
+      Printf.sprintf "%s (from %s)" s.Profile.Stereotype.name parent
+  in
+  [ name; metaclass; s.Profile.Stereotype.doc ]
+
+let table1 () =
+  let rows =
+    List.map stereotype_row Stereotypes.profile.Profile.Stereotype.stereotypes
+  in
+  buffer_table "Table 1. TUT-Profile stereotype summary."
+    [ "Stereotype name"; "Extended metaclass"; "Description" ]
+    rows
+
+let tag_rows names =
+  List.concat_map
+    (fun name ->
+      let s = Stereotypes.find name in
+      List.map
+        (fun (d : Profile.Tag.def) ->
+          [
+            "<<" ^ name ^ ">>";
+            d.Profile.Tag.name;
+            Profile.Tag.ty_to_string d.Profile.Tag.ty;
+            d.Profile.Tag.doc;
+          ])
+        s.Profile.Stereotype.tags)
+    names
+
+let table2 () =
+  buffer_table "Table 2. Tagged values of application stereotypes."
+    [ "Stereotype"; "Tagged value"; "Type"; "Description" ]
+    (tag_rows
+       [
+         Stereotypes.application;
+         Stereotypes.application_component;
+         Stereotypes.application_process;
+         Stereotypes.process_group;
+         Stereotypes.process_grouping;
+       ])
+
+let table3 () =
+  buffer_table "Table 3. Tagged values of platform stereotypes."
+    [ "Stereotype"; "Tagged value"; "Type"; "Description" ]
+    (tag_rows
+       [
+         Stereotypes.platform_component;
+         Stereotypes.platform_component_instance;
+         Stereotypes.communication_segment;
+         Stereotypes.communication_wrapper;
+         Stereotypes.platform_mapping;
+         Stereotypes.hibi_segment;
+         Stereotypes.hibi_wrapper;
+       ])
+
+let hierarchy () =
+  String.concat "\n"
+    [
+      "Figure 3. TUT-Profile hierarchy.";
+      "";
+      "  <<Application>>";
+      "    |  composition";
+      "    v";
+      "  <<ApplicationComponent>> --instantiate--> <<ApplicationProcess>>";
+      "                                               |  <<ProcessGrouping>>";
+      "                                               v";
+      "                                            <<ProcessGroup>>";
+      "                                               |  <<PlatformMapping>>";
+      "                                               v";
+      "  <<PlatformComponent>> --instantiate--> <<PlatformComponentInstance>>";
+      "    ^  composition                           |  <<CommunicationWrapper>>";
+      "    |                                        v";
+      "  <<Platform>>                        <<CommunicationSegment>>";
+      "";
+      "  HIBI specialisations: <<HIBIWrapper>> from <<CommunicationWrapper>>,";
+      "                        <<HIBISegment>> from <<CommunicationSegment>>.";
+      "";
+    ]

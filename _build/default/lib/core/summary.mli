@@ -1,0 +1,19 @@
+(** Renderers that regenerate the paper's descriptive tables and the
+    profile-hierarchy figure directly from the profile definition, so
+    documentation can never drift from the implementation. *)
+
+val table1 : unit -> string
+(** Table 1: stereotype summary — name, extended metaclass,
+    description. *)
+
+val table2 : unit -> string
+(** Table 2: tagged values of the application stereotypes. *)
+
+val table3 : unit -> string
+(** Table 3: tagged values of the platform stereotypes (including the
+    HIBI specialisations). *)
+
+val hierarchy : unit -> string
+(** Figure 3: the TUT-Profile hierarchy (application composed of
+    components instantiated as processes grouped and mapped onto
+    instantiated platform components). *)

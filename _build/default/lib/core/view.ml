@@ -1,0 +1,489 @@
+type process_type = Pt_general | Pt_dsp | Pt_hardware
+type real_time = Rt_hard | Rt_soft | Rt_none
+type component_type = Ct_general | Ct_dsp | Ct_hw_accelerator
+type arbitration = Arb_priority | Arb_round_robin
+
+type process = {
+  owner : string;
+  part : string;
+  component : string;
+  ref_ : Uml.Element.ref_;
+  priority : int;
+  process_type : process_type;
+  code_memory : int option;
+  data_memory : int option;
+  real_time : real_time;
+}
+
+type group = {
+  owner : string;
+  part : string;
+  ref_ : Uml.Element.ref_;
+  fixed : bool;
+  process_type : process_type;
+}
+
+type pe_instance = {
+  owner : string;
+  part : string;
+  component : string;
+  ref_ : Uml.Element.ref_;
+  id : int;
+  priority : int;
+  int_memory : int option;
+  component_type : component_type;
+  frequency_mhz : int;
+  perf_factor : float;
+  area : float option;
+  power : float option;
+}
+
+type segment = {
+  owner : string;
+  part : string;
+  component : string;
+  ref_ : Uml.Element.ref_;
+  data_width_bits : int;
+  frequency_mhz : int;
+  arbitration : arbitration;
+  max_send_size : int option;
+  is_hibi : bool;
+}
+
+type wrapper = {
+  owner : string;
+  connector : string;
+  ref_ : Uml.Element.ref_;
+  address : int;
+  buffer_size : int;
+  max_time : int;
+  bus_priority : int;
+  pe_part : string option;
+  segment_parts : string list;
+  is_hibi : bool;
+}
+
+type grouping = {
+  dependency : string;
+  process : Uml.Element.ref_;
+  group : Uml.Element.ref_;
+  fixed : bool;
+}
+
+type mapping = {
+  dependency : string;
+  group : Uml.Element.ref_;
+  pe : Uml.Element.ref_;
+  fixed : bool;
+}
+
+type t = {
+  model : Uml.Model.t;
+  apps : Profile.Apply.t;
+  application_classes : string list;
+  platform_classes : string list;
+  processes : process list;
+  groups : group list;
+  groupings : grouping list;
+  pes : pe_instance list;
+  segments : segment list;
+  wrappers : wrapper list;
+  mappings : mapping list;
+}
+
+let profile = Stereotypes.profile
+
+(* Tagged-value readers with profile defaults. *)
+
+let tag_int apps element stereotype name =
+  match
+    Profile.Apply.value_with_default profile apps ~element ~stereotype name
+  with
+  | Some (Profile.Tag.V_int n) -> Some n
+  | Some _ | None -> None
+
+let tag_float apps element stereotype name =
+  match
+    Profile.Apply.value_with_default profile apps ~element ~stereotype name
+  with
+  | Some (Profile.Tag.V_float f) -> Some f
+  | Some _ | None -> None
+
+let tag_bool apps element stereotype name ~default =
+  match
+    Profile.Apply.value_with_default profile apps ~element ~stereotype name
+  with
+  | Some (Profile.Tag.V_bool b) -> b
+  | Some _ | None -> default
+
+let tag_enum apps element stereotype name =
+  match
+    Profile.Apply.value_with_default profile apps ~element ~stereotype name
+  with
+  | Some (Profile.Tag.V_enum lit) -> Some lit
+  | Some _ | None -> None
+
+let process_type_of_string s =
+  if s = Stereotypes.pt_dsp then Pt_dsp
+  else if s = Stereotypes.pt_hardware then Pt_hardware
+  else Pt_general
+
+let real_time_of_string s =
+  if s = Stereotypes.rt_hard then Rt_hard
+  else if s = Stereotypes.rt_soft then Rt_soft
+  else Rt_none
+
+let component_type_of_string s =
+  if s = Stereotypes.ct_dsp then Ct_dsp
+  else if s = Stereotypes.ct_hw_accelerator then Ct_hw_accelerator
+  else Ct_general
+
+let arbitration_of_string s =
+  if s = Stereotypes.arb_round_robin then Arb_round_robin else Arb_priority
+
+let process_type_to_string = function
+  | Pt_general -> Stereotypes.pt_general
+  | Pt_dsp -> Stereotypes.pt_dsp
+  | Pt_hardware -> Stereotypes.pt_hardware
+
+let component_type_to_string = function
+  | Ct_general -> Stereotypes.ct_general
+  | Ct_dsp -> Stereotypes.ct_dsp
+  | Ct_hw_accelerator -> Stereotypes.ct_hw_accelerator
+
+let real_time_to_string = function
+  | Rt_hard -> Stereotypes.rt_hard
+  | Rt_soft -> Stereotypes.rt_soft
+  | Rt_none -> Stereotypes.rt_none
+
+let arbitration_to_string = function
+  | Arb_priority -> Stereotypes.arb_priority
+  | Arb_round_robin -> Stereotypes.arb_round_robin
+
+let part_fields model ref_ =
+  match (ref_ : Uml.Element.ref_) with
+  | Uml.Element.Part_ref { class_name; part } -> (
+    match Uml.Model.find_class model class_name with
+    | None -> None
+    | Some cls -> (
+      match Uml.Classifier.find_part cls part with
+      | None -> None
+      | Some p -> Some (class_name, part, p.Uml.Classifier.class_name)))
+  | Uml.Element.Class_ref _ | Uml.Element.Port_ref _
+  | Uml.Element.Connector_ref _ | Uml.Element.Signal_ref _
+  | Uml.Element.Dependency_ref _ ->
+    None
+
+let build_process model apps ref_ =
+  match part_fields model ref_ with
+  | None -> None
+  | Some (owner, part, component) ->
+    let st = Stereotypes.application_process in
+    let enum name = tag_enum apps ref_ st name in
+    Some
+      {
+        owner;
+        part;
+        component;
+        ref_;
+        priority = Option.value ~default:0 (tag_int apps ref_ st "Priority");
+        process_type =
+          process_type_of_string
+            (Option.value ~default:Stereotypes.pt_general (enum "ProcessType"));
+        code_memory = tag_int apps ref_ st "CodeMemory";
+        data_memory = tag_int apps ref_ st "DataMemory";
+        real_time =
+          real_time_of_string
+            (Option.value ~default:Stereotypes.rt_none (enum "RealTimeType"));
+      }
+
+let build_group model apps ref_ =
+  match part_fields model ref_ with
+  | None -> None
+  | Some (owner, part, _component) ->
+    let st = Stereotypes.process_group in
+    Some
+      {
+        owner;
+        part;
+        ref_;
+        fixed = tag_bool apps ref_ st "Fixed" ~default:false;
+        process_type =
+          process_type_of_string
+            (Option.value ~default:Stereotypes.pt_general
+               (tag_enum apps ref_ st "ProcessType"));
+      }
+
+let build_pe model apps ref_ =
+  match part_fields model ref_ with
+  | None -> None
+  | Some (owner, part, component) ->
+    let st = Stereotypes.platform_component_instance in
+    let comp_st = Stereotypes.platform_component in
+    let comp_ref = Uml.Element.Class_ref component in
+    Some
+      {
+        owner;
+        part;
+        component;
+        ref_;
+        id = Option.value ~default:(-1) (tag_int apps ref_ st "ID");
+        priority = Option.value ~default:0 (tag_int apps ref_ st "Priority");
+        int_memory = tag_int apps ref_ st "IntMemory";
+        component_type =
+          component_type_of_string
+            (Option.value ~default:Stereotypes.ct_general
+               (tag_enum apps comp_ref comp_st "Type"));
+        frequency_mhz =
+          Option.value ~default:50 (tag_int apps comp_ref comp_st "Frequency");
+        perf_factor =
+          Option.value ~default:1.0
+            (tag_float apps comp_ref comp_st "PerfFactor");
+        area = tag_float apps comp_ref comp_st "Area";
+        power = tag_float apps comp_ref comp_st "Power";
+      }
+
+let build_segment model apps ref_ =
+  match part_fields model ref_ with
+  | None -> None
+  | Some (owner, part, component) ->
+    let st = Stereotypes.communication_segment in
+    let is_hibi = Profile.Apply.has apps ref_ Stereotypes.hibi_segment in
+    Some
+      {
+        owner;
+        part;
+        component;
+        ref_;
+        data_width_bits =
+          Option.value ~default:32 (tag_int apps ref_ st "DataWidth");
+        frequency_mhz =
+          Option.value ~default:50 (tag_int apps ref_ st "Frequency");
+        arbitration =
+          arbitration_of_string
+            (Option.value ~default:Stereotypes.arb_priority
+               (tag_enum apps ref_ st "Arbitration"));
+        max_send_size =
+          (if is_hibi then
+             tag_int apps ref_ Stereotypes.hibi_segment "MaxSendSize"
+           else None);
+        is_hibi;
+      }
+
+(* A wrapper connector joins a PE part to a segment part (normal wrapper)
+   or two segment parts (a bridge).  Classification of the endpoints uses
+   the stereotypes carried by the endpoint parts. *)
+let build_wrapper model apps ~pe_parts ~segment_parts ref_ =
+  match (ref_ : Uml.Element.ref_) with
+  | Uml.Element.Connector_ref { class_name; connector } -> (
+    match Uml.Model.find_class model class_name with
+    | None -> None
+    | Some cls -> (
+      match Uml.Classifier.find_connector cls connector with
+      | None -> None
+      | Some conn ->
+        let classify (ep : Uml.Connector.endpoint) =
+          match ep.Uml.Connector.part with
+          | None -> `Other
+          | Some part ->
+            if List.mem (class_name, part) pe_parts then `Pe part
+            else if List.mem (class_name, part) segment_parts then
+              `Segment part
+            else `Other
+        in
+        let ends = [ classify conn.Uml.Connector.from_; classify conn.Uml.Connector.to_ ] in
+        let pe_part =
+          List.find_map (function `Pe p -> Some p | `Segment _ | `Other -> None) ends
+        in
+        let segment_parts =
+          List.filter_map
+            (function `Segment s -> Some s | `Pe _ | `Other -> None)
+            ends
+        in
+        let st = Stereotypes.communication_wrapper in
+        let is_hibi = Profile.Apply.has apps ref_ Stereotypes.hibi_wrapper in
+        Some
+          {
+            owner = class_name;
+            connector;
+            ref_;
+            address = Option.value ~default:(-1) (tag_int apps ref_ st "Address");
+            buffer_size =
+              Option.value ~default:8 (tag_int apps ref_ st "BufferSize");
+            max_time = Option.value ~default:64 (tag_int apps ref_ st "MaxTime");
+            bus_priority =
+              (if is_hibi then
+                 Option.value ~default:0
+                   (tag_int apps ref_ Stereotypes.hibi_wrapper "BusPriority")
+               else 0);
+            pe_part;
+            segment_parts;
+            is_hibi;
+          }))
+  | Uml.Element.Class_ref _ | Uml.Element.Part_ref _ | Uml.Element.Port_ref _
+  | Uml.Element.Signal_ref _ | Uml.Element.Dependency_ref _ ->
+    None
+
+let dependency_fields model apps stereotype name =
+  match Uml.Model.find_dependency model name with
+  | None -> None
+  | Some dep ->
+    let ref_ = Uml.Element.Dependency_ref name in
+    let fixed = tag_bool apps ref_ stereotype "Fixed" ~default:false in
+    Some (dep.Uml.Dependency.client, dep.Uml.Dependency.supplier, fixed)
+
+let of_model model apps =
+  let refs_with stereotype =
+    Profile.Apply.elements_conforming profile apps stereotype
+  in
+  let classes_with stereotype =
+    List.filter_map
+      (function Uml.Element.Class_ref c -> Some c | _ -> None)
+      (refs_with stereotype)
+  in
+  let part_key = function
+    | Uml.Element.Part_ref { class_name; part } -> Some (class_name, part)
+    | Uml.Element.Class_ref _ | Uml.Element.Port_ref _
+    | Uml.Element.Connector_ref _ | Uml.Element.Signal_ref _
+    | Uml.Element.Dependency_ref _ ->
+      None
+  in
+  let processes =
+    List.filter_map
+      (build_process model apps)
+      (refs_with Stereotypes.application_process)
+  in
+  let groups =
+    List.filter_map (build_group model apps) (refs_with Stereotypes.process_group)
+  in
+  let pes =
+    List.filter_map
+      (build_pe model apps)
+      (refs_with Stereotypes.platform_component_instance)
+  in
+  let segments =
+    List.filter_map
+      (build_segment model apps)
+      (refs_with Stereotypes.communication_segment)
+  in
+  let pe_parts =
+    List.filter_map part_key (refs_with Stereotypes.platform_component_instance)
+  in
+  let segment_parts =
+    List.filter_map part_key (refs_with Stereotypes.communication_segment)
+  in
+  let wrappers =
+    List.filter_map
+      (build_wrapper model apps ~pe_parts ~segment_parts)
+      (refs_with Stereotypes.communication_wrapper)
+  in
+  let groupings =
+    List.filter_map
+      (function
+        | Uml.Element.Dependency_ref name ->
+          Option.map
+            (fun (client, supplier, fixed) ->
+              { dependency = name; process = client; group = supplier; fixed })
+            (dependency_fields model apps Stereotypes.process_grouping name)
+        | _ -> None)
+      (refs_with Stereotypes.process_grouping)
+  in
+  let mappings =
+    List.filter_map
+      (function
+        | Uml.Element.Dependency_ref name ->
+          Option.map
+            (fun (client, supplier, fixed) ->
+              { dependency = name; group = client; pe = supplier; fixed })
+            (dependency_fields model apps Stereotypes.platform_mapping name)
+        | _ -> None)
+      (refs_with Stereotypes.platform_mapping)
+  in
+  {
+    model;
+    apps;
+    application_classes = classes_with Stereotypes.application;
+    platform_classes = classes_with Stereotypes.platform;
+    processes;
+    groups;
+    groupings;
+    pes;
+    segments;
+    wrappers;
+    mappings;
+  }
+
+let find_process t ref_ =
+  List.find_opt (fun (p : process) -> Uml.Element.equal p.ref_ ref_) t.processes
+
+let find_group t ref_ =
+  List.find_opt (fun (g : group) -> Uml.Element.equal g.ref_ ref_) t.groups
+
+let find_pe t ref_ =
+  List.find_opt (fun (pe : pe_instance) -> Uml.Element.equal pe.ref_ ref_) t.pes
+
+let find_segment t ref_ =
+  List.find_opt (fun (s : segment) -> Uml.Element.equal s.ref_ ref_) t.segments
+
+let group_of_process t process_ref =
+  match
+    List.find_opt
+      (fun (g : grouping) -> Uml.Element.equal g.process process_ref)
+      t.groupings
+  with
+  | None -> None
+  | Some grouping -> find_group t grouping.group
+
+let members_of_group t group_ref =
+  List.filter_map
+    (fun (g : grouping) ->
+      if Uml.Element.equal g.group group_ref then find_process t g.process
+      else None)
+    t.groupings
+
+let pe_of_group t group_ref =
+  match
+    List.find_opt
+      (fun (m : mapping) -> Uml.Element.equal m.group group_ref)
+      t.mappings
+  with
+  | None -> None
+  | Some mapping -> find_pe t mapping.pe
+
+let pe_of_process t process_ref =
+  match group_of_process t process_ref with
+  | None -> None
+  | Some group -> pe_of_group t group.ref_
+
+let processes_on_pe t pe_ref =
+  List.concat_map
+    (fun (m : mapping) ->
+      if Uml.Element.equal m.pe pe_ref then members_of_group t m.group else [])
+    t.mappings
+
+let segments_of_pe t pe_ref =
+  match pe_ref with
+  | Uml.Element.Part_ref { class_name; part } ->
+    List.concat_map
+      (fun w ->
+        if w.owner = class_name && w.pe_part = Some part then
+          List.filter_map
+            (fun seg_part ->
+              find_segment t
+                (Uml.Element.Part_ref { class_name; part = seg_part }))
+            w.segment_parts
+        else [])
+      t.wrappers
+  | Uml.Element.Class_ref _ | Uml.Element.Port_ref _
+  | Uml.Element.Connector_ref _ | Uml.Element.Signal_ref _
+  | Uml.Element.Dependency_ref _ ->
+    []
+
+let annotator t ref_ =
+  match Profile.Apply.stereotypes_of t.apps ref_ with
+  | [] -> None
+  | apps ->
+    let names =
+      List.map (fun (a : Profile.Apply.application) -> a.Profile.Apply.stereotype) apps
+    in
+    Some (String.concat " " (List.map (fun n -> "<<" ^ n ^ ">>") names))

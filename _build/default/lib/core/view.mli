@@ -1,0 +1,117 @@
+(** Typed views over a TUT-Profile-stereotyped model.
+
+    The raw model + profile layer is stringly; this module resolves it
+    once into typed records for processes, groups, platform component
+    instances, segments, wrappers and the grouping/mapping relations.
+    Missing optional tags fall back to their profile defaults; *strict*
+    diagnosis of missing/ill-formed annotations is {!Rules.check}'s job,
+    so [of_model] is total on any model that passes
+    [Profile.Apply.check]. *)
+
+type process_type = Pt_general | Pt_dsp | Pt_hardware
+type real_time = Rt_hard | Rt_soft | Rt_none
+type component_type = Ct_general | Ct_dsp | Ct_hw_accelerator
+type arbitration = Arb_priority | Arb_round_robin
+
+type process = {
+  owner : string;  (** class whose composite structure contains the part *)
+  part : string;
+  component : string;  (** the ApplicationComponent class of the part *)
+  ref_ : Uml.Element.ref_;
+  priority : int;
+  process_type : process_type;
+  code_memory : int option;
+  data_memory : int option;
+  real_time : real_time;
+}
+
+type group = {
+  owner : string;
+  part : string;
+  ref_ : Uml.Element.ref_;
+  fixed : bool;
+  process_type : process_type;
+}
+
+type pe_instance = {
+  owner : string;
+  part : string;
+  component : string;
+  ref_ : Uml.Element.ref_;
+  id : int;
+  priority : int;
+  int_memory : int option;
+  component_type : component_type;
+  frequency_mhz : int;
+  perf_factor : float;
+  area : float option;
+  power : float option;
+}
+
+type segment = {
+  owner : string;
+  part : string;
+  component : string;
+  ref_ : Uml.Element.ref_;
+  data_width_bits : int;
+  frequency_mhz : int;
+  arbitration : arbitration;
+  max_send_size : int option;  (** HIBI specialisation only *)
+  is_hibi : bool;
+}
+
+type wrapper = {
+  owner : string;
+  connector : string;
+  ref_ : Uml.Element.ref_;
+  address : int;
+  buffer_size : int;
+  max_time : int;
+  bus_priority : int;
+  pe_part : string option;  (** PE endpoint, when one end is a PE instance *)
+  segment_parts : string list;
+      (** segment endpoints (two for a bridge wrapper) *)
+  is_hibi : bool;
+}
+
+type grouping = { dependency : string; process : Uml.Element.ref_; group : Uml.Element.ref_; fixed : bool }
+type mapping = { dependency : string; group : Uml.Element.ref_; pe : Uml.Element.ref_; fixed : bool }
+
+type t = {
+  model : Uml.Model.t;
+  apps : Profile.Apply.t;
+  application_classes : string list;
+  platform_classes : string list;
+  processes : process list;
+  groups : group list;
+  groupings : grouping list;
+  pes : pe_instance list;
+  segments : segment list;
+  wrappers : wrapper list;
+  mappings : mapping list;
+}
+
+val of_model : Uml.Model.t -> Profile.Apply.t -> t
+
+val find_process : t -> Uml.Element.ref_ -> process option
+val find_group : t -> Uml.Element.ref_ -> group option
+val find_pe : t -> Uml.Element.ref_ -> pe_instance option
+val find_segment : t -> Uml.Element.ref_ -> segment option
+
+val group_of_process : t -> Uml.Element.ref_ -> group option
+val members_of_group : t -> Uml.Element.ref_ -> process list
+val pe_of_group : t -> Uml.Element.ref_ -> pe_instance option
+val pe_of_process : t -> Uml.Element.ref_ -> pe_instance option
+val processes_on_pe : t -> Uml.Element.ref_ -> process list
+
+val segments_of_pe : t -> Uml.Element.ref_ -> segment list
+(** Segments reachable from a PE through its wrapper connectors. *)
+
+val process_type_to_string : process_type -> string
+val component_type_to_string : component_type -> string
+val real_time_to_string : real_time -> string
+val arbitration_to_string : arbitration -> string
+
+val annotator : t -> Uml.Render.annotator
+(** Stereotype labels like ["<<ApplicationProcess>>"] for the diagram
+    renderer. *)

@@ -1,0 +1,1 @@
+lib/crc/crc32.ml: Array Char Int32 Int64 Lazy String

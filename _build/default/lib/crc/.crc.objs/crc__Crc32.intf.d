@@ -1,0 +1,1 @@
+lib/crc/crc32.mli:

@@ -1,0 +1,58 @@
+let polynomial = 0xEDB88320l
+
+let bitwise data =
+  let crc = ref 0xFFFFFFFFl in
+  String.iter
+    (fun c ->
+      crc := Int32.logxor !crc (Int32.of_int (Char.code c));
+      for _ = 0 to 7 do
+        let lsb = Int32.logand !crc 1l in
+        crc := Int32.shift_right_logical !crc 1;
+        if lsb <> 0l then crc := Int32.logxor !crc polynomial
+      done)
+    data;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let crc = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           let lsb = Int32.logand !crc 1l in
+           crc := Int32.shift_right_logical !crc 1;
+           if lsb <> 0l then crc := Int32.logxor !crc polynomial
+         done;
+         !crc))
+
+type state = int32
+
+let init () = 0xFFFFFFFFl
+
+let feed state data =
+  let table = Lazy.force table in
+  let crc = ref state in
+  String.iter
+    (fun c ->
+      let index =
+        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code c))) 0xFFl)
+      in
+      crc := Int32.logxor (Int32.shift_right_logical !crc 8) table.(index))
+    data;
+  !crc
+
+let finish state = Int32.logxor state 0xFFFFFFFFl
+
+let table_driven data = finish (feed (init ()) data)
+let digest = table_driven
+let verify data ~crc = Int32.equal (digest data) crc
+
+let software_cycles ~bytes_len =
+  (* Soft-core without byte-addressable CRC support: table lookup, xor,
+     shift and loop bookkeeping per byte, plus call overhead. *)
+  Int64.add 40L (Int64.mul 20L (Int64.of_int bytes_len))
+
+let accelerator_cycles ~bytes_len =
+  (* One 32-bit word per cycle through the accelerator datapath, plus a
+     fixed setup/drain cost. *)
+  let words = (bytes_len + 3) / 4 in
+  Int64.add 8L (Int64.of_int words)

@@ -1,0 +1,40 @@
+(** CRC-32 as used by IEEE 802.3 / 802.11 frames.
+
+    The TUTWLAN platform library contains a CRC-32 hardware accelerator
+    for "hardware acceleration of protocol functions"; this module is the
+    algorithm itself (bit-by-bit reference and the table-driven variant
+    the software implementation would use) plus the cycle-cost models the
+    co-simulation runtime charges for the software and accelerated
+    versions.
+
+    Polynomial 0xEDB88320 (reflected), initial value 0xFFFFFFFF, final
+    XOR 0xFFFFFFFF — the standard Ethernet parameters. *)
+
+val bitwise : string -> int32
+(** Reference implementation, one bit at a time. *)
+
+val table_driven : string -> int32
+(** Byte-at-a-time with a precomputed 256-entry table.  Equal to
+    {!bitwise} on every input (property-tested). *)
+
+val digest : string -> int32
+(** The production entry point (table-driven). *)
+
+(** Incremental interface for streamed frames. *)
+
+type state
+
+val init : unit -> state
+val feed : state -> string -> state
+val finish : state -> int32
+
+val verify : string -> crc:int32 -> bool
+
+val software_cycles : bytes_len:int -> int64
+(** Cycle cost of the software CRC on a general-purpose PE: per-byte
+    table lookup plus loop overhead (about 20 cycles/byte on a soft
+    core without a barrel shifter). *)
+
+val accelerator_cycles : bytes_len:int -> int64
+(** Cycle cost on the CRC hardware accelerator: one 32-bit word per
+    cycle plus a fixed setup cost. *)

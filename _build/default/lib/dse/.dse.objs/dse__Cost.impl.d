@@ -1,0 +1,1 @@
+lib/dse/cost.ml: Hashtbl Int64 List Option Profiler Queue Tut_profile

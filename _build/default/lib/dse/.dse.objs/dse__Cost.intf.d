@@ -1,0 +1,1 @@
+lib/dse/cost.mli: Profiler Tut_profile

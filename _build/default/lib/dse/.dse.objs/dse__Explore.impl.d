@@ -1,0 +1,1 @@
+lib/dse/explore.ml: Cost List Rng Tut_profile

@@ -1,0 +1,1 @@
+lib/dse/explore.mli: Cost Tut_profile

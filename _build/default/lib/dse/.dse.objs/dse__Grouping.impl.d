@@ -1,0 +1,1 @@
+lib/dse/grouping.ml: Codegen Hashtbl List Option Profile Profiler Tut_profile Uml

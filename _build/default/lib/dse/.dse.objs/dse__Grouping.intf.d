@@ -1,0 +1,1 @@
+lib/dse/grouping.mli: Profiler Tut_profile Uml

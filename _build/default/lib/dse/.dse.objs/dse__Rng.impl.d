@@ -1,0 +1,1 @@
+lib/dse/rng.ml: Int64 List

@@ -1,0 +1,197 @@
+type profile_data = {
+  group_cycles : (string * int64) list;
+  comm : ((string * string) * int) list;
+}
+
+type pe_info = {
+  pe : string;
+  speed : float;
+  accelerator : bool;
+}
+
+type platform_info = {
+  pe_infos : pe_info list;
+  hop_distance : string -> string -> int;
+}
+
+type assignment = (string * string) list
+
+let of_report (report : Profiler.Report.t) =
+  let not_env (g, _) = g <> Profiler.Groups.environment_group in
+  {
+    group_cycles = List.filter not_env report.Profiler.Report.group_cycles;
+    comm =
+      List.filter
+        (fun ((s, r), _) ->
+          s <> Profiler.Groups.environment_group
+          && r <> Profiler.Groups.environment_group)
+        report.Profiler.Report.matrix;
+  }
+
+let of_view (view : Tut_profile.View.t) =
+  let pe_infos =
+    List.map
+      (fun (pe : Tut_profile.View.pe_instance) ->
+        {
+          pe = pe.Tut_profile.View.part;
+          speed =
+            float_of_int pe.Tut_profile.View.frequency_mhz
+            *. pe.Tut_profile.View.perf_factor;
+          accelerator =
+            pe.Tut_profile.View.component_type = Tut_profile.View.Ct_hw_accelerator;
+        })
+      view.Tut_profile.View.pes
+  in
+  (* Segment adjacency from bridge wrappers; PE -> segment attachments
+     from agent wrappers.  Hop distance = number of segments on the
+     path. *)
+  let pe_segments = Hashtbl.create 8 in
+  let seg_edges = Hashtbl.create 8 in
+  List.iter
+    (fun (w : Tut_profile.View.wrapper) ->
+      match w.Tut_profile.View.pe_part, w.Tut_profile.View.segment_parts with
+      | Some pe, [ seg ] ->
+        let current = Option.value ~default:[] (Hashtbl.find_opt pe_segments pe) in
+        Hashtbl.replace pe_segments pe (seg :: current)
+      | None, [ a; b ] ->
+        let add x y =
+          let current = Option.value ~default:[] (Hashtbl.find_opt seg_edges x) in
+          Hashtbl.replace seg_edges x (y :: current)
+        in
+        add a b;
+        add b a
+      | _, _ -> ())
+    view.Tut_profile.View.wrappers;
+  let hop_distance src dst =
+    if src = dst then 0
+    else
+      let starts = Option.value ~default:[] (Hashtbl.find_opt pe_segments src) in
+      let goals = Option.value ~default:[] (Hashtbl.find_opt pe_segments dst) in
+      if starts = [] || goals = [] then 1_000 (* unreachable: prohibitive *)
+      else begin
+        let visited = Hashtbl.create 8 in
+        let queue = Queue.create () in
+        List.iter
+          (fun s ->
+            Hashtbl.replace visited s 1;
+            Queue.push s queue)
+          starts;
+        let result = ref None in
+        while !result = None && not (Queue.is_empty queue) do
+          let here = Queue.pop queue in
+          let dist = Hashtbl.find visited here in
+          if List.mem here goals then result := Some dist
+          else
+            List.iter
+              (fun next ->
+                if not (Hashtbl.mem visited next) then begin
+                  Hashtbl.replace visited next (dist + 1);
+                  Queue.push next queue
+                end)
+              (Option.value ~default:[] (Hashtbl.find_opt seg_edges here))
+        done;
+        Option.value ~default:1_000 !result
+      end
+  in
+  { pe_infos; hop_distance }
+
+let current_assignment (view : Tut_profile.View.t) =
+  List.filter_map
+    (fun (m : Tut_profile.View.mapping) ->
+      match
+        ( Tut_profile.View.find_group view m.Tut_profile.View.group,
+          Tut_profile.View.find_pe view m.Tut_profile.View.pe )
+      with
+      | Some g, Some pe ->
+        Some (g.Tut_profile.View.part, pe.Tut_profile.View.part)
+      | _, _ -> None)
+    view.Tut_profile.View.mappings
+
+let group_is_hw view group =
+  match
+    List.find_opt
+      (fun (g : Tut_profile.View.group) -> g.Tut_profile.View.part = group)
+      view.Tut_profile.View.groups
+  with
+  | Some g -> g.Tut_profile.View.process_type = Tut_profile.View.Pt_hardware
+  | None -> false
+
+let pe_is_accel view pe =
+  match
+    List.find_opt
+      (fun (p : Tut_profile.View.pe_instance) -> p.Tut_profile.View.part = pe)
+      view.Tut_profile.View.pes
+  with
+  | Some p -> p.Tut_profile.View.component_type = Tut_profile.View.Ct_hw_accelerator
+  | None -> false
+
+let fixed_target view group =
+  List.find_map
+    (fun (m : Tut_profile.View.mapping) ->
+      match
+        ( Tut_profile.View.find_group view m.Tut_profile.View.group,
+          Tut_profile.View.find_pe view m.Tut_profile.View.pe )
+      with
+      | Some g, Some pe
+        when g.Tut_profile.View.part = group && m.Tut_profile.View.fixed ->
+        Some pe.Tut_profile.View.part
+      | _, _ -> None)
+    view.Tut_profile.View.mappings
+
+let feasible view assignment =
+  List.for_all
+    (fun (group, pe) ->
+      group_is_hw view group = pe_is_accel view pe
+      &&
+      match fixed_target view group with
+      | Some target -> target = pe
+      | None -> true)
+    assignment
+
+let candidates view =
+  List.map
+    (fun (g : Tut_profile.View.group) ->
+      let group = g.Tut_profile.View.part in
+      let options =
+        match fixed_target view group with
+        | Some target -> [ target ]
+        | None ->
+          List.filter_map
+            (fun (pe : Tut_profile.View.pe_instance) ->
+              let pe_name = pe.Tut_profile.View.part in
+              if group_is_hw view group = pe_is_accel view pe_name then
+                Some pe_name
+              else None)
+            view.Tut_profile.View.pes
+      in
+      (group, options))
+    view.Tut_profile.View.groups
+
+let cost ?(alpha = 1.0) ?(beta = 1.0) ~profile ~platform assignment =
+  let pe_of group = List.assoc_opt group assignment in
+  let speed pe =
+    match List.find_opt (fun info -> info.pe = pe) platform.pe_infos with
+    | Some info -> info.speed
+    | None -> 1.0
+  in
+  let load = Hashtbl.create 8 in
+  List.iter
+    (fun (group, cycles) ->
+      match pe_of group with
+      | None -> ()
+      | Some pe ->
+        let time = Int64.to_float cycles /. speed pe in
+        let current = Option.value ~default:0.0 (Hashtbl.find_opt load pe) in
+        Hashtbl.replace load pe (current +. time))
+    profile.group_cycles;
+  let makespan = Hashtbl.fold (fun _ v acc -> max v acc) load 0.0 in
+  let remote =
+    List.fold_left
+      (fun acc ((sender, receiver), count) ->
+        match pe_of sender, pe_of receiver with
+        | Some a, Some b ->
+          acc +. (float_of_int count *. float_of_int (platform.hop_distance a b))
+        | _, _ -> acc)
+      0.0 profile.comm
+  in
+  (alpha *. makespan) +. (beta *. remote)

@@ -1,0 +1,169 @@
+type result = {
+  best : Cost.assignment;
+  best_cost : float;
+  evaluations : int;
+  history : (int * float) list;
+}
+
+type tracker = {
+  eval : Cost.assignment -> float;
+  mutable best : Cost.assignment;
+  mutable best_cost : float;
+  mutable evaluations : int;
+  mutable history : (int * float) list;
+}
+
+let tracker eval init =
+  let t =
+    { eval; best = init; best_cost = infinity; evaluations = 0; history = [] }
+  in
+  t
+
+let evaluate t assignment =
+  let cost = t.eval assignment in
+  t.evaluations <- t.evaluations + 1;
+  if cost < t.best_cost then begin
+    t.best <- assignment;
+    t.best_cost <- cost;
+    t.history <- (t.evaluations, cost) :: t.history
+  end;
+  cost
+
+let finish t =
+  {
+    best = t.best;
+    best_cost = t.best_cost;
+    evaluations = t.evaluations;
+    history = List.rev t.history;
+  }
+
+let space_size candidates =
+  List.fold_left (fun acc (_, options) -> acc * List.length options) 1 candidates
+
+let exhaustive ~eval ~candidates () =
+  if List.exists (fun (_, options) -> options = []) candidates then
+    invalid_arg "Dse.Explore.exhaustive: a group has no candidate PE";
+  if space_size candidates > 1_000_000 then
+    invalid_arg "Dse.Explore.exhaustive: space too large";
+  let t = tracker eval [] in
+  let rec enumerate prefix = function
+    | [] -> ignore (evaluate t (List.rev prefix))
+    | (group, options) :: rest ->
+      List.iter (fun pe -> enumerate ((group, pe) :: prefix) rest) options
+  in
+  enumerate [] candidates;
+  finish t
+
+let random_assignment rng candidates =
+  List.map (fun (group, options) -> (group, Rng.pick rng options)) candidates
+
+let random_search ~seed ~iterations ~eval ~candidates () =
+  if List.exists (fun (_, options) -> options = []) candidates then
+    invalid_arg "Dse.Explore.random_search: a group has no candidate PE";
+  let rng = Rng.create seed in
+  let t = tracker eval [] in
+  for _ = 1 to iterations do
+    ignore (evaluate t (random_assignment rng candidates))
+  done;
+  finish t
+
+let moves candidates assignment =
+  (* All single-group reassignments. *)
+  List.concat_map
+    (fun (group, options) ->
+      let current = List.assoc_opt group assignment in
+      List.filter_map
+        (fun pe ->
+          if Some pe = current then None
+          else
+            Some
+              (List.map
+                 (fun (g, p) -> if g = group then (g, pe) else (g, p))
+                 assignment))
+        options)
+    candidates
+
+let greedy ~eval ~candidates ~init () =
+  let t = tracker eval init in
+  let rec descend current current_cost =
+    let neighbour_costs =
+      List.map (fun a -> (a, evaluate t a)) (moves candidates current)
+    in
+    match
+      List.fold_left
+        (fun acc (a, c) ->
+          match acc with
+          | Some (_, best_c) when best_c <= c -> acc
+          | Some _ | None -> if c < current_cost then Some (a, c) else acc)
+        None neighbour_costs
+    with
+    | Some (next, next_cost) -> descend next next_cost
+    | None -> ()
+  in
+  let init_cost = evaluate t init in
+  descend init init_cost;
+  finish t
+
+let simulated_annealing ~seed ~iterations ?(initial_temperature = 1.0)
+    ?(cooling = 0.995) ~eval ~candidates ~init () =
+  if List.exists (fun (_, options) -> options = []) candidates then
+    invalid_arg "Dse.Explore.simulated_annealing: a group has no candidate PE";
+  let rng = Rng.create seed in
+  let t = tracker eval init in
+  let current = ref init in
+  let current_cost = ref (evaluate t init) in
+  (* Scale the temperature to the problem: a fraction of the initial cost. *)
+  let temperature = ref (initial_temperature *. max 1.0 !current_cost /. 10.0) in
+  for _ = 1 to iterations do
+    let group, options = Rng.pick rng candidates in
+    if List.length options > 1 then begin
+      let pe = Rng.pick rng options in
+      let proposal =
+        List.map (fun (g, p) -> if g = group then (g, pe) else (g, p)) !current
+      in
+      let cost = evaluate t proposal in
+      let accept =
+        cost < !current_cost
+        || Rng.float rng < exp ((!current_cost -. cost) /. max 1e-9 !temperature)
+      in
+      if accept then begin
+        current := proposal;
+        current_cost := cost
+      end
+    end;
+    temperature := !temperature *. cooling
+  done;
+  finish t
+
+let apply builder assignment =
+  let view = Tut_profile.Builder.view builder in
+  if not (Cost.feasible view assignment) then
+    invalid_arg "Dse.Explore.apply: assignment violates constraints";
+  let current = Cost.current_assignment view in
+  List.fold_left
+    (fun b (group, pe) ->
+      if List.assoc_opt group current = Some pe then b
+      else
+        let group_owner =
+          match
+            List.find_opt
+              (fun (g : Tut_profile.View.group) ->
+                g.Tut_profile.View.part = group)
+              view.Tut_profile.View.groups
+          with
+          | Some g -> g.Tut_profile.View.owner
+          | None -> raise Not_found
+        in
+        let pe_owner =
+          match
+            List.find_opt
+              (fun (p : Tut_profile.View.pe_instance) ->
+                p.Tut_profile.View.part = pe)
+              view.Tut_profile.View.pes
+          with
+          | Some p -> p.Tut_profile.View.owner
+          | None -> raise Not_found
+        in
+        Tut_profile.Builder.remap b ~group:(group_owner, group)
+          ~pe:(pe_owner, pe))
+    builder assignment

@@ -1,0 +1,58 @@
+(** Mapping exploration algorithms.
+
+    All algorithms operate on an abstract objective ([eval]) over
+    {!Cost.assignment}s and a per-group candidate-PE list, so they can be
+    driven by the static cost model or by full co-simulation.  They are
+    deterministic given the seed. *)
+
+type result = {
+  best : Cost.assignment;
+  best_cost : float;
+  evaluations : int;
+  history : (int * float) list;
+      (** (evaluation index, best-so-far) at improvement points *)
+}
+
+val exhaustive :
+  eval:(Cost.assignment -> float) ->
+  candidates:(string * string list) list ->
+  unit ->
+  result
+(** Try every combination.  Raises [Invalid_argument] when the space
+    exceeds 1_000_000 points or any group has no candidate. *)
+
+val random_search :
+  seed:int ->
+  iterations:int ->
+  eval:(Cost.assignment -> float) ->
+  candidates:(string * string list) list ->
+  unit ->
+  result
+
+val greedy :
+  eval:(Cost.assignment -> float) ->
+  candidates:(string * string list) list ->
+  init:Cost.assignment ->
+  unit ->
+  result
+(** Steepest-descent single-group moves until no move improves. *)
+
+val simulated_annealing :
+  seed:int ->
+  iterations:int ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  eval:(Cost.assignment -> float) ->
+  candidates:(string * string list) list ->
+  init:Cost.assignment ->
+  unit ->
+  result
+(** Defaults: temperature 1.0 (scaled by the initial cost), geometric
+    cooling 0.995 per iteration. *)
+
+val apply :
+  Tut_profile.Builder.t -> Cost.assignment -> Tut_profile.Builder.t
+(** Remap the builder's model to the assignment (groups whose mapping
+    already matches are untouched).  Raises [Not_found] when a group has
+    no existing mapping dependency to update, [Invalid_argument] when
+    the assignment violates a Fixed mapping. *)

@@ -1,0 +1,209 @@
+type assignment = (Uml.Element.ref_ * string) list
+
+let current (view : Tut_profile.View.t) =
+  List.filter_map
+    (fun (g : Tut_profile.View.grouping) ->
+      match Tut_profile.View.find_group view g.Tut_profile.View.group with
+      | Some group -> Some (g.Tut_profile.View.process, group.Tut_profile.View.part)
+      | None -> None)
+    view.Tut_profile.View.groupings
+
+(* Per-process transfers are keyed by instance path; grouping operates on
+   part refs, so traffic is folded onto part-ref pairs first.  Instance
+   paths not rooted in the application (the environment) are ignored —
+   environment traffic does not cross *group* boundaries. *)
+let ref_of_path view =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun (path, part_ref) -> Hashtbl.replace table path part_ref)
+    (Codegen.Lower.process_instances view);
+  fun path -> Hashtbl.find_opt table path
+
+let ref_traffic ~view ~(report : Profiler.Report.t) =
+  let resolve = ref_of_path view in
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun ((sender, receiver), count) ->
+      match resolve sender, resolve receiver with
+      | Some a, Some b when not (Uml.Element.equal a b) ->
+        let key = (a, b) in
+        let cur = Option.value ~default:0 (Hashtbl.find_opt table key) in
+        Hashtbl.replace table key (cur + count)
+      | _, _ -> ())
+    report.Profiler.Report.process_transfers;
+  Hashtbl.fold (fun key count acc -> (key, count) :: acc) table []
+
+let inter_group_traffic ~view ~report assignment =
+  let group_of r =
+    List.find_map
+      (fun (r', g) -> if Uml.Element.equal r r' then Some g else None)
+      assignment
+  in
+  List.fold_left
+    (fun acc ((a, b), count) ->
+      match group_of a, group_of b with
+      | Some ga, Some gb when ga <> gb -> acc + count
+      | _, _ -> acc)
+    0
+    (ref_traffic ~view ~report)
+
+type suggestion = {
+  assignment : assignment;
+  before : int;
+  after : int;
+  moves : (Uml.Element.ref_ * string * string) list;
+}
+
+let group_info (view : Tut_profile.View.t) name =
+  List.find_opt
+    (fun (g : Tut_profile.View.group) -> g.Tut_profile.View.part = name)
+    view.Tut_profile.View.groups
+
+let process_movable (view : Tut_profile.View.t) process_ref =
+  (* A process may move unless its grouping dependency is Fixed or its
+     current group is Fixed. *)
+  match
+    List.find_opt
+      (fun (g : Tut_profile.View.grouping) ->
+        Uml.Element.equal g.Tut_profile.View.process process_ref)
+      view.Tut_profile.View.groupings
+  with
+  | None -> false
+  | Some grouping ->
+    (not grouping.Tut_profile.View.fixed)
+    &&
+    (match Tut_profile.View.find_group view grouping.Tut_profile.View.group with
+    | Some group -> not group.Tut_profile.View.fixed
+    | None -> false)
+
+let compatible_groups (view : Tut_profile.View.t) process_ref =
+  match Tut_profile.View.find_process view process_ref with
+  | None -> []
+  | Some p ->
+    List.filter_map
+      (fun (g : Tut_profile.View.group) ->
+        if
+          g.Tut_profile.View.process_type = p.Tut_profile.View.process_type
+          && not g.Tut_profile.View.fixed
+        then Some g.Tut_profile.View.part
+        else None)
+      view.Tut_profile.View.groups
+
+let suggest ~view ~report =
+  let init = current view in
+  let traffic = ref_traffic ~view ~report in
+  let cost assignment =
+    let group_of r =
+      List.find_map
+        (fun (r', g) -> if Uml.Element.equal r r' then Some g else None)
+        assignment
+    in
+    List.fold_left
+      (fun acc ((a, b), count) ->
+        match group_of a, group_of b with
+        | Some ga, Some gb when ga <> gb -> acc + count
+        | _, _ -> acc)
+      0 traffic
+  in
+  let before = cost init in
+  let move assignment process_ref group =
+    List.map
+      (fun (r, g) -> if Uml.Element.equal r process_ref then (r, group) else (r, g))
+      assignment
+  in
+  let rec descend assignment assignment_cost =
+    let candidates =
+      List.concat_map
+        (fun (process_ref, current_group) ->
+          if not (process_movable view process_ref) then []
+          else
+            List.filter_map
+              (fun group ->
+                if group = current_group then None
+                else
+                  let next = move assignment process_ref group in
+                  Some (next, cost next, (process_ref, current_group, group)))
+              (compatible_groups view process_ref))
+        assignment
+    in
+    let best =
+      List.fold_left
+        (fun acc (next, next_cost, mv) ->
+          match acc with
+          | Some (_, best_cost, _) when best_cost <= next_cost -> acc
+          | Some _ | None ->
+            if next_cost < assignment_cost then Some (next, next_cost, mv)
+            else acc)
+        None candidates
+    in
+    match best with
+    | Some (next, next_cost, mv) ->
+      let final, final_cost, moves = descend next next_cost in
+      (final, final_cost, mv :: moves)
+    | None -> (assignment, assignment_cost, [])
+  in
+  let assignment, after, moves = descend init before in
+  { assignment; before; after; moves }
+
+let apply builder assignment =
+  let view = Tut_profile.Builder.view builder in
+  (* Validate the assignment against the constraints first. *)
+  List.iter
+    (fun (process_ref, group_name) ->
+      let current_group =
+        Tut_profile.View.group_of_process view process_ref
+      in
+      let moved =
+        match current_group with
+        | Some g -> g.Tut_profile.View.part <> group_name
+        | None -> true
+      in
+      if moved then begin
+        if not (process_movable view process_ref) then
+          invalid_arg "Dse.Grouping.apply: fixed grouping moved";
+        match group_info view group_name with
+        | None -> invalid_arg "Dse.Grouping.apply: unknown group"
+        | Some group -> (
+          match Tut_profile.View.find_process view process_ref with
+          | Some p
+            when p.Tut_profile.View.process_type
+                 <> group.Tut_profile.View.process_type ->
+            invalid_arg "Dse.Grouping.apply: ProcessType mismatch"
+          | Some _ -> ()
+          | None -> invalid_arg "Dse.Grouping.apply: unknown process")
+      end)
+    assignment;
+  (* Rewrite the grouping dependency suppliers. *)
+  let model = Tut_profile.Builder.model builder in
+  let apps = Tut_profile.Builder.apps builder in
+  let group_ref name =
+    match group_info view name with
+    | Some g ->
+      Uml.Element.Part_ref
+        { class_name = g.Tut_profile.View.owner; part = g.Tut_profile.View.part }
+    | None -> raise Not_found
+  in
+  let dependencies =
+    List.map
+      (fun (d : Uml.Dependency.t) ->
+        if
+          not
+            (Profile.Apply.has apps
+               (Uml.Element.Dependency_ref d.Uml.Dependency.name)
+               Tut_profile.Stereotypes.process_grouping)
+        then d
+        else
+          match
+            List.find_opt
+              (fun (r, _) -> Uml.Element.equal r d.Uml.Dependency.client)
+              assignment
+          with
+          | Some (_, group_name) ->
+            { d with Uml.Dependency.supplier = group_ref group_name }
+          | None -> d)
+      model.Uml.Model.dependencies
+  in
+  {
+    builder with
+    Tut_profile.Builder.model = { model with Uml.Model.dependencies };
+  }

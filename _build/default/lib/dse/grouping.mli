@@ -1,0 +1,43 @@
+(** Automatic process grouping.
+
+    The paper: "Currently, the grouping is done manually by the designer,
+    but tools for automatic grouping according to the profiling
+    information and process types will be implemented."  This module is
+    that tool.  Objective (also the paper's): minimise the communication
+    between process groups, using the measured per-process transfer
+    counts of a profiling report; constraints are the profile's:
+
+    - a process may only join a group with its ProcessType (rule R07);
+    - processes whose [ProcessGrouping] dependency is Fixed stay put;
+    - groups tagged Fixed keep their exact membership (no joins or
+      leaves). *)
+
+type assignment = (Uml.Element.ref_ * string) list
+(** Process part-ref -> group part name, total over movable and fixed
+    processes. *)
+
+val current : Tut_profile.View.t -> assignment
+
+val inter_group_traffic :
+  view:Tut_profile.View.t -> report:Profiler.Report.t -> assignment -> int
+(** Signals crossing group boundaries under the assignment (the paper's
+    grouping objective, measured on per-process transfers). *)
+
+type suggestion = {
+  assignment : assignment;
+  before : int;
+  after : int;
+  moves : (Uml.Element.ref_ * string * string) list;
+      (** (process, old group, new group) *)
+}
+
+val suggest :
+  view:Tut_profile.View.t -> report:Profiler.Report.t -> suggestion
+(** Greedy descent over single-process moves between compatible groups.
+    Deterministic; [after <= before]. *)
+
+val apply : Tut_profile.Builder.t -> assignment -> Tut_profile.Builder.t
+(** Rewrite the [ProcessGrouping] dependencies to the assignment.
+    Raises [Invalid_argument] when the assignment violates a constraint
+    (type mismatch, fixed grouping moved, unknown group), [Not_found]
+    when a process has no grouping dependency to rewrite. *)

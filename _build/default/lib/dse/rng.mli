@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random numbers (xorshift64-star).
+
+    Exploration must be reproducible run-to-run regardless of the global
+    [Random] state, so the DSE algorithms thread their own generator. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; the same seed always yields the same sequence. *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [0, n).  Raises [Invalid_argument]
+    when [n <= 0]. *)
+
+val float : t -> float
+(** Uniform draw from [0, 1). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,1 @@
+lib/efsm/action.ml: Format Hashtbl List Printf

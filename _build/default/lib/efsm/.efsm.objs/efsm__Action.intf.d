@@ -1,0 +1,1 @@
+lib/efsm/action.mli: Format

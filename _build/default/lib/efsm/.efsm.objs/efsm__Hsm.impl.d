@@ -1,0 +1,1 @@
+lib/efsm/hsm.ml: Action Hashtbl List Machine Option Printf

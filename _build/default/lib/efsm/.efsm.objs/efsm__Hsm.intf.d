@@ -1,0 +1,1 @@
+lib/efsm/hsm.mli: Action Machine

@@ -1,0 +1,1 @@
+lib/efsm/interp.ml: Action List Machine

@@ -1,0 +1,1 @@
+lib/efsm/interp.mli: Action Machine

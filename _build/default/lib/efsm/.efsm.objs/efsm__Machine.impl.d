@@ -1,0 +1,1 @@
+lib/efsm/machine.ml: Action Format List Option Printf String

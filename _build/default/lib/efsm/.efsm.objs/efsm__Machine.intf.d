@@ -1,0 +1,1 @@
+lib/efsm/machine.mli: Action Format

@@ -1,0 +1,1 @@
+lib/efsm/notation.ml: Action Buffer List Machine Printf String

@@ -1,0 +1,1 @@
+lib/efsm/notation.mli: Action Machine

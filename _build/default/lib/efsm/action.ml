@@ -1,0 +1,208 @@
+type value = V_int of int | V_bool of bool
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | Param of string
+  | Neg of expr
+  | Not of expr
+  | Bin of binop * expr * expr
+
+type stmt =
+  | Assign of string * expr
+  | Send of { port : string; signal : string; args : expr list }
+  | Compute of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+
+exception Type_error of string
+
+let max_loop_iterations = 100_000
+
+type env = (string, value) Hashtbl.t
+
+let env_of_bindings bindings =
+  let env = Hashtbl.create 16 in
+  List.iter (fun (name, value) -> Hashtbl.replace env name value) bindings;
+  env
+
+let env_bindings env =
+  Hashtbl.fold (fun name value acc -> (name, value) :: acc) env []
+  |> List.sort compare
+
+let lookup env name = Hashtbl.find_opt env name
+let set env name value = Hashtbl.replace env name value
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let rec eval env ~params expr =
+  match expr with
+  | Int n -> V_int n
+  | Bool b -> V_bool b
+  | Var name -> (
+    match Hashtbl.find_opt env name with
+    | Some value -> value
+    | None -> type_error "unbound variable %s" name)
+  | Param name -> (
+    match List.assoc_opt name params with
+    | Some value -> value
+    | None -> type_error "unbound signal parameter %s" name)
+  | Neg e -> V_int (-eval_int env ~params e)
+  | Not e -> V_bool (not (eval_bool env ~params e))
+  | Bin (op, a, b) -> eval_bin env ~params op a b
+
+and eval_bin env ~params op a b =
+  match op with
+  | Add -> V_int (eval_int env ~params a + eval_int env ~params b)
+  | Sub -> V_int (eval_int env ~params a - eval_int env ~params b)
+  | Mul -> V_int (eval_int env ~params a * eval_int env ~params b)
+  | Div ->
+    let d = eval_int env ~params b in
+    if d = 0 then type_error "division by zero";
+    V_int (eval_int env ~params a / d)
+  | Mod ->
+    let d = eval_int env ~params b in
+    if d = 0 then type_error "modulo by zero";
+    V_int (eval_int env ~params a mod d)
+  | Eq -> V_bool (eval env ~params a = eval env ~params b)
+  | Ne -> V_bool (eval env ~params a <> eval env ~params b)
+  | Lt -> V_bool (eval_int env ~params a < eval_int env ~params b)
+  | Le -> V_bool (eval_int env ~params a <= eval_int env ~params b)
+  | Gt -> V_bool (eval_int env ~params a > eval_int env ~params b)
+  | Ge -> V_bool (eval_int env ~params a >= eval_int env ~params b)
+  | And -> V_bool (eval_bool env ~params a && eval_bool env ~params b)
+  | Or -> V_bool (eval_bool env ~params a || eval_bool env ~params b)
+
+and eval_int env ~params expr =
+  match eval env ~params expr with
+  | V_int n -> n
+  | V_bool _ -> type_error "expected an integer"
+
+and eval_bool env ~params expr =
+  match eval env ~params expr with
+  | V_bool b -> b
+  | V_int _ -> type_error "expected a boolean"
+
+type effect =
+  | Eff_send of { port : string; signal : string; args : value list }
+  | Eff_compute of int
+
+let exec env ~params stmts =
+  let effects = ref [] in
+  let emit effect = effects := effect :: !effects in
+  let rec run stmts = List.iter step stmts
+  and step stmt =
+    match stmt with
+    | Assign (name, e) -> Hashtbl.replace env name (eval env ~params e)
+    | Send { port; signal; args } ->
+      let values = List.map (eval env ~params) args in
+      emit (Eff_send { port; signal; args = values })
+    | Compute e ->
+      let cycles = eval_int env ~params e in
+      if cycles < 0 then type_error "negative computation cost";
+      if cycles > 0 then emit (Eff_compute cycles)
+    | If (cond, then_, else_) ->
+      if eval_bool env ~params cond then run then_ else run else_
+    | While (cond, body) ->
+      let rec loop count =
+        if count > max_loop_iterations then
+          type_error "loop exceeded %d iterations" max_loop_iterations;
+        if eval_bool env ~params cond then begin
+          run body;
+          loop (count + 1)
+        end
+      in
+      loop 0
+  in
+  run stmts;
+  List.rev !effects
+
+let pp_value fmt = function
+  | V_int n -> Format.fprintf fmt "%d" n
+  | V_bool b -> Format.fprintf fmt "%b" b
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let rec pp_expr fmt = function
+  | Int n -> Format.fprintf fmt "%d" n
+  | Bool b -> Format.fprintf fmt "%b" b
+  | Var name -> Format.fprintf fmt "%s" name
+  | Param name -> Format.fprintf fmt "$%s" name
+  | Neg e -> Format.fprintf fmt "-(%a)" pp_expr e
+  | Not e -> Format.fprintf fmt "!(%a)" pp_expr e
+  | Bin (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+
+let rec pp_stmt fmt = function
+  | Assign (name, e) -> Format.fprintf fmt "%s := %a" name pp_expr e
+  | Send { port; signal; args } ->
+    Format.fprintf fmt "%s!%s(%a)" port signal
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+         pp_expr)
+      args
+  | Compute e -> Format.fprintf fmt "compute(%a)" pp_expr e
+  | If (cond, then_, else_) ->
+    Format.fprintf fmt "if %a then {%a} else {%a}" pp_expr cond pp_block then_
+      pp_block else_
+  | While (cond, body) ->
+    Format.fprintf fmt "while %a do {%a}" pp_expr cond pp_block body
+
+and pp_block fmt stmts =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+    pp_stmt fmt stmts
+
+let equal_value (a : value) (b : value) = a = b
+
+(* Concise constructors.  Shadowing the arithmetic operators is local to
+   users who open this module explicitly for building actions. *)
+let i n = Int n
+let b x = Bool x
+let v name = Var name
+let p name = Param name
+let ( + ) a b = Bin (Add, a, b)
+let ( - ) a b = Bin (Sub, a, b)
+let ( * ) a b = Bin (Mul, a, b)
+let ( / ) a b = Bin (Div, a, b)
+let ( mod ) a b = Bin (Mod, a, b)
+let ( = ) a b = Bin (Eq, a, b)
+let ( <> ) a b = Bin (Ne, a, b)
+let ( < ) a b = Bin (Lt, a, b)
+let ( <= ) a b = Bin (Le, a, b)
+let ( > ) a b = Bin (Gt, a, b)
+let ( >= ) a b = Bin (Ge, a, b)
+let ( && ) a b = Bin (And, a, b)
+let ( || ) a b = Bin (Or, a, b)
+let assign name e = Assign (name, e)
+let send ?(args = []) ~port signal = Send { port; signal; args }
+let compute e = Compute e

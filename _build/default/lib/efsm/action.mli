@@ -1,0 +1,103 @@
+(** Action language for EFSM transitions.
+
+    The paper models behaviour as "asynchronous communicating Extended
+    Finite State Machines" whose transitions carry guards and actions in
+    the UML 2.0 textual notation.  This module is our textual notation:
+    integer/boolean expressions over machine variables and trigger
+    parameters, plus statements for assignment, signal output and
+    abstract computation cost. *)
+
+type value = V_int of int | V_bool of bool
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Var of string  (** machine variable *)
+  | Param of string  (** parameter of the triggering signal *)
+  | Neg of expr
+  | Not of expr
+  | Bin of binop * expr * expr
+
+type stmt =
+  | Assign of string * expr  (** [var := expr] *)
+  | Send of { port : string; signal : string; args : expr list }
+      (** emit a signal through a port of the owning class *)
+  | Compute of expr
+      (** consume an abstract amount of computation (cycles on the
+          reference platform; scaled by the mapped processing element) *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+      (** bounded by {!max_loop_iterations}; exceeding it is an error *)
+
+exception Type_error of string
+(** Raised when evaluation meets a type mismatch, an unbound variable or
+    parameter, a division by zero, or an overlong loop. *)
+
+val max_loop_iterations : int
+(** Safety bound on [While] loops (an EFSM action must terminate). *)
+
+type env
+(** Mutable variable environment of one machine instance. *)
+
+val env_of_bindings : (string * value) list -> env
+val env_bindings : env -> (string * value) list
+val lookup : env -> string -> value option
+val set : env -> string -> value -> unit
+
+val eval : env -> params:(string * value) list -> expr -> value
+(** Evaluate an expression.  Raises {!Type_error}. *)
+
+val eval_bool : env -> params:(string * value) list -> expr -> bool
+val eval_int : env -> params:(string * value) list -> expr -> int
+
+type effect =
+  | Eff_send of { port : string; signal : string; args : value list }
+  | Eff_compute of int
+
+val exec :
+  env -> params:(string * value) list -> stmt list -> effect list
+(** Execute statements in order, mutating [env]; returns emitted effects
+    in program order.  Raises {!Type_error}. *)
+
+val pp_value : Format.formatter -> value -> unit
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val equal_value : value -> value -> bool
+
+(** Convenience constructors for building actions concisely. *)
+
+val i : int -> expr
+val b : bool -> expr
+val v : string -> expr
+val p : string -> expr
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( mod ) : expr -> expr -> expr
+val ( = ) : expr -> expr -> expr
+val ( <> ) : expr -> expr -> expr
+val ( < ) : expr -> expr -> expr
+val ( <= ) : expr -> expr -> expr
+val ( > ) : expr -> expr -> expr
+val ( >= ) : expr -> expr -> expr
+val ( && ) : expr -> expr -> expr
+val ( || ) : expr -> expr -> expr
+val assign : string -> expr -> stmt
+val send : ?args:expr list -> port:string -> string -> stmt
+val compute : expr -> stmt

@@ -1,0 +1,137 @@
+type state = {
+  name : string;
+  substates : state list;
+  initial : string option;
+}
+
+let simple name = { name; substates = []; initial = None }
+
+let composite ~name ~initial substates =
+  if substates = [] then
+    invalid_arg "Efsm.Hsm.composite: a composite state needs substates";
+  { name; substates; initial = Some initial }
+
+type t = {
+  name : string;
+  states : state list;
+  initial : string;
+  variables : (string * Action.value) list;
+  transitions : Machine.transition list;
+}
+
+let rec fold_states f acc states =
+  List.fold_left
+    (fun acc s -> fold_states f (f acc s) s.substates)
+    acc states
+
+let all_states t = List.rev (fold_states (fun acc s -> s :: acc) [] t.states)
+
+let find_state t name =
+  List.find_opt (fun (s : state) -> s.name = name) (all_states t)
+
+let leaf_names t =
+  List.filter_map
+    (fun (s : state) -> if s.substates = [] then Some s.name else None)
+    (all_states t)
+
+let rec duplicates seen = function
+  | [] -> []
+  | x :: rest ->
+    if List.mem x seen then x :: duplicates seen rest
+    else duplicates (x :: seen) rest
+
+let check t =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let names = List.map (fun (s : state) -> s.name) (all_states t) in
+  List.iter (fun d -> problem "hsm %s: duplicate state %s" t.name d)
+    (duplicates [] names);
+  List.iter
+    (fun s ->
+      match s.substates, s.initial with
+      | [], Some _ -> problem "hsm %s: simple state %s has an initial" t.name s.name
+      | [], None -> ()
+      | subs, Some init ->
+        if not (List.exists (fun (c : state) -> c.name = init) subs) then
+          problem "hsm %s: %s's initial %s is not a direct substate" t.name
+            s.name init
+      | _ :: _, None ->
+        problem "hsm %s: composite state %s lacks an initial" t.name s.name)
+    (all_states t);
+  if not (List.mem t.initial names) then
+    problem "hsm %s: initial state %s is not declared" t.name t.initial;
+  List.iter
+    (fun (tr : Machine.transition) ->
+      if not (List.mem tr.Machine.source names) then
+        problem "hsm %s: transition from undeclared %s" t.name tr.Machine.source;
+      if not (List.mem tr.Machine.target names) then
+        problem "hsm %s: transition to undeclared %s" t.name tr.Machine.target)
+    t.transitions;
+  List.rev !problems
+
+(* Entering a state means descending its initial chain to a leaf. *)
+let rec entry_leaf t s =
+  match s.substates, s.initial with
+  | [], _ -> s.name
+  | subs, Some init -> (
+    match List.find_opt (fun (c : state) -> c.name = init) subs with
+    | Some child -> entry_leaf t child
+    | None -> s.name (* rejected by check *))
+  | _ :: _, None -> s.name
+
+(* Ancestors of each leaf, innermost first (excluding the leaf). *)
+let ancestry t =
+  let table = Hashtbl.create 16 in
+  let rec walk path states =
+    List.iter
+      (fun s ->
+        if s.substates = [] then Hashtbl.replace table s.name path
+        else walk (s :: path) s.substates)
+      states
+  in
+  walk [] t.states;
+  fun leaf -> Option.value ~default:[] (Hashtbl.find_opt table leaf)
+
+let flatten t =
+  match check t with
+  | _ :: _ as problems -> Error problems
+  | [] ->
+    let ancestors_of = ancestry t in
+    let resolve_target name =
+      match find_state t name with
+      | Some s -> entry_leaf t s
+      | None -> name
+    in
+    let flat_initial = resolve_target t.initial in
+    let leaves = leaf_names t in
+    (* For each leaf: its own transitions first, then each ancestor's
+       (innermost first) — declaration order is dispatch priority. *)
+    let transitions_from name =
+      List.filter (fun (tr : Machine.transition) -> tr.Machine.source = name)
+        t.transitions
+    in
+    let flat_transitions =
+      List.concat_map
+        (fun leaf ->
+          let own = transitions_from leaf in
+          let inherited =
+            List.concat_map
+              (fun (ancestor : state) -> transitions_from ancestor.name)
+              (ancestors_of leaf)
+          in
+          List.map
+            (fun (tr : Machine.transition) ->
+              {
+                tr with
+                Machine.source = leaf;
+                Machine.target = resolve_target tr.Machine.target;
+              })
+            (own @ inherited))
+        leaves
+    in
+    (match
+       Machine.make ~name:t.name ~states:leaves ~initial:flat_initial
+         ~variables:t.variables flat_transitions
+     with
+    | machine -> Ok machine
+    | exception Invalid_argument msg -> Error [ msg ])

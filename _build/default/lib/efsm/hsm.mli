@@ -1,0 +1,52 @@
+(** Hierarchical state machines (composite states), flattened to
+    {!Machine.t}.
+
+    The paper's behaviours are UML 2.0 statecharts; beyond the flat EFSM
+    core, statecharts allow {e composite states} whose substates inherit
+    the parent's transitions.  This module provides that surface syntax
+    and a semantics-preserving flattening:
+
+    - entering a composite state descends through its [initial] chain to
+      a leaf;
+    - a transition declared on a composite state applies in every leaf
+      underneath it, with {e inner-first} priority: a substate's own
+      transition (with a satisfied guard) shadows an ancestor's
+      transition with the same trigger;
+    - transition targets that name a composite state enter its initial
+      chain.
+
+    Documented approximations (flat-machine semantics): no history
+    pseudostates, and an [After] timer declared on a composite state
+    restarts whenever any internal transition fires (the flat runtime
+    re-arms timers on state entry). *)
+
+type state = {
+  name : string;
+  substates : state list;  (** empty for a simple state *)
+  initial : string option;  (** required iff [substates] is non-empty *)
+}
+
+val simple : string -> state
+val composite : name:string -> initial:string -> state list -> state
+
+type t = {
+  name : string;
+  states : state list;
+  initial : string;
+  variables : (string * Action.value) list;
+  transitions : Machine.transition list;
+      (** sources/targets may name composite states *)
+}
+
+val check : t -> string list
+(** Well-formedness: globally unique state names, composite states have
+    a valid [initial] child, transition endpoints and the machine initial
+    exist; empty list = valid. *)
+
+val leaf_names : t -> string list
+(** All simple (leaf) states, in depth-first declaration order. *)
+
+val flatten : t -> (Machine.t, string list) result
+(** The equivalent flat machine over the leaf states.  Transition order
+    encodes inner-first priority (the interpreter tries transitions in
+    declaration order). *)

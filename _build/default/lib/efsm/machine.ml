@@ -1,0 +1,132 @@
+type trigger =
+  | On_signal of string
+  | After of int
+  | Completion
+
+type transition = {
+  source : string;
+  target : string;
+  trigger : trigger;
+  guard : Action.expr option;
+  actions : Action.stmt list;
+}
+
+type t = {
+  name : string;
+  states : string list;
+  initial : string;
+  variables : (string * Action.value) list;
+  transitions : transition list;
+  entry_actions : (string * Action.stmt list) list;
+  exit_actions : (string * Action.stmt list) list;
+}
+
+let transition ?guard ?(actions = []) ~src ~dst trigger =
+  { source = src; target = dst; trigger; guard; actions }
+
+let rec duplicates seen = function
+  | [] -> []
+  | x :: rest ->
+    if List.mem x seen then x :: duplicates seen rest
+    else duplicates (x :: seen) rest
+
+let check machine =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if machine.states = [] then problem "machine %s has no states" machine.name;
+  if not (List.mem machine.initial machine.states) then
+    problem "machine %s: initial state %s is not declared" machine.name
+      machine.initial;
+  List.iter
+    (fun s -> problem "machine %s: duplicate state %s" machine.name s)
+    (duplicates [] machine.states);
+  List.iter
+    (fun name -> problem "machine %s: duplicate variable %s" machine.name name)
+    (duplicates [] (List.map fst machine.variables));
+  List.iter
+    (fun tr ->
+      if not (List.mem tr.source machine.states) then
+        problem "machine %s: transition from undeclared state %s" machine.name
+          tr.source;
+      if not (List.mem tr.target machine.states) then
+        problem "machine %s: transition to undeclared state %s" machine.name
+          tr.target;
+      match tr.trigger with
+      | After delay when delay <= 0 ->
+        problem "machine %s: non-positive timer delay %d" machine.name delay
+      | After _ | On_signal _ | Completion -> ())
+    machine.transitions;
+  List.iter
+    (fun (state, _) ->
+      if not (List.mem state machine.states) then
+        problem "machine %s: entry actions on undeclared state %s" machine.name
+          state)
+    machine.entry_actions;
+  List.iter
+    (fun (state, _) ->
+      if not (List.mem state machine.states) then
+        problem "machine %s: exit actions on undeclared state %s" machine.name
+          state)
+    machine.exit_actions;
+  List.rev !problems
+
+let make ~name ~states ~initial ?(variables = []) ?(entry_actions = [])
+    ?(exit_actions = []) transitions =
+  let machine =
+    { name; states; initial; variables; transitions; entry_actions;
+      exit_actions }
+  in
+  match check machine with
+  | [] -> machine
+  | problems ->
+    invalid_arg
+      (Printf.sprintf "Efsm.Machine.make: %s" (String.concat "; " problems))
+
+let outgoing machine state =
+  List.filter (fun tr -> tr.source = state) machine.transitions
+
+let signals_consumed machine =
+  let collect acc tr =
+    match tr.trigger with
+    | On_signal s -> s :: acc
+    | After _ | Completion -> acc
+  in
+  List.fold_left collect [] machine.transitions
+  |> List.sort_uniq compare
+
+let entry_of machine state =
+  Option.value ~default:[] (List.assoc_opt state machine.entry_actions)
+
+let exit_of machine state =
+  Option.value ~default:[] (List.assoc_opt state machine.exit_actions)
+
+let signals_sent machine =
+  let rec in_stmt acc stmt =
+    match (stmt : Action.stmt) with
+    | Send { port; signal; _ } -> (port, signal) :: acc
+    | Assign _ | Compute _ -> acc
+    | If (_, then_, else_) ->
+      List.fold_left in_stmt (List.fold_left in_stmt acc then_) else_
+    | While (_, body) -> List.fold_left in_stmt acc body
+  in
+  let in_transition acc tr = List.fold_left in_stmt acc tr.actions in
+  let in_state_actions acc (_, stmts) = List.fold_left in_stmt acc stmts in
+  let acc = List.fold_left in_transition [] machine.transitions in
+  let acc = List.fold_left in_state_actions acc machine.entry_actions in
+  List.fold_left in_state_actions acc machine.exit_actions
+  |> List.sort_uniq compare
+
+let pp_trigger fmt = function
+  | On_signal s -> Format.fprintf fmt "on %s" s
+  | After n -> Format.fprintf fmt "after %d" n
+  | Completion -> Format.fprintf fmt "completion"
+
+let pp fmt machine =
+  Format.fprintf fmt "@[<v>machine %s (initial %s)@," machine.name
+    machine.initial;
+  List.iter
+    (fun tr ->
+      Format.fprintf fmt "  %s -> %s [%a]@," tr.source tr.target pp_trigger
+        tr.trigger)
+    machine.transitions;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,72 @@
+(** EFSM definitions: states, variables, triggered transitions.
+
+    A machine is the behaviour of one UML active class.  Transitions are
+    triggered by an incoming signal, by a timer expiry, or fire
+    spontaneously on completion; guards and actions use the
+    {!Efsm.Action} language. *)
+
+type trigger =
+  | On_signal of string  (** reception of a named signal *)
+  | After of int  (** timer: fires [n] time units after entering the state *)
+  | Completion  (** fires as soon as the state is entered and the guard holds *)
+
+type transition = {
+  source : string;
+  target : string;
+  trigger : trigger;
+  guard : Action.expr option;
+  actions : Action.stmt list;
+}
+
+type t = {
+  name : string;
+  states : string list;
+  initial : string;
+  variables : (string * Action.value) list;
+  transitions : transition list;
+  entry_actions : (string * Action.stmt list) list;
+      (** per-state actions run when the state is entered *)
+  exit_actions : (string * Action.stmt list) list;
+      (** per-state actions run when the state is left *)
+}
+
+val make :
+  name:string ->
+  states:string list ->
+  initial:string ->
+  ?variables:(string * Action.value) list ->
+  ?entry_actions:(string * Action.stmt list) list ->
+  ?exit_actions:(string * Action.stmt list) list ->
+  transition list ->
+  t
+(** Build a machine.  Raises [Invalid_argument] when validation (see
+    {!check}) fails. *)
+
+val transition :
+  ?guard:Action.expr ->
+  ?actions:Action.stmt list ->
+  src:string ->
+  dst:string ->
+  trigger ->
+  transition
+
+val check : t -> string list
+(** Static well-formedness: non-empty state list, initial state declared,
+    transition endpoints declared, no duplicate state names, [After]
+    delays positive, entry/exit actions attached to declared states.
+    Returns human-readable problems (empty = valid). *)
+
+val entry_of : t -> string -> Action.stmt list
+val exit_of : t -> string -> Action.stmt list
+
+val outgoing : t -> string -> transition list
+(** Transitions leaving the given state, in declaration order. *)
+
+val signals_consumed : t -> string list
+(** Sorted, de-duplicated names of signals the machine can receive. *)
+
+val signals_sent : t -> (string * string) list
+(** Sorted, de-duplicated [(port, signal)] pairs appearing in [Send]
+    actions anywhere in the machine. *)
+
+val pp : Format.formatter -> t -> unit

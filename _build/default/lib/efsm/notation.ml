@@ -1,0 +1,429 @@
+(* Printer ----------------------------------------------------------- *)
+
+let binop_symbol (op : Action.binop) =
+  match op with
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+(* The printer parenthesises every compound expression, which keeps it
+   trivially correct; the parser accepts both forms. *)
+let rec print_expr (e : Action.expr) =
+  match e with
+  | Int n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Bool b -> string_of_bool b
+  | Var name -> name
+  | Param name -> "$" ^ name
+  | Neg e -> Printf.sprintf "(-%s)" (print_expr e)
+  | Not e -> Printf.sprintf "(!%s)" (print_expr e)
+  | Bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (print_expr a) (binop_symbol op) (print_expr b)
+
+let rec print_stmt (s : Action.stmt) =
+  match s with
+  | Assign (name, e) -> Printf.sprintf "%s := %s" name (print_expr e)
+  | Send { port; signal; args } ->
+    Printf.sprintf "%s!%s(%s)" port signal
+      (String.concat ", " (List.map print_expr args))
+  | Compute e -> Printf.sprintf "compute(%s)" (print_expr e)
+  | If (cond, then_, []) ->
+    Printf.sprintf "if %s { %s }" (print_expr cond) (print_stmts then_)
+  | If (cond, then_, else_) ->
+    Printf.sprintf "if %s { %s } else { %s }" (print_expr cond)
+      (print_stmts then_) (print_stmts else_)
+  | While (cond, body) ->
+    Printf.sprintf "while %s { %s }" (print_expr cond) (print_stmts body)
+
+and print_stmts stmts = String.concat "; " (List.map print_stmt stmts)
+
+(* Parser ------------------------------------------------------------- *)
+
+exception Parse_error of int * string
+
+type lexer = { src : string; mutable pos : int }
+
+let error lx fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error (lx.pos, msg))) fmt
+
+let eof lx = lx.pos >= String.length lx.src
+let peek_char lx = if eof lx then '\000' else lx.src.[lx.pos]
+
+let skip_ws lx =
+  while (not (eof lx)) && List.mem (peek_char lx) [ ' '; '\t'; '\n'; '\r' ] do
+    lx.pos <- lx.pos + 1
+  done
+
+let looking_at lx s =
+  let n = String.length s in
+  lx.pos + n <= String.length lx.src && String.sub lx.src lx.pos n = s
+
+let eat lx s =
+  skip_ws lx;
+  if looking_at lx s then begin
+    lx.pos <- lx.pos + String.length s;
+    true
+  end
+  else false
+
+let expect lx s = if not (eat lx s) then error lx "expected %S" s
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let ident lx =
+  skip_ws lx;
+  if not (is_ident_start (peek_char lx)) then error lx "expected an identifier";
+  let start = lx.pos in
+  while (not (eof lx)) && is_ident_char (peek_char lx) do
+    lx.pos <- lx.pos + 1
+  done;
+  String.sub lx.src start (lx.pos - start)
+
+let integer lx =
+  skip_ws lx;
+  let start = lx.pos in
+  while (not (eof lx)) && is_digit (peek_char lx) do
+    lx.pos <- lx.pos + 1
+  done;
+  if lx.pos = start then error lx "expected an integer";
+  int_of_string (String.sub lx.src start (lx.pos - start))
+
+(* Keyword check distinguishes identifiers from reserved words. *)
+let try_ident lx =
+  skip_ws lx;
+  if is_ident_start (peek_char lx) then Some (ident lx) else None
+
+let rec expr lx = or_expr lx
+
+and or_expr lx =
+  let left = and_expr lx in
+  if eat lx "||" then Action.Bin (Action.Or, left, or_expr lx) else left
+
+and and_expr lx =
+  let left = cmp_expr lx in
+  if eat lx "&&" then Action.Bin (Action.And, left, and_expr lx) else left
+
+and cmp_expr lx =
+  let left = add_expr lx in
+  skip_ws lx;
+  let op =
+    if eat lx "==" then Some Action.Eq
+    else if eat lx "!=" then Some Action.Ne
+    else if eat lx "<=" then Some Action.Le
+    else if eat lx ">=" then Some Action.Ge
+    else if (not (looking_at lx "<-")) && eat lx "<" then Some Action.Lt
+    else if eat lx ">" then Some Action.Gt
+    else None
+  in
+  match op with
+  | None -> left
+  | Some op -> Action.Bin (op, left, add_expr lx)
+
+and add_expr lx =
+  let rec loop left =
+    skip_ws lx;
+    if eat lx "+" then loop (Action.Bin (Action.Add, left, mul_expr lx))
+    else if (not (looking_at lx "->")) && eat lx "-" then
+      loop (Action.Bin (Action.Sub, left, mul_expr lx))
+    else left
+  in
+  loop (mul_expr lx)
+
+and mul_expr lx =
+  let rec loop left =
+    skip_ws lx;
+    if eat lx "*" then loop (Action.Bin (Action.Mul, left, unary lx))
+    else if eat lx "/" then loop (Action.Bin (Action.Div, left, unary lx))
+    else if eat lx "%" then loop (Action.Bin (Action.Mod, left, unary lx))
+    else left
+  in
+  loop (unary lx)
+
+and unary lx =
+  skip_ws lx;
+  if eat lx "-" then Action.Neg (unary lx)
+  else if (not (looking_at lx "!=")) && eat lx "!" then Action.Not (unary lx)
+  else atom lx
+
+and atom lx =
+  skip_ws lx;
+  if eat lx "(" then begin
+    let e = expr lx in
+    expect lx ")";
+    e
+  end
+  else if eat lx "$" then Action.Param (ident lx)
+  else if is_digit (peek_char lx) then Action.Int (integer lx)
+  else
+    match try_ident lx with
+    | Some "true" -> Action.Bool true
+    | Some "false" -> Action.Bool false
+    | Some name -> Action.Var name
+    | None -> error lx "expected an expression"
+
+let rec stmt lx =
+  skip_ws lx;
+  match try_ident lx with
+  | Some "if" ->
+    let cond = expr lx in
+    expect lx "{";
+    let then_ = stmts lx in
+    expect lx "}";
+    let else_ =
+      if eat lx "else" then begin
+        expect lx "{";
+        let body = stmts lx in
+        expect lx "}";
+        body
+      end
+      else []
+    in
+    Action.If (cond, then_, else_)
+  | Some "while" ->
+    let cond = expr lx in
+    expect lx "{";
+    let body = stmts lx in
+    expect lx "}";
+    Action.While (cond, body)
+  | Some "compute" ->
+    expect lx "(";
+    let e = expr lx in
+    expect lx ")";
+    Action.Compute e
+  | Some name ->
+    skip_ws lx;
+    if eat lx ":=" then Action.Assign (name, expr lx)
+    else if (not (looking_at lx "!=")) && eat lx "!" then begin
+      let signal = ident lx in
+      expect lx "(";
+      let args =
+        if eat lx ")" then []
+        else
+          let rec loop acc =
+            let e = expr lx in
+            if eat lx "," then loop (e :: acc)
+            else begin
+              expect lx ")";
+              List.rev (e :: acc)
+            end
+          in
+          loop []
+      in
+      Action.Send { port = name; signal; args }
+    end
+    else error lx "expected := or ! after identifier %s" name
+  | None -> error lx "expected a statement"
+
+and stmts lx =
+  skip_ws lx;
+  if eof lx || looking_at lx "}" then []
+  else
+    let s = stmt lx in
+    if eat lx ";" then s :: stmts lx
+    else begin
+      skip_ws lx;
+      [ s ]
+    end
+
+let run parse src =
+  let lx = { src; pos = 0 } in
+  match parse lx with
+  | result ->
+    skip_ws lx;
+    if eof lx then Ok result
+    else Error (Printf.sprintf "at %d: trailing input" lx.pos)
+  | exception Parse_error (pos, msg) -> Error (Printf.sprintf "at %d: %s" pos msg)
+
+let parse_expr src = run expr src
+let parse_stmts src = run stmts src
+
+(* Whole-machine definitions -------------------------------------------- *)
+
+let print_machine (m : Machine.t) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "machine %s {" m.Machine.name;
+  List.iter
+    (fun (name, value) ->
+      match (value : Action.value) with
+      | V_int n -> line "  var %s : int = %d" name n
+      | V_bool b -> line "  var %s : bool = %b" name b)
+    m.Machine.variables;
+  line "  initial %s" m.Machine.initial;
+  List.iter
+    (fun state ->
+      line "  state %s {" state;
+      (match Machine.entry_of m state with
+      | [] -> ()
+      | stmts -> line "    entry { %s }" (print_stmts stmts));
+      (match Machine.exit_of m state with
+      | [] -> ()
+      | stmts -> line "    exit { %s }" (print_stmts stmts));
+      List.iter
+        (fun (tr : Machine.transition) ->
+          let trigger =
+            match tr.Machine.trigger with
+            | Machine.On_signal s -> Printf.sprintf "on %s" s
+            | Machine.After n -> Printf.sprintf "after %d" n
+            | Machine.Completion -> "completion"
+          in
+          let guard =
+            match tr.Machine.guard with
+            | None -> ""
+            | Some g -> Printf.sprintf " [%s]" (print_expr g)
+          in
+          let actions =
+            match tr.Machine.actions with
+            | [] -> ""
+            | stmts -> Printf.sprintf " { %s }" (print_stmts stmts)
+          in
+          line "    %s%s -> %s%s" trigger guard tr.Machine.target actions)
+        (Machine.outgoing m state);
+      line "  }")
+    m.Machine.states;
+  line "}";
+  Buffer.contents buf
+
+type partial_machine = {
+  mutable pm_variables : (string * Action.value) list;
+  mutable pm_initial : string option;
+  mutable pm_states : string list;
+  mutable pm_transitions : Machine.transition list;
+  mutable pm_entries : (string * Action.stmt list) list;
+  mutable pm_exits : (string * Action.stmt list) list;
+}
+
+let block lx =
+  expect lx "{";
+  let stmts = stmts lx in
+  expect lx "}";
+  stmts
+
+let optional_guard lx =
+  skip_ws lx;
+  if eat lx "[" then begin
+    let g = expr lx in
+    expect lx "]";
+    Some g
+  end
+  else None
+
+let optional_actions lx =
+  skip_ws lx;
+  if looking_at lx "{" then block lx else []
+
+let parse_transition lx pm state trigger =
+  let guard = optional_guard lx in
+  expect lx "->";
+  let target = ident lx in
+  let actions = optional_actions lx in
+  pm.pm_transitions <-
+    pm.pm_transitions
+    @ [ { Machine.source = state; Machine.target; Machine.trigger = trigger;
+          Machine.guard = guard; Machine.actions = actions } ]
+
+let rec state_clauses lx pm state =
+  skip_ws lx;
+  if looking_at lx "}" then ()
+  else begin
+    (match try_ident lx with
+    | Some "entry" -> pm.pm_entries <- pm.pm_entries @ [ (state, block lx) ]
+    | Some "exit" -> pm.pm_exits <- pm.pm_exits @ [ (state, block lx) ]
+    | Some "on" ->
+      let signal = ident lx in
+      parse_transition lx pm state (Machine.On_signal signal)
+    | Some "after" ->
+      let delay = integer lx in
+      parse_transition lx pm state (Machine.After delay)
+    | Some "completion" -> parse_transition lx pm state Machine.Completion
+    | Some other -> error lx "unexpected %s in state body" other
+    | None -> error lx "expected a state clause");
+    state_clauses lx pm state
+  end
+
+let rec machine_clauses lx pm =
+  skip_ws lx;
+  if looking_at lx "}" then ()
+  else begin
+    (match try_ident lx with
+    | Some "var" ->
+      let name = ident lx in
+      expect lx ":";
+      let value =
+        match try_ident lx with
+        | Some "int" ->
+          expect lx "=";
+          skip_ws lx;
+          let negative = eat lx "-" in
+          let n = integer lx in
+          Action.V_int (if negative then -n else n)
+        | Some "bool" -> (
+          expect lx "=";
+          match try_ident lx with
+          | Some "true" -> Action.V_bool true
+          | Some "false" -> Action.V_bool false
+          | Some _ | None -> error lx "expected true or false")
+        | Some other -> error lx "unknown variable type %s" other
+        | None -> error lx "expected a variable type"
+      in
+      pm.pm_variables <- pm.pm_variables @ [ (name, value) ]
+    | Some "initial" -> pm.pm_initial <- Some (ident lx)
+    | Some "state" ->
+      let state = ident lx in
+      pm.pm_states <- pm.pm_states @ [ state ];
+      expect lx "{";
+      state_clauses lx pm state;
+      expect lx "}"
+    | Some other -> error lx "unexpected %s in machine body" other
+    | None -> error lx "expected a machine clause");
+    machine_clauses lx pm
+  end
+
+let machine lx =
+  (match try_ident lx with
+  | Some "machine" -> ()
+  | Some _ | None -> error lx "expected 'machine'");
+  let name = ident lx in
+  expect lx "{";
+  let pm =
+    {
+      pm_variables = [];
+      pm_initial = None;
+      pm_states = [];
+      pm_transitions = [];
+      pm_entries = [];
+      pm_exits = [];
+    }
+  in
+  machine_clauses lx pm;
+  expect lx "}";
+  let initial =
+    match pm.pm_initial, pm.pm_states with
+    | Some s, _ -> s
+    | None, first :: _ -> first
+    | None, [] -> error lx "machine %s declares no states" name
+  in
+  (name, pm, initial)
+
+let parse_machine src =
+  match run machine src with
+  | Error _ as e -> e
+  | Ok (name, pm, initial) -> (
+    match
+      Machine.make ~name ~states:pm.pm_states ~initial
+        ~variables:pm.pm_variables ~entry_actions:pm.pm_entries
+        ~exit_actions:pm.pm_exits pm.pm_transitions
+    with
+    | m -> Ok m
+    | exception Invalid_argument msg -> Error msg)

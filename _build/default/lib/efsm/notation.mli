@@ -1,0 +1,50 @@
+(** Concrete textual notation for the action language.
+
+    The paper describes behaviours as "statechart diagrams combined with
+    the UML 2.0 textual notation"; this module is that textual notation:
+    a printer and parser for {!Action.expr} / {!Action.stmt}, used to
+    embed guards and actions in the XMI serialisation and in tests.
+
+    Grammar (precedence low to high: [||], [&&], comparisons, [+ -],
+    [* / %], unary [- !]):
+    {v
+      expr  ::= int | true | false | ident | $ident | (expr)
+              | -expr | !expr | expr op expr
+      stmt  ::= ident := expr
+              | ident ! ident ( expr, ... )        send via port
+              | compute ( expr )
+              | if expr { stmts } [ else { stmts } ]
+              | while expr { stmts }
+      stmts ::= stmt ; stmt ; ...                  trailing ; allowed
+    v} *)
+
+val print_expr : Action.expr -> string
+val print_stmt : Action.stmt -> string
+val print_stmts : Action.stmt list -> string
+
+val parse_expr : string -> (Action.expr, string) result
+val parse_stmts : string -> (Action.stmt list, string) result
+(** Errors carry a character offset and a description. *)
+
+(** Whole-machine definitions, so behaviours can be authored as text:
+    {v
+      machine Counter {
+        var n : int = 0
+        initial idle
+        state idle {
+          entry { n := 0 }
+          on start [$k > 0] -> busy { n := $k }
+          after 1000 -> idle { out!Tick(n) }
+        }
+        state busy {
+          exit { out!Done(n) }
+          completion [n == 0] -> idle
+        }
+      }
+    v}
+    [var], [entry], [exit], guards and action blocks are optional;
+    [initial] defaults to the first declared state. *)
+
+val print_machine : Machine.t -> string
+val parse_machine : string -> (Machine.t, string) result
+(** [parse_machine (print_machine m) = Ok m] (property-tested). *)

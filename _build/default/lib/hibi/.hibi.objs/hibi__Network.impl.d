@@ -1,0 +1,1 @@
+lib/hibi/network.ml: Hashtbl Int64 List Printf Queue Sim

@@ -1,0 +1,1 @@
+lib/hibi/network.mli: Sim

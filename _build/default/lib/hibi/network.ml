@@ -1,0 +1,363 @@
+type arbitration = Priority | Round_robin
+
+type request = {
+  req_wrapper : string;
+  req_address : int;
+  req_priority : int;
+  req_seq : int;
+  mutable req_words : int;  (** words still to move on this segment *)
+  req_chunk : int;  (** words movable per grant (MaxTime / buffers) *)
+  req_done : unit -> unit;  (** all words crossed this segment *)
+}
+
+type segment = {
+  seg_name : string;
+  data_width_bits : int;
+  frequency_mhz : int;
+  arbitration : arbitration;
+  max_send_size : int;
+  mutable busy : bool;
+  mutable waiting : request list;  (** arrival order *)
+  mutable last_granted_address : int;
+  mutable busy_ns : int64;
+  mutable words_total : int64;
+  mutable grants : int64;
+  mutable max_waiting : int;
+}
+
+type attachment =
+  | Agent of string
+  | Bridge of string * string  (** the two bridged segments *)
+
+type wrapper = {
+  w_name : string;
+  w_address : int;
+  w_buffer_size : int;
+  w_max_time : int;
+  w_bus_priority : int;
+  w_attachment : attachment;
+  w_segment : string;  (** primary segment (agents); first segment (bridges) *)
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  mutable segments : segment list;
+  mutable wrappers : wrapper list;
+  mutable next_seq : int;
+}
+
+let create engine = { engine; segments = []; wrappers = []; next_seq = 0 }
+
+let find_segment t name =
+  List.find_opt (fun s -> s.seg_name = name) t.segments
+
+let find_wrapper t name = List.find_opt (fun w -> w.w_name = name) t.wrappers
+
+let wrapper_of_agent t agent =
+  List.find_opt
+    (fun w -> match w.w_attachment with Agent a -> a = agent | Bridge _ -> false)
+    t.wrappers
+
+let add_segment t ~name ~data_width_bits ~frequency_mhz ~arbitration
+    ?(max_send_size = 16) () =
+  if find_segment t name <> None then
+    invalid_arg ("Hibi: duplicate segment " ^ name);
+  if data_width_bits <= 0 || frequency_mhz <= 0 || max_send_size <= 0 then
+    invalid_arg "Hibi.add_segment: non-positive parameter";
+  t.segments <-
+    t.segments
+    @ [
+        {
+          seg_name = name;
+          data_width_bits;
+          frequency_mhz;
+          arbitration;
+          max_send_size;
+          busy = false;
+          waiting = [];
+          last_granted_address = -1;
+          busy_ns = 0L;
+          words_total = 0L;
+          grants = 0L;
+          max_waiting = 0;
+        };
+      ]
+
+let check_wrapper t ~name ~address ~segment =
+  if find_wrapper t name <> None then
+    invalid_arg ("Hibi: duplicate wrapper " ^ name);
+  if List.exists (fun w -> w.w_address = address) t.wrappers then
+    invalid_arg (Printf.sprintf "Hibi: duplicate address %d" address);
+  if find_segment t segment = None then
+    invalid_arg ("Hibi: unknown segment " ^ segment)
+
+let add_agent_wrapper t ~name ~agent ~address ~segment ?(buffer_size = 8)
+    ?(max_time = 64) ?(bus_priority = 0) () =
+  check_wrapper t ~name ~address ~segment;
+  if wrapper_of_agent t agent <> None then
+    invalid_arg ("Hibi: agent already attached: " ^ agent);
+  if buffer_size <= 0 || max_time <= 0 then
+    invalid_arg "Hibi.add_agent_wrapper: non-positive parameter";
+  t.wrappers <-
+    t.wrappers
+    @ [
+        {
+          w_name = name;
+          w_address = address;
+          w_buffer_size = buffer_size;
+          w_max_time = max_time;
+          w_bus_priority = bus_priority;
+          w_attachment = Agent agent;
+          w_segment = segment;
+        };
+      ]
+
+let add_bridge_wrapper t ~name ~address ~segments:(seg_a, seg_b)
+    ?(buffer_size = 16) ?(max_time = 64) ?(bus_priority = 0) () =
+  check_wrapper t ~name ~address ~segment:seg_a;
+  if find_segment t seg_b = None then
+    invalid_arg ("Hibi: unknown segment " ^ seg_b);
+  if seg_a = seg_b then invalid_arg "Hibi: bridge must join distinct segments";
+  t.wrappers <-
+    t.wrappers
+    @ [
+        {
+          w_name = name;
+          w_address = address;
+          w_buffer_size = buffer_size;
+          w_max_time = max_time;
+          w_bus_priority = bus_priority;
+          w_attachment = Bridge (seg_a, seg_b);
+          w_segment = seg_a;
+        };
+      ]
+
+let agents t =
+  List.filter_map
+    (fun w -> match w.w_attachment with Agent a -> Some a | Bridge _ -> None)
+    t.wrappers
+
+let segment_names t = List.map (fun s -> s.seg_name) t.segments
+
+(* Segments adjacent through bridges. *)
+let neighbours t segment =
+  List.filter_map
+    (fun w ->
+      match w.w_attachment with
+      | Bridge (a, b) when a = segment -> Some b
+      | Bridge (a, b) when b = segment -> Some a
+      | Bridge _ | Agent _ -> None)
+    t.wrappers
+
+let route t ~src ~dst =
+  match wrapper_of_agent t src, wrapper_of_agent t dst with
+  | None, _ -> Error (Printf.sprintf "agent %s is not attached" src)
+  | _, None -> Error (Printf.sprintf "agent %s is not attached" dst)
+  | Some ws, Some wd ->
+    if src = dst then Ok []
+    else begin
+      (* BFS over segments. *)
+      let start = ws.w_segment and goal = wd.w_segment in
+      let visited = Hashtbl.create 8 in
+      let queue = Queue.create () in
+      Hashtbl.replace visited start [ start ];
+      Queue.push start queue;
+      let rec search () =
+        if Queue.is_empty queue then
+          Error (Printf.sprintf "no route from %s to %s" src dst)
+        else begin
+          let here = Queue.pop queue in
+          let path = Hashtbl.find visited here in
+          if here = goal then Ok (List.rev path)
+          else begin
+            List.iter
+              (fun next ->
+                if not (Hashtbl.mem visited next) then begin
+                  Hashtbl.replace visited next (next :: path);
+                  Queue.push next queue
+                end)
+              (neighbours t here);
+            search ()
+          end
+        end
+      in
+      search ()
+    end
+
+let cycle_ns segment =
+  Int64.of_int ((1000 + segment.frequency_mhz - 1) / segment.frequency_mhz)
+
+let words_per_cycle segment = max 1 (segment.data_width_bits / 32)
+
+let cycles_for_words segment words =
+  let wpc = words_per_cycle segment in
+  (words + wpc - 1) / wpc
+
+(* Choose the next grant among waiting requests. *)
+let pick_winner segment =
+  match segment.waiting with
+  | [] -> None
+  | first :: rest -> (
+    match segment.arbitration with
+    | Priority ->
+      let best =
+        List.fold_left
+          (fun acc r ->
+            if
+              r.req_priority > acc.req_priority
+              || (r.req_priority = acc.req_priority && r.req_seq < acc.req_seq)
+            then r
+            else acc)
+          first rest
+      in
+      Some best
+    | Round_robin ->
+      (* Next address strictly after the last granted one, cyclically. *)
+      let distance addr =
+        let d = addr - segment.last_granted_address in
+        if d > 0 then d else d + 0x10000
+      in
+      let best =
+        List.fold_left
+          (fun acc r ->
+            let da = distance acc.req_address and dr = distance r.req_address in
+            if dr < da || (dr = da && r.req_seq < acc.req_seq) then r else acc)
+          first rest
+      in
+      Some best)
+
+let rec grant t segment =
+  if not segment.busy then
+    match pick_winner segment with
+    | None -> ()
+    | Some req ->
+      segment.waiting <- List.filter (fun r -> r != req) segment.waiting;
+      segment.busy <- true;
+      segment.last_granted_address <- req.req_address;
+      segment.grants <- Int64.add segment.grants 1L;
+      let burst = min req.req_words req.req_chunk in
+      (* One arbitration cycle plus the data cycles of this burst. *)
+      let cycles = 1 + cycles_for_words segment burst in
+      let duration = Int64.mul (Int64.of_int cycles) (cycle_ns segment) in
+      segment.busy_ns <- Int64.add segment.busy_ns duration;
+      segment.words_total <- Int64.add segment.words_total (Int64.of_int burst);
+      ignore
+        (Sim.Engine.schedule t.engine ~delay:duration (fun () ->
+             segment.busy <- false;
+             req.req_words <- req.req_words - burst;
+             if req.req_words > 0 then enqueue t segment req
+             else req.req_done ();
+             grant t segment))
+
+and enqueue t segment req =
+  segment.waiting <- segment.waiting @ [ req ];
+  segment.max_waiting <- max segment.max_waiting (List.length segment.waiting);
+  grant t segment
+
+(* Words a wrapper may move per grant: bounded by the segment burst limit,
+   the wrapper's buffer, and what fits in MaxTime cycles. *)
+let chunk_words segment wrapper =
+  let by_time = (wrapper.w_max_time - 1) * words_per_cycle segment in
+  max 1 (min segment.max_send_size (min wrapper.w_buffer_size (max 1 by_time)))
+
+let send t ~src ~dst ~words ~on_delivered =
+  if words <= 0 then Error "words must be positive"
+  else
+    match route t ~src ~dst with
+    | Error _ as e -> e
+    | Ok [] ->
+      (* Same agent: local delivery after one cycle of the attached
+         segment (or 20 ns when unattached — kept total). *)
+      let delay =
+        match wrapper_of_agent t src with
+        | Some w -> (
+          match find_segment t w.w_segment with
+          | Some seg -> cycle_ns seg
+          | None -> 20L)
+        | None -> 20L
+      in
+      ignore (Sim.Engine.schedule t.engine ~delay on_delivered);
+      Ok ()
+    | Ok path ->
+      let src_wrapper =
+        match wrapper_of_agent t src with Some w -> w | None -> assert false
+      in
+      (* Store-and-forward: hop n+1 starts when hop n has moved all
+         words.  The requesting wrapper of hop n>1 is the bridge that
+         joins hop n-1 and hop n. *)
+      let rec hop segments =
+        match segments with
+        | [] -> on_delivered ()
+        | seg_name :: rest -> (
+          match find_segment t seg_name with
+          | None -> ()
+          | Some segment ->
+            let requester =
+              (* The wrapper arbitrating for this hop: the source wrapper
+                 on the first segment, otherwise the bridge in between. *)
+              let bridge_between a b =
+                List.find_opt
+                  (fun w ->
+                    match w.w_attachment with
+                    | Bridge (x, y) -> (x = a && y = b) || (x = b && y = a)
+                    | Agent _ -> false)
+                  t.wrappers
+              in
+              if seg_name = src_wrapper.w_segment then Some src_wrapper
+              else
+                (* Find the previous segment on the path. *)
+                let rec prev_of = function
+                  | a :: b :: _ when b = seg_name -> Some a
+                  | _ :: rest -> prev_of rest
+                  | [] -> None
+                in
+                match prev_of path with
+                | Some prev -> bridge_between prev seg_name
+                | None -> None
+            in
+            (match requester with
+            | None -> ()
+            | Some wrapper ->
+              let req =
+                {
+                  req_wrapper = wrapper.w_name;
+                  req_address = wrapper.w_address;
+                  req_priority = wrapper.w_bus_priority;
+                  req_seq = t.next_seq;
+                  req_words = words;
+                  req_chunk = chunk_words segment wrapper;
+                  req_done = (fun () -> hop rest);
+                }
+              in
+              t.next_seq <- t.next_seq + 1;
+              enqueue t segment req))
+      in
+      hop path;
+      Ok ()
+
+type segment_stats = {
+  busy_ns : int64;
+  words : int64;
+  grants : int64;
+  max_waiting : int;
+}
+
+let stats t ~segment =
+  match find_segment t segment with
+  | None -> invalid_arg ("Hibi.stats: unknown segment " ^ segment)
+  | Some s ->
+    {
+      busy_ns = s.busy_ns;
+      words = s.words_total;
+      grants = s.grants;
+      max_waiting = s.max_waiting;
+    }
+
+let reset_stats t =
+  List.iter
+    (fun (s : segment) ->
+      s.busy_ns <- 0L;
+      s.words_total <- 0L;
+      s.grants <- 0L;
+      s.max_waiting <- 0)
+    t.segments

@@ -1,0 +1,94 @@
+(** HIBI interconnection network (Salminen et al., "HIBI v.2
+    Interconnection for System-on-Chip", the bus of the TUTWLAN
+    platform).
+
+    The model is transaction-level but arbitration-accurate:
+
+    - a {e segment} is a shared medium with a data width, clock frequency
+      and an arbitration policy (priority or round-robin — the
+      [Arbitration] tagged value of Table 3);
+    - a {e wrapper} attaches an agent (a processing element, or a bridge
+      between two segments) to a segment; it has an address, a buffer
+      size and a [MaxTime] — the longest it may hold the segment before
+      re-arbitration, so long transfers are chunked;
+    - transfers are store-and-forward across bridges; each hop arbitrates
+      separately.
+
+    Contention is resolved event-by-event on the shared
+    {!Sim.Engine.t}: when a segment frees, the waiting request chosen is
+    the highest bus-priority one (priority arbitration) or the next
+    address in cyclic order after the last grant (round-robin). *)
+
+type arbitration = Priority | Round_robin
+
+type t
+
+val create : Sim.Engine.t -> t
+
+val add_segment :
+  t ->
+  name:string ->
+  data_width_bits:int ->
+  frequency_mhz:int ->
+  arbitration:arbitration ->
+  ?max_send_size:int ->
+  unit ->
+  unit
+(** Raises [Invalid_argument] on duplicates or non-positive parameters. *)
+
+val add_agent_wrapper :
+  t ->
+  name:string ->
+  agent:string ->
+  address:int ->
+  segment:string ->
+  ?buffer_size:int ->
+  ?max_time:int ->
+  ?bus_priority:int ->
+  unit ->
+  unit
+(** Attach agent (a PE) to a segment.  Raises [Invalid_argument] on
+    unknown segment, duplicate wrapper name, duplicate address, or an
+    agent attached twice. *)
+
+val add_bridge_wrapper :
+  t ->
+  name:string ->
+  address:int ->
+  segments:string * string ->
+  ?buffer_size:int ->
+  ?max_time:int ->
+  ?bus_priority:int ->
+  unit ->
+  unit
+
+val agents : t -> string list
+val segment_names : t -> string list
+
+val route : t -> src:string -> dst:string -> (string list, string) result
+(** Segment path between two agents (breadth-first over the bridge
+    graph); [Error] when unreachable. *)
+
+val send :
+  t ->
+  src:string ->
+  dst:string ->
+  words:int ->
+  on_delivered:(unit -> unit) ->
+  (unit, string) result
+(** Start a transfer of [words] 32-bit words from agent [src] to agent
+    [dst]; [on_delivered] fires when the last word reaches [dst]'s
+    wrapper.  Same-agent sends deliver after one local-bus cycle.
+    Errors when either agent is not attached or unreachable. *)
+
+(** Observability for benches and tests. *)
+
+type segment_stats = {
+  busy_ns : int64;
+  words : int64;
+  grants : int64;
+  max_waiting : int;
+}
+
+val stats : t -> segment:string -> segment_stats
+val reset_stats : t -> unit

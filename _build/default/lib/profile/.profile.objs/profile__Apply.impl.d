@@ -1,0 +1,1 @@
+lib/profile/apply.ml: Format List Printf Stereotype Tag Uml

@@ -1,0 +1,1 @@
+lib/profile/apply.mli: Format Stereotype Tag Uml

@@ -1,0 +1,1 @@
+lib/profile/stereotype.ml: List Printf Tag Uml

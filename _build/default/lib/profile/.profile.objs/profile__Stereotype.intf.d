@@ -1,0 +1,1 @@
+lib/profile/stereotype.mli: Tag Uml

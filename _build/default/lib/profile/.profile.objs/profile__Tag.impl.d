@@ -1,0 +1,1 @@
+lib/profile/tag.ml: Format List Option Printf String

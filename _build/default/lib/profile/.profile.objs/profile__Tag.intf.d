@@ -1,0 +1,1 @@
+lib/profile/tag.mli: Format

@@ -1,0 +1,144 @@
+type application = {
+  stereotype : string;
+  element : Uml.Element.ref_;
+  values : (string * Tag.value) list;
+}
+
+type t = application list
+
+let empty = []
+let applications t = t
+
+let find t element stereotype =
+  List.find_opt
+    (fun a -> a.stereotype = stereotype && Uml.Element.equal a.element element)
+    t
+
+let apply t ~stereotype ~element ?(values = []) () =
+  (match find t element stereotype with
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf "Profile.Apply.apply: %s already applied to %s" stereotype
+         (Uml.Element.to_string element))
+  | None -> ());
+  t @ [ { stereotype; element; values } ]
+
+let set_value t ~element ~stereotype name value =
+  match find t element stereotype with
+  | None -> raise Not_found
+  | Some _ ->
+    List.map
+      (fun a ->
+        if a.stereotype = stereotype && Uml.Element.equal a.element element then
+          { a with values = (name, value) :: List.remove_assoc name a.values }
+        else a)
+      t
+
+let stereotypes_of t element =
+  List.filter (fun a -> Uml.Element.equal a.element element) t
+
+let has t element stereotype = find t element stereotype <> None
+
+let has_conforming profile t element stereotype =
+  List.exists
+    (fun a -> Stereotype.conforms_to profile a.stereotype stereotype)
+    (stereotypes_of t element)
+
+let find t element stereotype = find t element stereotype
+
+let value t ~element ~stereotype name =
+  match find t element stereotype with
+  | None -> None
+  | Some a -> List.assoc_opt name a.values
+
+let value_with_default profile t ~element ~stereotype name =
+  (* Look on the exact application first; fall back to a conforming one so
+     a HIBISegment answers CommunicationSegment queries. *)
+  let app =
+    match find t element stereotype with
+    | Some a -> Some a
+    | None ->
+      List.find_opt
+        (fun a -> Stereotype.conforms_to profile a.stereotype stereotype)
+        (stereotypes_of t element)
+  in
+  match app with
+  | None -> None
+  | Some a -> (
+    match List.assoc_opt name a.values with
+    | Some v -> Some v
+    | None -> (
+      match Stereotype.find_tag profile ~stereotype:a.stereotype name with
+      | Some def -> def.Tag.default
+      | None -> None))
+
+let elements_with t stereotype =
+  List.filter_map
+    (fun a -> if a.stereotype = stereotype then Some a.element else None)
+    t
+
+let elements_conforming profile t stereotype =
+  List.filter_map
+    (fun a ->
+      if Stereotype.conforms_to profile a.stereotype stereotype then
+        Some a.element
+      else None)
+    t
+
+type problem = {
+  element : Uml.Element.ref_;
+  stereotype : string;
+  message : string;
+}
+
+let pp_problem fmt p =
+  Format.fprintf fmt "<<%s>> on %s: %s" p.stereotype
+    (Uml.Element.to_string p.element)
+    p.message
+
+let check profile model t =
+  let problems = ref [] in
+  let report element stereotype fmt =
+    Printf.ksprintf
+      (fun message -> problems := { element; stereotype; message } :: !problems)
+      fmt
+  in
+  List.iter
+    (fun (a : application) ->
+      match Stereotype.find profile a.stereotype with
+      | None ->
+        report a.element a.stereotype "stereotype not defined in profile %s"
+          profile.Stereotype.name
+      | Some st ->
+        if not (Uml.Model.resolve model a.element) then
+          report a.element a.stereotype "element does not exist in model %s"
+            model.Uml.Model.name;
+        let metaclass = Uml.Element.metaclass_of a.element in
+        if metaclass <> st.Stereotype.extends then
+          report a.element a.stereotype "extends %s but element is a %s"
+            (Uml.Element.metaclass_name st.Stereotype.extends)
+            (Uml.Element.metaclass_name metaclass);
+        let tags = Stereotype.all_tags profile a.stereotype in
+        List.iter
+          (fun (name, value) ->
+            match
+              List.find_opt (fun (d : Tag.def) -> d.Tag.name = name) tags
+            with
+            | None -> report a.element a.stereotype "undeclared tag %s" name
+            | Some def ->
+              if not (Tag.well_typed def.Tag.ty value) then
+                report a.element a.stereotype "tag %s expects %s, got %s" name
+                  (Tag.ty_to_string def.Tag.ty)
+                  (Tag.value_to_string value))
+          a.values;
+        List.iter
+          (fun (def : Tag.def) ->
+            if
+              def.Tag.required && def.Tag.default = None
+              && List.assoc_opt def.Tag.name a.values = None
+            then
+              report a.element a.stereotype "required tag %s missing"
+                def.Tag.name)
+          tags)
+    t;
+  List.rev !problems

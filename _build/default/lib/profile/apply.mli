@@ -1,0 +1,78 @@
+(** Stereotype applications: attaching stereotypes (with tagged values)
+    to model elements.
+
+    One {!t} is the "profile layer" over a model — the paper's models
+    carry both the plain UML content and the TUT-Profile annotations. *)
+
+type application = {
+  stereotype : string;
+  element : Uml.Element.ref_;
+  values : (string * Tag.value) list;
+}
+
+type t
+(** Immutable collection of applications for one model. *)
+
+val empty : t
+val applications : t -> application list
+
+val apply :
+  t ->
+  stereotype:string ->
+  element:Uml.Element.ref_ ->
+  ?values:(string * Tag.value) list ->
+  unit ->
+  t
+(** Add an application.  The same stereotype may be applied at most once
+    per element (raises [Invalid_argument] otherwise); distinct
+    stereotypes on one element are allowed. *)
+
+val set_value :
+  t -> element:Uml.Element.ref_ -> stereotype:string -> string -> Tag.value -> t
+(** Update (or add) one tagged value of an existing application; raises
+    [Not_found] when the application is absent. *)
+
+val stereotypes_of : t -> Uml.Element.ref_ -> application list
+val has : t -> Uml.Element.ref_ -> string -> bool
+
+val has_conforming : Stereotype.profile -> t -> Uml.Element.ref_ -> string -> bool
+(** Like {!has} but also true when the element carries a specialisation
+    of the stereotype. *)
+
+val find : t -> Uml.Element.ref_ -> string -> application option
+
+val value :
+  t -> element:Uml.Element.ref_ -> stereotype:string -> string -> Tag.value option
+
+val value_with_default :
+  Stereotype.profile ->
+  t ->
+  element:Uml.Element.ref_ ->
+  stereotype:string ->
+  string ->
+  Tag.value option
+(** The explicit value if present, otherwise the tag definition's
+    default. *)
+
+val elements_with : t -> string -> Uml.Element.ref_ list
+(** Elements carrying the (exact) stereotype, in application order. *)
+
+val elements_conforming :
+  Stereotype.profile -> t -> string -> Uml.Element.ref_ list
+(** Elements carrying the stereotype or any specialisation of it. *)
+
+type problem = {
+  element : Uml.Element.ref_;
+  stereotype : string;
+  message : string;
+}
+
+val pp_problem : Format.formatter -> problem -> unit
+
+val check : Stereotype.profile -> Uml.Model.t -> t -> problem list
+(** Type-check the profile layer against a profile and a model:
+    - the stereotype exists in the profile;
+    - the element exists in the model;
+    - the element's metaclass matches the stereotype's [extends];
+    - every value is declared (possibly inherited) and well-typed;
+    - required tags without defaults are present. *)

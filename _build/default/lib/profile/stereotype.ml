@@ -1,0 +1,94 @@
+type t = {
+  name : string;
+  extends : Uml.Element.metaclass;
+  tags : Tag.def list;
+  parent : string option;
+  doc : string;
+}
+
+let make ?(tags = []) ?parent ?(doc = "") ~name ~extends () =
+  { name; extends; tags; parent; doc }
+
+type profile = { name : string; stereotypes : t list }
+
+let find profile name =
+  List.find_opt (fun (s : t) -> s.name = name) profile.stereotypes
+
+let ancestors profile name =
+  let rec walk acc name =
+    match find profile name with
+    | None -> List.rev acc
+    | Some s -> (
+      match s.parent with
+      | None -> List.rev (s :: acc)
+      | Some parent ->
+        if List.exists (fun (a : t) -> a.name = parent) (s :: acc) then
+          List.rev (s :: acc)
+        else walk (s :: acc) parent)
+  in
+  walk [] name
+
+let conforms_to profile sub super =
+  List.exists (fun (s : t) -> s.name = super) (ancestors profile sub)
+
+let all_tags profile name =
+  List.concat_map (fun s -> s.tags) (ancestors profile name)
+
+let find_tag profile ~stereotype name =
+  List.find_opt (fun (d : Tag.def) -> d.Tag.name = name)
+    (all_tags profile stereotype)
+
+let rec duplicates seen = function
+  | [] -> []
+  | x :: rest ->
+    if List.mem x seen then x :: duplicates seen rest
+    else duplicates (x :: seen) rest
+
+let profile ~name stereotypes =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let p = { name; stereotypes } in
+  (match duplicates [] (List.map (fun (s : t) -> s.name) stereotypes) with
+  | [] -> ()
+  | d :: _ -> fail "Profile.Stereotype.profile %s: duplicate stereotype %s" name d);
+  List.iter
+    (fun s ->
+      match s.parent with
+      | None -> ()
+      | Some parent_name -> (
+        match find p parent_name with
+        | None ->
+          fail "Profile.Stereotype.profile %s: %s specialises unknown %s" name
+            s.name parent_name
+        | Some parent ->
+          if parent.extends <> s.extends then
+            fail
+              "Profile.Stereotype.profile %s: %s extends %s but its parent %s \
+               extends %s"
+              name s.name
+              (Uml.Element.metaclass_name s.extends)
+              parent.name
+              (Uml.Element.metaclass_name parent.extends)))
+    stereotypes;
+  (* Cycle detection: ancestors terminates on cycles by construction, but a
+     cycle means the chain revisits its start. *)
+  List.iter
+    (fun (s : t) ->
+      let chain = ancestors p s.name in
+      match List.rev chain with
+      | last :: _ when last.parent <> None ->
+        (* A well-founded chain ends in a root stereotype: when the deepest
+           ancestor still has a parent, that parent is already in the chain
+           and the specialisation relation is cyclic. *)
+        fail "Profile.Stereotype.profile %s: specialisation cycle at %s" name
+          s.name
+      | _ :: _ | [] -> ())
+    stereotypes;
+  List.iter
+    (fun (s : t) ->
+      match duplicates [] (List.map (fun (d : Tag.def) -> d.Tag.name) (all_tags p s.name)) with
+      | [] -> ()
+      | d :: _ ->
+        fail "Profile.Stereotype.profile %s: %s: duplicate tag %s along chain"
+          name s.name d)
+    stereotypes;
+  p

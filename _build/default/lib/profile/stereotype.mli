@@ -1,0 +1,45 @@
+(** Stereotype definitions and profiles.
+
+    A stereotype extends exactly one UML metaclass and declares tag
+    definitions.  Stereotypes may specialise another stereotype of the
+    same profile (the paper's HIBIWrapper / HIBISegment specialise
+    CommunicationWrapper / CommunicationSegment), inheriting its tags. *)
+
+type t = {
+  name : string;
+  extends : Uml.Element.metaclass;
+  tags : Tag.def list;
+  parent : string option;  (** specialised stereotype, same profile *)
+  doc : string;
+}
+
+val make :
+  ?tags:Tag.def list ->
+  ?parent:string ->
+  ?doc:string ->
+  name:string ->
+  extends:Uml.Element.metaclass ->
+  unit ->
+  t
+
+type profile = { name : string; stereotypes : t list }
+
+val profile : name:string -> t list -> profile
+(** Raises [Invalid_argument] on duplicate stereotype names, a dangling
+    [parent], a parent extending a different metaclass, a specialisation
+    cycle, or duplicate tag names along a specialisation chain. *)
+
+val find : profile -> string -> t option
+
+val ancestors : profile -> string -> t list
+(** Specialisation chain starting at the stereotype itself, ending at the
+    root.  Empty when the stereotype is unknown. *)
+
+val conforms_to : profile -> string -> string -> bool
+(** [conforms_to p sub super]: is [sub] equal to or a specialisation of
+    [super]? *)
+
+val all_tags : profile -> string -> Tag.def list
+(** Own tags plus inherited tags (own first). *)
+
+val find_tag : profile -> stereotype:string -> string -> Tag.def option

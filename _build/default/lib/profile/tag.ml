@@ -1,0 +1,61 @@
+type ty =
+  | T_int
+  | T_float
+  | T_bool
+  | T_string
+  | T_enum of string list
+
+type value =
+  | V_int of int
+  | V_float of float
+  | V_bool of bool
+  | V_string of string
+  | V_enum of string
+
+type def = {
+  name : string;
+  ty : ty;
+  doc : string;
+  required : bool;
+  default : value option;
+}
+
+let well_typed ty value =
+  match ty, value with
+  | T_int, V_int _ -> true
+  | T_float, V_float _ -> true
+  | T_bool, V_bool _ -> true
+  | T_string, V_string _ -> true
+  | T_enum literals, V_enum lit -> List.mem lit literals
+  | (T_int | T_float | T_bool | T_string | T_enum _), _ -> false
+
+let def ?(required = false) ?default ~name ~ty doc =
+  (match default with
+  | Some value when not (well_typed ty value) ->
+    invalid_arg ("Profile.Tag.def: ill-typed default for " ^ name)
+  | Some _ | None -> ());
+  { name; ty; doc; required; default }
+
+let ty_to_string = function
+  | T_int -> "int"
+  | T_float -> "float"
+  | T_bool -> "bool"
+  | T_string -> "string"
+  | T_enum literals -> "enum(" ^ String.concat "|" literals ^ ")"
+
+let value_to_string = function
+  | V_int n -> string_of_int n
+  | V_float f -> Printf.sprintf "%.17g" f
+  | V_bool b -> string_of_bool b
+  | V_string s -> s
+  | V_enum lit -> lit
+
+let value_of_string ty s =
+  match ty with
+  | T_int -> Option.map (fun n -> V_int n) (int_of_string_opt s)
+  | T_float -> Option.map (fun f -> V_float f) (float_of_string_opt s)
+  | T_bool -> Option.map (fun b -> V_bool b) (bool_of_string_opt s)
+  | T_string -> Some (V_string s)
+  | T_enum literals -> if List.mem s literals then Some (V_enum s) else None
+
+let pp_value fmt v = Format.pp_print_string fmt (value_to_string v)

@@ -1,0 +1,41 @@
+(** Tagged values: the parameterisation mechanism of a profile.
+
+    "The parameterization of an application is performed using tagged
+    values" — each stereotype declares typed tag definitions; each
+    stereotype application carries concrete values. *)
+
+type ty =
+  | T_int
+  | T_float
+  | T_bool
+  | T_string
+  | T_enum of string list  (** closed set of literals, e.g. hard/soft/none *)
+
+type value =
+  | V_int of int
+  | V_float of float
+  | V_bool of bool
+  | V_string of string
+  | V_enum of string
+
+type def = {
+  name : string;
+  ty : ty;
+  doc : string;
+  required : bool;
+  default : value option;
+}
+
+val def : ?required:bool -> ?default:value -> name:string -> ty:ty -> string -> def
+(** [def ~name ~ty doc] builds a tag definition (optional by default). *)
+
+val well_typed : ty -> value -> bool
+(** Is the value an inhabitant of the type (enum literals checked)? *)
+
+val ty_to_string : ty -> string
+val value_to_string : value -> string
+val value_of_string : ty -> string -> value option
+(** Parse a value against a declared type ([Some] only when well-typed);
+    used by the XMI reader. *)
+
+val pp_value : Format.formatter -> value -> unit

@@ -1,0 +1,1 @@
+lib/profiler/groups.ml: Codegen Hashtbl List Option Tut_profile Xmi

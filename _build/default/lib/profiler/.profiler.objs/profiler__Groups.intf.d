@@ -1,0 +1,1 @@
+lib/profiler/groups.mli: Tut_profile

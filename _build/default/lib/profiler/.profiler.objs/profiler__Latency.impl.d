@@ -1,0 +1,1 @@
+lib/profiler/latency.ml: Hashtbl Int64 List Printf Queue Sim

@@ -1,0 +1,1 @@
+lib/profiler/report.ml: Buffer Char Groups Hashtbl Int64 List Option Printf Sim String

@@ -1,0 +1,1 @@
+lib/profiler/timeline.ml: Array Buffer Groups Hashtbl Int64 List Option Printf Sim String

@@ -1,0 +1,1 @@
+lib/profiler/timeline.mli: Groups Sim

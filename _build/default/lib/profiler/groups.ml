@@ -1,0 +1,40 @@
+type t = {
+  by_path : (string, string) Hashtbl.t;
+  group_order : string list;
+}
+
+let environment_group = "Environment"
+
+let of_view view =
+  let by_path = Hashtbl.create 32 in
+  List.iter
+    (fun (path, part_ref) ->
+      match Tut_profile.View.group_of_process view part_ref with
+      | Some group -> Hashtbl.replace by_path path group.Tut_profile.View.part
+      | None -> ())
+    (Codegen.Lower.process_instances view);
+  let group_order =
+    List.map (fun (g : Tut_profile.View.group) -> g.Tut_profile.View.part)
+      view.Tut_profile.View.groups
+  in
+  { by_path; group_order }
+
+let of_xmi_string s =
+  match Xmi.Read.of_string ~profile:Tut_profile.Stereotypes.profile s with
+  | Error e -> Error e
+  | Ok (model, apps) -> Ok (of_view (Tut_profile.View.of_model model apps))
+
+let group_of t path =
+  Option.value ~default:environment_group (Hashtbl.find_opt t.by_path path)
+
+let groups t = t.group_order
+
+let members t group =
+  Hashtbl.fold
+    (fun path g acc -> if g = group then path :: acc else acc)
+    t.by_path []
+  |> List.sort compare
+
+let to_alist t =
+  Hashtbl.fold (fun path g acc -> (path, g) :: acc) t.by_path []
+  |> List.sort compare

@@ -1,0 +1,33 @@
+(** Stage 1 of the profiling tool (Figure 2, "Model parsing"): extract
+    process-group information from the XML presentation of the UML
+    model.
+
+    The result maps every process *instance path* (the names the
+    simulation log uses) to its process group.  Instances whose path is
+    not in the map — the environment processes — belong to the pseudo
+    group ["Environment"], matching the paper's Table 4. *)
+
+type t
+
+val environment_group : string
+(** ["Environment"]. *)
+
+val of_view : Tut_profile.View.t -> t
+(** From an in-memory model. *)
+
+val of_xmi_string : string -> (t, string) result
+(** From the serialised model, using TUT-Profile — the authentic
+    tool-chain path (the paper's tool parses the model's XML export). *)
+
+val group_of : t -> string -> string
+(** Group of a process instance path ([environment_group] when
+    unknown). *)
+
+val groups : t -> string list
+(** All group names (model order), excluding [environment_group]. *)
+
+val members : t -> string -> string list
+(** Instance paths in a group. *)
+
+val to_alist : t -> (string * string) list
+(** [(instance path, group)] pairs, sorted. *)

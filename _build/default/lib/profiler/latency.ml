@@ -1,0 +1,86 @@
+type stats = {
+  matched : int;
+  unmatched : int;
+  min_ns : int64;
+  mean_ns : float;
+  max_ns : int64;
+  p95_ns : int64;
+}
+
+let samples ~src_signal ~dst_signal trace =
+  (* Outstanding source timestamps per tag, FIFO per tag so wrapped
+     sequence numbers match their earliest occurrence. *)
+  let outstanding : (int, int64 Queue.t) Hashtbl.t = Hashtbl.create 64 in
+  let matched = ref [] in
+  List.iter
+    (fun event ->
+      match event with
+      | Sim.Trace.Signal { time; signal; tag; _ } when tag >= 0 ->
+        if signal = src_signal then begin
+          let queue =
+            match Hashtbl.find_opt outstanding tag with
+            | Some q -> q
+            | None ->
+              let q = Queue.create () in
+              Hashtbl.replace outstanding tag q;
+              q
+          in
+          Queue.push time queue
+        end
+        else if signal = dst_signal then begin
+          match Hashtbl.find_opt outstanding tag with
+          | Some queue when not (Queue.is_empty queue) ->
+            let started = Queue.pop queue in
+            matched := (tag, Int64.sub time started) :: !matched
+          | Some _ | None -> ()
+        end
+      | Sim.Trace.Signal _ | Sim.Trace.Exec _ | Sim.Trace.State_change _
+      | Sim.Trace.Discard _ ->
+        ())
+    (Sim.Trace.events trace);
+  List.rev !matched
+
+let measure ~src_signal ~dst_signal trace =
+  let pairs = samples ~src_signal ~dst_signal trace in
+  (* Count the source events that never completed. *)
+  let sources =
+    List.length
+      (List.filter
+         (function
+           | Sim.Trace.Signal { signal; tag; _ } ->
+             signal = src_signal && tag >= 0
+           | _ -> false)
+         (Sim.Trace.events trace))
+  in
+  match pairs with
+  | [] -> None
+  | pairs ->
+    let latencies = List.map snd pairs in
+    let matched = List.length latencies in
+    let sorted = List.sort compare latencies in
+    let total = List.fold_left Int64.add 0L latencies in
+    let nth_percentile p =
+      let index =
+        min (matched - 1) (int_of_float (float_of_int matched *. p))
+      in
+      List.nth sorted index
+    in
+    Some
+      {
+        matched;
+        unmatched = sources - matched;
+        min_ns = List.nth sorted 0;
+        mean_ns = Int64.to_float total /. float_of_int matched;
+        max_ns = List.nth sorted (matched - 1);
+        p95_ns = nth_percentile 0.95;
+      }
+
+let render ~label stats =
+  Printf.sprintf
+    "%s: %d matched (%d lost), min %.3f ms, mean %.3f ms, p95 %.3f ms, max \
+     %.3f ms\n"
+    label stats.matched stats.unmatched
+    (Int64.to_float stats.min_ns /. 1e6)
+    (stats.mean_ns /. 1e6)
+    (Int64.to_float stats.p95_ns /. 1e6)
+    (Int64.to_float stats.max_ns /. 1e6)

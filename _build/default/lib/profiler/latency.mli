@@ -1,0 +1,29 @@
+(** End-to-end latency from correlated signal events.
+
+    Signal events carry a correlation tag (the runtime records each
+    send's first integer argument — TUTMAC's MSDU/PDU sequence number).
+    Matching the first occurrence of a source signal against the first
+    later occurrence of a destination signal with the same tag yields
+    per-item end-to-end delays, e.g. user data request (MsduReq) to
+    delivery indication (MsduInd) — the MAC service latency the paper's
+    real-time requirements are about. *)
+
+type stats = {
+  matched : int;  (** tag pairs matched *)
+  unmatched : int;  (** source events whose tag never completed *)
+  min_ns : int64;
+  mean_ns : float;
+  max_ns : int64;
+  p95_ns : int64;
+}
+
+val measure :
+  src_signal:string -> dst_signal:string -> Sim.Trace.t -> stats option
+(** [None] when no pair matched.  Tags reused later (sequence-number
+    wrap-around) match their earliest outstanding occurrence. *)
+
+val samples :
+  src_signal:string -> dst_signal:string -> Sim.Trace.t -> (int * int64) list
+(** The matched [(tag, latency_ns)] pairs, in completion order. *)
+
+val render : label:string -> stats -> string

@@ -1,0 +1,138 @@
+type t = {
+  group_cycles : (string * int64) list;
+  total_cycles : int64;
+  matrix : ((string * string) * int) list;
+  process_transfers : ((string * string) * int) list;
+  process_cycles : (string * int64) list;
+  discarded : (string * int) list;
+}
+
+let build groups trace =
+  let process_cycles = Sim.Trace.total_cycles trace in
+  let group_table = Hashtbl.create 8 in
+  List.iter
+    (fun g -> Hashtbl.replace group_table g 0L)
+    (Groups.groups groups);
+  List.iter
+    (fun (process, cycles) ->
+      let group = Groups.group_of groups process in
+      if group <> Groups.environment_group then
+        let current =
+          Option.value ~default:0L (Hashtbl.find_opt group_table group)
+        in
+        Hashtbl.replace group_table group (Int64.add current cycles))
+    process_cycles;
+  let group_cycles =
+    Hashtbl.fold (fun g c acc -> (g, c) :: acc) group_table []
+    |> List.sort (fun (ga, a) (gb, b) ->
+           match Int64.compare b a with 0 -> compare ga gb | n -> n)
+  in
+  let group_cycles =
+    group_cycles @ [ (Groups.environment_group, 0L) ]
+  in
+  let total_cycles =
+    List.fold_left (fun acc (_, c) -> Int64.add acc c) 0L group_cycles
+  in
+  let process_transfers = Sim.Trace.signal_counts trace in
+  let matrix_table = Hashtbl.create 16 in
+  List.iter
+    (fun ((sender, receiver), count) ->
+      let key = (Groups.group_of groups sender, Groups.group_of groups receiver) in
+      let current = Option.value ~default:0 (Hashtbl.find_opt matrix_table key) in
+      Hashtbl.replace matrix_table key (current + count))
+    process_transfers;
+  let matrix =
+    Hashtbl.fold (fun key count acc -> (key, count) :: acc) matrix_table []
+    |> List.sort compare
+  in
+  let discard_table = Hashtbl.create 8 in
+  List.iter
+    (fun event ->
+      match event with
+      | Sim.Trace.Discard { process; _ } ->
+        let current =
+          Option.value ~default:0 (Hashtbl.find_opt discard_table process)
+        in
+        Hashtbl.replace discard_table process (current + 1)
+      | Sim.Trace.Exec _ | Sim.Trace.Signal _ | Sim.Trace.State_change _ -> ())
+    (Sim.Trace.events trace);
+  let discarded =
+    Hashtbl.fold (fun p c acc -> (p, c) :: acc) discard_table []
+    |> List.sort compare
+  in
+  {
+    group_cycles;
+    total_cycles;
+    matrix;
+    process_transfers;
+    process_cycles;
+    discarded;
+  }
+
+let proportion t group =
+  if t.total_cycles = 0L then 0.0
+  else
+    let cycles =
+      Option.value ~default:0L (List.assoc_opt group t.group_cycles)
+    in
+    Int64.to_float cycles /. Int64.to_float t.total_cycles
+
+let signals_between t ~sender ~receiver =
+  Option.value ~default:0 (List.assoc_opt (sender, receiver) t.matrix)
+
+(* Display names follow the paper: part "group1" renders as "Group1". *)
+let display name =
+  if name = "" then name
+  else String.make 1 (Char.uppercase_ascii name.[0]) ^ String.sub name 1 (String.length name - 1)
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "Profiling report";
+  line "";
+  line "(a) %-14s %22s %11s" "Process group" "Total execution time" "Proportion";
+  List.iter
+    (fun (group, cycles) ->
+      line "    %-14s %15Ld cycles %9.1f %%" (display group) cycles
+        (100.0 *. proportion t group))
+    t.group_cycles;
+  line "";
+  line "(b) Number of signals between groups";
+  let names = List.map fst t.group_cycles in
+  let cell = 13 in
+  line "    %-16s%s" "Sender/Receiver"
+    (String.concat ""
+       (List.map (fun g -> Printf.sprintf "%*s" cell (display g)) names));
+  List.iter
+    (fun sender ->
+      line "    %-16s%s" (display sender)
+        (String.concat ""
+           (List.map
+              (fun receiver ->
+                Printf.sprintf "%*d" cell (signals_between t ~sender ~receiver))
+              names)))
+    names;
+  Buffer.contents buf
+
+let render_transfers t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "Transfers between individual application processes";
+  List.iter
+    (fun ((sender, receiver), count) ->
+      line "  %-40s -> %-40s %8d" sender receiver count)
+    t.process_transfers;
+  line "";
+  line "Execution per process";
+  List.iter
+    (fun (process, cycles) -> line "  %-50s %12Ld cycles" process cycles)
+    t.process_cycles;
+  (match t.discarded with
+  | [] -> ()
+  | discarded ->
+    line "";
+    line "Discarded signals";
+    List.iter
+      (fun (process, count) -> line "  %-50s %8d" process count)
+      discarded);
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Stage 3 of the profiling tool: combine the simulation log with the
+    process-group information into the profiling report of the paper's
+    Table 4.
+
+    Part (a) gives the total execution time per process group and its
+    proportion of all application cycles (the Environment pseudo group
+    is reported with 0 cycles, as in the paper — environment execution
+    is not application work).  Part (b) is the matrix of signal counts
+    between groups, Environment row/column included.  Per-process
+    transfer counts ("other metrics ... are also available") are kept
+    too. *)
+
+type t = {
+  group_cycles : (string * int64) list;
+      (** per group, descending; Environment last with 0 *)
+  total_cycles : int64;
+  matrix : ((string * string) * int) list;  (** (sender group, receiver group) *)
+  process_transfers : ((string * string) * int) list;
+  process_cycles : (string * int64) list;
+  discarded : (string * int) list;  (** discarded signals per process *)
+}
+
+val build : Groups.t -> Sim.Trace.t -> t
+
+val proportion : t -> string -> float
+(** Share of a group in total application cycles, in [0, 1]. *)
+
+val signals_between : t -> sender:string -> receiver:string -> int
+
+val render : t -> string
+(** The Table 4 layout: part (a) then part (b). *)
+
+val render_transfers : t -> string
+(** The per-process metrics table. *)

@@ -1,0 +1,96 @@
+type window = {
+  start_ns : int64;
+  group_cycles : (string * int64) list;
+  signals : int;
+}
+
+type t = {
+  window_ns : int64;
+  windows : window list;
+}
+
+let build groups ~window_ns trace =
+  if window_ns <= 0L then invalid_arg "Profiler.Timeline.build: window size";
+  let index time = Int64.to_int (Int64.div time window_ns) in
+  let last_index =
+    List.fold_left
+      (fun acc event ->
+        let time =
+          match event with
+          | Sim.Trace.Exec { time; _ }
+          | Sim.Trace.Signal { time; _ }
+          | Sim.Trace.State_change { time; _ }
+          | Sim.Trace.Discard { time; _ } ->
+            time
+        in
+        max acc (index time))
+      0 (Sim.Trace.events trace)
+  in
+  let cycle_tables = Array.init (last_index + 1) (fun _ -> Hashtbl.create 8) in
+  let signal_counts = Array.make (last_index + 1) 0 in
+  List.iter
+    (fun event ->
+      match event with
+      | Sim.Trace.Exec { time; process; cycles } ->
+        let group = Groups.group_of groups process in
+        if group <> Groups.environment_group then begin
+          let table = cycle_tables.(index time) in
+          let current = Option.value ~default:0L (Hashtbl.find_opt table group) in
+          Hashtbl.replace table group (Int64.add current cycles)
+        end
+      | Sim.Trace.Signal { time; _ } ->
+        signal_counts.(index time) <- signal_counts.(index time) + 1
+      | Sim.Trace.State_change _ | Sim.Trace.Discard _ -> ())
+    (Sim.Trace.events trace);
+  let windows =
+    List.init (last_index + 1) (fun i ->
+        {
+          start_ns = Int64.mul (Int64.of_int i) window_ns;
+          group_cycles =
+            Hashtbl.fold (fun g c acc -> (g, c) :: acc) cycle_tables.(i) []
+            |> List.sort compare;
+          signals = signal_counts.(i);
+        })
+  in
+  { window_ns; windows }
+
+let group_series t group =
+  List.map
+    (fun w -> Option.value ~default:0L (List.assoc_opt group w.group_cycles))
+    t.windows
+
+let peak t group =
+  List.fold_left
+    (fun acc w ->
+      let cycles = Option.value ~default:0L (List.assoc_opt group w.group_cycles) in
+      match acc with
+      | Some (_, best) when best >= cycles -> acc
+      | Some _ | None -> if cycles > 0L then Some (w.start_ns, cycles) else acc)
+    None t.windows
+
+let render t =
+  let groups =
+    List.sort_uniq compare
+      (List.concat_map (fun w -> List.map fst w.group_cycles) t.windows)
+  in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "Timeline (%.3f ms windows, application cycles per group)"
+    (Int64.to_float t.window_ns /. 1e6);
+  line "  %10s %s %8s" "t(ms)"
+    (String.concat ""
+       (List.map (fun g -> Printf.sprintf "%12s" g) groups))
+    "signals";
+  List.iter
+    (fun w ->
+      line "  %10.3f %s %8d"
+        (Int64.to_float w.start_ns /. 1e6)
+        (String.concat ""
+           (List.map
+              (fun g ->
+                Printf.sprintf "%12Ld"
+                  (Option.value ~default:0L (List.assoc_opt g w.group_cycles)))
+              groups))
+        w.signals)
+    t.windows;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Time-windowed view of the simulation log.
+
+    The Table 4 report aggregates over the whole run; regrouping and
+    remapping decisions also need to know {e when} the load occurs (a
+    group that is idle except for a periodic burst colocates better than
+    its average suggests).  This module slices the log into fixed
+    windows and reports cycles per group per window. *)
+
+type window = {
+  start_ns : int64;
+  group_cycles : (string * int64) list;  (** groups with activity only *)
+  signals : int;  (** signal events in the window *)
+}
+
+type t = {
+  window_ns : int64;
+  windows : window list;  (** chronological; empty windows included *)
+}
+
+val build : Groups.t -> window_ns:int64 -> Sim.Trace.t -> t
+(** Raises [Invalid_argument] on a non-positive window size.  Execution
+    events are attributed to the window containing their completion
+    timestamp; environment execution is excluded (as in the report). *)
+
+val peak : t -> string -> (int64 * int64) option
+(** [(window start, cycles)] of a group's busiest window. *)
+
+val group_series : t -> string -> int64 list
+(** The group's cycles per window, chronological. *)
+
+val render : t -> string
+(** One row per window with per-group cycle columns. *)

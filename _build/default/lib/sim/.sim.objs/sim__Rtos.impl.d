@@ -1,0 +1,1 @@
+lib/sim/rtos.ml: Engine Int64 List

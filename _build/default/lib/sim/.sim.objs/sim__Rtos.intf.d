@@ -1,0 +1,1 @@
+lib/sim/rtos.mli: Engine

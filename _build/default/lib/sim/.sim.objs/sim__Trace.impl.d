@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Fun Hashtbl Int64 List Option Printf Result String

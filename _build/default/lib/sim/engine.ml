@@ -1,0 +1,137 @@
+type handle = {
+  time : int64;
+  seq : int;
+  callback : unit -> unit;
+  mutable live : bool;
+}
+
+(* A binary min-heap ordered by (time, seq).  The heap may contain
+   cancelled entries; they are skipped on pop, which keeps cancel O(1). *)
+type t = {
+  mutable heap : handle array;
+  mutable size : int;
+  mutable clock : int64;
+  mutable next_seq : int;
+}
+
+let dummy =
+  { time = 0L; seq = 0; callback = (fun () -> ()); live = false }
+
+let create () =
+  { heap = Array.make 64 dummy; size = 0; clock = 0L; next_seq = 0 }
+
+let now t = t.clock
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && before t.heap.(left) t.heap.(!smallest) then smallest := left;
+  if right < t.size && before t.heap.(right) t.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t handle =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- handle;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let rec pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    if t.size > 0 then sift_down t 0;
+    if top.live then Some top else pop t
+  end
+
+let peek t =
+  (* Drop dead entries lazily so [pending]'s peek sees a live head. *)
+  let rec clean () =
+    if t.size > 0 && not t.heap.(0).live then begin
+      t.size <- t.size - 1;
+      t.heap.(0) <- t.heap.(t.size);
+      t.heap.(t.size) <- dummy;
+      if t.size > 0 then sift_down t 0;
+      clean ()
+    end
+  in
+  clean ();
+  if t.size = 0 then None else Some t.heap.(0)
+
+let schedule_at t ~time callback =
+  if time < t.clock then
+    invalid_arg "Sim.Engine.schedule_at: time is in the past";
+  let handle = { time; seq = t.next_seq; callback; live = true } in
+  t.next_seq <- t.next_seq + 1;
+  push t handle;
+  handle
+
+let schedule t ~delay callback =
+  if delay < 0L then invalid_arg "Sim.Engine.schedule: negative delay";
+  schedule_at t ~time:(Int64.add t.clock delay) callback
+
+let cancel handle =
+  if handle.live then handle.live <- false
+
+let cancelled handle = not handle.live
+
+let step t =
+  match pop t with
+  | None -> false
+  | Some handle ->
+    t.clock <- handle.time;
+    handle.live <- false;
+    handle.callback ();
+    true
+
+let run ?until t =
+  let horizon = until in
+  let rec loop fired =
+    match peek t with
+    | None -> fired
+    | Some head -> (
+      match horizon with
+      | Some limit when head.time > limit ->
+        t.clock <- max t.clock limit;
+        fired
+      | Some _ | None -> if step t then loop (fired + 1) else fired)
+  in
+  let fired = loop 0 in
+  (match horizon with
+  | Some limit when t.clock < limit && t.size = 0 -> t.clock <- limit
+  | Some _ | None -> ());
+  fired
+
+let pending t =
+
+  let count = ref 0 in
+  for i = 0 to t.size - 1 do
+    if t.heap.(i).live then incr count
+  done;
+  !count

@@ -1,0 +1,38 @@
+(** Discrete-event simulation kernel.
+
+    Time is in integer nanoseconds.  Events scheduled for the same time
+    fire in scheduling order (a monotone sequence number breaks ties), so
+    simulations are fully deterministic. *)
+
+type t
+
+type handle
+(** A scheduled event; may be cancelled before it fires. *)
+
+val create : unit -> t
+val now : t -> int64
+
+val schedule : t -> delay:int64 -> (unit -> unit) -> handle
+(** Schedule a callback [delay] ns from now.  Raises [Invalid_argument]
+    on negative delays. *)
+
+val schedule_at : t -> time:int64 -> (unit -> unit) -> handle
+(** Absolute-time variant; the time must not be in the past. *)
+
+val cancel : handle -> unit
+(** Idempotent; cancelling an already-fired event is a no-op. *)
+
+val cancelled : handle -> bool
+
+val step : t -> bool
+(** Fire the earliest pending event.  Returns [false] when the queue is
+    empty (time does not advance). *)
+
+val run : ?until:int64 -> t -> int
+(** Fire events until the queue is empty or the next event is strictly
+    after [until]; returns the number of events fired.  With [until],
+    time is left at [min until (time of last fired event)]'s max — i.e.
+    at [until] if the horizon was reached. *)
+
+val pending : t -> int
+(** Number of live (non-cancelled) events still queued. *)

@@ -1,0 +1,147 @@
+type policy = Fifo | Priority_preemptive
+
+type job = {
+  task : string;
+  priority : int;
+  mutable remaining_cycles : int64;
+  seq : int;  (** arrival order; ties broken FIFO *)
+  on_complete : unit -> unit;
+}
+
+type running = {
+  job : job;
+  started_at : int64;
+  completion : Engine.handle;
+}
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  policy : policy;
+  frequency_mhz : int;
+  perf_factor : float;
+  mutable queue : job list;
+  mutable running : running option;
+  mutable busy_ns : int64;
+  mutable executed_cycles : int64;
+  mutable next_seq : int;
+}
+
+let create ~engine ~name ~policy ~frequency_mhz ?(perf_factor = 1.0) () =
+  if frequency_mhz <= 0 then invalid_arg "Sim.Rtos.create: frequency";
+  if perf_factor <= 0.0 then invalid_arg "Sim.Rtos.create: perf_factor";
+  {
+    engine;
+    name;
+    policy;
+    frequency_mhz;
+    perf_factor;
+    queue = [];
+    running = None;
+    busy_ns = 0L;
+    executed_cycles = 0L;
+    next_seq = 0;
+  }
+
+let name t = t.name
+let policy t = t.policy
+
+let cycles_to_ns t cycles =
+  (* ns = cycles * 1000 / MHz, rounded up so work never takes zero time. *)
+  let numerator = Int64.mul cycles 1000L in
+  let mhz = Int64.of_int t.frequency_mhz in
+  Int64.div (Int64.add numerator (Int64.sub mhz 1L)) mhz
+
+let ns_to_cycles t ns =
+  Int64.div (Int64.mul ns (Int64.of_int t.frequency_mhz)) 1000L
+
+let scale_cycles t cycles =
+  let scaled = Int64.of_float (Int64.to_float cycles /. t.perf_factor) in
+  if scaled < 1L then 1L else scaled
+
+let better t a b =
+  match t.policy with
+  | Fifo -> a.seq < b.seq
+  | Priority_preemptive ->
+    a.priority > b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let pop_best t =
+  match t.queue with
+  | [] -> None
+  | first :: rest ->
+    let best = List.fold_left (fun acc j -> if better t j acc then j else acc) first rest in
+    t.queue <- List.filter (fun j -> j != best) t.queue;
+    Some best
+
+let rec dispatch t =
+  match t.running with
+  | Some _ -> ()
+  | None -> (
+    match pop_best t with
+    | None -> ()
+    | Some job ->
+      let duration = cycles_to_ns t job.remaining_cycles in
+      let started_at = Engine.now t.engine in
+      let completion =
+        Engine.schedule t.engine ~delay:duration (fun () -> complete t job)
+      in
+      t.running <- Some { job; started_at; completion })
+
+and complete t job =
+  (match t.running with
+  | Some r when r.job == job ->
+    t.busy_ns <- Int64.add t.busy_ns (Int64.sub (Engine.now t.engine) r.started_at);
+    t.executed_cycles <- Int64.add t.executed_cycles job.remaining_cycles;
+    job.remaining_cycles <- 0L;
+    t.running <- None
+  | Some _ | None -> ());
+  job.on_complete ();
+  dispatch t
+
+let preempt_if_needed t =
+  match t.policy, t.running with
+  | Fifo, _ | _, None -> ()
+  | Priority_preemptive, Some r -> (
+    match t.queue with
+    | [] -> ()
+    | queue ->
+      let challenger =
+        List.fold_left (fun acc j -> if better t j acc then j else acc)
+          (List.hd queue) (List.tl queue)
+      in
+      if challenger.priority > r.job.priority then begin
+        (* Account for the cycles the victim already executed. *)
+        let elapsed_ns = Int64.sub (Engine.now t.engine) r.started_at in
+        let done_cycles = min r.job.remaining_cycles (ns_to_cycles t elapsed_ns) in
+        Engine.cancel r.completion;
+        t.busy_ns <- Int64.add t.busy_ns elapsed_ns;
+        t.executed_cycles <- Int64.add t.executed_cycles done_cycles;
+        r.job.remaining_cycles <- Int64.sub r.job.remaining_cycles done_cycles;
+        t.running <- None;
+        if r.job.remaining_cycles > 0L then t.queue <- r.job :: t.queue
+        else
+          (* Fully executed during its slice: finish it now. *)
+          r.job.on_complete ()
+      end)
+
+let submit t ~task ~priority ~cycles k =
+  if cycles < 0L then invalid_arg "Sim.Rtos.submit: negative cycles";
+  let job =
+    {
+      task;
+      priority;
+      remaining_cycles = scale_cycles t (max 1L cycles);
+      seq = t.next_seq;
+      on_complete = k;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.queue <- t.queue @ [ job ];
+  preempt_if_needed t;
+  dispatch t
+
+let busy_ns t = t.busy_ns
+let executed_cycles t = t.executed_cycles
+let queue_length t = List.length t.queue
+let idle t =
+  match t.running, t.queue with None, [] -> true | _, _ -> false

@@ -1,0 +1,53 @@
+(** Processing-element scheduler model.
+
+    The paper's platform executes generated code on soft-core processors;
+    its stated future work adds "real-time operating system ... in system
+    processors".  This module models one PE's scheduler: jobs (bursts of
+    cycles with a completion continuation) are submitted and executed
+    under a policy:
+
+    - {!Fifo}: run-to-completion in arrival order (the bare-metal
+      main-loop of the original generated code);
+    - {!Priority_preemptive}: the RTOS extension — a higher-priority
+      arrival preempts the running job, which resumes later with its
+      remaining cycles.
+
+    Cycle durations derive from the PE clock frequency; an optional
+    [perf_factor] scales cycle counts (an accelerator does the same work
+    in fewer cycles). *)
+
+type policy = Fifo | Priority_preemptive
+
+type t
+
+val create :
+  engine:Engine.t ->
+  name:string ->
+  policy:policy ->
+  frequency_mhz:int ->
+  ?perf_factor:float ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on non-positive frequency or factor. *)
+
+val name : t -> string
+val policy : t -> policy
+
+val submit :
+  t -> task:string -> priority:int -> cycles:int64 -> (unit -> unit) -> unit
+(** Queue [cycles] of work on behalf of [task]; the continuation runs
+    when the burst completes.  [cycles] are reference-platform cycles and
+    are divided by the PE's [perf_factor].  Zero-cycle jobs complete
+    after a one-cycle scheduling overhead. *)
+
+val busy_ns : t -> int64
+(** Accumulated busy time (updated when jobs complete or preempt). *)
+
+val executed_cycles : t -> int64
+(** Total (scaled) cycles executed to completion. *)
+
+val queue_length : t -> int
+(** Jobs waiting (excluding the running one). *)
+
+val idle : t -> bool
+val cycles_to_ns : t -> int64 -> int64

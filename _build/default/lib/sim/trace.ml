@@ -1,0 +1,145 @@
+type event =
+  | Exec of { time : int64; process : string; cycles : int64 }
+  | Signal of {
+      time : int64;
+      sender : string;
+      receiver : string;
+      signal : string;
+      words : int;
+      tag : int;
+    }
+  | State_change of { time : int64; process : string; from_ : string; to_ : string }
+  | Discard of { time : int64; process : string; signal : string }
+
+type t = { mutable events : event list; mutable length : int }
+
+let create () = { events = []; length = 0 }
+
+let record t event =
+  t.events <- event :: t.events;
+  t.length <- t.length + 1
+
+let events t = List.rev t.events
+let length t = t.length
+
+let clear t =
+  t.events <- [];
+  t.length <- 0
+
+let total_cycles t =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun event ->
+      match event with
+      | Exec { process; cycles; _ } ->
+        let current =
+          Option.value ~default:0L (Hashtbl.find_opt table process)
+        in
+        Hashtbl.replace table process (Int64.add current cycles)
+      | Signal _ | State_change _ | Discard _ -> ())
+    t.events;
+  Hashtbl.fold (fun process cycles acc -> (process, cycles) :: acc) table []
+  |> List.sort compare
+
+let signal_counts t =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun event ->
+      match event with
+      | Signal { sender; receiver; _ } ->
+        let key = (sender, receiver) in
+        let current = Option.value ~default:0 (Hashtbl.find_opt table key) in
+        Hashtbl.replace table key (current + 1)
+      | Exec _ | State_change _ | Discard _ -> ())
+    t.events;
+  Hashtbl.fold (fun key count acc -> (key, count) :: acc) table []
+  |> List.sort compare
+
+let event_to_line = function
+  | Exec { time; process; cycles } ->
+    Printf.sprintf "E %Ld %s %Ld" time process cycles
+  | Signal { time; sender; receiver; signal; words; tag } ->
+    if tag < 0 then
+      Printf.sprintf "S %Ld %s %s %s %d" time sender receiver signal words
+    else
+      Printf.sprintf "S %Ld %s %s %s %d %d" time sender receiver signal words tag
+  | State_change { time; process; from_; to_ } ->
+    Printf.sprintf "T %Ld %s %s %s" time process from_ to_
+  | Discard { time; process; signal } ->
+    Printf.sprintf "D %Ld %s %s" time process signal
+
+let event_of_line line =
+  let fields =
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+  in
+  let time_of s =
+    match Int64.of_string_opt s with
+    | Some t -> Ok t
+    | None -> Error (Printf.sprintf "bad time %S in %S" s line)
+  in
+  match fields with
+  | [ "E"; time; process; cycles ] -> (
+    match time_of time, Int64.of_string_opt cycles with
+    | Ok time, Some cycles -> Ok (Exec { time; process; cycles })
+    | Error e, _ -> Error e
+    | _, None -> Error (Printf.sprintf "bad cycles in %S" line))
+  | [ "S"; time; sender; receiver; signal; words ] -> (
+    match time_of time, int_of_string_opt words with
+    | Ok time, Some words ->
+      Ok (Signal { time; sender; receiver; signal; words; tag = -1 })
+    | Error e, _ -> Error e
+    | _, None -> Error (Printf.sprintf "bad words in %S" line))
+  | [ "S"; time; sender; receiver; signal; words; tag ] -> (
+    match time_of time, int_of_string_opt words, int_of_string_opt tag with
+    | Ok time, Some words, Some tag when tag >= 0 ->
+      Ok (Signal { time; sender; receiver; signal; words; tag })
+    | Error e, _, _ -> Error e
+    | _, _, _ -> Error (Printf.sprintf "bad words or tag in %S" line))
+  | [ "T"; time; process; from_; to_ ] ->
+    Result.map (fun time -> State_change { time; process; from_; to_ }) (time_of time)
+  | [ "D"; time; process; signal ] ->
+    Result.map (fun time -> Discard { time; process; signal }) (time_of time)
+  | _ -> Error (Printf.sprintf "unrecognised log line %S" line)
+
+let to_lines t = List.map event_to_line (events t)
+
+let of_lines lines =
+  let t = create () in
+  let rec loop = function
+    | [] -> Ok t
+    | line :: rest when String.trim line = "" -> ignore line; loop rest
+    | line :: rest -> (
+      match event_of_line line with
+      | Ok event ->
+        record t event;
+        loop rest
+      | Error _ as e -> e)
+  in
+  match loop lines with
+  | Ok t -> Ok t
+  | Error e -> Error e
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun event ->
+          output_string oc (event_to_line event);
+          output_char oc '\n')
+        (events t))
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec read acc =
+          match input_line ic with
+          | line -> read (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        of_lines (read []))

@@ -1,0 +1,56 @@
+(** Simulation log — the "simulation log-file" of the paper's Figure 2.
+
+    The instrumented runtime records execution and communication events
+    here; the profiling tool later combines the log with the
+    process-group information parsed from the model.  The textual file
+    format is line-oriented so external tools (the paper used TCL) could
+    consume it:
+    {v
+      E <time_ns> <process> <cycles>              execution burst
+      S <time_ns> <sender> <receiver> <signal> <words> [<tag>]
+      T <time_ns> <process> <from_state> <to_state>
+      D <time_ns> <process> <signal>              discarded signal
+    v}
+    Process names are fully qualified part names and must not contain
+    whitespace. *)
+
+type event =
+  | Exec of { time : int64; process : string; cycles : int64 }
+  | Signal of {
+      time : int64;
+      sender : string;
+      receiver : string;
+      signal : string;
+      words : int;
+      tag : int;
+          (** correlation tag (e.g. a sequence number); [-1] = none *)
+    }
+  | State_change of { time : int64; process : string; from_ : string; to_ : string }
+  | Discard of { time : int64; process : string; signal : string }
+
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+val events : t -> event list
+(** In recording order. *)
+
+val length : t -> int
+val clear : t -> unit
+
+val total_cycles : t -> (string * int64) list
+(** Cycles per process, sorted by process name. *)
+
+val signal_counts : t -> ((string * string) * int) list
+(** Signal counts per (sender, receiver) pair, sorted. *)
+
+val event_to_line : event -> string
+val event_of_line : string -> (event, string) result
+
+val to_lines : t -> string list
+val of_lines : string list -> (t, string) result
+
+val save : t -> string -> unit
+(** Write the log file. *)
+
+val load : string -> (t, string) result

@@ -1,0 +1,1 @@
+lib/tutmac/app_model.ml: Behavior List Signals Tut_profile Uml

@@ -1,0 +1,1 @@
+lib/tutmac/app_model.mli: Behavior Tut_profile

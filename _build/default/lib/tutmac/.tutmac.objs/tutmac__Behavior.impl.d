@@ -1,0 +1,1 @@
+lib/tutmac/behavior.ml: Efsm Printf Signals String

@@ -1,0 +1,1 @@
+lib/tutmac/behavior.mli: Efsm

@@ -1,0 +1,1 @@
+lib/tutmac/mapping_model.ml: App_model List Platform_model Profile Tut_profile Uml

@@ -1,0 +1,1 @@
+lib/tutmac/mapping_model.mli: Tut_profile

@@ -1,0 +1,1 @@
+lib/tutmac/platform_model.ml: List Tut_profile Uml

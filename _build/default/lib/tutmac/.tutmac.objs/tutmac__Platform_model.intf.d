@@ -1,0 +1,1 @@
+lib/tutmac/platform_model.mli: Tut_profile

@@ -1,0 +1,1 @@
+lib/tutmac/scenario.ml: App_model Codegen Format Mapping_model Platform_model Profile Profiler Sim String Tut_profile Uml Workload Xmi

@@ -1,0 +1,1 @@
+lib/tutmac/scenario.mli: App_model Codegen Platform_model Profiler Sim Tut_profile Workload

@@ -1,0 +1,1 @@
+lib/tutmac/signals.ml: Uml

@@ -1,0 +1,1 @@
+lib/tutmac/signals.mli: Uml

@@ -1,0 +1,1 @@
+lib/tutmac/workload.ml: Codegen Efsm Signals Uml

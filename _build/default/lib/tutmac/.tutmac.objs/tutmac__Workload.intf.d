@@ -1,0 +1,1 @@
+lib/tutmac/workload.mli: Codegen

@@ -1,0 +1,337 @@
+type params = {
+  slot_period_ns : int;
+  beacon_period_ns : int;
+  meas_period_ns : int;
+  costs : Behavior.costs;
+  hierarchical_mng : bool;
+}
+
+let default_params =
+  {
+    slot_period_ns = 200_000;
+    beacon_period_ns = 10_000_000;
+    meas_period_ns = 20_000_000;
+    costs = Behavior.default_costs;
+    hierarchical_mng = false;
+  }
+
+let top_class = "Tutmac_Protocol"
+let grouping_class = "TutmacGrouping"
+let group1 = "group1"
+let group2 = "group2"
+let group3 = "group3"
+let group4 = "group4"
+
+let port = Uml.Port.make
+let cls = Uml.Classifier.make
+let part name class_name = { Uml.Classifier.name; Uml.Classifier.class_name }
+
+let conn name a b =
+  let endpoint (spec : string option * string) =
+    let part, port = spec in
+    Uml.Connector.endpoint ?part port
+  in
+  Uml.Connector.make ~name ~from_:(endpoint a) ~to_:(endpoint b)
+
+let boundary p = (None, p)
+let at part p = (Some part, p)
+
+(* ---- functional component classes -------------------------------- *)
+
+let msdu_receiver_class costs =
+  cls ~kind:Uml.Classifier.Active
+    ~ports:
+      [
+        port "user_in" ~receives:[ Signals.msdu_req ];
+        port "dp_out" ~sends:[ Signals.msdu_to_dp ];
+      ]
+    ~behavior:(Behavior.msdu_receiver costs) "MsduReceiver"
+
+let msdu_deliverer_class costs =
+  cls ~kind:Uml.Classifier.Active
+    ~ports:
+      [
+        port "dp_in" ~receives:[ Signals.msdu_to_ui ];
+        port "user_out" ~sends:[ Signals.msdu_ind ];
+      ]
+    ~behavior:(Behavior.msdu_deliverer costs) "MsduDeliverer"
+
+let fragmenter_class costs =
+  cls ~kind:Uml.Classifier.Active
+    ~ports:
+      [
+        port "ui_in" ~receives:[ Signals.msdu_to_dp ];
+        port "crc_port" ~sends:[ Signals.crc_req ] ~receives:[ Signals.crc_resp ];
+        port "rch_out" ~sends:[ Signals.pdu_req ];
+      ]
+    ~behavior:(Behavior.fragmenter costs) "Fragmenter"
+
+let crc_calculator_class costs =
+  cls ~kind:Uml.Classifier.Active
+    ~ports:
+      [
+        port "crc_port" ~receives:[ Signals.crc_req ] ~sends:[ Signals.crc_resp ];
+      ]
+    ~behavior:(Behavior.crc_calculator costs) "CrcCalculator"
+
+let defragmenter_class costs =
+  cls ~kind:Uml.Classifier.Active
+    ~ports:
+      [
+        port "rch_in" ~receives:[ Signals.pdu_ind ];
+        port "ui_out" ~sends:[ Signals.msdu_to_ui ];
+      ]
+    ~behavior:(Behavior.defragmenter costs) "Defragmenter"
+
+let rca_class params =
+  cls ~kind:Uml.Classifier.Active
+    ~ports:
+      [
+        port "dp_in" ~receives:[ Signals.pdu_req ];
+        port "dp_out" ~sends:[ Signals.pdu_ind ];
+        port "mng_port" ~receives:[ Signals.rch_config ]
+          ~sends:[ Signals.rch_status ];
+        port "phy_port" ~sends:[ Signals.phy_tx ] ~receives:[ Signals.phy_rx ];
+      ]
+    ~behavior:
+      (Behavior.radio_channel_access ~slot_period_ns:params.slot_period_ns
+         params.costs)
+    "RadioChannelAccess"
+
+let management_class params =
+  cls ~kind:Uml.Classifier.Active
+    ~ports:
+      [
+        port "rch_port" ~sends:[ Signals.rch_config ]
+          ~receives:[ Signals.rch_status ];
+        port "rmng_port" ~sends:[ Signals.mng_to_rmng ]
+          ~receives:[ Signals.rmng_report ];
+        port "mng_user" ~receives:[ Signals.mng_user_req ]
+          ~sends:[ Signals.mng_user_ind ];
+      ]
+    ~behavior:
+      ((if params.hierarchical_mng then Behavior.management_hierarchical
+        else Behavior.management)
+         ~beacon_period_ns:params.beacon_period_ns params.costs)
+    "Management"
+
+let radio_management_class params =
+  cls ~kind:Uml.Classifier.Active
+    ~ports:
+      [
+        port "mng_port" ~receives:[ Signals.mng_to_rmng ]
+          ~sends:[ Signals.rmng_report ];
+        port "phy_port" ~sends:[ Signals.rmng_meas_req ]
+          ~receives:[ Signals.phy_meas_ind ];
+      ]
+    ~behavior:
+      (Behavior.radio_management ~meas_period_ns:params.meas_period_ns
+         params.costs)
+    "RadioManagement"
+
+(* ---- structural component classes -------------------------------- *)
+
+let user_interface_class =
+  cls ~kind:Uml.Classifier.Structural
+    ~ports:
+      [
+        port "p_user" ~receives:[ Signals.msdu_req ] ~sends:[ Signals.msdu_ind ];
+        port "dp_tx" ~sends:[ Signals.msdu_to_dp ];
+        port "dp_rx" ~receives:[ Signals.msdu_to_ui ];
+      ]
+    ~parts:[ part "msduRec" "MsduReceiver"; part "msduDel" "MsduDeliverer" ]
+    ~connectors:
+      [
+        conn "UToUi" (boundary "p_user") (at "msduRec" "user_in");
+        conn "UiToU" (at "msduDel" "user_out") (boundary "p_user");
+        conn "UiToDp" (at "msduRec" "dp_out") (boundary "dp_tx");
+        conn "DpToUi" (boundary "dp_rx") (at "msduDel" "dp_in");
+      ]
+    "UserInterface"
+
+let data_processing_class =
+  cls ~kind:Uml.Classifier.Structural
+    ~ports:
+      [
+        port "ui_in" ~receives:[ Signals.msdu_to_dp ];
+        port "ui_out" ~sends:[ Signals.msdu_to_ui ];
+        port "rch_out" ~sends:[ Signals.pdu_req ];
+        port "rch_in" ~receives:[ Signals.pdu_ind ];
+      ]
+    ~parts:
+      [
+        part "frag" "Fragmenter";
+        part "crc" "CrcCalculator";
+        part "defrag" "Defragmenter";
+      ]
+    ~connectors:
+      [
+        conn "UiToFrag" (boundary "ui_in") (at "frag" "ui_in");
+        conn "FragToCrc" (at "frag" "crc_port") (at "crc" "crc_port");
+        conn "FragToRCh" (at "frag" "rch_out") (boundary "rch_out");
+        conn "RChToDefrag" (boundary "rch_in") (at "defrag" "rch_in");
+        conn "DefragToUi" (at "defrag" "ui_out") (boundary "ui_out");
+      ]
+    "DataProcessing"
+
+let top_class_def =
+  cls ~kind:Uml.Classifier.Structural
+    ~ports:
+      [
+        port "pUser" ~receives:[ Signals.msdu_req ] ~sends:[ Signals.msdu_ind ];
+        port "pPhy"
+          ~receives:[ Signals.phy_rx; Signals.phy_meas_ind ]
+          ~sends:[ Signals.phy_tx; Signals.rmng_meas_req ];
+        port "pMngUser" ~receives:[ Signals.mng_user_req ]
+          ~sends:[ Signals.mng_user_ind ];
+      ]
+    ~parts:
+      [
+        part "ui" "UserInterface";
+        part "dp" "DataProcessing";
+        part "rca" "RadioChannelAccess";
+        part "mng" "Management";
+        part "rmng" "RadioManagement";
+      ]
+    ~connectors:
+      [
+        conn "UserToUi" (boundary "pUser") (at "ui" "p_user");
+        conn "UiToDp" (at "ui" "dp_tx") (at "dp" "ui_in");
+        conn "DpToUi" (at "dp" "ui_out") (at "ui" "dp_rx");
+        conn "DpToRCh" (at "dp" "rch_out") (at "rca" "dp_in");
+        conn "RChToDp" (at "rca" "dp_out") (at "dp" "rch_in");
+        conn "MngToRCh" (at "mng" "rch_port") (at "rca" "mng_port");
+        conn "MngToRMng" (at "mng" "rmng_port") (at "rmng" "mng_port");
+        conn "RChToPhy" (at "rca" "phy_port") (boundary "pPhy");
+        conn "RMngToPhy" (at "rmng" "phy_port") (boundary "pPhy");
+        conn "MngToMngUser" (at "mng" "mng_user") (boundary "pMngUser");
+      ]
+    top_class
+
+let process_group_type_class = cls ~kind:Uml.Classifier.Structural "ProcessGroupType"
+
+let grouping_class_def =
+  cls ~kind:Uml.Classifier.Structural
+    ~parts:
+      [
+        part group1 "ProcessGroupType";
+        part group2 "ProcessGroupType";
+        part group3 "ProcessGroupType";
+        part group4 "ProcessGroupType";
+      ]
+    grouping_class
+
+(* ---- assembly ----------------------------------------------------- *)
+
+let add params builder =
+  let open Tut_profile.Builder in
+  let b = List.fold_left signal builder Signals.all in
+  (* Functional components (Figure 4's <<ApplicationComponent>>s plus the
+     data-processing internals). *)
+  let b =
+    List.fold_left
+      (fun b (class_def, code_mem, data_mem, rt) ->
+        component_class
+          ~tags:
+            [
+              tint "CodeMemory" code_mem;
+              tint "DataMemory" data_mem;
+              tenum "RealTimeType" rt;
+            ]
+          b class_def)
+      b
+      [
+        (msdu_receiver_class params.costs, 2048, 4096, Tut_profile.Stereotypes.rt_soft);
+        (msdu_deliverer_class params.costs, 2048, 4096, Tut_profile.Stereotypes.rt_soft);
+        (fragmenter_class params.costs, 4096, 8192, Tut_profile.Stereotypes.rt_soft);
+        (crc_calculator_class params.costs, 1024, 512, Tut_profile.Stereotypes.rt_hard);
+        (defragmenter_class params.costs, 4096, 8192, Tut_profile.Stereotypes.rt_soft);
+        (rca_class params, 16384, 8192, Tut_profile.Stereotypes.rt_hard);
+        (management_class params, 8192, 4096, Tut_profile.Stereotypes.rt_soft);
+        (radio_management_class params, 4096, 2048, Tut_profile.Stereotypes.rt_soft);
+      ]
+  in
+  (* Structural components (not stereotyped, as in Figure 4). *)
+  let b = plain_class b user_interface_class in
+  let b = plain_class b data_processing_class in
+  let b = plain_class b process_group_type_class in
+  let b = plain_class b grouping_class_def in
+  let b =
+    application_class
+      ~tags:
+        [
+          tint "Priority" 1;
+          tint "CodeMemory" 65536;
+          tint "DataMemory" 32768;
+          tenum "RealTimeType" Tut_profile.Stereotypes.rt_hard;
+        ]
+      b top_class_def
+  in
+  (* Application processes (Figure 5's stereotyped parts). *)
+  let process_tags priority ptype rt =
+    [
+      tint "Priority" priority;
+      tenum "ProcessType" ptype;
+      tenum "RealTimeType" rt;
+    ]
+  in
+  let general = Tut_profile.Stereotypes.pt_general in
+  let hardware = Tut_profile.Stereotypes.pt_hardware in
+  let hard = Tut_profile.Stereotypes.rt_hard in
+  let soft = Tut_profile.Stereotypes.rt_soft in
+  let b =
+    List.fold_left
+      (fun b (owner, part, priority, ptype, rt) ->
+        process ~tags:(process_tags priority ptype rt) b ~owner ~part)
+      b
+      [
+        (top_class, "rca", 3, general, hard);
+        (top_class, "mng", 2, general, soft);
+        (top_class, "rmng", 2, general, soft);
+        ("UserInterface", "msduRec", 1, general, soft);
+        ("UserInterface", "msduDel", 1, general, soft);
+        ("DataProcessing", "frag", 1, general, soft);
+        ("DataProcessing", "defrag", 1, general, soft);
+        ("DataProcessing", "crc", 2, hardware, hard);
+      ]
+  in
+  (* Process groups (Figure 6). *)
+  let b =
+    List.fold_left
+      (fun b (part, ptype) -> group ~process_type:ptype b ~owner:grouping_class ~part)
+      b
+      [
+        (group1, general); (group2, general); (group3, general); (group4, hardware);
+      ]
+  in
+  let b =
+    List.fold_left
+      (fun b (name, owner, part, grp) ->
+        grouping b ~name ~process:(owner, part) ~group:(grouping_class, grp))
+      b
+      [
+        ("grp_rca", top_class, "rca", group1);
+        ("grp_mng", top_class, "mng", group2);
+        ("grp_rmng", top_class, "rmng", group2);
+        ("grp_msduRec", "UserInterface", "msduRec", group3);
+        ("grp_msduDel", "UserInterface", "msduDel", group3);
+        ("grp_frag", "DataProcessing", "frag", group3);
+        ("grp_defrag", "DataProcessing", "defrag", group3);
+        ("grp_crc", "DataProcessing", "crc", group4);
+      ]
+  in
+  (* Package structure: the application model and the grouping model are
+     separate packages, as in the paper's tool organisation. *)
+  let b =
+    package b ~name:"TutmacApplication"
+      ~members:
+        [
+          top_class; "UserInterface"; "DataProcessing"; "MsduReceiver";
+          "MsduDeliverer"; "Fragmenter"; "CrcCalculator"; "Defragmenter";
+          "RadioChannelAccess"; "Management"; "RadioManagement";
+        ]
+  in
+  package b ~name:"TutmacGroupingModel"
+    ~members:[ grouping_class; "ProcessGroupType" ]
+
+let build params = add params (Tut_profile.Builder.create "tutmac")

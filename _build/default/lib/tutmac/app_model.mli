@@ -1,0 +1,36 @@
+(** The TUTMAC application model: class hierarchy (Figure 4), composite
+    structure (Figure 5) and process grouping (Figure 6).
+
+    Groups follow the paper's Table 4 / Figure 8 shape (see DESIGN.md for
+    the documented inference where the scanned Figure 6 is ambiguous):
+    group1 = \{rca\}, group2 = \{mng, rmng\},
+    group3 = \{msduRec, msduDel, frag, defrag\}, group4 = \{crc\}
+    (hardware). *)
+
+type params = {
+  slot_period_ns : int;
+  beacon_period_ns : int;
+  meas_period_ns : int;
+  costs : Behavior.costs;
+  hierarchical_mng : bool;
+      (** model Management as a hierarchical statechart (flattened) *)
+}
+
+val default_params : params
+
+val top_class : string
+(** ["Tutmac_Protocol"]. *)
+
+val grouping_class : string
+(** The structural class whose parts are the process groups. *)
+
+val group1 : string
+val group2 : string
+val group3 : string
+val group4 : string
+
+val add : params -> Tut_profile.Builder.t -> Tut_profile.Builder.t
+(** Add signals, classes, stereotypes, grouping dependencies. *)
+
+val build : params -> Tut_profile.Builder.t
+(** [add params (create "tutmac")]. *)

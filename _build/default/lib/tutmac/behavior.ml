@@ -1,0 +1,319 @@
+type costs = {
+  slot_processing : int;
+  tx_processing : int;
+  rx_processing : int;
+  pdu_enqueue : int;
+  config_processing : int;
+  msdu_receive : int;
+  msdu_deliver : int;
+  frag_setup : int;
+  frag_per_pdu : int;
+  defrag_per_pdu : int;
+  defrag_release : int;
+  crc_block : int;
+  mng_beacon : int;
+  mng_status : int;
+  mng_report : int;
+  mng_user : int;
+  rmng_measure : int;
+  rmng_result : int;
+  rmng_command : int;
+}
+
+let default_costs =
+  {
+    slot_processing = 2000;
+    tx_processing = 1500;
+    rx_processing = 1200;
+    pdu_enqueue = 500;
+    config_processing = 800;
+    msdu_receive = 300;
+    msdu_deliver = 200;
+    frag_setup = 800;
+    frag_per_pdu = 300;
+    defrag_per_pdu = 400;
+    defrag_release = 300;
+    crc_block = 120;
+    mng_beacon = 4800;
+    mng_status = 500;
+    mng_report = 600;
+    mng_user = 800;
+    rmng_measure = 2500;
+    rmng_result = 700;
+    rmng_command = 400;
+  }
+
+let pdus_per_msdu = 4
+let last_pdu_index = pdus_per_msdu - 1
+
+open Efsm.Action
+
+let on s = Efsm.Machine.On_signal s
+let after n = Efsm.Machine.After n
+let tr = Efsm.Machine.transition
+
+(* MsduReceiver: forwards user data requests to data processing. *)
+let msdu_receiver costs =
+  Efsm.Machine.make ~name:"MsduReceiver" ~states:[ "idle" ] ~initial:"idle"
+    ~variables:[ ("accepted", V_int 0) ]
+    [
+      tr ~src:"idle" ~dst:"idle" (on Signals.msdu_req)
+        ~actions:
+          [
+            compute (i costs.msdu_receive);
+            assign "accepted" (v "accepted" + i 1);
+            send ~port:"dp_out" Signals.msdu_to_dp ~args:[ p "seq" ];
+          ];
+    ]
+
+(* MsduDeliverer: hands reassembled MSDUs back to the user. *)
+let msdu_deliverer costs =
+  Efsm.Machine.make ~name:"MsduDeliverer" ~states:[ "idle" ] ~initial:"idle"
+    ~variables:[ ("delivered", V_int 0) ]
+    [
+      tr ~src:"idle" ~dst:"idle" (on Signals.msdu_to_ui)
+        ~actions:
+          [
+            compute (i costs.msdu_deliver);
+            assign "delivered" (v "delivered" + i 1);
+            send ~port:"user_out" Signals.msdu_ind ~args:[ p "seq" ];
+          ];
+    ]
+
+(* Fragmenter: splits one MSDU into [pdus_per_msdu] PDUs; each PDU gets a
+   CRC from the CRC calculator before entering the channel-access tx
+   queue.  The request/response handshake keeps at most one CRC
+   outstanding, like the original blocking hardware-accelerator call. *)
+let fragmenter costs =
+  let last = last_pdu_index in
+  Efsm.Machine.make ~name:"Fragmenter"
+    ~states:[ "idle"; "fragging" ]
+    ~initial:"idle"
+    ~variables:[ ("cur_seq", V_int 0); ("frag_i", V_int 0) ]
+    [
+      tr ~src:"idle" ~dst:"fragging" (on Signals.msdu_to_dp)
+        ~actions:
+          [
+            assign "cur_seq" (p "seq");
+            assign "frag_i" (i 0);
+            compute (i costs.frag_setup);
+            send ~port:"crc_port" Signals.crc_req ~args:[ p "seq"; i 0 ];
+          ];
+      tr ~src:"fragging" ~dst:"fragging" (on Signals.crc_resp)
+        ~guard:(v "frag_i" < i last)
+        ~actions:
+          [
+            compute (i costs.frag_per_pdu);
+            send ~port:"rch_out" Signals.pdu_req
+              ~args:[ v "cur_seq"; v "frag_i" ];
+            assign "frag_i" (v "frag_i" + i 1);
+            send ~port:"crc_port" Signals.crc_req
+              ~args:[ v "cur_seq"; v "frag_i" ];
+          ];
+      tr ~src:"fragging" ~dst:"idle" (on Signals.crc_resp)
+        ~guard:(v "frag_i" >= i last)
+        ~actions:
+          [
+            compute (i costs.frag_per_pdu);
+            send ~port:"rch_out" Signals.pdu_req
+              ~args:[ v "cur_seq"; v "frag_i" ];
+          ];
+    ]
+
+(* CrcCalculator: the offloadable protocol function.  The cycle cost is a
+   reference-platform cost; the accelerator's PerfFactor shrinks it. *)
+let crc_calculator costs =
+  Efsm.Machine.make ~name:"CrcCalculator" ~states:[ "idle" ] ~initial:"idle"
+    ~variables:[ ("blocks", V_int 0) ]
+    [
+      tr ~src:"idle" ~dst:"idle" (on Signals.crc_req)
+        ~actions:
+          [
+            compute (i costs.crc_block);
+            assign "blocks" (v "blocks" + i 1);
+            send ~port:"crc_port" Signals.crc_resp ~args:[ p "seq"; p "frag" ];
+          ];
+    ]
+
+(* Defragmenter: counts PDUs and releases an MSDU per full window. *)
+let defragmenter costs =
+  Efsm.Machine.make ~name:"Defragmenter" ~states:[ "idle" ] ~initial:"idle"
+    ~variables:[ ("pdus", V_int 0); ("released", V_int 0) ]
+    [
+      tr ~src:"idle" ~dst:"idle" (on Signals.pdu_ind)
+        ~actions:
+          [
+            compute (i costs.defrag_per_pdu);
+            assign "pdus" (v "pdus" + i 1);
+            If
+              ( v "pdus" mod i pdus_per_msdu = i 0,
+                [
+                  compute (i costs.defrag_release);
+                  assign "released" (v "released" + i 1);
+                  send ~port:"ui_out" Signals.msdu_to_ui ~args:[ p "seq" ];
+                ],
+                [] );
+          ];
+    ]
+
+(* RadioChannelAccess: the TDMA MAC core.  A slot timer fires every
+   [slot_period_ns]; slot upkeep runs whether or not there is traffic,
+   which is why this process dominates the profile (Table 4a). *)
+let radio_channel_access ~slot_period_ns costs =
+  Efsm.Machine.make ~name:"RadioChannelAccess"
+    ~states:[ "wait_slot" ]
+    ~initial:"wait_slot"
+    ~variables:
+      [
+        ("txq", V_int 0);
+        ("slot", V_int 0);
+        ("last_seq", V_int 0);
+        ("last_frag", V_int 0);
+      ]
+    [
+      tr ~src:"wait_slot" ~dst:"wait_slot" (after slot_period_ns)
+        ~actions:
+          [
+            compute (i costs.slot_processing);
+            assign "slot" (v "slot" + i 1);
+            If
+              ( v "txq" > i 0,
+                [
+                  compute (i costs.tx_processing);
+                  send ~port:"phy_port" Signals.phy_tx
+                    ~args:[ v "last_seq"; v "last_frag" ];
+                  assign "txq" (v "txq" - i 1);
+                ],
+                [] );
+          ];
+      tr ~src:"wait_slot" ~dst:"wait_slot" (on Signals.pdu_req)
+        ~actions:
+          [
+            compute (i costs.pdu_enqueue);
+            assign "txq" (v "txq" + i 1);
+            assign "last_seq" (p "seq");
+            assign "last_frag" (p "frag");
+          ];
+      tr ~src:"wait_slot" ~dst:"wait_slot" (on Signals.phy_rx)
+        ~actions:
+          [
+            compute (i costs.rx_processing);
+            send ~port:"dp_out" Signals.pdu_ind ~args:[ p "seq"; p "frag" ];
+          ];
+      tr ~src:"wait_slot" ~dst:"wait_slot" (on Signals.rch_config)
+        ~actions:
+          [
+            compute (i costs.config_processing);
+            send ~port:"mng_port" Signals.rch_status ~args:[ p "code" ];
+          ];
+    ]
+
+(* Management: periodic beacon/connection upkeep plus reactions to
+   channel-access status, radio reports and user management requests. *)
+let management ~beacon_period_ns costs =
+  Efsm.Machine.make ~name:"Management" ~states:[ "run" ] ~initial:"run"
+    ~variables:[ ("beacons", V_int 0) ]
+    [
+      tr ~src:"run" ~dst:"run" (after beacon_period_ns)
+        ~actions:
+          [
+            compute (i costs.mng_beacon);
+            assign "beacons" (v "beacons" + i 1);
+            send ~port:"rch_port" Signals.rch_config ~args:[ v "beacons" ];
+            If
+              ( v "beacons" mod i 2 = i 0,
+                [ send ~port:"rmng_port" Signals.mng_to_rmng ~args:[ v "beacons" ] ],
+                [] );
+          ];
+      tr ~src:"run" ~dst:"run" (on Signals.rch_status)
+        ~actions:[ compute (i costs.mng_status) ];
+      tr ~src:"run" ~dst:"run" (on Signals.rmng_report)
+        ~actions:[ compute (i costs.mng_report) ];
+      tr ~src:"run" ~dst:"run" (on Signals.mng_user_req)
+        ~actions:
+          [
+            compute (i costs.mng_user);
+            send ~port:"mng_user" Signals.mng_user_ind ~args:[ p "code" ];
+          ];
+    ]
+
+(* Hierarchical variant of Management: Unassociated -> Associated
+   (composite, initial Operational); the composite level owns the
+   reactive handlers, the Operational substate owns the beacon timer. *)
+let management_hierarchical ~beacon_period_ns costs =
+  let hsm =
+    {
+      Efsm.Hsm.name = "ManagementH";
+      Efsm.Hsm.states =
+        [
+          Efsm.Hsm.simple "Unassociated";
+          Efsm.Hsm.composite ~name:"Associated" ~initial:"Operational"
+            [ Efsm.Hsm.simple "Operational" ];
+        ];
+      Efsm.Hsm.initial = "Unassociated";
+      Efsm.Hsm.variables = [ ("beacons", V_int 0) ];
+      Efsm.Hsm.transitions =
+        [
+          tr ~src:"Unassociated" ~dst:"Associated" (after beacon_period_ns)
+            ~actions:
+              [
+                compute (i costs.mng_beacon);
+                send ~port:"rch_port" Signals.rch_config ~args:[ i 0 ];
+              ];
+          (* Composite-level handlers, inherited by Operational. *)
+          tr ~src:"Associated" ~dst:"Associated" (on Signals.rch_status)
+            ~actions:[ compute (i costs.mng_status) ];
+          tr ~src:"Associated" ~dst:"Associated" (on Signals.rmng_report)
+            ~actions:[ compute (i costs.mng_report) ];
+          tr ~src:"Associated" ~dst:"Associated" (on Signals.mng_user_req)
+            ~actions:
+              [
+                compute (i costs.mng_user);
+                send ~port:"mng_user" Signals.mng_user_ind ~args:[ p "code" ];
+              ];
+          (* The periodic beacon lives on the substate. *)
+          tr ~src:"Operational" ~dst:"Operational" (after beacon_period_ns)
+            ~actions:
+              [
+                compute (i costs.mng_beacon);
+                assign "beacons" (v "beacons" + i 1);
+                send ~port:"rch_port" Signals.rch_config ~args:[ v "beacons" ];
+                If
+                  ( v "beacons" mod i 2 = i 0,
+                    [
+                      send ~port:"rmng_port" Signals.mng_to_rmng
+                        ~args:[ v "beacons" ];
+                    ],
+                    [] );
+              ];
+        ];
+    }
+  in
+  match Efsm.Hsm.flatten hsm with
+  | Ok machine -> machine
+  | Error problems ->
+    invalid_arg
+      (Printf.sprintf "Behavior.management_hierarchical: %s"
+         (String.concat "; " problems))
+
+(* RadioManagement: periodic channel-quality measurement via the PHY. *)
+let radio_management ~meas_period_ns costs =
+  Efsm.Machine.make ~name:"RadioManagement" ~states:[ "run" ] ~initial:"run"
+    ~variables:[ ("measurements", V_int 0) ]
+    [
+      tr ~src:"run" ~dst:"run" (after meas_period_ns)
+        ~actions:
+          [
+            compute (i costs.rmng_measure);
+            assign "measurements" (v "measurements" + i 1);
+            send ~port:"phy_port" Signals.rmng_meas_req ~args:[ v "measurements" ];
+          ];
+      tr ~src:"run" ~dst:"run" (on Signals.phy_meas_ind)
+        ~actions:
+          [
+            compute (i costs.rmng_result);
+            send ~port:"mng_port" Signals.rmng_report ~args:[ p "quality" ];
+          ];
+      tr ~src:"run" ~dst:"run" (on Signals.mng_to_rmng)
+        ~actions:[ compute (i costs.rmng_command) ];
+    ]

@@ -1,0 +1,55 @@
+(** EFSM behaviours of the TUTMAC functional components.
+
+    "TUTMAC statecharts are modeled as asynchronous communicating
+    Extended Finite State Machines" — these are those machines, built
+    with the {!Efsm.Action} textual-notation constructors.  Timer periods
+    and per-event computation costs are parameters so scenarios (and the
+    benches) can sweep them; the defaults reproduce the execution-time
+    proportions of the paper's Table 4. *)
+
+type costs = {
+  slot_processing : int;  (** channel-access cycles per TDMA slot *)
+  tx_processing : int;
+  rx_processing : int;
+  pdu_enqueue : int;
+  config_processing : int;
+  msdu_receive : int;
+  msdu_deliver : int;
+  frag_setup : int;
+  frag_per_pdu : int;
+  defrag_per_pdu : int;
+  defrag_release : int;
+  crc_block : int;  (** reference cycles per CRC block *)
+  mng_beacon : int;
+  mng_status : int;
+  mng_report : int;
+  mng_user : int;
+  rmng_measure : int;
+  rmng_result : int;
+  rmng_command : int;
+}
+
+val default_costs : costs
+
+val pdus_per_msdu : int
+(** Fragmentation factor (4: a 400-byte MSDU in 64-byte PDUs with
+    headers). *)
+
+val msdu_receiver : costs -> Efsm.Machine.t
+val msdu_deliverer : costs -> Efsm.Machine.t
+val fragmenter : costs -> Efsm.Machine.t
+val crc_calculator : costs -> Efsm.Machine.t
+val defragmenter : costs -> Efsm.Machine.t
+
+val radio_channel_access : slot_period_ns:int -> costs -> Efsm.Machine.t
+val management : beacon_period_ns:int -> costs -> Efsm.Machine.t
+
+(** The same management behaviour modelled as a hierarchical statechart
+    (an [Unassociated] state entering a composite [Associated] state
+    whose substate inherits the composite's handlers), flattened with
+    {!Efsm.Hsm.flatten}.  Demonstrates composite states in the real
+    case-study flow; functionally it adds one association step at
+    start-up before the periodic behaviour of {!management}. *)
+val management_hierarchical : beacon_period_ns:int -> costs -> Efsm.Machine.t
+
+val radio_management : meas_period_ns:int -> costs -> Efsm.Machine.t

@@ -1,0 +1,46 @@
+let set_part_tag builder ~owner ~part ~stereotype name value =
+  let element = Uml.Element.Part_ref { class_name = owner; part } in
+  {
+    builder with
+    Tut_profile.Builder.apps =
+      Profile.Apply.set_value builder.Tut_profile.Builder.apps ~element
+        ~stereotype name value;
+  }
+
+let add ?(crc_on_accelerator = true) builder =
+  let open Tut_profile.Builder in
+  let group g = (App_model.grouping_class, g) in
+  let pe p = (Platform_model.platform_class, p) in
+  let b =
+    List.fold_left
+      (fun b (name, g, target, fixed) ->
+        mapping ~fixed b ~name ~group:(group g) ~pe:(pe target))
+      builder
+      [
+        ("map_group1", App_model.group1, Platform_model.processor1, false);
+        ("map_group3", App_model.group3, Platform_model.processor1, false);
+        ("map_group2", App_model.group2, Platform_model.processor2, false);
+      ]
+  in
+  if crc_on_accelerator then
+    mapping ~fixed:true b ~name:"map_group4"
+      ~group:(group App_model.group4)
+      ~pe:(pe Platform_model.accelerator1)
+  else begin
+    (* Ablation: run the CRC in software on the spare processor.  The
+       group and its process drop the hardware ProcessType so rules R07
+       and R15 still hold. *)
+    let general = Profile.Tag.V_enum Tut_profile.Stereotypes.pt_general in
+    let b =
+      set_part_tag b ~owner:App_model.grouping_class ~part:App_model.group4
+        ~stereotype:Tut_profile.Stereotypes.process_group "ProcessType" general
+    in
+    let b =
+      set_part_tag b ~owner:"DataProcessing" ~part:"crc"
+        ~stereotype:Tut_profile.Stereotypes.application_process "ProcessType"
+        general
+    in
+    mapping b ~name:"map_group4"
+      ~group:(group App_model.group4)
+      ~pe:(pe Platform_model.processor3)
+  end

@@ -1,0 +1,9 @@
+(** The Figure 8 mapping: group1 and group3 onto processor1 (the
+    designer's co-location decision), group2 onto processor2, group4 onto
+    accelerator1.  processor3 is left free, as in the paper's platform. *)
+
+val add :
+  ?crc_on_accelerator:bool -> Tut_profile.Builder.t -> Tut_profile.Builder.t
+(** With [crc_on_accelerator:false] the ablation variant maps group4 to
+    processor3 instead (and relabels its process type so the model stays
+    rule-valid). *)

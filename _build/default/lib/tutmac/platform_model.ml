@@ -1,0 +1,150 @@
+type params = {
+  cpu_frequency_mhz : int;
+  accel_perf_factor : float;
+  arbitration : string;
+  data_width_bits : int;
+  bus_frequency_mhz : int;
+  wrapper_buffer_words : int;
+  wrapper_max_time : int;
+}
+
+let default_params =
+  {
+    cpu_frequency_mhz = 50;
+    accel_perf_factor = 20.0;
+    arbitration = Tut_profile.Stereotypes.arb_priority;
+    data_width_bits = 32;
+    bus_frequency_mhz = 50;
+    wrapper_buffer_words = 8;
+    wrapper_max_time = 64;
+  }
+
+let platform_class = "TutwlanPlatform"
+let processor1 = "processor1"
+let processor2 = "processor2"
+let processor3 = "processor3"
+let accelerator1 = "accelerator1"
+let hibisegment1 = "hibisegment1"
+let hibisegment2 = "hibisegment2"
+let bridge_segment = "bridge"
+
+let cls = Uml.Classifier.make
+let port = Uml.Port.make
+let part name class_name = { Uml.Classifier.name; Uml.Classifier.class_name }
+
+let conn name a b =
+  Uml.Connector.make ~name
+    ~from_:(Uml.Connector.endpoint ~part:(fst a) (snd a))
+    ~to_:(Uml.Connector.endpoint ~part:(fst b) (snd b))
+
+(* Library component classes: a soft-core processor, the CRC accelerator
+   and a HIBI segment.  Ports carry no application signals — platform
+   connectivity is physical, not signal-typed. *)
+let processor_class = cls ~ports:[ port "bus" ] "Processor"
+let accelerator_class = cls ~ports:[ port "bus" ] "CrcAcceleratorIp"
+let segment_class = cls ~ports:[ port "p0"; port "p1"; port "p2" ] "HIBISegmentLib"
+
+let platform_class_def =
+  cls
+    ~parts:
+      [
+        part processor1 "Processor";
+        part processor2 "Processor";
+        part processor3 "Processor";
+        part accelerator1 "CrcAcceleratorIp";
+        part hibisegment1 "HIBISegmentLib";
+        part hibisegment2 "HIBISegmentLib";
+        part bridge_segment "HIBISegmentLib";
+      ]
+    ~connectors:
+      [
+        conn "w_processor1" (processor1, "bus") (hibisegment1, "p0");
+        conn "w_processor2" (processor2, "bus") (hibisegment1, "p1");
+        conn "w_processor3" (processor3, "bus") (hibisegment2, "p0");
+        conn "w_accelerator1" (accelerator1, "bus") (hibisegment2, "p1");
+        conn "w_bridge1" (hibisegment1, "p2") (bridge_segment, "p0");
+        conn "w_bridge2" (hibisegment2, "p2") (bridge_segment, "p1");
+      ]
+    platform_class
+
+let add params builder =
+  let owner = platform_class in
+  let open Tut_profile.Builder in
+  let b =
+    platform_component_class
+      ~tags:
+        [
+          tenum "Type" Tut_profile.Stereotypes.ct_general;
+          tfloat "Area" 12.5;
+          tfloat "Power" 85.0;
+          tint "Frequency" params.cpu_frequency_mhz;
+          tfloat "PerfFactor" 1.0;
+        ]
+      builder processor_class
+  in
+  let b =
+    platform_component_class
+      ~tags:
+        [
+          tenum "Type" Tut_profile.Stereotypes.ct_hw_accelerator;
+          tfloat "Area" 1.8;
+          tfloat "Power" 9.0;
+          tint "Frequency" params.cpu_frequency_mhz;
+          tfloat "PerfFactor" params.accel_perf_factor;
+        ]
+      b accelerator_class
+  in
+  let b = plain_class b segment_class in
+  let b = platform_class b platform_class_def in
+  let pe_tags priority mem = [ tint "Priority" priority; tint "IntMemory" mem ] in
+  let b =
+    List.fold_left
+      (fun b (pe_part, id, priority, mem) ->
+        pe_instance ~tags:(pe_tags priority mem) b ~owner ~part:pe_part ~id)
+      b
+      [
+        (processor1, 1, 3, 65536);
+        (processor2, 2, 2, 65536);
+        (processor3, 3, 1, 65536);
+        (accelerator1, 4, 4, 2048);
+      ]
+  in
+  let seg_tags =
+    [
+      tint "DataWidth" params.data_width_bits;
+      tint "Frequency" params.bus_frequency_mhz;
+      tenum "Arbitration" params.arbitration;
+      tint "MaxSendSize" 16;
+    ]
+  in
+  let b =
+    List.fold_left
+      (fun b seg ->
+        comm_segment ~hibi:true ~tags:seg_tags b ~owner ~part:seg)
+      b
+      [ hibisegment1; hibisegment2; bridge_segment ]
+  in
+  let wrapper_tags priority =
+    [
+      tint "BufferSize" params.wrapper_buffer_words;
+      tint "MaxTime" params.wrapper_max_time;
+      tint "BusPriority" priority;
+    ]
+  in
+  let b =
+    List.fold_left
+      (fun b (connector, address, priority) ->
+        comm_wrapper ~hibi:true ~tags:(wrapper_tags priority) b ~owner
+          ~connector ~address)
+      b
+      [
+        ("w_processor1", 0x10, 3);
+        ("w_processor2", 0x11, 2);
+        ("w_processor3", 0x20, 1);
+        ("w_accelerator1", 0x21, 4);
+        ("w_bridge1", 0x30, 5);
+        ("w_bridge2", 0x31, 5);
+      ]
+  in
+  package b ~name:"TutwlanPlatformLibrary"
+    ~members:[ owner; "Processor"; "CrcAcceleratorIp"; "HIBISegmentLib" ]

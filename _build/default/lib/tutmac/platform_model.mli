@@ -1,0 +1,29 @@
+(** The TUTWLAN terminal platform (Figure 7): three general-purpose
+    processors and a CRC-32 hardware accelerator on a hierarchical HIBI
+    bus (two leaf segments joined by a bridge segment). *)
+
+type params = {
+  cpu_frequency_mhz : int;
+  accel_perf_factor : float;
+      (** how many software cycles one accelerator cycle replaces *)
+  arbitration : string;  (** Stereotypes.arb_priority / arb_round_robin *)
+  data_width_bits : int;
+  bus_frequency_mhz : int;
+  wrapper_buffer_words : int;
+  wrapper_max_time : int;
+}
+
+val default_params : params
+
+val platform_class : string
+(** ["TutwlanPlatform"]. *)
+
+val processor1 : string
+val processor2 : string
+val processor3 : string
+val accelerator1 : string
+val hibisegment1 : string
+val hibisegment2 : string
+val bridge_segment : string
+
+val add : params -> Tut_profile.Builder.t -> Tut_profile.Builder.t

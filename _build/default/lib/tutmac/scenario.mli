@@ -1,0 +1,51 @@
+(** End-to-end driver for the Figure 2 flow on the TUTMAC/TUTWLAN case:
+    build the model, validate it against TUT-Profile, generate the
+    executable (lower to IR), simulate with environment workload, and
+    produce the Table 4 profiling report. *)
+
+type config = {
+  app : App_model.params;
+  platform : Platform_model.params;
+  workload : Workload.params;
+  duration_ns : int64;
+  scheduling : Codegen.Ir.scheduling;
+  crc_on_accelerator : bool;
+  dispatch_overhead_cycles : int;
+}
+
+val default : config
+(** 2 simulated seconds, the Figure 7/8 platform and mapping. *)
+
+val build_model : config -> Tut_profile.Builder.t
+(** Application + platform + mapping in one model. *)
+
+val validate : config -> Tut_profile.Rules.report
+
+val system : config -> (Codegen.Ir.system, string list) result
+(** The generated process network. *)
+
+type run_result = {
+  report : Profiler.Report.t;
+  trace : Sim.Trace.t;
+  sys : Codegen.Ir.system;
+  runtime : Codegen.Runtime.t;
+  via_xmi : bool;
+}
+
+val run : ?via_xmi:bool -> config -> (run_result, string) result
+(** Simulate for [duration_ns] and profile.  With [via_xmi:true] the
+    process-group information is recovered by serialising the model to
+    XML and parsing it back — the authentic tool-chain path of the
+    paper's profiling tool (slower, bit-identical result). *)
+
+val run_builder :
+  ?via_xmi:bool ->
+  config ->
+  Tut_profile.Builder.t ->
+  (run_result, string) result
+(** Like {!run} but on a caller-supplied model (e.g. one remapped or
+    regrouped by the exploration tools); [config] supplies the workload,
+    duration and scheduling. *)
+
+val render_figures : config -> (string * string) list
+(** [(figure id, rendered text)] for Figures 4-8. *)

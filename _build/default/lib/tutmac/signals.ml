@@ -1,0 +1,46 @@
+let msdu_req = "MsduReq"
+let msdu_ind = "MsduInd"
+let msdu_to_dp = "MsduToDp"
+let msdu_to_ui = "MsduToUi"
+let crc_req = "CrcReq"
+let crc_resp = "CrcResp"
+let pdu_req = "PduReq"
+let pdu_ind = "PduInd"
+let phy_tx = "PhyTx"
+let phy_rx = "PhyRx"
+let rch_config = "RChConfig"
+let rch_status = "RChStatus"
+let mng_to_rmng = "MngToRMng"
+let rmng_report = "RMngReport"
+let rmng_meas_req = "RMngMeasReq"
+let phy_meas_ind = "PhyMeasInd"
+let mng_user_req = "MngUserReq"
+let mng_user_ind = "MngUserInd"
+
+let signal = Uml.Signal.make
+let seq = ("seq", Uml.Signal.P_int)
+let frag = ("frag", Uml.Signal.P_int)
+let code = ("code", Uml.Signal.P_int)
+let quality = ("quality", Uml.Signal.P_int)
+
+let all =
+  [
+    signal ~params:[ seq ] ~payload_bytes:400 msdu_req;
+    signal ~params:[ seq ] ~payload_bytes:400 msdu_ind;
+    signal ~params:[ seq ] ~payload_bytes:400 msdu_to_dp;
+    signal ~params:[ seq ] ~payload_bytes:400 msdu_to_ui;
+    signal ~params:[ seq; frag ] ~payload_bytes:64 crc_req;
+    signal ~params:[ seq; frag ] ~payload_bytes:8 crc_resp;
+    signal ~params:[ seq; frag ] ~payload_bytes:64 pdu_req;
+    signal ~params:[ seq; frag ] ~payload_bytes:64 pdu_ind;
+    signal ~params:[ seq; frag ] ~payload_bytes:64 phy_tx;
+    signal ~params:[ seq; frag ] ~payload_bytes:64 phy_rx;
+    signal ~params:[ code ] ~payload_bytes:16 rch_config;
+    signal ~params:[ code ] ~payload_bytes:16 rch_status;
+    signal ~params:[ code ] ~payload_bytes:16 mng_to_rmng;
+    signal ~params:[ quality ] ~payload_bytes:16 rmng_report;
+    signal ~params:[ code ] ~payload_bytes:8 rmng_meas_req;
+    signal ~params:[ quality ] ~payload_bytes:8 phy_meas_ind;
+    signal ~params:[ code ] ~payload_bytes:32 mng_user_req;
+    signal ~params:[ code ] ~payload_bytes:32 mng_user_ind;
+  ]

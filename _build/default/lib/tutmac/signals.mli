@@ -1,0 +1,26 @@
+(** Signal vocabulary of the TUTMAC protocol model.
+
+    Names are exported as constants; {!all} is the declaration list added
+    to the UML model.  Payload sizes drive the HIBI transfer model (an
+    MSDU is a 400-byte service data unit; PDUs are 64-byte fragments). *)
+
+val msdu_req : string  (* user -> MAC data request *)
+val msdu_ind : string  (* MAC -> user data indication *)
+val msdu_to_dp : string  (* user interface -> data processing *)
+val msdu_to_ui : string  (* data processing -> user interface *)
+val crc_req : string
+val crc_resp : string
+val pdu_req : string  (* data processing -> channel access (tx queue) *)
+val pdu_ind : string  (* channel access -> data processing (rx path) *)
+val phy_tx : string
+val phy_rx : string
+val rch_config : string  (* management -> channel access *)
+val rch_status : string  (* channel access -> management *)
+val mng_to_rmng : string
+val rmng_report : string
+val rmng_meas_req : string
+val phy_meas_ind : string
+val mng_user_req : string
+val mng_user_ind : string
+
+val all : Uml.Signal.t list

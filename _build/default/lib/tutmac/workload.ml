@@ -1,0 +1,109 @@
+type params = {
+  msdu_period_ns : int;
+  mng_user_period_ns : int;
+  loss_denominator : int;
+}
+
+let default_params =
+  {
+    msdu_period_ns = 20_000_000;
+    mng_user_period_ns = 100_000_000;
+    loss_denominator = 20;
+  }
+
+let user_env = "user_env"
+let mng_user_env = "mng_user_env"
+let radio_env = "radio_env"
+
+open Efsm.Action
+
+let on s = Efsm.Machine.On_signal s
+let after n = Efsm.Machine.After n
+let tr = Efsm.Machine.transition
+
+let user_machine params =
+  Efsm.Machine.make ~name:"UserEnvironment" ~states:[ "run" ] ~initial:"run"
+    ~variables:[ ("seq", V_int 0); ("received", V_int 0) ]
+    [
+      tr ~src:"run" ~dst:"run" (after params.msdu_period_ns)
+        ~actions:
+          [
+            send ~port:"u" Signals.msdu_req ~args:[ v "seq" ];
+            assign "seq" (v "seq" + i 1);
+          ];
+      tr ~src:"run" ~dst:"run" (on Signals.msdu_ind)
+        ~actions:[ assign "received" (v "received" + i 1) ];
+    ]
+
+let mng_user_machine params =
+  Efsm.Machine.make ~name:"ManagementUserEnvironment" ~states:[ "run" ]
+    ~initial:"run"
+    ~variables:[ ("requests", V_int 0); ("responses", V_int 0) ]
+    [
+      tr ~src:"run" ~dst:"run" (after params.mng_user_period_ns)
+        ~actions:
+          [
+            send ~port:"m" Signals.mng_user_req ~args:[ v "requests" ];
+            assign "requests" (v "requests" + i 1);
+          ];
+      tr ~src:"run" ~dst:"run" (on Signals.mng_user_ind)
+        ~actions:[ assign "responses" (v "responses" + i 1) ];
+    ]
+
+(* The radio loops transmitted PDUs back as receptions (a stand-in for
+   the peer terminal) and drops one in [loss_denominator]
+   deterministically; measurement requests are answered with a fixed
+   channel quality. *)
+let radio_machine params =
+  Efsm.Machine.make ~name:"RadioChannelEnvironment" ~states:[ "run" ]
+    ~initial:"run"
+    ~variables:[ ("n", V_int 0); ("dropped", V_int 0) ]
+    [
+      tr ~src:"run" ~dst:"run" (on Signals.phy_tx)
+        ~actions:
+          [
+            assign "n" (v "n" + i 1);
+            If
+              ( v "n" mod i params.loss_denominator = i 0,
+                [ assign "dropped" (v "dropped" + i 1) ],
+                [ send ~port:"phy" Signals.phy_rx ~args:[ p "seq"; p "frag" ] ]
+              );
+          ];
+      tr ~src:"run" ~dst:"run" (on Signals.rmng_meas_req)
+        ~actions:[ send ~port:"phy" Signals.phy_meas_ind ~args:[ i 42 ] ];
+    ]
+
+let environment params =
+  [
+    {
+      Codegen.Lower.name = user_env;
+      Codegen.Lower.machine = user_machine params;
+      Codegen.Lower.ports =
+        [
+          Uml.Port.make "u" ~receives:[ Signals.msdu_ind ]
+            ~sends:[ Signals.msdu_req ];
+        ];
+      Codegen.Lower.attachments = [ ("u", "pUser") ];
+    };
+    {
+      Codegen.Lower.name = mng_user_env;
+      Codegen.Lower.machine = mng_user_machine params;
+      Codegen.Lower.ports =
+        [
+          Uml.Port.make "m" ~receives:[ Signals.mng_user_ind ]
+            ~sends:[ Signals.mng_user_req ];
+        ];
+      Codegen.Lower.attachments = [ ("m", "pMngUser") ];
+    };
+    {
+      Codegen.Lower.name = radio_env;
+      Codegen.Lower.machine = radio_machine params;
+      Codegen.Lower.ports =
+        [
+          Uml.Port.make "phy"
+            ~receives:[ Signals.phy_tx; Signals.rmng_meas_req ]
+            ~sends:[ Signals.phy_rx; Signals.phy_meas_ind ];
+        ];
+      Codegen.Lower.attachments = [ ("phy", "pPhy") ];
+    };
+  ]

@@ -1,0 +1,23 @@
+(** Environment model: the user (traffic source/sink), the management
+    user, and the radio channel (a lossy PHY loopback).
+
+    The paper's terminal talks to a physical radio and real user
+    applications; these environment processes are the synthetic
+    equivalent (DESIGN.md, substitution table) and populate the
+    Environment row/column of the Table 4 report. *)
+
+type params = {
+  msdu_period_ns : int;  (** user data request period *)
+  mng_user_period_ns : int;
+  loss_denominator : int;  (** drop one PDU in N (deterministic) *)
+}
+
+val default_params : params
+
+val user_env : string
+val mng_user_env : string
+val radio_env : string
+
+val environment : params -> Codegen.Lower.env_proc list
+(** The three environment processes wired to the application's boundary
+    ports [pUser], [pMngUser] and [pPhy]. *)

@@ -1,0 +1,1 @@
+lib/uml/classifier.ml: Connector Efsm Format List Port Printf

@@ -1,0 +1,1 @@
+lib/uml/connector.mli: Format

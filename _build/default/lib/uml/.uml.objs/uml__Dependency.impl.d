@@ -1,0 +1,1 @@
+lib/uml/dependency.ml: Element Format

@@ -1,0 +1,1 @@
+lib/uml/dependency.mli: Element Format

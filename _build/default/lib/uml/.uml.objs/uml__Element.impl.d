@@ -1,0 +1,1 @@
+lib/uml/element.ml: Format Option String

@@ -1,0 +1,1 @@
+lib/uml/element.mli: Format

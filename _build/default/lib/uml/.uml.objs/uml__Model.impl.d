@@ -1,0 +1,1 @@
+lib/uml/model.ml: Classifier Connector Dependency Efsm Element Format Hashtbl List Port Printf Signal

@@ -1,0 +1,1 @@
+lib/uml/model.mli: Classifier Connector Dependency Element Format Signal

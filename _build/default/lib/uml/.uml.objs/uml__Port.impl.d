@@ -1,0 +1,1 @@
+lib/uml/port.ml: Format List String

@@ -1,0 +1,1 @@
+lib/uml/port.mli: Format

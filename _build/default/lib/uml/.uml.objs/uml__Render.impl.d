@@ -1,0 +1,1 @@
+lib/uml/render.ml: Buffer Classifier Connector Dependency Element Format List Model Port Printf

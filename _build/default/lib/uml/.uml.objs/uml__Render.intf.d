@@ -1,0 +1,1 @@
+lib/uml/render.mli: Dependency Element Model

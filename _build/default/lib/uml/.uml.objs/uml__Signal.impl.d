@@ -1,0 +1,1 @@
+lib/uml/signal.ml: Format

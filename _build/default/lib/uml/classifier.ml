@@ -1,0 +1,64 @@
+type kind = Active | Structural | Data
+
+type attribute = { name : string; type_name : string }
+type part = { name : string; class_name : string }
+
+type t = {
+  name : string;
+  kind : kind;
+  attributes : attribute list;
+  ports : Port.t list;
+  parts : part list;
+  connectors : Connector.t list;
+  behavior : Efsm.Machine.t option;
+}
+
+let rec duplicates seen = function
+  | [] -> []
+  | x :: rest ->
+    if List.mem x seen then x :: duplicates seen rest
+    else duplicates (x :: seen) rest
+
+let make ?(kind = Structural) ?(attributes = []) ?(ports = []) ?(parts = [])
+    ?(connectors = []) ?behavior name =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  (match kind, behavior with
+  | Active, None -> fail "Uml.Classifier.make: active class %s needs behaviour" name
+  | (Structural | Data), Some _ ->
+    fail "Uml.Classifier.make: passive class %s cannot have behaviour" name
+  | Active, Some _ | (Structural | Data), None -> ());
+  let check_unique what names =
+    match duplicates [] names with
+    | [] -> ()
+    | d :: _ -> fail "Uml.Classifier.make: %s: duplicate %s %s" name what d
+  in
+  check_unique "port" (List.map (fun (p : Port.t) -> p.Port.name) ports);
+  check_unique "part" (List.map (fun (p : part) -> p.name) parts);
+  check_unique "connector"
+    (List.map (fun (c : Connector.t) -> c.Connector.name) connectors);
+  check_unique "attribute" (List.map (fun (a : attribute) -> a.name) attributes);
+  { name; kind; attributes; ports; parts; connectors; behavior }
+
+let find_port t name =
+  List.find_opt (fun (p : Port.t) -> p.Port.name = name) t.ports
+
+let find_part t name = List.find_opt (fun (p : part) -> p.name = name) t.parts
+
+let find_connector t name =
+  List.find_opt (fun (c : Connector.t) -> c.Connector.name = name) t.connectors
+
+let is_active t = t.kind = Active
+
+let pp_kind fmt = function
+  | Active -> Format.pp_print_string fmt "active"
+  | Structural -> Format.pp_print_string fmt "structural"
+  | Data -> Format.pp_print_string fmt "data"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>class %s (%a)@," t.name pp_kind t.kind;
+  List.iter (fun p -> Format.fprintf fmt "  %a@," Port.pp p) t.ports;
+  List.iter
+    (fun (part : part) -> Format.fprintf fmt "  part %s : %s@," part.name part.class_name)
+    t.parts;
+  List.iter (fun c -> Format.fprintf fmt "  %a@," Connector.pp c) t.connectors;
+  Format.fprintf fmt "@]"

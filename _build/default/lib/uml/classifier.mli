@@ -1,0 +1,47 @@
+(** UML classes.
+
+    The paper distinguishes *functional components* (active classes with
+    behaviour, instantiable as application processes) from *structural
+    components* (passive classes that only define composite structures)
+    and plain data classes. *)
+
+type kind =
+  | Active  (** has behaviour; instances are processes *)
+  | Structural  (** composite structure only, no behaviour *)
+  | Data  (** stores application data *)
+
+type attribute = { name : string; type_name : string }
+
+type part = { name : string; class_name : string }
+(** A property of the composite structure, typed by another class
+    (e.g. part [mng : Management]). *)
+
+type t = {
+  name : string;
+  kind : kind;
+  attributes : attribute list;
+  ports : Port.t list;
+  parts : part list;
+  connectors : Connector.t list;
+  behavior : Efsm.Machine.t option;
+}
+
+val make :
+  ?kind:kind ->
+  ?attributes:attribute list ->
+  ?ports:Port.t list ->
+  ?parts:part list ->
+  ?connectors:Connector.t list ->
+  ?behavior:Efsm.Machine.t ->
+  string ->
+  t
+(** Build a class ([kind] defaults to [Structural]).  Raises
+    [Invalid_argument] if an [Active] class lacks behaviour, a
+    non-[Active] class has behaviour, or part/port/connector names
+    collide. *)
+
+val find_port : t -> string -> Port.t option
+val find_part : t -> string -> part option
+val find_connector : t -> string -> Connector.t option
+val is_active : t -> bool
+val pp : Format.formatter -> t -> unit

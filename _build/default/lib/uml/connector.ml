@@ -1,0 +1,19 @@
+type endpoint = { part : string option; port : string }
+
+type t = {
+  name : string;
+  from_ : endpoint;
+  to_ : endpoint;
+}
+
+let make ~name ~from_ ~to_ = { name; from_; to_ }
+let endpoint ?part port = { part; port }
+
+let pp_endpoint fmt ep =
+  match ep.part with
+  | Some part -> Format.fprintf fmt "%s.%s" part ep.port
+  | None -> Format.fprintf fmt "self.%s" ep.port
+
+let pp fmt t =
+  Format.fprintf fmt "connector %s: %a -> %a" t.name pp_endpoint t.from_
+    pp_endpoint t.to_

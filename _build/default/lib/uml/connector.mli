@@ -1,0 +1,19 @@
+(** Connectors wire ports of parts together inside a composite structure.
+
+    An endpoint either names a port on a contained part, or — with
+    [part = None] — a boundary port of the enclosing class, which lets a
+    composite forward signals to/from its environment (the [pUser] /
+    [pPhy] ports of Figure 5). *)
+
+type endpoint = { part : string option; port : string }
+
+type t = {
+  name : string;
+  from_ : endpoint;
+  to_ : endpoint;
+}
+
+val make : name:string -> from_:endpoint -> to_:endpoint -> t
+val endpoint : ?part:string -> string -> endpoint
+val pp_endpoint : Format.formatter -> endpoint -> unit
+val pp : Format.formatter -> t -> unit

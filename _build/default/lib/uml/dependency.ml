@@ -1,0 +1,11 @@
+type t = {
+  name : string;
+  client : Element.ref_;
+  supplier : Element.ref_;
+}
+
+let make ~name ~client ~supplier = { name; client; supplier }
+
+let pp fmt t =
+  Format.fprintf fmt "dependency %s: %a --> %a" t.name Element.pp t.client
+    Element.pp t.supplier

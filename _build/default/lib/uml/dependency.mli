@@ -1,0 +1,14 @@
+(** Dependencies between model elements.
+
+    TUT-Profile uses stereotyped dependencies for process grouping
+    ([ProcessGrouping]) and platform mapping ([PlatformMapping]); the
+    client and supplier are referenced by element refs. *)
+
+type t = {
+  name : string;
+  client : Element.ref_;
+  supplier : Element.ref_;
+}
+
+val make : name:string -> client:Element.ref_ -> supplier:Element.ref_ -> t
+val pp : Format.formatter -> t -> unit

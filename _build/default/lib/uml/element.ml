@@ -1,0 +1,83 @@
+type metaclass =
+  | M_class
+  | M_part
+  | M_port
+  | M_connector
+  | M_signal
+  | M_dependency
+
+type ref_ =
+  | Class_ref of string
+  | Part_ref of { class_name : string; part : string }
+  | Port_ref of { class_name : string; port : string }
+  | Connector_ref of { class_name : string; connector : string }
+  | Signal_ref of string
+  | Dependency_ref of string
+
+let metaclass_of = function
+  | Class_ref _ -> M_class
+  | Part_ref _ -> M_part
+  | Port_ref _ -> M_port
+  | Connector_ref _ -> M_connector
+  | Signal_ref _ -> M_signal
+  | Dependency_ref _ -> M_dependency
+
+let metaclass_name = function
+  | M_class -> "Class"
+  | M_part -> "Part"
+  | M_port -> "Port"
+  | M_connector -> "Connector"
+  | M_signal -> "Signal"
+  | M_dependency -> "Dependency"
+
+let metaclass_of_name = function
+  | "Class" -> Some M_class
+  | "Part" -> Some M_part
+  | "Port" -> Some M_port
+  | "Connector" -> Some M_connector
+  | "Signal" -> Some M_signal
+  | "Dependency" -> Some M_dependency
+  | _ -> None
+
+let to_string = function
+  | Class_ref name -> "class:" ^ name
+  | Part_ref { class_name; part } -> "part:" ^ class_name ^ "/" ^ part
+  | Port_ref { class_name; port } -> "port:" ^ class_name ^ "/" ^ port
+  | Connector_ref { class_name; connector } ->
+    "connector:" ^ class_name ^ "/" ^ connector
+  | Signal_ref name -> "signal:" ^ name
+  | Dependency_ref name -> "dependency:" ^ name
+
+let split_scoped rest =
+  match String.index_opt rest '/' with
+  | None -> None
+  | Some i ->
+    Some (String.sub rest 0 i, String.sub rest (i + 1) (String.length rest - i - 1))
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i ->
+    let kind = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    (match kind with
+    | "class" -> Some (Class_ref rest)
+    | "signal" -> Some (Signal_ref rest)
+    | "dependency" -> Some (Dependency_ref rest)
+    | "part" ->
+      Option.map
+        (fun (class_name, part) -> Part_ref { class_name; part })
+        (split_scoped rest)
+    | "port" ->
+      Option.map
+        (fun (class_name, port) -> Port_ref { class_name; port })
+        (split_scoped rest)
+    | "connector" ->
+      Option.map
+        (fun (class_name, connector) -> Connector_ref { class_name; connector })
+        (split_scoped rest)
+    | _ -> None)
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)
+let equal (a : ref_) (b : ref_) = a = b
+let compare (a : ref_) (b : ref_) = compare (to_string a) (to_string b)

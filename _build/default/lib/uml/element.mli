@@ -1,0 +1,35 @@
+(** Uniform references to model elements and the metaclasses a profile
+    can extend.
+
+    A stereotype application must point at *some* element; refs give a
+    stable, serialisable way to do so without object identity. *)
+
+type metaclass =
+  | M_class
+  | M_part  (** a property of a composite structure (class instance) *)
+  | M_port
+  | M_connector
+  | M_signal
+  | M_dependency
+
+type ref_ =
+  | Class_ref of string
+  | Part_ref of { class_name : string; part : string }
+  | Port_ref of { class_name : string; port : string }
+  | Connector_ref of { class_name : string; connector : string }
+  | Signal_ref of string
+  | Dependency_ref of string
+
+val metaclass_of : ref_ -> metaclass
+val metaclass_name : metaclass -> string
+val metaclass_of_name : string -> metaclass option
+val to_string : ref_ -> string
+(** Stable textual form, e.g. ["part:Tutmac_Protocol/rca"]; used as XML
+    identifiers and map keys. *)
+
+val of_string : string -> ref_ option
+(** Inverse of {!to_string}. *)
+
+val pp : Format.formatter -> ref_ -> unit
+val equal : ref_ -> ref_ -> bool
+val compare : ref_ -> ref_ -> int

@@ -1,0 +1,236 @@
+type package = {
+  package_name : string;
+  members : string list;
+}
+
+type t = {
+  name : string;
+  signals : Signal.t list;
+  classes : Classifier.t list;
+  dependencies : Dependency.t list;
+  packages : package list;
+}
+
+let empty name =
+  { name; signals = []; classes = []; dependencies = []; packages = [] }
+
+let find_signal t name =
+  List.find_opt (fun (s : Signal.t) -> s.Signal.name = name) t.signals
+
+let find_class t name =
+  List.find_opt (fun (c : Classifier.t) -> c.Classifier.name = name) t.classes
+
+let find_dependency t name =
+  List.find_opt (fun (d : Dependency.t) -> d.Dependency.name = name) t.dependencies
+
+let add_signal t signal =
+  if find_signal t signal.Signal.name <> None then
+    invalid_arg ("Uml.Model.add_signal: duplicate " ^ signal.Signal.name);
+  { t with signals = t.signals @ [ signal ] }
+
+let add_class t cls =
+  if find_class t cls.Classifier.name <> None then
+    invalid_arg ("Uml.Model.add_class: duplicate " ^ cls.Classifier.name);
+  { t with classes = t.classes @ [ cls ] }
+
+let add_dependency t dep =
+  if find_dependency t dep.Dependency.name <> None then
+    invalid_arg ("Uml.Model.add_dependency: duplicate " ^ dep.Dependency.name);
+  { t with dependencies = t.dependencies @ [ dep ] }
+
+let find_package t name =
+  List.find_opt (fun p -> p.package_name = name) t.packages
+
+let add_package t ~name ~members =
+  if find_package t name <> None then
+    invalid_arg ("Uml.Model.add_package: duplicate " ^ name);
+  { t with packages = t.packages @ [ { package_name = name; members } ] }
+
+let package_of_class t class_name =
+  List.find_map
+    (fun p -> if List.mem class_name p.members then Some p.package_name else None)
+    t.packages
+
+let resolve t ref_ =
+  match (ref_ : Element.ref_) with
+  | Element.Class_ref name -> find_class t name <> None
+  | Element.Signal_ref name -> find_signal t name <> None
+  | Element.Dependency_ref name -> find_dependency t name <> None
+  | Element.Part_ref { class_name; part } -> (
+    match find_class t class_name with
+    | None -> false
+    | Some cls -> Classifier.find_part cls part <> None)
+  | Element.Port_ref { class_name; port } -> (
+    match find_class t class_name with
+    | None -> false
+    | Some cls -> Classifier.find_port cls port <> None)
+  | Element.Connector_ref { class_name; connector } -> (
+    match find_class t class_name with
+    | None -> false
+    | Some cls -> Classifier.find_connector cls connector <> None)
+
+let active_classes t = List.filter Classifier.is_active t.classes
+
+let parts_of t class_name =
+  match find_class t class_name with
+  | None -> raise Not_found
+  | Some cls ->
+    List.map
+      (fun (part : Classifier.part) ->
+        match find_class t part.Classifier.class_name with
+        | None -> raise Not_found
+        | Some part_class -> (part, part_class))
+      cls.Classifier.parts
+
+let all_parts t =
+  List.concat_map
+    (fun (cls : Classifier.t) ->
+      List.map (fun part -> (cls.Classifier.name, part)) cls.Classifier.parts)
+    t.classes
+
+let process_parts t =
+  List.filter
+    (fun ((_, part) : string * Classifier.part) ->
+      match find_class t part.Classifier.class_name with
+      | Some cls -> Classifier.is_active cls
+      | None -> false)
+    (all_parts t)
+
+type diagnostic = { context : string; message : string }
+
+let pp_diagnostic fmt d = Format.fprintf fmt "[%s] %s" d.context d.message
+
+(* Resolve a connector endpoint inside [cls] to the class whose port set
+   must contain the endpoint's port.  Boundary endpoints resolve to [cls]
+   itself. *)
+let endpoint_class t (cls : Classifier.t) (ep : Connector.endpoint) =
+  match ep.Connector.part with
+  | None -> Ok cls
+  | Some part_name -> (
+    match Classifier.find_part cls part_name with
+    | None ->
+      Error (Printf.sprintf "endpoint names unknown part %s" part_name)
+    | Some part -> (
+      match find_class t part.Classifier.class_name with
+      | None ->
+        Error
+          (Printf.sprintf "part %s has unresolved class %s" part_name
+             part.Classifier.class_name)
+      | Some part_class -> Ok part_class))
+
+let endpoint_port t cls ep =
+  match endpoint_class t cls ep with
+  | Error _ as e -> e
+  | Ok owner -> (
+    match Classifier.find_port owner ep.Connector.port with
+    | None ->
+      Error
+        (Printf.sprintf "port %s not found on class %s" ep.Connector.port
+           owner.Classifier.name)
+    | Some port -> Ok port)
+
+(* A boundary endpoint relays: as a source it forwards signals that enter
+   the composite (its [receives] set); as a destination it forwards
+   signals leaving the composite (its [sends] set).  Part endpoints use
+   their port's own direction. *)
+let signal_of_connector t cls (conn : Connector.t) signal =
+  match endpoint_port t cls conn.Connector.from_, endpoint_port t cls conn.Connector.to_ with
+  | Error e, _ | _, Error e -> Error e
+  | Ok src, Ok dst ->
+    let src_ok =
+      match conn.Connector.from_.Connector.part with
+      | None -> Port.can_receive src signal
+      | Some _ -> Port.can_send src signal
+    in
+    let dst_ok =
+      match conn.Connector.to_.Connector.part with
+      | None -> Port.can_send dst signal
+      | Some _ -> Port.can_receive dst signal
+    in
+    if not src_ok then
+      Error
+        (Printf.sprintf "port %s does not send signal %s" src.Port.name signal)
+    else if not dst_ok then
+      Error
+        (Printf.sprintf "port %s does not receive signal %s" dst.Port.name
+           signal)
+    else Ok (Format.asprintf "%a" Connector.pp_endpoint conn.Connector.to_)
+
+let check t =
+  let diagnostics = ref [] in
+  let report context fmt =
+    Printf.ksprintf
+      (fun message -> diagnostics := { context; message } :: !diagnostics)
+      fmt
+  in
+  (* Parts reference declared classes; connector ports exist. *)
+  List.iter
+    (fun (cls : Classifier.t) ->
+      let ctx = "class " ^ cls.Classifier.name in
+      List.iter
+        (fun (part : Classifier.part) ->
+          if find_class t part.Classifier.class_name = None then
+            report ctx "part %s references undeclared class %s"
+              part.Classifier.name part.Classifier.class_name)
+        cls.Classifier.parts;
+      List.iter
+        (fun (conn : Connector.t) ->
+          let check_end ep =
+            match endpoint_port t cls ep with
+            | Ok _ -> ()
+            | Error e ->
+              report ctx "connector %s: %s" conn.Connector.name e
+          in
+          check_end conn.Connector.from_;
+          check_end conn.Connector.to_)
+        cls.Classifier.connectors;
+      (* Behaviour signal discipline. *)
+      match cls.Classifier.behavior with
+      | None -> ()
+      | Some machine ->
+        List.iter
+          (fun signal ->
+            if find_signal t signal = None then
+              report ctx "behaviour consumes undeclared signal %s" signal)
+          (Efsm.Machine.signals_consumed machine);
+        List.iter
+          (fun (port_name, signal) ->
+            if find_signal t signal = None then
+              report ctx "behaviour sends undeclared signal %s" signal;
+            match Classifier.find_port cls port_name with
+            | None ->
+              report ctx "behaviour sends %s through unknown port %s" signal
+                port_name
+            | Some port ->
+              if not (Port.can_send port signal) then
+                report ctx "port %s does not declare outgoing signal %s"
+                  port_name signal)
+          (Efsm.Machine.signals_sent machine))
+    t.classes;
+  (* Packages: members resolve and memberships are exclusive. *)
+  let seen_members = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let ctx = "package " ^ p.package_name in
+      List.iter
+        (fun member ->
+          if find_class t member = None then
+            report ctx "member %s is not a declared class" member;
+          match Hashtbl.find_opt seen_members member with
+          | Some other ->
+            report ctx "class %s already belongs to package %s" member other
+          | None -> Hashtbl.add seen_members member p.package_name)
+        p.members)
+    t.packages;
+  (* Dependencies resolve. *)
+  List.iter
+    (fun (dep : Dependency.t) ->
+      let ctx = "dependency " ^ dep.Dependency.name in
+      if not (resolve t dep.Dependency.client) then
+        report ctx "client %s does not resolve"
+          (Element.to_string dep.Dependency.client);
+      if not (resolve t dep.Dependency.supplier) then
+        report ctx "supplier %s does not resolve"
+          (Element.to_string dep.Dependency.supplier))
+    t.dependencies;
+  List.rev !diagnostics

@@ -1,0 +1,75 @@
+(** The model store: every element of one UML 2.0 model.
+
+    Models are immutable values built with the [add_*] functions; queries
+    resolve {!Element.ref_} values against the store.  Well-formedness of
+    the plain UML part (references resolve, connectors are compatible,
+    behaviours use declared signals) lives here; profile-specific design
+    rules live in the profile libraries. *)
+
+type package = {
+  package_name : string;
+  members : string list;  (** class names *)
+}
+(** A UML package grouping classes (the application model, the platform
+    library, ... are separate packages in the paper's tool). *)
+
+type t = {
+  name : string;
+  signals : Signal.t list;
+  classes : Classifier.t list;
+  dependencies : Dependency.t list;
+  packages : package list;
+}
+
+val empty : string -> t
+val add_signal : t -> Signal.t -> t
+val add_class : t -> Classifier.t -> t
+val add_dependency : t -> Dependency.t -> t
+val add_package : t -> name:string -> members:string list -> t
+(** The [add_*] functions preserve insertion order and raise
+    [Invalid_argument] on duplicate names. *)
+
+val find_package : t -> string -> package option
+val package_of_class : t -> string -> string option
+(** The (at most one) package a class belongs to. *)
+
+val find_signal : t -> string -> Signal.t option
+val find_class : t -> string -> Classifier.t option
+val find_dependency : t -> string -> Dependency.t option
+
+val resolve : t -> Element.ref_ -> bool
+(** Does the reference point at an existing element? *)
+
+val active_classes : t -> Classifier.t list
+
+val parts_of : t -> string -> (Classifier.part * Classifier.t) list
+(** Parts of a class together with their (resolved) classes.  Raises
+    [Not_found] when the class or a part's class is missing. *)
+
+val all_parts : t -> (string * Classifier.part) list
+(** Every part in the model as [(owning class, part)]. *)
+
+val process_parts : t -> (string * Classifier.part) list
+(** Parts whose class is active — the candidate application processes. *)
+
+type diagnostic = { context : string; message : string }
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+val check : t -> diagnostic list
+(** UML-level well-formedness:
+    - part class names, connector endpoints and dependency refs resolve;
+    - connector endpoints name existing ports (on the part's class for
+      part endpoints, on the enclosing class for boundary endpoints);
+    - signals sent/consumed by behaviours are declared in the model;
+    - signals sent through a port are in the port's [sends] set and
+      arrive at a port that [receives] them;
+    - package members resolve to declared classes, and no class belongs
+      to two packages. *)
+
+val signal_of_connector :
+  t -> Classifier.t -> Connector.t -> string -> (string, string) result
+(** [signal_of_connector model cls conn signal] checks that [signal] can
+    travel [conn] inside [cls] (sent by the source port, received by the
+    destination port); returns the destination description on success and
+    an explanation on failure. *)

@@ -1,0 +1,14 @@
+type t = {
+  name : string;
+  receives : string list;
+  sends : string list;
+}
+
+let make ?(receives = []) ?(sends = []) name = { name; receives; sends }
+let can_receive t signal = List.mem signal t.receives
+let can_send t signal = List.mem signal t.sends
+
+let pp fmt t =
+  Format.fprintf fmt "port %s (in: %s; out: %s)" t.name
+    (String.concat ", " t.receives)
+    (String.concat ", " t.sends)

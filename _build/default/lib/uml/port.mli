@@ -1,0 +1,13 @@
+(** Ports of classes.  In the composite structure diagrams of the paper,
+    parts "communicate with each other by signals via their ports". *)
+
+type t = {
+  name : string;
+  receives : string list;  (** signal names this port can deliver inward *)
+  sends : string list;  (** signal names emitted through this port *)
+}
+
+val make : ?receives:string list -> ?sends:string list -> string -> t
+val can_receive : t -> string -> bool
+val can_send : t -> string -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+type annotator = Element.ref_ -> string option
+
+let no_annotations _ = None
+
+let annotation annotate ref_ =
+  match annotate ref_ with Some s -> s ^ " " | None -> ""
+
+let class_diagram ?(annotate = no_annotations) model ~root =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (match Model.find_class model root with
+  | None -> line "class %s: not found" root
+  | Some cls ->
+    line "%s%s" (annotation annotate (Element.Class_ref root)) root;
+    List.iter
+      (fun (part : Classifier.part) ->
+        let part_class = part.Classifier.class_name in
+        line "  <>-- %s%s  (part %s)"
+          (annotation annotate (Element.Class_ref part_class))
+          part_class part.Classifier.name)
+      cls.Classifier.parts);
+  Buffer.contents buf
+
+let composite_structure ?(annotate = no_annotations) model ~class_name =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (match Model.find_class model class_name with
+  | None -> line "class %s: not found" class_name
+  | Some cls ->
+    line "composite structure of %s%s"
+      (annotation annotate (Element.Class_ref class_name))
+      class_name;
+    List.iter
+      (fun (p : Port.t) -> line "  boundary port %s" p.Port.name)
+      cls.Classifier.ports;
+    List.iter
+      (fun (part : Classifier.part) ->
+        let ref_ =
+          Element.Part_ref { class_name; part = part.Classifier.name }
+        in
+        line "  %s%s : %s"
+          (annotation annotate ref_)
+          part.Classifier.name part.Classifier.class_name)
+      cls.Classifier.parts;
+    List.iter
+      (fun (c : Connector.t) ->
+        line "  %s: %s -- %s" c.Connector.name
+          (Format.asprintf "%a" Connector.pp_endpoint c.Connector.from_)
+          (Format.asprintf "%a" Connector.pp_endpoint c.Connector.to_))
+      cls.Classifier.connectors);
+  Buffer.contents buf
+
+let dependency_diagram ?(annotate = no_annotations) ?(filter = fun _ -> true)
+    model =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun (dep : Dependency.t) ->
+      if filter dep then
+        let label =
+          match annotate (Element.Dependency_ref dep.Dependency.name) with
+          | Some s -> s
+          | None -> "--"
+        in
+        line "%s --%s--> %s"
+          (Element.to_string dep.Dependency.client)
+          label
+          (Element.to_string dep.Dependency.supplier))
+    model.Model.dependencies;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Textual rendering of the paper's diagram kinds.
+
+    The original figures are graphical UML diagrams; we render the same
+    information as deterministic ASCII so the figure-regeneration harness
+    can reproduce Figures 4–8.  [annotate] supplies stereotype labels
+    (e.g. ["<<ApplicationProcess>>"]) for elements; profile libraries
+    pass their own annotator, keeping this module profile-agnostic. *)
+
+type annotator = Element.ref_ -> string option
+
+val no_annotations : annotator
+
+val class_diagram : ?annotate:annotator -> Model.t -> root:string -> string
+(** Figure 4 style: the root class, its stereotype, and its composition
+    associations (one line per part's class, annotated). *)
+
+val composite_structure :
+  ?annotate:annotator -> Model.t -> class_name:string -> string
+(** Figure 5 style: parts with stereotypes, ports, and the connector
+    wiring of one composite class. *)
+
+val dependency_diagram :
+  ?annotate:annotator -> ?filter:(Dependency.t -> bool) -> Model.t -> string
+(** Figures 6 and 8 style: stereotyped dependencies (grouping, mapping)
+    rendered one per line as [client --<<S>>--> supplier]. *)

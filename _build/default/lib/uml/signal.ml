@@ -1,0 +1,24 @@
+type param_type = P_int | P_bool
+
+type t = {
+  name : string;
+  params : (string * param_type) list;
+  payload_bytes : int;
+}
+
+let make ?(params = []) ?(payload_bytes = 4) name =
+  if payload_bytes < 0 then invalid_arg "Uml.Signal.make: negative payload";
+  { name; params; payload_bytes }
+
+let pp_param_type fmt = function
+  | P_int -> Format.pp_print_string fmt "int"
+  | P_bool -> Format.pp_print_string fmt "bool"
+
+let pp fmt t =
+  Format.fprintf fmt "signal %s(%a) [%dB]" t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       (fun fmt (n, ty) -> Format.fprintf fmt "%s: %a" n pp_param_type ty))
+    t.params t.payload_bytes
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,18 @@
+(** UML signals: named, asynchronous messages with typed parameters. *)
+
+type param_type = P_int | P_bool
+
+type t = {
+  name : string;
+  params : (string * param_type) list;
+  payload_bytes : int;
+      (** abstract payload size used by the communication model; covers
+          the data the signal carries beyond its parameters *)
+}
+
+val make : ?params:(string * param_type) list -> ?payload_bytes:int -> string -> t
+(** [make name] builds a signal.  [payload_bytes] defaults to 4 (one
+    word). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

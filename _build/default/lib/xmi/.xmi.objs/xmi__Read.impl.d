@@ -1,0 +1,1 @@
+lib/xmi/read.ml: Efsm List Option Printf Profile Uml Xmlkit

@@ -1,0 +1,1 @@
+lib/xmi/write.ml: Efsm List Profile Uml Xmlkit

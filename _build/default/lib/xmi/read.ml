@@ -1,0 +1,243 @@
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let attr node name =
+  match Xmlkit.Xml.attr node name with
+  | Some v -> v
+  | None ->
+    bad "element <%s> lacks attribute %s"
+      (Option.value ~default:"?" (Xmlkit.Xml.tag node))
+      name
+
+let attr_opt = Xmlkit.Xml.attr
+
+let int_attr node name =
+  match int_of_string_opt (attr node name) with
+  | Some n -> n
+  | None -> bad "attribute %s is not an integer" name
+
+let param_type_of_name = function
+  | "int" -> Uml.Signal.P_int
+  | "bool" -> Uml.Signal.P_bool
+  | other -> bad "unknown signal parameter type %s" other
+
+let signal_of_xml node =
+  let params =
+    List.map
+      (fun p -> (attr p "name", param_type_of_name (attr p "type")))
+      (Xmlkit.Xml.find_children node "param")
+  in
+  Uml.Signal.make ~params
+    ~payload_bytes:(int_attr node "payloadBytes")
+    (attr node "name")
+
+let port_of_xml node =
+  let signals tag =
+    List.map (fun n -> attr n "signal") (Xmlkit.Xml.find_children node tag)
+  in
+  Uml.Port.make ~receives:(signals "receive") ~sends:(signals "send")
+    (attr node "name")
+
+let endpoint_of_xml prefix node =
+  Uml.Connector.endpoint
+    ?part:(attr_opt node (prefix ^ "Part"))
+    (attr node (prefix ^ "Port"))
+
+let connector_of_xml node =
+  Uml.Connector.make ~name:(attr node "name")
+    ~from_:(endpoint_of_xml "from" node)
+    ~to_:(endpoint_of_xml "to" node)
+
+let value_of_xml node : Efsm.Action.value =
+  match attr node "type" with
+  | "int" -> V_int (int_attr node "value")
+  | "bool" -> (
+    match bool_of_string_opt (attr node "value") with
+    | Some b -> V_bool b
+    | None -> bad "bad bool variable value")
+  | other -> bad "unknown variable type %s" other
+
+let trigger_of_xml node : Efsm.Machine.trigger =
+  match attr node "trigger" with
+  | "signal" -> On_signal (attr node "signal")
+  | "after" -> After (int_attr node "delay")
+  | "completion" -> Completion
+  | other -> bad "unknown trigger kind %s" other
+
+let actions_of_xml node =
+  match Xmlkit.Xml.find_child node "actions" with
+  | None -> []
+  | Some actions -> (
+    match Efsm.Notation.parse_stmts (Xmlkit.Xml.inner_text actions) with
+    | Ok stmts -> stmts
+    | Error e -> bad "bad actions: %s" e)
+
+let transition_of_xml node : Efsm.Machine.transition =
+  let guard =
+    match attr_opt node "guard" with
+    | None -> None
+    | Some src -> (
+      match Efsm.Notation.parse_expr src with
+      | Ok e -> Some e
+      | Error e -> bad "bad guard: %s" e)
+  in
+  {
+    source = attr node "source";
+    target = attr node "target";
+    trigger = trigger_of_xml node;
+    guard;
+    actions = actions_of_xml node;
+  }
+
+let state_actions_of_xml tag node =
+  List.map
+    (fun n ->
+      match Efsm.Notation.parse_stmts (Xmlkit.Xml.inner_text n) with
+      | Ok stmts -> (attr n "state", stmts)
+      | Error e -> bad "bad %s actions: %s" tag e)
+    (Xmlkit.Xml.find_children node tag)
+
+let behavior_of_xml node =
+  Efsm.Machine.make ~name:(attr node "name")
+    ~states:
+      (List.map (fun s -> attr s "name") (Xmlkit.Xml.find_children node "state"))
+    ~initial:(attr node "initial")
+    ~variables:
+      (List.map
+         (fun v -> (attr v "name", value_of_xml v))
+         (Xmlkit.Xml.find_children node "variable"))
+    ~entry_actions:(state_actions_of_xml "onEntry" node)
+    ~exit_actions:(state_actions_of_xml "onExit" node)
+    (List.map transition_of_xml (Xmlkit.Xml.find_children node "transition"))
+
+let kind_of_name = function
+  | "active" -> Uml.Classifier.Active
+  | "structural" -> Uml.Classifier.Structural
+  | "data" -> Uml.Classifier.Data
+  | other -> bad "unknown class kind %s" other
+
+let class_of_xml node =
+  let attributes =
+    List.map
+      (fun a ->
+        {
+          Uml.Classifier.name = attr a "name";
+          Uml.Classifier.type_name = attr a "type";
+        })
+      (Xmlkit.Xml.find_children node "attribute")
+  in
+  let parts =
+    List.map
+      (fun p ->
+        { Uml.Classifier.name = attr p "name";
+          Uml.Classifier.class_name = attr p "class" })
+      (Xmlkit.Xml.find_children node "part")
+  in
+  let behavior =
+    Option.map behavior_of_xml (Xmlkit.Xml.find_child node "stateMachine")
+  in
+  Uml.Classifier.make
+    ~kind:(kind_of_name (attr node "kind"))
+    ~attributes
+    ~ports:(List.map port_of_xml (Xmlkit.Xml.find_children node "port"))
+    ~parts
+    ~connectors:
+      (List.map connector_of_xml (Xmlkit.Xml.find_children node "connector"))
+    ?behavior (attr node "name")
+
+let element_ref s =
+  match Uml.Element.of_string s with
+  | Some r -> r
+  | None -> bad "bad element reference %s" s
+
+let dependency_of_xml node =
+  Uml.Dependency.make ~name:(attr node "name")
+    ~client:(element_ref (attr node "client"))
+    ~supplier:(element_ref (attr node "supplier"))
+
+let application_of_xml ~profile node apps =
+  let stereotype = attr node "stereotype" in
+  if Profile.Stereotype.find profile stereotype = None then
+    bad "unknown stereotype %s (profile %s)" stereotype
+      profile.Profile.Stereotype.name;
+  let element = element_ref (attr node "element") in
+  let values =
+    List.map
+      (fun tag_node ->
+        let name = attr tag_node "name" in
+        let raw = attr tag_node "value" in
+        match Profile.Stereotype.find_tag profile ~stereotype name with
+        | None -> bad "stereotype %s has no tag %s" stereotype name
+        | Some def -> (
+          match Profile.Tag.value_of_string def.Profile.Tag.ty raw with
+          | Some value -> (name, value)
+          | None ->
+            bad "tag %s of %s: %S is not a %s" name stereotype raw
+              (Profile.Tag.ty_to_string def.Profile.Tag.ty)))
+      (Xmlkit.Xml.find_children node "tag")
+  in
+  Profile.Apply.apply apps ~stereotype ~element ~values ()
+
+let of_xml ~profile root =
+  match
+    if Xmlkit.Xml.tag root <> Some "umlModel" then bad "expected <umlModel>";
+    let model = Uml.Model.empty (attr root "name") in
+    let section name =
+      match Xmlkit.Xml.find_child root name with
+      | None -> []
+      | Some n -> Xmlkit.Xml.child_elements n
+    in
+    let model =
+      List.fold_left
+        (fun m n -> Uml.Model.add_signal m (signal_of_xml n))
+        model (section "signals")
+    in
+    let model =
+      List.fold_left
+        (fun m n -> Uml.Model.add_class m (class_of_xml n))
+        model (section "classes")
+    in
+    let model =
+      List.fold_left
+        (fun m n -> Uml.Model.add_dependency m (dependency_of_xml n))
+        model (section "dependencies")
+    in
+    let model =
+      List.fold_left
+        (fun m n ->
+          Uml.Model.add_package m ~name:(attr n "name")
+            ~members:
+              (List.map
+                 (fun member -> attr member "class")
+                 (Xmlkit.Xml.find_children n "member")))
+        model (section "packages")
+    in
+    let apps =
+      List.fold_left
+        (fun apps n -> application_of_xml ~profile n apps)
+        Profile.Apply.empty
+        (section "profileApplications")
+    in
+    (model, apps)
+  with
+  | result -> Ok result
+  | exception Bad msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let of_string ~profile s =
+  match Xmlkit.Parse.document_opt s with
+  | Error e -> Error e
+  | Ok root -> of_xml ~profile root
+
+let roundtrip_equal model apps (model', apps') =
+  let norm_apps a =
+    List.map
+      (fun (x : Profile.Apply.application) ->
+        ( x.Profile.Apply.stereotype,
+          Uml.Element.to_string x.Profile.Apply.element,
+          List.sort compare x.Profile.Apply.values ))
+      (Profile.Apply.applications a)
+    |> List.sort compare
+  in
+  model = model' && norm_apps apps = norm_apps apps'

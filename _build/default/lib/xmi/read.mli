@@ -1,0 +1,19 @@
+(** Read back the XML produced by {!Xmi.Write}.
+
+    Tagged values are typed against the supplied profile (the XML stores
+    them as strings), so reading requires the same profile that was used
+    when writing — exactly the situation of the paper's profiling tool,
+    which parses the model XML with knowledge of TUT-Profile. *)
+
+val of_xml :
+  profile:Profile.Stereotype.profile ->
+  Xmlkit.Xml.t ->
+  (Uml.Model.t * Profile.Apply.t, string) result
+
+val of_string :
+  profile:Profile.Stereotype.profile ->
+  string ->
+  (Uml.Model.t * Profile.Apply.t, string) result
+
+val roundtrip_equal : Uml.Model.t -> Profile.Apply.t -> Uml.Model.t * Profile.Apply.t -> bool
+(** Semantic equality used by the round-trip property tests. *)

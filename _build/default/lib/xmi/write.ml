@@ -1,0 +1,165 @@
+let el = Xmlkit.Xml.element
+
+let param_type_name (ty : Uml.Signal.param_type) =
+  match ty with P_int -> "int" | P_bool -> "bool"
+
+let signal_to_xml (s : Uml.Signal.t) =
+  el "signal"
+    ~attrs:
+      [
+        ("name", s.Uml.Signal.name);
+        ("payloadBytes", string_of_int s.Uml.Signal.payload_bytes);
+      ]
+    (List.map
+       (fun (name, ty) ->
+         el "param" ~attrs:[ ("name", name); ("type", param_type_name ty) ] [])
+       s.Uml.Signal.params)
+
+let port_to_xml (p : Uml.Port.t) =
+  el "port"
+    ~attrs:[ ("name", p.Uml.Port.name) ]
+    (List.map
+       (fun s -> el "receive" ~attrs:[ ("signal", s) ] [])
+       p.Uml.Port.receives
+    @ List.map (fun s -> el "send" ~attrs:[ ("signal", s) ] []) p.Uml.Port.sends)
+
+let endpoint_attrs prefix (ep : Uml.Connector.endpoint) =
+  let base = [ (prefix ^ "Port", ep.Uml.Connector.port) ] in
+  match ep.Uml.Connector.part with
+  | None -> base
+  | Some part -> (prefix ^ "Part", part) :: base
+
+let connector_to_xml (c : Uml.Connector.t) =
+  el "connector"
+    ~attrs:
+      (("name", c.Uml.Connector.name)
+      :: (endpoint_attrs "from" c.Uml.Connector.from_
+         @ endpoint_attrs "to" c.Uml.Connector.to_))
+    []
+
+let value_to_xml (v : Efsm.Action.value) =
+  match v with
+  | V_int n -> [ ("type", "int"); ("value", string_of_int n) ]
+  | V_bool b -> [ ("type", "bool"); ("value", string_of_bool b) ]
+
+let trigger_attrs (tr : Efsm.Machine.trigger) =
+  match tr with
+  | On_signal s -> [ ("trigger", "signal"); ("signal", s) ]
+  | After n -> [ ("trigger", "after"); ("delay", string_of_int n) ]
+  | Completion -> [ ("trigger", "completion") ]
+
+let transition_to_xml (tr : Efsm.Machine.transition) =
+  let guard =
+    match tr.Efsm.Machine.guard with
+    | None -> []
+    | Some g -> [ ("guard", Efsm.Notation.print_expr g) ]
+  in
+  el "transition"
+    ~attrs:
+      ([ ("source", tr.Efsm.Machine.source); ("target", tr.Efsm.Machine.target) ]
+      @ trigger_attrs tr.Efsm.Machine.trigger
+      @ guard)
+    (match tr.Efsm.Machine.actions with
+    | [] -> []
+    | actions ->
+      [ el "actions" [ Xmlkit.Xml.text (Efsm.Notation.print_stmts actions) ] ])
+
+let state_actions_to_xml tag (state, stmts) =
+  el tag
+    ~attrs:[ ("state", state) ]
+    [ Xmlkit.Xml.text (Efsm.Notation.print_stmts stmts) ]
+
+let behavior_to_xml (m : Efsm.Machine.t) =
+  el "stateMachine"
+    ~attrs:[ ("name", m.Efsm.Machine.name); ("initial", m.Efsm.Machine.initial) ]
+    (List.map
+       (fun s -> el "state" ~attrs:[ ("name", s) ] [])
+       m.Efsm.Machine.states
+    @ List.map
+        (fun (name, value) ->
+          el "variable" ~attrs:(("name", name) :: value_to_xml value) [])
+        m.Efsm.Machine.variables
+    @ List.map (state_actions_to_xml "onEntry") m.Efsm.Machine.entry_actions
+    @ List.map (state_actions_to_xml "onExit") m.Efsm.Machine.exit_actions
+    @ List.map transition_to_xml m.Efsm.Machine.transitions)
+
+let kind_name (k : Uml.Classifier.kind) =
+  match k with
+  | Active -> "active"
+  | Structural -> "structural"
+  | Data -> "data"
+
+let class_to_xml (c : Uml.Classifier.t) =
+  el "class"
+    ~attrs:
+      [ ("name", c.Uml.Classifier.name); ("kind", kind_name c.Uml.Classifier.kind) ]
+    (List.map
+       (fun (a : Uml.Classifier.attribute) ->
+         el "attribute"
+           ~attrs:
+             [
+               ("name", a.Uml.Classifier.name);
+               ("type", a.Uml.Classifier.type_name);
+             ]
+           [])
+       c.Uml.Classifier.attributes
+    @ List.map port_to_xml c.Uml.Classifier.ports
+    @ List.map
+        (fun (p : Uml.Classifier.part) ->
+          el "part"
+            ~attrs:
+              [
+                ("name", p.Uml.Classifier.name);
+                ("class", p.Uml.Classifier.class_name);
+              ]
+            [])
+        c.Uml.Classifier.parts
+    @ List.map connector_to_xml c.Uml.Classifier.connectors
+    @
+    match c.Uml.Classifier.behavior with
+    | None -> []
+    | Some machine -> [ behavior_to_xml machine ])
+
+let dependency_to_xml (d : Uml.Dependency.t) =
+  el "dependency"
+    ~attrs:
+      [
+        ("name", d.Uml.Dependency.name);
+        ("client", Uml.Element.to_string d.Uml.Dependency.client);
+        ("supplier", Uml.Element.to_string d.Uml.Dependency.supplier);
+      ]
+    []
+
+let application_to_xml (a : Profile.Apply.application) =
+  el "apply"
+    ~attrs:
+      [
+        ("stereotype", a.Profile.Apply.stereotype);
+        ("element", Uml.Element.to_string a.Profile.Apply.element);
+      ]
+    (List.map
+       (fun (name, value) ->
+         el "tag"
+           ~attrs:
+             [ ("name", name); ("value", Profile.Tag.value_to_string value) ]
+           [])
+       a.Profile.Apply.values)
+
+let package_to_xml (p : Uml.Model.package) =
+  el "package"
+    ~attrs:[ ("name", p.Uml.Model.package_name) ]
+    (List.map (fun m -> el "member" ~attrs:[ ("class", m) ] []) p.Uml.Model.members)
+
+let model_to_xml (model : Uml.Model.t) apps =
+  el "umlModel"
+    ~attrs:[ ("name", model.Uml.Model.name); ("exporter", "tut-profile-repro") ]
+    [
+      el "packages" (List.map package_to_xml model.Uml.Model.packages);
+      el "signals" (List.map signal_to_xml model.Uml.Model.signals);
+      el "classes" (List.map class_to_xml model.Uml.Model.classes);
+      el "dependencies" (List.map dependency_to_xml model.Uml.Model.dependencies);
+      el "profileApplications"
+        (List.map application_to_xml (Profile.Apply.applications apps));
+    ]
+
+let to_string model apps = Xmlkit.Xml.to_string (model_to_xml model apps)

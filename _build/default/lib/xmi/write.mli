@@ -1,0 +1,8 @@
+(** Write a UML model and its profile layer to an XMI-style XML document.
+
+    The schema is our own (the paper's tool chain used TAU G2's XML
+    export, which is proprietary); it is documented by example in the
+    test suite and read back by {!Xmi.Read}. *)
+
+val model_to_xml : Uml.Model.t -> Profile.Apply.t -> Xmlkit.Xml.t
+val to_string : Uml.Model.t -> Profile.Apply.t -> string

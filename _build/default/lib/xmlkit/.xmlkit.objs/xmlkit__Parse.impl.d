@@ -1,0 +1,1 @@
+lib/xmlkit/parse.ml: List Printf String Xml

@@ -1,0 +1,1 @@
+lib/xmlkit/parse.mli: Xml

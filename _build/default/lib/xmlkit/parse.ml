@@ -1,0 +1,168 @@
+exception Error of { line : int; column : int; message : string }
+
+type state = { input : string; mutable pos : int }
+
+let position st =
+  let line = ref 1 and column = ref 1 in
+  for i = 0 to min st.pos (String.length st.input) - 1 do
+    if st.input.[i] = '\n' then begin
+      incr line;
+      column := 1
+    end
+    else incr column
+  done;
+  (!line, !column)
+
+let fail st message =
+  let line, column = position st in
+  raise (Error { line; column; message })
+
+let eof st = st.pos >= String.length st.input
+let peek st = if eof st then '\000' else st.input.[st.pos]
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let expect st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else fail st (Printf.sprintf "expected %S" s)
+
+let skip_spaces st =
+  while (not (eof st)) && List.mem (peek st) [ ' '; '\t'; '\n'; '\r' ] do
+    advance st
+  done
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let name st =
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  if st.pos = start then fail st "expected a name";
+  String.sub st.input start (st.pos - start)
+
+(* Consume input until [stop] is found; return the text before it. *)
+let until st stop =
+  match
+    let rec search i =
+      if i + String.length stop > String.length st.input then None
+      else if String.sub st.input i (String.length stop) = stop then Some i
+      else search (i + 1)
+    in
+    search st.pos
+  with
+  | None -> fail st (Printf.sprintf "unterminated construct, expected %S" stop)
+  | Some i ->
+    let s = String.sub st.input st.pos (i - st.pos) in
+    st.pos <- i + String.length stop;
+    s
+
+let attribute st =
+  let key = name st in
+  skip_spaces st;
+  expect st "=";
+  skip_spaces st;
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+  advance st;
+  let value = until st (String.make 1 quote) in
+  (key, Xml.unescape value)
+
+let rec attributes st acc =
+  skip_spaces st;
+  if eof st then fail st "unterminated tag"
+  else
+    match peek st with
+    | '>' | '/' | '?' -> List.rev acc
+    | _ -> attributes st (attribute st :: acc)
+
+let rec skip_prolog st =
+  skip_spaces st;
+  if looking_at st "<?" then begin
+    ignore (until st "?>");
+    skip_prolog st
+  end
+  else if looking_at st "<!--" then begin
+    ignore (until st "-->");
+    skip_prolog st
+  end
+  else if looking_at st "<!DOCTYPE" then fail st "DTDs are not supported"
+
+let rec node st =
+  if looking_at st "<!--" then begin
+    st.pos <- st.pos + 4;
+    Xml.Comment (String.trim (until st "-->"))
+  end
+  else if looking_at st "<![CDATA[" then begin
+    st.pos <- st.pos + 9;
+    Xml.Text (until st "]]>")
+  end
+  else if looking_at st "<?" then begin
+    ignore (until st "?>");
+    node st
+  end
+  else if peek st = '<' then element st
+  else begin
+    let start = st.pos in
+    while (not (eof st)) && peek st <> '<' do
+      advance st
+    done;
+    Xml.Text (Xml.unescape (String.sub st.input start (st.pos - start)))
+  end
+
+and element st =
+  expect st "<";
+  let tag = name st in
+  let attrs = attributes st [] in
+  if looking_at st "/>" then begin
+    st.pos <- st.pos + 2;
+    Xml.Element (tag, attrs, [])
+  end
+  else begin
+    expect st ">";
+    let kids = content st tag [] in
+    Xml.Element (tag, attrs, kids)
+  end
+
+and content st tag acc =
+  if eof st then fail st (Printf.sprintf "unterminated element <%s>" tag)
+  else if looking_at st "</" then begin
+    st.pos <- st.pos + 2;
+    let closing = name st in
+    if closing <> tag then
+      fail st (Printf.sprintf "mismatched close tag </%s> for <%s>" closing tag);
+    skip_spaces st;
+    expect st ">";
+    List.rev acc
+  end
+  else content st tag (node st :: acc)
+
+let document input =
+  let st = { input; pos = 0 } in
+  skip_prolog st;
+  skip_spaces st;
+  if eof st || peek st <> '<' then fail st "expected a root element";
+  let root = element st in
+  skip_spaces st;
+  while not (eof st) do
+    if looking_at st "<!--" then begin
+      st.pos <- st.pos + 4;
+      ignore (until st "-->");
+      skip_spaces st
+    end
+    else fail st "trailing content after the root element"
+  done;
+  root
+
+let document_opt input =
+  match document input with
+  | root -> Ok root
+  | exception Error { line; column; message } ->
+    Error (Printf.sprintf "%d:%d: %s" line column message)

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the XML subset produced by {!Xmlkit.Xml}.
+
+    Handles elements, attributes (single- or double-quoted), text,
+    comments, CDATA sections, the XML declaration and processing
+    instructions (both skipped).  DTDs are not supported. *)
+
+exception Error of { line : int; column : int; message : string }
+(** Raised on malformed input, with a 1-based source position. *)
+
+val document : string -> Xml.t
+(** [document s] parses [s] and returns the root element.
+    Raises {!Error} on malformed input or when the document has no root
+    element. *)
+
+val document_opt : string -> (Xml.t, string) result
+(** Like {!document} but returns an error message instead of raising. *)

@@ -1,0 +1,188 @@
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+  | Comment of string
+
+let element ?(attrs = []) tag children = Element (tag, attrs, children)
+let text s = Text s
+
+let attr node name =
+  match node with
+  | Element (_, attrs, _) -> List.assoc_opt name attrs
+  | Text _ | Comment _ -> None
+
+let attr_exn node name =
+  match attr node name with Some v -> v | None -> raise Not_found
+
+let tag = function
+  | Element (t, _, _) -> Some t
+  | Text _ | Comment _ -> None
+
+let children = function
+  | Element (_, _, kids) -> kids
+  | Text _ | Comment _ -> []
+
+let is_element = function Element _ -> true | Text _ | Comment _ -> false
+
+let child_elements node = List.filter is_element (children node)
+
+let find_children node name =
+  let has_tag kid = tag kid = Some name in
+  List.filter has_tag (children node)
+
+let find_child node name =
+  match find_children node name with [] -> None | kid :: _ -> Some kid
+
+let rec inner_text node =
+  match node with
+  | Text s -> s
+  | Comment _ -> ""
+  | Element (_, _, kids) -> String.concat "" (List.map inner_text kids)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Decodes the five named entities plus numeric character references.
+   Unknown entities are kept verbatim so that decoding never loses data. *)
+let unescape s =
+  let len = String.length s in
+  let buf = Buffer.create len in
+  let rec copy i =
+    if i >= len then ()
+    else if s.[i] <> '&' then begin
+      Buffer.add_char buf s.[i];
+      copy (i + 1)
+    end
+    else
+      match String.index_from_opt s i ';' with
+      | None ->
+        Buffer.add_char buf '&';
+        copy (i + 1)
+      | Some j ->
+        let entity = String.sub s (i + 1) (j - i - 1) in
+        let decoded =
+          match entity with
+          | "amp" -> Some "&"
+          | "lt" -> Some "<"
+          | "gt" -> Some ">"
+          | "quot" -> Some "\""
+          | "apos" -> Some "'"
+          | _ ->
+            let numeric prefix base =
+              let ndigits = String.length entity - String.length prefix in
+              if ndigits <= 0 then None
+              else
+                let digits = String.sub entity (String.length prefix) ndigits in
+                match int_of_string_opt (base ^ digits) with
+                | Some code when code >= 0 && code < 128 ->
+                  Some (String.make 1 (Char.chr code))
+                | Some _ | None -> None
+            in
+            if String.length entity > 2 && entity.[0] = '#' && entity.[1] = 'x'
+            then numeric "#x" "0x"
+            else if String.length entity > 1 && entity.[0] = '#' then
+              numeric "#" ""
+            else None
+        in
+        (match decoded with
+        | Some d ->
+          Buffer.add_string buf d;
+          copy (j + 1)
+        | None ->
+          Buffer.add_char buf '&';
+          copy (i + 1))
+  in
+  copy 0;
+  Buffer.contents buf
+
+let is_blank s =
+  let blank = ref true in
+  String.iter (fun c -> if not (List.mem c [ ' '; '\t'; '\n'; '\r' ]) then blank := false) s;
+  !blank
+
+let rec render buf indent node =
+  let pad () = Buffer.add_string buf (String.make (2 * indent) ' ') in
+  match node with
+  | Text s ->
+    pad ();
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '\n'
+  | Comment s ->
+    pad ();
+    Buffer.add_string buf "<!-- ";
+    Buffer.add_string buf s;
+    Buffer.add_string buf " -->\n"
+  | Element (tag, attrs, kids) ->
+    pad ();
+    Buffer.add_char buf '<';
+    Buffer.add_string buf tag;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape v);
+        Buffer.add_char buf '"')
+      attrs;
+    (match kids with
+    | [] -> Buffer.add_string buf "/>\n"
+    | [ Text s ] ->
+      (* Keep single text children inline so text content does not pick up
+         indentation whitespace on re-parse. *)
+      Buffer.add_char buf '>';
+      Buffer.add_string buf (escape s);
+      Buffer.add_string buf "</";
+      Buffer.add_string buf tag;
+      Buffer.add_string buf ">\n"
+    | kids ->
+      Buffer.add_string buf ">\n";
+      List.iter (render buf (indent + 1)) kids;
+      pad ();
+      Buffer.add_string buf "</";
+      Buffer.add_string buf tag;
+      Buffer.add_string buf ">\n")
+
+let to_buffer buf node = render buf 0 node
+
+let to_string ?(decl = true) node =
+  let buf = Buffer.create 1024 in
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  to_buffer buf node;
+  Buffer.contents buf
+
+let significant kids =
+  let keep = function
+    | Text s -> not (is_blank s)
+    | Comment _ -> false
+    | Element _ -> true
+  in
+  List.filter keep kids
+
+let rec equal a b =
+  match a, b with
+  | Text s, Text s' -> String.trim s = String.trim s'
+  | Comment _, Comment _ -> true
+  | Element (t, attrs, kids), Element (t', attrs', kids') ->
+    t = t'
+    && List.sort compare attrs = List.sort compare attrs'
+    && equal_lists (significant kids) (significant kids')
+  | (Text _ | Comment _ | Element _), _ -> false
+
+and equal_lists xs ys =
+  match xs, ys with
+  | [], [] -> true
+  | x :: xs, y :: ys -> equal x y && equal_lists xs ys
+  | [], _ :: _ | _ :: _, [] -> false
+
+let pp fmt node = Format.pp_print_string fmt (to_string ~decl:false node)

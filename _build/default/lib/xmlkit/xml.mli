@@ -1,0 +1,65 @@
+(** Minimal XML document tree.
+
+    The subset is deliberately small: elements with attributes, text nodes
+    and comments.  This is all the XMI serialisation of UML models needs,
+    and it keeps the parser in {!Xmlkit.Parse} self-contained (the sealed
+    build environment provides no XML package). *)
+
+type t =
+  | Element of string * (string * string) list * t list
+      (** [Element (tag, attributes, children)] *)
+  | Text of string
+  | Comment of string
+
+val element : ?attrs:(string * string) list -> string -> t list -> t
+(** [element tag children] builds an element node. *)
+
+val text : string -> t
+(** [text s] builds a text node. *)
+
+val attr : t -> string -> string option
+(** [attr node name] returns the attribute value, if [node] is an element
+    carrying attribute [name]. *)
+
+val attr_exn : t -> string -> string
+(** Like {!attr} but raises [Not_found] when absent or not an element. *)
+
+val tag : t -> string option
+(** Element tag, [None] for text/comment nodes. *)
+
+val children : t -> t list
+(** Child nodes of an element, [[]] for text/comment nodes. *)
+
+val child_elements : t -> t list
+(** Child nodes that are elements. *)
+
+val find_child : t -> string -> t option
+(** First child element with the given tag. *)
+
+val find_children : t -> string -> t list
+(** All child elements with the given tag. *)
+
+val inner_text : t -> string
+(** Concatenation of all text nodes in the subtree. *)
+
+val escape : string -> string
+(** Escape the five XML special characters (ampersand, angle brackets,
+    quotes) for inclusion in attribute values or text. *)
+
+val unescape : string -> string
+(** Inverse of {!escape}; also decodes decimal and hex character
+    references of ASCII characters. *)
+
+val to_string : ?decl:bool -> t -> string
+(** Render a document.  [decl] (default [true]) prepends the standard
+    [<?xml ...?>] declaration.  Output is indented, deterministic, and
+    re-parses to an equivalent tree (modulo whitespace-only text nodes). *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Render a node (without declaration) into a buffer. *)
+
+val equal : t -> t -> bool
+(** Structural equality ignoring whitespace-only text nodes and
+    comments — the equivalence the writer/parser pair preserves. *)
+
+val pp : Format.formatter -> t -> unit

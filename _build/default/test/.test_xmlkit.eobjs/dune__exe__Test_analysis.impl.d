@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Efsm Int64 List Option QCheck QCheck_alcotest String Tut_profile Tutmac

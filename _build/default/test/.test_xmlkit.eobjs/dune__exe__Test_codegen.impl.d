@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Builder Codegen Efsm Fun Hibi Int64 List Option QCheck QCheck_alcotest Sim String Tut_profile Uml

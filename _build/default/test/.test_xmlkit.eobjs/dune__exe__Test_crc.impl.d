@@ -1,0 +1,1 @@
+test/test_crc.ml: Alcotest Bytes Char Crc Int64 List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Dse List QCheck QCheck_alcotest Tut_profile Tutmac

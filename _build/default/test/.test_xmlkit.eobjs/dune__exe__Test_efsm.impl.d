@@ -1,0 +1,1 @@
+test/test_efsm.ml: Action Alcotest Array Efsm Interp List Machine Notation QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_grouping.ml: Alcotest Dse List Profile Tut_profile Tutmac Uml

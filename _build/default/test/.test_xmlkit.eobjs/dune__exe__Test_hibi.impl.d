@@ -1,0 +1,1 @@
+test/test_hibi.ml: Alcotest Hibi Int64 List QCheck QCheck_alcotest Result Sim

@@ -1,0 +1,1 @@
+test/test_hsm.ml: Action Alcotest Efsm Hsm Interp List Machine Printf QCheck QCheck_alcotest String

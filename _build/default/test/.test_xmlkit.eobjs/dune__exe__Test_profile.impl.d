@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Apply Format Fun List Profile QCheck QCheck_alcotest Stereotype String Tag Uml

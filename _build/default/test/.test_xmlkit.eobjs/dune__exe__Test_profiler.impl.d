@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alcotest Int64 List Profiler QCheck QCheck_alcotest Result Sim String Tut_profile Tutmac Xmi

@@ -1,0 +1,1 @@
+test/test_random_models.ml: Alcotest Codegen Efsm Format List Printf Profiler QCheck QCheck_alcotest Sim String Tut_profile Uml Xmi

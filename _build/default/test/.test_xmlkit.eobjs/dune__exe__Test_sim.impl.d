@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Filename Fun Int64 List QCheck QCheck_alcotest Sim Sys

@@ -1,0 +1,1 @@
+test/test_tut_profile.ml: Alcotest Builder Efsm Format List Option Profile Rules Stereotypes String Summary Tut_profile Uml View

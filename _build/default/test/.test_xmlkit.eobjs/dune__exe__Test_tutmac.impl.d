@@ -1,0 +1,1 @@
+test/test_tutmac.ml: Alcotest Codegen Efsm Format Hibi Int64 List Option Printf Profiler QCheck QCheck_alcotest Sim String Tut_profile Tutmac Uml

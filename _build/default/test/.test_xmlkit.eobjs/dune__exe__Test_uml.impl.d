@@ -1,0 +1,1 @@
+test/test_uml.ml: Alcotest Efsm Fun List Option QCheck QCheck_alcotest String Uml

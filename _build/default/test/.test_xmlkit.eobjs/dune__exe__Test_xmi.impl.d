@@ -1,0 +1,1 @@
+test/test_xmi.ml: Alcotest Efsm Fun List Option Profile QCheck QCheck_alcotest String Tut_profile Tutmac Uml Xmi

@@ -1,0 +1,1 @@
+test/test_xmlkit.ml: Alcotest List Printf QCheck QCheck_alcotest String Xmlkit

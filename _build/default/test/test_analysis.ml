@@ -1,0 +1,205 @@
+(* Tests for the static analysis library: response-time analysis and the
+   platform utilisation/energy report. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int64_t = Alcotest.int64
+let float_t = Alcotest.float 1e-9
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let task ?deadline ~name ~period ~wcet ~priority () =
+  {
+    Analysis.Rta.task = name;
+    Analysis.Rta.period_ns = period;
+    Analysis.Rta.wcet_ns = wcet;
+    Analysis.Rta.deadline_ns = Option.value ~default:period deadline;
+    Analysis.Rta.priority;
+  }
+
+let response results name =
+  let r =
+    List.find (fun (r : Analysis.Rta.result) -> r.Analysis.Rta.task.Analysis.Rta.task = name) results
+  in
+  r.Analysis.Rta.response_ns
+
+(* -- rta core --------------------------------------------------------- *)
+
+(* Textbook example: T1=(C=1,T=4), T2=(C=2,T=6), T3=(C=3,T=13); rate-
+   monotonic priorities.  Known responses: R1=1, R2=3, R3=10. *)
+let test_rta_textbook () =
+  let tasks =
+    [
+      task ~name:"t1" ~period:4L ~wcet:1L ~priority:3 ();
+      task ~name:"t2" ~period:6L ~wcet:2L ~priority:2 ();
+      task ~name:"t3" ~period:13L ~wcet:3L ~priority:1 ();
+    ]
+  in
+  let results = Analysis.Rta.response_times tasks in
+  check (Alcotest.option int64_t) "R1" (Some 1L) (response results "t1");
+  check (Alcotest.option int64_t) "R2" (Some 3L) (response results "t2");
+  check (Alcotest.option int64_t) "R3" (Some 10L) (response results "t3");
+  check bool_t "schedulable" true (Analysis.Rta.schedulable tasks)
+
+let test_rta_unschedulable () =
+  (* Over 100 % utilisation cannot be schedulable. *)
+  let tasks =
+    [
+      task ~name:"hog" ~period:10L ~wcet:8L ~priority:2 ();
+      task ~name:"victim" ~period:10L ~wcet:5L ~priority:1 ();
+    ]
+  in
+  let results = Analysis.Rta.response_times tasks in
+  check (Alcotest.option int64_t) "hog fits" (Some 8L) (response results "hog");
+  check (Alcotest.option int64_t) "victim misses" None (response results "victim");
+  check bool_t "set unschedulable" false (Analysis.Rta.schedulable tasks)
+
+let test_rta_single_task () =
+  let tasks = [ task ~name:"only" ~period:100L ~wcet:40L ~priority:1 () ] in
+  check (Alcotest.option int64_t) "R = C" (Some 40L)
+    (response (Analysis.Rta.response_times tasks) "only");
+  check float_t "utilisation" 0.4 (Analysis.Rta.utilisation tasks)
+
+let test_rta_wcet_exceeds_deadline () =
+  let tasks =
+    [ task ~name:"late" ~period:10L ~wcet:20L ~priority:1 () ]
+  in
+  check bool_t "immediately unschedulable" false (Analysis.Rta.schedulable tasks)
+
+let test_rta_equal_priority_pessimistic () =
+  (* Equal priorities interfere with each other (pessimistic). *)
+  let tasks =
+    [
+      task ~name:"a" ~period:10L ~wcet:3L ~priority:1 ();
+      task ~name:"b" ~period:10L ~wcet:3L ~priority:1 ();
+    ]
+  in
+  let results = Analysis.Rta.response_times tasks in
+  check (Alcotest.option int64_t) "a sees b" (Some 6L) (response results "a");
+  check (Alcotest.option int64_t) "b sees a" (Some 6L) (response results "b")
+
+(* -- wcet extraction --------------------------------------------------- *)
+
+let test_wcet_of_machine () =
+  let open Efsm.Action in
+  let machine =
+    Efsm.Machine.make ~name:"m" ~states:[ "s" ] ~initial:"s"
+      [
+        Efsm.Machine.transition ~src:"s" ~dst:"s" (Efsm.Machine.After 1000)
+          ~actions:
+            [
+              compute (i 100);
+              If (b true, [ compute (i 50) ], [ compute (i 200) ]);
+            ];
+        Efsm.Machine.transition ~src:"s" ~dst:"s" (Efsm.Machine.On_signal "x")
+          ~actions:[ compute (i 80) ];
+      ]
+  in
+  (* Worst transition: 100 + max(50, 200) = 300, plus overhead 20. *)
+  check int64_t "wcet" 320L
+    (Analysis.Rta.wcet_of_machine ~overhead_cycles:20 machine)
+
+(* -- of_system on the case study ---------------------------------------- *)
+
+let tutmac_system () =
+  match Tutmac.Scenario.system Tutmac.Scenario.default with
+  | Ok sys -> sys
+  | Error problems -> Alcotest.failf "lower: %s" (String.concat "; " problems)
+
+let test_of_system_tutmac () =
+  let analyses = Analysis.Rta.of_system (tutmac_system ()) in
+  (* Periodic processes live on processor1 (rca) and processor2
+     (mng, rmng); the accelerator and processor3 host none. *)
+  let pes = List.map (fun (a : Analysis.Rta.pe_analysis) -> a.Analysis.Rta.pe) analyses in
+  check (Alcotest.list Alcotest.string) "analysed PEs"
+    [ "processor1"; "processor2" ] (List.sort compare pes);
+  List.iter
+    (fun (a : Analysis.Rta.pe_analysis) ->
+      check bool_t (a.Analysis.Rta.pe ^ " schedulable") true
+        a.Analysis.Rta.all_schedulable;
+      check bool_t "utilisation sane" true
+        (a.Analysis.Rta.total_utilisation > 0.0
+        && a.Analysis.Rta.total_utilisation < 1.0))
+    analyses;
+  let text = Analysis.Rta.render analyses in
+  check bool_t "render mentions rca" true (contains text "Tutmac_Protocol.rca")
+
+(* -- platform report ----------------------------------------------------- *)
+
+let test_platform_report () =
+  let view =
+    Tut_profile.Builder.view (Tutmac.Scenario.build_model Tutmac.Scenario.default)
+  in
+  let busy =
+    [ ("processor1", 50_000_000L); ("processor2", 10_000_000L);
+      ("accelerator1", 1_000_000L) ]
+  in
+  let report =
+    Analysis.Platform_report.build ~view ~busy ~duration_ns:100_000_000L
+  in
+  check Alcotest.int "four rows" 4 (List.length report.Analysis.Platform_report.rows);
+  let row pe =
+    List.find
+      (fun (r : Analysis.Platform_report.pe_row) -> r.Analysis.Platform_report.pe = pe)
+      report.Analysis.Platform_report.rows
+  in
+  check float_t "processor1 utilisation" 0.5
+    (row "processor1").Analysis.Platform_report.utilisation;
+  check float_t "processor3 idle" 0.0
+    (row "processor3").Analysis.Platform_report.utilisation;
+  (* Energy: 85 mW x 50 ms = 4250 uJ. *)
+  check (Alcotest.option float_t) "processor1 energy" (Some 4250.0)
+    (row "processor1").Analysis.Platform_report.energy_uj;
+  (* Area: 3 processors x 12.5 + accelerator 1.8. *)
+  check float_t "total area" 39.3 report.Analysis.Platform_report.total_area_mm2;
+  let text = Analysis.Platform_report.render report in
+  check bool_t "render has totals" true (contains text "total area")
+
+(* Property: RTA responses are monotone in WCET — increasing any C never
+   decreases any response time. *)
+let prop_rta_monotone =
+  QCheck.Test.make ~name:"rta monotone in wcet" ~count:200
+    QCheck.(
+      pair
+        (pair (int_range 1 20) (int_range 1 20))
+        (pair (int_range 1 20) (int_range 1 10)))
+    (fun ((c1, c2), (c3, bump)) ->
+      let mk c1 c2 c3 =
+        [
+          task ~name:"a" ~period:50L ~wcet:(Int64.of_int c1) ~priority:3 ();
+          task ~name:"b" ~period:80L ~wcet:(Int64.of_int c2) ~priority:2 ();
+          task ~name:"c" ~period:200L ~wcet:(Int64.of_int c3) ~priority:1 ();
+        ]
+      in
+      let base = Analysis.Rta.response_times (mk c1 c2 c3) in
+      let bumped = Analysis.Rta.response_times (mk (c1 + bump) c2 c3) in
+      List.for_all2
+        (fun (r : Analysis.Rta.result) (r' : Analysis.Rta.result) ->
+          match r.Analysis.Rta.response_ns, r'.Analysis.Rta.response_ns with
+          | Some a, Some b -> b >= a
+          | _, None -> true
+          | None, Some _ -> false)
+        base bumped)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "rta",
+        [
+          Alcotest.test_case "textbook set" `Quick test_rta_textbook;
+          Alcotest.test_case "unschedulable" `Quick test_rta_unschedulable;
+          Alcotest.test_case "single task" `Quick test_rta_single_task;
+          Alcotest.test_case "wcet exceeds deadline" `Quick
+            test_rta_wcet_exceeds_deadline;
+          Alcotest.test_case "equal priority" `Quick
+            test_rta_equal_priority_pessimistic;
+          Alcotest.test_case "wcet extraction" `Quick test_wcet_of_machine;
+          Alcotest.test_case "tutmac system" `Quick test_of_system_tutmac;
+          QCheck_alcotest.to_alcotest prop_rta_monotone;
+        ] );
+      ( "platform",
+        [ Alcotest.test_case "utilisation/energy/area" `Quick test_platform_report ] );
+    ]

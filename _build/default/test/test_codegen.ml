@@ -1,0 +1,471 @@
+(* Tests for lowering (flattening, routing), the IR, the C emitter and
+   the co-simulation runtime, on a small two-PE ping-pong system. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+open Tut_profile
+
+let part name class_name = { Uml.Classifier.name; Uml.Classifier.class_name }
+
+let conn name a b =
+  let ep (p, q) = Uml.Connector.endpoint ?part:p q in
+  Uml.Connector.make ~name ~from_:(ep a) ~to_:(ep b)
+
+let pinger_machine =
+  let open Efsm.Action in
+  Efsm.Machine.make ~name:"Pinger" ~states:[ "run" ] ~initial:"run"
+    ~variables:[ ("sent", V_int 0); ("returned", V_int 0) ]
+    [
+      Efsm.Machine.transition ~src:"run" ~dst:"run" (Efsm.Machine.After 10_000)
+        ~actions:
+          [
+            compute (i 200);
+            send ~port:"io" "Ball" ~args:[ v "sent" ];
+            assign "sent" (v "sent" + i 1);
+          ];
+      Efsm.Machine.transition ~src:"run" ~dst:"run"
+        (Efsm.Machine.On_signal "Back")
+        ~actions:[ compute (i 50); assign "returned" (v "returned" + i 1) ];
+    ]
+
+let ponger_machine =
+  let open Efsm.Action in
+  Efsm.Machine.make ~name:"Ponger" ~states:[ "run" ] ~initial:"run"
+    ~variables:[ ("hits", V_int 0) ]
+    [
+      Efsm.Machine.transition ~src:"run" ~dst:"run"
+        (Efsm.Machine.On_signal "Ball")
+        ~actions:
+          [
+            compute (i 100);
+            assign "hits" (v "hits" + i 1);
+            send ~port:"io" "Back" ~args:[ p "n" ];
+          ];
+    ]
+
+(* Two PEs on one segment; ping on cpu1, pong on cpu2. *)
+let pingpong ?(same_pe = false) () =
+  let open Builder in
+  let b = create "pingpong" in
+  let b =
+    b
+    |> Fun.flip signal (Uml.Signal.make ~params:[ ("n", Uml.Signal.P_int) ] "Ball")
+    |> Fun.flip signal (Uml.Signal.make ~params:[ ("n", Uml.Signal.P_int) ] "Back")
+  in
+  let b =
+    component_class b
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active
+         ~ports:[ Uml.Port.make "io" ~sends:[ "Ball" ] ~receives:[ "Back" ] ]
+         ~behavior:pinger_machine "Pinger")
+  in
+  let b =
+    component_class b
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active
+         ~ports:[ Uml.Port.make "io" ~sends:[ "Back" ] ~receives:[ "Ball" ] ]
+         ~behavior:ponger_machine "Ponger")
+  in
+  let b =
+    application_class b
+      (Uml.Classifier.make
+         ~parts:[ part "ping" "Pinger"; part "pong" "Ponger" ]
+         ~connectors:
+           [
+             conn "c1" (Some "ping", "io") (Some "pong", "io");
+           ]
+         "PP")
+  in
+  let b = process b ~owner:"PP" ~part:"ping" in
+  let b = process b ~owner:"PP" ~part:"pong" in
+  let b = plain_class b (Uml.Classifier.make "Pgt") in
+  let b =
+    plain_class b (Uml.Classifier.make ~parts:[ part "g1" "Pgt"; part "g2" "Pgt" ] "G")
+  in
+  let b = group b ~owner:"G" ~part:"g1" in
+  let b = group b ~owner:"G" ~part:"g2" in
+  let b = grouping b ~name:"gr1" ~process:("PP", "ping") ~group:("G", "g1") in
+  let b = grouping b ~name:"gr2" ~process:("PP", "pong") ~group:("G", "g2") in
+  let b =
+    platform_component_class
+      ~tags:[ tint "Frequency" 100 ]
+      b
+      (Uml.Classifier.make ~ports:[ Uml.Port.make "bus" ] "Cpu")
+  in
+  let b = plain_class b (Uml.Classifier.make ~ports:[ Uml.Port.make "p0"; Uml.Port.make "p1" ] "Seg") in
+  let b =
+    platform_class b
+      (Uml.Classifier.make
+         ~parts:[ part "cpu1" "Cpu"; part "cpu2" "Cpu"; part "seg" "Seg" ]
+         ~connectors:
+           [
+             conn "w1" (Some "cpu1", "bus") (Some "seg", "p0");
+             conn "w2" (Some "cpu2", "bus") (Some "seg", "p1");
+           ]
+         "Plat")
+  in
+  let b = pe_instance b ~owner:"Plat" ~part:"cpu1" ~id:1 in
+  let b = pe_instance b ~owner:"Plat" ~part:"cpu2" ~id:2 in
+  let b = comm_segment b ~owner:"Plat" ~part:"seg" in
+  let b = comm_wrapper b ~owner:"Plat" ~connector:"w1" ~address:1 in
+  let b = comm_wrapper b ~owner:"Plat" ~connector:"w2" ~address:2 in
+  let b = mapping b ~name:"m1" ~group:("G", "g1") ~pe:("Plat", "cpu1") in
+  let b =
+    mapping b ~name:"m2" ~group:("G", "g2")
+      ~pe:("Plat", (if same_pe then "cpu1" else "cpu2"))
+  in
+  b
+
+let lower ?(same_pe = false) () =
+  match Codegen.Lower.lower (Builder.view (pingpong ~same_pe ())) with
+  | Ok sys -> sys
+  | Error problems -> Alcotest.failf "lower failed: %s" (String.concat "; " problems)
+
+(* -- lowering ----------------------------------------------------------- *)
+
+let test_lower_shape () =
+  let sys = lower () in
+  check int_t "two processes" 2 (List.length sys.Codegen.Ir.procs);
+  check int_t "two bindings" 2 (List.length sys.Codegen.Ir.bindings);
+  check int_t "two pes" 2 (List.length sys.Codegen.Ir.pes);
+  check int_t "one segment" 1 (List.length sys.Codegen.Ir.segments);
+  check int_t "two wrappers" 2 (List.length sys.Codegen.Ir.wrappers);
+  check (Alcotest.list Alcotest.string) "ir is consistent" []
+    (Codegen.Ir.check sys)
+
+let test_lower_routing () =
+  let sys = lower () in
+  check (Alcotest.list Alcotest.string) "ball routes to pong" [ "PP.pong" ]
+    (Codegen.Ir.destinations sys ~src:"PP.ping" ~port:"io" ~signal:"Ball");
+  check (Alcotest.list Alcotest.string) "back routes to ping" [ "PP.ping" ]
+    (Codegen.Ir.destinations sys ~src:"PP.pong" ~port:"io" ~signal:"Back")
+
+let test_lower_group_pe_assignment () =
+  let sys = lower () in
+  let ping = Option.get (Codegen.Ir.find_proc sys "PP.ping") in
+  check (Alcotest.option Alcotest.string) "ping pe" (Some "cpu1")
+    ping.Codegen.Ir.pe;
+  check (Alcotest.option Alcotest.string) "ping group" (Some "g1")
+    ping.Codegen.Ir.group
+
+let test_lower_unroutable_signal () =
+  (* Remove the connector: the Ball send has no receiver. *)
+  let open Builder in
+  let b = create "broken" in
+  let b = signal b (Uml.Signal.make "Ball") in
+  let b = signal b (Uml.Signal.make "Back") in
+  let b =
+    component_class b
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active
+         ~ports:[ Uml.Port.make "io" ~sends:[ "Ball" ] ~receives:[ "Back" ] ]
+         ~behavior:pinger_machine "Pinger")
+  in
+  let b =
+    application_class b
+      (Uml.Classifier.make ~parts:[ part "ping" "Pinger" ] "PP")
+  in
+  let b = process b ~owner:"PP" ~part:"ping" in
+  match Codegen.Lower.lower (view b) with
+  | Error problems ->
+    check bool_t "mentions signal" true
+      (List.exists (fun p -> contains p "Ball") problems)
+  | Ok _ -> Alcotest.fail "expected lowering failure"
+
+let test_process_instances () =
+  let view = Builder.view (pingpong ()) in
+  let instances = Codegen.Lower.process_instances view in
+  check int_t "two instances" 2 (List.length instances);
+  check bool_t "paths are hierarchical" true
+    (List.mem_assoc "PP.ping" instances)
+
+(* Hierarchical flattening: wrap the ponger inside a structural class and
+   check the connector chain still routes. *)
+let test_lower_through_hierarchy () =
+  let open Builder in
+  let b = create "deep" in
+  let b = signal b (Uml.Signal.make ~params:[ ("n", Uml.Signal.P_int) ] "Ball") in
+  let b = signal b (Uml.Signal.make ~params:[ ("n", Uml.Signal.P_int) ] "Back") in
+  let b =
+    component_class b
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active
+         ~ports:[ Uml.Port.make "io" ~sends:[ "Ball" ] ~receives:[ "Back" ] ]
+         ~behavior:pinger_machine "Pinger")
+  in
+  let b =
+    component_class b
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active
+         ~ports:[ Uml.Port.make "io" ~sends:[ "Back" ] ~receives:[ "Ball" ] ]
+         ~behavior:ponger_machine "Ponger")
+  in
+  (* Wrapper box around the ponger with a boundary port. *)
+  let b =
+    plain_class b
+      (Uml.Classifier.make
+         ~ports:[ Uml.Port.make "ext" ~receives:[ "Ball" ] ~sends:[ "Back" ] ]
+         ~parts:[ part "inner" "Ponger" ]
+         ~connectors:[ conn "relay" (None, "ext") (Some "inner", "io") ]
+         "Box")
+  in
+  let b =
+    application_class b
+      (Uml.Classifier.make
+         ~parts:[ part "ping" "Pinger"; part "box" "Box" ]
+         ~connectors:[ conn "c1" (Some "ping", "io") (Some "box", "ext") ]
+         "Deep")
+  in
+  let b = process b ~owner:"Deep" ~part:"ping" in
+  let b = process b ~owner:"Box" ~part:"inner" in
+  let b = plain_class b (Uml.Classifier.make "Pgt") in
+  let b = plain_class b (Uml.Classifier.make ~parts:[ part "g" "Pgt" ] "G") in
+  let b = group b ~owner:"G" ~part:"g" in
+  let b = grouping b ~name:"gr1" ~process:("Deep", "ping") ~group:("G", "g") in
+  let b = grouping b ~name:"gr2" ~process:("Box", "inner") ~group:("G", "g") in
+  let b =
+    platform_component_class b
+      (Uml.Classifier.make ~ports:[ Uml.Port.make "bus" ] "Cpu")
+  in
+  let b = platform_class b (Uml.Classifier.make ~parts:[ part "cpu1" "Cpu" ] "Plat") in
+  let b = pe_instance b ~owner:"Plat" ~part:"cpu1" ~id:1 in
+  let b = mapping b ~name:"m1" ~group:("G", "g") ~pe:("Plat", "cpu1") in
+  match Codegen.Lower.lower (view b) with
+  | Error problems -> Alcotest.failf "lower failed: %s" (String.concat "; " problems)
+  | Ok sys ->
+    check (Alcotest.list Alcotest.string) "routes through the box"
+      [ "Deep.box.inner" ]
+      (Codegen.Ir.destinations sys ~src:"Deep.ping" ~port:"io" ~signal:"Ball")
+
+(* Environment attachment to a non-existent boundary port: the env's
+   sends cannot route, and lowering reports it. *)
+let test_lower_env_bad_attachment () =
+  let open Efsm.Action in
+  let env_machine =
+    Efsm.Machine.make ~name:"env" ~states:[ "run" ] ~initial:"run"
+      [
+        Efsm.Machine.transition ~src:"run" ~dst:"run" (Efsm.Machine.After 1000)
+          ~actions:[ send ~port:"e" "Ball" ~args:[ i 0 ] ];
+      ]
+  in
+  let environment =
+    [
+      {
+        Codegen.Lower.name = "env";
+        Codegen.Lower.machine = env_machine;
+        Codegen.Lower.ports = [ Uml.Port.make "e" ~sends:[ "Ball" ] ];
+        Codegen.Lower.attachments = [ ("e", "noSuchBoundaryPort") ];
+      };
+    ]
+  in
+  match Codegen.Lower.lower ~environment (Builder.view (pingpong ())) with
+  | Error problems ->
+    check bool_t "reports unroutable env signal" true
+      (List.exists (fun p -> contains p "env") problems)
+  | Ok _ -> Alcotest.fail "expected lowering failure"
+
+(* -- ir check ------------------------------------------------------------ *)
+
+let test_ir_check_catches_dangles () =
+  let sys = lower () in
+  let broken =
+    {
+      sys with
+      Codegen.Ir.bindings =
+        { Codegen.Ir.b_src = "ghost"; b_port = "p"; b_signal = "s"; b_dst = "PP.ping" }
+        :: sys.Codegen.Ir.bindings;
+    }
+  in
+  check bool_t "dangling binding caught" true (Codegen.Ir.check broken <> [])
+
+(* -- c emission ----------------------------------------------------------- *)
+
+let test_c_header () =
+  let sys = lower () in
+  let header = Codegen.C_emit.header sys in
+  List.iter
+    (fun needle -> check bool_t needle true (contains header needle))
+    [ "#define SIG_Ball"; "#define PROC_PP_ping"; "tut_send"; "tut_event_t" ]
+
+let test_c_pe_source () =
+  let sys = lower () in
+  let src = Codegen.C_emit.pe_source sys ~pe:"cpu1" in
+  List.iter
+    (fun needle -> check bool_t needle true (contains src needle))
+    [
+      "ctx_PP_ping_t";
+      "static void step_PP_ping";
+      "case ST_PP_ping_run:";
+      "tut_compute(200);";
+      "self->sent = (self->sent + 1);";
+      "pe_cpu1_main";
+    ];
+  check bool_t "pong not on cpu1" false (contains src "PP_pong");
+  Alcotest.check_raises "unknown pe"
+    (Invalid_argument "C_emit.pe_source: unknown PE nope") (fun () ->
+      ignore (Codegen.C_emit.pe_source sys ~pe:"nope"))
+
+let test_c_all_files () =
+  let sys = lower () in
+  let files = Codegen.C_emit.all_files sys in
+  check int_t "header + routing + 2 PEs" 4 (List.length files);
+  check bool_t "routing table" true
+    (contains (List.assoc "routing.c" files) "tut_routes")
+
+(* -- runtime --------------------------------------------------------------- *)
+
+let make_runtime sys =
+  match Codegen.Runtime.create sys with
+  | Ok rt -> rt
+  | Error problems -> Alcotest.failf "runtime: %s" (String.concat "; " problems)
+
+let test_runtime_pingpong () =
+  let sys = lower () in
+  let rt = make_runtime sys in
+  Codegen.Runtime.start rt;
+  ignore (Codegen.Runtime.run rt ~until_ns:1_000_000L);
+  (* 1 ms at a 10 us serve period: about 100 serves. *)
+  let sent =
+    match Codegen.Runtime.process_var rt "PP.ping" "sent" with
+    | Some (Efsm.Action.V_int n) -> n
+    | _ -> -1
+  in
+  let hits =
+    match Codegen.Runtime.process_var rt "PP.pong" "hits" with
+    | Some (Efsm.Action.V_int n) -> n
+    | _ -> -1
+  in
+  let returned =
+    match Codegen.Runtime.process_var rt "PP.ping" "returned" with
+    | Some (Efsm.Action.V_int n) -> n
+    | _ -> -1
+  in
+  (* The serve timer restarts on every handled event (state re-entry), so
+     the effective period is the 10 us timer plus handling and round-trip
+     time: expect roughly 65-100 serves per millisecond. *)
+  check bool_t "serves happened" true (sent >= 60 && sent <= 101);
+  check bool_t "pong saw most balls" true (hits >= sent - 2);
+  check bool_t "returns came back" true (returned >= hits - 2);
+  check (Alcotest.list Alcotest.string) "no runtime errors" []
+    (Codegen.Runtime.runtime_errors rt)
+
+let test_runtime_trace_contents () =
+  let sys = lower () in
+  let rt = make_runtime sys in
+  Codegen.Runtime.start rt;
+  ignore (Codegen.Runtime.run rt ~until_ns:200_000L);
+  let trace = Codegen.Runtime.trace rt in
+  let events = Sim.Trace.events trace in
+  check bool_t "has exec events" true
+    (List.exists (function Sim.Trace.Exec _ -> true | _ -> false) events);
+  check bool_t "has signal events" true
+    (List.exists
+       (function
+         | Sim.Trace.Signal { signal = "Ball"; sender = "PP.ping"; _ } -> true
+         | _ -> false)
+       events)
+
+let test_runtime_hibi_used_across_pes () =
+  let sys = lower () in
+  let rt = make_runtime sys in
+  Codegen.Runtime.start rt;
+  ignore (Codegen.Runtime.run rt ~until_ns:500_000L);
+  let words =
+    List.fold_left
+      (fun acc (_, s) -> Int64.add acc s.Hibi.Network.words)
+      0L
+      (Codegen.Runtime.segment_stats rt)
+  in
+  check bool_t "bus carried traffic" true (words > 0L)
+
+let test_runtime_local_when_same_pe () =
+  let sys = lower ~same_pe:true () in
+  let rt = make_runtime sys in
+  Codegen.Runtime.start rt;
+  ignore (Codegen.Runtime.run rt ~until_ns:500_000L);
+  let words =
+    List.fold_left
+      (fun acc (_, s) -> Int64.add acc s.Hibi.Network.words)
+      0L
+      (Codegen.Runtime.segment_stats rt)
+  in
+  check bool_t "no bus traffic when co-located" true (words = 0L)
+
+let test_runtime_queue_latencies () =
+  let sys = lower () in
+  let rt = make_runtime sys in
+  Codegen.Runtime.start rt;
+  ignore (Codegen.Runtime.run rt ~until_ns:500_000L);
+  let latencies = Codegen.Runtime.queue_latencies rt in
+  (* Both ping and pong handled events. *)
+  check bool_t "pong measured" true (List.mem_assoc "PP.pong" latencies);
+  List.iter
+    (fun (_, (handled, mean, max_ns)) ->
+      check bool_t "handled positive" true (handled > 0);
+      check bool_t "mean nonnegative" true (mean >= 0.0);
+      check bool_t "max >= mean" true (Int64.to_float max_ns >= mean))
+    latencies
+
+let test_runtime_inject () =
+  let sys = lower () in
+  let rt = make_runtime sys in
+  Codegen.Runtime.start rt;
+  Codegen.Runtime.inject rt ~dst:"PP.pong" ~signal:"Ball"
+    ~args:[ ("n", Efsm.Action.V_int 7) ];
+  ignore (Codegen.Runtime.run rt ~until_ns:9_000L);
+  (* Before the first 10 us serve, pong already handled the injected ball. *)
+  check bool_t "injection handled" true
+    (Codegen.Runtime.process_var rt "PP.pong" "hits" = Some (Efsm.Action.V_int 1))
+
+(* Property: the runtime is deterministic — two runs of the same system
+   produce identical traces. *)
+let prop_deterministic =
+  QCheck.Test.make ~name:"runtime deterministic" ~count:20
+    QCheck.(int_range 1 40)
+    (fun horizon_10us ->
+      let until_ns = Int64.of_int (horizon_10us * 10_000) in
+      let run () =
+        let rt = make_runtime (lower ()) in
+        Codegen.Runtime.start rt;
+        ignore (Codegen.Runtime.run rt ~until_ns);
+        Sim.Trace.to_lines (Codegen.Runtime.trace rt)
+      in
+      run () = run ())
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "lower",
+        [
+          Alcotest.test_case "shape" `Quick test_lower_shape;
+          Alcotest.test_case "routing" `Quick test_lower_routing;
+          Alcotest.test_case "group/pe assignment" `Quick
+            test_lower_group_pe_assignment;
+          Alcotest.test_case "unroutable signal" `Quick test_lower_unroutable_signal;
+          Alcotest.test_case "process instances" `Quick test_process_instances;
+          Alcotest.test_case "through hierarchy" `Quick test_lower_through_hierarchy;
+          Alcotest.test_case "env bad attachment" `Quick
+            test_lower_env_bad_attachment;
+          Alcotest.test_case "ir check" `Quick test_ir_check_catches_dangles;
+        ] );
+      ( "c_emit",
+        [
+          Alcotest.test_case "header" `Quick test_c_header;
+          Alcotest.test_case "pe source" `Quick test_c_pe_source;
+          Alcotest.test_case "all files" `Quick test_c_all_files;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "ping-pong" `Quick test_runtime_pingpong;
+          Alcotest.test_case "trace contents" `Quick test_runtime_trace_contents;
+          Alcotest.test_case "hibi across PEs" `Quick test_runtime_hibi_used_across_pes;
+          Alcotest.test_case "local when co-located" `Quick
+            test_runtime_local_when_same_pe;
+          Alcotest.test_case "queue latencies" `Quick
+            test_runtime_queue_latencies;
+          Alcotest.test_case "inject" `Quick test_runtime_inject;
+          QCheck_alcotest.to_alcotest prop_deterministic;
+        ] );
+    ]

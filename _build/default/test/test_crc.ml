@@ -1,0 +1,99 @@
+(* Tests for CRC-32: known vectors, implementation agreement,
+   incremental interface, cost models. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int32_t = Alcotest.int32
+let int64_t = Alcotest.int64
+
+(* Standard check value: CRC-32("123456789") = 0xCBF43926. *)
+let test_known_vectors () =
+  check int32_t "check value" 0xCBF43926l (Crc.Crc32.digest "123456789");
+  check int32_t "empty string" 0x00000000l (Crc.Crc32.digest "");
+  check int32_t "single a" 0xE8B7BE43l (Crc.Crc32.digest "a");
+  check int32_t "abc" 0x352441C2l (Crc.Crc32.digest "abc")
+
+let test_bitwise_matches_known () =
+  check int32_t "bitwise check value" 0xCBF43926l (Crc.Crc32.bitwise "123456789")
+
+let test_verify () =
+  check bool_t "accepts correct" true
+    (Crc.Crc32.verify "payload" ~crc:(Crc.Crc32.digest "payload"));
+  check bool_t "rejects corrupted" false
+    (Crc.Crc32.verify "payloae" ~crc:(Crc.Crc32.digest "payload"))
+
+let test_incremental () =
+  let whole = Crc.Crc32.digest "hello world" in
+  let split =
+    Crc.Crc32.finish
+      (Crc.Crc32.feed (Crc.Crc32.feed (Crc.Crc32.init ()) "hello ") "world")
+  in
+  check int32_t "incremental equals one-shot" whole split
+
+let test_cycle_models () =
+  check int64_t "software grows per byte" 1340L
+    (Crc.Crc32.software_cycles ~bytes_len:65);
+  check bool_t "accelerator is much cheaper" true
+    (Crc.Crc32.accelerator_cycles ~bytes_len:64
+    < Int64.div (Crc.Crc32.software_cycles ~bytes_len:64) 10L);
+  check int64_t "accelerator word granularity" 9L
+    (Crc.Crc32.accelerator_cycles ~bytes_len:4)
+
+let gen_bytes =
+  QCheck.Gen.(
+    let* len = int_range 0 200 in
+    let* chars = list_repeat len (map Char.chr (int_range 0 255)) in
+    return (String.init len (List.nth chars)))
+
+let prop_bitwise_eq_table =
+  QCheck.Test.make ~name:"bitwise equals table-driven" ~count:300
+    (QCheck.make ~print:String.escaped gen_bytes)
+    (fun s -> Crc.Crc32.bitwise s = Crc.Crc32.table_driven s)
+
+let prop_incremental_any_split =
+  QCheck.Test.make ~name:"incremental equals one-shot at any split" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         let* s = gen_bytes in
+         let* k = int_range 0 (String.length s) in
+         return (s, k)))
+    (fun (s, k) ->
+      let a = String.sub s 0 k and b = String.sub s k (String.length s - k) in
+      Crc.Crc32.finish (Crc.Crc32.feed (Crc.Crc32.feed (Crc.Crc32.init ()) a) b)
+      = Crc.Crc32.digest s)
+
+let prop_detects_single_bit_flip =
+  QCheck.Test.make ~name:"detects any single bit flip" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         let* s = gen_bytes in
+         if String.length s = 0 then return ("x", 0, 0)
+         else
+           let* byte = int_range 0 (String.length s - 1) in
+           let* bit = int_range 0 7 in
+           return (s, byte, bit)))
+    (fun (s, byte, bit) ->
+      let flipped = Bytes.of_string s in
+      Bytes.set flipped byte
+        (Char.chr (Char.code (Bytes.get flipped byte) lxor (1 lsl bit)));
+      let flipped = Bytes.to_string flipped in
+      flipped = s || Crc.Crc32.digest flipped <> Crc.Crc32.digest s)
+
+let () =
+  Alcotest.run "crc"
+    [
+      ( "vectors",
+        [
+          Alcotest.test_case "known vectors" `Quick test_known_vectors;
+          Alcotest.test_case "bitwise reference" `Quick test_bitwise_matches_known;
+          Alcotest.test_case "verify" `Quick test_verify;
+          Alcotest.test_case "incremental" `Quick test_incremental;
+          Alcotest.test_case "cycle models" `Quick test_cycle_models;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_bitwise_eq_table;
+          QCheck_alcotest.to_alcotest prop_incremental_any_split;
+          QCheck_alcotest.to_alcotest prop_detects_single_bit_flip;
+        ] );
+    ]

@@ -1,0 +1,285 @@
+(* Tests for the design-space exploration library: deterministic RNG,
+   cost model, constraint handling, search algorithms. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let float_t = Alcotest.float 1e-9
+
+(* -- rng ----------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let seq seed = List.init 20 (fun _ -> Dse.Rng.int (Dse.Rng.create seed) 100) in
+  ignore (seq 1);
+  let a = Dse.Rng.create 42 and b = Dse.Rng.create 42 in
+  let draw r = List.init 50 (fun _ -> Dse.Rng.int r 1000) in
+  check (Alcotest.list int_t) "same seed, same sequence" (draw a) (draw b);
+  let c = Dse.Rng.create 43 in
+  check bool_t "different seed differs" true (draw (Dse.Rng.create 42) <> draw c)
+
+let test_rng_bounds () =
+  let r = Dse.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let n = Dse.Rng.int r 13 in
+    if n < 0 || n >= 13 then Alcotest.failf "out of range: %d" n;
+    let f = Dse.Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done;
+  Alcotest.check_raises "non-positive bound"
+    (Invalid_argument "Dse.Rng.int: non-positive bound") (fun () ->
+      ignore (Dse.Rng.int r 0))
+
+let test_rng_pick_shuffle () =
+  let r = Dse.Rng.create 5 in
+  let items = [ 1; 2; 3; 4; 5 ] in
+  check bool_t "pick member" true (List.mem (Dse.Rng.pick r items) items);
+  let shuffled = Dse.Rng.shuffle r items in
+  check (Alcotest.list int_t) "shuffle is a permutation" items
+    (List.sort compare shuffled)
+
+(* -- cost model ----------------------------------------------------------- *)
+
+let profile_data =
+  {
+    Dse.Cost.group_cycles = [ ("g1", 1000L); ("g2", 1000L); ("g3", 100L) ];
+    Dse.Cost.comm = [ (("g1", "g2"), 50); (("g2", "g3"), 10) ];
+  }
+
+let flat_platform =
+  {
+    Dse.Cost.pe_infos =
+      [
+        { Dse.Cost.pe = "cpu1"; speed = 100.0; accelerator = false };
+        { Dse.Cost.pe = "cpu2"; speed = 100.0; accelerator = false };
+      ];
+    Dse.Cost.hop_distance = (fun a b -> if a = b then 0 else 1);
+  }
+
+let cost = Dse.Cost.cost ~profile:profile_data ~platform:flat_platform
+
+let test_cost_colocated_no_comm () =
+  let together = [ ("g1", "cpu1"); ("g2", "cpu1"); ("g3", "cpu1") ] in
+  check float_t "colocated = pure makespan" 21.0 (cost together)
+
+let test_cost_split_adds_comm () =
+  let split = [ ("g1", "cpu1"); ("g2", "cpu2"); ("g3", "cpu2") ] in
+  (* makespan 11.0 (cpu2 has 1100 cycles at speed 100) + 50 remote. *)
+  check float_t "split cost" 61.0 (cost split);
+  check bool_t "balance helps makespan only with cheap comm" true
+    (Dse.Cost.cost ~alpha:1.0 ~beta:0.0 ~profile:profile_data
+       ~platform:flat_platform split
+    < Dse.Cost.cost ~alpha:1.0 ~beta:0.0 ~profile:profile_data
+        ~platform:flat_platform
+        [ ("g1", "cpu1"); ("g2", "cpu1"); ("g3", "cpu1") ])
+
+let test_cost_faster_pe_attracts () =
+  let fast_platform =
+    {
+      flat_platform with
+      Dse.Cost.pe_infos =
+        [
+          { Dse.Cost.pe = "cpu1"; speed = 1000.0; accelerator = false };
+          { Dse.Cost.pe = "cpu2"; speed = 10.0; accelerator = false };
+        ];
+    }
+  in
+  let on_fast = [ ("g1", "cpu1"); ("g2", "cpu1"); ("g3", "cpu1") ] in
+  let on_slow = [ ("g1", "cpu2"); ("g2", "cpu2"); ("g3", "cpu2") ] in
+  check bool_t "fast PE cheaper" true
+    (Dse.Cost.cost ~profile:profile_data ~platform:fast_platform on_fast
+    < Dse.Cost.cost ~profile:profile_data ~platform:fast_platform on_slow)
+
+(* -- view-derived constraints --------------------------------------------- *)
+
+let tutmac_view () =
+  Tut_profile.Builder.view (Tutmac.Scenario.build_model Tutmac.Scenario.default)
+
+let test_of_view_platform () =
+  let platform = Dse.Cost.of_view (tutmac_view ()) in
+  check int_t "four PEs" 4 (List.length platform.Dse.Cost.pe_infos);
+  check int_t "same pe distance" 0
+    (platform.Dse.Cost.hop_distance "processor1" "processor1");
+  check int_t "same segment distance" 1
+    (platform.Dse.Cost.hop_distance "processor1" "processor2");
+  check int_t "across bridge distance" 3
+    (platform.Dse.Cost.hop_distance "processor1" "processor3");
+  let accel =
+    List.find
+      (fun (i : Dse.Cost.pe_info) -> i.Dse.Cost.pe = "accelerator1")
+      platform.Dse.Cost.pe_infos
+  in
+  check bool_t "accelerator flagged" true accel.Dse.Cost.accelerator;
+  check bool_t "accelerator faster" true (accel.Dse.Cost.speed > 500.0)
+
+let test_candidates_respect_hw () =
+  let view = tutmac_view () in
+  let candidates = Dse.Cost.candidates view in
+  check (Alcotest.list Alcotest.string) "group4 fixed on accelerator"
+    [ "accelerator1" ]
+    (List.assoc "group4" candidates);
+  let group1_options = List.assoc "group1" candidates in
+  check bool_t "general groups avoid accelerator" false
+    (List.mem "accelerator1" group1_options);
+  check int_t "three processors available" 3 (List.length group1_options)
+
+let test_current_assignment_and_feasible () =
+  let view = tutmac_view () in
+  let current = Dse.Cost.current_assignment view in
+  check (Alcotest.option Alcotest.string) "group1 on processor1"
+    (Some "processor1")
+    (List.assoc_opt "group1" current);
+  check bool_t "paper mapping feasible" true (Dse.Cost.feasible view current);
+  check bool_t "hw group on cpu infeasible" false
+    (Dse.Cost.feasible view [ ("group4", "processor1") ]);
+  check bool_t "general group on accel infeasible" false
+    (Dse.Cost.feasible view [ ("group1", "accelerator1") ])
+
+(* -- search algorithms ------------------------------------------------------ *)
+
+let candidates3 =
+  [ ("g1", [ "cpu1"; "cpu2" ]); ("g2", [ "cpu1"; "cpu2" ]); ("g3", [ "cpu1"; "cpu2" ]) ]
+
+let test_exhaustive_finds_optimum () =
+  let result = Dse.Explore.exhaustive ~eval:cost ~candidates:candidates3 () in
+  check int_t "evaluated all 8" 8 result.Dse.Explore.evaluations;
+  (* Optimal: colocate g1/g2 (heavy comm), g3 anywhere near g2.  Best is
+     everything on one PE? makespan 21 vs split (g3 apart): makespan
+     20 + comm 10 = 30. So all-on-one = 21 is optimal. *)
+  check float_t "optimal cost" 21.0 result.Dse.Explore.best_cost
+
+let test_greedy_improves () =
+  let init = [ ("g1", "cpu1"); ("g2", "cpu2"); ("g3", "cpu2") ] in
+  let result = Dse.Explore.greedy ~eval:cost ~candidates:candidates3 ~init () in
+  check bool_t "no worse than init" true (result.Dse.Explore.best_cost <= cost init);
+  check float_t "greedy reaches optimum here" 21.0 result.Dse.Explore.best_cost
+
+let test_random_search_bounded () =
+  let result =
+    Dse.Explore.random_search ~seed:3 ~iterations:50 ~eval:cost
+      ~candidates:candidates3 ()
+  in
+  check int_t "iteration budget respected" 50 result.Dse.Explore.evaluations;
+  check bool_t "found something" true (result.Dse.Explore.best_cost < infinity)
+
+let test_sa_deterministic_and_good () =
+  let init = [ ("g1", "cpu1"); ("g2", "cpu2"); ("g3", "cpu1") ] in
+  let run () =
+    Dse.Explore.simulated_annealing ~seed:11 ~iterations:300 ~eval:cost
+      ~candidates:candidates3 ~init ()
+  in
+  let a = run () and b = run () in
+  check bool_t "deterministic" true
+    (a.Dse.Explore.best = b.Dse.Explore.best
+    && a.Dse.Explore.best_cost = b.Dse.Explore.best_cost);
+  check float_t "reaches optimum" 21.0 a.Dse.Explore.best_cost
+
+let test_history_monotone () =
+  let result =
+    Dse.Explore.random_search ~seed:9 ~iterations:200 ~eval:cost
+      ~candidates:candidates3 ()
+  in
+  let costs = List.map snd result.Dse.Explore.history in
+  check bool_t "history strictly improves" true
+    (fst
+       (List.fold_left
+          (fun (ok, prev) c -> (ok && c < prev, c))
+          (true, infinity) costs))
+
+let test_exhaustive_guards () =
+  Alcotest.check_raises "empty candidate list"
+    (Invalid_argument "Dse.Explore.exhaustive: a group has no candidate PE")
+    (fun () ->
+      ignore (Dse.Explore.exhaustive ~eval:cost ~candidates:[ ("g", []) ] ()))
+
+(* -- apply -------------------------------------------------------------------- *)
+
+let test_apply_remaps_model () =
+  let builder = Tutmac.Scenario.build_model Tutmac.Scenario.default in
+  let view = Tut_profile.Builder.view builder in
+  let target =
+    [
+      ("group1", "processor1");
+      ("group2", "processor3");
+      (* moved from processor2 *)
+      ("group3", "processor2");
+      (* moved from processor1 *)
+      ("group4", "accelerator1");
+    ]
+  in
+  check bool_t "target feasible" true (Dse.Cost.feasible view target);
+  let builder' = Dse.Explore.apply builder target in
+  let view' = Tut_profile.Builder.view builder' in
+  check bool_t "remapped" true
+    (List.sort compare (Dse.Cost.current_assignment view')
+    = List.sort compare target);
+  (* Still valid against the design rules. *)
+  check bool_t "still valid" true
+    (Tut_profile.Rules.is_valid (Tut_profile.Builder.validate builder'))
+
+let test_apply_rejects_infeasible () =
+  let builder = Tutmac.Scenario.build_model Tutmac.Scenario.default in
+  Alcotest.check_raises "constraint violation"
+    (Invalid_argument "Dse.Explore.apply: assignment violates constraints")
+    (fun () ->
+      ignore (Dse.Explore.apply builder [ ("group4", "processor1") ]))
+
+let test_apply_respects_fixed () =
+  (* group4's mapping is Fixed in the scenario model; apply must keep it. *)
+  let builder = Tutmac.Scenario.build_model Tutmac.Scenario.default in
+  let view = Tut_profile.Builder.view builder in
+  let m4 =
+    List.find
+      (fun (m : Tut_profile.View.mapping) ->
+        match Tut_profile.View.find_group view m.Tut_profile.View.group with
+        | Some g -> g.Tut_profile.View.part = "group4"
+        | None -> false)
+      view.Tut_profile.View.mappings
+  in
+  check bool_t "group4 mapping is fixed" true m4.Tut_profile.View.fixed
+
+(* Property: greedy never returns something worse than its initial
+   assignment. *)
+let prop_greedy_never_worse =
+  QCheck.Test.make ~name:"greedy never worse than init" ~count:100
+    QCheck.(triple (int_range 0 1) (int_range 0 1) (int_range 0 1))
+    (fun (a, b, c) ->
+      let pe n = if n = 0 then "cpu1" else "cpu2" in
+      let init = [ ("g1", pe a); ("g2", pe b); ("g3", pe c) ] in
+      let result = Dse.Explore.greedy ~eval:cost ~candidates:candidates3 ~init () in
+      result.Dse.Explore.best_cost <= cost init)
+
+let () =
+  Alcotest.run "dse"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "pick and shuffle" `Quick test_rng_pick_shuffle;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "colocated" `Quick test_cost_colocated_no_comm;
+          Alcotest.test_case "split adds comm" `Quick test_cost_split_adds_comm;
+          Alcotest.test_case "faster pe" `Quick test_cost_faster_pe_attracts;
+          Alcotest.test_case "of_view platform" `Quick test_of_view_platform;
+          Alcotest.test_case "candidates" `Quick test_candidates_respect_hw;
+          Alcotest.test_case "feasibility" `Quick test_current_assignment_and_feasible;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "exhaustive optimum" `Quick test_exhaustive_finds_optimum;
+          Alcotest.test_case "greedy improves" `Quick test_greedy_improves;
+          Alcotest.test_case "random bounded" `Quick test_random_search_bounded;
+          Alcotest.test_case "sa deterministic" `Quick test_sa_deterministic_and_good;
+          Alcotest.test_case "history monotone" `Quick test_history_monotone;
+          Alcotest.test_case "guards" `Quick test_exhaustive_guards;
+          QCheck_alcotest.to_alcotest prop_greedy_never_worse;
+        ] );
+      ( "apply",
+        [
+          Alcotest.test_case "remaps model" `Quick test_apply_remaps_model;
+          Alcotest.test_case "rejects infeasible" `Quick test_apply_rejects_infeasible;
+          Alcotest.test_case "respects fixed" `Quick test_apply_respects_fixed;
+        ] );
+    ]

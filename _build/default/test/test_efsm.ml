@@ -1,0 +1,674 @@
+(* Tests for the EFSM action language, machines, interpreter and the
+   textual notation. *)
+
+open Efsm
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+
+let evi env e = Action.eval_int env ~params:[] e
+let no_params = ([] : (string * Action.value) list)
+
+(* -- expression evaluation ------------------------------------------- *)
+
+let test_arithmetic () =
+  let env = Action.env_of_bindings [ ("x", Action.V_int 7) ] in
+  let open Action in
+  check int_t "add" 10 (evi env (i 3 + i 7));
+  check int_t "sub" (-4) (evi env (i 3 - i 7));
+  check int_t "mul" 21 (evi env (i 3 * v "x"));
+  check int_t "div" 2 (evi env (v "x" / i 3));
+  check int_t "mod" 1 (evi env (v "x" mod i 3));
+  check int_t "neg" (-7) (evi env (Neg (v "x")))
+
+let test_comparisons () =
+  let env = Action.env_of_bindings [] in
+  let open Action in
+  let truth e = Action.eval_bool env ~params:[] e in
+  check bool_t "lt" true (truth (i 1 < i 2));
+  check bool_t "le" true (truth (i 2 <= i 2));
+  check bool_t "gt" false (truth (i 1 > i 2));
+  check bool_t "eq" true (truth (i 5 = i 5));
+  check bool_t "ne" true (truth (i 5 <> i 6));
+  check bool_t "and" false (truth (b true && b false));
+  check bool_t "or" true (truth (b true || b false));
+  check bool_t "not" true (truth (Not (b false)))
+
+let test_params () =
+  let env = Action.env_of_bindings [] in
+  let open Action in
+  check int_t "param lookup" 42
+    (Action.eval_int env ~params:[ ("seq", V_int 42) ] (p "seq" + i 0))
+
+let test_type_errors () =
+  let env = Action.env_of_bindings [] in
+  let open Action in
+  let expect_error e =
+    match Action.eval env ~params:no_params e with
+    | exception Action.Type_error _ -> ()
+    | _ -> Alcotest.fail "expected Type_error"
+  in
+  expect_error (v "unbound");
+  expect_error (p "unbound");
+  expect_error (i 1 / i 0);
+  expect_error (i 1 mod i 0);
+  expect_error (i 1 && b true);
+  expect_error (Not (i 1));
+  expect_error (Neg (b true))
+
+(* -- statements ------------------------------------------------------ *)
+
+let test_exec_assign_and_effects () =
+  let env = Action.env_of_bindings [ ("n", Action.V_int 0) ] in
+  let open Action in
+  let effects =
+    Action.exec env ~params:no_params
+      [
+        assign "n" (v "n" + i 5);
+        compute (v "n" * i 2);
+        send ~port:"out" "Sig" ~args:[ v "n" ];
+      ]
+  in
+  check int_t "variable updated" 5
+    (match Action.lookup env "n" with Some (V_int n) -> n | _ -> -1);
+  (match effects with
+  | [ Eff_compute 10; Eff_send { port = "out"; signal = "Sig"; args = [ V_int 5 ] } ]
+    -> ()
+  | _ -> Alcotest.fail "unexpected effects")
+
+let test_exec_if_while () =
+  let env = Action.env_of_bindings [ ("n", Action.V_int 0); ("acc", Action.V_int 0) ] in
+  let open Action in
+  ignore
+    (Action.exec env ~params:no_params
+       [
+         While
+           ( v "n" < i 5,
+             [ assign "acc" (v "acc" + v "n"); assign "n" (v "n" + i 1) ] );
+         If (v "acc" = i 10, [ assign "acc" (i 100) ], [ assign "acc" (i 0) ]);
+       ]);
+  check int_t "loop then if" 100
+    (match Action.lookup env "acc" with Some (V_int n) -> n | _ -> -1)
+
+let test_exec_zero_compute_elided () =
+  let env = Action.env_of_bindings [] in
+  let open Action in
+  check int_t "compute(0) produces no effect" 0
+    (List.length (Action.exec env ~params:no_params [ compute (i 0) ]))
+
+let test_exec_loop_bound () =
+  let env = Action.env_of_bindings [] in
+  let open Action in
+  match Action.exec env ~params:no_params [ While (b true, [ compute (i 0) ]) ] with
+  | exception Action.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected loop bound error"
+
+(* -- machine validation ---------------------------------------------- *)
+
+let trivial_machine =
+  Machine.make ~name:"m" ~states:[ "a"; "b" ] ~initial:"a"
+    [ Machine.transition ~src:"a" ~dst:"b" (Machine.On_signal "go") ]
+
+let test_machine_check_ok () =
+  check (Alcotest.list string_t) "no problems" [] (Machine.check trivial_machine)
+
+let test_machine_check_errors () =
+  let bad machine = Machine.check machine <> [] in
+  check bool_t "undeclared initial" true
+    (bad
+       {
+         Machine.name = "m";
+         states = [ "a" ];
+         initial = "zz";
+         variables = [];
+         transitions = [];
+         entry_actions = [];
+         exit_actions = [];
+       });
+  check bool_t "duplicate state" true
+    (bad
+       {
+         Machine.name = "m";
+         states = [ "a"; "a" ];
+         initial = "a";
+         variables = [];
+         transitions = [];
+         entry_actions = [];
+         exit_actions = [];
+       });
+  check bool_t "dangling transition" true
+    (bad
+       {
+         Machine.name = "m";
+         states = [ "a" ];
+         initial = "a";
+         variables = [];
+         transitions =
+           [ Machine.transition ~src:"a" ~dst:"zz" (Machine.On_signal "s") ];
+         entry_actions = [];
+         exit_actions = [];
+       });
+  check bool_t "non-positive delay" true
+    (bad
+       {
+         Machine.name = "m";
+         states = [ "a" ];
+         initial = "a";
+         variables = [];
+         transitions = [ Machine.transition ~src:"a" ~dst:"a" (Machine.After 0) ];
+         entry_actions = [];
+         exit_actions = [];
+       });
+  Alcotest.check_raises "make raises"
+    (Invalid_argument
+       "Efsm.Machine.make: machine m: initial state zz is not declared")
+    (fun () ->
+      ignore (Machine.make ~name:"m" ~states:[ "a" ] ~initial:"zz" []))
+
+let test_machine_signals () =
+  let open Action in
+  let machine =
+    Machine.make ~name:"m" ~states:[ "a" ] ~initial:"a"
+      [
+        Machine.transition ~src:"a" ~dst:"a" (Machine.On_signal "in1")
+          ~actions:[ send ~port:"p" "out1" ];
+        Machine.transition ~src:"a" ~dst:"a" (Machine.On_signal "in2")
+          ~actions:
+            [ If (b true, [ send ~port:"q" "out2" ], [ send ~port:"p" "out1" ]) ];
+      ]
+  in
+  check (Alcotest.list string_t) "consumed" [ "in1"; "in2" ]
+    (Machine.signals_consumed machine);
+  check
+    (Alcotest.list (Alcotest.pair string_t string_t))
+    "sent"
+    [ ("p", "out1"); ("q", "out2") ]
+    (Machine.signals_sent machine)
+
+(* -- interpreter ------------------------------------------------------ *)
+
+let counter_machine =
+  let open Action in
+  Machine.make ~name:"counter" ~states:[ "idle"; "busy" ] ~initial:"idle"
+    ~variables:[ ("n", V_int 0) ]
+    [
+      Machine.transition ~src:"idle" ~dst:"busy" (Machine.On_signal "start")
+        ~actions:[ assign "n" (p "init"); compute (i 10) ];
+      Machine.transition ~src:"busy" ~dst:"busy" (Machine.On_signal "tick")
+        ~guard:(v "n" < i 3)
+        ~actions:[ assign "n" (v "n" + i 1) ];
+      Machine.transition ~src:"busy" ~dst:"idle" (Machine.On_signal "tick")
+        ~guard:(v "n" >= i 3)
+        ~actions:[ send ~port:"out" "done" ~args:[ v "n" ] ];
+    ]
+
+let test_dispatch_sequence () =
+  let inst = Interp.create counter_machine in
+  check string_t "initial state" "idle" (Interp.state inst);
+  let step = Interp.dispatch inst ~signal:"start" ~args:[ ("init", Action.V_int 0) ] in
+  check bool_t "fired" true (step.Interp.fired <> None);
+  check string_t "moved to busy" "busy" (Interp.state inst);
+  (* Three ticks increment, the fourth exits. *)
+  for _ = 1 to 3 do
+    ignore (Interp.dispatch inst ~signal:"tick" ~args:[])
+  done;
+  check string_t "still busy" "busy" (Interp.state inst);
+  let final = Interp.dispatch inst ~signal:"tick" ~args:[] in
+  check string_t "back to idle" "idle" (Interp.state inst);
+  (match final.Interp.effects with
+  | [ Action.Eff_send { signal = "done"; args = [ Action.V_int 3 ]; _ } ] -> ()
+  | _ -> Alcotest.fail "expected done(3) send")
+
+let test_dispatch_discard () =
+  let inst = Interp.create counter_machine in
+  let step = Interp.dispatch inst ~signal:"tick" ~args:[] in
+  check bool_t "no transition fired" true (step.Interp.fired = None);
+  check string_t "state unchanged" "idle" (Interp.state inst)
+
+let test_reset () =
+  let inst = Interp.create counter_machine in
+  ignore (Interp.dispatch inst ~signal:"start" ~args:[ ("init", Action.V_int 2) ]);
+  Interp.reset inst;
+  check string_t "state reset" "idle" (Interp.state inst);
+  check bool_t "vars reset" true
+    (Interp.read_var inst "n" = Some (Action.V_int 0))
+
+let timer_machine =
+  let open Action in
+  Machine.make ~name:"timer" ~states:[ "wait"; "fired" ] ~initial:"wait"
+    [
+      Machine.transition ~src:"wait" ~dst:"fired" (Machine.After 1000)
+        ~actions:[ send ~port:"out" "alarm" ];
+      Machine.transition ~src:"wait" ~dst:"wait" (Machine.On_signal "poke");
+    ]
+
+let test_timer () =
+  let inst = Interp.create timer_machine in
+  check (Alcotest.option int_t) "timer requested" (Some 1000)
+    (Interp.timer_request inst);
+  let step = Interp.fire_timer inst ~entered_state:"wait" in
+  check bool_t "timer fired" true (step.Interp.fired <> None);
+  check string_t "fired state" "fired" (Interp.state inst);
+  check (Alcotest.option int_t) "no timer in fired" None (Interp.timer_request inst);
+  (* Stale timer for the old state is discarded. *)
+  let stale = Interp.fire_timer inst ~entered_state:"wait" in
+  check bool_t "stale discarded" true (stale.Interp.fired = None)
+
+let completion_machine =
+  let open Action in
+  Machine.make ~name:"chain" ~states:[ "a"; "b"; "c" ] ~initial:"a"
+    ~variables:[ ("go", V_bool false) ]
+    [
+      Machine.transition ~src:"a" ~dst:"b" (Machine.On_signal "kick")
+        ~actions:[ assign "go" (b true) ];
+      Machine.transition ~src:"b" ~dst:"c" Machine.Completion
+        ~guard:(v "go")
+        ~actions:[ compute (i 5) ];
+    ]
+
+let test_completion_chain () =
+  let inst = Interp.create completion_machine in
+  check (Alcotest.list Alcotest.reject) "no initial completions" []
+    (Interp.run_completions inst);
+  let step = Interp.dispatch inst ~signal:"kick" ~args:[] in
+  check string_t "chained to c" "c" (Interp.state inst);
+  check int_t "effects include completion compute" 1
+    (List.length step.Interp.effects)
+
+let test_completion_livelock_detected () =
+  let machine =
+    Machine.make ~name:"live" ~states:[ "a"; "b" ] ~initial:"a"
+      [
+        Machine.transition ~src:"a" ~dst:"b" Machine.Completion;
+        Machine.transition ~src:"b" ~dst:"a" Machine.Completion;
+      ]
+  in
+  let inst = Interp.create machine in
+  match Interp.run_completions inst with
+  | exception Action.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected livelock detection"
+
+(* -- entry/exit actions ------------------------------------------------ *)
+
+let entry_exit_machine =
+  let open Action in
+  Machine.make ~name:"ee" ~states:[ "off"; "on" ] ~initial:"off"
+    ~variables:[ ("entries", V_int 0); ("exits", V_int 0) ]
+    ~entry_actions:
+      [ ("on", [ assign "entries" (v "entries" + i 1); compute (i 7) ]) ]
+    ~exit_actions:[ ("on", [ assign "exits" (v "exits" + i 1) ]) ]
+    [
+      Machine.transition ~src:"off" ~dst:"on" (Machine.On_signal "toggle");
+      Machine.transition ~src:"on" ~dst:"off" (Machine.On_signal "toggle");
+      Machine.transition ~src:"on" ~dst:"on" (Machine.On_signal "self");
+    ]
+
+let test_entry_exit_fire () =
+  let inst = Interp.create entry_exit_machine in
+  let step = Interp.dispatch inst ~signal:"toggle" ~args:[] in
+  check bool_t "entry ran" true (Interp.read_var inst "entries" = Some (Action.V_int 1));
+  check bool_t "no exit yet" true (Interp.read_var inst "exits" = Some (Action.V_int 0));
+  (* Entry compute effect is included in the step effects. *)
+  check bool_t "entry effect emitted" true
+    (List.mem (Action.Eff_compute 7) step.Interp.effects);
+  ignore (Interp.dispatch inst ~signal:"toggle" ~args:[]);
+  check bool_t "exit ran" true (Interp.read_var inst "exits" = Some (Action.V_int 1))
+
+let test_entry_exit_self_transition () =
+  (* A self-transition exits and re-enters (external semantics). *)
+  let inst = Interp.create entry_exit_machine in
+  ignore (Interp.dispatch inst ~signal:"toggle" ~args:[]);
+  ignore (Interp.dispatch inst ~signal:"self" ~args:[]);
+  check bool_t "re-entered" true (Interp.read_var inst "entries" = Some (Action.V_int 2));
+  check bool_t "exited" true (Interp.read_var inst "exits" = Some (Action.V_int 1))
+
+let test_initial_entry () =
+  let machine =
+    Machine.make ~name:"ie" ~states:[ "start" ] ~initial:"start"
+      ~variables:[ ("booted", Action.V_bool false) ]
+      ~entry_actions:
+        [ ("start", [ Action.assign "booted" (Action.b true) ]) ]
+      []
+  in
+  let inst = Interp.create machine in
+  check bool_t "not yet booted" true
+    (Interp.read_var inst "booted" = Some (Action.V_bool false));
+  ignore (Interp.initial_entry inst);
+  check bool_t "booted after initial entry" true
+    (Interp.read_var inst "booted" = Some (Action.V_bool true))
+
+let test_entry_on_undeclared_state_rejected () =
+  match
+    Machine.make ~name:"bad" ~states:[ "a" ] ~initial:"a"
+      ~entry_actions:[ ("zz", []) ]
+      []
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undeclared entry state accepted"
+
+(* -- notation --------------------------------------------------------- *)
+
+let test_notation_print () =
+  let open Action in
+  check string_t "expr" "((x + 1) * $seq)"
+    (Notation.print_expr (Bin (Mul, Bin (Add, v "x", i 1), p "seq")));
+  check string_t "send" "out!Sig(1, x)"
+    (Notation.print_stmt (send ~port:"out" "Sig" ~args:[ i 1; v "x" ]));
+  check string_t "if" "if (x < 3) { x := (x + 1) }"
+    (Notation.print_stmt (If (v "x" < i 3, [ assign "x" (v "x" + i 1) ], [])))
+
+let test_notation_parse () =
+  let open Action in
+  (match Notation.parse_expr "1 + 2 * 3" with
+  | Ok (Bin (Add, Int 1, Bin (Mul, Int 2, Int 3))) -> ()
+  | Ok e -> Alcotest.failf "wrong precedence: %s" (Notation.print_expr e)
+  | Error e -> Alcotest.fail e);
+  (match Notation.parse_expr "$a != 2 && !done" with
+  | Ok (Bin (And, Bin (Ne, Param "a", Int 2), Not (Var "done"))) -> ()
+  | Ok e -> Alcotest.failf "wrong parse: %s" (Notation.print_expr e)
+  | Error e -> Alcotest.fail e);
+  (match Notation.parse_stmts "x := 1; out!S(x, 2); compute(5)" with
+  | Ok [ Assign ("x", Int 1); Send { port = "out"; signal = "S"; _ }; Compute (Int 5) ]
+    -> ()
+  | Ok _ -> Alcotest.fail "wrong statement list"
+  | Error e -> Alcotest.fail e);
+  match Notation.parse_stmts "while x < 2 { x := x + 1 }" with
+  | Ok [ While (_, [ Assign ("x", _) ]) ] -> ()
+  | Ok _ -> Alcotest.fail "wrong while parse"
+  | Error e -> Alcotest.fail e
+
+let test_notation_parse_errors () =
+  List.iter
+    (fun src ->
+      match Notation.parse_expr src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error for %S" src)
+    [ ""; "1 +"; "(1"; "x ::= 2"; "$" ]
+
+let test_machine_notation_roundtrip () =
+  let text = Notation.print_machine counter_machine in
+  (match Notation.parse_machine text with
+  | Ok m -> check bool_t "counter round-trips" true (m = counter_machine)
+  | Error e -> Alcotest.fail e);
+  let text = Notation.print_machine entry_exit_machine in
+  match Notation.parse_machine text with
+  | Ok m -> check bool_t "entry/exit round-trips" true (m = entry_exit_machine)
+  | Error e -> Alcotest.fail e
+
+let test_machine_notation_parse () =
+  let src =
+    "machine Counter {\n\
+    \  var n : int = -3\n\
+    \  var ok : bool = true\n\
+    \  initial idle\n\
+    \  state idle {\n\
+    \    entry { n := 0 }\n\
+    \    on start [$k > 0] -> busy { n := $k }\n\
+    \  }\n\
+    \  state busy {\n\
+    \    after 1000 -> idle\n\
+    \    completion [n == 0] -> idle\n\
+    \  }\n\
+     }"
+  in
+  match Notation.parse_machine src with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+    check string_t "name" "Counter" m.Machine.name;
+    check (Alcotest.list string_t) "states" [ "idle"; "busy" ] m.Machine.states;
+    check string_t "initial" "idle" m.Machine.initial;
+    check int_t "variables" 2 (List.length m.Machine.variables);
+    check bool_t "negative int var" true
+      (List.assoc "n" m.Machine.variables = Action.V_int (-3));
+    check int_t "transitions" 3 (List.length m.Machine.transitions);
+    check int_t "entry on idle" 1 (List.length (Machine.entry_of m "idle"))
+
+let test_machine_notation_errors () =
+  List.iter
+    (fun src ->
+      match Notation.parse_machine src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected machine parse error for %S" src)
+    [
+      "";
+      "machine {}";
+      "machine M {}";
+      (* no states *)
+      "machine M { state a { bogus } }";
+      "machine M { initial zz state a {} }";
+      "machine M { state a { on s -> zz } }";
+    ]
+
+(* Property: printing then parsing is the identity on ASTs. *)
+
+let gen_expr =
+  QCheck.Gen.(
+    sized @@ fix (fun self size ->
+        let leaf =
+          oneof
+            [
+              map (fun n -> Action.Int n) (int_range 0 1000);
+              map (fun b -> Action.Bool b) bool;
+              map (fun s -> Action.Var s) (oneofl [ "x"; "y"; "count" ]);
+              map (fun s -> Action.Param s) (oneofl [ "seq"; "frag" ]);
+            ]
+        in
+        if size <= 1 then leaf
+        else
+          oneof
+            [
+              leaf;
+              map (fun e -> Action.Neg e) (self (size / 2));
+              map (fun e -> Action.Not e) (self (size / 2));
+              (let* op =
+                 oneofl
+                   [
+                     Action.Add; Action.Sub; Action.Mul; Action.Div; Action.Mod;
+                     Action.Eq; Action.Ne; Action.Lt; Action.Le; Action.Gt;
+                     Action.Ge; Action.And; Action.Or;
+                   ]
+               in
+               let* a = self (size / 2) in
+               let* b = self (size / 2) in
+               return (Action.Bin (op, a, b)));
+            ]))
+
+let gen_stmt =
+  QCheck.Gen.(
+    sized @@ fix (fun self size ->
+        let leaf =
+          oneof
+            [
+              (let* name = oneofl [ "x"; "y" ] in
+               let* e = gen_expr in
+               return (Action.Assign (name, e)));
+              (let* port = oneofl [ "out"; "dp" ] in
+               let* signal = oneofl [ "Sig"; "Data" ] in
+               let* n = int_range 0 2 in
+               let* args = list_repeat n gen_expr in
+               return (Action.Send { port; signal; args }));
+              map (fun e -> Action.Compute e) gen_expr;
+            ]
+        in
+        if size <= 1 then leaf
+        else
+          oneof
+            [
+              leaf;
+              (let* cond = gen_expr in
+               let* nthen = int_range 1 2 in
+               let* then_ = list_repeat nthen (self (size / 2)) in
+               let* nelse = int_range 0 2 in
+               let* else_ = list_repeat nelse (self (size / 2)) in
+               return (Action.If (cond, then_, else_)));
+              (let* cond = gen_expr in
+               let* n = int_range 1 2 in
+               let* body = list_repeat n (self (size / 2)) in
+               return (Action.While (cond, body)));
+            ]))
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~name:"notation expr round-trip" ~count:500
+    (QCheck.make ~print:Notation.print_expr gen_expr)
+    (fun e ->
+      match Notation.parse_expr (Notation.print_expr e) with
+      | Ok e' -> e = e'
+      | Error msg -> QCheck.Test.fail_reportf "parse failed: %s" msg)
+
+let prop_stmt_roundtrip =
+  QCheck.Test.make ~name:"notation stmt round-trip" ~count:300
+    (QCheck.make
+       ~print:(fun stmts -> Notation.print_stmts stmts)
+       QCheck.Gen.(
+         let* n = int_range 1 3 in
+         list_repeat n gen_stmt))
+    (fun stmts ->
+      match Notation.parse_stmts (Notation.print_stmts stmts) with
+      | Ok stmts' -> stmts = stmts'
+      | Error msg -> QCheck.Test.fail_reportf "parse failed: %s" msg)
+
+(* Property: dispatch is deterministic — same machine, same inputs, same
+   states and effects. *)
+let gen_machine =
+  QCheck.Gen.(
+    let states = [ "s0"; "s1"; "s2" ] in
+    let* n_transitions = int_range 0 6 in
+    let gen_transition =
+      let* src = oneofl states in
+      let* dst = oneofl states in
+      let* trigger =
+        oneof
+          [
+            map (fun s -> Machine.On_signal s) (oneofl [ "go"; "stop"; "tick" ]);
+            map (fun n -> Machine.After n) (int_range 1 100000);
+            return Machine.Completion;
+          ]
+      in
+      let* has_guard = bool in
+      let* guard = gen_expr in
+      let* n_actions = int_range 0 2 in
+      let* actions = list_repeat n_actions gen_stmt in
+      return
+        (Machine.transition
+           ?guard:(if has_guard then Some guard else None)
+           ~actions ~src ~dst trigger)
+    in
+    let* transitions = list_repeat n_transitions gen_transition in
+    let* variables =
+      let* vx = int_range (-50) 50 in
+      let* vb = bool in
+      return [ ("x", Action.V_int vx); ("done_", Action.V_bool vb) ]
+    in
+    let gen_state_actions =
+      let* with_actions = bool in
+      if not with_actions then return []
+      else
+        let* state = oneofl states in
+        let* n = int_range 1 2 in
+        let* stmts = list_repeat n gen_stmt in
+        return [ (state, stmts) ]
+    in
+    let* entry_actions = gen_state_actions in
+    let* exit_actions = gen_state_actions in
+    return
+      (Machine.make ~name:"gen" ~states ~initial:"s0" ~variables ~entry_actions
+         ~exit_actions transitions))
+
+(* The printer groups transitions by source state, so compare machines
+   with transitions in that canonical order (relative order per state is
+   preserved, which is all the dispatch semantics depends on). *)
+let canonical_transitions (m : Machine.t) =
+  {
+    m with
+    Machine.transitions =
+      List.concat_map (fun state -> Machine.outgoing m state) m.Machine.states;
+  }
+
+let prop_machine_notation_roundtrip =
+  QCheck.Test.make ~name:"machine notation round-trip" ~count:200
+    (QCheck.make ~print:Notation.print_machine gen_machine)
+    (fun machine ->
+      match Notation.parse_machine (Notation.print_machine machine) with
+      | Ok machine' -> canonical_transitions machine = machine'
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e)
+
+let prop_dispatch_deterministic =
+  QCheck.Test.make ~name:"dispatch deterministic" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 20) (QCheck.int_range 0 3))
+    (fun choices ->
+      let signals = [| "start"; "tick"; "tick"; "tick" |] in
+      let run () =
+        let inst = Interp.create counter_machine in
+        List.map
+          (fun c ->
+            let signal = signals.(c) in
+            let args =
+              if signal = "start" then [ ("init", Action.V_int 0) ] else []
+            in
+            let step = Interp.dispatch inst ~signal ~args in
+            (Interp.state inst, List.length step.Interp.effects))
+          choices
+      in
+      run () = run ())
+
+let () =
+  Alcotest.run "efsm"
+    [
+      ( "action",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "params" `Quick test_params;
+          Alcotest.test_case "type errors" `Quick test_type_errors;
+          Alcotest.test_case "assign and effects" `Quick test_exec_assign_and_effects;
+          Alcotest.test_case "if/while" `Quick test_exec_if_while;
+          Alcotest.test_case "zero compute elided" `Quick
+            test_exec_zero_compute_elided;
+          Alcotest.test_case "loop bound" `Quick test_exec_loop_bound;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "check ok" `Quick test_machine_check_ok;
+          Alcotest.test_case "check errors" `Quick test_machine_check_errors;
+          Alcotest.test_case "signal sets" `Quick test_machine_signals;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "dispatch sequence" `Quick test_dispatch_sequence;
+          Alcotest.test_case "discard" `Quick test_dispatch_discard;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "timer" `Quick test_timer;
+          Alcotest.test_case "completion chain" `Quick test_completion_chain;
+          Alcotest.test_case "completion livelock" `Quick
+            test_completion_livelock_detected;
+        ] );
+      ( "entry_exit",
+        [
+          Alcotest.test_case "fire order" `Quick test_entry_exit_fire;
+          Alcotest.test_case "self transition" `Quick
+            test_entry_exit_self_transition;
+          Alcotest.test_case "initial entry" `Quick test_initial_entry;
+          Alcotest.test_case "undeclared state rejected" `Quick
+            test_entry_on_undeclared_state_rejected;
+        ] );
+      ( "notation",
+        [
+          Alcotest.test_case "print" `Quick test_notation_print;
+          Alcotest.test_case "parse" `Quick test_notation_parse;
+          Alcotest.test_case "parse errors" `Quick test_notation_parse_errors;
+          Alcotest.test_case "machine round-trip" `Quick
+            test_machine_notation_roundtrip;
+          Alcotest.test_case "machine parse" `Quick test_machine_notation_parse;
+          Alcotest.test_case "machine parse errors" `Quick
+            test_machine_notation_errors;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+          QCheck_alcotest.to_alcotest prop_stmt_roundtrip;
+          QCheck_alcotest.to_alcotest prop_machine_notation_roundtrip;
+          QCheck_alcotest.to_alcotest prop_dispatch_deterministic;
+        ] );
+    ]

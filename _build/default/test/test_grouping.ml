@@ -1,0 +1,179 @@
+(* Tests for automatic process grouping (Dse.Grouping) — the paper's
+   planned "automatic grouping according to the profiling information
+   and process types" tool. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let short_config =
+  { Tutmac.Scenario.default with Tutmac.Scenario.duration_ns = 200_000_000L }
+
+let context () =
+  let builder = Tutmac.Scenario.build_model short_config in
+  let view = Tut_profile.Builder.view builder in
+  match Tutmac.Scenario.run short_config with
+  | Ok result -> (builder, view, result.Tutmac.Scenario.report)
+  | Error e -> Alcotest.failf "scenario: %s" e
+
+let part_ref owner part = Uml.Element.Part_ref { class_name = owner; part }
+
+let test_current_assignment () =
+  let _, view, _ = context () in
+  let current = Dse.Grouping.current view in
+  check int_t "eight processes" 8 (List.length current);
+  let group_of owner part =
+    List.find_map
+      (fun (r, g) ->
+        if Uml.Element.equal r (part_ref owner part) then Some g else None)
+      current
+  in
+  check (Alcotest.option Alcotest.string) "rca" (Some "group1")
+    (group_of "Tutmac_Protocol" "rca");
+  check (Alcotest.option Alcotest.string) "crc" (Some "group4")
+    (group_of "DataProcessing" "crc")
+
+let test_traffic_objective () =
+  let _, view, report = context () in
+  let current = Dse.Grouping.current view in
+  let baseline = Dse.Grouping.inter_group_traffic ~view ~report current in
+  check bool_t "baseline positive" true (baseline > 0);
+  (* Moving frag next to the crc group is illegal (type mismatch) but the
+     objective itself must drop when the heavy frag<->crc edge becomes
+     internal; emulate by moving crc conceptually into group3. *)
+  let merged =
+    List.map
+      (fun (r, g) ->
+        if Uml.Element.equal r (part_ref "DataProcessing" "crc") then (r, "group3")
+        else (r, g))
+      current
+  in
+  check bool_t "merging heavy edge reduces traffic" true
+    (Dse.Grouping.inter_group_traffic ~view ~report merged < baseline)
+
+let test_suggest_improves () =
+  let _, view, report = context () in
+  let suggestion = Dse.Grouping.suggest ~view ~report in
+  check bool_t "never worse" true
+    (suggestion.Dse.Grouping.after <= suggestion.Dse.Grouping.before);
+  (* TUTMAC's heavy flows are all inter-group, so greedy must find
+     improving moves. *)
+  check bool_t "found improvement" true
+    (suggestion.Dse.Grouping.after < suggestion.Dse.Grouping.before);
+  check bool_t "moves recorded" true (suggestion.Dse.Grouping.moves <> []);
+  (* Consistency: the reported 'after' equals the objective of the final
+     assignment. *)
+  check int_t "after matches assignment"
+    suggestion.Dse.Grouping.after
+    (Dse.Grouping.inter_group_traffic ~view ~report
+       suggestion.Dse.Grouping.assignment)
+
+let test_suggest_respects_types () =
+  let _, view, report = context () in
+  let suggestion = Dse.Grouping.suggest ~view ~report in
+  (* crc is the only hardware process: it must stay in a hardware group
+     (group4 is also Fixed in spirit via R15, and no other hardware group
+     exists). *)
+  let crc_group =
+    List.find_map
+      (fun (r, g) ->
+        if Uml.Element.equal r (part_ref "DataProcessing" "crc") then Some g
+        else None)
+      suggestion.Dse.Grouping.assignment
+  in
+  check (Alcotest.option Alcotest.string) "crc stays hardware" (Some "group4")
+    crc_group
+
+let test_apply_roundtrip () =
+  let builder, view, report = context () in
+  let suggestion = Dse.Grouping.suggest ~view ~report in
+  let builder' = Dse.Grouping.apply builder suggestion.Dse.Grouping.assignment in
+  let view' = Tut_profile.Builder.view builder' in
+  (* The new model's grouping equals the suggestion. *)
+  let norm a =
+    List.sort compare
+      (List.map (fun (r, g) -> (Uml.Element.to_string r, g)) a)
+  in
+  check bool_t "model reflects assignment" true
+    (norm (Dse.Grouping.current view') = norm suggestion.Dse.Grouping.assignment);
+  (* Regrouping must not break any design rule except possibly mapping
+     warnings for emptied groups; errors must stay absent. *)
+  let validation = Tut_profile.Builder.validate builder' in
+  check bool_t "no rule errors" true (Tut_profile.Rules.is_valid validation)
+
+let test_apply_rejects_type_mismatch () =
+  let builder, view, _ = context () in
+  let current = Dse.Grouping.current view in
+  let bad =
+    List.map
+      (fun (r, g) ->
+        if Uml.Element.equal r (part_ref "DataProcessing" "frag") then (r, "group4")
+        else (r, g))
+      current
+  in
+  Alcotest.check_raises "type mismatch"
+    (Invalid_argument "Dse.Grouping.apply: ProcessType mismatch") (fun () ->
+      ignore (Dse.Grouping.apply builder bad))
+
+let test_apply_respects_fixed_grouping () =
+  (* Fix rca's grouping dependency, then try to move it. *)
+  let builder, view, _ = context () in
+  let apps =
+    Profile.Apply.set_value
+      (Tut_profile.Builder.apps builder)
+      ~element:(Uml.Element.Dependency_ref "grp_rca")
+      ~stereotype:Tut_profile.Stereotypes.process_grouping "Fixed"
+      (Profile.Tag.V_bool true)
+  in
+  let builder = { builder with Tut_profile.Builder.apps = apps } in
+  let current = Dse.Grouping.current view in
+  let moved =
+    List.map
+      (fun (r, g) ->
+        if Uml.Element.equal r (part_ref "Tutmac_Protocol" "rca") then
+          (r, "group2")
+        else (r, g))
+      current
+  in
+  Alcotest.check_raises "fixed grouping"
+    (Invalid_argument "Dse.Grouping.apply: fixed grouping moved") (fun () ->
+      ignore (Dse.Grouping.apply builder moved));
+  (* And suggest never proposes moving it. *)
+  let view' = Tut_profile.Builder.view builder in
+  let _, _, report = context () in
+  let suggestion = Dse.Grouping.suggest ~view:view' ~report in
+  check bool_t "rca untouched" true
+    (List.for_all
+       (fun (r, _, _) ->
+         not (Uml.Element.equal r (part_ref "Tutmac_Protocol" "rca")))
+       suggestion.Dse.Grouping.moves)
+
+let test_apply_identity_is_noop () =
+  let builder, view, _ = context () in
+  let builder' = Dse.Grouping.apply builder (Dse.Grouping.current view) in
+  check bool_t "model unchanged" true
+    (Tut_profile.Builder.model builder' = Tut_profile.Builder.model builder)
+
+let () =
+  Alcotest.run "grouping"
+    [
+      ( "objective",
+        [
+          Alcotest.test_case "current assignment" `Quick test_current_assignment;
+          Alcotest.test_case "traffic objective" `Quick test_traffic_objective;
+        ] );
+      ( "suggest",
+        [
+          Alcotest.test_case "improves" `Quick test_suggest_improves;
+          Alcotest.test_case "respects types" `Quick test_suggest_respects_types;
+        ] );
+      ( "apply",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_apply_roundtrip;
+          Alcotest.test_case "rejects type mismatch" `Quick
+            test_apply_rejects_type_mismatch;
+          Alcotest.test_case "respects fixed" `Quick
+            test_apply_respects_fixed_grouping;
+          Alcotest.test_case "identity noop" `Quick test_apply_identity_is_noop;
+        ] );
+    ]

@@ -1,0 +1,295 @@
+(* Tests for the HIBI interconnect model: topology, routing, transfers,
+   arbitration, MaxTime chunking, conservation. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let int64_t = Alcotest.int64
+
+(* The Figure 7 topology: seg1 (cpu1, cpu2), seg2 (cpu3, acc), bridge. *)
+let figure7 engine =
+  let net = Hibi.Network.create engine in
+  Hibi.Network.add_segment net ~name:"seg1" ~data_width_bits:32
+    ~frequency_mhz:50 ~arbitration:Hibi.Network.Priority ();
+  Hibi.Network.add_segment net ~name:"seg2" ~data_width_bits:32
+    ~frequency_mhz:50 ~arbitration:Hibi.Network.Priority ();
+  Hibi.Network.add_segment net ~name:"bridge" ~data_width_bits:32
+    ~frequency_mhz:50 ~arbitration:Hibi.Network.Priority ();
+  Hibi.Network.add_agent_wrapper net ~name:"w1" ~agent:"cpu1" ~address:0x10
+    ~segment:"seg1" ~bus_priority:2 ();
+  Hibi.Network.add_agent_wrapper net ~name:"w2" ~agent:"cpu2" ~address:0x11
+    ~segment:"seg1" ~bus_priority:1 ();
+  Hibi.Network.add_agent_wrapper net ~name:"w3" ~agent:"cpu3" ~address:0x20
+    ~segment:"seg2" ();
+  Hibi.Network.add_agent_wrapper net ~name:"w4" ~agent:"acc" ~address:0x21
+    ~segment:"seg2" ();
+  Hibi.Network.add_bridge_wrapper net ~name:"b1" ~address:0x30
+    ~segments:("seg1", "bridge") ();
+  Hibi.Network.add_bridge_wrapper net ~name:"b2" ~address:0x31
+    ~segments:("seg2", "bridge") ();
+  net
+
+let test_topology_errors () =
+  let engine = Sim.Engine.create () in
+  let net = figure7 engine in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () ->
+      Hibi.Network.add_segment net ~name:"seg1" ~data_width_bits:32
+        ~frequency_mhz:50 ~arbitration:Hibi.Network.Priority ());
+  expect_invalid (fun () ->
+      Hibi.Network.add_agent_wrapper net ~name:"w9" ~agent:"cpu9" ~address:0x10
+        ~segment:"seg1" ());
+  expect_invalid (fun () ->
+      Hibi.Network.add_agent_wrapper net ~name:"w10" ~agent:"cpu1" ~address:0x99
+        ~segment:"seg1" ());
+  expect_invalid (fun () ->
+      Hibi.Network.add_agent_wrapper net ~name:"w11" ~agent:"cpu11"
+        ~address:0x9A ~segment:"nosuch" ())
+
+let test_routing () =
+  let engine = Sim.Engine.create () in
+  let net = figure7 engine in
+  check (Alcotest.result (Alcotest.list Alcotest.string) Alcotest.string)
+    "same segment" (Ok [ "seg1" ])
+    (Hibi.Network.route net ~src:"cpu1" ~dst:"cpu2");
+  check (Alcotest.result (Alcotest.list Alcotest.string) Alcotest.string)
+    "across bridge"
+    (Ok [ "seg1"; "bridge"; "seg2" ])
+    (Hibi.Network.route net ~src:"cpu1" ~dst:"acc");
+  check (Alcotest.result (Alcotest.list Alcotest.string) Alcotest.string)
+    "self" (Ok [])
+    (Hibi.Network.route net ~src:"cpu1" ~dst:"cpu1");
+  check bool_t "unknown agent errors" true
+    (Result.is_error (Hibi.Network.route net ~src:"ghost" ~dst:"cpu1"))
+
+let run_send ?(words = 8) net engine ~src ~dst =
+  let delivered_at = ref None in
+  (match
+     Hibi.Network.send net ~src ~dst ~words ~on_delivered:(fun () ->
+         delivered_at := Some (Sim.Engine.now engine))
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  ignore (Sim.Engine.run engine);
+  match !delivered_at with
+  | Some t -> t
+  | None -> Alcotest.fail "transfer never delivered"
+
+let test_local_send () =
+  let engine = Sim.Engine.create () in
+  let net = figure7 engine in
+  let t = run_send net engine ~src:"cpu1" ~dst:"cpu1" in
+  check bool_t "local delivery is fast" true (t <= 20L)
+
+let test_single_hop_timing () =
+  let engine = Sim.Engine.create () in
+  let net = figure7 engine in
+  (* 8 words on a 32-bit 50 MHz segment: 1 arbitration + 8 data cycles at
+     20 ns. *)
+  let t = run_send ~words:8 net engine ~src:"cpu1" ~dst:"cpu2" in
+  check int64_t "single hop" 180L t
+
+let test_multi_hop_slower () =
+  let engine = Sim.Engine.create () in
+  let net = figure7 engine in
+  let t1 = run_send ~words:8 net engine ~src:"cpu1" ~dst:"cpu2" in
+  let engine2 = Sim.Engine.create () in
+  let net2 = figure7 engine2 in
+  let t3 = run_send ~words:8 net2 engine2 ~src:"cpu1" ~dst:"acc" in
+  check bool_t "three hops cost more" true (t3 > Int64.mul 2L t1)
+
+let test_words_conserved () =
+  let engine = Sim.Engine.create () in
+  let net = figure7 engine in
+  ignore (run_send ~words:13 net engine ~src:"cpu1" ~dst:"acc");
+  List.iter
+    (fun seg ->
+      let stats = Hibi.Network.stats net ~segment:seg in
+      check int64_t (seg ^ " words") 13L stats.Hibi.Network.words)
+    [ "seg1"; "bridge"; "seg2" ]
+
+let test_max_send_size_chunks () =
+  let engine = Sim.Engine.create () in
+  let net = Hibi.Network.create engine in
+  Hibi.Network.add_segment net ~name:"s" ~data_width_bits:32 ~frequency_mhz:50
+    ~arbitration:Hibi.Network.Priority ~max_send_size:4 ();
+  Hibi.Network.add_agent_wrapper net ~name:"wa" ~agent:"a" ~address:1
+    ~segment:"s" ~buffer_size:64 ();
+  Hibi.Network.add_agent_wrapper net ~name:"wb" ~agent:"b" ~address:2
+    ~segment:"s" ~buffer_size:64 ();
+  ignore (run_send ~words:16 net engine ~src:"a" ~dst:"b");
+  let stats = Hibi.Network.stats net ~segment:"s" in
+  check int64_t "four grants of four words" 4L stats.Hibi.Network.grants
+
+let test_unreachable_route () =
+  (* Two segments with no bridge: agents cannot reach each other. *)
+  let engine = Sim.Engine.create () in
+  let net = Hibi.Network.create engine in
+  Hibi.Network.add_segment net ~name:"s1" ~data_width_bits:32 ~frequency_mhz:50
+    ~arbitration:Hibi.Network.Priority ();
+  Hibi.Network.add_segment net ~name:"s2" ~data_width_bits:32 ~frequency_mhz:50
+    ~arbitration:Hibi.Network.Priority ();
+  Hibi.Network.add_agent_wrapper net ~name:"wa" ~agent:"a" ~address:1
+    ~segment:"s1" ();
+  Hibi.Network.add_agent_wrapper net ~name:"wb" ~agent:"b" ~address:2
+    ~segment:"s2" ();
+  check bool_t "route fails" true
+    (Result.is_error (Hibi.Network.route net ~src:"a" ~dst:"b"));
+  check bool_t "send fails" true
+    (Result.is_error
+       (Hibi.Network.send net ~src:"a" ~dst:"b" ~words:4
+          ~on_delivered:(fun () -> ())))
+
+let test_buffer_limits_chunk () =
+  (* A 2-word buffer forces 2-word grants even with a large MaxSendSize. *)
+  let engine = Sim.Engine.create () in
+  let net = Hibi.Network.create engine in
+  Hibi.Network.add_segment net ~name:"s" ~data_width_bits:32 ~frequency_mhz:50
+    ~arbitration:Hibi.Network.Priority ~max_send_size:64 ();
+  Hibi.Network.add_agent_wrapper net ~name:"wa" ~agent:"a" ~address:1
+    ~segment:"s" ~buffer_size:2 ();
+  Hibi.Network.add_agent_wrapper net ~name:"wb" ~agent:"b" ~address:2
+    ~segment:"s" ~buffer_size:64 ();
+  ignore (run_send ~words:8 net engine ~src:"a" ~dst:"b");
+  check int64_t "four grants of two words" 4L
+    (Hibi.Network.stats net ~segment:"s").Hibi.Network.grants
+
+let test_wide_bus_fewer_cycles () =
+  (* A 64-bit segment moves two words per cycle: same words, shorter time. *)
+  let narrow_time =
+    let engine = Sim.Engine.create () in
+    let net = Hibi.Network.create engine in
+    Hibi.Network.add_segment net ~name:"s" ~data_width_bits:32 ~frequency_mhz:50
+      ~arbitration:Hibi.Network.Priority ();
+    Hibi.Network.add_agent_wrapper net ~name:"wa" ~agent:"a" ~address:1 ~segment:"s" ();
+    Hibi.Network.add_agent_wrapper net ~name:"wb" ~agent:"b" ~address:2 ~segment:"s" ();
+    run_send ~words:16 net engine ~src:"a" ~dst:"b"
+  in
+  let wide_time =
+    let engine = Sim.Engine.create () in
+    let net = Hibi.Network.create engine in
+    Hibi.Network.add_segment net ~name:"s" ~data_width_bits:64 ~frequency_mhz:50
+      ~arbitration:Hibi.Network.Priority ();
+    Hibi.Network.add_agent_wrapper net ~name:"wa" ~agent:"a" ~address:1 ~segment:"s" ();
+    Hibi.Network.add_agent_wrapper net ~name:"wb" ~agent:"b" ~address:2 ~segment:"s" ();
+    run_send ~words:16 net engine ~src:"a" ~dst:"b"
+  in
+  check bool_t "wide bus faster" true (wide_time < narrow_time)
+
+let test_priority_arbitration () =
+  (* Two agents contend; the higher bus-priority one wins the segment
+     when it frees even if it requested later. *)
+  let engine = Sim.Engine.create () in
+  let net = Hibi.Network.create engine in
+  Hibi.Network.add_segment net ~name:"s" ~data_width_bits:32 ~frequency_mhz:50
+    ~arbitration:Hibi.Network.Priority ();
+  Hibi.Network.add_agent_wrapper net ~name:"wlow" ~agent:"low" ~address:1
+    ~segment:"s" ~bus_priority:0 ();
+  Hibi.Network.add_agent_wrapper net ~name:"whigh" ~agent:"high" ~address:2
+    ~segment:"s" ~bus_priority:9 ();
+  Hibi.Network.add_agent_wrapper net ~name:"wsink" ~agent:"sink" ~address:3
+    ~segment:"s" ();
+  let finished = ref [] in
+  let send src =
+    match
+      Hibi.Network.send net ~src ~dst:"sink" ~words:8 ~on_delivered:(fun () ->
+          finished := src :: !finished)
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e
+  in
+  (* Occupy the bus, then queue low before high. *)
+  send "low";
+  send "low";
+  send "high";
+  ignore (Sim.Engine.run engine);
+  check (Alcotest.list Alcotest.string) "high overtakes queued low"
+    [ "low"; "high"; "low" ]
+    (List.rev !finished)
+
+let test_round_robin_arbitration () =
+  let engine = Sim.Engine.create () in
+  let net = Hibi.Network.create engine in
+  Hibi.Network.add_segment net ~name:"s" ~data_width_bits:32 ~frequency_mhz:50
+    ~arbitration:Hibi.Network.Round_robin ();
+  Hibi.Network.add_agent_wrapper net ~name:"w1" ~agent:"a1" ~address:1
+    ~segment:"s" ~bus_priority:0 ();
+  Hibi.Network.add_agent_wrapper net ~name:"w2" ~agent:"a2" ~address:2
+    ~segment:"s" ~bus_priority:9 ();
+  Hibi.Network.add_agent_wrapper net ~name:"wsink" ~agent:"sink" ~address:3
+    ~segment:"s" ();
+  let finished = ref [] in
+  let send src =
+    match
+      Hibi.Network.send net ~src ~dst:"sink" ~words:4 ~on_delivered:(fun () ->
+          finished := src :: !finished)
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e
+  in
+  (* Under round-robin the high-bus-priority agent cannot monopolise:
+     with both queued the grants alternate by address. *)
+  send "a1";
+  send "a2";
+  send "a1";
+  send "a2";
+  ignore (Sim.Engine.run engine);
+  check int_t "all delivered" 4 (List.length !finished);
+  (* a1 (address 1) and a2 (address 2) alternate. *)
+  check (Alcotest.list Alcotest.string) "alternating grants"
+    [ "a1"; "a2"; "a1"; "a2" ]
+    (List.rev !finished)
+
+(* Property: for any number of words, exactly [words] cross each segment
+   on the route, and delivery always happens. *)
+let prop_conservation =
+  QCheck.Test.make ~name:"word conservation on multi-hop routes" ~count:100
+    QCheck.(int_range 1 200)
+    (fun words ->
+      let engine = Sim.Engine.create () in
+      let net = figure7 engine in
+      let delivered = ref false in
+      (match
+         Hibi.Network.send net ~src:"cpu2" ~dst:"cpu3" ~words
+           ~on_delivered:(fun () -> delivered := true)
+       with
+      | Ok () -> ()
+      | Error _ -> ());
+      ignore (Sim.Engine.run engine);
+      !delivered
+      && List.for_all
+           (fun seg ->
+             (Hibi.Network.stats net ~segment:seg).Hibi.Network.words
+             = Int64.of_int words)
+           [ "seg1"; "bridge"; "seg2" ])
+
+let () =
+  Alcotest.run "hibi"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "construction errors" `Quick test_topology_errors;
+          Alcotest.test_case "routing" `Quick test_routing;
+        ] );
+      ( "transfers",
+        [
+          Alcotest.test_case "local send" `Quick test_local_send;
+          Alcotest.test_case "single hop timing" `Quick test_single_hop_timing;
+          Alcotest.test_case "multi hop slower" `Quick test_multi_hop_slower;
+          Alcotest.test_case "words conserved" `Quick test_words_conserved;
+          Alcotest.test_case "max send size chunks" `Quick test_max_send_size_chunks;
+          Alcotest.test_case "unreachable route" `Quick test_unreachable_route;
+          Alcotest.test_case "buffer limits chunk" `Quick test_buffer_limits_chunk;
+          Alcotest.test_case "wide bus faster" `Quick test_wide_bus_fewer_cycles;
+        ] );
+      ( "arbitration",
+        [
+          Alcotest.test_case "priority" `Quick test_priority_arbitration;
+          Alcotest.test_case "round robin" `Quick test_round_robin_arbitration;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_conservation ]);
+    ]

@@ -1,0 +1,244 @@
+(* Tests for hierarchical state machines and their flattening. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+open Efsm
+
+let tr = Machine.transition
+let on s = Machine.On_signal s
+
+(* A connection-oriented machine:
+
+   Disconnected --connect--> Connected(initial Idle)
+     Connected: Idle --data--> Busy, Busy --done--> Idle,
+                Busy --urgent--> Busy (inner handler for "reset")
+     Connected --disconnect--> Disconnected   (composite-level)
+     Connected --reset--> Connected           (composite-level: re-enter) *)
+let sample =
+  {
+    Hsm.name = "conn";
+    Hsm.states =
+      [
+        Hsm.simple "Disconnected";
+        Hsm.composite ~name:"Connected" ~initial:"Idle"
+          [
+            Hsm.simple "Idle";
+            Hsm.composite ~name:"Active" ~initial:"Busy" [ Hsm.simple "Busy" ];
+          ];
+      ];
+    Hsm.initial = "Disconnected";
+    Hsm.variables = [ ("resets", Action.V_int 0); ("inner", Action.V_int 0) ];
+    Hsm.transitions =
+      [
+        tr ~src:"Disconnected" ~dst:"Connected" (on "connect");
+        tr ~src:"Idle" ~dst:"Active" (on "data");
+        tr ~src:"Busy" ~dst:"Idle" (on "done");
+        (* Inner handler shadows the composite-level reset while Busy. *)
+        tr ~src:"Busy" ~dst:"Busy" (on "reset")
+          ~actions:Action.[ assign "inner" (v "inner" + i 1) ];
+        tr ~src:"Connected" ~dst:"Disconnected" (on "disconnect");
+        tr ~src:"Connected" ~dst:"Connected" (on "reset")
+          ~actions:Action.[ assign "resets" (v "resets" + i 1) ];
+      ];
+  }
+
+let flat () =
+  match Hsm.flatten sample with
+  | Ok machine -> machine
+  | Error problems -> Alcotest.failf "flatten: %s" (String.concat "; " problems)
+
+let test_check_valid () =
+  check (Alcotest.list string_t) "no problems" [] (Hsm.check sample)
+
+let test_leaf_names () =
+  check (Alcotest.list string_t) "leaves"
+    [ "Disconnected"; "Idle"; "Busy" ]
+    (Hsm.leaf_names sample)
+
+let test_flat_shape () =
+  let machine = flat () in
+  check (Alcotest.list string_t) "flat states"
+    [ "Disconnected"; "Idle"; "Busy" ]
+    machine.Machine.states;
+  check string_t "flat initial" "Disconnected" machine.Machine.initial
+
+let test_entry_descends () =
+  let inst = Interp.create (flat ()) in
+  ignore (Interp.dispatch inst ~signal:"connect" ~args:[]);
+  (* Entering Connected lands in its initial leaf Idle. *)
+  check string_t "entered initial leaf" "Idle" (Interp.state inst)
+
+let test_nested_entry () =
+  let inst = Interp.create (flat ()) in
+  ignore (Interp.dispatch inst ~signal:"connect" ~args:[]);
+  ignore (Interp.dispatch inst ~signal:"data" ~args:[]);
+  (* Target "Active" is composite; entry goes to Busy. *)
+  check string_t "nested initial" "Busy" (Interp.state inst)
+
+let test_inherited_transition () =
+  let inst = Interp.create (flat ()) in
+  ignore (Interp.dispatch inst ~signal:"connect" ~args:[]);
+  ignore (Interp.dispatch inst ~signal:"data" ~args:[]);
+  (* disconnect is declared on Connected but must fire from leaf Busy. *)
+  let step = Interp.dispatch inst ~signal:"disconnect" ~args:[] in
+  check bool_t "fired" true (step.Interp.fired <> None);
+  check string_t "back to Disconnected" "Disconnected" (Interp.state inst)
+
+let test_inner_first_priority () =
+  let inst = Interp.create (flat ()) in
+  ignore (Interp.dispatch inst ~signal:"connect" ~args:[]);
+  ignore (Interp.dispatch inst ~signal:"data" ~args:[]);
+  (* In Busy, the inner reset handler wins over the composite's. *)
+  ignore (Interp.dispatch inst ~signal:"reset" ~args:[]);
+  check bool_t "inner handler ran" true
+    (Interp.read_var inst "inner" = Some (Action.V_int 1));
+  check bool_t "outer handler did not" true
+    (Interp.read_var inst "resets" = Some (Action.V_int 0));
+  check string_t "stayed Busy" "Busy" (Interp.state inst);
+  (* In Idle, only the composite-level reset exists: it re-enters
+     Connected, i.e. lands in Idle again, counting once. *)
+  ignore (Interp.dispatch inst ~signal:"done" ~args:[]);
+  ignore (Interp.dispatch inst ~signal:"reset" ~args:[]);
+  check bool_t "outer handler ran from Idle" true
+    (Interp.read_var inst "resets" = Some (Action.V_int 1));
+  check string_t "re-entered initial leaf" "Idle" (Interp.state inst)
+
+let test_simple_machine_unchanged () =
+  (* A hierarchy with no composites flattens to itself. *)
+  let plain =
+    {
+      Hsm.name = "plain";
+      Hsm.states = [ Hsm.simple "a"; Hsm.simple "b" ];
+      Hsm.initial = "a";
+      Hsm.variables = [];
+      Hsm.transitions = [ tr ~src:"a" ~dst:"b" (on "go") ];
+    }
+  in
+  match Hsm.flatten plain with
+  | Error problems -> Alcotest.failf "flatten: %s" (String.concat "; " problems)
+  | Ok machine ->
+    check (Alcotest.list string_t) "states" [ "a"; "b" ] machine.Machine.states;
+    check int_t "transitions" 1 (List.length machine.Machine.transitions)
+
+let test_check_errors () =
+  let expect_problems hsm = Hsm.check hsm <> [] in
+  check bool_t "duplicate names" true
+    (expect_problems
+       {
+         Hsm.name = "d";
+         Hsm.states = [ Hsm.simple "a"; Hsm.simple "a" ];
+         Hsm.initial = "a";
+         Hsm.variables = [];
+         Hsm.transitions = [];
+       });
+  check bool_t "bad composite initial" true
+    (expect_problems
+       {
+         Hsm.name = "d";
+         Hsm.states =
+           [ Hsm.composite ~name:"c" ~initial:"zz" [ Hsm.simple "x" ] ];
+         Hsm.initial = "c";
+         Hsm.variables = [];
+         Hsm.transitions = [];
+       });
+  check bool_t "unknown machine initial" true
+    (expect_problems
+       {
+         Hsm.name = "d";
+         Hsm.states = [ Hsm.simple "a" ];
+         Hsm.initial = "zz";
+         Hsm.variables = [];
+         Hsm.transitions = [];
+       });
+  check bool_t "dangling transition" true
+    (expect_problems
+       {
+         Hsm.name = "d";
+         Hsm.states = [ Hsm.simple "a" ];
+         Hsm.initial = "a";
+         Hsm.variables = [];
+         Hsm.transitions = [ tr ~src:"a" ~dst:"zz" (on "x") ];
+       });
+  match
+    Hsm.flatten
+      {
+        Hsm.name = "d";
+        Hsm.states = [ Hsm.simple "a"; Hsm.simple "a" ];
+        Hsm.initial = "a";
+        Hsm.variables = [];
+        Hsm.transitions = [];
+      }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "flatten accepted an invalid hierarchy"
+
+let test_composite_raises_on_empty () =
+  match Hsm.composite ~name:"c" ~initial:"x" [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty composite accepted"
+
+(* Property: for machines without composites, flattening is the identity
+   on the reachable behaviour — dispatching any signal sequence yields
+   the same states. *)
+let prop_flat_identity =
+  QCheck.Test.make ~name:"flattening trivial hierarchies is identity" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 15) (QCheck.int_range 0 2))
+    (fun choices ->
+      let plain_machine =
+        Machine.make ~name:"m" ~states:[ "a"; "b"; "c" ] ~initial:"a"
+          [
+            tr ~src:"a" ~dst:"b" (on "s0");
+            tr ~src:"b" ~dst:"c" (on "s1");
+            tr ~src:"c" ~dst:"a" (on "s2");
+          ]
+      in
+      let hsm =
+        {
+          Hsm.name = "m";
+          Hsm.states = [ Hsm.simple "a"; Hsm.simple "b"; Hsm.simple "c" ];
+          Hsm.initial = "a";
+          Hsm.variables = [];
+          Hsm.transitions = plain_machine.Machine.transitions;
+        }
+      in
+      match Hsm.flatten hsm with
+      | Error _ -> false
+      | Ok flat_machine ->
+        let run machine =
+          let inst = Interp.create machine in
+          List.map
+            (fun c ->
+              ignore
+                (Interp.dispatch inst
+                   ~signal:(Printf.sprintf "s%d" c)
+                   ~args:[]);
+              Interp.state inst)
+            choices
+        in
+        run plain_machine = run flat_machine)
+
+let () =
+  Alcotest.run "hsm"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "check valid" `Quick test_check_valid;
+          Alcotest.test_case "leaf names" `Quick test_leaf_names;
+          Alcotest.test_case "flat shape" `Quick test_flat_shape;
+          Alcotest.test_case "check errors" `Quick test_check_errors;
+          Alcotest.test_case "empty composite" `Quick test_composite_raises_on_empty;
+          Alcotest.test_case "trivial hierarchy unchanged" `Quick
+            test_simple_machine_unchanged;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "entry descends" `Quick test_entry_descends;
+          Alcotest.test_case "nested entry" `Quick test_nested_entry;
+          Alcotest.test_case "inherited transition" `Quick test_inherited_transition;
+          Alcotest.test_case "inner-first priority" `Quick test_inner_first_priority;
+          QCheck_alcotest.to_alcotest prop_flat_identity;
+        ] );
+    ]

@@ -1,0 +1,335 @@
+(* Tests for the generic profile mechanism: tag typing, stereotype
+   definitions, specialisation, application checking. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+open Profile
+
+(* -- tags ------------------------------------------------------------- *)
+
+let test_well_typed () =
+  check bool_t "int" true (Tag.well_typed Tag.T_int (Tag.V_int 3));
+  check bool_t "float" true (Tag.well_typed Tag.T_float (Tag.V_float 1.5));
+  check bool_t "bool" true (Tag.well_typed Tag.T_bool (Tag.V_bool true));
+  check bool_t "string" true (Tag.well_typed Tag.T_string (Tag.V_string "x"));
+  check bool_t "enum member" true
+    (Tag.well_typed (Tag.T_enum [ "a"; "b" ]) (Tag.V_enum "a"));
+  check bool_t "enum non-member" false
+    (Tag.well_typed (Tag.T_enum [ "a"; "b" ]) (Tag.V_enum "c"));
+  check bool_t "mismatch" false (Tag.well_typed Tag.T_int (Tag.V_bool true))
+
+let test_value_strings () =
+  let roundtrip ty value =
+    Tag.value_of_string ty (Tag.value_to_string value) = Some value
+  in
+  check bool_t "int" true (roundtrip Tag.T_int (Tag.V_int (-7)));
+  check bool_t "float" true (roundtrip Tag.T_float (Tag.V_float 3.25));
+  check bool_t "bool" true (roundtrip Tag.T_bool (Tag.V_bool false));
+  check bool_t "string" true (roundtrip Tag.T_string (Tag.V_string "hello"));
+  check bool_t "enum" true
+    (roundtrip (Tag.T_enum [ "hard"; "soft" ]) (Tag.V_enum "soft"));
+  check bool_t "bad int" true (Tag.value_of_string Tag.T_int "xyz" = None);
+  check bool_t "bad enum" true
+    (Tag.value_of_string (Tag.T_enum [ "a" ]) "b" = None)
+
+let test_def_default_typed () =
+  Alcotest.check_raises "ill-typed default"
+    (Invalid_argument "Profile.Tag.def: ill-typed default for t") (fun () ->
+      ignore
+        (Tag.def ~default:(Tag.V_bool true) ~name:"t" ~ty:Tag.T_int "doc"))
+
+(* -- profiles ---------------------------------------------------------- *)
+
+let base =
+  Stereotype.make ~name:"Base" ~extends:Uml.Element.M_part
+    ~tags:[ Tag.def ~name:"Size" ~ty:Tag.T_int "size" ]
+    ()
+
+let derived =
+  Stereotype.make ~name:"Derived" ~extends:Uml.Element.M_part ~parent:"Base"
+    ~tags:[ Tag.def ~name:"Extra" ~ty:Tag.T_bool "extra" ]
+    ()
+
+let class_st =
+  Stereotype.make ~name:"OnClass" ~extends:Uml.Element.M_class
+    ~tags:
+      [
+        Tag.def ~required:true ~name:"Id" ~ty:Tag.T_int "id";
+        Tag.def
+          ~default:(Tag.V_enum "none")
+          ~name:"Rt"
+          ~ty:(Tag.T_enum [ "hard"; "none" ])
+          "rt";
+      ]
+    ()
+
+let test_profile = Stereotype.profile ~name:"Test" [ base; derived; class_st ]
+
+let test_profile_construction_errors () =
+  let expect_invalid stereotypes =
+    match Stereotype.profile ~name:"bad" stereotypes with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid [ base; base ];
+  expect_invalid
+    [ Stereotype.make ~name:"X" ~extends:Uml.Element.M_part ~parent:"Nope" () ];
+  expect_invalid
+    [
+      base;
+      Stereotype.make ~name:"Y" ~extends:Uml.Element.M_class ~parent:"Base" ();
+    ];
+  (* Cycle. *)
+  expect_invalid
+    [
+      Stereotype.make ~name:"A" ~extends:Uml.Element.M_part ~parent:"B" ();
+      Stereotype.make ~name:"B" ~extends:Uml.Element.M_part ~parent:"A" ();
+    ];
+  (* Duplicate tag along the chain. *)
+  expect_invalid
+    [
+      base;
+      Stereotype.make ~name:"Z" ~extends:Uml.Element.M_part ~parent:"Base"
+        ~tags:[ Tag.def ~name:"Size" ~ty:Tag.T_int "dup" ]
+        ();
+    ]
+
+let test_specialisation () =
+  check bool_t "conforms to self" true
+    (Stereotype.conforms_to test_profile "Base" "Base");
+  check bool_t "derived conforms to base" true
+    (Stereotype.conforms_to test_profile "Derived" "Base");
+  check bool_t "base does not conform to derived" false
+    (Stereotype.conforms_to test_profile "Base" "Derived");
+  check int_t "ancestor chain" 2
+    (List.length (Stereotype.ancestors test_profile "Derived"));
+  check int_t "inherited tags" 2
+    (List.length (Stereotype.all_tags test_profile "Derived"));
+  check bool_t "find inherited tag" true
+    (Stereotype.find_tag test_profile ~stereotype:"Derived" "Size" <> None)
+
+(* -- applications ------------------------------------------------------ *)
+
+let model =
+  let open Uml.Model in
+  empty "m"
+  |> Fun.flip add_class
+       (Uml.Classifier.make
+          ~parts:[ { Uml.Classifier.name = "p"; Uml.Classifier.class_name = "Leaf" } ]
+          "Owner")
+  |> Fun.flip add_class (Uml.Classifier.make "Leaf")
+
+let part_ref = Uml.Element.Part_ref { class_name = "Owner"; part = "p" }
+let class_ref = Uml.Element.Class_ref "Owner"
+
+let test_apply_basics () =
+  let apps =
+    Apply.apply Apply.empty ~stereotype:"Base" ~element:part_ref
+      ~values:[ ("Size", Tag.V_int 5) ]
+      ()
+  in
+  check bool_t "has" true (Apply.has apps part_ref "Base");
+  check bool_t "value" true
+    (Apply.value apps ~element:part_ref ~stereotype:"Base" "Size"
+    = Some (Tag.V_int 5));
+  check int_t "stereotypes_of" 1 (List.length (Apply.stereotypes_of apps part_ref));
+  Alcotest.check_raises "double application"
+    (Invalid_argument
+       "Profile.Apply.apply: Base already applied to part:Owner/p") (fun () ->
+      ignore (Apply.apply apps ~stereotype:"Base" ~element:part_ref ()))
+
+let test_set_value () =
+  let apps = Apply.apply Apply.empty ~stereotype:"Base" ~element:part_ref () in
+  let apps = Apply.set_value apps ~element:part_ref ~stereotype:"Base" "Size" (Tag.V_int 9) in
+  check bool_t "updated" true
+    (Apply.value apps ~element:part_ref ~stereotype:"Base" "Size"
+    = Some (Tag.V_int 9));
+  Alcotest.check_raises "missing application" Not_found (fun () ->
+      ignore
+        (Apply.set_value apps ~element:class_ref ~stereotype:"Base" "Size"
+           (Tag.V_int 1)))
+
+let test_conforming_queries () =
+  let apps = Apply.apply Apply.empty ~stereotype:"Derived" ~element:part_ref () in
+  check bool_t "exact has" false (Apply.has apps part_ref "Base");
+  check bool_t "conforming has" true
+    (Apply.has_conforming test_profile apps part_ref "Base");
+  check int_t "elements_conforming" 1
+    (List.length (Apply.elements_conforming test_profile apps "Base"));
+  check int_t "elements_with exact" 0
+    (List.length (Apply.elements_with apps "Base"))
+
+let test_value_with_default () =
+  let apps =
+    Apply.apply Apply.empty ~stereotype:"OnClass" ~element:class_ref
+      ~values:[ ("Id", Tag.V_int 1) ]
+      ()
+  in
+  check bool_t "explicit value" true
+    (Apply.value_with_default test_profile apps ~element:class_ref
+       ~stereotype:"OnClass" "Id"
+    = Some (Tag.V_int 1));
+  check bool_t "default value" true
+    (Apply.value_with_default test_profile apps ~element:class_ref
+       ~stereotype:"OnClass" "Rt"
+    = Some (Tag.V_enum "none"));
+  check bool_t "unknown tag" true
+    (Apply.value_with_default test_profile apps ~element:class_ref
+       ~stereotype:"OnClass" "Nope"
+    = None)
+
+let test_value_with_default_conforming () =
+  (* A Derived application answers Base queries. *)
+  let apps =
+    Apply.apply Apply.empty ~stereotype:"Derived" ~element:part_ref
+      ~values:[ ("Size", Tag.V_int 7) ]
+      ()
+  in
+  check bool_t "inherited tag via conformance" true
+    (Apply.value_with_default test_profile apps ~element:part_ref
+       ~stereotype:"Base" "Size"
+    = Some (Tag.V_int 7))
+
+let problems apps = Apply.check test_profile model apps
+
+let test_check_clean () =
+  let apps =
+    Apply.apply Apply.empty ~stereotype:"OnClass" ~element:class_ref
+      ~values:[ ("Id", Tag.V_int 1) ]
+      ()
+  in
+  check int_t "no problems" 0 (List.length (problems apps))
+
+let test_check_unknown_stereotype () =
+  let apps = Apply.apply Apply.empty ~stereotype:"Nope" ~element:class_ref () in
+  check bool_t "reported" true (problems apps <> [])
+
+let test_check_missing_element () =
+  let apps =
+    Apply.apply Apply.empty ~stereotype:"OnClass"
+      ~element:(Uml.Element.Class_ref "Ghost")
+      ~values:[ ("Id", Tag.V_int 1) ]
+      ()
+  in
+  check bool_t "reported" true (problems apps <> [])
+
+let test_check_metaclass_mismatch () =
+  let apps =
+    Apply.apply Apply.empty ~stereotype:"Base" ~element:class_ref ()
+  in
+  check bool_t "reported" true (problems apps <> [])
+
+let test_check_ill_typed_value () =
+  let apps =
+    Apply.apply Apply.empty ~stereotype:"OnClass" ~element:class_ref
+      ~values:[ ("Id", Tag.V_bool true) ]
+      ()
+  in
+  check bool_t "reported" true (problems apps <> [])
+
+let test_check_undeclared_tag () =
+  let apps =
+    Apply.apply Apply.empty ~stereotype:"OnClass" ~element:class_ref
+      ~values:[ ("Id", Tag.V_int 1); ("Ghost", Tag.V_int 2) ]
+      ()
+  in
+  check bool_t "reported" true (problems apps <> [])
+
+let test_check_required_missing () =
+  let apps = Apply.apply Apply.empty ~stereotype:"OnClass" ~element:class_ref () in
+  let found = problems apps in
+  check bool_t "reported" true (found <> []);
+  check bool_t "mentions tag name" true
+    (List.exists
+       (fun (p : Apply.problem) ->
+         let msg = Format.asprintf "%a" Apply.pp_problem p in
+         String.length msg > 0 && p.Apply.stereotype = "OnClass")
+       found)
+
+let test_check_inherited_tag_accepted () =
+  let apps =
+    Apply.apply Apply.empty ~stereotype:"Derived" ~element:part_ref
+      ~values:[ ("Size", Tag.V_int 1); ("Extra", Tag.V_bool true) ]
+      ()
+  in
+  check int_t "inherited tags type-check" 0 (List.length (problems apps))
+
+(* Property: check accepts exactly the well-typed values for each type. *)
+let prop_typing_sound =
+  let gen =
+    QCheck.Gen.(
+      let* ty =
+        oneofl [ Tag.T_int; Tag.T_float; Tag.T_bool; Tag.T_string; Tag.T_enum [ "a"; "b" ] ]
+      in
+      let* value =
+        oneof
+          [
+            map (fun n -> Tag.V_int n) (int_range (-100) 100);
+            map (fun f -> Tag.V_float f) (float_bound_inclusive 10.0);
+            map (fun b -> Tag.V_bool b) bool;
+            map (fun s -> Tag.V_string s) (oneofl [ "a"; "b"; "zz" ]);
+            map (fun s -> Tag.V_enum s) (oneofl [ "a"; "b"; "zz" ]);
+          ]
+      in
+      return (ty, value))
+  in
+  QCheck.Test.make ~name:"apply check matches well_typed" ~count:300
+    (QCheck.make gen)
+    (fun (ty, value) ->
+      let profile =
+        Stereotype.profile ~name:"p"
+          [
+            Stereotype.make ~name:"S" ~extends:Uml.Element.M_class
+              ~tags:[ Tag.def ~name:"T" ~ty "t" ]
+              ();
+          ]
+      in
+      let apps =
+        Apply.apply Apply.empty ~stereotype:"S" ~element:class_ref
+          ~values:[ ("T", value) ]
+          ()
+      in
+      let ok = Apply.check profile model apps = [] in
+      ok = Tag.well_typed ty value)
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "tags",
+        [
+          Alcotest.test_case "well_typed" `Quick test_well_typed;
+          Alcotest.test_case "value strings" `Quick test_value_strings;
+          Alcotest.test_case "default typing" `Quick test_def_default_typed;
+        ] );
+      ( "stereotypes",
+        [
+          Alcotest.test_case "construction errors" `Quick
+            test_profile_construction_errors;
+          Alcotest.test_case "specialisation" `Quick test_specialisation;
+        ] );
+      ( "apply",
+        [
+          Alcotest.test_case "basics" `Quick test_apply_basics;
+          Alcotest.test_case "set_value" `Quick test_set_value;
+          Alcotest.test_case "conforming queries" `Quick test_conforming_queries;
+          Alcotest.test_case "value_with_default" `Quick test_value_with_default;
+          Alcotest.test_case "conforming default" `Quick
+            test_value_with_default_conforming;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "clean" `Quick test_check_clean;
+          Alcotest.test_case "unknown stereotype" `Quick test_check_unknown_stereotype;
+          Alcotest.test_case "missing element" `Quick test_check_missing_element;
+          Alcotest.test_case "metaclass mismatch" `Quick
+            test_check_metaclass_mismatch;
+          Alcotest.test_case "ill-typed value" `Quick test_check_ill_typed_value;
+          Alcotest.test_case "undeclared tag" `Quick test_check_undeclared_tag;
+          Alcotest.test_case "required missing" `Quick test_check_required_missing;
+          Alcotest.test_case "inherited tags accepted" `Quick
+            test_check_inherited_tag_accepted;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_typing_sound ]);
+    ]

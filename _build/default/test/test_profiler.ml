@@ -1,0 +1,372 @@
+(* Tests for the profiling tool: group extraction (model parsing), the
+   Table 4 report, conservation properties, rendering. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let int64_t = Alcotest.int64
+let string_t = Alcotest.string
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let tutmac_view () =
+  Tut_profile.Builder.view (Tutmac.Scenario.build_model Tutmac.Scenario.default)
+
+(* -- group extraction --------------------------------------------------- *)
+
+let test_groups_of_view () =
+  let groups = Profiler.Groups.of_view (tutmac_view ()) in
+  check (Alcotest.list string_t) "group order"
+    [ "group1"; "group2"; "group3"; "group4" ]
+    (Profiler.Groups.groups groups);
+  check string_t "rca in group1" "group1"
+    (Profiler.Groups.group_of groups "Tutmac_Protocol.rca");
+  check string_t "frag in group3" "group3"
+    (Profiler.Groups.group_of groups "Tutmac_Protocol.dp.frag");
+  check string_t "crc in group4" "group4"
+    (Profiler.Groups.group_of groups "Tutmac_Protocol.dp.crc");
+  check string_t "unknown is environment" Profiler.Groups.environment_group
+    (Profiler.Groups.group_of groups "radio_env");
+  check int_t "eight grouped processes" 8
+    (List.length (Profiler.Groups.to_alist groups));
+  check (Alcotest.list string_t) "group2 members"
+    [ "Tutmac_Protocol.mng"; "Tutmac_Protocol.rmng" ]
+    (Profiler.Groups.members groups "group2")
+
+let test_groups_via_xmi_identical () =
+  let builder = Tutmac.Scenario.build_model Tutmac.Scenario.default in
+  let direct = Profiler.Groups.of_view (Tut_profile.Builder.view builder) in
+  let xml =
+    Xmi.Write.to_string
+      (Tut_profile.Builder.model builder)
+      (Tut_profile.Builder.apps builder)
+  in
+  match Profiler.Groups.of_xmi_string xml with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    check bool_t "same group map" true
+      (Profiler.Groups.to_alist direct = Profiler.Groups.to_alist parsed)
+
+let test_groups_bad_xml () =
+  check bool_t "error surfaces" true
+    (Result.is_error (Profiler.Groups.of_xmi_string "<nope"))
+
+(* -- report -------------------------------------------------------------- *)
+
+let synthetic_groups () =
+  Profiler.Groups.of_view (tutmac_view ())
+
+let synthetic_trace () =
+  let t = Sim.Trace.create () in
+  let exec p c =
+    Sim.Trace.record t (Sim.Trace.Exec { time = 0L; process = p; cycles = c })
+  in
+  let sig_ s r =
+    Sim.Trace.record t
+      (Sim.Trace.Signal { time = 0L; sender = s; receiver = r; signal = "S"; words = 1; tag = -1 })
+  in
+  exec "Tutmac_Protocol.rca" 900L;
+  exec "Tutmac_Protocol.mng" 50L;
+  exec "Tutmac_Protocol.dp.frag" 30L;
+  exec "Tutmac_Protocol.dp.crc" 20L;
+  sig_ "Tutmac_Protocol.rca" "Tutmac_Protocol.mng";
+  sig_ "Tutmac_Protocol.rca" "Tutmac_Protocol.mng";
+  sig_ "Tutmac_Protocol.dp.frag" "Tutmac_Protocol.dp.crc";
+  sig_ "radio_env" "Tutmac_Protocol.rca";
+  t
+
+let test_report_group_cycles () =
+  let report = Profiler.Report.build (synthetic_groups ()) (synthetic_trace ()) in
+  check int64_t "total" 1000L report.Profiler.Report.total_cycles;
+  check (Alcotest.option int64_t) "group1" (Some 900L)
+    (List.assoc_opt "group1" report.Profiler.Report.group_cycles);
+  check (Alcotest.option int64_t) "environment zero" (Some 0L)
+    (List.assoc_opt Profiler.Groups.environment_group
+       report.Profiler.Report.group_cycles);
+  (* Sorted descending, Environment last. *)
+  check (Alcotest.list string_t) "order"
+    [ "group1"; "group2"; "group3"; "group4"; "Environment" ]
+    (List.map fst report.Profiler.Report.group_cycles)
+
+let test_report_proportions () =
+  let report = Profiler.Report.build (synthetic_groups ()) (synthetic_trace ()) in
+  check (Alcotest.float 1e-9) "group1 proportion" 0.9
+    (Profiler.Report.proportion report "group1");
+  let total =
+    List.fold_left
+      (fun acc (g, _) -> acc +. Profiler.Report.proportion report g)
+      0.0 report.Profiler.Report.group_cycles
+  in
+  check (Alcotest.float 1e-9) "proportions sum to 1" 1.0 total
+
+let test_report_matrix () =
+  let report = Profiler.Report.build (synthetic_groups ()) (synthetic_trace ()) in
+  check int_t "g1 -> g2" 2
+    (Profiler.Report.signals_between report ~sender:"group1" ~receiver:"group2");
+  check int_t "g3 -> g4" 1
+    (Profiler.Report.signals_between report ~sender:"group3" ~receiver:"group4");
+  check int_t "env -> g1" 1
+    (Profiler.Report.signals_between report
+       ~sender:Profiler.Groups.environment_group ~receiver:"group1");
+  check int_t "empty cell" 0
+    (Profiler.Report.signals_between report ~sender:"group4" ~receiver:"group1")
+
+let test_report_render () =
+  let report = Profiler.Report.build (synthetic_groups ()) (synthetic_trace ()) in
+  let text = Profiler.Report.render report in
+  List.iter
+    (fun needle -> check bool_t needle true (contains text needle))
+    [
+      "Process group";
+      "Total execution time";
+      "Proportion";
+      "Group1";
+      "Environment";
+      "90.0 %";
+      "Number of signals between groups";
+      "Sender/Receiver";
+    ];
+  let transfers = Profiler.Report.render_transfers report in
+  check bool_t "per-process table" true
+    (contains transfers "Tutmac_Protocol.rca")
+
+let test_report_empty_trace () =
+  let report = Profiler.Report.build (synthetic_groups ()) (Sim.Trace.create ()) in
+  check int64_t "zero total" 0L report.Profiler.Report.total_cycles;
+  check (Alcotest.float 1e-9) "proportion of empty" 0.0
+    (Profiler.Report.proportion report "group1")
+
+(* -- timeline -------------------------------------------------------------- *)
+
+let timeline_trace () =
+  let t = Sim.Trace.create () in
+  let exec time p c =
+    Sim.Trace.record t (Sim.Trace.Exec { time; process = p; cycles = c })
+  in
+  (* Two windows of 1 ms: burst in window 0, quiet window 1, burst in 2. *)
+  exec 100_000L "Tutmac_Protocol.rca" 500L;
+  exec 900_000L "Tutmac_Protocol.rca" 300L;
+  exec 950_000L "Tutmac_Protocol.mng" 100L;
+  exec 2_100_000L "Tutmac_Protocol.rca" 50L;
+  (* Environment execution must not appear. *)
+  exec 2_200_000L "radio_env" 999L;
+  Sim.Trace.record t
+    (Sim.Trace.Signal
+       { time = 1_500_000L; sender = "a"; receiver = "b"; signal = "S"; words = 1; tag = -1 });
+  t
+
+let test_timeline_windows () =
+  let timeline =
+    Profiler.Timeline.build (synthetic_groups ()) ~window_ns:1_000_000L
+      (timeline_trace ())
+  in
+  check int_t "three windows" 3 (List.length timeline.Profiler.Timeline.windows);
+  check (Alcotest.list int64_t) "group1 series" [ 800L; 0L; 50L ]
+    (Profiler.Timeline.group_series timeline "group1");
+  check (Alcotest.list int64_t) "group2 series" [ 100L; 0L; 0L ]
+    (Profiler.Timeline.group_series timeline "group2");
+  (match Profiler.Timeline.peak timeline "group1" with
+  | Some (start, cycles) ->
+    check int64_t "peak window" 0L start;
+    check int64_t "peak cycles" 800L cycles
+  | None -> Alcotest.fail "no peak");
+  (* Environment excluded. *)
+  check (Alcotest.list int64_t) "environment excluded" [ 0L; 0L; 0L ]
+    (Profiler.Timeline.group_series timeline Profiler.Groups.environment_group);
+  (* Signals counted in their window. *)
+  let signals =
+    List.map
+      (fun (w : Profiler.Timeline.window) -> w.Profiler.Timeline.signals)
+      timeline.Profiler.Timeline.windows
+  in
+  check (Alcotest.list int_t) "signal counts" [ 0; 1; 0 ] signals;
+  let text = Profiler.Timeline.render timeline in
+  check bool_t "render has header" true (contains text "Timeline")
+
+let test_timeline_bad_window () =
+  Alcotest.check_raises "non-positive window"
+    (Invalid_argument "Profiler.Timeline.build: window size") (fun () ->
+      ignore
+        (Profiler.Timeline.build (synthetic_groups ()) ~window_ns:0L
+           (Sim.Trace.create ())))
+
+(* Property: signal conservation — the matrix total equals the number of
+   Signal events in the trace, whatever the event mix. *)
+let gen_trace_events =
+  QCheck.Gen.(
+    let process =
+      oneofl
+        [
+          "Tutmac_Protocol.rca";
+          "Tutmac_Protocol.mng";
+          "Tutmac_Protocol.dp.frag";
+          "Tutmac_Protocol.dp.crc";
+          "radio_env";
+          "user_env";
+        ]
+    in
+    list_size (int_range 0 100)
+      (oneof
+         [
+           (let* p = process in
+            let* c = int_range 1 1000 in
+            return (Sim.Trace.Exec { time = 0L; process = p; cycles = Int64.of_int c }));
+           (let* s = process in
+            let* r = process in
+            return
+              (Sim.Trace.Signal
+                 { time = 0L; sender = s; receiver = r; signal = "S"; words = 1; tag = -1 }));
+         ]))
+
+let prop_signal_conservation =
+  QCheck.Test.make ~name:"matrix conserves signal count" ~count:200
+    (QCheck.make gen_trace_events)
+    (fun events ->
+      let t = Sim.Trace.create () in
+      List.iter (Sim.Trace.record t) events;
+      let report = Profiler.Report.build (synthetic_groups ()) t in
+      let matrix_total =
+        List.fold_left (fun acc (_, c) -> acc + c) 0 report.Profiler.Report.matrix
+      in
+      let signal_total =
+        List.length
+          (List.filter
+             (function Sim.Trace.Signal _ -> true | _ -> false)
+             events)
+      in
+      matrix_total = signal_total)
+
+let prop_cycle_conservation =
+  QCheck.Test.make ~name:"group cycles conserve exec cycles" ~count:200
+    (QCheck.make gen_trace_events)
+    (fun events ->
+      let t = Sim.Trace.create () in
+      List.iter (Sim.Trace.record t) events;
+      let groups = synthetic_groups () in
+      let report = Profiler.Report.build groups t in
+      let app_exec_total =
+        List.fold_left
+          (fun acc event ->
+            match event with
+            | Sim.Trace.Exec { process; cycles; _ }
+              when Profiler.Groups.group_of groups process
+                   <> Profiler.Groups.environment_group ->
+              Int64.add acc cycles
+            | _ -> acc)
+          0L events
+      in
+      report.Profiler.Report.total_cycles = app_exec_total)
+
+(* -- latency ---------------------------------------------------------- *)
+
+let latency_trace pairs =
+  let t = Sim.Trace.create () in
+  List.iter
+    (fun (signal, time, tag) ->
+      Sim.Trace.record t
+        (Sim.Trace.Signal
+           { time; sender = "a"; receiver = "b"; signal; words = 1; tag }))
+    pairs;
+  t
+
+let test_latency_basic () =
+  let t =
+    latency_trace
+      [
+        ("Req", 100L, 0); ("Req", 200L, 1); ("Ind", 350L, 0); ("Ind", 900L, 1);
+        ("Req", 1000L, 2) (* never completes *);
+      ]
+  in
+  match Profiler.Latency.measure ~src_signal:"Req" ~dst_signal:"Ind" t with
+  | None -> Alcotest.fail "expected stats"
+  | Some stats ->
+    check int_t "matched" 2 stats.Profiler.Latency.matched;
+    check int_t "unmatched" 1 stats.Profiler.Latency.unmatched;
+    check int64_t "min" 250L stats.Profiler.Latency.min_ns;
+    check int64_t "max" 700L stats.Profiler.Latency.max_ns;
+    check (Alcotest.float 1e-9) "mean" 475.0 stats.Profiler.Latency.mean_ns
+
+let test_latency_tag_reuse_fifo () =
+  (* Wrapped sequence numbers match the earliest outstanding source. *)
+  let t =
+    latency_trace
+      [ ("Req", 0L, 5); ("Req", 100L, 5); ("Ind", 130L, 5); ("Ind", 150L, 5) ]
+  in
+  check
+    (Alcotest.list (Alcotest.pair int_t int64_t))
+    "fifo per tag"
+    [ (5, 130L); (5, 50L) ]
+    (Profiler.Latency.samples ~src_signal:"Req" ~dst_signal:"Ind" t)
+
+let test_latency_untagged_ignored () =
+  let t = latency_trace [ ("Req", 0L, -1); ("Ind", 50L, -1) ] in
+  check bool_t "no stats for untagged" true
+    (Profiler.Latency.measure ~src_signal:"Req" ~dst_signal:"Ind" t = None)
+
+let test_latency_render () =
+  let t = latency_trace [ ("Req", 0L, 1); ("Ind", 2_000_000L, 1) ] in
+  match Profiler.Latency.measure ~src_signal:"Req" ~dst_signal:"Ind" t with
+  | None -> Alcotest.fail "expected stats"
+  | Some stats ->
+    check bool_t "render mentions ms" true
+      (contains (Profiler.Latency.render ~label:"req->ind" stats) "2.000 ms")
+
+(* Property: window totals add up to the report total. *)
+let prop_timeline_conservation =
+  QCheck.Test.make ~name:"timeline conserves total cycles" ~count:100
+    (QCheck.make gen_trace_events)
+    (fun events ->
+      let t = Sim.Trace.create () in
+      List.iter (Sim.Trace.record t) events;
+      let groups = synthetic_groups () in
+      let report = Profiler.Report.build groups t in
+      let timeline = Profiler.Timeline.build groups ~window_ns:777L t in
+      let window_total =
+        List.fold_left
+          (fun acc (w : Profiler.Timeline.window) ->
+            List.fold_left
+              (fun acc (_, c) -> Int64.add acc c)
+              acc w.Profiler.Timeline.group_cycles)
+          0L timeline.Profiler.Timeline.windows
+      in
+      window_total = report.Profiler.Report.total_cycles)
+
+let () =
+  Alcotest.run "profiler"
+    [
+      ( "groups",
+        [
+          Alcotest.test_case "of view" `Quick test_groups_of_view;
+          Alcotest.test_case "via xmi identical" `Quick test_groups_via_xmi_identical;
+          Alcotest.test_case "bad xml" `Quick test_groups_bad_xml;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "group cycles" `Quick test_report_group_cycles;
+          Alcotest.test_case "proportions" `Quick test_report_proportions;
+          Alcotest.test_case "matrix" `Quick test_report_matrix;
+          Alcotest.test_case "render" `Quick test_report_render;
+          Alcotest.test_case "empty trace" `Quick test_report_empty_trace;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "windows" `Quick test_timeline_windows;
+          Alcotest.test_case "bad window" `Quick test_timeline_bad_window;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "basic" `Quick test_latency_basic;
+          Alcotest.test_case "tag reuse fifo" `Quick test_latency_tag_reuse_fifo;
+          Alcotest.test_case "untagged ignored" `Quick test_latency_untagged_ignored;
+          Alcotest.test_case "render" `Quick test_latency_render;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_signal_conservation;
+          QCheck_alcotest.to_alcotest prop_cycle_conservation;
+          QCheck_alcotest.to_alcotest prop_timeline_conservation;
+        ] );
+    ]

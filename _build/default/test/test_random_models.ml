@@ -1,0 +1,366 @@
+(* Property tests over randomly generated TUT-Profile models.
+
+   The generator builds arbitrary pipeline/fan-out applications (N
+   processes with random costs and periods), random groupings and random
+   platforms (M processors on a HIBI segment, optional second segment
+   with a bridge), then checks the whole flow end to end:
+
+   - generated models pass UML well-formedness, profile type-checking and
+     every design rule;
+   - lowering succeeds and the IR is consistent;
+   - the runtime executes without routing errors and deterministically;
+   - profiler conservation holds on the produced trace. *)
+
+let part name class_name = { Uml.Classifier.name; Uml.Classifier.class_name }
+
+let conn name a b =
+  let ep (p, q) = Uml.Connector.endpoint ?part:p q in
+  Uml.Connector.make ~name ~from_:(ep a) ~to_:(ep b)
+
+(* Specification of a random system, kept abstract so shrinking works on
+   plain integers. *)
+type spec = {
+  n_procs : int;  (** 2..6 chained processes *)
+  n_groups : int;  (** 1..3 *)
+  n_pes : int;  (** 1..3 processors *)
+  two_segments : bool;
+  costs : int list;  (** per-process handler cost, cycles *)
+  source_period_us : int;  (** first process's timer period *)
+  group_of : int list;  (** process index -> group index (mod n_groups) *)
+  pe_of : int list;  (** group index -> pe index (mod n_pes) *)
+}
+
+let gen_spec =
+  QCheck.Gen.(
+    let* n_procs = int_range 2 6 in
+    let* n_groups = int_range 1 3 in
+    let* n_pes = int_range 1 3 in
+    let* two_segments = bool in
+    let* costs = list_repeat n_procs (int_range 10 5000) in
+    let* source_period_us = int_range 20 500 in
+    let* group_of = list_repeat n_procs (int_range 0 100) in
+    let* pe_of = list_repeat n_groups (int_range 0 100) in
+    return
+      { n_procs; n_groups; n_pes; two_segments; costs; source_period_us;
+        group_of; pe_of })
+
+let print_spec spec =
+  Printf.sprintf
+    "{procs=%d groups=%d pes=%d two_seg=%b period=%dus costs=[%s] grp=[%s] pe=[%s]}"
+    spec.n_procs spec.n_groups spec.n_pes spec.two_segments
+    spec.source_period_us
+    (String.concat ";" (List.map string_of_int spec.costs))
+    (String.concat ";" (List.map string_of_int spec.group_of))
+    (String.concat ";" (List.map string_of_int spec.pe_of))
+
+(* Build the chain application: proc0 is a timer-driven source, the rest
+   forward stage signals ("S1" .. "Sn"). *)
+let build spec =
+  let open Tut_profile.Builder in
+  let signal_name i = Printf.sprintf "S%d" i in
+  let b = create "random" in
+  let b =
+    List.fold_left
+      (fun b i ->
+        signal b
+          (Uml.Signal.make ~params:[ ("n", Uml.Signal.P_int) ] (signal_name i)))
+      b
+      (List.init spec.n_procs (fun i -> i))
+  in
+  (* Source machine (emits S0); stage i consumes S(i-1), emits Si; the
+     last stage only counts. *)
+  let acts list = list in
+  let machine i cost =
+    let module A = Efsm.Action in
+    if i = 0 then
+      Efsm.Machine.make ~name:"Source" ~states:[ "run" ] ~initial:"run"
+        ~variables:[ ("n", A.V_int 0) ]
+        [
+          Efsm.Machine.transition ~src:"run" ~dst:"run"
+            (Efsm.Machine.After (spec.source_period_us * 1000))
+            ~actions:
+              (acts
+                 [
+                   A.compute (A.i cost);
+                   A.send ~port:"out" (signal_name 0) ~args:[ A.v "n" ];
+                   A.assign "n" (A.Bin (A.Add, A.v "n", A.i 1));
+                 ]);
+        ]
+    else if i = spec.n_procs - 1 then
+      Efsm.Machine.make ~name:(Printf.sprintf "Stage%d" i) ~states:[ "run" ]
+        ~initial:"run"
+        ~variables:[ ("seen", A.V_int 0) ]
+        [
+          Efsm.Machine.transition ~src:"run" ~dst:"run"
+            (Efsm.Machine.On_signal (signal_name (i - 1)))
+            ~actions:
+              (acts
+                 [
+                   A.compute (A.i cost);
+                   A.assign "seen" (A.Bin (A.Add, A.v "seen", A.i 1));
+                 ]);
+        ]
+    else
+      Efsm.Machine.make ~name:(Printf.sprintf "Stage%d" i) ~states:[ "run" ]
+        ~initial:"run"
+        [
+          Efsm.Machine.transition ~src:"run" ~dst:"run"
+            (Efsm.Machine.On_signal (signal_name (i - 1)))
+            ~actions:
+              (acts
+                 [
+                   A.compute (A.i cost);
+                   A.send ~port:"out" (signal_name i) ~args:[ A.p "n" ];
+                 ]);
+        ]
+  in
+  let class_name i = Printf.sprintf "Comp%d" i in
+  let b =
+    List.fold_left
+      (fun b i ->
+        let cost = List.nth spec.costs i in
+        let ports =
+          (if i > 0 then
+             [ Uml.Port.make "inp" ~receives:[ signal_name (i - 1) ] ]
+           else [])
+          @
+          if i < spec.n_procs - 1 || i = 0 then
+            [ Uml.Port.make "out" ~sends:[ signal_name i ] ]
+          else []
+        in
+        (* The last stage has no out port; the source has no in port. *)
+        let ports =
+          if i = spec.n_procs - 1 && i > 0 then
+            [ Uml.Port.make "inp" ~receives:[ signal_name (i - 1) ] ]
+          else ports
+        in
+        component_class b
+          (Uml.Classifier.make ~kind:Uml.Classifier.Active ~ports
+             ~behavior:(machine i cost) (class_name i)))
+      b
+      (List.init spec.n_procs (fun i -> i))
+  in
+  let parts =
+    List.init spec.n_procs (fun i -> part (Printf.sprintf "p%d" i) (class_name i))
+  in
+  let connectors =
+    List.init (spec.n_procs - 1) (fun i ->
+        conn
+          (Printf.sprintf "c%d" i)
+          (Some (Printf.sprintf "p%d" i), "out")
+          (Some (Printf.sprintf "p%d" (i + 1)), "inp"))
+  in
+  let b =
+    application_class b (Uml.Classifier.make ~parts ~connectors "RandomApp")
+  in
+  let b =
+    List.fold_left
+      (fun b i -> process b ~owner:"RandomApp" ~part:(Printf.sprintf "p%d" i))
+      b
+      (List.init spec.n_procs (fun i -> i))
+  in
+  (* Groups. *)
+  let group_name g = Printf.sprintf "g%d" g in
+  let b = plain_class b (Uml.Classifier.make "Pgt") in
+  let b =
+    plain_class b
+      (Uml.Classifier.make
+         ~parts:(List.init spec.n_groups (fun g -> part (group_name g) "Pgt"))
+         "Groups")
+  in
+  let b =
+    List.fold_left
+      (fun b g -> group b ~owner:"Groups" ~part:(group_name g))
+      b
+      (List.init spec.n_groups (fun g -> g))
+  in
+  let b =
+    List.fold_left
+      (fun b i ->
+        let g = List.nth spec.group_of i mod spec.n_groups in
+        grouping b
+          ~name:(Printf.sprintf "grp%d" i)
+          ~process:("RandomApp", Printf.sprintf "p%d" i)
+          ~group:("Groups", group_name g))
+      b
+      (List.init spec.n_procs (fun i -> i))
+  in
+  (* Platform: n_pes processors; one segment, or two joined by a bridge. *)
+  let pe_name i = Printf.sprintf "cpu%d" i in
+  let b =
+    platform_component_class ~tags:[ tint "Frequency" 50 ] b
+      (Uml.Classifier.make ~ports:[ Uml.Port.make "bus" ] "Cpu")
+  in
+  let b =
+    plain_class b
+      (Uml.Classifier.make
+         ~ports:[ Uml.Port.make "p0"; Uml.Port.make "p1"; Uml.Port.make "p2"; Uml.Port.make "p3" ]
+         "Seg")
+  in
+  let seg_of_pe i = if spec.two_segments && i mod 2 = 1 then "segB" else "segA" in
+  let seg_parts =
+    part "segA" "Seg" :: (if spec.two_segments then [ part "segB" "Seg" ] else [])
+  in
+  let pe_parts = List.init spec.n_pes (fun i -> part (pe_name i) "Cpu") in
+  let pe_conns =
+    List.init spec.n_pes (fun i ->
+        conn
+          (Printf.sprintf "w%d" i)
+          (Some (pe_name i), "bus")
+          (Some (seg_of_pe i), Printf.sprintf "p%d" (i mod 3)))
+  in
+  let bridge_conns =
+    if spec.two_segments then
+      [ conn "wbridge" (Some "segA", "p3") (Some "segB", "p3") ]
+    else []
+  in
+  let b =
+    platform_class b
+      (Uml.Classifier.make
+         ~parts:(pe_parts @ seg_parts)
+         ~connectors:(pe_conns @ bridge_conns)
+         "RandomPlatform")
+  in
+  let b =
+    List.fold_left
+      (fun b i -> pe_instance b ~owner:"RandomPlatform" ~part:(pe_name i) ~id:i)
+      b
+      (List.init spec.n_pes (fun i -> i))
+  in
+  let b =
+    List.fold_left
+      (fun b seg -> comm_segment ~hibi:true b ~owner:"RandomPlatform" ~part:seg)
+      b
+      (List.map (fun (p : Uml.Classifier.part) -> p.Uml.Classifier.name) seg_parts)
+  in
+  let b =
+    List.fold_left
+      (fun b i ->
+        comm_wrapper ~hibi:true b ~owner:"RandomPlatform"
+          ~connector:(Printf.sprintf "w%d" i)
+          ~address:(0x10 + i))
+      b
+      (List.init spec.n_pes (fun i -> i))
+  in
+  let b =
+    if spec.two_segments then
+      comm_wrapper ~hibi:true b ~owner:"RandomPlatform" ~connector:"wbridge"
+        ~address:0x40
+    else b
+  in
+  List.fold_left
+    (fun b g ->
+      let pe = List.nth spec.pe_of g mod spec.n_pes in
+      mapping b
+        ~name:(Printf.sprintf "map%d" g)
+        ~group:("Groups", group_name g)
+        ~pe:("RandomPlatform", pe_name pe))
+    b
+    (List.init spec.n_groups (fun g -> g))
+
+let arbitrary_spec = QCheck.make ~print:print_spec gen_spec
+
+let run_spec spec =
+  let builder = build spec in
+  let validation = Tut_profile.Builder.validate builder in
+  if not (Tut_profile.Rules.is_valid validation) then
+    QCheck.Test.fail_reportf "generated model invalid: %s"
+      (Format.asprintf "%a" Tut_profile.Rules.pp_report validation);
+  match Codegen.Lower.lower (Tut_profile.Builder.view builder) with
+  | Error problems ->
+    QCheck.Test.fail_reportf "lowering failed: %s" (String.concat "; " problems)
+  | Ok sys -> (
+    (match Codegen.Ir.check sys with
+    | [] -> ()
+    | problems ->
+      QCheck.Test.fail_reportf "IR inconsistent: %s" (String.concat "; " problems));
+    match Codegen.Runtime.create sys with
+    | Error problems ->
+      QCheck.Test.fail_reportf "runtime creation failed: %s"
+        (String.concat "; " problems)
+    | Ok rt ->
+      Codegen.Runtime.start rt;
+      ignore (Codegen.Runtime.run rt ~until_ns:20_000_000L);
+      (builder, sys, rt))
+
+let prop_flow_end_to_end =
+  QCheck.Test.make ~name:"random models run the full flow" ~count:60
+    arbitrary_spec
+    (fun spec ->
+      let _, _, rt = run_spec spec in
+      Codegen.Runtime.runtime_errors rt = [])
+
+let prop_chain_conservation =
+  QCheck.Test.make ~name:"chain stages see monotone counts" ~count:40
+    arbitrary_spec
+    (fun spec ->
+      let _, _, rt = run_spec spec in
+      (* Stage i+1 can never have handled more signals than stage i
+         emitted; with generous horizons the last stage sees most of
+         them.  We check the weak invariant: source emitted >= last
+         stage's count >= 0. *)
+      let source_emitted =
+        match Codegen.Runtime.process_var rt "RandomApp.p0" "n" with
+        | Some (Efsm.Action.V_int n) -> n
+        | _ -> -1
+      in
+      let last_seen =
+        match
+          Codegen.Runtime.process_var rt
+            (Printf.sprintf "RandomApp.p%d" (spec.n_procs - 1))
+            "seen"
+        with
+        | Some (Efsm.Action.V_int n) -> n
+        | _ -> -1
+      in
+      source_emitted >= 0 && last_seen >= 0 && last_seen <= source_emitted)
+
+let prop_profiler_conservation =
+  QCheck.Test.make ~name:"profiler conserves trace signals" ~count:40
+    arbitrary_spec
+    (fun spec ->
+      let builder, _, rt = run_spec spec in
+      let trace = Codegen.Runtime.trace rt in
+      let groups = Profiler.Groups.of_view (Tut_profile.Builder.view builder) in
+      let report = Profiler.Report.build groups trace in
+      let matrix_total =
+        List.fold_left (fun acc (_, c) -> acc + c) 0 report.Profiler.Report.matrix
+      in
+      matrix_total = List.length (Sim.Trace.signal_counts trace |> List.concat_map (fun ((_, _), c) -> List.init c (fun _ -> ()))))
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"random models simulate deterministically" ~count:20
+    arbitrary_spec
+    (fun spec ->
+      let run () =
+        let _, _, rt = run_spec spec in
+        Sim.Trace.to_lines (Codegen.Runtime.trace rt)
+      in
+      run () = run ())
+
+let prop_xmi_roundtrip =
+  QCheck.Test.make ~name:"random models survive XMI round-trip" ~count:40
+    arbitrary_spec
+    (fun spec ->
+      let builder = build spec in
+      let model = Tut_profile.Builder.model builder in
+      let apps = Tut_profile.Builder.apps builder in
+      match
+        Xmi.Read.of_string ~profile:Tut_profile.Stereotypes.profile
+          (Xmi.Write.to_string model apps)
+      with
+      | Ok pair -> Xmi.Read.roundtrip_equal model apps pair
+      | Error e -> QCheck.Test.fail_reportf "read failed: %s" e)
+
+let () =
+  Alcotest.run "random_models"
+    [
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_flow_end_to_end;
+          QCheck_alcotest.to_alcotest prop_chain_conservation;
+          QCheck_alcotest.to_alcotest prop_profiler_conservation;
+          QCheck_alcotest.to_alcotest prop_deterministic;
+          QCheck_alcotest.to_alcotest prop_xmi_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,322 @@
+(* Tests for the discrete-event kernel, trace log and RTOS model. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let int64_t = Alcotest.int64
+
+(* -- engine ------------------------------------------------------------ *)
+
+let test_event_ordering () =
+  let engine = Sim.Engine.create () in
+  let order = ref [] in
+  let mark tag () = order := tag :: !order in
+  ignore (Sim.Engine.schedule engine ~delay:30L (mark "c"));
+  ignore (Sim.Engine.schedule engine ~delay:10L (mark "a"));
+  ignore (Sim.Engine.schedule engine ~delay:20L (mark "b"));
+  ignore (Sim.Engine.run engine);
+  check (Alcotest.list Alcotest.string) "time order" [ "a"; "b"; "c" ]
+    (List.rev !order);
+  check int64_t "clock at last event" 30L (Sim.Engine.now engine)
+
+let test_fifo_ties () =
+  let engine = Sim.Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.Engine.schedule engine ~delay:7L (fun () -> order := i :: !order))
+  done;
+  ignore (Sim.Engine.run engine);
+  check (Alcotest.list int_t) "same-time events fire in schedule order"
+    [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_cancel () =
+  let engine = Sim.Engine.create () in
+  let fired = ref false in
+  let handle = Sim.Engine.schedule engine ~delay:5L (fun () -> fired := true) in
+  check int_t "pending before" 1 (Sim.Engine.pending engine);
+  Sim.Engine.cancel handle;
+  check bool_t "cancelled" true (Sim.Engine.cancelled handle);
+  check int_t "pending after" 0 (Sim.Engine.pending engine);
+  ignore (Sim.Engine.run engine);
+  check bool_t "never fired" false !fired
+
+let test_run_until () =
+  let engine = Sim.Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Sim.Engine.schedule engine ~delay:10L tick)
+  in
+  ignore (Sim.Engine.schedule engine ~delay:10L tick);
+  let fired = Sim.Engine.run ~until:100L engine in
+  check int_t "ten ticks" 10 fired;
+  check int64_t "clock clamped" 100L (Sim.Engine.now engine);
+  check int_t "next tick still pending" 1 (Sim.Engine.pending engine)
+
+let test_schedule_in_callback () =
+  let engine = Sim.Engine.create () in
+  let times = ref [] in
+  ignore
+    (Sim.Engine.schedule engine ~delay:5L (fun () ->
+         times := Sim.Engine.now engine :: !times;
+         ignore
+           (Sim.Engine.schedule engine ~delay:5L (fun () ->
+                times := Sim.Engine.now engine :: !times))));
+  ignore (Sim.Engine.run engine);
+  check (Alcotest.list int64_t) "nested scheduling" [ 5L; 10L ] (List.rev !times)
+
+let test_negative_delay_rejected () =
+  let engine = Sim.Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sim.Engine.schedule: negative delay") (fun () ->
+      ignore (Sim.Engine.schedule engine ~delay:(-1L) (fun () -> ())))
+
+(* Property: events fire in nondecreasing time order regardless of the
+   scheduling order. *)
+let prop_monotone_time =
+  QCheck.Test.make ~name:"events fire in time order" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (QCheck.int_range 0 1000))
+    (fun delays ->
+      let engine = Sim.Engine.create () in
+      let times = ref [] in
+      List.iter
+        (fun d ->
+          ignore
+            (Sim.Engine.schedule engine ~delay:(Int64.of_int d) (fun () ->
+                 times := Sim.Engine.now engine :: !times)))
+        delays;
+      ignore (Sim.Engine.run engine);
+      let fired = List.rev !times in
+      List.length fired = List.length delays
+      && fst
+           (List.fold_left
+              (fun (ok, prev) t -> (ok && t >= prev, t))
+              (true, 0L) fired))
+
+(* -- trace -------------------------------------------------------------- *)
+
+let sample_events =
+  [
+    Sim.Trace.Exec { time = 10L; process = "top.a"; cycles = 500L };
+    Sim.Trace.Signal
+      { time = 20L; sender = "top.a"; receiver = "top.b"; signal = "Go"; words = 4; tag = 7 };
+    Sim.Trace.State_change
+      { time = 30L; process = "top.b"; from_ = "idle"; to_ = "busy" };
+    Sim.Trace.Discard { time = 40L; process = "top.b"; signal = "Go" };
+    Sim.Trace.Exec { time = 50L; process = "top.a"; cycles = 300L };
+    Sim.Trace.Exec { time = 60L; process = "top.b"; cycles = 100L };
+  ]
+
+let filled () =
+  let t = Sim.Trace.create () in
+  List.iter (Sim.Trace.record t) sample_events;
+  t
+
+let test_trace_aggregation () =
+  let t = filled () in
+  check int_t "length" 6 (Sim.Trace.length t);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string int64_t))
+    "total cycles"
+    [ ("top.a", 800L); ("top.b", 100L) ]
+    (Sim.Trace.total_cycles t);
+  check
+    (Alcotest.list (Alcotest.pair (Alcotest.pair Alcotest.string Alcotest.string) int_t))
+    "signal counts"
+    [ (("top.a", "top.b"), 1) ]
+    (Sim.Trace.signal_counts t)
+
+let test_trace_line_roundtrip () =
+  List.iter
+    (fun event ->
+      match Sim.Trace.event_of_line (Sim.Trace.event_to_line event) with
+      | Ok event' -> check bool_t "line round-trip" true (event = event')
+      | Error e -> Alcotest.fail e)
+    sample_events
+
+let test_trace_file_roundtrip () =
+  let t = filled () in
+  let path = Filename.temp_file "trace" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sim.Trace.save t path;
+      match Sim.Trace.load path with
+      | Error e -> Alcotest.fail e
+      | Ok t' ->
+        check bool_t "file round-trip" true (Sim.Trace.events t = Sim.Trace.events t'))
+
+let test_trace_bad_lines () =
+  List.iter
+    (fun line ->
+      match Sim.Trace.event_of_line line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected error for %S" line)
+    [ ""; "X 1 a 2"; "E notatime p 5"; "E 1 p"; "S 1 a b" ]
+
+(* Property: log text round-trips for arbitrary well-formed events. *)
+let gen_event =
+  QCheck.Gen.(
+    let name = oneofl [ "a"; "top.b"; "env"; "x.y.z" ] in
+    let time = map Int64.of_int (int_range 0 1_000_000) in
+    oneof
+      [
+        (let* time = time in
+         let* process = name in
+         let* cycles = map Int64.of_int (int_range 0 100000) in
+         return (Sim.Trace.Exec { time; process; cycles }));
+        (let* time = time in
+         let* sender = name in
+         let* receiver = name in
+         let* words = int_range 1 200 in
+         let* tag = int_range (-1) 50 in
+         return
+           (Sim.Trace.Signal { time; sender; receiver; signal = "Sig"; words; tag }));
+        (let* time = time in
+         let* process = name in
+         return
+           (Sim.Trace.State_change { time; process; from_ = "s1"; to_ = "s2" }));
+        (let* time = time in
+         let* process = name in
+         return (Sim.Trace.Discard { time; process; signal = "Sig" }));
+      ])
+
+let prop_trace_roundtrip =
+  QCheck.Test.make ~name:"trace lines round-trip" ~count:300
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 30) gen_event))
+    (fun events ->
+      let t = Sim.Trace.create () in
+      List.iter (Sim.Trace.record t) events;
+      match Sim.Trace.of_lines (Sim.Trace.to_lines t) with
+      | Ok t' -> Sim.Trace.events t' = events
+      | Error e -> QCheck.Test.fail_reportf "%s" e)
+
+(* -- rtos ---------------------------------------------------------------- *)
+
+let test_rtos_fifo_order () =
+  let engine = Sim.Engine.create () in
+  let pe =
+    Sim.Rtos.create ~engine ~name:"pe" ~policy:Sim.Rtos.Fifo ~frequency_mhz:100 ()
+  in
+  let done_order = ref [] in
+  Sim.Rtos.submit pe ~task:"low" ~priority:0 ~cycles:1000L (fun () ->
+      done_order := "low" :: !done_order);
+  Sim.Rtos.submit pe ~task:"high" ~priority:9 ~cycles:10L (fun () ->
+      done_order := "high" :: !done_order);
+  ignore (Sim.Engine.run engine);
+  check (Alcotest.list Alcotest.string) "fifo ignores priority"
+    [ "low"; "high" ] (List.rev !done_order)
+
+let test_rtos_priority_order () =
+  let engine = Sim.Engine.create () in
+  let pe =
+    Sim.Rtos.create ~engine ~name:"pe" ~policy:Sim.Rtos.Priority_preemptive
+      ~frequency_mhz:100 ()
+  in
+  let done_order = ref [] in
+  (* Submit three queued jobs while the first runs; the high-priority one
+     preempts. *)
+  Sim.Rtos.submit pe ~task:"first" ~priority:1 ~cycles:10_000L (fun () ->
+      done_order := "first" :: !done_order);
+  Sim.Rtos.submit pe ~task:"low" ~priority:0 ~cycles:100L (fun () ->
+      done_order := "low" :: !done_order);
+  Sim.Rtos.submit pe ~task:"high" ~priority:5 ~cycles:100L (fun () ->
+      done_order := "high" :: !done_order);
+  ignore (Sim.Engine.run engine);
+  check (Alcotest.list Alcotest.string) "preemptive order"
+    [ "high"; "first"; "low" ]
+    (List.rev !done_order)
+
+let test_rtos_preemption_resumes () =
+  let engine = Sim.Engine.create () in
+  let pe =
+    Sim.Rtos.create ~engine ~name:"pe" ~policy:Sim.Rtos.Priority_preemptive
+      ~frequency_mhz:1 ()
+    (* 1 MHz -> 1000 ns per cycle, easy arithmetic *)
+  in
+  let victim_done = ref (-1L) in
+  Sim.Rtos.submit pe ~task:"victim" ~priority:0 ~cycles:100L (fun () ->
+      victim_done := Sim.Engine.now engine);
+  (* Let the victim run 10 cycles, then preempt with a 50-cycle job. *)
+  ignore
+    (Sim.Engine.schedule engine ~delay:10_000L (fun () ->
+         Sim.Rtos.submit pe ~task:"intruder" ~priority:5 ~cycles:50L (fun () -> ())));
+  ignore (Sim.Engine.run engine);
+  (* victim: 10 cycles before + 90 after the 50-cycle intruder. *)
+  check int64_t "victim completion time" 150_000L !victim_done;
+  check int64_t "executed cycles" 150L (Sim.Rtos.executed_cycles pe);
+  check bool_t "idle at end" true (Sim.Rtos.idle pe)
+
+let test_rtos_busy_accounting () =
+  let engine = Sim.Engine.create () in
+  let pe =
+    Sim.Rtos.create ~engine ~name:"pe" ~policy:Sim.Rtos.Fifo ~frequency_mhz:1000 ()
+  in
+  Sim.Rtos.submit pe ~task:"t" ~priority:0 ~cycles:500L (fun () -> ());
+  Sim.Rtos.submit pe ~task:"t" ~priority:0 ~cycles:500L (fun () -> ());
+  ignore (Sim.Engine.run engine);
+  check int64_t "busy ns" 1000L (Sim.Rtos.busy_ns pe);
+  check int64_t "cycles" 1000L (Sim.Rtos.executed_cycles pe)
+
+let test_rtos_perf_factor () =
+  let engine = Sim.Engine.create () in
+  let accel =
+    Sim.Rtos.create ~engine ~name:"accel" ~policy:Sim.Rtos.Fifo
+      ~frequency_mhz:1000 ~perf_factor:10.0 ()
+  in
+  Sim.Rtos.submit accel ~task:"t" ~priority:0 ~cycles:1000L (fun () -> ());
+  ignore (Sim.Engine.run engine);
+  check int64_t "scaled cycles" 100L (Sim.Rtos.executed_cycles accel)
+
+(* Property: N sequential jobs on a FIFO PE take exactly the sum of their
+   durations. *)
+let prop_fifo_work_conservation =
+  QCheck.Test.make ~name:"fifo work conservation" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (QCheck.int_range 1 10_000))
+    (fun cycles_list ->
+      let engine = Sim.Engine.create () in
+      let pe =
+        Sim.Rtos.create ~engine ~name:"pe" ~policy:Sim.Rtos.Fifo
+          ~frequency_mhz:1000 ()
+      in
+      List.iter
+        (fun c ->
+          Sim.Rtos.submit pe ~task:"t" ~priority:0 ~cycles:(Int64.of_int c)
+            (fun () -> ()))
+        cycles_list;
+      ignore (Sim.Engine.run engine);
+      let total = List.fold_left ( + ) 0 cycles_list in
+      Sim.Rtos.executed_cycles pe = Int64.of_int total)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "event ordering" `Quick test_event_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "nested scheduling" `Quick test_schedule_in_callback;
+          Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected;
+          QCheck_alcotest.to_alcotest prop_monotone_time;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "aggregation" `Quick test_trace_aggregation;
+          Alcotest.test_case "line round-trip" `Quick test_trace_line_roundtrip;
+          Alcotest.test_case "file round-trip" `Quick test_trace_file_roundtrip;
+          Alcotest.test_case "bad lines" `Quick test_trace_bad_lines;
+          QCheck_alcotest.to_alcotest prop_trace_roundtrip;
+        ] );
+      ( "rtos",
+        [
+          Alcotest.test_case "fifo order" `Quick test_rtos_fifo_order;
+          Alcotest.test_case "priority order" `Quick test_rtos_priority_order;
+          Alcotest.test_case "preemption resumes" `Quick test_rtos_preemption_resumes;
+          Alcotest.test_case "busy accounting" `Quick test_rtos_busy_accounting;
+          Alcotest.test_case "perf factor" `Quick test_rtos_perf_factor;
+          QCheck_alcotest.to_alcotest prop_fifo_work_conservation;
+        ] );
+    ]

@@ -1,0 +1,534 @@
+(* Tests for the TUT-Profile: stereotype definitions (Tables 1-3), the
+   typed view, and every design rule R01-R17 with a seeded violation. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+open Tut_profile
+
+(* Update one tagged value on a part's stereotype application. *)
+let set_part_tag b ~owner ~part ~stereotype name value =
+  let element = Uml.Element.Part_ref { class_name = owner; part } in
+  {
+    b with
+    Builder.apps =
+      Profile.Apply.set_value b.Builder.apps ~element ~stereotype name value;
+  }
+
+(* ---- a minimal valid model ----------------------------------------- *)
+
+let noop_machine name =
+  Efsm.Machine.make ~name ~states:[ "s" ] ~initial:"s"
+    [
+      Efsm.Machine.transition ~src:"s" ~dst:"s" (Efsm.Machine.On_signal "Go")
+        ~actions:[ Efsm.Action.compute (Efsm.Action.i 10) ];
+    ]
+
+let part name class_name = { Uml.Classifier.name; Uml.Classifier.class_name }
+
+let conn name a b =
+  Uml.Connector.make ~name
+    ~from_:(Uml.Connector.endpoint ~part:(fst a) (snd a))
+    ~to_:(Uml.Connector.endpoint ~part:(fst b) (snd b))
+
+(* Builds the baseline model; each rule test perturbs it through the
+   [tweak] callbacks. *)
+let base_model ?(comp_active = true) ?(app_parts = [ "a"; "b" ])
+    ?(group_of = fun p -> if p = "a" then "g1" else "g2")
+    ?(map_g1 = Some "cpu1") ?(map_g2 = Some "cpu1") ?(extra = fun b -> b) () =
+  let open Builder in
+  let comp =
+    if comp_active then
+      Uml.Classifier.make ~kind:Uml.Classifier.Active
+        ~ports:[ Uml.Port.make "in" ~receives:[ "Go" ] ]
+        ~behavior:(noop_machine "comp") "Comp"
+    else Uml.Classifier.make "Comp"
+  in
+  let app =
+    Uml.Classifier.make
+      ~parts:(List.map (fun p -> part p "Comp") app_parts)
+      "App"
+  in
+  let grouping_cls =
+    Uml.Classifier.make
+      ~parts:[ part "g1" "Pgt"; part "g2" "Pgt" ]
+      "Groups"
+  in
+  let platform_cls =
+    Uml.Classifier.make
+      ~parts:
+        [
+          part "cpu1" "Cpu";
+          part "acc1" "Acc";
+          part "seg" "SegLib";
+        ]
+      ~connectors:
+        [
+          conn "w_cpu1" ("cpu1", "bus") ("seg", "p0");
+          conn "w_acc1" ("acc1", "bus") ("seg", "p1");
+        ]
+      "Plat"
+  in
+  let b = create "mini" in
+  let b = signal b (Uml.Signal.make "Go") in
+  let b = component_class b comp in
+  let b = plain_class b (Uml.Classifier.make "Pgt") in
+  let b = plain_class b grouping_cls in
+  let b = application_class b app in
+  let b =
+    List.fold_left (fun b p -> process b ~owner:"App" ~part:p) b app_parts
+  in
+  let b = group b ~owner:"Groups" ~part:"g1" in
+  let b =
+    group ~process_type:Tut_profile.Stereotypes.pt_general b ~owner:"Groups"
+      ~part:"g2"
+  in
+  let b =
+    List.fold_left
+      (fun b p ->
+        grouping b ~name:("grp_" ^ p) ~process:("App", p)
+          ~group:("Groups", group_of p))
+      b app_parts
+  in
+  let b =
+    plain_class b (Uml.Classifier.make ~ports:[ Uml.Port.make "bus" ] "Cpu" |> fun c -> c)
+  in
+  let b =
+    platform_component_class
+      ~tags:[ tenum "Type" Stereotypes.ct_hw_accelerator ]
+      b
+      (Uml.Classifier.make ~ports:[ Uml.Port.make "bus" ] "Acc")
+  in
+  (* Cpu needs the PlatformComponent stereotype too; add it by hand since
+     we built the class above without one. *)
+  let b =
+    {
+      b with
+      Builder.apps =
+        Profile.Apply.apply b.Builder.apps
+          ~stereotype:Stereotypes.platform_component
+          ~element:(Uml.Element.Class_ref "Cpu") ();
+    }
+  in
+  let b =
+    plain_class b
+      (Uml.Classifier.make
+         ~ports:[ Uml.Port.make "p0"; Uml.Port.make "p1" ]
+         "SegLib")
+  in
+  let b = platform_class b platform_cls in
+  let b = pe_instance b ~owner:"Plat" ~part:"cpu1" ~id:1 in
+  let b = pe_instance b ~owner:"Plat" ~part:"acc1" ~id:2 in
+  let b = comm_segment b ~owner:"Plat" ~part:"seg" in
+  let b = comm_wrapper b ~owner:"Plat" ~connector:"w_cpu1" ~address:1 in
+  let b = comm_wrapper b ~owner:"Plat" ~connector:"w_acc1" ~address:2 in
+  let b =
+    match map_g1 with
+    | Some pe -> mapping b ~name:"m1" ~group:("Groups", "g1") ~pe:("Plat", pe)
+    | None -> b
+  in
+  let b =
+    match map_g2 with
+    | Some pe -> mapping b ~name:"m2" ~group:("Groups", "g2") ~pe:("Plat", pe)
+    | None -> b
+  in
+  extra b
+
+let rule_hits code report =
+  List.filter
+    (fun (d : Rules.diagnostic) -> d.Rules.rule = code)
+    report.Rules.rule_diagnostics
+
+let validate builder = Builder.validate builder
+
+(* ---- profile definition --------------------------------------------- *)
+
+let test_profile_definition () =
+  check string_t "name" "TUT-Profile"
+    Stereotypes.profile.Profile.Stereotype.name;
+  check int_t "thirteen stereotypes" 13
+    (List.length Stereotypes.profile.Profile.Stereotype.stereotypes);
+  check bool_t "hibi segment specialises" true
+    (Profile.Stereotype.conforms_to Stereotypes.profile
+       Stereotypes.hibi_segment Stereotypes.communication_segment);
+  check bool_t "hibi wrapper specialises" true
+    (Profile.Stereotype.conforms_to Stereotypes.profile Stereotypes.hibi_wrapper
+       Stereotypes.communication_wrapper)
+
+let test_tables_render () =
+  let t1 = Summary.table1 () in
+  List.iter
+    (fun name -> check bool_t name true (contains t1 name))
+    [
+      "Application"; "ApplicationComponent"; "ApplicationProcess"; "ProcessGroup";
+      "ProcessGrouping"; "Platform"; "PlatformComponent";
+      "PlatformComponentInstance"; "CommunicationSegment";
+      "CommunicationWrapper"; "PlatformMapping"; "HIBISegment"; "HIBIWrapper";
+    ];
+  let t2 = Summary.table2 () in
+  List.iter
+    (fun tag -> check bool_t tag true (contains t2 tag))
+    [ "Priority"; "CodeMemory"; "DataMemory"; "RealTimeType"; "ProcessType"; "Fixed" ];
+  let t3 = Summary.table3 () in
+  List.iter
+    (fun tag -> check bool_t tag true (contains t3 tag))
+    [ "Type"; "Area"; "Power"; "DataWidth"; "Frequency"; "Arbitration";
+      "Address"; "BufferSize"; "MaxTime" ];
+  check bool_t "hierarchy mentions mapping" true
+    (contains (Summary.hierarchy ()) "PlatformMapping")
+
+(* ---- view ------------------------------------------------------------ *)
+
+let test_view_baseline () =
+  let b = base_model () in
+  let view = Builder.view b in
+  check int_t "processes" 2 (List.length view.View.processes);
+  check int_t "groups" 2 (List.length view.View.groups);
+  check int_t "groupings" 2 (List.length view.View.groupings);
+  check int_t "pes" 2 (List.length view.View.pes);
+  check int_t "segments" 1 (List.length view.View.segments);
+  check int_t "wrappers" 2 (List.length view.View.wrappers);
+  check int_t "mappings" 2 (List.length view.View.mappings);
+  let a_ref = Uml.Element.Part_ref { class_name = "App"; part = "a" } in
+  (match View.group_of_process view a_ref with
+  | Some g -> check string_t "group of a" "g1" g.View.part
+  | None -> Alcotest.fail "process a has no group");
+  (match View.pe_of_process view a_ref with
+  | Some pe -> check string_t "pe of a" "cpu1" pe.View.part
+  | None -> Alcotest.fail "process a has no PE");
+  let cpu_ref = Uml.Element.Part_ref { class_name = "Plat"; part = "cpu1" } in
+  check int_t "processes on cpu1" 2
+    (List.length (View.processes_on_pe view cpu_ref));
+  check int_t "segments of cpu1" 1
+    (List.length (View.segments_of_pe view cpu_ref))
+
+let test_view_wrapper_classification () =
+  let b = base_model () in
+  let view = Builder.view b in
+  List.iter
+    (fun (w : View.wrapper) ->
+      check bool_t "agent wrapper shape" true
+        (w.View.pe_part <> None && List.length w.View.segment_parts = 1))
+    view.View.wrappers
+
+let test_annotator () =
+  let b = base_model () in
+  let view = Builder.view b in
+  let annot = View.annotator view in
+  check (Alcotest.option string_t) "process annotation"
+    (Some "<<ApplicationProcess>>")
+    (annot (Uml.Element.Part_ref { class_name = "App"; part = "a" }));
+  check (Alcotest.option string_t) "no annotation" None
+    (annot (Uml.Element.Class_ref "Pgt"))
+
+(* ---- rules: baseline is clean ---------------------------------------- *)
+
+let test_baseline_valid () =
+  let report = validate (base_model ()) in
+  check bool_t
+    (Format.asprintf "%a" Rules.pp_report report)
+    true (Rules.is_valid report)
+
+(* ---- rules: seeded violations ---------------------------------------- *)
+
+let test_r01_two_applications () =
+  let extra b =
+    Builder.application_class b (Uml.Classifier.make "App2")
+  in
+  let report = validate (base_model ~extra ()) in
+  check bool_t "R01 fires" true (rule_hits "R01" report <> [])
+
+let test_r02_passive_component () =
+  (* Comp has no behaviour but carries <<ApplicationComponent>>. *)
+  let report = validate (base_model ~comp_active:false ()) in
+  check bool_t "R02 fires" true (rule_hits "R02" report <> [])
+
+let test_r03_unstereotyped_part () =
+  (* A part typed by a component without <<ApplicationProcess>>: add a
+     second container class with an unstereotyped Comp part. *)
+  let extra b =
+    Builder.plain_class b
+      (Uml.Classifier.make ~parts:[ part "hidden" "Comp" ] "Extra")
+  in
+  let report = validate (base_model ~extra ()) in
+  check bool_t "R03 fires" true (rule_hits "R03" report <> [])
+
+let test_r04_process_on_non_component () =
+  let extra b =
+    let b =
+      Builder.plain_class b
+        (Uml.Classifier.make ~parts:[ part "odd" "Pgt" ] "Extra")
+    in
+    Builder.process b ~owner:"Extra" ~part:"odd"
+  in
+  let report = validate (base_model ~extra ()) in
+  check bool_t "R04 fires" true (rule_hits "R04" report <> [])
+
+let test_r05_bad_grouping_endpoints () =
+  let extra b =
+    Builder.grouping b ~name:"bad_grp" ~process:("Groups", "g1")
+      ~group:("App", "a")
+  in
+  let report = validate (base_model ~extra ()) in
+  check bool_t "R05 fires" true (rule_hits "R05" report <> [])
+
+let test_r06_ungrouped_process_warns () =
+  let b =
+    base_model
+      ~extra:(fun b ->
+        (* Remove no grouping; instead add a process without grouping. *)
+        b)
+      ~app_parts:[ "a"; "b"; "c" ]
+      ~group_of:(fun p -> if p = "a" then "g1" else "g2")
+      ()
+  in
+  (* part c got a grouping above (group_of c = g2), so rebuild manually:
+     drop one grouping by using a model where c is simply not grouped. *)
+  ignore b;
+  let open Builder in
+  let b0 = base_model () in
+  let comp3 =
+    Uml.Classifier.make ~parts:[ part "c" "Comp" ] "Extra3"
+  in
+  let b = plain_class b0 comp3 in
+  let b = process b ~owner:"Extra3" ~part:"c" in
+  let report = validate b in
+  let hits = rule_hits "R06" report in
+  check bool_t "R06 warns" true (hits <> []);
+  check bool_t "is a warning" true
+    (List.for_all (fun (d : Rules.diagnostic) -> d.Rules.severity = Rules.Warning) hits)
+
+let test_r06_double_grouping_errors () =
+  let extra b =
+    Builder.grouping b ~name:"grp_dup" ~process:("App", "a")
+      ~group:("Groups", "g2")
+  in
+  let report = validate (base_model ~extra ()) in
+  let hits = rule_hits "R06" report in
+  check bool_t "R06 errors" true
+    (List.exists (fun (d : Rules.diagnostic) -> d.Rules.severity = Rules.Error) hits)
+
+let test_r07_process_type_mismatch () =
+  let extra b =
+    set_part_tag b ~owner:"App" ~part:"a"
+      ~stereotype:Stereotypes.application_process "ProcessType"
+      (Profile.Tag.V_enum Stereotypes.pt_dsp)
+  in
+  let report = validate (base_model ~extra ()) in
+  check bool_t "R07 fires" true (rule_hits "R07" report <> [])
+
+and test_r08_two_platforms () =
+  let extra b = Builder.platform_class b (Uml.Classifier.make "Plat2") in
+  let report = validate (base_model ~extra ()) in
+  check bool_t "R08 fires" true (rule_hits "R08" report <> [])
+
+let test_r09_pe_without_component_class () =
+  let extra b =
+    let b =
+      Builder.plain_class b
+        (Uml.Classifier.make ~parts:[ part "rogue" "Pgt" ] "PlatX")
+    in
+    Builder.pe_instance b ~owner:"PlatX" ~part:"rogue" ~id:9
+  in
+  let report = validate (base_model ~extra ()) in
+  check bool_t "R09 fires" true (rule_hits "R09" report <> [])
+
+let test_r10_duplicate_ids () =
+  let extra b =
+    set_part_tag b ~owner:"Plat" ~part:"acc1"
+      ~stereotype:Stereotypes.platform_component_instance "ID"
+      (Profile.Tag.V_int 1)
+  in
+  let report = validate (base_model ~extra ()) in
+  check bool_t "R10 fires" true (rule_hits "R10" report <> [])
+
+let test_r11_bad_wrapper_shape () =
+  let extra b =
+    (* A wrapper on a connector between two PEs. *)
+    let model = Builder.model b in
+    let plat = Option.get (Uml.Model.find_class model "Plat") in
+    let plat' =
+      Uml.Classifier.make ~kind:plat.Uml.Classifier.kind
+        ~ports:plat.Uml.Classifier.ports ~parts:plat.Uml.Classifier.parts
+        ~connectors:
+          (plat.Uml.Classifier.connectors
+          @ [ conn "w_bad" ("cpu1", "bus") ("acc1", "bus") ])
+        "PlatTmp"
+    in
+    (* Replace by rebuilding: simpler to add a fresh class + wrapper. *)
+    ignore plat';
+    let extra_cls =
+      Uml.Classifier.make
+        ~parts:[ part "x1" "Cpu"; part "x2" "Cpu" ]
+        ~connectors:[ conn "w_bad" ("x1", "bus") ("x2", "bus") ]
+        "PlatY"
+    in
+    let b = Builder.plain_class b extra_cls in
+    let b = Builder.pe_instance b ~owner:"PlatY" ~part:"x1" ~id:11 in
+    let b = Builder.pe_instance b ~owner:"PlatY" ~part:"x2" ~id:12 in
+    Builder.comm_wrapper b ~owner:"PlatY" ~connector:"w_bad" ~address:99
+  in
+  let report = validate (base_model ~extra ()) in
+  check bool_t "R11 fires" true (rule_hits "R11" report <> [])
+
+let test_r12_duplicate_addresses () =
+  let extra b =
+    let element =
+      Uml.Element.Connector_ref { class_name = "Plat"; connector = "w_acc1" }
+    in
+    {
+      b with
+      Builder.apps =
+        Profile.Apply.set_value b.Builder.apps ~element
+          ~stereotype:Stereotypes.communication_wrapper "Address"
+          (Profile.Tag.V_int 1);
+    }
+  in
+  let report = validate (base_model ~extra ()) in
+  check bool_t "R12 fires" true (rule_hits "R12" report <> [])
+
+let test_r13_bad_mapping_endpoints () =
+  let extra b =
+    Builder.mapping b ~name:"bad_map" ~group:("App", "a") ~pe:("Plat", "cpu1")
+  in
+  let report = validate (base_model ~extra ()) in
+  check bool_t "R13 fires" true (rule_hits "R13" report <> [])
+
+let test_r14_unmapped_group_warns () =
+  let report = validate (base_model ~map_g2:None ()) in
+  let hits = rule_hits "R14" report in
+  check bool_t "R14 warns" true (hits <> [])
+
+let test_r14_double_mapping_errors () =
+  let extra b =
+    Builder.mapping b ~name:"m2b" ~group:("Groups", "g2") ~pe:("Plat", "cpu1")
+  in
+  let report = validate (base_model ~extra ()) in
+  let hits = rule_hits "R14" report in
+  check bool_t "R14 errors" true
+    (List.exists (fun (d : Rules.diagnostic) -> d.Rules.severity = Rules.Error) hits)
+
+let test_r15_hw_mismatch () =
+  (* Mapping an ordinary group onto the accelerator. *)
+  let report = validate (base_model ~map_g2:(Some "acc1") ()) in
+  check bool_t "R15 fires" true (rule_hits "R15" report <> [])
+
+let test_r16_isolated_pe_warns () =
+  (* Remove the wrapper of acc1 by renaming the model: easiest is a PE
+     with no connector at all. *)
+  let extra b =
+    let extra_cls = Uml.Classifier.make ~parts:[ part "lonely" "Cpu" ] "PlatZ" in
+    let b = Builder.plain_class b extra_cls in
+    Builder.pe_instance b ~owner:"PlatZ" ~part:"lonely" ~id:42
+  in
+  let report = validate (base_model ~extra ()) in
+  let hits = rule_hits "R16" report in
+  check bool_t "R16 warns" true (hits <> [])
+
+let test_r18_memory_budget_warns () =
+  let extra b =
+    (* cpu1 gets a 1 KiB memory; process a alone demands 4 KiB. *)
+    let b =
+      set_part_tag b ~owner:"Plat" ~part:"cpu1"
+        ~stereotype:Stereotypes.platform_component_instance "IntMemory"
+        (Profile.Tag.V_int 1024)
+    in
+    let b =
+      set_part_tag b ~owner:"App" ~part:"a"
+        ~stereotype:Stereotypes.application_process "CodeMemory"
+        (Profile.Tag.V_int 3072)
+    in
+    set_part_tag b ~owner:"App" ~part:"a"
+      ~stereotype:Stereotypes.application_process "DataMemory"
+      (Profile.Tag.V_int 1024)
+  in
+  let report = validate (base_model ~extra ()) in
+  let hits = rule_hits "R18" report in
+  check bool_t "R18 warns" true (hits <> []);
+  check bool_t "warning severity" true
+    (List.for_all
+       (fun (d : Rules.diagnostic) -> d.Rules.severity = Rules.Warning)
+       hits)
+
+let test_r18_within_budget_silent () =
+  let extra b =
+    let b =
+      set_part_tag b ~owner:"Plat" ~part:"cpu1"
+        ~stereotype:Stereotypes.platform_component_instance "IntMemory"
+        (Profile.Tag.V_int 65536)
+    in
+    set_part_tag b ~owner:"App" ~part:"a"
+      ~stereotype:Stereotypes.application_process "CodeMemory"
+      (Profile.Tag.V_int 4096)
+  in
+  let report = validate (base_model ~extra ()) in
+  check bool_t "no R18" true (rule_hits "R18" report = [])
+
+let test_r17_hard_rt_colocation_warns () =
+  let extra b =
+    let b =
+      set_part_tag b ~owner:"App" ~part:"a"
+        ~stereotype:Stereotypes.application_process "RealTimeType"
+        (Profile.Tag.V_enum Stereotypes.rt_hard)
+    in
+    set_part_tag b ~owner:"App" ~part:"b"
+      ~stereotype:Stereotypes.application_process "Priority"
+      (Profile.Tag.V_int 10)
+  in
+  let report = validate (base_model ~extra ()) in
+  check bool_t "R17 warns" true (rule_hits "R17" report <> [])
+
+let () =
+  Alcotest.run "tut_profile"
+    [
+      ( "definition",
+        [
+          Alcotest.test_case "profile definition" `Quick test_profile_definition;
+          Alcotest.test_case "tables render" `Quick test_tables_render;
+        ] );
+      ( "view",
+        [
+          Alcotest.test_case "baseline view" `Quick test_view_baseline;
+          Alcotest.test_case "wrapper classification" `Quick
+            test_view_wrapper_classification;
+          Alcotest.test_case "annotator" `Quick test_annotator;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "baseline valid" `Quick test_baseline_valid;
+          Alcotest.test_case "R01 two applications" `Quick test_r01_two_applications;
+          Alcotest.test_case "R02 passive component" `Quick test_r02_passive_component;
+          Alcotest.test_case "R03 unstereotyped part" `Quick test_r03_unstereotyped_part;
+          Alcotest.test_case "R04 process on non-component" `Quick
+            test_r04_process_on_non_component;
+          Alcotest.test_case "R05 bad grouping" `Quick test_r05_bad_grouping_endpoints;
+          Alcotest.test_case "R06 ungrouped warns" `Quick test_r06_ungrouped_process_warns;
+          Alcotest.test_case "R06 double grouping errors" `Quick
+            test_r06_double_grouping_errors;
+          Alcotest.test_case "R07 type mismatch" `Quick test_r07_process_type_mismatch;
+          Alcotest.test_case "R08 two platforms" `Quick test_r08_two_platforms;
+          Alcotest.test_case "R09 pe class" `Quick test_r09_pe_without_component_class;
+          Alcotest.test_case "R10 duplicate ids" `Quick test_r10_duplicate_ids;
+          Alcotest.test_case "R11 wrapper shape" `Quick test_r11_bad_wrapper_shape;
+          Alcotest.test_case "R12 duplicate addresses" `Quick test_r12_duplicate_addresses;
+          Alcotest.test_case "R13 bad mapping" `Quick test_r13_bad_mapping_endpoints;
+          Alcotest.test_case "R14 unmapped warns" `Quick test_r14_unmapped_group_warns;
+          Alcotest.test_case "R14 double mapping errors" `Quick
+            test_r14_double_mapping_errors;
+          Alcotest.test_case "R15 hw mismatch" `Quick test_r15_hw_mismatch;
+          Alcotest.test_case "R16 isolated pe warns" `Quick test_r16_isolated_pe_warns;
+          Alcotest.test_case "R17 hard rt colocation" `Quick
+            test_r17_hard_rt_colocation_warns;
+          Alcotest.test_case "R18 memory budget warns" `Quick
+            test_r18_memory_budget_warns;
+          Alcotest.test_case "R18 within budget silent" `Quick
+            test_r18_within_budget_silent;
+        ] );
+    ]

@@ -1,0 +1,411 @@
+(* Integration tests on the TUTMAC/TUTWLAN case study: model validity,
+   figure rendering, end-to-end simulation and the Table 4 shape. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let short_config =
+  { Tutmac.Scenario.default with Tutmac.Scenario.duration_ns = 300_000_000L }
+
+let run ?via_xmi config =
+  match Tutmac.Scenario.run ?via_xmi config with
+  | Ok result -> result
+  | Error e -> Alcotest.failf "scenario failed: %s" e
+
+(* -- model --------------------------------------------------------------- *)
+
+let test_model_valid () =
+  let report = Tutmac.Scenario.validate Tutmac.Scenario.default in
+  check bool_t
+    (Format.asprintf "%a" Tut_profile.Rules.pp_report report)
+    true
+    (Tut_profile.Rules.is_valid report)
+
+let test_model_inventory () =
+  let view =
+    Tut_profile.Builder.view (Tutmac.Scenario.build_model Tutmac.Scenario.default)
+  in
+  check int_t "eight processes" 8 (List.length view.Tut_profile.View.processes);
+  check int_t "four groups" 4 (List.length view.Tut_profile.View.groups);
+  check int_t "four PEs" 4 (List.length view.Tut_profile.View.pes);
+  check int_t "three segments" 3 (List.length view.Tut_profile.View.segments);
+  check int_t "six wrappers" 6 (List.length view.Tut_profile.View.wrappers);
+  check int_t "four mappings" 4 (List.length view.Tut_profile.View.mappings);
+  (* All segments and wrappers use the HIBI specialisations. *)
+  check bool_t "segments are HIBI" true
+    (List.for_all
+       (fun (s : Tut_profile.View.segment) -> s.Tut_profile.View.is_hibi)
+       view.Tut_profile.View.segments);
+  check bool_t "wrappers are HIBI" true
+    (List.for_all
+       (fun (w : Tut_profile.View.wrapper) -> w.Tut_profile.View.is_hibi)
+       view.Tut_profile.View.wrappers);
+  (* Package organisation: application, grouping and platform library. *)
+  let model = view.Tut_profile.View.model in
+  check int_t "three packages" 3 (List.length model.Uml.Model.packages);
+  check (Alcotest.option Alcotest.string) "top class package"
+    (Some "TutmacApplication")
+    (Uml.Model.package_of_class model "Tutmac_Protocol");
+  check (Alcotest.option Alcotest.string) "processor package"
+    (Some "TutwlanPlatformLibrary")
+    (Uml.Model.package_of_class model "Processor")
+
+let test_system_shape () =
+  match Tutmac.Scenario.system Tutmac.Scenario.default with
+  | Error problems -> Alcotest.failf "lower: %s" (String.concat "; " problems)
+  | Ok sys ->
+    check int_t "eight application processes" 8
+      (List.length
+         (List.filter
+            (fun p -> not (Codegen.Ir.is_environment p))
+            sys.Codegen.Ir.procs));
+    check int_t "three environment processes" 3
+      (List.length (List.filter Codegen.Ir.is_environment sys.Codegen.Ir.procs));
+    check (Alcotest.list Alcotest.string) "consistent" [] (Codegen.Ir.check sys);
+    (* The Figure 8 placement. *)
+    let pe_of name =
+      (Option.get (Codegen.Ir.find_proc sys name)).Codegen.Ir.pe
+    in
+    check (Alcotest.option Alcotest.string) "rca on processor1"
+      (Some "processor1")
+      (pe_of "Tutmac_Protocol.rca");
+    check (Alcotest.option Alcotest.string) "mng on processor2"
+      (Some "processor2")
+      (pe_of "Tutmac_Protocol.mng");
+    check (Alcotest.option Alcotest.string) "frag on processor1"
+      (Some "processor1")
+      (pe_of "Tutmac_Protocol.dp.frag");
+    check (Alcotest.option Alcotest.string) "crc on accelerator1"
+      (Some "accelerator1")
+      (pe_of "Tutmac_Protocol.dp.crc")
+
+(* -- figures -------------------------------------------------------------- *)
+
+let test_figures_render () =
+  let figures = Tutmac.Scenario.render_figures Tutmac.Scenario.default in
+  check int_t "six figures" 6 (List.length figures);
+  let get id = List.assoc id figures in
+  check bool_t "fig4 shows stereotyped components" true
+    (contains (get "figure4") "<<ApplicationComponent>> RadioChannelAccess");
+  check bool_t "fig5 shows process parts" true
+    (contains (get "figure5") "<<ApplicationProcess>> rca : RadioChannelAccess");
+  check bool_t "fig5 shows connectors" true (contains (get "figure5") "MngToRCh");
+  check bool_t "fig6 shows grouping" true
+    (contains (get "figure6") "<<ProcessGrouping>>");
+  check bool_t "fig7 shows platform instances" true
+    (contains (get "figure7") "processor1 : Processor");
+  check bool_t "fig7 shows hibi segments" true
+    (contains (get "figure7") "hibisegment1");
+  check bool_t "fig8 shows mapping" true
+    (contains (get "figure8") "<<PlatformMapping>>");
+  check bool_t "fig8 group4 to accelerator" true
+    (contains (get "figure8") "part:TutmacGrouping/group4 --<<PlatformMapping>>--> part:TutwlanPlatform/accelerator1")
+
+(* -- end-to-end simulation ------------------------------------------------- *)
+
+let test_table4_shape () =
+  let result = run short_config in
+  let report = result.Tutmac.Scenario.report in
+  let proportion g = Profiler.Report.proportion report g in
+  (* The paper's Table 4a shape: Group1 dominates (92.1 %), then Group2
+     (5.2 %), Group3 (2.5 %), Group4 (0.2 %), Environment 0. *)
+  check bool_t "group1 dominates" true (proportion "group1" > 0.80);
+  check bool_t "group2 second" true
+    (proportion "group2" > proportion "group3");
+  check bool_t "group3 third" true
+    (proportion "group3" > proportion "group4");
+  check bool_t "group4 small but nonzero" true
+    (proportion "group4" > 0.0 && proportion "group4" < 0.05);
+  check (Alcotest.float 1e-9) "environment zero" 0.0
+    (proportion Profiler.Groups.environment_group)
+
+let test_table4_matrix () =
+  let result = run short_config in
+  let report = result.Tutmac.Scenario.report in
+  let cell s r = Profiler.Report.signals_between report ~sender:s ~receiver:r in
+  (* The data path: env -> group3 (MSDUs in), group3 <-> group4 (CRC),
+     group3 -> group1 (PDUs), group1 <-> env (radio), group1 -> group3
+     (received PDUs), management chatter group1 <-> group2. *)
+  check bool_t "env feeds ui" true (cell "Environment" "group3" > 0);
+  check bool_t "frag asks crc" true (cell "group3" "group4" > 0);
+  check bool_t "crc answers frag" true (cell "group4" "group3" > 0);
+  check bool_t "pdus to rca" true (cell "group3" "group1" > 0);
+  check bool_t "rca transmits" true (cell "group1" "Environment" > 0);
+  check bool_t "radio loops back" true (cell "Environment" "group1" > 0);
+  check bool_t "rca to defrag" true (cell "group1" "group3" > 0);
+  check bool_t "mng commands rca" true (cell "group2" "group1" > 0);
+  check bool_t "rca reports to mng" true (cell "group1" "group2" > 0);
+  (* CRC talks to nobody else. *)
+  check int_t "crc isolated from group1" 0 (cell "group4" "group1");
+  check int_t "crc isolated from env" 0 (cell "group4" "Environment")
+
+let test_data_flows_end_to_end () =
+  let result = run short_config in
+  let rt = result.Tutmac.Scenario.runtime in
+  let var proc name =
+    match Codegen.Runtime.process_var rt proc name with
+    | Some (Efsm.Action.V_int n) -> n
+    | _ -> -1
+  in
+  (* 300 ms at one MSDU per 20 ms: 14-15 MSDUs accepted. *)
+  let accepted = var "Tutmac_Protocol.ui.msduRec" "accepted" in
+  check bool_t "msdus accepted" true (accepted >= 10);
+  (* Each fragmented into 4 CRC blocks. *)
+  let blocks = var "Tutmac_Protocol.dp.crc" "blocks" in
+  check bool_t "crc blocks about 4x msdus" true
+    (blocks >= 4 * (accepted - 2));
+  (* Some MSDUs survive the lossy radio and reach the user again. *)
+  let delivered = var "Tutmac_Protocol.ui.msduDel" "delivered" in
+  check bool_t "msdus delivered back" true (delivered > 0);
+  let received = var "user_env" "received" in
+  check bool_t "user got them" true (received > 0 && received <= accepted);
+  check (Alcotest.list Alcotest.string) "no runtime errors" []
+    (Codegen.Runtime.runtime_errors rt)
+
+let test_radio_loss () =
+  let result = run short_config in
+  let rt = result.Tutmac.Scenario.runtime in
+  (match Codegen.Runtime.process_var rt "radio_env" "dropped" with
+  | Some (Efsm.Action.V_int n) -> check bool_t "some pdus dropped" true (n > 0)
+  | _ -> Alcotest.fail "radio_env missing");
+  (* rca transmissions = radio receptions + drops. *)
+  match
+    ( Codegen.Runtime.process_var rt "radio_env" "n",
+      Codegen.Runtime.process_var rt "radio_env" "dropped" )
+  with
+  | Some (Efsm.Action.V_int n), Some (Efsm.Action.V_int dropped) ->
+    check int_t "one in twenty dropped" (n / 20) dropped
+  | _ -> Alcotest.fail "radio_env vars missing"
+
+let test_msdu_latency_measured () =
+  let result = run short_config in
+  match
+    Profiler.Latency.measure ~src_signal:Tutmac.Signals.msdu_req
+      ~dst_signal:Tutmac.Signals.msdu_ind result.Tutmac.Scenario.trace
+  with
+  | None -> Alcotest.fail "no MSDU latencies matched"
+  | Some stats ->
+    check bool_t "several matched" true (stats.Profiler.Latency.matched > 5);
+    (* A full MSDU needs 4 PDUs through 200 us TDMA slots: at least
+       ~0.6 ms and well under a second. *)
+    check bool_t "latency above slot scale" true
+      (stats.Profiler.Latency.min_ns > 300_000L);
+    check bool_t "latency bounded" true
+      (stats.Profiler.Latency.max_ns < 1_000_000_000L);
+    check bool_t "p95 ordered" true
+      (stats.Profiler.Latency.p95_ns <= stats.Profiler.Latency.max_ns
+      && Int64.to_float stats.Profiler.Latency.p95_ns
+         >= stats.Profiler.Latency.mean_ns *. 0.5)
+
+let test_via_xmi_identical_report () =
+  let direct = run short_config in
+  let via = run ~via_xmi:true short_config in
+  check bool_t "identical Table 4" true
+    (Profiler.Report.render direct.Tutmac.Scenario.report
+    = Profiler.Report.render via.Tutmac.Scenario.report)
+
+let test_hibi_traffic_present () =
+  let result = run short_config in
+  let stats = Codegen.Runtime.segment_stats result.Tutmac.Scenario.runtime in
+  (* group2 is on processor2, so management traffic crosses hibisegment1;
+     CRC traffic crosses the bridge to the accelerator. *)
+  let words seg = (List.assoc seg stats).Hibi.Network.words in
+  check bool_t "segment1 carries traffic" true (words "hibisegment1" > 0L);
+  check bool_t "segment2 carries traffic" true (words "hibisegment2" > 0L);
+  check bool_t "bridge carries traffic" true (words "bridge" > 0L)
+
+let test_crc_offload_ablation () =
+  (* Figure 8's decision vs. software CRC on processor3. *)
+  let sw_config = { short_config with Tutmac.Scenario.crc_on_accelerator = false } in
+  let report = Tutmac.Scenario.validate sw_config in
+  check bool_t "software variant still valid" true
+    (Tut_profile.Rules.is_valid report);
+  let hw = run short_config in
+  let sw = run sw_config in
+  let accel_busy result =
+    List.assoc "accelerator1"
+      (Codegen.Runtime.pe_busy_ns result.Tutmac.Scenario.runtime)
+  in
+  let p3_busy result =
+    List.assoc "processor3"
+      (Codegen.Runtime.pe_busy_ns result.Tutmac.Scenario.runtime)
+  in
+  check bool_t "hw variant uses the accelerator" true (accel_busy hw > 0L);
+  check bool_t "sw variant leaves it idle" true (accel_busy sw = 0L);
+  check bool_t "sw variant busies processor3" true (p3_busy sw > 0L);
+  (* The accelerator does the same work in far less busy time. *)
+  check bool_t "acceleration effective" true
+    (accel_busy hw < Int64.div (p3_busy sw) 4L)
+
+let test_scheduling_variants_run () =
+  let fifo_config = { short_config with Tutmac.Scenario.scheduling = Codegen.Ir.Fifo } in
+  let fifo = run fifo_config in
+  let pri = run short_config in
+  (* Both schedulers complete the workload; total application cycles are
+     within a few percent of each other (the work is the same). *)
+  let total r = r.Tutmac.Scenario.report.Profiler.Report.total_cycles in
+  let delta = Int64.abs (Int64.sub (total fifo) (total pri)) in
+  check bool_t "same work under both schedulers" true
+    (Int64.to_float delta < 0.05 *. Int64.to_float (total pri))
+
+let test_scheduling_latency_effect () =
+  (* Under saturating traffic, the priority RTOS bounds the hard-RT
+     channel-access process's queueing latency far below FIFO's. *)
+  let loaded scheduling =
+    {
+      short_config with
+      Tutmac.Scenario.duration_ns = 100_000_000L;
+      Tutmac.Scenario.scheduling = scheduling;
+      Tutmac.Scenario.workload =
+        {
+          Tutmac.Workload.default_params with
+          Tutmac.Workload.msdu_period_ns = 2_000_000;
+        };
+    }
+  in
+  let max_wait config =
+    let result = run config in
+    match
+      List.assoc_opt "Tutmac_Protocol.rca"
+        (Codegen.Runtime.queue_latencies result.Tutmac.Scenario.runtime)
+    with
+    | Some (_, _, max_ns) -> max_ns
+    | None -> Alcotest.fail "rca latency missing"
+  in
+  let pri = max_wait (loaded Codegen.Ir.Priority_preemptive) in
+  let fifo = max_wait (loaded Codegen.Ir.Fifo) in
+  check bool_t
+    (Printf.sprintf "priority bounds rca latency (%Ld < %Ld)" pri fifo)
+    true
+    (Int64.mul 2L pri < fifo)
+
+let test_arbitration_variants_run () =
+  let rr_platform =
+    {
+      Tutmac.Platform_model.default_params with
+      Tutmac.Platform_model.arbitration = Tut_profile.Stereotypes.arb_round_robin;
+    }
+  in
+  let rr_config = { short_config with Tutmac.Scenario.platform = rr_platform } in
+  let rr = run rr_config in
+  let pri = run short_config in
+  let words r =
+    List.fold_left
+      (fun acc (_, s) -> Int64.add acc s.Hibi.Network.words)
+      0L
+      (Codegen.Runtime.segment_stats r.Tutmac.Scenario.runtime)
+  in
+  check bool_t "same words under both arbiters" true (words rr = words pri)
+
+let test_hierarchical_management_variant () =
+  (* The HSM-modelled Management flattens, validates and preserves the
+     Table 4 shape. *)
+  let config =
+    {
+      short_config with
+      Tutmac.Scenario.duration_ns = 200_000_000L;
+      Tutmac.Scenario.app =
+        { Tutmac.App_model.default_params with
+          Tutmac.App_model.hierarchical_mng = true };
+    }
+  in
+  let validation = Tutmac.Scenario.validate config in
+  check bool_t "hsm variant valid" true (Tut_profile.Rules.is_valid validation);
+  let result = run config in
+  let proportion g =
+    Profiler.Report.proportion result.Tutmac.Scenario.report g
+  in
+  check bool_t "group1 still dominates" true (proportion "group1" > 0.8);
+  check bool_t "group2 still active" true (proportion "group2" > 0.01);
+  (* The flattened machine ends up in the Operational leaf. *)
+  check (Alcotest.option Alcotest.string) "mng reached Operational"
+    (Some "Operational")
+    (Codegen.Runtime.process_state result.Tutmac.Scenario.runtime
+       "Tutmac_Protocol.mng")
+
+let test_run_builder_matches_run () =
+  let direct = run short_config in
+  let via_builder =
+    match
+      Tutmac.Scenario.run_builder short_config
+        (Tutmac.Scenario.build_model short_config)
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "run_builder: %s" e
+  in
+  check bool_t "same report" true
+    (Profiler.Report.render direct.Tutmac.Scenario.report
+    = Profiler.Report.render via_builder.Tutmac.Scenario.report)
+
+let test_determinism () =
+  let a = run short_config and b = run short_config in
+  check bool_t "identical traces" true
+    (Sim.Trace.to_lines a.Tutmac.Scenario.trace
+    = Sim.Trace.to_lines b.Tutmac.Scenario.trace)
+
+(* Property: over a range of traffic rates, Group1 stays dominant (its
+   slot upkeep is rate-independent) and total cycles grow with rate. *)
+let prop_group1_dominates_across_rates =
+  QCheck.Test.make ~name:"group1 dominates across traffic rates" ~count:5
+    QCheck.(int_range 10 80)
+    (fun msdu_period_ms ->
+      let config =
+        {
+          short_config with
+          Tutmac.Scenario.duration_ns = 100_000_000L;
+          Tutmac.Scenario.workload =
+            {
+              Tutmac.Workload.default_params with
+              Tutmac.Workload.msdu_period_ns = msdu_period_ms * 1_000_000;
+            };
+        }
+      in
+      match Tutmac.Scenario.run config with
+      | Error _ -> false
+      | Ok result ->
+        Profiler.Report.proportion result.Tutmac.Scenario.report "group1" > 0.5)
+
+let () =
+  Alcotest.run "tutmac"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "valid" `Quick test_model_valid;
+          Alcotest.test_case "inventory" `Quick test_model_inventory;
+          Alcotest.test_case "system shape" `Quick test_system_shape;
+          Alcotest.test_case "figures render" `Quick test_figures_render;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "table 4a shape" `Slow test_table4_shape;
+          Alcotest.test_case "table 4b matrix" `Slow test_table4_matrix;
+          Alcotest.test_case "data flows end to end" `Slow
+            test_data_flows_end_to_end;
+          Alcotest.test_case "radio loss" `Slow test_radio_loss;
+          Alcotest.test_case "msdu latency" `Slow test_msdu_latency_measured;
+          Alcotest.test_case "via xmi identical" `Slow test_via_xmi_identical_report;
+          Alcotest.test_case "hibi traffic" `Slow test_hibi_traffic_present;
+          Alcotest.test_case "determinism" `Slow test_determinism;
+          Alcotest.test_case "hierarchical management" `Slow
+            test_hierarchical_management_variant;
+          Alcotest.test_case "run_builder matches run" `Slow
+            test_run_builder_matches_run;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "crc offload" `Slow test_crc_offload_ablation;
+          Alcotest.test_case "scheduling variants" `Slow
+            test_scheduling_variants_run;
+          Alcotest.test_case "scheduling latency effect" `Slow
+            test_scheduling_latency_effect;
+          Alcotest.test_case "arbitration variants" `Slow
+            test_arbitration_variants_run;
+          QCheck_alcotest.to_alcotest prop_group1_dominates_across_rates;
+        ] );
+    ]

@@ -1,0 +1,341 @@
+(* Tests for the UML metamodel subset: classifiers, model store,
+   element references, well-formedness and rendering. *)
+
+let check = Alcotest.check
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+let dummy_machine =
+  Efsm.Machine.make ~name:"beh" ~states:[ "s" ] ~initial:"s"
+    [
+      Efsm.Machine.transition ~src:"s" ~dst:"s" (Efsm.Machine.On_signal "ping")
+        ~actions:[ Efsm.Action.send ~port:"out" "pong" ];
+    ]
+
+let worker_class =
+  Uml.Classifier.make ~kind:Uml.Classifier.Active
+    ~ports:
+      [
+        Uml.Port.make "in" ~receives:[ "ping" ];
+        Uml.Port.make "out" ~sends:[ "pong" ];
+      ]
+    ~behavior:dummy_machine "Worker"
+
+let box_class =
+  Uml.Classifier.make
+    ~ports:[ Uml.Port.make "ext" ~receives:[ "ping" ] ~sends:[ "pong" ] ]
+    ~parts:[ { Uml.Classifier.name = "w"; Uml.Classifier.class_name = "Worker" } ]
+    ~connectors:
+      [
+        Uml.Connector.make ~name:"c_in"
+          ~from_:(Uml.Connector.endpoint "ext")
+          ~to_:(Uml.Connector.endpoint ~part:"w" "in");
+        Uml.Connector.make ~name:"c_out"
+          ~from_:(Uml.Connector.endpoint ~part:"w" "out")
+          ~to_:(Uml.Connector.endpoint "ext");
+      ]
+    "Box"
+
+let valid_model =
+  let open Uml.Model in
+  empty "demo"
+  |> Fun.flip add_signal (Uml.Signal.make "ping")
+  |> Fun.flip add_signal (Uml.Signal.make "pong")
+  |> Fun.flip add_class worker_class
+  |> Fun.flip add_class box_class
+
+(* -- classifier construction ----------------------------------------- *)
+
+let test_classifier_invariants () =
+  Alcotest.check_raises "active without behaviour"
+    (Invalid_argument "Uml.Classifier.make: active class A needs behaviour")
+    (fun () -> ignore (Uml.Classifier.make ~kind:Uml.Classifier.Active "A"));
+  (match
+     Uml.Classifier.make ~behavior:dummy_machine "P"
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "passive with behaviour accepted");
+  match
+    Uml.Classifier.make
+      ~ports:[ Uml.Port.make "p"; Uml.Port.make "p" ]
+      "Dup"
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate port accepted"
+
+let test_classifier_lookups () =
+  check bool_t "find_port" true (Uml.Classifier.find_port worker_class "in" <> None);
+  check bool_t "find_part" true (Uml.Classifier.find_part box_class "w" <> None);
+  check bool_t "find_connector" true
+    (Uml.Classifier.find_connector box_class "c_in" <> None);
+  check bool_t "is_active" true (Uml.Classifier.is_active worker_class);
+  check bool_t "passive" false (Uml.Classifier.is_active box_class)
+
+(* -- model store ------------------------------------------------------ *)
+
+let test_model_duplicates () =
+  Alcotest.check_raises "duplicate class"
+    (Invalid_argument "Uml.Model.add_class: duplicate Worker") (fun () ->
+      ignore (Uml.Model.add_class valid_model worker_class));
+  Alcotest.check_raises "duplicate signal"
+    (Invalid_argument "Uml.Model.add_signal: duplicate ping") (fun () ->
+      ignore (Uml.Model.add_signal valid_model (Uml.Signal.make "ping")))
+
+let test_model_queries () =
+  check int_t "active classes" 1 (List.length (Uml.Model.active_classes valid_model));
+  check int_t "all parts" 1 (List.length (Uml.Model.all_parts valid_model));
+  check int_t "process parts" 1
+    (List.length (Uml.Model.process_parts valid_model));
+  let parts = Uml.Model.parts_of valid_model "Box" in
+  check int_t "parts_of" 1 (List.length parts);
+  (match parts with
+  | [ (part, cls) ] ->
+    check string_t "part name" "w" part.Uml.Classifier.name;
+    check string_t "part class" "Worker" cls.Uml.Classifier.name
+  | _ -> Alcotest.fail "unexpected parts");
+  Alcotest.check_raises "parts_of missing class" Not_found (fun () ->
+      ignore (Uml.Model.parts_of valid_model "Missing"))
+
+let test_resolve () =
+  let resolves r = Uml.Model.resolve valid_model r in
+  check bool_t "class" true (resolves (Uml.Element.Class_ref "Worker"));
+  check bool_t "signal" true (resolves (Uml.Element.Signal_ref "ping"));
+  check bool_t "part" true
+    (resolves (Uml.Element.Part_ref { class_name = "Box"; part = "w" }));
+  check bool_t "port" true
+    (resolves (Uml.Element.Port_ref { class_name = "Worker"; port = "in" }));
+  check bool_t "connector" true
+    (resolves
+       (Uml.Element.Connector_ref { class_name = "Box"; connector = "c_in" }));
+  check bool_t "missing part" false
+    (resolves (Uml.Element.Part_ref { class_name = "Box"; part = "zz" }))
+
+(* -- packages ---------------------------------------------------------- *)
+
+let test_packages () =
+  let m = Uml.Model.add_package valid_model ~name:"pkg" ~members:[ "Worker" ] in
+  check bool_t "find_package" true (Uml.Model.find_package m "pkg" <> None);
+  check (Alcotest.option string_t) "package_of_class" (Some "pkg")
+    (Uml.Model.package_of_class m "Worker");
+  check (Alcotest.option string_t) "unpackaged class" None
+    (Uml.Model.package_of_class m "Box");
+  check int_t "still well-formed" 0 (List.length (Uml.Model.check m));
+  Alcotest.check_raises "duplicate package"
+    (Invalid_argument "Uml.Model.add_package: duplicate pkg") (fun () ->
+      ignore (Uml.Model.add_package m ~name:"pkg" ~members:[]))
+
+let test_package_checks () =
+  let unknown =
+    Uml.Model.add_package valid_model ~name:"pkg" ~members:[ "Ghost" ]
+  in
+  check bool_t "unknown member reported" true (Uml.Model.check unknown <> []);
+  let doubled =
+    Uml.Model.add_package
+      (Uml.Model.add_package valid_model ~name:"p1" ~members:[ "Worker" ])
+      ~name:"p2" ~members:[ "Worker" ]
+  in
+  check bool_t "double membership reported" true (Uml.Model.check doubled <> [])
+
+(* -- well-formedness --------------------------------------------------- *)
+
+let test_check_valid () =
+  check int_t "no diagnostics" 0 (List.length (Uml.Model.check valid_model))
+
+let test_check_unresolved_part () =
+  let broken =
+    Uml.Model.add_class valid_model
+      (Uml.Classifier.make
+         ~parts:[ { Uml.Classifier.name = "x"; Uml.Classifier.class_name = "Nope" } ]
+         "Broken")
+  in
+  check bool_t "diagnostic emitted" true (Uml.Model.check broken <> [])
+
+let test_check_bad_connector () =
+  let broken =
+    Uml.Model.add_class valid_model
+      (Uml.Classifier.make
+         ~parts:[ { Uml.Classifier.name = "w"; Uml.Classifier.class_name = "Worker" } ]
+         ~connectors:
+           [
+             Uml.Connector.make ~name:"bad"
+               ~from_:(Uml.Connector.endpoint ~part:"w" "nonexistent_port")
+               ~to_:(Uml.Connector.endpoint ~part:"w" "in");
+           ]
+         "Broken2")
+  in
+  check bool_t "bad port detected" true (Uml.Model.check broken <> [])
+
+let test_check_undeclared_signal () =
+  let machine =
+    Efsm.Machine.make ~name:"m" ~states:[ "s" ] ~initial:"s"
+      [
+        Efsm.Machine.transition ~src:"s" ~dst:"s"
+          (Efsm.Machine.On_signal "undeclared");
+      ]
+  in
+  let broken =
+    Uml.Model.add_class valid_model
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active ~behavior:machine "B")
+  in
+  check bool_t "undeclared consumed signal" true (Uml.Model.check broken <> [])
+
+let test_check_port_send_discipline () =
+  (* Behaviour sends pong through port "out", but the port does not
+     declare it. *)
+  let machine =
+    Efsm.Machine.make ~name:"m" ~states:[ "s" ] ~initial:"s"
+      [
+        Efsm.Machine.transition ~src:"s" ~dst:"s" (Efsm.Machine.On_signal "ping")
+          ~actions:[ Efsm.Action.send ~port:"out" "pong" ];
+      ]
+  in
+  let broken =
+    Uml.Model.add_class valid_model
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active
+         ~ports:[ Uml.Port.make "out" (* no sends *) ]
+         ~behavior:machine "C")
+  in
+  check bool_t "port send discipline" true (Uml.Model.check broken <> [])
+
+let test_check_dependency_refs () =
+  let broken =
+    Uml.Model.add_dependency valid_model
+      (Uml.Dependency.make ~name:"d"
+         ~client:(Uml.Element.Class_ref "Missing")
+         ~supplier:(Uml.Element.Class_ref "Worker"))
+  in
+  check bool_t "dangling dependency" true (Uml.Model.check broken <> [])
+
+let test_signal_of_connector () =
+  (match Uml.Model.signal_of_connector valid_model box_class
+           (Option.get (Uml.Classifier.find_connector box_class "c_in"))
+           "ping"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "expected ok: %s" e);
+  match
+    Uml.Model.signal_of_connector valid_model box_class
+      (Option.get (Uml.Classifier.find_connector box_class "c_in"))
+      "pong"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "pong should not travel c_in"
+
+(* -- element refs ------------------------------------------------------ *)
+
+let ref_examples =
+  [
+    Uml.Element.Class_ref "A";
+    Uml.Element.Signal_ref "S";
+    Uml.Element.Dependency_ref "d1";
+    Uml.Element.Part_ref { class_name = "A"; part = "p" };
+    Uml.Element.Port_ref { class_name = "A"; port = "q" };
+    Uml.Element.Connector_ref { class_name = "A"; connector = "c" };
+  ]
+
+let test_element_ref_roundtrip () =
+  List.iter
+    (fun r ->
+      check bool_t (Uml.Element.to_string r) true
+        (Uml.Element.of_string (Uml.Element.to_string r) = Some r))
+    ref_examples
+
+let test_element_ref_bad_strings () =
+  List.iter
+    (fun s ->
+      check bool_t s true (Uml.Element.of_string s = None))
+    [ ""; "noscheme"; "bogus:thing"; "part:missing_slash" ]
+
+let test_metaclasses () =
+  check string_t "class metaclass" "Class"
+    (Uml.Element.metaclass_name
+       (Uml.Element.metaclass_of (Uml.Element.Class_ref "A")));
+  List.iter
+    (fun r ->
+      let name = Uml.Element.metaclass_name (Uml.Element.metaclass_of r) in
+      check bool_t name true
+        (Uml.Element.metaclass_of_name name = Some (Uml.Element.metaclass_of r)))
+    ref_examples
+
+(* -- rendering --------------------------------------------------------- *)
+
+let test_render_class_diagram () =
+  let out = Uml.Render.class_diagram valid_model ~root:"Box" in
+  check bool_t "mentions part class" true (contains out "Worker")
+
+and test_render_composite () =
+  let out = Uml.Render.composite_structure valid_model ~class_name:"Box" in
+  check bool_t "mentions connector" true (contains out "c_in");
+  check bool_t "mentions part" true (contains out "w : Worker")
+
+let prop_ref_roundtrip =
+  let gen_ref =
+    QCheck.Gen.(
+      let name = oneofl [ "A"; "Box"; "Worker_1"; "x" ] in
+      oneof
+        [
+          map (fun n -> Uml.Element.Class_ref n) name;
+          map (fun n -> Uml.Element.Signal_ref n) name;
+          map (fun n -> Uml.Element.Dependency_ref n) name;
+          (let* class_name = name in
+           let* part = name in
+           return (Uml.Element.Part_ref { class_name; part }));
+          (let* class_name = name in
+           let* port = name in
+           return (Uml.Element.Port_ref { class_name; port }));
+          (let* class_name = name in
+           let* connector = name in
+           return (Uml.Element.Connector_ref { class_name; connector }));
+        ])
+  in
+  QCheck.Test.make ~name:"element ref round-trip" ~count:300
+    (QCheck.make ~print:Uml.Element.to_string gen_ref)
+    (fun r -> Uml.Element.of_string (Uml.Element.to_string r) = Some r)
+
+let () =
+  Alcotest.run "uml"
+    [
+      ( "classifier",
+        [
+          Alcotest.test_case "invariants" `Quick test_classifier_invariants;
+          Alcotest.test_case "lookups" `Quick test_classifier_lookups;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "duplicates rejected" `Quick test_model_duplicates;
+          Alcotest.test_case "queries" `Quick test_model_queries;
+          Alcotest.test_case "resolve" `Quick test_resolve;
+          Alcotest.test_case "packages" `Quick test_packages;
+          Alcotest.test_case "package checks" `Quick test_package_checks;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "valid model" `Quick test_check_valid;
+          Alcotest.test_case "unresolved part" `Quick test_check_unresolved_part;
+          Alcotest.test_case "bad connector" `Quick test_check_bad_connector;
+          Alcotest.test_case "undeclared signal" `Quick test_check_undeclared_signal;
+          Alcotest.test_case "port send discipline" `Quick
+            test_check_port_send_discipline;
+          Alcotest.test_case "dangling dependency" `Quick test_check_dependency_refs;
+          Alcotest.test_case "signal over connector" `Quick test_signal_of_connector;
+        ] );
+      ( "element",
+        [
+          Alcotest.test_case "ref round-trip" `Quick test_element_ref_roundtrip;
+          Alcotest.test_case "bad refs" `Quick test_element_ref_bad_strings;
+          Alcotest.test_case "metaclasses" `Quick test_metaclasses;
+          QCheck_alcotest.to_alcotest prop_ref_roundtrip;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "class diagram" `Quick test_render_class_diagram;
+          Alcotest.test_case "composite structure" `Quick test_render_composite;
+        ] );
+    ]

@@ -1,0 +1,211 @@
+(* Tests for the XMI-style serialisation: write, read back, round-trip
+   on hand-built models and on the full TUTMAC model. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let profile = Tut_profile.Stereotypes.profile
+
+let machine =
+  Efsm.Machine.make ~name:"beh" ~states:[ "idle"; "busy" ] ~initial:"idle"
+    ~variables:[ ("n", Efsm.Action.V_int 0); ("flag", Efsm.Action.V_bool true) ]
+    ~entry_actions:
+      Efsm.Action.[ ("busy", [ compute (i 5); assign "flag" (b false) ]) ]
+    ~exit_actions:Efsm.Action.[ ("busy", [ assign "flag" (b true) ]) ]
+    [
+      Efsm.Machine.transition ~src:"idle" ~dst:"busy"
+        (Efsm.Machine.On_signal "Go")
+        ~guard:Efsm.Action.(v "n" < i 10)
+        ~actions:
+          Efsm.Action.
+            [
+              assign "n" (v "n" + p "k");
+              compute (i 100);
+              send ~port:"out" "Done" ~args:[ v "n" ];
+            ];
+      Efsm.Machine.transition ~src:"busy" ~dst:"idle" (Efsm.Machine.After 500);
+      Efsm.Machine.transition ~src:"busy" ~dst:"busy" Efsm.Machine.Completion
+        ~guard:Efsm.Action.(Not (v "flag"));
+    ]
+
+let small_model () =
+  let open Uml.Model in
+  let worker =
+    Uml.Classifier.make ~kind:Uml.Classifier.Active
+      ~attributes:[ { Uml.Classifier.name = "count"; Uml.Classifier.type_name = "int" } ]
+      ~ports:
+        [
+          Uml.Port.make "in" ~receives:[ "Go" ];
+          Uml.Port.make "out" ~sends:[ "Done" ];
+        ]
+      ~behavior:machine "Worker"
+  in
+  let box =
+    Uml.Classifier.make
+      ~ports:[ Uml.Port.make "ext" ~receives:[ "Go" ] ~sends:[ "Done" ] ]
+      ~parts:[ { Uml.Classifier.name = "w"; Uml.Classifier.class_name = "Worker" } ]
+      ~connectors:
+        [
+          Uml.Connector.make ~name:"c1"
+            ~from_:(Uml.Connector.endpoint "ext")
+            ~to_:(Uml.Connector.endpoint ~part:"w" "in");
+        ]
+      "Box"
+  in
+  empty "small"
+  |> Fun.flip add_signal
+       (Uml.Signal.make ~params:[ ("k", Uml.Signal.P_int) ] ~payload_bytes:12 "Go")
+  |> Fun.flip add_signal (Uml.Signal.make "Done")
+  |> Fun.flip add_class worker
+  |> Fun.flip add_class box
+  |> Fun.flip add_dependency
+       (Uml.Dependency.make ~name:"d1"
+          ~client:(Uml.Element.Part_ref { class_name = "Box"; part = "w" })
+          ~supplier:(Uml.Element.Class_ref "Worker"))
+
+let small_apps () =
+  Profile.Apply.apply Profile.Apply.empty
+    ~stereotype:Tut_profile.Stereotypes.application_component
+    ~element:(Uml.Element.Class_ref "Worker")
+    ~values:
+      [
+        ("CodeMemory", Profile.Tag.V_int 1024);
+        ("RealTimeType", Profile.Tag.V_enum "soft");
+      ]
+    ()
+
+let roundtrip model apps =
+  let xml = Xmi.Write.to_string model apps in
+  match Xmi.Read.of_string ~profile xml with
+  | Error e -> Alcotest.failf "read failed: %s" e
+  | Ok pair -> pair
+
+let test_small_roundtrip () =
+  let model = small_model () and apps = small_apps () in
+  let model', apps' = roundtrip model apps in
+  check bool_t "round-trip equal" true
+    (Xmi.Read.roundtrip_equal model apps (model', apps'))
+
+let test_behavior_preserved () =
+  let model = small_model () and apps = small_apps () in
+  let model', _ = roundtrip model apps in
+  let worker = Option.get (Uml.Model.find_class model' "Worker") in
+  match worker.Uml.Classifier.behavior with
+  | None -> Alcotest.fail "behaviour lost"
+  | Some m ->
+    check int_t "transitions" 3 (List.length m.Efsm.Machine.transitions);
+    check int_t "variables" 2 (List.length m.Efsm.Machine.variables);
+    check bool_t "machine equal" true (m = machine)
+
+let test_xml_shape () =
+  let xml = Xmi.Write.to_string (small_model ()) (small_apps ()) in
+  List.iter
+    (fun needle -> check bool_t needle true (contains xml needle))
+    [
+      "<umlModel";
+      "name=\"small\"";
+      "<signal name=\"Go\"";
+      "payloadBytes=\"12\"";
+      "<class name=\"Worker\" kind=\"active\"";
+      "<stateMachine";
+      "guard=";
+      "<apply stereotype=\"ApplicationComponent\"";
+      "<tag name=\"CodeMemory\" value=\"1024\"";
+      "client=\"part:Box/w\"";
+    ]
+
+let test_read_errors () =
+  let fails s =
+    match Xmi.Read.of_string ~profile s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected read error for %s" s
+  in
+  fails "<notAModel/>";
+  fails "<umlModel/>";
+  (* missing name attribute *)
+  fails
+    "<umlModel name=\"m\"><profileApplications><apply stereotype=\"Nope\" \
+     element=\"class:A\"/></profileApplications></umlModel>";
+  (* unknown tag *)
+  fails
+    "<umlModel name=\"m\"><profileApplications><apply \
+     stereotype=\"ApplicationComponent\" element=\"class:A\"><tag \
+     name=\"Ghost\" value=\"1\"/></apply></profileApplications></umlModel>";
+  (* ill-typed value *)
+  fails
+    "<umlModel name=\"m\"><profileApplications><apply \
+     stereotype=\"ApplicationComponent\" element=\"class:A\"><tag \
+     name=\"CodeMemory\" value=\"notanint\"/></apply></profileApplications></umlModel>"
+
+let test_tag_value_typing () =
+  (* An enum read back is an enum, not a string. *)
+  let model = Uml.Model.add_class (Uml.Model.empty "m") (Uml.Classifier.make "A") in
+  let apps =
+    Profile.Apply.apply Profile.Apply.empty
+      ~stereotype:Tut_profile.Stereotypes.application_component
+      ~element:(Uml.Element.Class_ref "A")
+      ~values:[ ("RealTimeType", Profile.Tag.V_enum "hard") ]
+      ()
+  in
+  let _, apps' = roundtrip model apps in
+  check bool_t "enum typed" true
+    (Profile.Apply.value apps' ~element:(Uml.Element.Class_ref "A")
+       ~stereotype:Tut_profile.Stereotypes.application_component "RealTimeType"
+    = Some (Profile.Tag.V_enum "hard"))
+
+let test_tutmac_roundtrip () =
+  let builder = Tutmac.Scenario.build_model Tutmac.Scenario.default in
+  let model = Tut_profile.Builder.model builder in
+  let apps = Tut_profile.Builder.apps builder in
+  let model', apps' = roundtrip model apps in
+  check bool_t "tutmac round-trip" true
+    (Xmi.Read.roundtrip_equal model apps (model', apps'));
+  (* The re-read model passes validation exactly like the original. *)
+  let report = Tut_profile.Rules.validate model' apps' in
+  check bool_t "re-read model valid" true (Tut_profile.Rules.is_valid report)
+
+(* Property: any float tagged value survives the round-trip exactly. *)
+let prop_float_roundtrip =
+  QCheck.Test.make ~name:"float tag round-trip" ~count:200
+    QCheck.(float_range (-1e6) 1e6)
+    (fun f ->
+      let model =
+        Uml.Model.add_class (Uml.Model.empty "m") (Uml.Classifier.make "A")
+      in
+      let apps =
+        Profile.Apply.apply Profile.Apply.empty
+          ~stereotype:Tut_profile.Stereotypes.platform_component
+          ~element:(Uml.Element.Class_ref "A")
+          ~values:[ ("Area", Profile.Tag.V_float f) ]
+          ()
+      in
+      match Xmi.Read.of_string ~profile (Xmi.Write.to_string model apps) with
+      | Error _ -> false
+      | Ok (_, apps') ->
+        Profile.Apply.value apps' ~element:(Uml.Element.Class_ref "A")
+          ~stereotype:Tut_profile.Stereotypes.platform_component "Area"
+        = Some (Profile.Tag.V_float f))
+
+let () =
+  Alcotest.run "xmi"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "small model" `Quick test_small_roundtrip;
+          Alcotest.test_case "behaviour preserved" `Quick test_behavior_preserved;
+          Alcotest.test_case "tutmac model" `Quick test_tutmac_roundtrip;
+          Alcotest.test_case "tag typing" `Quick test_tag_value_typing;
+        ] );
+      ( "format",
+        [
+          Alcotest.test_case "xml shape" `Quick test_xml_shape;
+          Alcotest.test_case "read errors" `Quick test_read_errors;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_float_roundtrip ]);
+    ]

@@ -1,0 +1,233 @@
+(* Tests for the from-scratch XML reader/writer. *)
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let bool_t = Alcotest.bool
+
+let parse_ok s =
+  match Xmlkit.Parse.document_opt s with
+  | Ok doc -> doc
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let parse_err s =
+  match Xmlkit.Parse.document_opt s with
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" s
+  | Error e -> e
+
+(* -- escaping -------------------------------------------------------- *)
+
+let test_escape () =
+  check string_t "specials" "a&amp;b&lt;c&gt;d&quot;e&apos;f"
+    (Xmlkit.Xml.escape "a&b<c>d\"e'f");
+  check string_t "plain text untouched" "hello" (Xmlkit.Xml.escape "hello")
+
+let test_unescape () =
+  check string_t "named entities" "a&b<c>d\"e'f"
+    (Xmlkit.Xml.unescape "a&amp;b&lt;c&gt;d&quot;e&apos;f");
+  check string_t "decimal reference" "A" (Xmlkit.Xml.unescape "&#65;");
+  check string_t "hex reference" "A" (Xmlkit.Xml.unescape "&#x41;");
+  check string_t "unknown entity kept" "&unknown;" (Xmlkit.Xml.unescape "&unknown;");
+  check string_t "lone ampersand kept" "a&b" (Xmlkit.Xml.unescape "a&b")
+
+let test_escape_roundtrip_cases () =
+  List.iter
+    (fun s ->
+      check string_t s s (Xmlkit.Xml.unescape (Xmlkit.Xml.escape s)))
+    [ ""; "<>&\"'"; "no specials"; "a && b"; "tag <x attr=\"v\"/>" ]
+
+(* -- accessors ------------------------------------------------------- *)
+
+let sample =
+  Xmlkit.Xml.element "root"
+    ~attrs:[ ("name", "top"); ("kind", "demo") ]
+    [
+      Xmlkit.Xml.element "child" ~attrs:[ ("id", "1") ] [];
+      Xmlkit.Xml.Comment "noise";
+      Xmlkit.Xml.element "child" ~attrs:[ ("id", "2") ] [ Xmlkit.Xml.text "inner" ];
+      Xmlkit.Xml.element "other" [];
+    ]
+
+let test_accessors () =
+  check (Alcotest.option string_t) "attr" (Some "top") (Xmlkit.Xml.attr sample "name");
+  check (Alcotest.option string_t) "missing attr" None (Xmlkit.Xml.attr sample "nope");
+  check string_t "attr_exn" "demo" (Xmlkit.Xml.attr_exn sample "kind");
+  Alcotest.check_raises "attr_exn missing" Not_found (fun () ->
+      ignore (Xmlkit.Xml.attr_exn sample "nope"));
+  check Alcotest.int "find_children" 2
+    (List.length (Xmlkit.Xml.find_children sample "child"));
+  check bool_t "find_child" true (Xmlkit.Xml.find_child sample "other" <> None);
+  check Alcotest.int "child_elements skips comments" 3
+    (List.length (Xmlkit.Xml.child_elements sample));
+  check string_t "inner_text" "inner" (Xmlkit.Xml.inner_text sample)
+
+(* -- parsing --------------------------------------------------------- *)
+
+let test_parse_basic () =
+  let doc = parse_ok "<a x=\"1\" y='two'><b/>text<c>t2</c></a>" in
+  check (Alcotest.option string_t) "tag" (Some "a") (Xmlkit.Xml.tag doc);
+  check (Alcotest.option string_t) "dq attr" (Some "1") (Xmlkit.Xml.attr doc "x");
+  check (Alcotest.option string_t) "sq attr" (Some "two") (Xmlkit.Xml.attr doc "y");
+  check Alcotest.int "children" 3 (List.length (Xmlkit.Xml.children doc))
+
+let test_parse_declaration_and_comments () =
+  let doc =
+    parse_ok
+      "<?xml version=\"1.0\"?>\n<!-- header -->\n<root><!-- inner --></root>\n\
+       <!-- trailer -->"
+  in
+  check (Alcotest.option string_t) "root" (Some "root") (Xmlkit.Xml.tag doc)
+
+let test_parse_cdata () =
+  let doc = parse_ok "<r><![CDATA[a < b && c]]></r>" in
+  check string_t "cdata preserved" "a < b && c" (Xmlkit.Xml.inner_text doc)
+
+let test_parse_entities () =
+  let doc = parse_ok "<r a=\"x &amp; y\">1 &lt; 2</r>" in
+  check (Alcotest.option string_t) "attr decoded" (Some "x & y")
+    (Xmlkit.Xml.attr doc "a");
+  check string_t "text decoded" "1 < 2" (Xmlkit.Xml.inner_text doc)
+
+let test_parse_errors () =
+  List.iter
+    (fun s -> ignore (parse_err s))
+    [
+      "";
+      "just text";
+      "<unclosed>";
+      "<a></b>";
+      "<a attr></a>";
+      "<a x=unquoted/>";
+      "<a/><b/>";
+      "<!DOCTYPE html><a/>";
+      "<a>trailing</a>junk";
+    ]
+
+let test_error_position () =
+  match Xmlkit.Parse.document "<a>\n<b></c></a>" with
+  | exception Xmlkit.Parse.Error { line; _ } ->
+    check Alcotest.int "error line" 2 line
+  | _ -> Alcotest.fail "expected Parse.Error"
+
+(* -- printing -------------------------------------------------------- *)
+
+let test_print_empty_element () =
+  let s = Xmlkit.Xml.to_string ~decl:false (Xmlkit.Xml.element "e" []) in
+  check string_t "self-closing" "<e/>\n" s
+
+let test_print_inline_text () =
+  let s =
+    Xmlkit.Xml.to_string ~decl:false
+      (Xmlkit.Xml.element "e" [ Xmlkit.Xml.text "v" ])
+  in
+  check string_t "inline" "<e>v</e>\n" s
+
+let test_print_parse_roundtrip_manual () =
+  let doc = sample in
+  let reparsed = parse_ok (Xmlkit.Xml.to_string doc) in
+  check bool_t "equal mod whitespace" true (Xmlkit.Xml.equal doc reparsed)
+
+(* -- property: print/parse round-trip -------------------------------- *)
+
+let gen_name =
+  QCheck.Gen.(
+    let* len = int_range 1 8 in
+    let* chars = list_repeat len (oneofl [ 'a'; 'b'; 'c'; 'x'; 'y'; 'z'; '_' ]) in
+    return (String.init len (List.nth chars)))
+
+let gen_text =
+  QCheck.Gen.(
+    let* len = int_range 1 12 in
+    let* chars =
+      list_repeat len
+        (oneofl [ 'a'; ' '; '&'; '<'; '>'; '"'; '\''; '1'; '.'; 'z' ])
+    in
+    return (String.init len (List.nth chars)))
+
+let gen_xml =
+  QCheck.Gen.(
+    sized @@ fix (fun self size ->
+        let attrs =
+          let* n = int_range 0 3 in
+          let* keys = list_repeat n gen_name in
+          let* values = list_repeat n gen_text in
+          (* Attribute names must be unique per element. *)
+          let unique =
+            List.mapi (fun i k -> (Printf.sprintf "%s%d" k i)) keys
+          in
+          return (List.combine unique values)
+        in
+        if size <= 1 then
+          let* tag = gen_name in
+          let* attrs = attrs in
+          return (Xmlkit.Xml.Element (tag, attrs, []))
+        else
+          let* tag = gen_name in
+          let* attrs = attrs in
+          let* nkids = int_range 0 3 in
+          let* kids =
+            list_repeat nkids
+              (oneof
+                 [
+                   map (fun s -> Xmlkit.Xml.Text s) gen_text;
+                   self (size / 2);
+                 ])
+          in
+          (* Adjacent text siblings merge on re-parse (the printer puts a
+             newline between them), so keep at most the first of each
+             adjacent run. *)
+          let rec drop_adjacent_texts = function
+            | Xmlkit.Xml.Text a :: Xmlkit.Xml.Text _ :: rest ->
+              drop_adjacent_texts (Xmlkit.Xml.Text a :: rest)
+            | kid :: rest -> kid :: drop_adjacent_texts rest
+            | [] -> []
+          in
+          return (Xmlkit.Xml.Element (tag, attrs, drop_adjacent_texts kids))))
+
+let arbitrary_xml = QCheck.make ~print:(Xmlkit.Xml.to_string ~decl:false) gen_xml
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip" ~count:300 arbitrary_xml
+    (fun doc ->
+      match Xmlkit.Parse.document_opt (Xmlkit.Xml.to_string doc) with
+      | Error e -> QCheck.Test.fail_reportf "re-parse failed: %s" e
+      | Ok doc' -> Xmlkit.Xml.equal doc doc')
+
+let prop_escape_roundtrip =
+  QCheck.Test.make ~name:"escape/unescape round-trip" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 40))
+    (fun s -> Xmlkit.Xml.unescape (Xmlkit.Xml.escape s) = s)
+
+let () =
+  Alcotest.run "xmlkit"
+    [
+      ( "escape",
+        [
+          Alcotest.test_case "escape specials" `Quick test_escape;
+          Alcotest.test_case "unescape entities" `Quick test_unescape;
+          Alcotest.test_case "escape round-trip cases" `Quick
+            test_escape_roundtrip_cases;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "print empty element" `Quick test_print_empty_element;
+          Alcotest.test_case "print inline text" `Quick test_print_inline_text;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "basic document" `Quick test_parse_basic;
+          Alcotest.test_case "declaration and comments" `Quick
+            test_parse_declaration_and_comments;
+          Alcotest.test_case "cdata" `Quick test_parse_cdata;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "malformed inputs" `Quick test_parse_errors;
+          Alcotest.test_case "error position" `Quick test_error_position;
+          Alcotest.test_case "manual round-trip" `Quick
+            test_print_parse_roundtrip_manual;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_escape_roundtrip;
+        ] );
+    ]
