@@ -59,8 +59,28 @@ let print_figures () =
 let print_table4 () =
   section
     (Printf.sprintf "Table 4 (profiling report, %d ms simulated)" duration_ms);
-  let result = run_scenario table4_config in
+  let obs = Obs.Scope.create () in
+  let result =
+    match Tutmac.Scenario.run ~obs table4_config with
+    | Ok result -> result
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
   let report = result.Tutmac.Scenario.report in
+  (* Machine-readable counter snapshot of the reference run, plus the
+     report-vs-runtime consistency check. *)
+  let snapshot = Obs.Metrics.snapshot (Obs.Scope.metrics obs) in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Obs.Json.to_string (Obs.Metrics.to_json snapshot));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "observability snapshot written to BENCH_obs.json (%d metrics)\n"
+    (List.length snapshot);
+  (match Profiler.Report.cross_check report snapshot with
+  | Ok () -> print_endline "cross-check: report cycles = runtime counter"
+  | Error e -> Printf.printf "cross-check FAILED: %s\n" e);
+  print_newline ();
   print_string (Profiler.Report.render report);
   Printf.printf "\nPaper vs. measured (execution-time proportion):\n";
   Printf.printf "  %-12s %10s %10s\n" "group" "paper" "measured";

@@ -45,6 +45,69 @@ let config_term =
         config_of ~duration_ms ~arbitration ~fifo ~crc_sw)
     $ duration_arg $ arbitration_arg $ fifo_arg $ crc_sw_arg)
 
+(* -- observability ----------------------------------------------------- *)
+
+let metrics_out_arg =
+  let doc = "Write a metrics snapshot (text exposition) here." in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let chrome_trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file here (open in Perfetto or \
+     chrome://tracing)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc)
+
+(* One scope per run: the tracer streams to the Chrome file as the
+   simulation executes, metrics accumulate for --metrics-out.  With
+   neither output requested the scope is null and the instrumented
+   subsystems skip their hooks entirely. *)
+(* [Sys_error] messages already name the offending path. *)
+let die_write e =
+  prerr_endline ("tutflow: cannot write " ^ e);
+  exit 1
+
+let obs_of ?(force = false) ~chrome_trace ~metrics_out () =
+  if not force && chrome_trace = None && metrics_out = None then
+    Obs.Scope.null ()
+  else begin
+    (* Fail on an unwritable --metrics-out now, not after the run. *)
+    (match metrics_out with
+    | None -> ()
+    | Some path -> (
+      match open_out path with
+      | oc -> close_out oc
+      | exception Sys_error e -> die_write e));
+    let tracer =
+      match chrome_trace with
+      | None -> Obs.Tracer.null
+      | Some path -> (
+        try Obs.Tracer.create (Obs.Sink.chrome_file path)
+        with Sys_error e -> die_write e)
+    in
+    Obs.Scope.create ~tracer ()
+  end
+
+let finish_obs ?(quiet = false) obs ~chrome_trace ~metrics_out =
+  Obs.Tracer.close (Obs.Scope.tracer obs);
+  (match chrome_trace with
+  | Some path when not quiet -> Printf.printf "chrome trace written to %s\n" path
+  | Some _ | None -> ());
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+    let oc =
+      match open_out path with
+      | oc -> oc
+      | exception Sys_error e -> die_write e
+    in
+    output_string oc
+      (Obs.Metrics.render (Obs.Metrics.snapshot (Obs.Scope.metrics obs)));
+    close_out oc;
+    if not quiet then Printf.printf "metrics written to %s\n" path
+
 (* -- model loading ----------------------------------------------------- *)
 
 let model_arg =
@@ -259,8 +322,9 @@ let log_arg =
   Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
 
 let simulate_cmd =
-  let run config log =
-    match Tutmac.Scenario.run config with
+  let run config log chrome_trace metrics_out =
+    let obs = obs_of ~chrome_trace ~metrics_out () in
+    match Tutmac.Scenario.run ~obs config with
     | Error e ->
       prerr_endline e;
       1
@@ -288,12 +352,13 @@ let simulate_cmd =
       | Some path ->
         Sim.Trace.save trace path;
         Printf.printf "log written to %s\n" path);
+      finish_obs obs ~chrome_trace ~metrics_out;
       0
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Execute the generated application on the platform model")
-    Term.(const run $ config_term $ log_arg)
+    Term.(const run $ config_term $ log_arg $ chrome_trace_arg $ metrics_out_arg)
 
 (* -- profile --------------------------------------------------------- *)
 
@@ -310,8 +375,9 @@ let latency_arg =
   Arg.(value & flag & info [ "latency" ] ~doc)
 
 let profile_cmd =
-  let run config via_xmi transfers timeline latency =
-    match Tutmac.Scenario.run ~via_xmi config with
+  let run config via_xmi transfers timeline latency chrome_trace metrics_out =
+    let obs = obs_of ~chrome_trace ~metrics_out () in
+    match Tutmac.Scenario.run ~via_xmi ~obs config with
     | Error e ->
       prerr_endline e;
       1
@@ -345,6 +411,7 @@ let profile_cmd =
              (Profiler.Timeline.build groups
                 ~window_ns:(Int64.mul (Int64.of_int window_ms) 1_000_000L)
                 result.Tutmac.Scenario.trace)));
+      finish_obs obs ~chrome_trace ~metrics_out;
       0
   in
   Cmd.v
@@ -352,7 +419,43 @@ let profile_cmd =
        ~doc:"Run the full profiling flow and print the Table 4 report")
     Term.(
       const run $ config_term $ via_xmi_arg $ transfers_arg $ timeline_arg
-      $ latency_arg)
+      $ latency_arg $ chrome_trace_arg $ metrics_out_arg)
+
+(* -- stats ------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run config chrome_trace metrics_out =
+    let obs = obs_of ~force:true ~chrome_trace ~metrics_out () in
+    match Tutmac.Scenario.run ~obs config with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok result ->
+      let snapshot = Obs.Metrics.snapshot (Obs.Scope.metrics obs) in
+      print_string (Obs.Metrics.render snapshot);
+      print_newline ();
+      let status =
+        match
+          Profiler.Report.cross_check result.Tutmac.Scenario.report snapshot
+        with
+        | Ok () ->
+          Printf.printf
+            "cross-check: report total cycles match runtime counters (%Ld)\n"
+            result.Tutmac.Scenario.report.Profiler.Report.total_cycles;
+          0
+        | Error e ->
+          Printf.printf "cross-check FAILED: %s\n" e;
+          1
+      in
+      finish_obs obs ~chrome_trace ~metrics_out;
+      status
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the simulation with full instrumentation, print the metric \
+          snapshot and cross-check it against the profiling report")
+    Term.(const run $ config_term $ chrome_trace_arg $ metrics_out_arg)
 
 (* -- explore --------------------------------------------------------- *)
 
@@ -530,6 +633,7 @@ let main_cmd =
       generate_cmd;
       simulate_cmd;
       profile_cmd;
+      stats_cmd;
       explore_cmd;
       analyze_cmd;
       regroup_cmd;

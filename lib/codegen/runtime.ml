@@ -17,6 +17,9 @@ type proc_rt = {
   mutable busy : bool;
   mutable timer : Sim.Engine.handle option;
   stats : queue_stats;
+  track : string;  (** tracing lane, "proc/<name>" *)
+  m_sends : Obs.Metrics.counter;
+  m_discards : Obs.Metrics.counter;
 }
 
 type t = {
@@ -28,6 +31,14 @@ type t = {
   env_rtos : Sim.Rtos.t;
   procs : (string, proc_rt) Hashtbl.t;
   mutable errors : string list;
+  tracer : Obs.Tracer.t;
+  obs_on : bool;
+  trace_on : bool;
+  m_exec_cycles : Obs.Metrics.counter;
+      (** cycles of application (non-environment) execution — matches the
+          report's total, see {!Profiler.Report.cross_check} *)
+  m_signals : Obs.Metrics.counter;
+  m_discard_total : Obs.Metrics.counter;
 }
 
 (* Timer expiries are queued like signals so a busy process finishes its
@@ -50,7 +61,8 @@ let rtos_of t (proc : proc_rt) =
 let is_env (proc : proc_rt) = proc.decl.Ir.pe = None
 
 let record_exec t proc cycles =
-  if not (is_env proc) then
+  if not (is_env proc) then begin
+    if t.obs_on then Obs.Metrics.inc ~by:(Int64.to_int cycles) t.m_exec_cycles;
     Sim.Trace.record t.trace
       (Sim.Trace.Exec
          {
@@ -58,6 +70,7 @@ let record_exec t proc cycles =
            process = proc.decl.Ir.proc_name;
            cycles;
          })
+  end
 
 let same_pe _t a b =
   match a.decl.Ir.pe, b.decl.Ir.pe with
@@ -86,14 +99,24 @@ let rec pump t proc =
     in
     match step.Efsm.Interp.fired with
     | None ->
-      if event.p_signal <> timeout_signal && not (is_env proc) then
+      if event.p_signal <> timeout_signal && not (is_env proc) then begin
+        (if t.obs_on then begin
+           Obs.Metrics.inc proc.m_discards;
+           Obs.Metrics.inc t.m_discard_total
+         end);
+        if t.trace_on then
+          Obs.Tracer.instant t.tracer ~ts_ns:(Sim.Engine.now t.engine)
+            ~cat:"app" ~track:proc.track
+            ~args:[ ("signal", Obs.Span.Str event.p_signal) ]
+            "discard";
         Sim.Trace.record t.trace
           (Sim.Trace.Discard
              {
                time = Sim.Engine.now t.engine;
                process = proc.decl.Ir.proc_name;
                signal = event.p_signal;
-             });
+             })
+      end;
       proc.busy <- false;
       pump t proc
     | Some _ ->
@@ -111,10 +134,29 @@ let rec pump t proc =
       let effects =
         Efsm.Action.Eff_compute (Int64.to_int overhead) :: step.Efsm.Interp.effects
       in
-      run_effects t proc effects (fun () ->
-          proc.busy <- false;
-          arm_timer t proc;
-          pump t proc)
+      (* Only build the span-emitting continuation when tracing, so the
+         common path's closure stays small. *)
+      let k =
+        if t.trace_on && not (is_env proc) then begin
+          let handled_at = Sim.Engine.now t.engine in
+          fun () ->
+            Obs.Tracer.complete t.tracer ~ts_ns:handled_at
+              ~dur_ns:(Int64.sub (Sim.Engine.now t.engine) handled_at)
+              ~cat:"app" ~track:proc.track
+              ~args:[ ("to_state", Obs.Span.Str after_state) ]
+              (if event.p_signal = timeout_signal then "timeout"
+               else event.p_signal);
+            proc.busy <- false;
+            arm_timer t proc;
+            pump t proc
+        end
+        else
+          fun () ->
+            proc.busy <- false;
+            arm_timer t proc;
+            pump t proc
+      in
+      run_effects t proc effects k
   end
 
 and run_effects t proc effects k =
@@ -164,6 +206,10 @@ and send t proc ~port ~signal ~args =
       | None ->
         t.errors <- Printf.sprintf "unknown destination %s" dst_name :: t.errors
       | Some dst ->
+        (if t.obs_on then begin
+           Obs.Metrics.inc proc.m_sends;
+           Obs.Metrics.inc t.m_signals
+         end);
         Sim.Trace.record t.trace
           (Sim.Trace.Signal
              {
@@ -230,12 +276,14 @@ and arm_timer t proc =
     in
     proc.timer <- Some handle
 
-let create ?trace:(trace_store = Sim.Trace.create ()) sys =
+let create ?trace:(trace_store = Sim.Trace.create ()) ?obs sys =
   match Ir.check sys with
   | _ :: _ as problems -> Error problems
   | [] ->
-    let engine = Sim.Engine.create () in
-    let network = Hibi.Network.create engine in
+    let obs = match obs with Some s -> s | None -> Obs.Scope.null () in
+    let metrics = Obs.Scope.metrics obs in
+    let engine = Sim.Engine.create ~obs () in
+    let network = Hibi.Network.create ~obs engine in
     List.iter
       (fun (s : Ir.segment_decl) ->
         Hibi.Network.add_segment network ~name:s.Ir.seg_name
@@ -267,16 +315,17 @@ let create ?trace:(trace_store = Sim.Trace.create ()) sys =
                | Ir.Fifo -> Sim.Rtos.Fifo
                | Ir.Priority_preemptive -> Sim.Rtos.Priority_preemptive)
              ~frequency_mhz:pe.Ir.frequency_mhz ~perf_factor:pe.Ir.perf_factor
-             ()))
+             ~obs ()))
       sys.Ir.pes;
     let env_rtos =
       Sim.Rtos.create ~engine ~name:"environment"
-        ~policy:Sim.Rtos.Fifo ~frequency_mhz:1_000_000 ()
+        ~policy:Sim.Rtos.Fifo ~frequency_mhz:1_000_000 ~obs ()
     in
     let procs = Hashtbl.create 32 in
     List.iter
       (fun (decl : Ir.proc_decl) ->
-        Hashtbl.replace procs decl.Ir.proc_name
+        let name = decl.Ir.proc_name in
+        Hashtbl.replace procs name
           {
             decl;
             interp = Efsm.Interp.create decl.Ir.machine;
@@ -284,6 +333,9 @@ let create ?trace:(trace_store = Sim.Trace.create ()) sys =
             busy = false;
             timer = None;
             stats = { handled = 0; total_wait_ns = 0L; max_wait_ns = 0L };
+            track = "proc/" ^ name;
+            m_sends = Obs.Metrics.counter metrics ("app." ^ name ^ ".sends");
+            m_discards = Obs.Metrics.counter metrics ("app." ^ name ^ ".discards");
           })
       sys.Ir.procs;
     Ok
@@ -296,6 +348,12 @@ let create ?trace:(trace_store = Sim.Trace.create ()) sys =
         env_rtos;
         procs;
         errors = [];
+        tracer = Obs.Scope.tracer obs;
+        obs_on = Obs.Scope.live obs;
+        trace_on = Obs.Tracer.enabled (Obs.Scope.tracer obs);
+        m_exec_cycles = Obs.Metrics.counter metrics "app.exec_cycles_total";
+        m_signals = Obs.Metrics.counter metrics "app.signals_sent";
+        m_discard_total = Obs.Metrics.counter metrics "app.signals_discarded";
       }
 
 let start t =

@@ -15,9 +15,14 @@
 
 type t
 
-val create : ?trace:Sim.Trace.t -> Ir.system -> (t, string list) result
+val create :
+  ?trace:Sim.Trace.t -> ?obs:Obs.Scope.t -> Ir.system -> (t, string list) result
 (** Builds PEs, the HIBI network and process instances; returns errors
-    from {!Ir.check} or inconsistent wrappers. *)
+    from {!Ir.check} or inconsistent wrappers.  [obs] is threaded through
+    every layer (engine, schedulers, HIBI) and additionally receives
+    per-process send/discard counters, the [app.exec_cycles_total]
+    counter (cross-checkable against the profiling report) and one trace
+    span per handled signal on the ["proc/<name>"] lane. *)
 
 val engine : t -> Sim.Engine.t
 val trace : t -> Sim.Trace.t

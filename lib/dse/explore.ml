@@ -11,21 +11,42 @@ type tracker = {
   mutable best_cost : float;
   mutable evaluations : int;
   mutable history : (int * float) list;
+  m_evals : Obs.Metrics.counter;
+  m_best_updates : Obs.Metrics.counter;
+  tracer : Obs.Tracer.t;
 }
 
-let tracker eval init =
-  let t =
-    { eval; best = init; best_cost = infinity; evaluations = 0; history = [] }
-  in
-  t
+let tracker ?obs eval init =
+  let obs = match obs with Some s -> s | None -> Obs.Scope.null () in
+  let metrics = Obs.Scope.metrics obs in
+  {
+    eval;
+    best = init;
+    best_cost = infinity;
+    evaluations = 0;
+    history = [];
+    m_evals = Obs.Metrics.counter metrics "dse.evaluations";
+    m_best_updates = Obs.Metrics.counter metrics "dse.best_updates";
+    tracer = Obs.Scope.tracer obs;
+  }
 
 let evaluate t assignment =
   let cost = t.eval assignment in
   t.evaluations <- t.evaluations + 1;
+  Obs.Metrics.inc t.m_evals;
   if cost < t.best_cost then begin
     t.best <- assignment;
     t.best_cost <- cost;
-    t.history <- (t.evaluations, cost) :: t.history
+    t.history <- (t.evaluations, cost) :: t.history;
+    Obs.Metrics.inc t.m_best_updates;
+    (* The exploration loop has no simulated clock; the evaluation index
+       serves as the trajectory's time axis. *)
+    if Obs.Tracer.enabled t.tracer then
+      Obs.Tracer.sample t.tracer
+        ~ts_ns:(Int64.of_int t.evaluations)
+        ~cat:"dse" ~track:"dse"
+        ~args:[ ("cost", Obs.Span.Float cost) ]
+        "best_cost"
   end;
   cost
 
@@ -40,12 +61,12 @@ let finish t =
 let space_size candidates =
   List.fold_left (fun acc (_, options) -> acc * List.length options) 1 candidates
 
-let exhaustive ~eval ~candidates () =
+let exhaustive ?obs ~eval ~candidates () =
   if List.exists (fun (_, options) -> options = []) candidates then
     invalid_arg "Dse.Explore.exhaustive: a group has no candidate PE";
   if space_size candidates > 1_000_000 then
     invalid_arg "Dse.Explore.exhaustive: space too large";
-  let t = tracker eval [] in
+  let t = tracker ?obs eval [] in
   let rec enumerate prefix = function
     | [] -> ignore (evaluate t (List.rev prefix))
     | (group, options) :: rest ->
@@ -57,11 +78,11 @@ let exhaustive ~eval ~candidates () =
 let random_assignment rng candidates =
   List.map (fun (group, options) -> (group, Rng.pick rng options)) candidates
 
-let random_search ~seed ~iterations ~eval ~candidates () =
+let random_search ?obs ~seed ~iterations ~eval ~candidates () =
   if List.exists (fun (_, options) -> options = []) candidates then
     invalid_arg "Dse.Explore.random_search: a group has no candidate PE";
   let rng = Rng.create seed in
-  let t = tracker eval [] in
+  let t = tracker ?obs eval [] in
   for _ = 1 to iterations do
     ignore (evaluate t (random_assignment rng candidates))
   done;
@@ -83,8 +104,8 @@ let moves candidates assignment =
         options)
     candidates
 
-let greedy ~eval ~candidates ~init () =
-  let t = tracker eval init in
+let greedy ?obs ~eval ~candidates ~init () =
+  let t = tracker ?obs eval init in
   let rec descend current current_cost =
     let neighbour_costs =
       List.map (fun a -> (a, evaluate t a)) (moves candidates current)
@@ -104,12 +125,17 @@ let greedy ~eval ~candidates ~init () =
   descend init init_cost;
   finish t
 
-let simulated_annealing ~seed ~iterations ?(initial_temperature = 1.0)
+let simulated_annealing ?obs ~seed ~iterations ?(initial_temperature = 1.0)
     ?(cooling = 0.995) ~eval ~candidates ~init () =
   if List.exists (fun (_, options) -> options = []) candidates then
     invalid_arg "Dse.Explore.simulated_annealing: a group has no candidate PE";
   let rng = Rng.create seed in
-  let t = tracker eval init in
+  let t = tracker ?obs eval init in
+  let accept_metrics =
+    Obs.Scope.metrics (match obs with Some s -> s | None -> Obs.Scope.null ())
+  in
+  let m_accepted = Obs.Metrics.counter accept_metrics "dse.moves_accepted" in
+  let m_rejected = Obs.Metrics.counter accept_metrics "dse.moves_rejected" in
   let current = ref init in
   let current_cost = ref (evaluate t init) in
   (* Scale the temperature to the problem: a fraction of the initial cost. *)
@@ -127,9 +153,11 @@ let simulated_annealing ~seed ~iterations ?(initial_temperature = 1.0)
         || Rng.float rng < exp ((!current_cost -. cost) /. max 1e-9 !temperature)
       in
       if accept then begin
+        Obs.Metrics.inc m_accepted;
         current := proposal;
         current_cost := cost
       end
+      else Obs.Metrics.inc m_rejected
     end;
     temperature := !temperature *. cooling
   done;

@@ -3,7 +3,13 @@
     All algorithms operate on an abstract objective ([eval]) over
     {!Cost.assignment}s and a per-group candidate-PE list, so they can be
     driven by the static cost model or by full co-simulation.  They are
-    deterministic given the seed. *)
+    deterministic given the seed.
+
+    Every algorithm accepts an optional {!Obs.Scope.t}: the registry
+    counts [dse.evaluations], [dse.best_updates] and (for annealing)
+    [dse.moves_accepted]/[dse.moves_rejected]; the tracer receives the
+    best-cost trajectory as counter samples on the ["dse"] track, with
+    the evaluation index as the time axis. *)
 
 type result = {
   best : Cost.assignment;
@@ -14,6 +20,7 @@ type result = {
 }
 
 val exhaustive :
+  ?obs:Obs.Scope.t ->
   eval:(Cost.assignment -> float) ->
   candidates:(string * string list) list ->
   unit ->
@@ -22,6 +29,7 @@ val exhaustive :
     exceeds 1_000_000 points or any group has no candidate. *)
 
 val random_search :
+  ?obs:Obs.Scope.t ->
   seed:int ->
   iterations:int ->
   eval:(Cost.assignment -> float) ->
@@ -30,6 +38,7 @@ val random_search :
   result
 
 val greedy :
+  ?obs:Obs.Scope.t ->
   eval:(Cost.assignment -> float) ->
   candidates:(string * string list) list ->
   init:Cost.assignment ->
@@ -38,6 +47,7 @@ val greedy :
 (** Steepest-descent single-group moves until no move improves. *)
 
 val simulated_annealing :
+  ?obs:Obs.Scope.t ->
   seed:int ->
   iterations:int ->
   ?initial_temperature:float ->

@@ -7,6 +7,7 @@ type request = {
   req_seq : int;
   mutable req_words : int;  (** words still to move on this segment *)
   req_chunk : int;  (** words movable per grant (MaxTime / buffers) *)
+  mutable req_waiting_since : int64;  (** last time it joined the queue *)
   req_done : unit -> unit;  (** all words crossed this segment *)
 }
 
@@ -23,6 +24,11 @@ type segment = {
   mutable words_total : int64;
   mutable grants : int64;
   mutable max_waiting : int;
+  seg_track : string;  (** tracing lane, "hibi/<name>" *)
+  m_words : Obs.Metrics.counter;
+  m_grants : Obs.Metrics.counter;
+  m_queue_depth : Obs.Metrics.gauge;
+  m_arb_wait : Obs.Metrics.histogram;
 }
 
 type attachment =
@@ -44,9 +50,24 @@ type t = {
   mutable segments : segment list;
   mutable wrappers : wrapper list;
   mutable next_seq : int;
+  metrics : Obs.Metrics.t;  (** per-segment handles resolve here *)
+  tracer : Obs.Tracer.t;
+  obs_on : bool;
+  trace_on : bool;
 }
 
-let create engine = { engine; segments = []; wrappers = []; next_seq = 0 }
+let create ?obs engine =
+  let obs = match obs with Some s -> s | None -> Obs.Scope.null () in
+  {
+    engine;
+    segments = [];
+    wrappers = [];
+    next_seq = 0;
+    metrics = Obs.Scope.metrics obs;
+    tracer = Obs.Scope.tracer obs;
+    obs_on = Obs.Scope.live obs;
+    trace_on = Obs.Tracer.enabled (Obs.Scope.tracer obs);
+  }
 
 let find_segment t name =
   List.find_opt (fun s -> s.seg_name = name) t.segments
@@ -64,6 +85,7 @@ let add_segment t ~name ~data_width_bits ~frequency_mhz ~arbitration
     invalid_arg ("Hibi: duplicate segment " ^ name);
   if data_width_bits <= 0 || frequency_mhz <= 0 || max_send_size <= 0 then
     invalid_arg "Hibi.add_segment: non-positive parameter";
+  let metric suffix = "hibi." ^ name ^ "." ^ suffix in
   t.segments <-
     t.segments
     @ [
@@ -80,6 +102,11 @@ let add_segment t ~name ~data_width_bits ~frequency_mhz ~arbitration
           words_total = 0L;
           grants = 0L;
           max_waiting = 0;
+          seg_track = "hibi/" ^ name;
+          m_words = Obs.Metrics.counter t.metrics (metric "words");
+          m_grants = Obs.Metrics.counter t.metrics (metric "grants");
+          m_queue_depth = Obs.Metrics.gauge t.metrics (metric "queue_depth");
+          m_arb_wait = Obs.Metrics.histogram t.metrics (metric "arb_wait_ns");
         };
       ]
 
@@ -235,23 +262,39 @@ let rec grant t segment =
       segment.busy <- true;
       segment.last_granted_address <- req.req_address;
       segment.grants <- Int64.add segment.grants 1L;
+      let granted_at = Sim.Engine.now t.engine in
+      (if t.obs_on then begin
+         Obs.Metrics.inc segment.m_grants;
+         Obs.Metrics.set segment.m_queue_depth (List.length segment.waiting);
+         Obs.Metrics.observe segment.m_arb_wait
+           (Int64.to_int (Int64.sub granted_at req.req_waiting_since))
+       end);
       let burst = min req.req_words req.req_chunk in
       (* One arbitration cycle plus the data cycles of this burst. *)
       let cycles = 1 + cycles_for_words segment burst in
       let duration = Int64.mul (Int64.of_int cycles) (cycle_ns segment) in
       segment.busy_ns <- Int64.add segment.busy_ns duration;
       segment.words_total <- Int64.add segment.words_total (Int64.of_int burst);
+      if t.obs_on then Obs.Metrics.inc ~by:burst segment.m_words;
       ignore
         (Sim.Engine.schedule t.engine ~delay:duration (fun () ->
              segment.busy <- false;
+             if t.trace_on then
+               Obs.Tracer.complete t.tracer ~ts_ns:granted_at ~dur_ns:duration
+                 ~cat:"hibi" ~track:segment.seg_track
+                 ~args:[ ("words", Obs.Span.Int burst) ]
+                 req.req_wrapper;
              req.req_words <- req.req_words - burst;
              if req.req_words > 0 then enqueue t segment req
              else req.req_done ();
              grant t segment))
 
 and enqueue t segment req =
+  req.req_waiting_since <- Sim.Engine.now t.engine;
   segment.waiting <- segment.waiting @ [ req ];
-  segment.max_waiting <- max segment.max_waiting (List.length segment.waiting);
+  let depth = List.length segment.waiting in
+  segment.max_waiting <- max segment.max_waiting depth;
+  if t.obs_on then Obs.Metrics.set segment.m_queue_depth depth;
   grant t segment
 
 (* Words a wrapper may move per grant: bounded by the segment burst limit,
@@ -326,6 +369,7 @@ let send t ~src ~dst ~words ~on_delivered =
                   req_seq = t.next_seq;
                   req_words = words;
                   req_chunk = chunk_words segment wrapper;
+                  req_waiting_since = Sim.Engine.now t.engine;
                   req_done = (fun () -> hop rest);
                 }
               in

@@ -23,7 +23,10 @@ type arbitration = Priority | Round_robin
 
 type t
 
-val create : Sim.Engine.t -> t
+val create : ?obs:Obs.Scope.t -> Sim.Engine.t -> t
+(** [obs] receives per-segment metrics (words, grants, arbitration wait,
+    wrapper-queue occupancy) and one trace span per granted burst on the
+    ["hibi/<segment>"] lane; defaults to a no-op scope. *)
 
 val add_segment :
   t ->

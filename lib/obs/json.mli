@@ -1,0 +1,24 @@
+(** Minimal JSON reading/writing for the observability sinks.
+
+    The writer produces compact, correctly escaped output; the parser is
+    a small validating reader used by tests and smoke checks (it accepts
+    the JSON this library emits, not every corner of the spec — notably
+    non-ASCII [\u] escapes decode to a replacement sequence). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val write : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)

@@ -1,0 +1,250 @@
+(* Metrics registry: named counters, gauges and log-scale histograms.
+
+   Instruments are plain mutable-int cells so the hot paths (one update
+   per simulation event) cost a field write, never an allocation or a
+   hash lookup — callers resolve the handle once with [counter]/[gauge]/
+   [histogram] and update through it.  Snapshots are immutable copies
+   that can be merged across runs and rendered as text or JSON. *)
+
+type counter = { mutable c_count : int }
+
+type gauge = { mutable g_last : int; mutable g_peak : int }
+
+let hist_buckets = 64
+
+type histogram = {
+  h_buckets : int array;  (** bucket i>=1: 2^(i-1) <= v < 2^i; bucket 0: v <= 0 *)
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = { table : (string, instrument) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let counter t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (C c) -> c
+  | Some (G _ | H _) -> invalid_arg ("Obs.Metrics.counter: " ^ name ^ " is not a counter")
+  | None ->
+    let c = { c_count = 0 } in
+    Hashtbl.replace t.table name (C c);
+    c
+
+let gauge t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (G g) -> g
+  | Some (C _ | H _) -> invalid_arg ("Obs.Metrics.gauge: " ^ name ^ " is not a gauge")
+  | None ->
+    let g = { g_last = 0; g_peak = 0 } in
+    Hashtbl.replace t.table name (G g);
+    g
+
+let histogram t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (H h) -> h
+  | Some (C _ | G _) ->
+    invalid_arg ("Obs.Metrics.histogram: " ^ name ^ " is not a histogram")
+  | None ->
+    let h =
+      {
+        h_buckets = Array.make hist_buckets 0;
+        h_count = 0;
+        h_sum = 0;
+        h_min = max_int;
+        h_max = min_int;
+      }
+    in
+    Hashtbl.replace t.table name (H h);
+    h
+
+let inc ?(by = 1) c = c.c_count <- c.c_count + by
+let count c = c.c_count
+
+let set g v =
+  g.g_last <- v;
+  if v > g.g_peak then g.g_peak <- v
+
+let set_peak g v = if v > g.g_peak then g.g_peak <- v
+let last g = g.g_last
+let peak g = g.g_peak
+
+let bucket_index v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 0 do
+      incr i;
+      v := !v lsr 1
+    done;
+    min !i (hist_buckets - 1)
+  end
+
+let observe h v =
+  h.h_buckets.(bucket_index v) <- h.h_buckets.(bucket_index v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+(* -- snapshots ---------------------------------------------------------- *)
+
+type hist_data = {
+  count : int;
+  sum : int;
+  min_value : int;
+  max_value : int;
+  buckets : int array;
+}
+
+type value =
+  | Counter of int
+  | Gauge of { last_value : int; peak_value : int }
+  | Histogram of hist_data
+
+type snapshot = (string * value) list
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name instrument acc ->
+      let value =
+        match instrument with
+        | C c -> Counter c.c_count
+        | G g -> Gauge { last_value = g.g_last; peak_value = g.g_peak }
+        | H h ->
+          Histogram
+            {
+              count = h.h_count;
+              sum = h.h_sum;
+              min_value = (if h.h_count = 0 then 0 else h.h_min);
+              max_value = (if h.h_count = 0 then 0 else h.h_max);
+              buckets = Array.copy h.h_buckets;
+            }
+      in
+      (name, value) :: acc)
+    t.table []
+  |> List.sort compare
+
+let find snap name = List.assoc_opt name snap
+
+let counter_value snap name =
+  match find snap name with Some (Counter n) -> Some n | _ -> None
+
+(* Counters and histogram populations add; gauges keep the element-wise
+   maximum (a merged high-water mark stays a high-water mark). *)
+let merge_value a b =
+  match a, b with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge x, Gauge y ->
+    Gauge
+      {
+        last_value = max x.last_value y.last_value;
+        peak_value = max x.peak_value y.peak_value;
+      }
+  | Histogram x, Histogram y ->
+    Histogram
+      {
+        count = x.count + y.count;
+        sum = x.sum + y.sum;
+        min_value =
+          (if x.count = 0 then y.min_value
+           else if y.count = 0 then x.min_value
+           else min x.min_value y.min_value);
+        max_value = max x.max_value y.max_value;
+        buckets = Array.init hist_buckets (fun i -> x.buckets.(i) + y.buckets.(i));
+      }
+  | (Counter _ | Gauge _ | Histogram _), _ ->
+    invalid_arg "Obs.Metrics.merge: instrument kind mismatch"
+
+let merge a b =
+  let table = Hashtbl.create 64 in
+  List.iter (fun (name, v) -> Hashtbl.replace table name v) a;
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt table name with
+      | None -> Hashtbl.replace table name v
+      | Some existing -> Hashtbl.replace table name (merge_value existing v))
+    b;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) table [] |> List.sort compare
+
+(* Percentile estimate from the log-scale buckets: the exclusive upper
+   edge of the bucket holding the requested rank (0.0 for the v<=0
+   bucket).  Within a factor of 2 of the true value by construction. *)
+let percentile (h : hist_data) p =
+  if h.count = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int h.count)) in
+      max 1 (min h.count r)
+    in
+    let result = ref 0.0 in
+    let cum = ref 0 in
+    (try
+       for i = 0 to hist_buckets - 1 do
+         cum := !cum + h.buckets.(i);
+         if !cum >= rank then begin
+           result := (if i = 0 then 0.0 else Float.of_int (1 lsl i));
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let mean (h : hist_data) =
+  if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count
+
+(* -- rendering ---------------------------------------------------------- *)
+
+let render snap =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, value) ->
+      match value with
+      | Counter n -> Printf.bprintf buf "counter %-44s %d\n" name n
+      | Gauge { last_value; peak_value } ->
+        Printf.bprintf buf "gauge   %-44s last=%d peak=%d\n" name last_value
+          peak_value
+      | Histogram h ->
+        Printf.bprintf buf
+          "hist    %-44s count=%d sum=%d min=%d max=%d mean=%.1f p50<=%.0f p90<=%.0f p99<=%.0f\n"
+          name h.count h.sum h.min_value h.max_value (mean h)
+          (percentile h 50.0) (percentile h 90.0) (percentile h 99.0))
+    snap;
+  Buffer.contents buf
+
+let to_json snap =
+  Json.Obj
+    (List.map
+       (fun (name, value) ->
+         ( name,
+           match value with
+           | Counter n -> Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int n) ]
+           | Gauge { last_value; peak_value } ->
+             Json.Obj
+               [
+                 ("type", Json.Str "gauge");
+                 ("last", Json.Int last_value);
+                 ("peak", Json.Int peak_value);
+               ]
+           | Histogram h ->
+             Json.Obj
+               [
+                 ("type", Json.Str "histogram");
+                 ("count", Json.Int h.count);
+                 ("sum", Json.Int h.sum);
+                 ("min", Json.Int h.min_value);
+                 ("max", Json.Int h.max_value);
+                 ("mean", Json.Float (mean h));
+                 ("p50", Json.Float (percentile h 50.0));
+                 ("p90", Json.Float (percentile h 90.0));
+                 ("p99", Json.Float (percentile h 99.0));
+                 ( "buckets",
+                   Json.List
+                     (Array.to_list (Array.map (fun n -> Json.Int n) h.buckets)) );
+               ] ))
+       snap)

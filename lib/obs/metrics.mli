@@ -1,0 +1,76 @@
+(** Metrics registry: named counters, gauges and log-scale histograms.
+
+    Hot-path discipline: resolve an instrument handle once (a hash
+    lookup) and update through it thereafter — every update is a plain
+    [int] field write, no allocation, so instrumentation can stay
+    enabled unconditionally.  [snapshot] freezes a registry for
+    rendering, merging across runs, or JSON export. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Find-or-create.  Raises [Invalid_argument] if [name] already names
+    an instrument of another kind (same for [gauge]/[histogram]). *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val inc : ?by:int -> counter -> unit
+val count : counter -> int
+
+val set : gauge -> int -> unit
+(** Sets the last value and raises the peak if exceeded. *)
+
+val set_peak : gauge -> int -> unit
+(** Raises the peak only; the last value is untouched. *)
+
+val last : gauge -> int
+val peak : gauge -> int
+
+val observe : histogram -> int -> unit
+(** Values land in power-of-two buckets: bucket 0 holds [v <= 0], bucket
+    [i >= 1] holds [2^(i-1) <= v < 2^i]. *)
+
+(** {2 Snapshots} *)
+
+type hist_data = {
+  count : int;
+  sum : int;
+  min_value : int;
+  max_value : int;
+  buckets : int array;
+}
+
+type value =
+  | Counter of int
+  | Gauge of { last_value : int; peak_value : int }
+  | Histogram of hist_data
+
+type snapshot = (string * value) list
+(** Sorted by instrument name. *)
+
+val snapshot : t -> snapshot
+
+val find : snapshot -> string -> value option
+val counter_value : snapshot -> string -> int option
+
+val merge : snapshot -> snapshot -> snapshot
+(** Counters and histograms add; gauges keep the element-wise maximum.
+    Raises [Invalid_argument] when a name maps to different kinds. *)
+
+val percentile : hist_data -> float -> float
+(** Upper edge of the bucket containing the given percentile rank —
+    within a factor of two of the exact order statistic. *)
+
+val mean : hist_data -> float
+
+val render : snapshot -> string
+(** Text exposition, one instrument per line. *)
+
+val to_json : snapshot -> Json.t

@@ -1,0 +1,23 @@
+(* An observability scope bundles the two halves of the subsystem: the
+   metrics registry instrumentation writes into and the tracer spans are
+   emitted through.  Passing [null ()] (the default everywhere) keeps
+   every hook wired but free: instrumented subsystems pre-compute
+   [live] once and guard their per-event updates on that one boolean,
+   so an unobserved simulation pays a branch, not a counter update. *)
+
+type t = { metrics : Metrics.t; tracer : Tracer.t; live : bool }
+
+let create ?metrics ?tracer () =
+  {
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    tracer = (match tracer with Some tr -> tr | None -> Tracer.null);
+    live = true;
+  }
+
+(* Fresh throwaway registry per call: a shared global would make two
+   concurrent simulations pollute each other's (unread) counts. *)
+let null () = { (create ()) with live = false }
+
+let metrics t = t.metrics
+let tracer t = t.tracer
+let live t = t.live

@@ -1,0 +1,20 @@
+(** A metrics registry and a tracer, bundled — what instrumented
+    subsystems accept as their single observability argument. *)
+
+type t
+
+val create : ?metrics:Metrics.t -> ?tracer:Tracer.t -> unit -> t
+(** Defaults: a fresh registry, the null tracer. *)
+
+val null : unit -> t
+(** No-op scope: [live] is false, so instrumented subsystems skip their
+    per-event updates behind one pre-computed branch.  A fresh throwaway
+    registry per call, so two simulations never share (unread) counts. *)
+
+val metrics : t -> Metrics.t
+val tracer : t -> Tracer.t
+
+val live : t -> bool
+(** False only for {!null} scopes.  Subsystems resolve this once at
+    creation and guard hot-path metric updates on the resulting
+    boolean. *)

@@ -1,0 +1,142 @@
+(* Pluggable trace sinks.
+
+   - [null]: drops everything (the no-op hook — instrumented code guards
+     on [Tracer.enabled] so a null sink costs one branch).
+   - [ring]: bounded in-memory buffer keeping the most recent events.
+   - [jsonl]: one JSON object per line, streamed as events arrive.
+   - [chrome]: Chrome trace-event JSON ("traceEvents" array) that opens
+     directly in Perfetto / chrome://tracing.  Tracks become named
+     threads via "M"-phase metadata records; simulated ns map to the
+     format's microsecond timestamps. *)
+
+type writer = { write : string -> unit; finish : unit -> unit }
+
+type ring = {
+  slots : Span.t option array;
+  mutable next : int;
+  mutable stored : int;
+}
+
+type chrome = {
+  out : writer;
+  tids : (string, int) Hashtbl.t;
+  mutable next_tid : int;
+  mutable first : bool;
+}
+
+type t =
+  | Null
+  | Ring of ring
+  | Jsonl of writer
+  | Chrome of chrome
+
+let null = Null
+
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Obs.Sink.ring: capacity must be positive";
+  Ring { slots = Array.make capacity None; next = 0; stored = 0 }
+
+let ring_events = function
+  | Ring r ->
+    let capacity = Array.length r.slots in
+    let oldest = if r.stored < capacity then 0 else r.next in
+    List.init r.stored (fun i ->
+        match r.slots.((oldest + i) mod capacity) with
+        | Some e -> e
+        | None -> assert false)
+  | Null | Jsonl _ | Chrome _ -> []
+
+let channel_writer oc =
+  { write = (fun s -> output_string oc s); finish = (fun () -> close_out oc) }
+
+let buffer_writer buf =
+  { write = Buffer.add_string buf; finish = (fun () -> ()) }
+
+let jsonl w = Jsonl w
+let jsonl_file path = Jsonl (channel_writer (open_out path))
+
+let chrome w =
+  w.write "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  Chrome { out = w; tids = Hashtbl.create 16; next_tid = 1; first = true }
+
+let chrome_file path = chrome (channel_writer (open_out path))
+let chrome_buffer buf = chrome (buffer_writer buf)
+
+let chrome_sep c =
+  if c.first then c.first <- false else c.out.write ","
+
+let chrome_tid c track =
+  match Hashtbl.find_opt c.tids track with
+  | Some tid -> tid
+  | None ->
+    let tid = c.next_tid in
+    c.next_tid <- tid + 1;
+    Hashtbl.replace c.tids track tid;
+    chrome_sep c;
+    c.out.write
+      (Json.to_string
+         (Json.Obj
+            [
+              ("name", Json.Str "thread_name");
+              ("ph", Json.Str "M");
+              ("pid", Json.Int 1);
+              ("tid", Json.Int tid);
+              ("args", Json.Obj [ ("name", Json.Str track) ]);
+            ]));
+    tid
+
+(* Chrome timestamps are microseconds; keep sub-us precision as decimals. *)
+let chrome_ts ns = Json.Float (Int64.to_float ns /. 1000.0)
+
+let chrome_event c (e : Span.t) =
+  let tid = chrome_tid c e.Span.track in
+  let phase_letter, extra =
+    match e.Span.phase with
+    | Span.Begin -> "B", []
+    | Span.End -> "E", []
+    | Span.Complete dur -> "X", [ ("dur", chrome_ts dur) ]
+    | Span.Instant -> "i", [ ("s", Json.Str "t") ]
+    | Span.Counter -> "C", []
+  in
+  let args =
+    match e.Span.args with
+    | [] -> []
+    | args ->
+      [
+        ( "args",
+          Json.Obj (List.map (fun (k, v) -> (k, Span.arg_to_json v)) args) );
+      ]
+  in
+  chrome_sep c;
+  c.out.write
+    (Json.to_string
+       (Json.Obj
+          ([
+             ("name", Json.Str e.Span.name);
+             ("cat", Json.Str e.Span.cat);
+             ("ph", Json.Str phase_letter);
+             ("ts", chrome_ts e.Span.ts_ns);
+             ("pid", Json.Int 1);
+             ("tid", Json.Int tid);
+           ]
+          @ extra @ args)))
+
+let emit t event =
+  match t with
+  | Null -> ()
+  | Ring r ->
+    r.slots.(r.next) <- Some event;
+    r.next <- (r.next + 1) mod Array.length r.slots;
+    if r.stored < Array.length r.slots then r.stored <- r.stored + 1
+  | Jsonl w ->
+    w.write (Json.to_string (Span.to_json event));
+    w.write "\n"
+  | Chrome c -> chrome_event c event
+
+let close t =
+  match t with
+  | Null | Ring _ -> ()
+  | Jsonl w -> w.finish ()
+  | Chrome c ->
+    c.out.write "]}";
+    c.out.finish ()

@@ -1,0 +1,39 @@
+(** Pluggable destinations for trace events. *)
+
+type writer = { write : string -> unit; finish : unit -> unit }
+
+type t = private
+  | Null
+  | Ring of ring
+  | Jsonl of writer
+  | Chrome of chrome
+
+and ring
+and chrome
+
+val null : t
+(** Drops everything. *)
+
+val ring : capacity:int -> t
+(** Bounded in-memory buffer keeping the most recent [capacity] events. *)
+
+val ring_events : t -> Span.t list
+(** Oldest first; [[]] for non-ring sinks. *)
+
+val jsonl : writer -> t
+val jsonl_file : string -> t
+(** One JSON object per line, streamed. *)
+
+val chrome : writer -> t
+val chrome_file : string -> t
+val chrome_buffer : Buffer.t -> t
+(** Chrome trace-event JSON ({["traceEvents"]} array) that opens
+    directly in Perfetto / chrome://tracing.  The header is written on
+    construction; {!close} writes the trailer — without it the file is
+    not valid JSON. *)
+
+val emit : t -> Span.t -> unit
+
+val close : t -> unit
+(** Flush trailers and release file channels.  Ring and null sinks are
+    unaffected. *)

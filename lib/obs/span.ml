@@ -1,0 +1,69 @@
+(* Trace events over *simulated* time.  The vocabulary mirrors the
+   Chrome trace-event format so the sinks can map one-to-one: duration
+   spans (begin/end or complete-with-duration), instant markers and
+   counter samples, each on a named track with a category and optional
+   key/value arguments. *)
+
+type arg =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type phase =
+  | Begin
+  | End
+  | Complete of int64  (** duration in simulated ns *)
+  | Instant
+  | Counter
+
+type t = {
+  ts_ns : int64;  (** simulated time of the event (span start for Complete) *)
+  phase : phase;
+  cat : string;  (** subsystem: "engine", "rtos", "hibi", "app", "dse" *)
+  name : string;
+  track : string;  (** rendered as a thread lane, e.g. "rtos/processor1" *)
+  args : (string * arg) list;
+}
+
+let make ~ts_ns ~phase ~cat ~name ~track ~args =
+  { ts_ns; phase; cat; name; track; args }
+
+let arg_to_json = function
+  | Str s -> Json.Str s
+  | Int n -> Json.Int n
+  | Float f -> Json.Float f
+  | Bool b -> Json.Bool b
+
+(* One JSONL record per event; field names follow the Chrome format so a
+   JSONL dump is trivially convertible. *)
+let to_json t =
+  let phase_letter =
+    match t.phase with
+    | Begin -> "B"
+    | End -> "E"
+    | Complete _ -> "X"
+    | Instant -> "i"
+    | Counter -> "C"
+  in
+  let base =
+    [
+      ("name", Json.Str t.name);
+      ("cat", Json.Str t.cat);
+      ("ph", Json.Str phase_letter);
+      ("ts_ns", Json.Int (Int64.to_int t.ts_ns));
+      ("track", Json.Str t.track);
+    ]
+  in
+  let dur =
+    match t.phase with
+    | Complete d -> [ ("dur_ns", Json.Int (Int64.to_int d)) ]
+    | Begin | End | Instant | Counter -> []
+  in
+  let args =
+    match t.args with
+    | [] -> []
+    | args ->
+      [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args)) ]
+  in
+  Json.Obj (base @ dur @ args)

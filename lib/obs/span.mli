@@ -1,0 +1,39 @@
+(** Trace events over simulated time, mirroring the Chrome trace-event
+    vocabulary (duration spans, instants, counter samples on named
+    tracks). *)
+
+type arg =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type phase =
+  | Begin
+  | End
+  | Complete of int64  (** duration in simulated ns *)
+  | Instant
+  | Counter
+
+type t = {
+  ts_ns : int64;
+  phase : phase;
+  cat : string;
+  name : string;
+  track : string;
+  args : (string * arg) list;
+}
+
+val make :
+  ts_ns:int64 ->
+  phase:phase ->
+  cat:string ->
+  name:string ->
+  track:string ->
+  args:(string * arg) list ->
+  t
+
+val arg_to_json : arg -> Json.t
+
+val to_json : t -> Json.t
+(** One self-contained record (the JSONL sink's line format). *)

@@ -1,0 +1,39 @@
+(* Tracing front-end.  Instrumented code holds a tracer and guards every
+   emission on [enabled] — with the null sink that is a single branch,
+   which is what keeps the hooks essentially free when tracing is off. *)
+
+type t = { sink : Sink.t; mutable emitted : int }
+
+let null = { sink = Sink.null; emitted = 0 }
+
+let create sink = { sink; emitted = 0 }
+
+let enabled t =
+  match t.sink with
+  | Sink.Null -> false
+  | Sink.Ring _ | Sink.Jsonl _ | Sink.Chrome _ -> true
+
+let emitted t = t.emitted
+
+let emit t ~ts_ns ~phase ~cat ~name ~track ~args =
+  t.emitted <- t.emitted + 1;
+  Sink.emit t.sink (Span.make ~ts_ns ~phase ~cat ~name ~track ~args)
+
+let begin_span t ~ts_ns ~cat ~track ?(args = []) name =
+  emit t ~ts_ns ~phase:Span.Begin ~cat ~name ~track ~args
+
+let end_span t ~ts_ns ~cat ~track ?(args = []) name =
+  emit t ~ts_ns ~phase:Span.End ~cat ~name ~track ~args
+
+(* A span recorded after the fact: started at [ts_ns], lasted [dur_ns]. *)
+let complete t ~ts_ns ~dur_ns ~cat ~track ?(args = []) name =
+  emit t ~ts_ns ~phase:(Span.Complete dur_ns) ~cat ~name ~track ~args
+
+let instant t ~ts_ns ~cat ~track ?(args = []) name =
+  emit t ~ts_ns ~phase:Span.Instant ~cat ~name ~track ~args
+
+(* Counter samples render as stacked area charts in Perfetto. *)
+let sample t ~ts_ns ~cat ~track ~args name =
+  emit t ~ts_ns ~phase:Span.Counter ~cat ~name ~track ~args
+
+let close t = Sink.close t.sink

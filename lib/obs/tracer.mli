@@ -1,0 +1,65 @@
+(** Tracing front-end over a {!Sink.t}.
+
+    Instrumented code guards emission on {!enabled}, so a {!null} tracer
+    costs one branch per potential event.  Timestamps are simulated
+    nanoseconds supplied by the caller (the tracer has no clock). *)
+
+type t
+
+val null : t
+val create : Sink.t -> t
+
+val enabled : t -> bool
+val emitted : t -> int
+
+val begin_span :
+  t ->
+  ts_ns:int64 ->
+  cat:string ->
+  track:string ->
+  ?args:(string * Span.arg) list ->
+  string ->
+  unit
+
+val end_span :
+  t ->
+  ts_ns:int64 ->
+  cat:string ->
+  track:string ->
+  ?args:(string * Span.arg) list ->
+  string ->
+  unit
+
+val complete :
+  t ->
+  ts_ns:int64 ->
+  dur_ns:int64 ->
+  cat:string ->
+  track:string ->
+  ?args:(string * Span.arg) list ->
+  string ->
+  unit
+(** A span recorded after the fact: started at [ts_ns], lasted
+    [dur_ns]. *)
+
+val instant :
+  t ->
+  ts_ns:int64 ->
+  cat:string ->
+  track:string ->
+  ?args:(string * Span.arg) list ->
+  string ->
+  unit
+
+val sample :
+  t ->
+  ts_ns:int64 ->
+  cat:string ->
+  track:string ->
+  args:(string * Span.arg) list ->
+  string ->
+  unit
+(** Counter sample; renders as an area chart in Perfetto. *)
+
+val close : t -> unit
+(** Close the underlying sink. *)

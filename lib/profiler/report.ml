@@ -69,6 +69,21 @@ let build groups trace =
     discarded;
   }
 
+(* The report's group cycle totals are derived from the trace; the
+   runtime counts the same executed cycles directly into the metrics
+   registry.  Equality ties the two telemetry paths together — a
+   mismatch means events were lost or double-counted. *)
+let cross_check t snapshot =
+  match Obs.Metrics.counter_value snapshot "app.exec_cycles_total" with
+  | None -> Error "metrics snapshot has no app.exec_cycles_total counter"
+  | Some counted ->
+    if Int64.of_int counted = t.total_cycles then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "report totals %Ld cycles but the runtime counted %d" t.total_cycles
+           counted)
+
 let proportion t group =
   if t.total_cycles = 0L then 0.0
   else

@@ -22,6 +22,11 @@ type t = {
 
 val build : Groups.t -> Sim.Trace.t -> t
 
+val cross_check : t -> Obs.Metrics.snapshot -> (unit, string) result
+(** Verify the trace-derived group cycle totals against the runtime's
+    [app.exec_cycles_total] counter (recorded independently of the
+    trace).  [Error] describes the discrepancy. *)
+
 val proportion : t -> string -> float
 (** Share of a group in total application cycles, in [0, 1]. *)
 

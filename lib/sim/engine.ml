@@ -12,13 +12,34 @@ type t = {
   mutable size : int;
   mutable clock : int64;
   mutable next_seq : int;
+  (* Pre-resolved metric handles, updated only when [obs_on]; with a
+     null scope every hook costs one branch on this boolean. *)
+  obs_on : bool;
+  m_fired : Obs.Metrics.counter;
+  m_scheduled : Obs.Metrics.counter;
+  m_dead_dropped : Obs.Metrics.counter;
+  m_heap_peak : Obs.Metrics.gauge;
+  m_clock_advance : Obs.Metrics.histogram;
 }
 
 let dummy =
   { time = 0L; seq = 0; callback = (fun () -> ()); live = false }
 
-let create () =
-  { heap = Array.make 64 dummy; size = 0; clock = 0L; next_seq = 0 }
+let create ?obs () =
+  let scope = match obs with Some s -> s | None -> Obs.Scope.null () in
+  let metrics = Obs.Scope.metrics scope in
+  {
+    heap = Array.make 64 dummy;
+    size = 0;
+    clock = 0L;
+    next_seq = 0;
+    obs_on = Obs.Scope.live scope;
+    m_fired = Obs.Metrics.counter metrics "sim.engine.events_fired";
+    m_scheduled = Obs.Metrics.counter metrics "sim.engine.events_scheduled";
+    m_dead_dropped = Obs.Metrics.counter metrics "sim.engine.dead_entries_dropped";
+    m_heap_peak = Obs.Metrics.gauge metrics "sim.engine.heap_size";
+    m_clock_advance = Obs.Metrics.histogram metrics "sim.engine.clock_advance_ns";
+  }
 
 let now t = t.clock
 
@@ -57,31 +78,34 @@ let push t handle =
   end;
   t.heap.(t.size) <- handle;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  sift_up t (t.size - 1);
+  if t.obs_on then Obs.Metrics.set_peak t.m_heap_peak t.size
 
-let rec pop t =
+let remove_root t =
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  if t.size > 0 then sift_down t 0
+
+(* Drop cancelled entries lazily so pop and peek both see a live head. *)
+let rec drop_dead t =
+  if t.size > 0 && not t.heap.(0).live then begin
+    remove_root t;
+    if t.obs_on then Obs.Metrics.inc t.m_dead_dropped;
+    drop_dead t
+  end
+
+let pop t =
+  drop_dead t;
   if t.size = 0 then None
   else begin
     let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- dummy;
-    if t.size > 0 then sift_down t 0;
-    if top.live then Some top else pop t
+    remove_root t;
+    Some top
   end
 
 let peek t =
-  (* Drop dead entries lazily so [pending]'s peek sees a live head. *)
-  let rec clean () =
-    if t.size > 0 && not t.heap.(0).live then begin
-      t.size <- t.size - 1;
-      t.heap.(0) <- t.heap.(t.size);
-      t.heap.(t.size) <- dummy;
-      if t.size > 0 then sift_down t 0;
-      clean ()
-    end
-  in
-  clean ();
+  drop_dead t;
   if t.size = 0 then None else Some t.heap.(0)
 
 let schedule_at t ~time callback =
@@ -90,6 +114,7 @@ let schedule_at t ~time callback =
   let handle = { time; seq = t.next_seq; callback; live = true } in
   t.next_seq <- t.next_seq + 1;
   push t handle;
+  if t.obs_on then Obs.Metrics.inc t.m_scheduled;
   handle
 
 let schedule t ~delay callback =
@@ -105,6 +130,12 @@ let step t =
   match pop t with
   | None -> false
   | Some handle ->
+    (if t.obs_on then begin
+       let advance = Int64.sub handle.time t.clock in
+       if advance > 0L then
+         Obs.Metrics.observe t.m_clock_advance (Int64.to_int advance);
+       Obs.Metrics.inc t.m_fired
+     end);
     t.clock <- handle.time;
     handle.live <- false;
     handle.callback ();
@@ -129,7 +160,6 @@ let run ?until t =
   fired
 
 let pending t =
-
   let count = ref 0 in
   for i = 0 to t.size - 1 do
     if t.heap.(i).live then incr count

@@ -9,7 +9,11 @@ type t
 type handle
 (** A scheduled event; may be cancelled before it fires. *)
 
-val create : unit -> t
+val create : ?obs:Obs.Scope.t -> unit -> t
+(** [obs] receives kernel metrics (events scheduled/fired, heap
+    high-water mark, cancelled-entry churn, clock-advance distribution);
+    defaults to a no-op scope. *)
+
 val now : t -> int64
 
 val schedule : t -> delay:int64 -> (unit -> unit) -> handle

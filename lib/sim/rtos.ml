@@ -5,6 +5,7 @@ type job = {
   priority : int;
   mutable remaining_cycles : int64;
   seq : int;  (** arrival order; ties broken FIFO *)
+  mutable ready_since : int64;  (** last time the job entered the ready queue *)
   on_complete : unit -> unit;
 }
 
@@ -25,11 +26,22 @@ type t = {
   mutable busy_ns : int64;
   mutable executed_cycles : int64;
   mutable next_seq : int;
+  tracer : Obs.Tracer.t;
+  track : string;  (** tracing lane, "rtos/<name>" *)
+  obs_on : bool;
+  trace_on : bool;
+  m_jobs : Obs.Metrics.counter;
+  m_preemptions : Obs.Metrics.counter;
+  m_queue_depth : Obs.Metrics.gauge;
+  m_sched_latency : Obs.Metrics.histogram;
 }
 
-let create ~engine ~name ~policy ~frequency_mhz ?(perf_factor = 1.0) () =
+let create ~engine ~name ~policy ~frequency_mhz ?(perf_factor = 1.0) ?obs () =
   if frequency_mhz <= 0 then invalid_arg "Sim.Rtos.create: frequency";
   if perf_factor <= 0.0 then invalid_arg "Sim.Rtos.create: perf_factor";
+  let obs = match obs with Some s -> s | None -> Obs.Scope.null () in
+  let metrics = Obs.Scope.metrics obs in
+  let metric suffix = "sim.rtos." ^ name ^ "." ^ suffix in
   {
     engine;
     name;
@@ -41,6 +53,14 @@ let create ~engine ~name ~policy ~frequency_mhz ?(perf_factor = 1.0) () =
     busy_ns = 0L;
     executed_cycles = 0L;
     next_seq = 0;
+    tracer = Obs.Scope.tracer obs;
+    track = "rtos/" ^ name;
+    obs_on = Obs.Scope.live obs;
+    trace_on = Obs.Tracer.enabled (Obs.Scope.tracer obs);
+    m_jobs = Obs.Metrics.counter metrics (metric "jobs");
+    m_preemptions = Obs.Metrics.counter metrics (metric "preemptions");
+    m_queue_depth = Obs.Metrics.gauge metrics (metric "queue_depth");
+    m_sched_latency = Obs.Metrics.histogram metrics (metric "sched_latency_ns");
   }
 
 let name t = t.name
@@ -73,6 +93,19 @@ let pop_best t =
     t.queue <- List.filter (fun j -> j != best) t.queue;
     Some best
 
+(* A finished run slice (completion or preemption) becomes one span on
+   the scheduler's trace lane.  Callers guard on [t.trace_on]. *)
+let slice_span t (r : running) ~preempted =
+  let now = Engine.now t.engine in
+  Obs.Tracer.complete t.tracer ~ts_ns:r.started_at
+    ~dur_ns:(Int64.sub now r.started_at) ~cat:"rtos" ~track:t.track
+    ~args:
+      [
+        ("priority", Obs.Span.Int r.job.priority);
+        ("preempted", Obs.Span.Bool preempted);
+      ]
+    r.job.task
+
 let rec dispatch t =
   match t.running with
   | Some _ -> ()
@@ -82,6 +115,11 @@ let rec dispatch t =
     | Some job ->
       let duration = cycles_to_ns t job.remaining_cycles in
       let started_at = Engine.now t.engine in
+      (if t.obs_on then begin
+         Obs.Metrics.set t.m_queue_depth (List.length t.queue);
+         Obs.Metrics.observe t.m_sched_latency
+           (Int64.to_int (Int64.sub started_at job.ready_since))
+       end);
       let completion =
         Engine.schedule t.engine ~delay:duration (fun () -> complete t job)
       in
@@ -90,6 +128,7 @@ let rec dispatch t =
 and complete t job =
   (match t.running with
   | Some r when r.job == job ->
+    if t.trace_on then slice_span t r ~preempted:false;
     t.busy_ns <- Int64.add t.busy_ns (Int64.sub (Engine.now t.engine) r.started_at);
     t.executed_cycles <- Int64.add t.executed_cycles job.remaining_cycles;
     job.remaining_cycles <- 0L;
@@ -114,11 +153,16 @@ let preempt_if_needed t =
         let elapsed_ns = Int64.sub (Engine.now t.engine) r.started_at in
         let done_cycles = min r.job.remaining_cycles (ns_to_cycles t elapsed_ns) in
         Engine.cancel r.completion;
+        if t.trace_on then slice_span t r ~preempted:true;
+        if t.obs_on then Obs.Metrics.inc t.m_preemptions;
         t.busy_ns <- Int64.add t.busy_ns elapsed_ns;
         t.executed_cycles <- Int64.add t.executed_cycles done_cycles;
         r.job.remaining_cycles <- Int64.sub r.job.remaining_cycles done_cycles;
         t.running <- None;
-        if r.job.remaining_cycles > 0L then t.queue <- r.job :: t.queue
+        if r.job.remaining_cycles > 0L then begin
+          r.job.ready_since <- Engine.now t.engine;
+          t.queue <- r.job :: t.queue
+        end
         else
           (* Fully executed during its slice: finish it now. *)
           r.job.on_complete ()
@@ -132,11 +176,16 @@ let submit t ~task ~priority ~cycles k =
       priority;
       remaining_cycles = scale_cycles t (max 1L cycles);
       seq = t.next_seq;
+      ready_since = Engine.now t.engine;
       on_complete = k;
     }
   in
   t.next_seq <- t.next_seq + 1;
   t.queue <- t.queue @ [ job ];
+  (if t.obs_on then begin
+     Obs.Metrics.inc t.m_jobs;
+     Obs.Metrics.set t.m_queue_depth (List.length t.queue)
+   end);
   preempt_if_needed t;
   dispatch t
 

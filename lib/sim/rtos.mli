@@ -26,9 +26,13 @@ val create :
   policy:policy ->
   frequency_mhz:int ->
   ?perf_factor:float ->
+  ?obs:Obs.Scope.t ->
   unit ->
   t
-(** Raises [Invalid_argument] on non-positive frequency or factor. *)
+(** Raises [Invalid_argument] on non-positive frequency or factor.
+    [obs] receives per-scheduler metrics (ready-to-run latency,
+    preemptions, queue depth) and one trace span per run slice on the
+    ["rtos/<name>"] lane; defaults to a no-op scope. *)
 
 val name : t -> string
 val policy : t -> policy

@@ -105,19 +105,17 @@ let to_lines t = List.map event_to_line (events t)
 
 let of_lines lines =
   let t = create () in
-  let rec loop = function
+  let rec loop n = function
     | [] -> Ok t
-    | line :: rest when String.trim line = "" -> ignore line; loop rest
+    | line :: rest when String.trim line = "" -> loop (n + 1) rest
     | line :: rest -> (
       match event_of_line line with
       | Ok event ->
         record t event;
-        loop rest
-      | Error _ as e -> e)
+        loop (n + 1) rest
+      | Error e -> Error (Printf.sprintf "line %d: %s" n e))
   in
-  match loop lines with
-  | Ok t -> Ok t
-  | Error e -> Error e
+  loop 1 lines
 
 let save t path =
   let oc = open_out path in

@@ -48,7 +48,11 @@ val event_to_line : event -> string
 val event_of_line : string -> (event, string) result
 
 val to_lines : t -> string list
+
 val of_lines : string list -> (t, string) result
+(** Blank lines are skipped; the first malformed line aborts parsing
+    with an error of the form ["line N: <reason>"] (1-based, counting
+    blank lines). *)
 
 val save : t -> string -> unit
 (** Write the log file. *)

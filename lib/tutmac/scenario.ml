@@ -43,7 +43,7 @@ type run_result = {
   via_xmi : bool;
 }
 
-let run_builder ?(via_xmi = false) config builder =
+let run_builder ?(via_xmi = false) ?obs config builder =
   let validation = Tut_profile.Builder.validate builder in
   if not (Tut_profile.Rules.is_valid validation) then
     Error
@@ -60,7 +60,7 @@ let run_builder ?(via_xmi = false) config builder =
     with
     | Error problems -> Error (String.concat "; " problems)
     | Ok sys -> (
-      match Codegen.Runtime.create sys with
+      match Codegen.Runtime.create ?obs sys with
       | Error problems -> Error (String.concat "; " problems)
       | Ok runtime -> (
         Codegen.Runtime.start runtime;
@@ -83,7 +83,7 @@ let run_builder ?(via_xmi = false) config builder =
           let report = Profiler.Report.build groups trace in
           Ok { report; trace; sys; runtime; via_xmi }))
 
-let run ?via_xmi config = run_builder ?via_xmi config (build_model config)
+let run ?via_xmi ?obs config = run_builder ?via_xmi ?obs config (build_model config)
 
 let render_figures config =
   let builder = build_model config in

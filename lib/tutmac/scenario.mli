@@ -32,14 +32,17 @@ type run_result = {
   via_xmi : bool;
 }
 
-val run : ?via_xmi:bool -> config -> (run_result, string) result
+val run : ?via_xmi:bool -> ?obs:Obs.Scope.t -> config -> (run_result, string) result
 (** Simulate for [duration_ns] and profile.  With [via_xmi:true] the
     process-group information is recovered by serialising the model to
     XML and parsing it back — the authentic tool-chain path of the
-    paper's profiling tool (slower, bit-identical result). *)
+    paper's profiling tool (slower, bit-identical result).  [obs] is
+    threaded through the whole runtime (engine, RTOS, HIBI, process
+    network); see {!Codegen.Runtime.create}. *)
 
 val run_builder :
   ?via_xmi:bool ->
+  ?obs:Obs.Scope.t ->
   config ->
   Tut_profile.Builder.t ->
   (run_result, string) result

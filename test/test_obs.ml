@@ -1,0 +1,333 @@
+(* Tests for the observability layer: metrics registry, JSON writer and
+   parser, trace sinks, and the end-to-end instrumentation of the TUTMAC
+   scenario (spans from several subsystems, report/counter cross-check). *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+(* -- metrics ----------------------------------------------------------- *)
+
+let test_counter_gauge () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "c" in
+  Obs.Metrics.inc c;
+  Obs.Metrics.inc ~by:4 c;
+  check int_t "counter" 5 (Obs.Metrics.count c);
+  (* find-or-create returns the same instrument *)
+  Obs.Metrics.inc (Obs.Metrics.counter m "c");
+  check int_t "shared handle" 6 (Obs.Metrics.count c);
+  let g = Obs.Metrics.gauge m "g" in
+  Obs.Metrics.set g 7;
+  Obs.Metrics.set g 3;
+  check int_t "gauge last" 3 (Obs.Metrics.last g);
+  check int_t "gauge peak" 7 (Obs.Metrics.peak g);
+  Obs.Metrics.set_peak g 11;
+  check int_t "set_peak leaves last" 3 (Obs.Metrics.last g);
+  check int_t "set_peak raises peak" 11 (Obs.Metrics.peak g);
+  match Obs.Metrics.gauge m "c" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch should raise"
+
+let hist_of values =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "h" in
+  List.iter (Obs.Metrics.observe h) values;
+  match Obs.Metrics.find (Obs.Metrics.snapshot m) "h" with
+  | Some (Obs.Metrics.Histogram data) -> data
+  | _ -> Alcotest.fail "histogram snapshot missing"
+
+let test_histogram_percentiles () =
+  (* 1..100: p50 falls in the bucket holding 50 (32..63, upper edge 64),
+     p99 in the bucket holding 99 (64..127, upper edge 128). *)
+  let data = hist_of (List.init 100 (fun i -> i + 1)) in
+  check int_t "count" 100 data.Obs.Metrics.count;
+  check int_t "sum" 5050 data.Obs.Metrics.sum;
+  check int_t "min" 1 data.Obs.Metrics.min_value;
+  check int_t "max" 100 data.Obs.Metrics.max_value;
+  check (Alcotest.float 1e-9) "p50 bucket edge" 64.0
+    (Obs.Metrics.percentile data 50.0);
+  check (Alcotest.float 1e-9) "p99 bucket edge" 128.0
+    (Obs.Metrics.percentile data 99.0);
+  check (Alcotest.float 1e-6) "mean" 50.5 (Obs.Metrics.mean data);
+  (* percentile is within 2x of the exact order statistic *)
+  List.iter
+    (fun p ->
+      let exact = float_of_int (max 1 (int_of_float (ceil (p /. 100.0 *. 100.0)))) in
+      let approx = Obs.Metrics.percentile data p in
+      check bool_t
+        (Printf.sprintf "p%.0f within 2x (exact %.0f, got %.0f)" p exact approx)
+        true
+        (approx >= exact && approx <= 2.0 *. exact))
+    [ 10.0; 25.0; 50.0; 75.0; 90.0; 99.0 ];
+  (* non-positive values land in bucket 0 with upper edge 0 *)
+  let zeros = hist_of [ 0; -5; 0 ] in
+  check (Alcotest.float 1e-9) "p99 of zeros" 0.0
+    (Obs.Metrics.percentile zeros 99.0)
+
+let test_merge () =
+  let run values incs =
+    let m = Obs.Metrics.create () in
+    let c = Obs.Metrics.counter m "c" in
+    Obs.Metrics.inc ~by:incs c;
+    let g = Obs.Metrics.gauge m "g" in
+    Obs.Metrics.set g (10 * incs);
+    let h = Obs.Metrics.histogram m "h" in
+    List.iter (Obs.Metrics.observe h) values;
+    Obs.Metrics.snapshot m
+  in
+  let merged = Obs.Metrics.merge (run [ 1; 2 ] 3) (run [ 100 ] 4) in
+  check (Alcotest.option int_t) "counters add" (Some 7)
+    (Obs.Metrics.counter_value merged "c");
+  (match Obs.Metrics.find merged "g" with
+  | Some (Obs.Metrics.Gauge { peak_value; _ }) ->
+    check int_t "gauge peak is max" 40 peak_value
+  | _ -> Alcotest.fail "merged gauge missing");
+  match Obs.Metrics.find merged "h" with
+  | Some (Obs.Metrics.Histogram data) ->
+    check int_t "hist counts add" 3 data.Obs.Metrics.count;
+    check int_t "hist sums add" 103 data.Obs.Metrics.sum;
+    check int_t "hist max" 100 data.Obs.Metrics.max_value
+  | _ -> Alcotest.fail "merged histogram missing"
+
+let test_render_and_json () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.inc ~by:2 (Obs.Metrics.counter m "a.count");
+  Obs.Metrics.observe (Obs.Metrics.histogram m "b.hist") 9;
+  let snapshot = Obs.Metrics.snapshot m in
+  let text = Obs.Metrics.render snapshot in
+  check bool_t "render mentions counter" true
+    (String.length text > 0
+    && String.starts_with ~prefix:"counter a.count" (String.trim text));
+  match Obs.Json.parse (Obs.Json.to_string (Obs.Metrics.to_json snapshot)) with
+  | Error e -> Alcotest.fail e
+  | Ok json -> (
+    match Obs.Json.member "a.count" json with
+    | Some entry -> (
+      match (Obs.Json.member "type" entry, Obs.Json.member "value" entry) with
+      | Some (Obs.Json.Str "counter"), Some (Obs.Json.Int 2) -> ()
+      | _ -> Alcotest.fail "counter entry has wrong shape")
+    | None -> Alcotest.fail "counter missing from JSON snapshot")
+
+(* -- json -------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.Str "a\"b\\c\nd\te\x01");
+        ("i", Obs.Json.Int (-42));
+        ("f", Obs.Json.Float 0.04);
+        ("whole", Obs.Json.Float 200.0);
+        ("t", Obs.Json.Bool true);
+        ("n", Obs.Json.Null);
+        ("l", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Str "x"; Obs.Json.List [] ]);
+        ("nan", Obs.Json.Float Float.nan);
+        ("inf", Obs.Json.Float Float.infinity);
+      ]
+  in
+  let text = Obs.Json.to_string v in
+  (* non-integer floats must print as numbers, not null (regression:
+     the old NaN check treated every finite float as infinite) *)
+  check bool_t "0.04 prints as a number" true
+    (not (String.length text = 0))
+    ;
+  (match Obs.Json.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    check (Alcotest.option string_t) "string round-trips"
+      (Some "a\"b\\c\nd\te\x01")
+      (match Obs.Json.member "s" parsed with
+      | Some (Obs.Json.Str s) -> Some s
+      | _ -> None);
+    (match Obs.Json.member "f" parsed with
+    | Some (Obs.Json.Float f) -> check (Alcotest.float 1e-9) "float value" 0.04 f
+    | _ -> Alcotest.fail "float f did not round-trip as a number");
+    (match Obs.Json.member "whole" parsed with
+    | Some (Obs.Json.Int 200) -> ()
+    | _ -> Alcotest.fail "whole float should print as an integer");
+    (match Obs.Json.member "nan" parsed with
+    | Some Obs.Json.Null -> ()
+    | _ -> Alcotest.fail "NaN must clamp to null");
+    match Obs.Json.member "inf" parsed with
+    | Some Obs.Json.Null -> ()
+    | _ -> Alcotest.fail "infinity must clamp to null");
+  List.iter
+    (fun bad ->
+      match Obs.Json.parse bad with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
+
+(* -- sinks ------------------------------------------------------------- *)
+
+let test_ring_sink () =
+  let sink = Obs.Sink.ring ~capacity:3 in
+  let tracer = Obs.Tracer.create sink in
+  check bool_t "ring tracer enabled" true (Obs.Tracer.enabled tracer);
+  check bool_t "null tracer disabled" false (Obs.Tracer.enabled Obs.Tracer.null);
+  for i = 1 to 5 do
+    Obs.Tracer.instant tracer ~ts_ns:(Int64.of_int i) ~cat:"t" ~track:"tr"
+      (Printf.sprintf "e%d" i)
+  done;
+  let names = List.map (fun e -> e.Obs.Span.name) (Obs.Sink.ring_events sink) in
+  check (Alcotest.list string_t) "ring keeps newest, oldest first"
+    [ "e3"; "e4"; "e5" ] names;
+  check int_t "emitted counts all events" 5 (Obs.Tracer.emitted tracer)
+
+let test_chrome_sink_json () =
+  let buf = Buffer.create 256 in
+  let tracer = Obs.Tracer.create (Obs.Sink.chrome_buffer buf) in
+  Obs.Tracer.complete tracer ~ts_ns:1500L ~dur_ns:40L ~cat:"k" ~track:"lane1"
+    ~args:[ ("n", Obs.Span.Int 3); ("tag", Obs.Span.Str "x") ]
+    "work";
+  Obs.Tracer.instant tracer ~ts_ns:2000L ~cat:"k" ~track:"lane2" "tick";
+  Obs.Tracer.close tracer;
+  match Obs.Json.parse (Buffer.contents buf) with
+  | Error e -> Alcotest.fail e
+  | Ok json -> (
+    match Obs.Json.member "traceEvents" json with
+    | Some (Obs.Json.List events) ->
+      (* two thread_name metadata records + two events *)
+      check int_t "event count" 4 (List.length events);
+      let phases =
+        List.filter_map
+          (fun e ->
+            match Obs.Json.member "ph" e with
+            | Some (Obs.Json.Str p) -> Some p
+            | _ -> None)
+          events
+      in
+      check (Alcotest.list string_t) "phases" [ "M"; "X"; "M"; "i" ] phases;
+      let complete = List.nth events 1 in
+      (match Obs.Json.member "ts" complete with
+      | Some (Obs.Json.Float ts) ->
+        check (Alcotest.float 1e-9) "ts in microseconds" 1.5 ts
+      | _ -> Alcotest.fail "complete event has no numeric ts");
+      (match Obs.Json.member "dur" complete with
+      | Some (Obs.Json.Float d) ->
+        check (Alcotest.float 1e-9) "dur in microseconds" 0.04 d
+      | _ -> Alcotest.fail "complete event has no numeric dur (got null?)");
+      let tids =
+        List.filter_map
+          (fun e ->
+            match (Obs.Json.member "ph" e, Obs.Json.member "tid" e) with
+            | Some (Obs.Json.Str "M"), Some (Obs.Json.Int tid) -> Some tid
+            | _ -> None)
+          events
+      in
+      check (Alcotest.list int_t) "distinct tids per track" [ 1; 2 ] tids
+    | _ -> Alcotest.fail "no traceEvents array")
+
+let test_jsonl_sink () =
+  let buf = Buffer.create 256 in
+  let writer =
+    {
+      Obs.Sink.write = Buffer.add_string buf;
+      Obs.Sink.finish = (fun () -> ());
+    }
+  in
+  let tracer = Obs.Tracer.create (Obs.Sink.jsonl writer) in
+  Obs.Tracer.begin_span tracer ~ts_ns:5L ~cat:"c" ~track:"t" "s";
+  Obs.Tracer.end_span tracer ~ts_ns:9L ~cat:"c" ~track:"t" "s";
+  Obs.Tracer.close tracer;
+  let lines =
+    String.split_on_char '\n' (String.trim (Buffer.contents buf))
+  in
+  check int_t "one record per line" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Obs.Json.parse line with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "bad JSONL line %S: %s" line e)
+    lines
+
+(* -- end-to-end: instrumented TUTMAC run ------------------------------- *)
+
+let short_config =
+  { Tutmac.Scenario.default with Tutmac.Scenario.duration_ns = 50_000_000L }
+
+let test_scenario_instrumentation () =
+  let buf = Buffer.create 4096 in
+  let tracer = Obs.Tracer.create (Obs.Sink.chrome_buffer buf) in
+  let obs = Obs.Scope.create ~tracer () in
+  match Tutmac.Scenario.run ~obs short_config with
+  | Error e -> Alcotest.fail e
+  | Ok result -> (
+    Obs.Tracer.close tracer;
+    let snapshot = Obs.Metrics.snapshot (Obs.Scope.metrics obs) in
+    (* the runtime counter agrees with the trace-derived report *)
+    (match Profiler.Report.cross_check result.Tutmac.Scenario.report snapshot with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    (* engine counters are live *)
+    (match Obs.Metrics.counter_value snapshot "sim.engine.events_fired" with
+    | Some n -> check bool_t "events fired" true (n > 0)
+    | None -> Alcotest.fail "no engine counter");
+    (* the chrome trace parses and has spans from >= 3 subsystems *)
+    match Obs.Json.parse (Buffer.contents buf) with
+    | Error e -> Alcotest.fail e
+    | Ok json -> (
+      match Obs.Json.member "traceEvents" json with
+      | Some (Obs.Json.List events) ->
+        let cats =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun e ->
+                 match Obs.Json.member "cat" e with
+                 | Some (Obs.Json.Str c) -> Some c
+                 | _ -> None)
+               events)
+        in
+        check bool_t
+          (Printf.sprintf "spans from >= 3 subsystems (got %s)"
+             (String.concat "," cats))
+          true
+          (List.length cats >= 3)
+      | _ -> Alcotest.fail "no traceEvents array"))
+
+let test_null_scope_isolated () =
+  (* Scope.null () hands every caller a fresh registry — two runs never
+     share counts — and reports itself dead so subsystems skip their
+     hooks. *)
+  let a = Obs.Scope.null () in
+  let b = Obs.Scope.null () in
+  check bool_t "null scope is not live" false (Obs.Scope.live a);
+  check bool_t "created scope is live" true
+    (Obs.Scope.live (Obs.Scope.create ()));
+  Obs.Metrics.inc (Obs.Metrics.counter (Obs.Scope.metrics a) "x");
+  check (Alcotest.option int_t) "b unaffected" (Some 0)
+    (Obs.Metrics.counter_value
+       (Obs.Metrics.snapshot
+          (let m = Obs.Scope.metrics b in
+           Obs.Metrics.inc ~by:0 (Obs.Metrics.counter m "x");
+           m))
+       "x")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and gauge" `Quick test_counter_gauge;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "render and json" `Quick test_render_and_json;
+        ] );
+      ("json", [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip ]);
+      ( "sinks",
+        [
+          Alcotest.test_case "ring" `Quick test_ring_sink;
+          Alcotest.test_case "chrome json" `Quick test_chrome_sink_json;
+          Alcotest.test_case "jsonl" `Quick test_jsonl_sink;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "scenario instrumentation" `Quick
+            test_scenario_instrumentation;
+          Alcotest.test_case "null scope isolation" `Quick
+            test_null_scope_isolated;
+        ] );
+    ]

@@ -154,6 +154,25 @@ let test_trace_bad_lines () =
       | Ok _ -> Alcotest.failf "expected error for %S" line)
     [ ""; "X 1 a 2"; "E notatime p 5"; "E 1 p"; "S 1 a b" ]
 
+(* of_lines reports the 1-based line number of the first malformed line,
+   counting blank lines, and stops there. *)
+let test_trace_of_lines_line_numbers () =
+  let expect_error_at n lines =
+    match Sim.Trace.of_lines lines with
+    | Ok _ -> Alcotest.failf "expected a parse error in %s" (String.concat "|" lines)
+    | Error e ->
+      let prefix = Printf.sprintf "line %d: " n in
+      if not (String.starts_with ~prefix e) then
+        Alcotest.failf "expected error prefixed %S, got %S" prefix e
+  in
+  expect_error_at 1 [ "X 1 a 2" ];
+  expect_error_at 2 [ "E 1 p 5"; "E oops p 5" ];
+  expect_error_at 4 [ "E 1 p 5"; ""; "T 2 p idle busy"; "S 3 a b" ];
+  expect_error_at 3 [ "D 1 p sig"; "S 2 a b sig 4"; "E 3 p" ];
+  match Sim.Trace.of_lines [ "E 1 p 5"; ""; "   "; "D 2 p sig" ] with
+  | Ok t -> check int_t "blank lines are skipped" 2 (Sim.Trace.length t)
+  | Error e -> Alcotest.fail e
+
 (* Property: log text round-trips for arbitrary well-formed events. *)
 let gen_event =
   QCheck.Gen.(
@@ -308,6 +327,8 @@ let () =
           Alcotest.test_case "line round-trip" `Quick test_trace_line_roundtrip;
           Alcotest.test_case "file round-trip" `Quick test_trace_file_roundtrip;
           Alcotest.test_case "bad lines" `Quick test_trace_bad_lines;
+          Alcotest.test_case "line-numbered errors" `Quick
+            test_trace_of_lines_line_numbers;
           QCheck_alcotest.to_alcotest prop_trace_roundtrip;
         ] );
       ( "rtos",
