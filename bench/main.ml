@@ -308,6 +308,130 @@ let ablation_regrouping () =
         from_group to_group)
     suggestion.Dse.Grouping.moves
 
+(* ---- DSE parallel macro-benchmark ------------------------------------- *)
+
+(* Serial vs parallel exhaustive exploration of a synthetic lattice
+   (TUTBENCH_DSE_GROUPS groups x 4 candidate PEs each, default 9 groups
+   = 262144 points), measured in wall-clock evaluations/sec and written
+   to BENCH_dse.json.  The parallel runs must reproduce the serial best
+   cost and evaluation count exactly — the merge is deterministic — so
+   the benchmark doubles as an end-to-end equivalence check. *)
+
+let bench_dse () =
+  section "DSE macro-benchmark: serial vs parallel exhaustive";
+  let groups =
+    match Sys.getenv_opt "TUTBENCH_DSE_GROUPS" with
+    | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 && n <= 10 -> n | _ -> 9)
+    | None -> 9
+  in
+  let n_pes = 4 in
+  let group g = Printf.sprintf "g%d" g in
+  let pes = List.init n_pes (fun i -> Printf.sprintf "pe%d" i) in
+  let candidates = List.init groups (fun g -> (group g, pes)) in
+  let profile =
+    {
+      Dse.Cost.group_cycles =
+        List.init groups (fun g -> (group g, Int64.of_int (1000 + (137 * g))));
+      Dse.Cost.comm =
+        List.init (groups - 1) (fun g -> ((group g, group (g + 1)), 10 + (7 * g)))
+        @ [ ((group 0, group (groups - 1)), 25) ];
+    }
+  in
+  let platform =
+    {
+      Dse.Cost.pe_infos =
+        List.mapi
+          (fun i pe ->
+            { Dse.Cost.pe; speed = 100.0 +. (25.0 *. float_of_int i);
+              accelerator = false })
+          pes;
+      (* Deterministic symmetric pseudo-topology: 1 or 2 hops. *)
+      Dse.Cost.hop_distance =
+        (fun a b ->
+          if a = b then 0
+          else 1 + ((Hashtbl.hash a + Hashtbl.hash b) mod 2));
+    }
+  in
+  let eval = Dse.Cost.cost ~profile ~platform in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let space =
+    match Dse.Explore.space_size candidates with Some n -> n | None -> 0
+  in
+  let serial, serial_s =
+    time (fun () -> Dse.Explore.exhaustive ~eval ~candidates ())
+  in
+  let eps evaluations seconds = float_of_int evaluations /. max 1e-9 seconds in
+  let serial_eps = eps serial.Dse.Explore.evaluations serial_s in
+  Printf.printf "  lattice: %d groups x %d PEs = %d points\n" groups n_pes space;
+  Printf.printf "  %-10s %10s %14s %9s\n" "jobs" "seconds" "evals/sec" "speedup";
+  Printf.printf "  %-10s %10.3f %14.0f %9s\n" "serial" serial_s serial_eps "1.00x";
+  let parallel_rows =
+    List.map
+      (fun jobs ->
+        let result, seconds =
+          time (fun () -> Dse.Parallel.exhaustive ~jobs ~eval ~candidates ())
+        in
+        if
+          result.Dse.Explore.best_cost <> serial.Dse.Explore.best_cost
+          || result.Dse.Explore.evaluations <> serial.Dse.Explore.evaluations
+          || result.Dse.Explore.best <> serial.Dse.Explore.best
+        then begin
+          Printf.printf "  FAIL: -j %d diverged from the serial result\n" jobs;
+          exit 1
+        end;
+        let speedup = serial_s /. max 1e-9 seconds in
+        Printf.printf "  %-10s %10.3f %14.0f %8.2fx\n"
+          (Printf.sprintf "-j %d" jobs)
+          seconds
+          (eps result.Dse.Explore.evaluations seconds)
+          speedup;
+        (jobs, seconds, eps result.Dse.Explore.evaluations seconds, speedup))
+      [ 2; 4; Domain.recommended_domain_count () ]
+  in
+  Printf.printf
+    "  (recommended_domain_count = %d on this machine; identical results \
+     verified on every run)\n"
+    (Domain.recommended_domain_count ());
+  let oc = open_out "BENCH_dse.json" in
+  output_string oc
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("space", Obs.Json.Int space);
+            ("groups", Obs.Json.Int groups);
+            ("pes", Obs.Json.Int n_pes);
+            ( "recommended_domains",
+              Obs.Json.Int (Domain.recommended_domain_count ()) );
+            ( "serial",
+              Obs.Json.Obj
+                [
+                  ("seconds", Obs.Json.Float serial_s);
+                  ("evals_per_sec", Obs.Json.Float serial_eps);
+                  ("best_cost", Obs.Json.Float serial.Dse.Explore.best_cost);
+                  ("evaluations", Obs.Json.Int serial.Dse.Explore.evaluations);
+                ] );
+            ( "parallel",
+              Obs.Json.List
+                (List.map
+                   (fun (jobs, seconds, evals_per_sec, speedup) ->
+                     Obs.Json.Obj
+                       [
+                         ("jobs", Obs.Json.Int jobs);
+                         ("seconds", Obs.Json.Float seconds);
+                         ("evals_per_sec", Obs.Json.Float evals_per_sec);
+                         ("speedup", Obs.Json.Float speedup);
+                       ])
+                   parallel_rows) );
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  DSE benchmark written to BENCH_dse.json\n"
+
 (* ---- Part 2: Bechamel benchmarks -------------------------------------- *)
 
 open Bechamel
@@ -460,5 +584,6 @@ let () =
   ablation_regrouping ();
   sweep_series ();
   analysis_section ();
+  bench_dse ();
   run_benchmarks ();
   print_newline ()

@@ -471,8 +471,18 @@ let iterations_arg =
   let doc = "Iteration budget for stochastic algorithms." in
   Arg.(value & opt int 500 & info [ "iterations" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel exploration drivers (sa, random, \
+     exhaustive).  0 means one per recommended core \
+     (Domain.recommended_domain_count); any value returns identical \
+     results, only faster.  greedy is inherently sequential and ignores \
+     this."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let explore_cmd =
-  let run config algorithm seed iterations =
+  let run config algorithm seed iterations jobs =
     match Tutmac.Scenario.run config with
     | Error e ->
       prerr_endline e;
@@ -485,15 +495,21 @@ let explore_cmd =
       let eval = Dse.Cost.cost ~profile ~platform in
       let candidates = Dse.Cost.candidates view in
       let init = Dse.Cost.current_assignment view in
+      let jobs =
+        if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs
+      in
       let outcome =
         match algorithm with
         | "greedy" -> Ok (Dse.Explore.greedy ~eval ~candidates ~init ())
         | "sa" ->
           Ok
-            (Dse.Explore.simulated_annealing ~seed ~iterations ~eval ~candidates
-               ~init ())
-        | "random" -> Ok (Dse.Explore.random_search ~seed ~iterations ~eval ~candidates ())
-        | "exhaustive" -> Ok (Dse.Explore.exhaustive ~eval ~candidates ())
+            (Dse.Parallel.simulated_annealing ~jobs ~seed ~iterations ~eval
+               ~candidates ~init ())
+        | "random" ->
+          Ok
+            (Dse.Parallel.random_search ~jobs ~seed ~iterations ~eval
+               ~candidates ())
+        | "exhaustive" -> Ok (Dse.Parallel.exhaustive ~jobs ~eval ~candidates ())
         | other -> Error ("unknown algorithm " ^ other)
       in
       (match outcome with
@@ -501,6 +517,8 @@ let explore_cmd =
         prerr_endline e;
         1
       | Ok result ->
+        if jobs > 1 && algorithm <> "greedy" then
+          Printf.printf "exploring with %d worker domains\n" jobs;
         Printf.printf "initial mapping cost: %.2f\n" (eval init);
         Printf.printf "best cost: %.2f after %d evaluations\n"
           result.Dse.Explore.best_cost result.Dse.Explore.evaluations;
@@ -513,7 +531,8 @@ let explore_cmd =
     (Cmd.info "explore"
        ~doc:"Explore alternative group-to-PE mappings over profiling data")
     Term.(
-      const run $ config_term $ algorithm_arg $ seed_arg $ iterations_arg)
+      const run $ config_term $ algorithm_arg $ seed_arg $ iterations_arg
+      $ jobs_arg)
 
 (* -- analyze --------------------------------------------------------- *)
 

@@ -58,14 +58,26 @@ let finish t =
     history = List.rev t.history;
   }
 
+(* The product over a large lattice silently wraps an [int] (e.g. 41
+   groups x 3 options each), which used to slip past the size guard
+   below — so detect overflow instead of multiplying blindly. *)
 let space_size candidates =
-  List.fold_left (fun acc (_, options) -> acc * List.length options) 1 candidates
+  let rec go acc = function
+    | [] -> Some acc
+    | (_, options) :: rest ->
+      let n = List.length options in
+      if n = 0 then Some 0
+      else if acc > max_int / n then None
+      else go (acc * n) rest
+  in
+  go 1 candidates
 
 let exhaustive ?obs ~eval ~candidates () =
   if List.exists (fun (_, options) -> options = []) candidates then
     invalid_arg "Dse.Explore.exhaustive: a group has no candidate PE";
-  if space_size candidates > 1_000_000 then
-    invalid_arg "Dse.Explore.exhaustive: space too large";
+  (match space_size candidates with
+  | Some n when n <= 1_000_000 -> ()
+  | Some _ | None -> invalid_arg "Dse.Explore.exhaustive: space too large");
   let t = tracker ?obs eval [] in
   let rec enumerate prefix = function
     | [] -> ignore (evaluate t (List.rev prefix))

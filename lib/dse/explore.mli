@@ -19,6 +19,11 @@ type result = {
       (** (evaluation index, best-so-far) at improvement points *)
 }
 
+val space_size : (string * string list) list -> int option
+(** Number of points in the candidate lattice, or [None] when the
+    product overflows [int] (which {!exhaustive} treats as "space too
+    large" rather than wrapping silently). *)
+
 val exhaustive :
   ?obs:Obs.Scope.t ->
   eval:(Cost.assignment -> float) ->
@@ -26,7 +31,8 @@ val exhaustive :
   unit ->
   result
 (** Try every combination.  Raises [Invalid_argument] when the space
-    exceeds 1_000_000 points or any group has no candidate. *)
+    exceeds 1_000_000 points (or overflows [int]) or any group has no
+    candidate. *)
 
 val random_search :
   ?obs:Obs.Scope.t ->

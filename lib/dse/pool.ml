@@ -1,0 +1,116 @@
+(* Fixed-size domain pool.
+
+   A pool owns [domains] worker domains that drain a shared FIFO job
+   queue.  [map] submits a batch of thunks and blocks the calling domain
+   until every one of them has run; per-task exceptions are captured in
+   the result slot and the first one (in submission order, so the choice
+   is deterministic regardless of scheduling) is re-raised after the
+   whole batch has drained — the pool itself survives failing tasks and
+   stays reusable for the next batch.
+
+   One mutex guards everything (queue, stop flag, per-batch completion
+   counters); the two conditions split the wakeups: [work] wakes workers
+   when jobs arrive or the pool stops, [finished] wakes batch submitters
+   when their counter reaches zero. *)
+
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let size t = Array.length t.workers
+
+let worker t =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec await () =
+      if t.stop then begin
+        Mutex.unlock t.mutex;
+        None
+      end
+      else
+        match Queue.take_opt t.queue with
+        | Some job ->
+          Mutex.unlock t.mutex;
+          Some job
+        | None ->
+          Condition.wait t.work t.mutex;
+          await ()
+    in
+    match await () with
+    | None -> ()
+    | Some job ->
+      (* Jobs enqueued by [map] never raise (the wrapper catches), but a
+         stray exception must not kill the worker domain. *)
+      (try job () with _ -> ());
+      next ()
+  in
+  next ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Dse.Pool.create: need at least one domain";
+  let t =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init domains (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let map t thunks =
+  match thunks with
+  | [] -> []
+  | _ ->
+    let n = List.length thunks in
+    let results = Array.make n None in
+    let remaining = ref n in
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Dse.Pool.map: pool is shut down"
+    end;
+    List.iteri
+      (fun i thunk ->
+        Queue.add
+          (fun () ->
+            let r = try Ok (thunk ()) with e -> Error e in
+            Mutex.lock t.mutex;
+            results.(i) <- Some r;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast t.finished;
+            Mutex.unlock t.mutex)
+          t.queue)
+      thunks;
+    Condition.broadcast t.work;
+    while !remaining > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    let outcomes =
+      Array.map (function Some r -> r | None -> assert false) results
+    in
+    Array.iter (function Error e -> raise e | Ok _ -> ()) outcomes;
+    Array.to_list
+      (Array.map (function Ok v -> v | Error _ -> assert false) outcomes)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.stop <- true;
+  t.workers <- [||];
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join workers
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

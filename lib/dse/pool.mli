@@ -1,0 +1,33 @@
+(** Fixed-size domain pool (OCaml 5 [Domain] + [Mutex]/[Condition], no
+    external dependencies).
+
+    Built for {!Parallel}'s fan-out/fan-in pattern but generic: submit a
+    batch of independent thunks, get their results back in submission
+    order.  Thunks run on worker domains, so they must not share mutable
+    state without their own synchronisation, and must not call back into
+    the same pool (a nested [map] from a worker would deadlock). *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn a pool of [domains] worker domains ([>= 1], else
+    [Invalid_argument]). *)
+
+val size : t -> int
+(** Number of worker domains (0 after {!shutdown}). *)
+
+val map : t -> (unit -> 'a) list -> 'a list
+(** Run every thunk on the pool and block until all have finished;
+    results come back in submission order.  If any thunk raised, the
+    exception of the {e first} failing thunk in submission order is
+    re-raised — deterministically, whatever order the domains actually
+    ran them in — but only after the whole batch has drained, so the
+    pool stays clean and reusable.  Raises [Invalid_argument] after
+    {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker.  Idempotent.  Must not be called while a
+    {!map} is in flight from another thread. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run the function, and {!shutdown} even on exception. *)

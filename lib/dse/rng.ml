@@ -5,6 +5,24 @@ let create seed =
   let s = Int64.of_int seed in
   { state = (if s = 0L then 0x9E3779B97F4A7C15L else s) }
 
+(* splitmix64 finaliser (Steele/Lea/Flood): a strong bijective mixer, so
+   nearby (seed, stream) pairs land on unrelated xorshift states. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let split_seed ~seed ~stream =
+  if stream < 0 then invalid_arg "Dse.Rng.split: negative stream index";
+  let z =
+    Int64.add (Int64.of_int seed)
+      (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (stream + 1)))
+  in
+  Int64.to_int (mix64 (mix64 z))
+
+let split ~seed ~stream = create (split_seed ~seed ~stream)
+
 let next t =
   (* xorshift64-star (Vigna). *)
   let x = t.state in

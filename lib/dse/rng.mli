@@ -8,6 +8,20 @@ type t
 val create : int -> t
 (** Seeded generator; the same seed always yields the same sequence. *)
 
+val split : seed:int -> stream:int -> t
+(** [split ~seed ~stream] derives an independent generator for the given
+    stream index (two rounds of the splitmix64 finaliser over seed and
+    index).  Deterministic: the same (seed, stream) pair always yields
+    the same generator, and distinct stream indices yield generators with
+    unrelated sequences — this is how parallel exploration gives every
+    worker its own reproducible stream.  Raises [Invalid_argument] when
+    [stream < 0]. *)
+
+val split_seed : seed:int -> stream:int -> int
+(** The integer seed behind {!split}, for APIs that take a seed rather
+    than a generator: [split ~seed ~stream = create (split_seed ~seed
+    ~stream)]. *)
+
 val int : t -> int -> int
 (** [int t n] draws uniformly from [0, n).  Raises [Invalid_argument]
     when [n <= 0]. *)

@@ -171,6 +171,31 @@ let merge a b =
     b;
   Hashtbl.fold (fun name v acc -> (name, v) :: acc) table [] |> List.sort compare
 
+(* Fold a snapshot into a live registry with the same rules as [merge];
+   histograms get their buckets added directly (the snapshot carries the
+   full bucket array, so no re-observation round-trip is needed). *)
+let absorb t snap =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> inc ~by:n (counter t name)
+      | Gauge { last_value; peak_value } ->
+        let g = gauge t name in
+        if last_value > g.g_last then g.g_last <- last_value;
+        if peak_value > g.g_peak then g.g_peak <- peak_value
+      | Histogram hd ->
+        let h = histogram t name in
+        Array.iteri
+          (fun i n -> h.h_buckets.(i) <- h.h_buckets.(i) + n)
+          hd.buckets;
+        h.h_count <- h.h_count + hd.count;
+        h.h_sum <- h.h_sum + hd.sum;
+        if hd.count > 0 then begin
+          if hd.min_value < h.h_min then h.h_min <- hd.min_value;
+          if hd.max_value > h.h_max then h.h_max <- hd.max_value
+        end)
+    snap
+
 (* Percentile estimate from the log-scale buckets: the exclusive upper
    edge of the bucket holding the requested rank (0.0 for the v<=0
    bucket).  Within a factor of 2 of the true value by construction. *)

@@ -61,8 +61,24 @@ val find : snapshot -> string -> value option
 val counter_value : snapshot -> string -> int option
 
 val merge : snapshot -> snapshot -> snapshot
-(** Counters and histograms add; gauges keep the element-wise maximum.
-    Raises [Invalid_argument] when a name maps to different kinds. *)
+(** Counters and histogram populations (count, sum, per-bucket tallies)
+    add; gauges keep the element-wise maximum of [last] and [peak].
+    Gauges deliberately do {e not} use a last-writer rule: merged
+    snapshots typically come from concurrently-running scopes (e.g. one
+    registry per worker domain in parallel exploration) where no global
+    write order exists, and taking the maximum is what keeps [merge]
+    commutative and associative — both property-tested — so a fan-in can
+    fold snapshots in any order.  A merged high-water mark is still a
+    high-water mark.  Raises [Invalid_argument] when a name maps to
+    different instrument kinds. *)
+
+val absorb : t -> snapshot -> unit
+(** Fold a snapshot into a live registry, creating instruments as
+    needed, with the same combination rules as {!merge} (counters and
+    histogram populations add, gauges keep the maximum).  This is how a
+    parallel fan-out returns per-domain registries to the caller's
+    registry: [snapshot (absorb parent s)] equals [merge (snapshot
+    parent) s] for instruments the parent already holds. *)
 
 val percentile : hist_data -> float -> float
 (** Upper edge of the bucket containing the given percentile rank —

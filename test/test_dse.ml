@@ -37,6 +37,35 @@ let test_rng_pick_shuffle () =
   check (Alcotest.list int_t) "shuffle is a permutation" items
     (List.sort compare shuffled)
 
+let test_rng_split_disjoint () =
+  (* 64 split streams from one seed: pairwise-disjoint prefixes (no draw
+     of any stream's first 16 appears in any other stream's first 16). *)
+  let prefixes =
+    List.init 64 (fun stream ->
+        let r = Dse.Rng.split ~seed:42 ~stream in
+        List.init 16 (fun _ -> Dse.Rng.int r (1 lsl 30)))
+  in
+  let all = List.concat prefixes in
+  check int_t "all 1024 draws distinct" 1024
+    (List.length (List.sort_uniq compare all));
+  (* Stream 0 is not the base sequence of the raw seed either. *)
+  let base = List.init 16 (fun _ -> Dse.Rng.int (Dse.Rng.create 42) (1 lsl 30)) in
+  check bool_t "stream 0 differs from create" true
+    (List.nth prefixes 0 <> base)
+
+let test_rng_split_stable () =
+  (* Same (seed, stream) -> same sequence, run to run. *)
+  let draw () =
+    let r = Dse.Rng.split ~seed:7 ~stream:13 in
+    List.init 32 (fun _ -> Dse.Rng.int r 1_000_000)
+  in
+  check (Alcotest.list int_t) "split is reproducible" (draw ()) (draw ());
+  check int_t "split_seed matches split" (Dse.Rng.int (Dse.Rng.split ~seed:7 ~stream:13) 1_000_000)
+    (Dse.Rng.int (Dse.Rng.create (Dse.Rng.split_seed ~seed:7 ~stream:13)) 1_000_000);
+  Alcotest.check_raises "negative stream"
+    (Invalid_argument "Dse.Rng.split: negative stream index") (fun () ->
+      ignore (Dse.Rng.split ~seed:1 ~stream:(-1)))
+
 (* -- cost model ----------------------------------------------------------- *)
 
 let profile_data =
@@ -191,6 +220,20 @@ let test_exhaustive_guards () =
     (fun () ->
       ignore (Dse.Explore.exhaustive ~eval:cost ~candidates:[ ("g", []) ] ()))
 
+let test_space_size_overflow () =
+  check (Alcotest.option int_t) "small lattice exact" (Some 8)
+    (Dse.Explore.space_size candidates3);
+  (* 3^41 overflows a 63-bit int; the old product wrapped silently and
+     could sail past the <= 1_000_000 guard. *)
+  let huge =
+    List.init 41 (fun i -> (Printf.sprintf "g%d" i, [ "a"; "b"; "c" ]))
+  in
+  check (Alcotest.option int_t) "overflow detected" None
+    (Dse.Explore.space_size huge);
+  Alcotest.check_raises "exhaustive raises the existing error"
+    (Invalid_argument "Dse.Explore.exhaustive: space too large") (fun () ->
+      ignore (Dse.Explore.exhaustive ~eval:cost ~candidates:huge ()))
+
 (* -- apply -------------------------------------------------------------------- *)
 
 let test_apply_remaps_model () =
@@ -256,6 +299,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "pick and shuffle" `Quick test_rng_pick_shuffle;
+          Alcotest.test_case "split disjoint" `Quick test_rng_split_disjoint;
+          Alcotest.test_case "split stable" `Quick test_rng_split_stable;
         ] );
       ( "cost",
         [
@@ -274,6 +319,7 @@ let () =
           Alcotest.test_case "sa deterministic" `Quick test_sa_deterministic_and_good;
           Alcotest.test_case "history monotone" `Quick test_history_monotone;
           Alcotest.test_case "guards" `Quick test_exhaustive_guards;
+          Alcotest.test_case "space_size overflow" `Quick test_space_size_overflow;
           QCheck_alcotest.to_alcotest prop_greedy_never_worse;
         ] );
       ( "apply",
