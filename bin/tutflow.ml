@@ -620,6 +620,94 @@ let regroup_cmd =
           inter-group communication (paper future work)")
     Term.(const run $ config_term)
 
+(* -- lint ------------------------------------------------------------- *)
+
+let lint_format_arg =
+  let doc = "Output format: text or jsonl (one JSON diagnostic per line)." in
+  Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc)
+
+let max_severity_arg =
+  let doc =
+    "Exit non-zero when a diagnostic at or above this severity exists: \
+     error (the default) or warning."
+  in
+  Arg.(value & opt string "error" & info [ "max-severity" ] ~docv:"SEV" ~doc)
+
+let lint_list_arg =
+  let doc = "List the lint passes and diagnostic codes instead of running." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let lint_cmd =
+  let run config model_file format max_severity list chrome_trace metrics_out =
+    if list then begin
+      print_endline "passes:";
+      List.iter
+        (fun (p : Lint.Pass.t) ->
+          Printf.printf "  %-12s %-14s %s\n" p.Lint.Pass.name
+            (String.concat "," p.Lint.Pass.codes)
+            p.Lint.Pass.describe)
+        Lint.Engine.passes;
+      print_endline "codes:";
+      List.iter
+        (fun (code, severity, summary) ->
+          Printf.printf "  %s [%s] %s\n" code
+            (Lint.Diagnostic.severity_to_string severity)
+            summary)
+        Lint.Engine.catalog;
+      0
+    end
+    else
+      match Lint.Diagnostic.severity_of_string max_severity with
+      | None ->
+        Printf.eprintf "unknown severity %s (expected error or warning)\n"
+          max_severity;
+        2
+      | Some threshold -> (
+        if format <> "text" && format <> "jsonl" then begin
+          Printf.eprintf "unknown format %s (expected text or jsonl)\n" format;
+          2
+        end
+        else
+          match builder_of config model_file with
+          | Error e ->
+            prerr_endline e;
+            2
+          | Ok builder ->
+            let quiet = format = "jsonl" in
+            let obs = obs_of ~chrome_trace ~metrics_out () in
+            let model = Tut_profile.Builder.model builder in
+            let results =
+              Lint.Engine.run ~obs (Lint.Pass.context_of_model model)
+            in
+            let diagnostics = List.concat_map snd results in
+            (if format = "jsonl" then
+               List.iter
+                 (fun d ->
+                   print_endline
+                     (Obs.Json.to_string (Lint.Diagnostic.to_json d)))
+                 diagnostics
+             else begin
+               List.iter
+                 (fun d -> print_endline (Lint.Diagnostic.render d))
+                 diagnostics;
+               Printf.printf "lint: %d passes, %d errors, %d warnings\n"
+                 (List.length results)
+                 (List.length (Lint.Diagnostic.errors diagnostics))
+                 (List.length (Lint.Diagnostic.warnings diagnostics))
+             end);
+            finish_obs ~quiet obs ~chrome_trace ~metrics_out;
+            if Lint.Diagnostic.at_or_above threshold diagnostics <> [] then 1
+            else 0)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Behavioural static analysis of the EFSM network (codes L01-L09): \
+          reachability, determinism, dataflow, signal flow, deadlock")
+    Term.(
+      const run $ config_term $ model_arg $ lint_format_arg $ max_severity_arg
+      $ lint_list_arg $ chrome_trace_arg $ metrics_out_arg)
+
 (* -- rules ------------------------------------------------------------ *)
 
 let rules_cmd =
@@ -656,6 +744,7 @@ let main_cmd =
       explore_cmd;
       analyze_cmd;
       regroup_cmd;
+      lint_cmd;
       rules_cmd;
     ]
 

@@ -1,26 +1,15 @@
-type severity = Error | Warning
+type severity = Lint.Diagnostic.severity = Error | Warning
 
-type diagnostic = {
+type diagnostic = Lint.Diagnostic.t = {
   rule : string;
   severity : severity;
   element : Uml.Element.ref_ option;
   message : string;
 }
 
-let pp_severity fmt = function
-  | Error -> Format.pp_print_string fmt "error"
-  | Warning -> Format.pp_print_string fmt "warning"
-
-let pp_diagnostic fmt d =
-  let pp_elt fmt = function
-    | None -> ()
-    | Some e -> Format.fprintf fmt " at %s" (Uml.Element.to_string e)
-  in
-  Format.fprintf fmt "%s %a%a: %s" d.rule pp_severity d.severity pp_elt
-    d.element d.message
-
-let errors ds = List.filter (fun d -> d.severity = Error) ds
-let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+let pp_diagnostic = Lint.Diagnostic.pp
+let errors = Lint.Diagnostic.errors
+let warnings = Lint.Diagnostic.warnings
 
 let check (view : View.t) =
   let out = ref [] in

@@ -45,9 +45,12 @@
           grouping criteria).  Only checked when both sides declare the
           relevant tags. *)
 
-type severity = Error | Warning
+type severity = Lint.Diagnostic.severity = Error | Warning
+(** Re-exported from the shared diagnostics core ({!Lint.Diagnostic}):
+    design rules (R-codes) and behavioural lint passes (L-codes) report
+    through one type, one severity scale, one rendering path. *)
 
-type diagnostic = {
+type diagnostic = Lint.Diagnostic.t = {
   rule : string;  (** e.g. "R03" *)
   severity : severity;
   element : Uml.Element.ref_ option;

@@ -1,0 +1,113 @@
+open Efsm
+
+type value = Known of Action.value | Unknown
+
+let rec stmt_assigns acc (stmt : Action.stmt) =
+  match stmt with
+  | Action.Assign (name, _) -> name :: acc
+  | Action.Send _ | Action.Compute _ -> acc
+  | Action.If (_, then_, else_) ->
+    List.fold_left stmt_assigns (List.fold_left stmt_assigns acc then_) else_
+  | Action.While (_, body) -> List.fold_left stmt_assigns acc body
+
+let assigned_variables (machine : Machine.t) =
+  let in_transition acc (tr : Machine.transition) =
+    List.fold_left stmt_assigns acc tr.Machine.actions
+  in
+  let in_state_actions acc (_, stmts) =
+    List.fold_left stmt_assigns acc stmts
+  in
+  let acc = List.fold_left in_transition [] machine.Machine.transitions in
+  let acc = List.fold_left in_state_actions acc machine.Machine.entry_actions in
+  List.fold_left in_state_actions acc machine.Machine.exit_actions
+  |> List.sort_uniq compare
+
+let constants (machine : Machine.t) =
+  let assigned = assigned_variables machine in
+  List.filter
+    (fun (name, _) -> not (List.mem name assigned))
+    machine.Machine.variables
+
+let known_int = function Known (Action.V_int n) -> Some n | _ -> None
+let known_bool = function Known (Action.V_bool b) -> Some b | _ -> None
+
+let rec eval env (expr : Action.expr) =
+  match expr with
+  | Action.Int n -> Known (Action.V_int n)
+  | Action.Bool b -> Known (Action.V_bool b)
+  | Action.Var name -> (
+    match List.assoc_opt name env with
+    | Some v -> Known v
+    | None -> Unknown)
+  | Action.Param _ -> Unknown
+  | Action.Neg e -> (
+    match known_int (eval env e) with
+    | Some n -> Known (Action.V_int (-n))
+    | None -> Unknown)
+  | Action.Not e -> (
+    match known_bool (eval env e) with
+    | Some b -> Known (Action.V_bool (not b))
+    | None -> Unknown)
+  | Action.Bin (op, a, b) -> eval_bin env op a b
+
+and eval_bin env op a b =
+  let va = eval env a and vb = eval env b in
+  let int2 f =
+    match known_int va, known_int vb with
+    | Some x, Some y -> Known (Action.V_int (f x y))
+    | _, _ -> Unknown
+  in
+  let cmp f =
+    match known_int va, known_int vb with
+    | Some x, Some y -> Known (Action.V_bool (f x y))
+    | _, _ -> Unknown
+  in
+  match (op : Action.binop) with
+  | Action.Add -> int2 ( + )
+  | Action.Sub -> int2 ( - )
+  | Action.Mul -> (
+    (* 0 * x folds even when x is unknown: actions are pure. *)
+    match known_int va, known_int vb with
+    | Some 0, _ | _, Some 0 -> Known (Action.V_int 0)
+    | Some x, Some y -> Known (Action.V_int (x * y))
+    | _, _ -> Unknown)
+  | Action.Div -> (
+    match known_int va, known_int vb with
+    | Some x, Some y when y <> 0 -> Known (Action.V_int (x / y))
+    | _, _ -> Unknown)
+  | Action.Mod -> (
+    match known_int va, known_int vb with
+    | Some x, Some y when y <> 0 -> Known (Action.V_int (x mod y))
+    | _, _ -> Unknown)
+  | Action.Eq -> (
+    match va, vb with
+    | Known x, Known y -> Known (Action.V_bool (Action.equal_value x y))
+    | _, _ -> Unknown)
+  | Action.Ne -> (
+    match va, vb with
+    | Known x, Known y -> Known (Action.V_bool (not (Action.equal_value x y)))
+    | _, _ -> Unknown)
+  | Action.Lt -> cmp ( < )
+  | Action.Le -> cmp ( <= )
+  | Action.Gt -> cmp ( > )
+  | Action.Ge -> cmp ( >= )
+  | Action.And -> (
+    match known_bool va, known_bool vb with
+    | Some false, _ | _, Some false -> Known (Action.V_bool false)
+    | Some true, Some true -> Known (Action.V_bool true)
+    | _, _ -> Unknown)
+  | Action.Or -> (
+    match known_bool va, known_bool vb with
+    | Some true, _ | _, Some true -> Known (Action.V_bool true)
+    | Some false, Some false -> Known (Action.V_bool false)
+    | _, _ -> Unknown)
+
+let statically_false env expr =
+  match eval env expr with
+  | Known (Action.V_bool false) -> true
+  | _ -> false
+
+let statically_true env expr =
+  match eval env expr with
+  | Known (Action.V_bool true) -> true
+  | _ -> false

@@ -1,0 +1,31 @@
+(** Constant propagation over the {!Efsm.Action} expression language.
+
+    The lattice is flat: an expression either folds to a single
+    {!Efsm.Action.value} or is [Unknown].  Machine variables contribute
+    their initial value only when no statement anywhere in the machine
+    ever assigns them (they are constants for the machine's whole life);
+    signal parameters are always [Unknown].  Folding is sound, not
+    complete — [Unknown] never causes a false "statically false"
+    verdict, which is what the reachability and determinism passes rely
+    on. *)
+
+type value = Known of Efsm.Action.value | Unknown
+
+val constants : Efsm.Machine.t -> (string * Efsm.Action.value) list
+(** Variables declared by the machine that no transition, entry or exit
+    action ever assigns, with their initial values. *)
+
+val eval : (string * Efsm.Action.value) list -> Efsm.Action.expr -> value
+(** Fold an expression under the given constant environment.
+    Short-circuits: [false && _], [_ && false], [true || _], [_ || true]
+    and [0 * _] fold even when the other operand is [Unknown].  Division
+    or modulo by zero (a runtime [Type_error]) folds to [Unknown], as do
+    ill-typed applications. *)
+
+val statically_false : (string * Efsm.Action.value) list -> Efsm.Action.expr -> bool
+val statically_true : (string * Efsm.Action.value) list -> Efsm.Action.expr -> bool
+
+val assigned_variables : Efsm.Machine.t -> string list
+(** Sorted, de-duplicated names assigned anywhere in the machine
+    (transition actions, entry actions, exit actions, including inside
+    [If]/[While] bodies). *)

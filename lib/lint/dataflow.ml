@@ -1,0 +1,163 @@
+open Efsm
+
+let code_undeclared = "L04"
+let code_dead_write = "L05"
+let code_unused = "L06"
+
+let rec expr_reads acc (e : Action.expr) =
+  match e with
+  | Action.Var name -> name :: acc
+  | Action.Int _ | Action.Bool _ | Action.Param _ -> acc
+  | Action.Neg e | Action.Not e -> expr_reads acc e
+  | Action.Bin (_, a, b) -> expr_reads (expr_reads acc a) b
+
+let rec stmt_reads acc (s : Action.stmt) =
+  match s with
+  | Action.Assign (_, e) | Action.Compute e -> expr_reads acc e
+  | Action.Send { args; _ } -> List.fold_left expr_reads acc args
+  | Action.If (cond, then_, else_) ->
+    let acc = expr_reads acc cond in
+    List.fold_left stmt_reads (List.fold_left stmt_reads acc then_) else_
+  | Action.While (cond, body) ->
+    List.fold_left stmt_reads (expr_reads acc cond) body
+
+let reads (m : Machine.t) =
+  let in_transition acc (tr : Machine.transition) =
+    let acc =
+      match tr.Machine.guard with
+      | Some g -> expr_reads acc g
+      | None -> acc
+    in
+    List.fold_left stmt_reads acc tr.Machine.actions
+  in
+  let in_state_actions acc (_, stmts) = List.fold_left stmt_reads acc stmts in
+  let acc = List.fold_left in_transition [] m.Machine.transitions in
+  let acc = List.fold_left in_state_actions acc m.Machine.entry_actions in
+  List.fold_left in_state_actions acc m.Machine.exit_actions
+  |> List.sort_uniq compare
+
+(* Liveness: a variable is live when its value can reach a guard, a
+   signal argument, a computation or a branch condition — directly, or
+   through assignments into other live variables.  [x := x + 1] alone
+   does not make [x] live, which is exactly how write-only counters are
+   caught. *)
+
+let rec stmt_sinks acc (s : Action.stmt) =
+  match s with
+  | Action.Assign _ -> acc
+  | Action.Compute e -> expr_reads acc e
+  | Action.Send { args; _ } -> List.fold_left expr_reads acc args
+  | Action.If (cond, then_, else_) ->
+    let acc = expr_reads acc cond in
+    List.fold_left stmt_sinks (List.fold_left stmt_sinks acc then_) else_
+  | Action.While (cond, body) ->
+    List.fold_left stmt_sinks (expr_reads acc cond) body
+
+let rec stmt_flows acc (s : Action.stmt) =
+  match s with
+  | Action.Assign (x, e) ->
+    List.map (fun y -> (y, x)) (expr_reads [] e) @ acc
+  | Action.Send _ | Action.Compute _ -> acc
+  | Action.If (_, then_, else_) ->
+    List.fold_left stmt_flows (List.fold_left stmt_flows acc then_) else_
+  | Action.While (_, body) -> List.fold_left stmt_flows acc body
+
+let live_variables (m : Machine.t) =
+  let over_actions f acc =
+    let acc =
+      List.fold_left
+        (fun acc (tr : Machine.transition) ->
+          List.fold_left f acc tr.Machine.actions)
+        acc m.Machine.transitions
+    in
+    let acc =
+      List.fold_left
+        (fun acc (_, stmts) -> List.fold_left f acc stmts)
+        acc m.Machine.entry_actions
+    in
+    List.fold_left
+      (fun acc (_, stmts) -> List.fold_left f acc stmts)
+      acc m.Machine.exit_actions
+  in
+  let guard_sinks =
+    List.fold_left
+      (fun acc (tr : Machine.transition) ->
+        match tr.Machine.guard with
+        | Some g -> expr_reads acc g
+        | None -> acc)
+      [] m.Machine.transitions
+  in
+  let sinks = over_actions stmt_sinks guard_sinks |> List.sort_uniq compare in
+  let flows = over_actions stmt_flows [] in
+  let rec grow live =
+    let live' =
+      List.filter_map
+        (fun (y, x) ->
+          if List.mem x live && not (List.mem y live) then Some y else None)
+        flows
+      |> List.sort_uniq compare
+    in
+    if live' = [] then live else grow (List.sort_uniq compare (live' @ live))
+  in
+  grow sinks
+
+let check_machine (class_name, (m : Machine.t)) =
+  let element = Uml.Element.Class_ref class_name in
+  let declared = List.map fst m.Machine.variables in
+  let written = Const.assigned_variables m in
+  let read = reads m in
+  let live = live_variables m in
+  let undeclared =
+    List.filter_map
+      (fun name ->
+        if List.mem name declared then None
+        else if List.mem name written then
+          Some
+            (Diagnostic.make ~element ~rule:code_undeclared Diagnostic.Warning
+               (Printf.sprintf
+                  "machine %s: variable %s is read without being declared; \
+                   it only exists after some action assigns it \
+                   (use-before-def risk)"
+                  m.Machine.name name))
+        else
+          Some
+            (Diagnostic.make ~element ~rule:code_undeclared Diagnostic.Error
+               (Printf.sprintf
+                  "machine %s: variable %s is read but never declared or \
+                   assigned; evaluation will always fail"
+                  m.Machine.name name)))
+      read
+  in
+  let per_declared =
+    List.filter_map
+      (fun name ->
+        let is_live = List.mem name live in
+        let is_read = List.mem name read in
+        let is_written = List.mem name written in
+        if is_live then None
+        else if is_written then
+          Some
+            (Diagnostic.make ~element ~rule:code_dead_write Diagnostic.Warning
+               (Printf.sprintf
+                  "machine %s: variable %s is written but its value never \
+                   reaches a guard, signal or computation; all writes to it \
+                   are dead"
+                  m.Machine.name name))
+        else if not is_read then
+          Some
+            (Diagnostic.make ~element ~rule:code_unused Diagnostic.Warning
+               (Printf.sprintf "machine %s: variable %s is never used"
+                  m.Machine.name name))
+        else None)
+      declared
+  in
+  undeclared @ per_declared
+
+let pass =
+  {
+    Pass.name = "dataflow";
+    codes = [ code_undeclared; code_dead_write; code_unused ];
+    describe =
+      "variable hygiene: undeclared reads, dead writes, unused variables";
+    run = (fun ctx -> List.concat_map check_machine ctx.Pass.machines);
+  }

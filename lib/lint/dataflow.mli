@@ -1,0 +1,17 @@
+(** Pass [dataflow] — L04, L05, L06.
+
+    Variable hygiene per machine:
+    - L04: an expression reads a variable the machine never declares.
+      Error when nothing ever assigns it either — evaluation is then
+      guaranteed to raise at runtime; warning when some action does
+      assign it, because the write—read order then depends on the
+      path taken (use-before-def risk).
+    - L05 (warning): a declared variable that is written but whose
+      value never reaches a guard, a signal argument, a computation or
+      a branch condition — directly or through other live variables —
+      so every write to it is dead.  Liveness, not mere textual reads:
+      [x := x + 1] alone leaves [x] dead, catching write-only counters.
+    - L06 (warning): a declared variable that is never referenced at
+      all. *)
+
+val pass : Pass.t

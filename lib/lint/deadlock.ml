@@ -1,0 +1,133 @@
+open Efsm
+
+let code = "L09"
+
+(* States whose every outgoing transition waits on a signal, with the
+   sorted trigger-signal set. *)
+let wait_states (m : Machine.t) =
+  List.filter_map
+    (fun state ->
+      let outs = Machine.outgoing m state in
+      if outs = [] then None
+      else
+        let signals =
+          List.filter_map
+            (fun (tr : Machine.transition) ->
+              match tr.Machine.trigger with
+              | Machine.On_signal s -> Some s
+              | Machine.After _ | Machine.Completion -> None)
+            outs
+        in
+        if List.length signals = List.length outs then
+          Some (state, List.sort_uniq compare signals)
+        else None)
+    m.Machine.states
+
+let pp_members members = String.concat ", " members
+
+let run ctx =
+  let net = ctx.Pass.network in
+  let instances = Network.machine_instances net in
+  (* Per instance: wait states as (producers, env_escape) summaries. *)
+  let summaries =
+    List.map
+      (fun (inst : Network.instance) ->
+        let m = Option.get inst.Network.machine in
+        let states =
+          List.map
+            (fun (state, signals) ->
+              let env =
+                List.exists
+                  (fun signal ->
+                    Network.env_injects net ~receiver:inst.Network.path ~signal)
+                  signals
+              in
+              let prods =
+                List.concat_map
+                  (fun signal ->
+                    Network.producers net ~receiver:inst.Network.path ~signal)
+                  signals
+                |> List.sort_uniq compare
+              in
+              (state, env, prods))
+            (wait_states m)
+        in
+        (inst, states))
+      instances
+  in
+  let blocking_states candidates (_, states) =
+    List.filter
+      (fun (_, env, prods) ->
+        (not env) && prods <> []
+        && List.for_all (fun p -> List.mem p candidates) prods)
+      states
+  in
+  let all_paths =
+    List.map (fun (i : Network.instance) -> i.Network.path) instances
+  in
+  let rec fixpoint candidates =
+    let survivors =
+      List.filter
+        (fun ((inst : Network.instance), _ as s) ->
+          List.mem inst.Network.path candidates
+          && blocking_states candidates s <> [])
+        summaries
+      |> List.map (fun ((i : Network.instance), _) -> i.Network.path)
+    in
+    if List.length survivors = List.length candidates then candidates
+    else fixpoint survivors
+  in
+  let candidates = fixpoint all_paths in
+  (* Wait-for edges among the surviving candidates. *)
+  let edges =
+    List.concat_map
+      (fun ((inst : Network.instance), _ as s) ->
+        if not (List.mem inst.Network.path candidates) then []
+        else
+          blocking_states candidates s
+          |> List.concat_map (fun (_, _, prods) ->
+                 List.map (fun p -> (inst.Network.path, p)) prods))
+      summaries
+    |> List.sort_uniq compare
+  in
+  (* Transitive closure by iteration: the graphs are tiny. *)
+  let reaches a b =
+    let visited = Hashtbl.create 8 in
+    let rec go x =
+      x = b
+      || (not (Hashtbl.mem visited x))
+         && begin
+              Hashtbl.replace visited x ();
+              List.exists (fun (s, d) -> s = x && go d) edges
+            end
+    in
+    List.exists (fun (s, d) -> s = a && (d = b || go d)) edges
+  in
+  let in_cycle = List.filter (fun p -> reaches p p) candidates in
+  let rec group = function
+    | [] -> []
+    | p :: rest ->
+      let same, other =
+        List.partition (fun q -> reaches p q && reaches q p) rest
+      in
+      (p :: same) :: group other
+  in
+  group (List.sort compare in_cycle)
+  |> List.map (fun members ->
+         Diagnostic.make ~rule:code Diagnostic.Warning
+           (Printf.sprintf
+              "wait-for cycle among %s: each machine has a state it can only \
+               leave on a signal produced inside the cycle, with no timer or \
+               environment escape (over-approximation: in-flight messages \
+               are not modelled)"
+              (pp_members members)))
+
+let pass =
+  {
+    Pass.name = "deadlock";
+    codes = [ code ];
+    describe =
+      "wait-for cycles: sets of machines that can only wake each other, \
+       with no timer or environment escape";
+    run;
+  }

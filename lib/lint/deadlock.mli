@@ -1,0 +1,20 @@
+(** Pass [deadlock] — L09.
+
+    Wait-for cycle detection over machine instances.  A state is a
+    *wait state* when every outgoing transition is signal-triggered —
+    no timer, no completion, so only a message can move the machine on.
+    An instance is a blocking candidate if some wait state has
+    producers for its trigger signals but no environment escape; a
+    fixpoint then strips candidates that some machine outside the
+    candidate set could wake, and strongly connected components of the
+    surviving wait-for edges (of size two or more, or self-loops) are
+    reported.
+
+    This is an over-approximation, stated as such in the message: the
+    analysis does not model in-flight messages or whether the cycle's
+    wait states are simultaneously occupied, so a request/response
+    handshake between two machines is flagged even though the protocol
+    may keep one side's reply always in flight.  The paper's design
+    flow treats this as a review obligation, not a proof of deadlock. *)
+
+val pass : Pass.t

@@ -1,0 +1,144 @@
+open Efsm
+
+let code = "L03"
+
+let rec conjuncts (e : Action.expr) =
+  match e with
+  | Action.Bin (Action.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+(* Outcome set of a comparison as the signs of [lhs - rhs] it accepts:
+   (negative, zero, positive). *)
+let outcome_set = function
+  | Action.Lt -> Some (true, false, false)
+  | Action.Le -> Some (true, true, false)
+  | Action.Gt -> Some (false, false, true)
+  | Action.Ge -> Some (false, true, true)
+  | Action.Eq -> Some (false, true, false)
+  | Action.Ne -> Some (true, false, true)
+  | _ -> None
+
+let outcomes_disjoint (n1, z1, p1) (n2, z2, p2) =
+  (not (n1 && n2)) && (not (z1 && z2)) && not (p1 && p2)
+
+(* [Bin (op, a, b)] is equivalent to [Bin (flip op, b, a)]. *)
+let flip = function
+  | Action.Lt -> Action.Gt
+  | Action.Gt -> Action.Lt
+  | Action.Le -> Action.Ge
+  | Action.Ge -> Action.Le
+  | op -> op
+
+let member op k x =
+  match op with
+  | Action.Lt -> x < k
+  | Action.Le -> x <= k
+  | Action.Gt -> x > k
+  | Action.Ge -> x >= k
+  | Action.Eq -> x = k
+  | Action.Ne -> x <> k
+  | _ -> true
+
+let known_int consts e =
+  match Const.eval consts e with
+  | Const.Known (Action.V_int k) -> Some k
+  | _ -> None
+
+(* Orient a comparison so a foldable constant sits on the right. *)
+let oriented consts (e : Action.expr) =
+  match e with
+  | Action.Bin (op, l, r) when outcome_set op <> None -> (
+    match known_int consts r with
+    | Some k -> Some (op, l, k)
+    | None -> (
+      match known_int consts l with
+      | Some k -> Some (flip op, r, k)
+      | None -> None))
+  | _ -> None
+
+(* Can conjuncts [c1] and [c2] be shown contradictory? *)
+let contradicts consts c1 c2 =
+  let negation a b =
+    match (a : Action.expr) with Action.Not e -> e = b | _ -> false
+  in
+  let same_operands =
+    match (c1, c2) with
+    | Action.Bin (op1, a, b), Action.Bin (op2, a', b') -> (
+      match (outcome_set op1, outcome_set op2) with
+      | Some s1, Some s2 when a = a' && b = b' -> outcomes_disjoint s1 s2
+      | Some s1, _ when a = b' && b = a' -> (
+        match outcome_set (flip op2) with
+        | Some s2 -> outcomes_disjoint s1 s2
+        | None -> false)
+      | _ -> false)
+    | _ -> false
+  in
+  let constant_ranges =
+    match (oriented consts c1, oriented consts c2) with
+    | Some (op1, lhs1, k1), Some (op2, lhs2, k2) when lhs1 = lhs2 ->
+      (* Both solution sets are half-lines, points or punctured lines
+         over the integers; if they intersect, they intersect at one of
+         the boundary-adjacent candidates. *)
+      let candidates = [ k1 - 1; k1; k1 + 1; k2 - 1; k2; k2 + 1 ] in
+      not
+        (List.exists (fun x -> member op1 k1 x && member op2 k2 x) candidates)
+    | _ -> false
+  in
+  negation c1 c2 || negation c2 c1 || same_operands || constant_ranges
+
+let exclusive consts (t1 : Machine.transition) (t2 : Machine.transition) =
+  let false_guard (t : Machine.transition) =
+    match t.Machine.guard with
+    | Some g -> Const.statically_false consts g
+    | None -> false
+  in
+  if false_guard t1 || false_guard t2 then true
+  else
+    match (t1.Machine.guard, t2.Machine.guard) with
+    | None, _ | _, None -> false
+    | Some g1, Some g2 ->
+      let cs1 = conjuncts g1 and cs2 = conjuncts g2 in
+      List.exists
+        (fun c1 -> List.exists (fun c2 -> contradicts consts c1 c2) cs2)
+        cs1
+
+let trigger_label = function
+  | Machine.On_signal s -> "signal " ^ s
+  | Machine.After n -> Printf.sprintf "after(%d)" n
+  | Machine.Completion -> "completion"
+
+let rec pairs = function
+  | [] -> []
+  | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+
+let check_machine (class_name, (m : Machine.t)) =
+  let consts = Const.constants m in
+  let element = Uml.Element.Class_ref class_name in
+  List.concat_map
+    (fun state ->
+      Machine.outgoing m state
+      |> pairs
+      |> List.filter_map (fun ((t1 : Machine.transition), t2) ->
+             if t1.Machine.trigger <> t2.Machine.trigger then None
+             else if exclusive consts t1 t2 then None
+             else
+               Some
+                 (Diagnostic.make ~element ~rule:code Diagnostic.Warning
+                    (Printf.sprintf
+                       "machine %s: state %s: transitions to %s and %s both \
+                        fire on %s and their guards are not mutually \
+                        exclusive"
+                       m.Machine.name state t1.Machine.target
+                       t2.Machine.target
+                       (trigger_label t1.Machine.trigger)))))
+    m.Machine.states
+
+let pass =
+  {
+    Pass.name = "determinism";
+    codes = [ code ];
+    describe =
+      "same-state transitions sharing a trigger whose guards cannot be \
+       proven mutually exclusive";
+    run = (fun ctx -> List.concat_map check_machine ctx.Pass.machines);
+  }

@@ -1,0 +1,16 @@
+(** Pass [determinism] — L03.
+
+    Two transitions out of the same state that share a trigger (same
+    signal, same timer delay, or both completion) must carry guards a
+    static prover can show mutually exclusive; otherwise the machine's
+    reaction depends on declaration order and the model is flagged.
+
+    The prover is sound but incomplete: it decomposes guards into
+    [&&]-conjuncts and finds a contradicting pair — [g] against [not g],
+    comparisons of the same two operands with disjoint outcome sets
+    (e.g. [x < y] vs [x >= y], [x < y] vs [y < x]), or comparisons of
+    one operand against two constants with disjoint solution sets
+    (e.g. [x = 1] vs [x = 2], [x < 3] vs [x > 5]).  Guards it cannot
+    separate are reported as overlapping. *)
+
+val pass : Pass.t

@@ -1,0 +1,50 @@
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  element : Uml.Element.ref_ option;
+  message : string;
+}
+
+let make ?element ~rule severity message =
+  { rule; severity; element; message }
+
+let severity_rank = function Warning -> 1 | Error -> 2
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | _ -> None
+
+let pp_severity fmt s = Format.pp_print_string fmt (severity_to_string s)
+
+let pp fmt d =
+  let pp_elt fmt = function
+    | None -> ()
+    | Some e -> Format.fprintf fmt " at %s" (Uml.Element.to_string e)
+  in
+  Format.fprintf fmt "%s %a%a: %s" d.rule pp_severity d.severity pp_elt
+    d.element d.message
+
+let render d = Format.asprintf "%a" pp d
+
+let to_json d =
+  Obs.Json.Obj
+    [
+      ("rule", Obs.Json.Str d.rule);
+      ("severity", Obs.Json.Str (severity_to_string d.severity));
+      ( "element",
+        match d.element with
+        | None -> Obs.Json.Null
+        | Some e -> Obs.Json.Str (Uml.Element.to_string e) );
+      ("message", Obs.Json.Str d.message);
+    ]
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+
+let at_or_above threshold ds =
+  List.filter (fun d -> severity_rank d.severity >= severity_rank threshold) ds

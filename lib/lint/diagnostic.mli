@@ -1,0 +1,46 @@
+(** The shared diagnostics core.
+
+    Every static check in the toolchain — the structural TUT-Profile
+    design rules (R01…, {!Tut_profile.Rules}) and the behavioural lint
+    passes (L01…, {!Lint.Engine}) — reports through this one type, so
+    severity filtering, text rendering and JSON export are a single code
+    path.  Codes are stable across releases: external tools may key on
+    them. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (** stable code, e.g. "R03" or "L05" *)
+  severity : severity;
+  element : Uml.Element.ref_ option;
+  message : string;
+}
+
+val make :
+  ?element:Uml.Element.ref_ -> rule:string -> severity -> string -> t
+
+val severity_rank : severity -> int
+(** [Warning] < [Error]; used for [--max-severity] gating. *)
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+
+val pp_severity : Format.formatter -> severity -> unit
+
+val pp : Format.formatter -> t -> unit
+(** ["L05 warning at class:MsduReceiver: ..."] — the rendering the
+    design rules have always used; kept byte-identical so existing
+    golden output does not change. *)
+
+val render : t -> string
+
+val to_json : t -> Obs.Json.t
+(** [{"rule": ..., "severity": ..., "element": ..., "message": ...}];
+    [element] is [Null] when absent.  One diagnostic per line is the
+    JSONL exposition of [tutflow lint --format jsonl]. *)
+
+val errors : t list -> t list
+val warnings : t list -> t list
+
+val at_or_above : severity -> t list -> t list
+(** Diagnostics whose severity rank is at least the given one. *)

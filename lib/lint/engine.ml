@@ -1,0 +1,68 @@
+let passes =
+  [
+    Reachability.pass;
+    Determinism.pass;
+    Dataflow.pass;
+    Signal_flow.pass;
+    Deadlock.pass;
+  ]
+
+let find_pass name =
+  List.find_opt (fun (p : Pass.t) -> p.Pass.name = name) passes
+
+let catalog =
+  [
+    ("L01", Diagnostic.Warning, "state unreachable from the initial state");
+    ("L02", Diagnostic.Warning, "transition guard is statically false");
+    ( "L03",
+      Diagnostic.Warning,
+      "same-trigger transitions with guards not provably exclusive" );
+    ( "L04",
+      Diagnostic.Error,
+      "variable read without declaration (error when never assigned either)"
+    );
+    ( "L05",
+      Diagnostic.Warning,
+      "variable is written but its value is never used (dead writes)" );
+    ("L06", Diagnostic.Warning, "variable is never used");
+    ("L07", Diagnostic.Error, "signal sent to a port with no reachable receiver");
+    ( "L08",
+      Diagnostic.Warning,
+      "reception that no machine or environment ever produces" );
+    ( "L09",
+      Diagnostic.Warning,
+      "wait-for cycle with no timer or environment escape" );
+  ]
+
+let run ?(obs = Obs.Scope.null ()) ctx =
+  let live = Obs.Scope.live obs in
+  let metrics = Obs.Scope.metrics obs in
+  let tracer = Obs.Scope.tracer obs in
+  let runs = Obs.Metrics.counter metrics "lint.pass_runs_total" in
+  let total = Obs.Metrics.counter metrics "lint.diagnostics_total" in
+  let errors = Obs.Metrics.counter metrics "lint.errors_total" in
+  let warnings = Obs.Metrics.counter metrics "lint.warnings_total" in
+  List.mapi
+    (fun index (pass : Pass.t) ->
+      let ds = pass.Pass.run ctx in
+      if live then begin
+        Obs.Metrics.inc runs;
+        Obs.Metrics.inc ~by:(List.length ds) total;
+        Obs.Metrics.inc ~by:(List.length (Diagnostic.errors ds)) errors;
+        Obs.Metrics.inc ~by:(List.length (Diagnostic.warnings ds)) warnings;
+        if Obs.Tracer.enabled tracer then
+          Obs.Tracer.complete tracer
+            ~ts_ns:(Int64.of_int (index * 1000))
+            ~dur_ns:1000L ~cat:"lint" ~track:"lint"
+            ~args:
+              [
+                ("pass", Obs.Span.Str pass.Pass.name);
+                ("diagnostics", Obs.Span.Int (List.length ds));
+              ]
+            ("lint." ^ pass.Pass.name)
+      end;
+      (pass, ds))
+    passes
+
+let analyze ?obs model =
+  run ?obs (Pass.context_of_model model) |> List.concat_map snd

@@ -1,0 +1,25 @@
+(** The lint engine: the pass registry and the one entry point.
+
+    Passes run in registration order; within a pass, diagnostics come
+    out in model declaration order, so the full report is deterministic
+    and diffable (the CI reference file depends on this). *)
+
+val passes : Pass.t list
+(** reachability, determinism, dataflow, signal-flow, deadlock. *)
+
+val find_pass : string -> Pass.t option
+
+val catalog : (string * Diagnostic.severity * string) list
+(** Every L-code with its severity and a one-line description, in code
+    order.  For L04, which can demote, the listed severity is the worst
+    case. *)
+
+val run :
+  ?obs:Obs.Scope.t -> Pass.context -> (Pass.t * Diagnostic.t list) list
+(** Run every pass.  Each pass gets an [Obs] span on the ["lint"] track
+    (simulated timestamps: passes are instantaneous model-time events)
+    and bumps [lint.pass_runs_total], [lint.diagnostics_total],
+    [lint.errors_total] and [lint.warnings_total]. *)
+
+val analyze : ?obs:Obs.Scope.t -> Uml.Model.t -> Diagnostic.t list
+(** [run] on a fresh context, flattened. *)

@@ -1,0 +1,209 @@
+open Uml
+
+type instance = {
+  path : string;
+  class_name : string;
+  machine : Efsm.Machine.t option;
+}
+
+type node = string * string
+
+type t = {
+  model : Model.t;
+  order : instance list;
+  by_path : (string, instance) Hashtbl.t;
+  ports : (node, Port.t) Hashtbl.t;
+  roots : string list;
+  component : (node, node list) Hashtbl.t;
+}
+
+let elaborate model =
+  let by_path = Hashtbl.create 32 in
+  let ports = Hashtbl.create 64 in
+  let order = ref [] in
+  let uf : (node, node) Hashtbl.t = Hashtbl.create 64 in
+  let nodes = ref [] in
+  let touch n =
+    if not (Hashtbl.mem uf n) then begin
+      Hashtbl.replace uf n n;
+      nodes := n :: !nodes
+    end
+  in
+  let rec find n =
+    let p = Hashtbl.find uf n in
+    if p = n then n
+    else begin
+      let r = find p in
+      Hashtbl.replace uf n r;
+      r
+    end
+  in
+  let union a b =
+    touch a;
+    touch b;
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace uf ra rb
+  in
+  let part_types =
+    List.concat_map
+      (fun (c : Classifier.t) ->
+        List.map
+          (fun (p : Classifier.part) -> p.Classifier.class_name)
+          c.Classifier.parts)
+      model.Model.classes
+  in
+  let root_classes =
+    List.filter
+      (fun (c : Classifier.t) -> not (List.mem c.Classifier.name part_types))
+      model.Model.classes
+  in
+  let rec instantiate ancestry path (cls : Classifier.t) =
+    if List.mem cls.Classifier.name ancestry then ()
+    else begin
+      Hashtbl.replace by_path path
+        {
+          path;
+          class_name = cls.Classifier.name;
+          machine = cls.Classifier.behavior;
+        };
+      order :=
+        {
+          path;
+          class_name = cls.Classifier.name;
+          machine = cls.Classifier.behavior;
+        }
+        :: !order;
+      List.iter
+        (fun (p : Port.t) ->
+          let n = (path, p.Port.name) in
+          Hashtbl.replace ports n p;
+          touch n)
+        cls.Classifier.ports;
+      List.iter
+        (fun (c : Connector.t) ->
+          let node_of (e : Connector.endpoint) =
+            match e.Connector.part with
+            | None -> (path, e.Connector.port)
+            | Some pn -> (path ^ "/" ^ pn, e.Connector.port)
+          in
+          union (node_of c.Connector.from_) (node_of c.Connector.to_))
+        cls.Classifier.connectors;
+      List.iter
+        (fun (p : Classifier.part) ->
+          match Model.find_class model p.Classifier.class_name with
+          | Some sub ->
+            instantiate
+              (cls.Classifier.name :: ancestry)
+              (path ^ "/" ^ p.Classifier.name)
+              sub
+          | None -> ())
+        cls.Classifier.parts
+    end
+  in
+  List.iter
+    (fun (c : Classifier.t) -> instantiate [] c.Classifier.name c)
+    root_classes;
+  let by_repr = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let r = find n in
+      let existing = Option.value (Hashtbl.find_opt by_repr r) ~default:[] in
+      Hashtbl.replace by_repr r (n :: existing))
+    !nodes;
+  let component = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _repr members ->
+      List.iter (fun n -> Hashtbl.replace component n members) members)
+    by_repr;
+  {
+    model;
+    order = List.rev !order;
+    by_path;
+    ports;
+    roots = List.map (fun (c : Classifier.t) -> c.Classifier.name) root_classes;
+    component;
+  }
+
+let instances t = t.order
+
+let machine_instances t =
+  List.filter (fun i -> i.machine <> None) t.order
+
+let find_instance t path = Hashtbl.find_opt t.by_path path
+let is_root t path = List.mem path t.roots
+let component t n = Option.value (Hashtbl.find_opt t.component n) ~default:[ n ]
+let port_at t n = Hashtbl.find_opt t.ports n
+
+let receivers t ~sender ~port ~signal =
+  component t (sender, port)
+  |> List.filter_map (fun (p, pt) ->
+         if p = sender && pt = port then None
+         else if is_root t p then None
+         else
+           match (port_at t (p, pt), Hashtbl.find_opt t.by_path p) with
+           | Some prt, Some inst
+             when inst.machine <> None && Port.can_receive prt signal ->
+             Some p
+           | _ -> None)
+  |> List.sort_uniq compare
+
+let env_absorbs t ~sender ~port ~signal =
+  let own_boundary =
+    is_root t sender
+    &&
+    match port_at t (sender, port) with
+    | Some prt -> Port.can_send prt signal
+    | None -> false
+  in
+  own_boundary
+  || component t (sender, port)
+     |> List.exists (fun (p, pt) ->
+            (not (p = sender && pt = port))
+            && is_root t p
+            &&
+            match port_at t (p, pt) with
+            | Some prt -> Port.can_send prt signal
+            | None -> false)
+
+let deliverable t ~sender ~port ~signal =
+  receivers t ~sender ~port ~signal <> [] || env_absorbs t ~sender ~port ~signal
+
+let receiving_ports t path signal =
+  match Hashtbl.find_opt t.by_path path with
+  | None -> []
+  | Some inst -> (
+    match Model.find_class t.model inst.class_name with
+    | None -> []
+    | Some cls ->
+      List.filter
+        (fun (prt : Port.t) -> Port.can_receive prt signal)
+        cls.Classifier.ports)
+
+let producers t ~receiver ~signal =
+  receiving_ports t receiver signal
+  |> List.concat_map (fun (prt : Port.t) ->
+         component t (receiver, prt.Port.name)
+         |> List.filter_map (fun (p, pt) ->
+                if p = receiver then None
+                else
+                  match Hashtbl.find_opt t.by_path p with
+                  | Some { machine = Some m; _ } ->
+                    if List.mem (pt, signal) (Efsm.Machine.signals_sent m) then
+                      Some p
+                    else None
+                  | _ -> None))
+  |> List.sort_uniq compare
+
+let env_injects t ~receiver ~signal =
+  let rports = receiving_ports t receiver signal in
+  (is_root t receiver && rports <> [])
+  || List.exists
+       (fun (prt : Port.t) ->
+         component t (receiver, prt.Port.name)
+         |> List.exists (fun (p, pt) ->
+                p <> receiver && is_root t p
+                &&
+                match port_at t (p, pt) with
+                | Some bp -> Port.can_receive bp signal
+                | None -> false))
+       rports

@@ -1,0 +1,63 @@
+(** Elaborated instance network of a model.
+
+    The composite-structure diagrams of the paper describe a static
+    instance tree: each class that is never used as a part type is a
+    root, and its parts (recursively) are the system's instances.
+    Connectors induce an undirected connectivity relation over
+    [(instance, port)] nodes; a connector endpoint with [part = None]
+    names the enclosing instance's own boundary port, so the inside and
+    outside views of a composite's port are literally the same node and
+    relay chains through nested composites collapse into one connected
+    component.
+
+    Boundary ports of a *root* instance face the environment: their
+    [receives] set is what the environment may inject, their [sends] set
+    is what the environment absorbs.  The signal-flow and deadlock
+    passes query delivery through this structure.
+
+    Elaboration is total: dangling part types, connector endpoints to
+    unknown parts or ports, and recursive composite structures (guarded
+    by an ancestry check) all degrade to missing nodes rather than
+    exceptions, because lint must run on exactly the broken models it
+    exists to diagnose. *)
+
+type instance = {
+  path : string;  (** e.g. ["Tutmac_Protocol/dp/frag"] *)
+  class_name : string;
+  machine : Efsm.Machine.t option;
+}
+
+type t
+
+val elaborate : Uml.Model.t -> t
+
+val instances : t -> instance list
+(** All instances, parents before children. *)
+
+val machine_instances : t -> instance list
+(** Instances whose class has behaviour. *)
+
+val find_instance : t -> string -> instance option
+val is_root : t -> string -> bool
+
+val receivers : t -> sender:string -> port:string -> signal:string -> string list
+(** Machine-instance paths connected to [(sender, port)] whose own port
+    in that component can receive [signal]; the sending node itself is
+    excluded, relay ports of structural composites do not count. *)
+
+val env_absorbs : t -> sender:string -> port:string -> signal:string -> bool
+(** The component of [(sender, port)] reaches a root boundary port whose
+    [sends] set carries [signal] outward — or the sender is itself a
+    root instance emitting through its own boundary port. *)
+
+val deliverable : t -> sender:string -> port:string -> signal:string -> bool
+(** [receivers <> [] || env_absorbs]. *)
+
+val producers : t -> receiver:string -> signal:string -> string list
+(** Machine-instance paths that can deliver [signal] to some
+    [can_receive] port of [receiver] through its connected components. *)
+
+val env_injects : t -> receiver:string -> signal:string -> bool
+(** Some [can_receive] port of [receiver] is connected to a root
+    boundary port that injects [signal] — or [receiver] is itself a
+    root, whose receiving ports face the environment directly. *)

@@ -1,0 +1,23 @@
+type context = {
+  model : Uml.Model.t;
+  machines : (string * Efsm.Machine.t) list;
+  network : Network.t;
+}
+
+type t = {
+  name : string;
+  codes : string list;
+  describe : string;
+  run : context -> Diagnostic.t list;
+}
+
+let context_of_model model =
+  let machines =
+    List.filter_map
+      (fun (c : Uml.Classifier.t) ->
+        match c.Uml.Classifier.behavior with
+        | Some m -> Some (c.Uml.Classifier.name, m)
+        | None -> None)
+      (Uml.Model.active_classes model)
+  in
+  { model; machines; network = Network.elaborate model }

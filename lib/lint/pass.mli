@@ -1,0 +1,24 @@
+(** A lint pass: a named analysis over the elaborated model that
+    reports {!Diagnostic.t} values with stable L-codes.
+
+    Passes are pure — all shared derivation (the machine list, the
+    elaborated {!Network.t}) is done once in {!context_of_model} and
+    handed to every pass, so adding a pass never changes what the
+    others see. *)
+
+type context = {
+  model : Uml.Model.t;
+  machines : (string * Efsm.Machine.t) list;
+      (** behaviours of active classes, [(class name, machine)],
+          in model declaration order *)
+  network : Network.t;
+}
+
+type t = {
+  name : string;  (** e.g. ["reachability"] *)
+  codes : string list;  (** L-codes this pass may emit *)
+  describe : string;
+  run : context -> Diagnostic.t list;
+}
+
+val context_of_model : Uml.Model.t -> context

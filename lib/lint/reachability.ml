@@ -1,0 +1,64 @@
+open Efsm
+
+let code_dead_state = "L01"
+let code_false_guard = "L02"
+
+let guard_false consts (tr : Machine.transition) =
+  match tr.Machine.guard with
+  | Some g -> Const.statically_false consts g
+  | None -> false
+
+let reachable consts (m : Machine.t) =
+  let visited = Hashtbl.create 16 in
+  let rec visit state =
+    if not (Hashtbl.mem visited state) then begin
+      Hashtbl.replace visited state ();
+      List.iter
+        (fun (tr : Machine.transition) ->
+          if not (guard_false consts tr) then visit tr.Machine.target)
+        (Machine.outgoing m state)
+    end
+  in
+  visit m.Machine.initial;
+  visited
+
+let check_machine (class_name, (m : Machine.t)) =
+  let consts = Const.constants m in
+  let element = Uml.Element.Class_ref class_name in
+  let live = reachable consts m in
+  let dead =
+    List.filter_map
+      (fun state ->
+        if Hashtbl.mem live state then None
+        else
+          Some
+            (Diagnostic.make ~element ~rule:code_dead_state Diagnostic.Warning
+               (Printf.sprintf
+                  "machine %s: state %s is unreachable from initial state %s"
+                  m.Machine.name state m.Machine.initial)))
+      m.Machine.states
+  in
+  let false_guards =
+    List.filter_map
+      (fun (tr : Machine.transition) ->
+        if guard_false consts tr then
+          Some
+            (Diagnostic.make ~element ~rule:code_false_guard Diagnostic.Warning
+               (Printf.sprintf
+                  "machine %s: guard on transition %s -> %s is statically \
+                   false; the transition can never fire"
+                  m.Machine.name tr.Machine.source tr.Machine.target))
+        else None)
+      m.Machine.transitions
+  in
+  dead @ false_guards
+
+let pass =
+  {
+    Pass.name = "reachability";
+    codes = [ code_dead_state; code_false_guard ];
+    describe =
+      "dead states and statically-false guards (constant propagation over \
+       the action language)";
+    run = (fun ctx -> List.concat_map check_machine ctx.Pass.machines);
+  }

@@ -1,0 +1,9 @@
+(** Pass [reachability] — L01, L02.
+
+    - L01 (warning): a state that no chain of transitions from the
+      initial state can reach.  Transitions whose guard folds to [false]
+      under constant propagation do not count as reaching edges.
+    - L02 (warning): a transition whose guard is statically false — it
+      can never fire, whatever the environment does. *)
+
+val pass : Pass.t

@@ -1,0 +1,63 @@
+let code_undeliverable = "L07"
+let code_orphan = "L08"
+
+let check_instance ctx (inst : Network.instance) =
+  let net = ctx.Pass.network in
+  let machine = Option.get inst.Network.machine in
+  let declared_ports =
+    match Uml.Model.find_class ctx.Pass.model inst.Network.class_name with
+    | Some cls ->
+      List.map (fun (p : Uml.Port.t) -> p.Uml.Port.name) cls.Uml.Classifier.ports
+    | None -> []
+  in
+  let sends =
+    List.filter_map
+      (fun (port, signal) ->
+        if not (List.mem port declared_ports) then None
+        else if Network.deliverable net ~sender:inst.Network.path ~port ~signal
+        then None
+        else
+          Some
+            (Diagnostic.make
+               ~element:
+                 (Uml.Element.Port_ref
+                    { class_name = inst.Network.class_name; port })
+               ~rule:code_undeliverable Diagnostic.Error
+               (Printf.sprintf
+                  "instance %s: signal %s sent through port %s reaches no \
+                   receiver and no environment boundary"
+                  inst.Network.path signal port)))
+      (Efsm.Machine.signals_sent machine)
+  in
+  let receptions =
+    List.filter_map
+      (fun signal ->
+        if
+          Network.producers net ~receiver:inst.Network.path ~signal <> []
+          || Network.env_injects net ~receiver:inst.Network.path ~signal
+        then None
+        else
+          Some
+            (Diagnostic.make
+               ~element:(Uml.Element.Class_ref inst.Network.class_name)
+               ~rule:code_orphan Diagnostic.Warning
+               (Printf.sprintf
+                  "instance %s: reception of %s can never occur: no connected \
+                   machine produces it and the environment cannot inject it"
+                  inst.Network.path signal)))
+      (Efsm.Machine.signals_consumed machine)
+  in
+  sends @ receptions
+
+let pass =
+  {
+    Pass.name = "signal-flow";
+    codes = [ code_undeliverable; code_orphan ];
+    describe =
+      "sends with no reachable receiver and receptions nothing can produce, \
+       over the elaborated connector network";
+    run =
+      (fun ctx ->
+        List.concat_map (check_instance ctx)
+          (Network.machine_instances ctx.Pass.network));
+  }

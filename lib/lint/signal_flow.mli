@@ -1,0 +1,18 @@
+(** Pass [signal_flow] — L07, L08.
+
+    Sends and receptions checked against the elaborated instance
+    network ({!Network}):
+    - L07 (error): a machine instance sends a signal through a port
+      whose connected component contains no machine port that can
+      receive it and no environment boundary that absorbs it — the
+      signal is lost at runtime, always.  Sends through ports the class
+      does not declare are left to [Uml.Model.check].
+    - L08 (warning): a machine instance can consume a signal that no
+      connected machine ever sends and the environment cannot inject —
+      the transitions waiting on it are unreachable in any deployment.
+
+    Unlike the per-connector compatibility check in [Uml.Model.check],
+    these are whole-network questions: delivery may relay through any
+    number of structural composites. *)
+
+val pass : Pass.t

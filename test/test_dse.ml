@@ -53,6 +53,26 @@ let test_rng_split_disjoint () =
   check bool_t "stream 0 differs from create" true
     (List.nth prefixes 0 <> base)
 
+let test_rng_split_disjoint_10k () =
+  (* Heavier variant: 10k draws per stream from the full int range stay
+     disjoint across streams (a cross-stream repeat would point at
+     correlated splitmix derivations, not bad luck: the birthday bound
+     for 40k draws over 2^62 values is ~2e-10). *)
+  let streams = 4 and draws = 10_000 in
+  let seen : (int, int) Hashtbl.t = Hashtbl.create (streams * draws) in
+  let collisions = ref 0 in
+  for stream = 0 to streams - 1 do
+    let r = Dse.Rng.split ~seed:99 ~stream in
+    for _ = 1 to draws do
+      let v = Dse.Rng.int r max_int in
+      (match Hashtbl.find_opt seen v with
+      | Some s when s <> stream -> incr collisions
+      | Some _ | None -> ());
+      Hashtbl.replace seen v stream
+    done
+  done;
+  check int_t "no cross-stream collisions in 40k draws" 0 !collisions
+
 let test_rng_split_stable () =
   (* Same (seed, stream) -> same sequence, run to run. *)
   let draw () =
@@ -300,6 +320,8 @@ let () =
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "pick and shuffle" `Quick test_rng_pick_shuffle;
           Alcotest.test_case "split disjoint" `Quick test_rng_split_disjoint;
+          Alcotest.test_case "split disjoint 10k" `Quick
+            test_rng_split_disjoint_10k;
           Alcotest.test_case "split stable" `Quick test_rng_split_stable;
         ] );
       ( "cost",

@@ -167,6 +167,60 @@ let test_machine_check_errors () =
     (fun () ->
       ignore (Machine.make ~name:"m" ~states:[ "a" ] ~initial:"zz" []))
 
+(* Every remaining [Machine.check] error path, with the exact message. *)
+let test_machine_check_error_messages () =
+  let base =
+    {
+      Machine.name = "m";
+      states = [ "a" ];
+      initial = "a";
+      variables = [];
+      transitions = [];
+      entry_actions = [];
+      exit_actions = [];
+    }
+  in
+  let problems machine = Machine.check machine in
+  check (Alcotest.list string_t) "no states"
+    [
+      "machine m has no states";
+      "machine m: initial state a is not declared";
+    ]
+    (problems { base with Machine.states = [] });
+  check (Alcotest.list string_t) "duplicate variable"
+    [ "machine m: duplicate variable x" ]
+    (problems
+       {
+         base with
+         Machine.variables = [ ("x", Action.V_int 0); ("x", Action.V_int 1) ];
+       });
+  check (Alcotest.list string_t) "undeclared transition source"
+    [ "machine m: transition from undeclared state zz" ]
+    (problems
+       {
+         base with
+         Machine.transitions =
+           [ Machine.transition ~src:"zz" ~dst:"a" (Machine.On_signal "s") ];
+       });
+  check (Alcotest.list string_t) "entry actions on undeclared state"
+    [ "machine m: entry actions on undeclared state zz" ]
+    (problems
+       { base with Machine.entry_actions = [ ("zz", [ Action.compute (Action.i 0) ]) ] });
+  check (Alcotest.list string_t) "exit actions on undeclared state"
+    [ "machine m: exit actions on undeclared state zz" ]
+    (problems
+       { base with Machine.exit_actions = [ ("zz", [ Action.compute (Action.i 0) ]) ] });
+  (* Independent problems accumulate rather than stopping at the first. *)
+  check int_t "problems accumulate" 2
+    (List.length
+       (problems
+          {
+            base with
+            Machine.variables = [ ("x", Action.V_int 0); ("x", Action.V_int 1) ];
+            Machine.transitions =
+              [ Machine.transition ~src:"a" ~dst:"a" (Machine.After (-1)) ];
+          }))
+
 let test_machine_signals () =
   let open Action in
   let machine =
@@ -632,6 +686,8 @@ let () =
         [
           Alcotest.test_case "check ok" `Quick test_machine_check_ok;
           Alcotest.test_case "check errors" `Quick test_machine_check_errors;
+          Alcotest.test_case "check error messages" `Quick
+            test_machine_check_error_messages;
           Alcotest.test_case "signal sets" `Quick test_machine_signals;
         ] );
       ( "interp",

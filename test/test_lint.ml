@@ -1,0 +1,730 @@
+(* Tests for the behavioural lint engine: the diagnostics core, constant
+   propagation, the five passes on crafted machines/models, and the exact
+   verdict on the seed TUTMAC model (including seeded mutations). *)
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+
+let hits code ds =
+  List.filter (fun d -> d.Lint.Diagnostic.rule = code) ds
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* Local shorthand for building machines. *)
+module Action_dsl = struct
+  let machine ?variables name states initial transitions =
+    Efsm.Machine.make ~name ~states ~initial ?variables transitions
+
+  let transition ?guard ?actions ~src ~dst trigger =
+    Efsm.Machine.transition ?guard ?actions ~src ~dst trigger
+end
+
+module Str_util = struct
+  let contains = contains
+end
+
+let run_pass (pass : Lint.Pass.t) model =
+  pass.Lint.Pass.run (Lint.Pass.context_of_model model)
+
+(* A model holding only active classes with the given machines (no ports,
+   no structure) — enough context for the machine-local passes. *)
+let model_of_machines machines =
+  List.fold_left
+    (fun model (m : Efsm.Machine.t) ->
+      Uml.Model.add_class model
+        (Uml.Classifier.make ~kind:Uml.Classifier.Active ~behavior:m
+           m.Efsm.Machine.name))
+    (Uml.Model.empty "m") machines
+
+(* -- diagnostics core -------------------------------------------------- *)
+
+let test_diagnostic_render () =
+  let d =
+    Lint.Diagnostic.make
+      ~element:(Uml.Element.Part_ref { class_name = "App"; part = "c" })
+      ~rule:"R06" Lint.Diagnostic.Warning "ungrouped process"
+  in
+  check string_t "with element" "R06 warning at part:App/c: ungrouped process"
+    (Lint.Diagnostic.render d);
+  let bare = Lint.Diagnostic.make ~rule:"L09" Lint.Diagnostic.Error "cycle" in
+  check string_t "without element" "L09 error: cycle"
+    (Lint.Diagnostic.render bare)
+
+let test_diagnostic_severity () =
+  let open Lint.Diagnostic in
+  check bool_t "rank order" true (severity_rank Error > severity_rank Warning);
+  check string_t "to_string" "warning" (severity_to_string Warning);
+  check bool_t "of_string error" true (severity_of_string "error" = Some Error);
+  check bool_t "of_string junk" true (severity_of_string "fatal" = None);
+  let w = make ~rule:"L01" Warning "w" and e = make ~rule:"L07" Error "e" in
+  check int_t "at_or_above warning" 2
+    (List.length (at_or_above Warning [ w; e ]));
+  check int_t "at_or_above error" 1 (List.length (at_or_above Error [ w; e ]));
+  check int_t "errors" 1 (List.length (errors [ w; e ]));
+  check int_t "warnings" 1 (List.length (warnings [ w; e ]))
+
+let test_diagnostic_json () =
+  let d =
+    Lint.Diagnostic.make
+      ~element:(Uml.Element.Class_ref "Fragmenter")
+      ~rule:"L05" Lint.Diagnostic.Warning "dead write"
+  in
+  match Lint.Diagnostic.to_json d with
+  | Obs.Json.Obj fields ->
+    check bool_t "rule" true
+      (List.assoc "rule" fields = Obs.Json.Str "L05");
+    check bool_t "severity" true
+      (List.assoc "severity" fields = Obs.Json.Str "warning");
+    check bool_t "element" true
+      (List.assoc "element" fields = Obs.Json.Str "class:Fragmenter");
+    check bool_t "message" true
+      (List.assoc "message" fields = Obs.Json.Str "dead write");
+    (* The JSONL line parses back. *)
+    let line = Obs.Json.to_string (Lint.Diagnostic.to_json d) in
+    check bool_t "parses back" true
+      (Obs.Json.parse line = Ok (Lint.Diagnostic.to_json d))
+  | _ -> Alcotest.fail "to_json must yield an object"
+
+(* The design rules (R-codes) and lint (L-codes) share one rendering
+   path: a Rules diagnostic IS a Lint diagnostic, byte-identical output. *)
+let test_shared_rendering () =
+  let d =
+    {
+      Tut_profile.Rules.rule = "R14";
+      severity = Tut_profile.Rules.Error;
+      element = Some (Uml.Element.Class_ref "Platform");
+      message = "group mapped twice";
+    }
+  in
+  check string_t "pp_diagnostic = Lint render"
+    (Lint.Diagnostic.render d)
+    (Format.asprintf "%a" Tut_profile.Rules.pp_diagnostic d);
+  check string_t "exact text" "R14 error at class:Platform: group mapped twice"
+    (Format.asprintf "%a" Tut_profile.Rules.pp_diagnostic d)
+
+(* -- constant propagation ---------------------------------------------- *)
+
+let const_machine =
+  let open Action_dsl in
+  machine "ConstM" [ "Idle"; "Run" ] "Idle"
+    ~variables:[ ("k", Efsm.Action.V_int 3); ("x", Efsm.Action.V_int 0) ]
+    [
+      transition ~src:"Idle" ~dst:"Run"
+        ~actions:[ Efsm.Action.assign "x" Efsm.Action.(v "x" + i 1) ]
+        (Efsm.Machine.On_signal "go");
+    ]
+
+let test_constants () =
+  let consts = Lint.Const.constants const_machine in
+  check int_t "one constant" 1 (List.length consts);
+  check bool_t "k is constant" true
+    (List.assoc_opt "k" consts = Some (Efsm.Action.V_int 3));
+  check bool_t "x assigned" true
+    (Lint.Const.assigned_variables const_machine = [ "x" ])
+
+let test_const_eval () =
+  let module A = Efsm.Action in
+  let consts = [ ("k", A.V_int 3); ("flag", A.V_bool false) ] in
+  let known e value = Lint.Const.eval consts e = Lint.Const.Known value in
+  check bool_t "fold add" true (known A.(v "k" + i 1) (A.V_int 4));
+  check bool_t "fold cmp" true (known A.(v "k" > i 5) (A.V_bool false));
+  check bool_t "param unknown" true
+    (Lint.Const.eval consts (A.p "n") = Lint.Const.Unknown);
+  check bool_t "unknown var" true
+    (Lint.Const.eval consts (A.v "y") = Lint.Const.Unknown);
+  check bool_t "short-circuit and" true
+    (known A.(v "flag" && v "y") (A.V_bool false));
+  check bool_t "short-circuit or" true
+    (known A.(b true || v "y") (A.V_bool true));
+  check bool_t "mul by zero" true (known A.(i 0 * v "y") (A.V_int 0));
+  check bool_t "div by zero unknown" true
+    (Lint.Const.eval consts A.(i 1 / i 0) = Lint.Const.Unknown);
+  check bool_t "statically_false" true
+    (Lint.Const.statically_false consts A.(v "k" >= i 10));
+  check bool_t "statically_true" true
+    (Lint.Const.statically_true consts (A.Not (A.v "flag")))
+
+(* -- reachability (L01, L02) ------------------------------------------- *)
+
+let test_reachability () =
+  let open Action_dsl in
+  let m =
+    machine "R" [ "A"; "B"; "C"; "D" ] "A"
+      ~variables:[ ("k", Efsm.Action.V_int 3) ]
+      [
+        transition ~src:"A" ~dst:"B" (Efsm.Machine.On_signal "s");
+        (* statically false: k is never assigned, so k > 5 folds. *)
+        transition ~src:"A" ~dst:"C"
+          ~guard:Efsm.Action.(v "k" > i 5)
+          (Efsm.Machine.On_signal "s");
+        transition ~src:"C" ~dst:"D" (Efsm.Machine.On_signal "t");
+      ]
+  in
+  let ds = run_pass Lint.Reachability.pass (model_of_machines [ m ]) in
+  let dead = hits "L01" ds and false_g = hits "L02" ds in
+  (* C is only reachable over the false guard, D only from C. *)
+  check int_t "dead states" 2 (List.length dead);
+  check bool_t "mentions C" true
+    (List.exists
+       (fun d ->
+         let msg = d.Lint.Diagnostic.message in
+         String.length msg > 0
+         && Str_util.contains msg "state C")
+       dead);
+  check int_t "false guards" 1 (List.length false_g)
+
+let test_reachability_clean () =
+  let open Action_dsl in
+  let m =
+    machine "OK" [ "A"; "B" ] "A"
+      [
+        transition ~src:"A" ~dst:"B" (Efsm.Machine.On_signal "s");
+        transition ~src:"B" ~dst:"A" (Efsm.Machine.On_signal "t");
+      ]
+  in
+  check int_t "no findings" 0
+    (List.length (run_pass Lint.Reachability.pass (model_of_machines [ m ])))
+
+(* -- determinism (L03) -------------------------------------------------- *)
+
+let two_guarded g1 g2 =
+  let open Action_dsl in
+  machine "D" [ "A"; "B"; "C" ] "A"
+    ~variables:[ ("x", Efsm.Action.V_int 0) ]
+    [
+      transition ~src:"A" ~dst:"B" ?guard:g1
+        ~actions:[ Efsm.Action.assign "x" (Efsm.Action.p "n") ]
+        (Efsm.Machine.On_signal "s");
+      transition ~src:"A" ~dst:"C" ?guard:g2 (Efsm.Machine.On_signal "s");
+    ]
+
+let l03_count g1 g2 =
+  List.length
+    (hits "L03"
+       (run_pass Lint.Determinism.pass (model_of_machines [ two_guarded g1 g2 ])))
+
+let test_determinism_overlap () =
+  let open Efsm.Action in
+  check int_t "both unguarded" 1 (l03_count None None);
+  check int_t "one unguarded" 1 (l03_count (Some (v "x" < i 5)) None);
+  check int_t "overlapping ranges" 1
+    (l03_count (Some (v "x" < i 5)) (Some (v "x" < i 7)));
+  check int_t "same guard" 1
+    (l03_count (Some (v "x" > i 0)) (Some (v "x" > i 0)))
+
+let test_determinism_exclusive () =
+  let open Efsm.Action in
+  check int_t "lt/ge complement" 0
+    (l03_count (Some (v "x" < i 5)) (Some (v "x" >= i 5)));
+  check int_t "negation" 0
+    (l03_count (Some (v "x" = i 1)) (Some (Not (v "x" = i 1))));
+  check int_t "distinct constants" 0
+    (l03_count (Some (v "x" = i 1)) (Some (v "x" = i 2)));
+  check int_t "disjoint ranges" 0
+    (l03_count (Some (v "x" < i 3)) (Some (v "x" > i 5)));
+  check int_t "swapped operands" 0
+    (l03_count (Some (v "x" < v "y")) (Some (v "y" < v "x")));
+  check int_t "conjunct decomposition" 0
+    (l03_count
+       (Some ((v "x" > i 0) && (v "x" < i 5)))
+       (Some ((v "x" >= i 5) && (v "y" > i 0))));
+  (* Different triggers never conflict. *)
+  let open Action_dsl in
+  let m =
+    machine "D2" [ "A"; "B" ] "A"
+      [
+        transition ~src:"A" ~dst:"B" (Efsm.Machine.On_signal "s");
+        transition ~src:"A" ~dst:"B" (Efsm.Machine.On_signal "t");
+        transition ~src:"A" ~dst:"B" (Efsm.Machine.After 5);
+      ]
+  in
+  check int_t "different triggers" 0
+    (List.length (run_pass Lint.Determinism.pass (model_of_machines [ m ])))
+
+(* -- dataflow (L04, L05, L06) ------------------------------------------ *)
+
+let test_dataflow_undeclared () =
+  let open Action_dsl in
+  let m =
+    machine "U" [ "A"; "B" ] "A"
+      [
+        (* ghost: read in a guard, never declared, never assigned. *)
+        transition ~src:"A" ~dst:"B"
+          ~guard:Efsm.Action.(v "ghost" > i 0)
+          (Efsm.Machine.On_signal "s");
+        (* late: assigned by an action and read — declaration missing. *)
+        transition ~src:"B" ~dst:"A"
+          ~guard:Efsm.Action.(v "late" > i 0)
+          ~actions:[ Efsm.Action.assign "late" (Efsm.Action.i 1) ]
+          (Efsm.Machine.On_signal "t");
+      ]
+  in
+  let ds = run_pass Lint.Dataflow.pass (model_of_machines [ m ]) in
+  let l04 = hits "L04" ds in
+  check int_t "two undeclared" 2 (List.length l04);
+  check int_t "ghost is an error" 1
+    (List.length (Lint.Diagnostic.errors l04));
+  check int_t "late is a warning" 1
+    (List.length (Lint.Diagnostic.warnings l04))
+
+let test_dataflow_liveness () =
+  let open Action_dsl in
+  let m =
+    machine "V" [ "A" ] "A"
+      ~variables:
+        [
+          ("counter", Efsm.Action.V_int 0);
+          ("mirror", Efsm.Action.V_int 0);
+          ("seq", Efsm.Action.V_int 0);
+          ("idle", Efsm.Action.V_int 0);
+        ]
+      [
+        transition ~src:"A" ~dst:"A"
+          ~actions:
+            [
+              (* write-only counter: self-increment is not a live read. *)
+              Efsm.Action.assign "counter"
+                Efsm.Action.(v "counter" + i 1);
+              (* dead chain: mirror only feeds itself via counter's twin. *)
+              Efsm.Action.assign "mirror" (Efsm.Action.v "counter");
+              (* live chain: seq reaches a signal argument. *)
+              Efsm.Action.assign "seq" Efsm.Action.(v "seq" + i 1);
+              Efsm.Action.send
+                ~args:[ Efsm.Action.v "seq" ]
+                ~port:"out" "tick";
+            ]
+          (Efsm.Machine.On_signal "s");
+      ]
+  in
+  let ds = run_pass Lint.Dataflow.pass (model_of_machines [ m ]) in
+  let l05 = hits "L05" ds and l06 = hits "L06" ds in
+  check int_t "dead writes" 2 (List.length l05);
+  check bool_t "counter flagged" true
+    (List.exists
+       (fun d -> Str_util.contains d.Lint.Diagnostic.message "counter")
+       l05);
+  check bool_t "seq is live" true
+    (not
+       (List.exists
+          (fun d -> Str_util.contains d.Lint.Diagnostic.message "seq")
+          l05));
+  check int_t "unused" 1 (List.length l06);
+  check bool_t "idle flagged" true
+    (List.exists
+       (fun d -> Str_util.contains d.Lint.Diagnostic.message "idle")
+       l06)
+
+(* -- signal flow (L07, L08) -------------------------------------------- *)
+
+(* Sender --ping--> Receiver inside Top; Top also relays cmd in from the
+   environment and resp out to it. *)
+let flow_model ~receiver_listens ~connected =
+  let open Action_dsl in
+  let sender =
+    machine "Sender" [ "Idle"; "Done" ] "Idle"
+      [
+        transition ~src:"Idle" ~dst:"Done"
+          ~actions:[ Efsm.Action.send ~port:"out" "ping" ]
+          Efsm.Machine.Completion;
+      ]
+  in
+  let receiver =
+    machine "Receiver" [ "Wait" ] "Wait"
+      [
+        transition ~src:"Wait" ~dst:"Wait" (Efsm.Machine.On_signal "ping");
+        transition ~src:"Wait" ~dst:"Wait"
+          ~actions:[ Efsm.Action.send ~port:"up" "resp" ]
+          (Efsm.Machine.On_signal "cmd");
+      ]
+  in
+  let model = Uml.Model.empty "flow" in
+  let model =
+    List.fold_left Uml.Model.add_signal model
+      [ Uml.Signal.make "ping"; Uml.Signal.make "cmd"; Uml.Signal.make "resp" ]
+  in
+  let model =
+    Uml.Model.add_class model
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active ~behavior:sender
+         ~ports:[ Uml.Port.make ~sends:[ "ping" ] "out" ]
+         "Sender")
+  in
+  let model =
+    Uml.Model.add_class model
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active ~behavior:receiver
+         ~ports:
+           [
+             Uml.Port.make
+               ~receives:(if receiver_listens then [ "ping" ] else [])
+               "in";
+             Uml.Port.make ~receives:[ "cmd" ] ~sends:[ "resp" ] "up";
+           ]
+         "Receiver")
+  in
+  Uml.Model.add_class model
+    (Uml.Classifier.make
+       ~ports:[ Uml.Port.make ~receives:[ "cmd" ] ~sends:[ "resp" ] "ext" ]
+       ~parts:
+         [
+           { Uml.Classifier.name = "s"; class_name = "Sender" };
+           { Uml.Classifier.name = "r"; class_name = "Receiver" };
+         ]
+       ~connectors:
+         (if connected then
+            [
+              Uml.Connector.make ~name:"c1"
+                ~from_:(Uml.Connector.endpoint ~part:"s" "out")
+                ~to_:(Uml.Connector.endpoint ~part:"r" "in");
+              Uml.Connector.make ~name:"c2"
+                ~from_:(Uml.Connector.endpoint "ext")
+                ~to_:(Uml.Connector.endpoint ~part:"r" "up");
+            ]
+          else [])
+       "Top")
+
+let test_signal_flow_clean () =
+  let ds =
+    run_pass Lint.Signal_flow.pass
+      (flow_model ~receiver_listens:true ~connected:true)
+  in
+  check int_t "no findings" 0 (List.length ds)
+
+let test_signal_flow_no_receiver () =
+  let ds =
+    run_pass Lint.Signal_flow.pass
+      (flow_model ~receiver_listens:false ~connected:true)
+  in
+  check int_t "undeliverable send" 1 (List.length (hits "L07" ds));
+  check int_t "orphan reception" 1 (List.length (hits "L08" ds));
+  check int_t "L07 is an error" 1 (List.length (Lint.Diagnostic.errors ds))
+
+let test_signal_flow_disconnected () =
+  let ds =
+    run_pass Lint.Signal_flow.pass
+      (flow_model ~receiver_listens:true ~connected:false)
+  in
+  (* ping lost, ping + cmd orphaned, resp undeliverable. *)
+  check int_t "undeliverable sends" 2 (List.length (hits "L07" ds));
+  check int_t "orphan receptions" 2 (List.length (hits "L08" ds))
+
+(* The network sees through the boundary relay: cmd is injected by the
+   environment, resp absorbed by it, multi-hop through Top's ext port. *)
+let test_signal_flow_environment () =
+  let net = Lint.Network.elaborate (flow_model ~receiver_listens:true ~connected:true) in
+  check bool_t "env injects cmd" true
+    (Lint.Network.env_injects net ~receiver:"Top/r" ~signal:"cmd");
+  check bool_t "env absorbs resp" true
+    (Lint.Network.env_absorbs net ~sender:"Top/r" ~port:"up" ~signal:"resp");
+  check bool_t "ping delivered" true
+    (Lint.Network.deliverable net ~sender:"Top/s" ~port:"out" ~signal:"ping");
+  check bool_t "receiver of ping" true
+    (Lint.Network.receivers net ~sender:"Top/s" ~port:"out" ~signal:"ping"
+    = [ "Top/r" ])
+
+(* -- deadlock (L09) ----------------------------------------------------- *)
+
+let deadlock_model ~timer_escape ~env_escape =
+  let open Action_dsl in
+  let a =
+    machine "A" [ "W" ] "W"
+      ([
+         transition ~src:"W" ~dst:"W"
+           ~actions:[ Efsm.Action.send ~port:"pa" "go_b" ]
+           (Efsm.Machine.On_signal "go_a");
+       ]
+      @
+      if timer_escape then
+        [ transition ~src:"W" ~dst:"W" (Efsm.Machine.After 5) ]
+      else [])
+  in
+  let b =
+    machine "B" [ "W" ] "W"
+      [
+        transition ~src:"W" ~dst:"W"
+          ~actions:[ Efsm.Action.send ~port:"pb" "go_a" ]
+          (Efsm.Machine.On_signal "go_b");
+      ]
+  in
+  let model = Uml.Model.empty "dl" in
+  let model =
+    List.fold_left Uml.Model.add_signal model
+      [ Uml.Signal.make "go_a"; Uml.Signal.make "go_b" ]
+  in
+  let model =
+    Uml.Model.add_class model
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active ~behavior:a
+         ~ports:
+           [
+             Uml.Port.make ~sends:[ "go_b" ] "pa";
+             Uml.Port.make ~receives:[ "go_a" ] "pin";
+           ]
+         "A")
+  in
+  let model =
+    Uml.Model.add_class model
+      (Uml.Classifier.make ~kind:Uml.Classifier.Active ~behavior:b
+         ~ports:
+           [
+             Uml.Port.make ~sends:[ "go_a" ] "pb";
+             Uml.Port.make ~receives:[ "go_b" ] "pin";
+           ]
+         "B")
+  in
+  Uml.Model.add_class model
+    (Uml.Classifier.make
+       ~ports:
+         (if env_escape then [ Uml.Port.make ~receives:[ "go_a" ] "kick" ]
+          else [])
+       ~parts:
+         [
+           { Uml.Classifier.name = "a"; class_name = "A" };
+           { Uml.Classifier.name = "b"; class_name = "B" };
+         ]
+       ~connectors:
+         ([
+            Uml.Connector.make ~name:"c1"
+              ~from_:(Uml.Connector.endpoint ~part:"a" "pa")
+              ~to_:(Uml.Connector.endpoint ~part:"b" "pin");
+            Uml.Connector.make ~name:"c2"
+              ~from_:(Uml.Connector.endpoint ~part:"b" "pb")
+              ~to_:(Uml.Connector.endpoint ~part:"a" "pin");
+          ]
+         @
+         if env_escape then
+           [
+             Uml.Connector.make ~name:"c3"
+               ~from_:(Uml.Connector.endpoint "kick")
+               ~to_:(Uml.Connector.endpoint ~part:"a" "pin");
+           ]
+         else [])
+       "Sys")
+
+let test_deadlock_cycle () =
+  let ds =
+    run_pass Lint.Deadlock.pass
+      (deadlock_model ~timer_escape:false ~env_escape:false)
+  in
+  check int_t "one cycle" 1 (List.length (hits "L09" ds));
+  let msg = (List.hd ds).Lint.Diagnostic.message in
+  check bool_t "names both members" true
+    (Str_util.contains msg "Sys/a" && Str_util.contains msg "Sys/b")
+
+let test_deadlock_timer_escape () =
+  check int_t "timer breaks the cycle" 0
+    (List.length
+       (run_pass Lint.Deadlock.pass
+          (deadlock_model ~timer_escape:true ~env_escape:false)))
+
+let test_deadlock_env_escape () =
+  check int_t "environment breaks the cycle" 0
+    (List.length
+       (run_pass Lint.Deadlock.pass
+          (deadlock_model ~timer_escape:false ~env_escape:true)))
+
+(* -- the seed TUTMAC model ---------------------------------------------- *)
+
+let seed_model () =
+  Tut_profile.Builder.model
+    (Tutmac.Scenario.build_model Tutmac.Scenario.default)
+
+let map_class model name f =
+  {
+    model with
+    Uml.Model.classes =
+      List.map
+        (fun (c : Uml.Classifier.t) ->
+          if c.Uml.Classifier.name = name then f c else c)
+        model.Uml.Model.classes;
+  }
+
+let test_seed_verdict () =
+  let results = Lint.Engine.run (Lint.Pass.context_of_model (seed_model ())) in
+  check int_t "all five passes ran" 5 (List.length results);
+  check bool_t "pass order" true
+    (List.map (fun ((p : Lint.Pass.t), _) -> p.Lint.Pass.name) results
+    = [ "reachability"; "determinism"; "dataflow"; "signal-flow"; "deadlock" ]);
+  let ds = List.concat_map snd results in
+  check int_t "no errors" 0 (List.length (Lint.Diagnostic.errors ds));
+  check int_t "write-only counters" 5 (List.length (hits "L05" ds));
+  check int_t "handshake over-approximation" 1 (List.length (hits "L09" ds));
+  check int_t "nothing else" 6 (List.length ds);
+  let l09 = List.hd (hits "L09" ds) in
+  check bool_t "cycle is frag/crc" true
+    (Str_util.contains l09.Lint.Diagnostic.message "dp/frag"
+    && Str_util.contains l09.Lint.Diagnostic.message "dp/crc")
+
+let test_seed_dead_state_mutation () =
+  let mutated =
+    map_class (seed_model ()) "Fragmenter" (fun c ->
+        match c.Uml.Classifier.behavior with
+        | Some m ->
+          {
+            c with
+            Uml.Classifier.behavior =
+              Some { m with Efsm.Machine.states = m.Efsm.Machine.states @ [ "Limbo" ] };
+          }
+        | None -> c)
+  in
+  let ds = Lint.Engine.analyze mutated in
+  let l01 = hits "L01" ds in
+  check int_t "dead state found" 1 (List.length l01);
+  check bool_t "names Limbo" true
+    (Str_util.contains (List.hd l01).Lint.Diagnostic.message "state Limbo");
+  check bool_t "element is Fragmenter" true
+    ((List.hd l01).Lint.Diagnostic.element
+    = Some (Uml.Element.Class_ref "Fragmenter"))
+
+let test_seed_removed_receiver_mutation () =
+  let mutated =
+    map_class (seed_model ()) "CrcCalculator" (fun c ->
+        {
+          c with
+          Uml.Classifier.ports =
+            List.map
+              (fun (p : Uml.Port.t) ->
+                if p.Uml.Port.name = "crc_port" then
+                  { p with Uml.Port.receives = [] }
+                else p)
+              c.Uml.Classifier.ports;
+        })
+  in
+  let ds = Lint.Engine.analyze mutated in
+  let l07 = hits "L07" ds and l08 = hits "L08" ds in
+  check bool_t "lost crc_req send" true
+    (List.exists
+       (fun d ->
+         Str_util.contains d.Lint.Diagnostic.message Tutmac.Signals.crc_req)
+       l07);
+  check bool_t "orphaned crc_req reception" true
+    (List.exists
+       (fun d ->
+         Str_util.contains d.Lint.Diagnostic.message Tutmac.Signals.crc_req)
+       l08);
+  check bool_t "now has errors" true (Lint.Diagnostic.errors ds <> []);
+  (* And the JSONL view carries the same codes. *)
+  let codes =
+    List.filter_map
+      (fun d ->
+        match Lint.Diagnostic.to_json d with
+        | Obs.Json.Obj fields -> (
+          match List.assoc "rule" fields with
+          | Obs.Json.Str c -> Some c
+          | _ -> None)
+        | _ -> None)
+      ds
+  in
+  check bool_t "jsonl has L07" true (List.mem "L07" codes)
+
+(* The XMI path produces the identical verdict: export the seed model,
+   read it back, and every rendered diagnostic matches byte for byte. *)
+let test_seed_xmi_roundtrip () =
+  let builder = Tutmac.Scenario.build_model Tutmac.Scenario.default in
+  let model = Tut_profile.Builder.model builder in
+  let apps = builder.Tut_profile.Builder.apps in
+  let xml = Xmi.Write.to_string model apps in
+  match
+    Xmi.Read.of_string ~profile:Tut_profile.Stereotypes.profile xml
+  with
+  | Error e -> Alcotest.failf "XMI read back failed: %s" e
+  | Ok (model', _) ->
+    let render m =
+      List.map Lint.Diagnostic.render (Lint.Engine.analyze m)
+    in
+    check (Alcotest.list Alcotest.string) "same findings" (render model)
+      (render model')
+
+(* -- engine observability ---------------------------------------------- *)
+
+let test_engine_obs () =
+  let sink = Obs.Sink.ring ~capacity:16 in
+  let obs = Obs.Scope.create ~tracer:(Obs.Tracer.create sink) () in
+  let results =
+    Lint.Engine.run ~obs (Lint.Pass.context_of_model (seed_model ()))
+  in
+  check int_t "five pass results" 5 (List.length results);
+  let snapshot = Obs.Metrics.snapshot (Obs.Scope.metrics obs) in
+  check bool_t "pass runs counted" true
+    (Obs.Metrics.counter_value snapshot "lint.pass_runs_total" = Some 5);
+  check bool_t "diagnostics counted" true
+    (Obs.Metrics.counter_value snapshot "lint.diagnostics_total" = Some 6);
+  check bool_t "warnings counted" true
+    (Obs.Metrics.counter_value snapshot "lint.warnings_total" = Some 6);
+  check bool_t "errors counted" true
+    (Obs.Metrics.counter_value snapshot "lint.errors_total" = Some 0);
+  let spans = Obs.Sink.ring_events sink in
+  check int_t "one span per pass" 5 (List.length spans);
+  check bool_t "span names" true
+    (List.map (fun (e : Obs.Span.t) -> e.Obs.Span.name) spans
+    = [
+        "lint.reachability";
+        "lint.determinism";
+        "lint.dataflow";
+        "lint.signal-flow";
+        "lint.deadlock";
+      ])
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "diagnostic",
+        [
+          Alcotest.test_case "render" `Quick test_diagnostic_render;
+          Alcotest.test_case "severity" `Quick test_diagnostic_severity;
+          Alcotest.test_case "json" `Quick test_diagnostic_json;
+          Alcotest.test_case "shared with rules" `Quick test_shared_rendering;
+        ] );
+      ( "const",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "eval" `Quick test_const_eval;
+        ] );
+      ( "reachability",
+        [
+          Alcotest.test_case "dead states and false guards" `Quick
+            test_reachability;
+          Alcotest.test_case "clean machine" `Quick test_reachability_clean;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "overlapping guards" `Quick
+            test_determinism_overlap;
+          Alcotest.test_case "provably exclusive" `Quick
+            test_determinism_exclusive;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "undeclared reads" `Quick test_dataflow_undeclared;
+          Alcotest.test_case "liveness" `Quick test_dataflow_liveness;
+        ] );
+      ( "signal-flow",
+        [
+          Alcotest.test_case "clean" `Quick test_signal_flow_clean;
+          Alcotest.test_case "no receiver" `Quick test_signal_flow_no_receiver;
+          Alcotest.test_case "disconnected" `Quick test_signal_flow_disconnected;
+          Alcotest.test_case "environment relay" `Quick
+            test_signal_flow_environment;
+        ] );
+      ( "deadlock",
+        [
+          Alcotest.test_case "wait-for cycle" `Quick test_deadlock_cycle;
+          Alcotest.test_case "timer escape" `Quick test_deadlock_timer_escape;
+          Alcotest.test_case "environment escape" `Quick
+            test_deadlock_env_escape;
+        ] );
+      ( "seed model",
+        [
+          Alcotest.test_case "exact verdict" `Quick test_seed_verdict;
+          Alcotest.test_case "injected dead state" `Quick
+            test_seed_dead_state_mutation;
+          Alcotest.test_case "removed receiver" `Quick
+            test_seed_removed_receiver_mutation;
+          Alcotest.test_case "xmi round-trip verdict" `Quick
+            test_seed_xmi_roundtrip;
+        ] );
+      ( "engine",
+        [ Alcotest.test_case "metrics and spans" `Quick test_engine_obs ] );
+    ]

@@ -485,6 +485,187 @@ let test_r17_hard_rt_colocation_warns () =
   let report = validate (base_model ~extra ()) in
   check bool_t "R17 warns" true (rule_hits "R17" report <> [])
 
+(* ---- catalog coverage self-check ------------------------------------ *)
+
+(* One crafted violation per rule code.  The self-check below walks
+   [Rules.catalog] and asserts every advertised code is triggerable, so
+   the catalogue, the checker and this suite cannot drift apart. *)
+let catalog_violations : (string * (unit -> Builder.t)) list =
+  [
+    ( "R01",
+      fun () ->
+        base_model
+          ~extra:(fun b ->
+            Builder.application_class b (Uml.Classifier.make "App2"))
+          () );
+    ("R02", fun () -> base_model ~comp_active:false ());
+    ( "R03",
+      fun () ->
+        base_model
+          ~extra:(fun b ->
+            Builder.plain_class b
+              (Uml.Classifier.make ~parts:[ part "hidden" "Comp" ] "Extra"))
+          () );
+    ( "R04",
+      fun () ->
+        base_model
+          ~extra:(fun b ->
+            let b =
+              Builder.plain_class b
+                (Uml.Classifier.make ~parts:[ part "odd" "Pgt" ] "Extra")
+            in
+            Builder.process b ~owner:"Extra" ~part:"odd")
+          () );
+    ( "R05",
+      fun () ->
+        base_model
+          ~extra:(fun b ->
+            Builder.grouping b ~name:"bad_grp" ~process:("Groups", "g1")
+              ~group:("App", "a"))
+          () );
+    ( "R06",
+      fun () ->
+        let open Builder in
+        let b = base_model () in
+        let b =
+          plain_class b
+            (Uml.Classifier.make ~parts:[ part "c" "Comp" ] "Extra3")
+        in
+        process b ~owner:"Extra3" ~part:"c" );
+    ( "R07",
+      fun () ->
+        base_model
+          ~extra:(fun b ->
+            set_part_tag b ~owner:"App" ~part:"a"
+              ~stereotype:Stereotypes.application_process "ProcessType"
+              (Profile.Tag.V_enum Stereotypes.pt_dsp))
+          () );
+    ( "R08",
+      fun () ->
+        base_model
+          ~extra:(fun b ->
+            Builder.platform_class b (Uml.Classifier.make "Plat2"))
+          () );
+    ( "R09",
+      fun () ->
+        base_model
+          ~extra:(fun b ->
+            let b =
+              Builder.plain_class b
+                (Uml.Classifier.make ~parts:[ part "rogue" "Pgt" ] "PlatX")
+            in
+            Builder.pe_instance b ~owner:"PlatX" ~part:"rogue" ~id:9)
+          () );
+    ( "R10",
+      fun () ->
+        base_model
+          ~extra:(fun b ->
+            set_part_tag b ~owner:"Plat" ~part:"acc1"
+              ~stereotype:Stereotypes.platform_component_instance "ID"
+              (Profile.Tag.V_int 1))
+          () );
+    ( "R11",
+      fun () ->
+        base_model
+          ~extra:(fun b ->
+            let extra_cls =
+              Uml.Classifier.make
+                ~parts:[ part "x1" "Cpu"; part "x2" "Cpu" ]
+                ~connectors:[ conn "w_bad" ("x1", "bus") ("x2", "bus") ]
+                "PlatY"
+            in
+            let b = Builder.plain_class b extra_cls in
+            let b = Builder.pe_instance b ~owner:"PlatY" ~part:"x1" ~id:11 in
+            let b = Builder.pe_instance b ~owner:"PlatY" ~part:"x2" ~id:12 in
+            Builder.comm_wrapper b ~owner:"PlatY" ~connector:"w_bad"
+              ~address:99)
+          () );
+    ( "R12",
+      fun () ->
+        base_model
+          ~extra:(fun b ->
+            let element =
+              Uml.Element.Connector_ref
+                { class_name = "Plat"; connector = "w_acc1" }
+            in
+            {
+              b with
+              Builder.apps =
+                Profile.Apply.set_value b.Builder.apps ~element
+                  ~stereotype:Stereotypes.communication_wrapper "Address"
+                  (Profile.Tag.V_int 1);
+            })
+          () );
+    ( "R13",
+      fun () ->
+        base_model
+          ~extra:(fun b ->
+            Builder.mapping b ~name:"bad_map" ~group:("App", "a")
+              ~pe:("Plat", "cpu1"))
+          () );
+    ("R14", fun () -> base_model ~map_g2:None ());
+    ("R15", fun () -> base_model ~map_g2:(Some "acc1") ());
+    ( "R16",
+      fun () ->
+        base_model
+          ~extra:(fun b ->
+            let b =
+              Builder.plain_class b
+                (Uml.Classifier.make ~parts:[ part "lonely" "Cpu" ] "PlatZ")
+            in
+            Builder.pe_instance b ~owner:"PlatZ" ~part:"lonely" ~id:42)
+          () );
+    ( "R17",
+      fun () ->
+        base_model
+          ~extra:(fun b ->
+            let b =
+              set_part_tag b ~owner:"App" ~part:"a"
+                ~stereotype:Stereotypes.application_process "RealTimeType"
+                (Profile.Tag.V_enum Stereotypes.rt_hard)
+            in
+            set_part_tag b ~owner:"App" ~part:"b"
+              ~stereotype:Stereotypes.application_process "Priority"
+              (Profile.Tag.V_int 10))
+          () );
+    ( "R18",
+      fun () ->
+        base_model
+          ~extra:(fun b ->
+            let b =
+              set_part_tag b ~owner:"Plat" ~part:"cpu1"
+                ~stereotype:Stereotypes.platform_component_instance
+                "IntMemory" (Profile.Tag.V_int 1024)
+            in
+            let b =
+              set_part_tag b ~owner:"App" ~part:"a"
+                ~stereotype:Stereotypes.application_process "CodeMemory"
+                (Profile.Tag.V_int 3072)
+            in
+            set_part_tag b ~owner:"App" ~part:"a"
+              ~stereotype:Stereotypes.application_process "DataMemory"
+              (Profile.Tag.V_int 1024))
+          () );
+  ]
+
+let test_catalog_coverage () =
+  List.iter
+    (fun (code, _, _) ->
+      match List.assoc_opt code catalog_violations with
+      | None ->
+        Alcotest.failf "catalog rule %s has no crafted violation model" code
+      | Some build ->
+        let report = validate (build ()) in
+        check bool_t (code ^ " triggerable") true
+          (rule_hits code report <> []))
+    Rules.catalog;
+  (* And the table carries no stale codes the catalogue dropped. *)
+  List.iter
+    (fun (code, _) ->
+      check bool_t (code ^ " still in catalog") true
+        (List.exists (fun (c, _, _) -> c = code) Rules.catalog))
+    catalog_violations
+
 let () =
   Alcotest.run "tut_profile"
     [
@@ -530,5 +711,7 @@ let () =
             test_r18_memory_budget_warns;
           Alcotest.test_case "R18 within budget silent" `Quick
             test_r18_within_budget_silent;
+          Alcotest.test_case "catalog coverage self-check" `Quick
+            test_catalog_coverage;
         ] );
     ]
