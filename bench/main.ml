@@ -308,14 +308,30 @@ let ablation_regrouping () =
         from_group to_group)
     suggestion.Dse.Grouping.moves
 
-(* ---- DSE parallel macro-benchmark ------------------------------------- *)
+(* ---- DSE macro-benchmark ---------------------------------------------- *)
 
-(* Serial vs parallel exhaustive exploration of a synthetic lattice
-   (TUTBENCH_DSE_GROUPS groups x 4 candidate PEs each, default 9 groups
-   = 262144 points), measured in wall-clock evaluations/sec and written
-   to BENCH_dse.json.  The parallel runs must reproduce the serial best
-   cost and evaluation count exactly — the merge is deterministic — so
-   the benchmark doubles as an end-to-end equivalence check. *)
+(* Three measurements, written to BENCH_dse.json:
+
+   - serial vs parallel exhaustive exploration of a synthetic lattice
+     (TUTBENCH_DSE_GROUPS groups x 4 candidate PEs each, default 9
+     groups = 262144 points), in wall-clock evaluations/sec;
+   - reference (closure eval) vs compiled-kernel exhaustive on the same
+     lattice;
+   - reference vs compiled simulated annealing on the seed TUTMAC model
+     (TUTBENCH_DSE_SA_ITERS iterations, default 50000), where the
+     reference re-runs the BFS hop_distance per comm pair and the
+     kernel's advantage is largest.
+
+   Every compiled/parallel run must reproduce its reference result bit
+   for bit, and the compiled kernel must not be slower than the
+   reference — the benchmark exits 1 otherwise, which is the CI perf
+   smoke guard (run with TUTBENCH_ONLY=dse for just this section). *)
+
+let same_dse_result (a : Dse.Explore.result) (b : Dse.Explore.result) =
+  a.Dse.Explore.best = b.Dse.Explore.best
+  && a.Dse.Explore.best_cost = b.Dse.Explore.best_cost
+  && a.Dse.Explore.evaluations = b.Dse.Explore.evaluations
+  && a.Dse.Explore.history = b.Dse.Explore.history
 
 let bench_dse () =
   section "DSE macro-benchmark: serial vs parallel exhaustive";
@@ -397,6 +413,78 @@ let bench_dse () =
     "  (recommended_domain_count = %d on this machine; identical results \
      verified on every run)\n"
     (Domain.recommended_domain_count ());
+  (* Reference vs compiled kernel, same synthetic lattice. *)
+  section "DSE macro-benchmark: reference eval vs compiled kernel";
+  let compiled_spec = Dse.Compiled.spec ~profile ~platform () in
+  let compiled, compiled_s =
+    time (fun () ->
+        let kernel = Dse.Compiled.compile compiled_spec ~candidates in
+        Dse.Explore.exhaustive_compiled ~kernel ())
+  in
+  if not (same_dse_result serial compiled) then begin
+    Printf.printf "  FAIL: compiled exhaustive diverged from the reference\n";
+    exit 1
+  end;
+  let compiled_eps = eps compiled.Dse.Explore.evaluations compiled_s in
+  let synthetic_speedup = compiled_eps /. serial_eps in
+  Printf.printf "  %-22s %10s %14s %9s\n" "exhaustive (synthetic)" "seconds"
+    "evals/sec" "speedup";
+  Printf.printf "  %-22s %10.3f %14.0f %9s\n" "reference" serial_s serial_eps
+    "1.00x";
+  Printf.printf "  %-22s %10.3f %14.0f %8.2fx\n" "compiled" compiled_s
+    compiled_eps synthetic_speedup;
+  (* Seed TUTMAC model: the reference eval pays a BFS per comm pair. *)
+  let sa_iters =
+    match Sys.getenv_opt "TUTBENCH_DSE_SA_ITERS" with
+    | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> 50_000)
+    | None -> 50_000
+  in
+  let seed_result = run_scenario short_config in
+  let seed_view =
+    Tut_profile.Builder.view (Tutmac.Scenario.build_model short_config)
+  in
+  let seed_profile = Dse.Cost.of_report seed_result.Tutmac.Scenario.report in
+  let seed_platform = Dse.Cost.of_view seed_view in
+  let seed_candidates = Dse.Cost.candidates seed_view in
+  let seed_init = Dse.Cost.current_assignment seed_view in
+  let seed_eval = Dse.Cost.cost ~profile:seed_profile ~platform:seed_platform in
+  let sa_ref, sa_ref_s =
+    time (fun () ->
+        Dse.Explore.simulated_annealing ~seed:1 ~iterations:sa_iters
+          ~eval:seed_eval ~candidates:seed_candidates ~init:seed_init ())
+  in
+  let sa_comp, sa_comp_s =
+    time (fun () ->
+        let kernel =
+          Dse.Compiled.compile
+            (Dse.Compiled.spec ~profile:seed_profile ~platform:seed_platform ())
+            ~candidates:seed_candidates
+        in
+        Dse.Explore.simulated_annealing_compiled ~seed:1 ~iterations:sa_iters
+          ~kernel ~init:seed_init ())
+  in
+  if not (same_dse_result sa_ref sa_comp) then begin
+    Printf.printf "  FAIL: compiled annealing diverged from the reference\n";
+    exit 1
+  end;
+  let sa_ref_eps = eps sa_ref.Dse.Explore.evaluations sa_ref_s in
+  let sa_comp_eps = eps sa_comp.Dse.Explore.evaluations sa_comp_s in
+  let seed_speedup = sa_comp_eps /. sa_ref_eps in
+  Printf.printf "  %-22s %10s %14s %9s\n"
+    (Printf.sprintf "annealing (TUTMAC %dk)" (sa_iters / 1000))
+    "seconds" "evals/sec" "speedup";
+  Printf.printf "  %-22s %10.3f %14.0f %9s\n" "reference" sa_ref_s sa_ref_eps
+    "1.00x";
+  Printf.printf "  %-22s %10.3f %14.0f %8.2fx\n" "compiled" sa_comp_s
+    sa_comp_eps seed_speedup;
+  if synthetic_speedup < 1.0 || seed_speedup < 1.0 then begin
+    Printf.printf
+      "  FAIL: compiled kernel slower than the reference eval (%.2fx \
+       synthetic, %.2fx seed model)\n"
+      synthetic_speedup seed_speedup;
+    exit 1
+  end;
   let oc = open_out "BENCH_dse.json" in
   output_string oc
     (Obs.Json.to_string
@@ -427,6 +515,25 @@ let bench_dse () =
                          ("speedup", Obs.Json.Float speedup);
                        ])
                    parallel_rows) );
+            ( "compiled",
+              Obs.Json.Obj
+                [
+                  ( "synthetic_exhaustive",
+                    Obs.Json.Obj
+                      [
+                        ("reference_evals_per_sec", Obs.Json.Float serial_eps);
+                        ("compiled_evals_per_sec", Obs.Json.Float compiled_eps);
+                        ("speedup", Obs.Json.Float synthetic_speedup);
+                      ] );
+                  ( "seed_model_annealing",
+                    Obs.Json.Obj
+                      [
+                        ("iterations", Obs.Json.Int sa_iters);
+                        ("reference_evals_per_sec", Obs.Json.Float sa_ref_eps);
+                        ("compiled_evals_per_sec", Obs.Json.Float sa_comp_eps);
+                        ("speedup", Obs.Json.Float seed_speedup);
+                      ] );
+                ] );
           ]));
   output_char oc '\n';
   close_out oc;
@@ -574,16 +681,24 @@ let run_benchmarks () =
     (staged_tests ())
 
 let () =
-  print_tables_1_2_3 ();
-  print_figures ();
-  let report = print_table4 () in
-  ablation_arbitration ();
-  ablation_crc_offload ();
-  ablation_rtos ();
-  ablation_grouping_objective report;
-  ablation_regrouping ();
-  sweep_series ();
-  analysis_section ();
-  bench_dse ();
-  run_benchmarks ();
-  print_newline ()
+  (* TUTBENCH_ONLY=dse: just the DSE section (with its equivalence and
+     compiled-not-slower guards) — the CI perf smoke mode. *)
+  match Sys.getenv_opt "TUTBENCH_ONLY" with
+  | Some "dse" -> bench_dse ()
+  | Some other ->
+    Printf.eprintf "unknown TUTBENCH_ONLY=%s (supported: dse)\n" other;
+    exit 2
+  | None ->
+    print_tables_1_2_3 ();
+    print_figures ();
+    let report = print_table4 () in
+    ablation_arbitration ();
+    ablation_crc_offload ();
+    ablation_rtos ();
+    ablation_grouping_objective report;
+    ablation_regrouping ();
+    sweep_series ();
+    analysis_section ();
+    bench_dse ();
+    run_benchmarks ();
+    print_newline ()

@@ -481,8 +481,17 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let engine_arg =
+  let doc =
+    "Cost evaluation engine: 'compiled' (default) scores mappings through \
+     the pre-compiled incremental kernel, 'reference' through the plain \
+     closure-based cost model.  Both return bit-identical results; \
+     'reference' exists as the oracle for cross-checks."
+  in
+  Arg.(value & opt string "compiled" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let explore_cmd =
-  let run config algorithm seed iterations jobs =
+  let run config algorithm seed iterations jobs engine =
     match Tutmac.Scenario.run config with
     | Error e ->
       prerr_endline e;
@@ -499,18 +508,44 @@ let explore_cmd =
         if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs
       in
       let outcome =
-        match algorithm with
-        | "greedy" -> Ok (Dse.Explore.greedy ~eval ~candidates ~init ())
-        | "sa" ->
+        match algorithm, engine with
+        | "greedy", "reference" ->
+          Ok (Dse.Explore.greedy ~eval ~candidates ~init ())
+        | "sa", "reference" ->
           Ok
             (Dse.Parallel.simulated_annealing ~jobs ~seed ~iterations ~eval
                ~candidates ~init ())
-        | "random" ->
+        | "random", "reference" ->
           Ok
             (Dse.Parallel.random_search ~jobs ~seed ~iterations ~eval
                ~candidates ())
-        | "exhaustive" -> Ok (Dse.Parallel.exhaustive ~jobs ~eval ~candidates ())
-        | other -> Error ("unknown algorithm " ^ other)
+        | "exhaustive", "reference" ->
+          Ok (Dse.Parallel.exhaustive ~jobs ~eval ~candidates ())
+        | "greedy", "compiled" ->
+          let kernel =
+            Dse.Compiled.compile
+              (Dse.Compiled.spec ~profile ~platform ())
+              ~candidates
+          in
+          Ok (Dse.Explore.greedy_compiled ~kernel ~init ())
+        | "sa", "compiled" ->
+          Ok
+            (Dse.Parallel.simulated_annealing_compiled ~jobs ~seed ~iterations
+               ~spec:(Dse.Compiled.spec ~profile ~platform ())
+               ~candidates ~init ())
+        | "random", "compiled" ->
+          Ok
+            (Dse.Parallel.random_search_compiled ~jobs ~seed ~iterations
+               ~spec:(Dse.Compiled.spec ~profile ~platform ())
+               ~candidates ())
+        | "exhaustive", "compiled" ->
+          Ok
+            (Dse.Parallel.exhaustive_compiled ~jobs
+               ~spec:(Dse.Compiled.spec ~profile ~platform ())
+               ~candidates ())
+        | ("greedy" | "sa" | "random" | "exhaustive"), other ->
+          Error ("unknown engine " ^ other)
+        | other, _ -> Error ("unknown algorithm " ^ other)
       in
       (match outcome with
       | Error e ->
@@ -532,7 +567,7 @@ let explore_cmd =
        ~doc:"Explore alternative group-to-PE mappings over profiling data")
     Term.(
       const run $ config_term $ algorithm_arg $ seed_arg $ iterations_arg
-      $ jobs_arg)
+      $ jobs_arg $ engine_arg)
 
 (* -- analyze --------------------------------------------------------- *)
 

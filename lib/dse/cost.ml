@@ -16,6 +16,8 @@ type platform_info = {
 
 type assignment = (string * string) list
 
+let unreachable_hops = 1_000
+
 let of_report (report : Profiler.Report.t) =
   let not_env (g, _) = g <> Profiler.Groups.environment_group in
   {
@@ -67,7 +69,7 @@ let of_view (view : Tut_profile.View.t) =
     else
       let starts = Option.value ~default:[] (Hashtbl.find_opt pe_segments src) in
       let goals = Option.value ~default:[] (Hashtbl.find_opt pe_segments dst) in
-      if starts = [] || goals = [] then 1_000 (* unreachable: prohibitive *)
+      if starts = [] || goals = [] then unreachable_hops
       else begin
         let visited = Hashtbl.create 8 in
         let queue = Queue.create () in
@@ -90,7 +92,7 @@ let of_view (view : Tut_profile.View.t) =
                 end)
               (Option.value ~default:[] (Hashtbl.find_opt seg_edges here))
         done;
-        Option.value ~default:1_000 !result
+        Option.value ~default:unreachable_hops !result
       end
   in
   { pe_infos; hop_distance }
@@ -168,11 +170,16 @@ let candidates view =
     view.Tut_profile.View.groups
 
 let cost ?(alpha = 1.0) ?(beta = 1.0) ~profile ~platform assignment =
+  List.iter
+    (fun (_, pe) ->
+      if not (List.exists (fun info -> info.pe = pe) platform.pe_infos) then
+        invalid_arg ("Dse.Cost.cost: unknown PE " ^ pe))
+    assignment;
   let pe_of group = List.assoc_opt group assignment in
   let speed pe =
     match List.find_opt (fun info -> info.pe = pe) platform.pe_infos with
     | Some info -> info.speed
-    | None -> 1.0
+    | None -> invalid_arg ("Dse.Cost.cost: unknown PE " ^ pe)
   in
   let load = Hashtbl.create 8 in
   List.iter

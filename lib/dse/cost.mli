@@ -33,6 +33,11 @@ type platform_info = {
 type assignment = (string * string) list
 (** [(group, pe)] — total map over the groups being explored. *)
 
+val unreachable_hops : int
+(** Hop distance assigned to PE pairs with no segment path (1000, a
+    prohibitive penalty).  Shared by {!of_view} and the compiled kernel
+    so both paths price unreachability identically. *)
+
 val of_report : Profiler.Report.t -> profile_data
 (** Drop the Environment pseudo group. *)
 
@@ -57,5 +62,8 @@ val cost :
   platform:platform_info ->
   assignment ->
   float
-(** Defaults [alpha = 1.0], [beta = 1.0].  Unknown groups/PEs contribute
-    nothing; callers should ensure assignments are total. *)
+(** Defaults [alpha = 1.0], [beta = 1.0].  Groups absent from the
+    assignment contribute nothing; callers should ensure assignments are
+    total.  Raises [Invalid_argument] if the assignment names a PE that
+    is not in [platform.pe_infos] (it used to silently price unknown PEs
+    at [speed = 1.0]). *)

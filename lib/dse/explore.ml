@@ -30,12 +30,14 @@ let tracker ?obs eval init =
     tracer = Obs.Scope.tracer obs;
   }
 
-let evaluate t assignment =
-  let cost = t.eval assignment in
+(* Book-keep one scored point.  The assignment is a thunk so the
+   compiled paths only materialize (group, pe) lists on improvement —
+   the common rejected move costs no allocation. *)
+let record t cost assignment =
   t.evaluations <- t.evaluations + 1;
   Obs.Metrics.inc t.m_evals;
   if cost < t.best_cost then begin
-    t.best <- assignment;
+    t.best <- assignment ();
     t.best_cost <- cost;
     t.history <- (t.evaluations, cost) :: t.history;
     Obs.Metrics.inc t.m_best_updates;
@@ -49,6 +51,14 @@ let evaluate t assignment =
         "best_cost"
   end;
   cost
+
+let evaluate t assignment = record t (t.eval assignment) (fun () -> assignment)
+
+let unused_eval _ =
+  invalid_arg "Dse.Explore: compiled searches do not call the closure eval"
+
+let scope_metrics obs =
+  Obs.Scope.metrics (match obs with Some s -> s | None -> Obs.Scope.null ())
 
 let finish t =
   {
@@ -143,18 +153,22 @@ let simulated_annealing ?obs ~seed ~iterations ?(initial_temperature = 1.0)
     invalid_arg "Dse.Explore.simulated_annealing: a group has no candidate PE";
   let rng = Rng.create seed in
   let t = tracker ?obs eval init in
-  let accept_metrics =
-    Obs.Scope.metrics (match obs with Some s -> s | None -> Obs.Scope.null ())
+  let metrics = scope_metrics obs in
+  let m_accepted = Obs.Metrics.counter metrics "dse.moves_accepted" in
+  let m_rejected = Obs.Metrics.counter metrics "dse.moves_rejected" in
+  (* Single-option groups admit no move: sampling them would burn the
+     iteration (and cool the temperature) on a no-op.  Restrict the walk
+     to movable groups, and skip it entirely when everything is fixed. *)
+  let movable =
+    List.filter (fun (_, options) -> List.length options > 1) candidates
   in
-  let m_accepted = Obs.Metrics.counter accept_metrics "dse.moves_accepted" in
-  let m_rejected = Obs.Metrics.counter accept_metrics "dse.moves_rejected" in
   let current = ref init in
   let current_cost = ref (evaluate t init) in
   (* Scale the temperature to the problem: a fraction of the initial cost. *)
   let temperature = ref (initial_temperature *. max 1.0 !current_cost /. 10.0) in
-  for _ = 1 to iterations do
-    let group, options = Rng.pick rng candidates in
-    if List.length options > 1 then begin
+  if movable <> [] then
+    for _ = 1 to iterations do
+      let group, options = Rng.pick rng movable in
       let pe = Rng.pick rng options in
       let proposal =
         List.map (fun (g, p) -> if g = group then (g, pe) else (g, p)) !current
@@ -169,10 +183,157 @@ let simulated_annealing ?obs ~seed ~iterations ?(initial_temperature = 1.0)
         current := proposal;
         current_cost := cost
       end
-      else Obs.Metrics.inc m_rejected
-    end;
-    temperature := !temperature *. cooling
+      else Obs.Metrics.inc m_rejected;
+      temperature := !temperature *. cooling
+    done;
+  finish t
+
+(* Compiled-kernel variants.  Each reproduces its reference algorithm's
+   arithmetic, RNG draws, evaluation order and materialized lists
+   exactly, so [result] values are bit-identical — the kernel only
+   changes how fast a point is scored.  [dse.delta_evals] counts
+   incremental evaluations, [dse.full_evals] full recomputations. *)
+
+let exhaustive_compiled ?obs ~kernel () =
+  let candidates = Compiled.candidates kernel in
+  if List.exists (fun (_, options) -> options = []) candidates then
+    invalid_arg "Dse.Explore.exhaustive: a group has no candidate PE";
+  (match space_size candidates with
+  | Some n when n <= 1_000_000 -> ()
+  | Some _ | None -> invalid_arg "Dse.Explore.exhaustive: space too large");
+  let t = tracker ?obs unused_eval [] in
+  let m_delta = Obs.Metrics.counter (scope_metrics obs) "dse.delta_evals" in
+  let st = Compiled.fresh_state kernel in
+  let n = Compiled.n_groups kernel in
+  (* Depth-first over the lattice: entering a level overwrites exactly
+     one group, so each inner assignment is an incremental update in the
+     reference's enumeration order. *)
+  let rec enumerate g =
+    if g = n then begin
+      Obs.Metrics.inc m_delta;
+      ignore
+        (record t (Compiled.current_cost st) (fun () -> Compiled.assignment st))
+    end
+    else
+      Array.iter
+        (fun pe ->
+          Compiled.assign st ~group:g ~pe;
+          enumerate (g + 1))
+        (Compiled.options kernel g)
+  in
+  enumerate 0;
+  finish t
+
+let random_search_compiled ?obs ~seed ~iterations ~kernel () =
+  let candidates = Compiled.candidates kernel in
+  if List.exists (fun (_, options) -> options = []) candidates then
+    invalid_arg "Dse.Explore.random_search: a group has no candidate PE";
+  let rng = Rng.create seed in
+  let t = tracker ?obs unused_eval [] in
+  let m_full = Obs.Metrics.counter (scope_metrics obs) "dse.full_evals" in
+  let st = Compiled.fresh_state kernel in
+  for _ = 1 to iterations do
+    let a = random_assignment rng candidates in
+    Compiled.load_assignment st a;
+    Obs.Metrics.inc m_full;
+    ignore (record t (Compiled.current_cost st) (fun () -> a))
   done;
+  finish t
+
+let greedy_compiled ?obs ~kernel ~init () =
+  let t = tracker ?obs unused_eval init in
+  let metrics = scope_metrics obs in
+  let m_delta = Obs.Metrics.counter metrics "dse.delta_evals" in
+  let m_full = Obs.Metrics.counter metrics "dse.full_evals" in
+  let st = Compiled.state_of kernel init in
+  let n = Compiled.n_groups kernel in
+  Obs.Metrics.inc m_full;
+  let init_cost = record t (Compiled.current_cost st) (fun () -> init) in
+  let rec descend current_cost =
+    (* Score every neighbour (single-group moves in [moves] order) and
+       keep the first strict improvement minimum, exactly like the
+       reference's fold over [moves candidates current]. *)
+    let best_group = ref (-1) and best_pe = ref (-1) and best_c = ref nan in
+    for g = 0 to n - 1 do
+      let cur = Compiled.pe_of st g in
+      Array.iter
+        (fun pe ->
+          if pe <> cur then begin
+            Obs.Metrics.inc m_delta;
+            let c =
+              record t
+                (Compiled.delta_cost st ~group:g ~pe)
+                (fun () -> Compiled.proposal_assignment st)
+            in
+            if
+              (!best_group < 0 && c < current_cost)
+              || (!best_group >= 0 && c < !best_c)
+            then begin
+              best_group := g;
+              best_pe := pe;
+              best_c := c
+            end
+          end)
+        (Compiled.options kernel g)
+    done;
+    if !best_group >= 0 then begin
+      Compiled.assign st ~group:!best_group ~pe:!best_pe;
+      descend !best_c
+    end
+  in
+  descend init_cost;
+  finish t
+
+let simulated_annealing_compiled ?obs ~seed ~iterations
+    ?(initial_temperature = 1.0) ?(cooling = 0.995) ~kernel ~init () =
+  let candidates = Compiled.candidates kernel in
+  if List.exists (fun (_, options) -> options = []) candidates then
+    invalid_arg "Dse.Explore.simulated_annealing: a group has no candidate PE";
+  let rng = Rng.create seed in
+  let t = tracker ?obs unused_eval init in
+  let metrics = scope_metrics obs in
+  let m_accepted = Obs.Metrics.counter metrics "dse.moves_accepted" in
+  let m_rejected = Obs.Metrics.counter metrics "dse.moves_rejected" in
+  let m_delta = Obs.Metrics.counter metrics "dse.delta_evals" in
+  let m_full = Obs.Metrics.counter metrics "dse.full_evals" in
+  let st = Compiled.state_of kernel init in
+  (* Same prefilter as the reference — group ids whose option list has
+     more than one entry, in candidates order, indexed by the same
+     [Rng.int] draw [Rng.pick] would make on the list. *)
+  let movable =
+    Array.init (Compiled.n_groups kernel) Fun.id |> Array.to_list
+    |> List.filter (fun g -> Array.length (Compiled.options kernel g) > 1)
+    |> Array.of_list
+  in
+  Obs.Metrics.inc m_full;
+  let current_cost = ref (record t (Compiled.current_cost st) (fun () -> init)) in
+  let temperature = ref (initial_temperature *. max 1.0 !current_cost /. 10.0) in
+  if Array.length movable > 0 then
+    for _ = 1 to iterations do
+      let group = movable.(Rng.int rng (Array.length movable)) in
+      let options = Compiled.options kernel group in
+      let pe = options.(Rng.int rng (Array.length options)) in
+      Obs.Metrics.inc m_delta;
+      let cost =
+        record t
+          (Compiled.delta_cost st ~group ~pe)
+          (fun () -> Compiled.proposal_assignment st)
+      in
+      let accept =
+        cost < !current_cost
+        || Rng.float rng < exp ((!current_cost -. cost) /. max 1e-9 !temperature)
+      in
+      if accept then begin
+        Obs.Metrics.inc m_accepted;
+        Compiled.commit st;
+        current_cost := cost
+      end
+      else begin
+        Obs.Metrics.inc m_rejected;
+        Compiled.revert st
+      end;
+      temperature := !temperature *. cooling
+    done;
   finish t
 
 let apply builder assignment =

@@ -9,7 +9,17 @@
     counts [dse.evaluations], [dse.best_updates] and (for annealing)
     [dse.moves_accepted]/[dse.moves_rejected]; the tracer receives the
     best-cost trajectory as counter samples on the ["dse"] track, with
-    the evaluation index as the time axis. *)
+    the evaluation index as the time axis.
+
+    Each algorithm also exists in a [_compiled] variant that scores
+    points through a pre-compiled {!Compiled.t} kernel instead of the
+    closure [eval].  The compiled variants return {e bit-identical}
+    results (same [best], [best_cost], [evaluations], [history]) — the
+    kernel preserves the reference's float summation order, RNG draws
+    and list materialization — and additionally count
+    [dse.delta_evals] (incremental move evaluations) and
+    [dse.full_evals] (full recomputations) so traces show how much work
+    the kernel avoids. *)
 
 type result = {
   best : Cost.assignment;
@@ -43,6 +53,14 @@ val random_search :
   unit ->
   result
 
+val moves :
+  (string * string list) list -> Cost.assignment -> Cost.assignment list
+(** All single-group reassignments of [assignment], enumerated in
+    candidates order, then in each group's option order, skipping the
+    group's current PE.  The enumeration order is part of {!greedy}'s
+    tie-break contract (first minimum wins), which the compiled path
+    reproduces — pinned by unit tests. *)
+
 val greedy :
   ?obs:Obs.Scope.t ->
   eval:(Cost.assignment -> float) ->
@@ -64,7 +82,46 @@ val simulated_annealing :
   unit ->
   result
 (** Defaults: temperature 1.0 (scaled by the initial cost), geometric
-    cooling 0.995 per iteration. *)
+    cooling 0.995 per iteration.  Moves are sampled from the {e movable}
+    groups only (those with more than one candidate PE), so no iteration
+    is wasted proposing a no-op on a fixed group; when every group is
+    fixed the walk is skipped entirely and the result is just the
+    scored [init]. *)
+
+(** {2 Compiled-kernel variants}
+
+    Same algorithms, scored through {!Compiled}.  Results are
+    bit-identical to the closure-eval versions run with
+    [eval = Cost.cost ~alpha ~beta ~profile ~platform] for the kernel's
+    spec and the same candidates/seed/init. *)
+
+val exhaustive_compiled :
+  ?obs:Obs.Scope.t -> kernel:Compiled.t -> unit -> result
+(** Walks the lattice depth-first with one incremental single-group
+    update per enumeration step.  Same guards as {!exhaustive}. *)
+
+val random_search_compiled :
+  ?obs:Obs.Scope.t -> seed:int -> iterations:int -> kernel:Compiled.t ->
+  unit -> result
+
+val greedy_compiled :
+  ?obs:Obs.Scope.t -> kernel:Compiled.t -> init:Cost.assignment -> unit ->
+  result
+(** Steepest descent with O(degree) delta evaluation per neighbour. *)
+
+val simulated_annealing_compiled :
+  ?obs:Obs.Scope.t ->
+  seed:int ->
+  iterations:int ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  kernel:Compiled.t ->
+  init:Cost.assignment ->
+  unit ->
+  result
+(** Annealing with delta evaluation and commit/revert instead of
+    rebuilding proposal lists; consumes exactly the reference's RNG
+    draw sequence. *)
 
 val apply :
   Tut_profile.Builder.t -> Cost.assignment -> Tut_profile.Builder.t

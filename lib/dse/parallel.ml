@@ -163,6 +163,29 @@ let exhaustive ?obs ?(jobs = 1) ~eval ~candidates () =
   in
   run ~jobs ~obs tasks
 
+let exhaustive_compiled ?obs ?(jobs = 1) ~spec ~candidates () =
+  if List.exists (fun (_, options) -> options = []) candidates then
+    invalid_arg "Dse.Parallel.exhaustive: a group has no candidate PE";
+  (match Explore.space_size candidates with
+  | Some n when n <= 1_000_000 -> ()
+  | Some _ | None -> invalid_arg "Dse.Parallel.exhaustive: space too large");
+  let jobs = resolve_jobs jobs in
+  let prefixes, rest =
+    chunk_prefixes ~target:(if jobs <= 1 then 1 else jobs * 4) candidates
+  in
+  (* The kernel is compiled inside the task body, i.e. on the worker
+     domain that runs the block: kernels and their mutable states never
+     cross domains. *)
+  let tasks =
+    List.map
+      (fun prefix scope ->
+        let fixed = List.map (fun (group, pe) -> (group, [ pe ])) prefix in
+        let kernel = Compiled.compile spec ~candidates:(fixed @ rest) in
+        Explore.exhaustive_compiled ~obs:scope ~kernel ())
+      prefixes
+  in
+  run ~jobs ~obs tasks
+
 (* -- random search ------------------------------------------------------ *)
 
 (* Iterations split as evenly as possible, the remainder going to the
@@ -181,6 +204,22 @@ let random_search ?obs ?(jobs = 1) ?(streams = 16) ~seed ~iterations ~eval
           ~seed:(Rng.split_seed ~seed ~stream:k)
           ~iterations:(share ~total:iterations ~parts:streams k)
           ~eval ~candidates ())
+  in
+  run ~jobs ~obs tasks
+
+let random_search_compiled ?obs ?(jobs = 1) ?(streams = 16) ~seed ~iterations
+    ~spec ~candidates () =
+  if List.exists (fun (_, options) -> options = []) candidates then
+    invalid_arg "Dse.Parallel.random_search: a group has no candidate PE";
+  if streams < 1 then invalid_arg "Dse.Parallel.random_search: streams < 1";
+  let jobs = resolve_jobs jobs in
+  let tasks =
+    List.init streams (fun k scope ->
+        let kernel = Compiled.compile spec ~candidates in
+        Explore.random_search_compiled ~obs:scope
+          ~seed:(Rng.split_seed ~seed ~stream:k)
+          ~iterations:(share ~total:iterations ~parts:streams k)
+          ~kernel ())
   in
   run ~jobs ~obs tasks
 
@@ -208,5 +247,26 @@ let simulated_annealing ?obs ?(jobs = 1) ?(restarts = 8) ~seed ~iterations
           ~seed:(Rng.split_seed ~seed ~stream:(2 * k))
           ~iterations:(share ~total:iterations ~parts:restarts k)
           ?initial_temperature ?cooling ~eval ~candidates ~init ())
+  in
+  run ~jobs ~obs tasks
+
+let simulated_annealing_compiled ?obs ?(jobs = 1) ?(restarts = 8) ~seed
+    ~iterations ?initial_temperature ?cooling ~spec ~candidates ~init () =
+  if List.exists (fun (_, options) -> options = []) candidates then
+    invalid_arg "Dse.Parallel.simulated_annealing: a group has no candidate PE";
+  if restarts < 1 then
+    invalid_arg "Dse.Parallel.simulated_annealing: restarts < 1";
+  let jobs = resolve_jobs jobs in
+  let tasks =
+    List.init restarts (fun k scope ->
+        let init =
+          if k = 0 then init
+          else random_assignment (Rng.split ~seed ~stream:((2 * k) + 1)) candidates
+        in
+        let kernel = Compiled.compile spec ~candidates in
+        Explore.simulated_annealing_compiled ~obs:scope
+          ~seed:(Rng.split_seed ~seed ~stream:(2 * k))
+          ~iterations:(share ~total:iterations ~parts:restarts k)
+          ?initial_temperature ?cooling ~kernel ~init ())
   in
   run ~jobs ~obs tasks

@@ -64,3 +64,46 @@ val simulated_annealing :
     iteration budget; chain 0 starts from [init], the others from
     deterministic random assignments, each chain on its own seed
     stream. *)
+
+(** {2 Compiled-kernel variants}
+
+    Same decomposition, merge and guards as their closure-eval
+    counterparts above, but each task compiles a {!Compiled.t} from
+    [spec] {e inside the task body} — i.e. on the worker domain that
+    runs it — so neither kernels nor their mutable evaluation states
+    ever cross domains.  Results are bit-identical to the corresponding
+    closure-eval driver run with [eval = Cost.cost] over the spec, for
+    every [jobs] value. *)
+
+val exhaustive_compiled :
+  ?obs:Obs.Scope.t ->
+  ?jobs:int ->
+  spec:Compiled.spec ->
+  candidates:(string * string list) list ->
+  unit ->
+  Explore.result
+
+val random_search_compiled :
+  ?obs:Obs.Scope.t ->
+  ?jobs:int ->
+  ?streams:int ->
+  seed:int ->
+  iterations:int ->
+  spec:Compiled.spec ->
+  candidates:(string * string list) list ->
+  unit ->
+  Explore.result
+
+val simulated_annealing_compiled :
+  ?obs:Obs.Scope.t ->
+  ?jobs:int ->
+  ?restarts:int ->
+  seed:int ->
+  iterations:int ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  spec:Compiled.spec ->
+  candidates:(string * string list) list ->
+  init:Cost.assignment ->
+  unit ->
+  Explore.result

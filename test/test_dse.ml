@@ -138,6 +138,23 @@ let test_cost_faster_pe_attracts () =
     (Dse.Cost.cost ~profile:profile_data ~platform:fast_platform on_fast
     < Dse.Cost.cost ~profile:profile_data ~platform:fast_platform on_slow)
 
+let test_cost_unknown_pe_raises () =
+  (* Unknown PEs used to be silently priced at speed 1.0. *)
+  Alcotest.check_raises "unknown PE"
+    (Invalid_argument "Dse.Cost.cost: unknown PE cpuX") (fun () ->
+      ignore (cost [ ("g1", "cpu1"); ("g2", "cpuX"); ("g3", "cpu1") ]))
+
+let test_unreachable_hops_constant () =
+  check int_t "named constant" 1_000 Dse.Cost.unreachable_hops;
+  (* of_view prices PEs with no segment attachment at the constant. *)
+  let platform =
+    Dse.Cost.of_view
+      (Tut_profile.Builder.view
+         (Tutmac.Scenario.build_model Tutmac.Scenario.default))
+  in
+  check int_t "detached PE is unreachable" Dse.Cost.unreachable_hops
+    (platform.Dse.Cost.hop_distance "processor1" "ghost")
+
 (* -- view-derived constraints --------------------------------------------- *)
 
 let tutmac_view () =
@@ -221,6 +238,84 @@ let test_sa_deterministic_and_good () =
     (a.Dse.Explore.best = b.Dse.Explore.best
     && a.Dse.Explore.best_cost = b.Dse.Explore.best_cost);
   check float_t "reaches optimum" 21.0 a.Dse.Explore.best_cost
+
+(* Neighbour enumeration order is part of greedy's tie-break contract
+   (first minimum wins) and must be reproduced by the compiled kernel —
+   pin it exactly. *)
+let test_moves_enumeration_order () =
+  let candidates = [ ("g1", [ "a"; "b" ]); ("g2", [ "a"; "b"; "c" ]) ] in
+  let assignment = [ ("g1", "a"); ("g2", "b") ] in
+  check
+    (Alcotest.list
+       (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string)))
+    "groups in candidates order, options in option order, current skipped"
+    [
+      [ ("g1", "b"); ("g2", "b") ];
+      [ ("g1", "a"); ("g2", "a") ];
+      [ ("g1", "a"); ("g2", "c") ];
+    ]
+    (Dse.Explore.moves candidates assignment)
+
+let test_greedy_tie_break_first_move_wins () =
+  (* Two identical groups on two identical PEs: moving either group off
+     the shared PE halves the makespan to the same cost (10.0).  The
+     fold must keep the first minimum in [moves] order, i.e. move g1. *)
+  let profile =
+    {
+      Dse.Cost.group_cycles = [ ("g1", 1000L); ("g2", 1000L) ];
+      Dse.Cost.comm = [];
+    }
+  in
+  let eval = Dse.Cost.cost ~profile ~platform:flat_platform in
+  let candidates = [ ("g1", [ "cpu1"; "cpu2" ]); ("g2", [ "cpu1"; "cpu2" ]) ] in
+  let init = [ ("g1", "cpu1"); ("g2", "cpu1") ] in
+  let result = Dse.Explore.greedy ~eval ~candidates ~init () in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "first tied improvement wins"
+    [ ("g1", "cpu2"); ("g2", "cpu1") ]
+    result.Dse.Explore.best;
+  (* init (1 eval) + round 1 (2 neighbours, improves) + round 2 (2
+     neighbours, no improvement) = 5 evaluations, improvements at 1, 2. *)
+  check int_t "deterministic evaluation count" 5 result.Dse.Explore.evaluations;
+  check
+    (Alcotest.list (Alcotest.pair int_t float_t))
+    "history pins the descent" [ (1, 20.0); (2, 10.0) ]
+    result.Dse.Explore.history;
+  (* And the compiled path replays the same tie-break. *)
+  let kernel =
+    Dse.Compiled.compile
+      (Dse.Compiled.spec ~profile ~platform:flat_platform ())
+      ~candidates
+  in
+  let compiled = Dse.Explore.greedy_compiled ~kernel ~init () in
+  check bool_t "compiled greedy identical" true
+    (compiled.Dse.Explore.best = result.Dse.Explore.best
+    && compiled.Dse.Explore.best_cost = result.Dse.Explore.best_cost
+    && compiled.Dse.Explore.history = result.Dse.Explore.history)
+
+let test_sa_prefilters_movable_groups () =
+  (* g1 is fixed (single candidate); every iteration must still propose
+     a real move on g2 instead of burning the draw on g1. *)
+  let candidates = [ ("g1", [ "cpu1" ]); ("g2", [ "cpu1"; "cpu2" ]) ] in
+  let init = [ ("g1", "cpu1"); ("g2", "cpu2") ] in
+  let result =
+    Dse.Explore.simulated_annealing ~seed:11 ~iterations:50 ~eval:cost
+      ~candidates ~init ()
+  in
+  check int_t "init + one proposal per iteration" 51
+    result.Dse.Explore.evaluations;
+  (* All groups fixed: nothing to anneal, only the init is scored. *)
+  let frozen =
+    Dse.Explore.simulated_annealing ~seed:11 ~iterations:50 ~eval:cost
+      ~candidates:[ ("g1", [ "cpu1" ]); ("g2", [ "cpu2" ]) ]
+      ~init:[ ("g1", "cpu1"); ("g2", "cpu2") ]
+      ()
+  in
+  check int_t "all-fixed lattice degenerates to the init" 1
+    frozen.Dse.Explore.evaluations;
+  check bool_t "init is the result" true
+    (frozen.Dse.Explore.best = [ ("g1", "cpu1"); ("g2", "cpu2") ])
 
 let test_history_monotone () =
   let result =
@@ -329,6 +424,10 @@ let () =
           Alcotest.test_case "colocated" `Quick test_cost_colocated_no_comm;
           Alcotest.test_case "split adds comm" `Quick test_cost_split_adds_comm;
           Alcotest.test_case "faster pe" `Quick test_cost_faster_pe_attracts;
+          Alcotest.test_case "unknown pe raises" `Quick
+            test_cost_unknown_pe_raises;
+          Alcotest.test_case "unreachable hops constant" `Quick
+            test_unreachable_hops_constant;
           Alcotest.test_case "of_view platform" `Quick test_of_view_platform;
           Alcotest.test_case "candidates" `Quick test_candidates_respect_hw;
           Alcotest.test_case "feasibility" `Quick test_current_assignment_and_feasible;
@@ -339,6 +438,12 @@ let () =
           Alcotest.test_case "greedy improves" `Quick test_greedy_improves;
           Alcotest.test_case "random bounded" `Quick test_random_search_bounded;
           Alcotest.test_case "sa deterministic" `Quick test_sa_deterministic_and_good;
+          Alcotest.test_case "moves enumeration order" `Quick
+            test_moves_enumeration_order;
+          Alcotest.test_case "greedy tie-break" `Quick
+            test_greedy_tie_break_first_move_wins;
+          Alcotest.test_case "sa movable prefilter" `Quick
+            test_sa_prefilters_movable_groups;
           Alcotest.test_case "history monotone" `Quick test_history_monotone;
           Alcotest.test_case "guards" `Quick test_exhaustive_guards;
           Alcotest.test_case "space_size overflow" `Quick test_space_size_overflow;
