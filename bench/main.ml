@@ -658,6 +658,170 @@ let staged_tests () =
                 ())));
   ]
 
+(* ---- fault-injection overhead ----------------------------------------- *)
+
+(* Written to BENCH_fault.json; run alone with TUTBENCH_ONLY=fault.
+
+   Gated: the fault machinery must be free when no plan is given.  An
+   empty plan compiles down to [faults = None] guards on the hot paths,
+   so two interleaved populations of empty-plan runs must agree within
+   2% — the gate trips if an "empty" plan ever starts arming the ARQ /
+   framing / watchdog path (whose real cost shows up in the armed and
+   faulty numbers below, reported but not gated). *)
+let bench_fault () =
+  (* A 100 ms horizon finishes in ~1 ms of wall time — far too little to
+     resolve a 2% gap; 2 simulated seconds per run keeps the whole
+     section under ~2 s while pushing scheduler noise below the gate. *)
+  let fault_ms =
+    match Sys.getenv_opt "TUTBENCH_FAULT_MS" with
+    | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> 2000)
+    | None -> 2000
+  in
+  let horizon =
+    {
+      Tutmac.Scenario.default with
+      Tutmac.Scenario.duration_ns =
+        Int64.mul (Int64.of_int fault_ms) 1_000_000L;
+    }
+  in
+  section (Printf.sprintf "Fault injection overhead (%d ms horizon)" fault_ms);
+  let reps = 10 in
+  let time f =
+    (* Start every timed run from the same heap state: a retained trace
+       from the previous run raises minor-collection pressure for
+       whoever runs second in a pair. *)
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    Unix.gettimeofday () -. t0
+  in
+  let median samples =
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let lossy_plan =
+    {
+      Fault.Plan.specs =
+        [
+          Fault.Plan.Hibi_drop
+            { segment = "*"; rate = 0.1; window = Fault.Plan.always };
+          Fault.Plan.Hibi_corrupt
+            {
+              segment = "*";
+              rate = 0.05;
+              max_flips = 3;
+              window = Fault.Plan.always;
+            };
+        ];
+      recovery =
+        {
+          Fault.Plan.default_recovery with
+          Fault.Plan.ack_timeout_ns = 300_000L;
+        };
+    }
+  in
+  (* Armed but quiet: the injector is active (ARQ framing, CRC checks and
+     the watchdog all run) yet the specs' windows start beyond the
+     horizon, so no fault ever fires. *)
+  let beyond =
+    { Fault.Plan.from_ns = 1_000_000_000_000L; until_ns = None }
+  in
+  let quiet_plan =
+    {
+      lossy_plan with
+      Fault.Plan.specs =
+        [
+          Fault.Plan.Hibi_drop { segment = "*"; rate = 0.1; window = beyond };
+        ];
+    }
+  in
+  let with_plan plan seed =
+    { horizon with Tutmac.Scenario.faults = plan; fault_seed = seed }
+  in
+  ignore (run_scenario horizon);
+  (* warm-up *)
+  (* Back-to-back pairs, alternating order, min-of-3 per side: each pair
+     shares its thermal and scheduler state, so the per-pair ratio
+     isolates the code-path difference from machine drift, and the
+     min-of-3 discards preemption spikes. *)
+  let min3 f = min (f ()) (min (f ()) (f ())) in
+  let measure_empty_overhead () =
+    let base = ref [] and empty = ref [] and ratios = ref [] in
+    for i = 1 to reps do
+      let run_base () =
+        min3 (fun () -> time (fun () -> run_scenario horizon))
+      in
+      let run_empty () =
+        min3 (fun () ->
+            time (fun () -> run_scenario (with_plan Fault.Plan.empty 42)))
+      in
+      let b, e =
+        if i mod 2 = 0 then
+          let b = run_base () in
+          (b, run_empty ())
+        else
+          let e = run_empty () in
+          (run_base (), e)
+      in
+      base := b :: !base;
+      empty := e :: !empty;
+      ratios := (e /. b) :: !ratios
+    done;
+    (median !base, median !empty, (median !ratios -. 1.0) *. 100.0)
+  in
+  let base_s, empty_s, overhead_pct =
+    let ((_, _, o1) as first) = measure_empty_overhead () in
+    if o1 <= 2.0 then first
+    else begin
+      (* An identical code path can still lose a coin-flip to scheduler
+         noise; a genuine regression reproduces, noise does not. *)
+      Printf.printf
+        "  first pass measured %+.2f %%, re-measuring to rule out noise\n" o1;
+      let ((_, _, o2) as second) = measure_empty_overhead () in
+      if o2 < o1 then second else first
+    end
+  in
+  let armed =
+    List.init reps (fun _ -> time (fun () -> run_scenario (with_plan quiet_plan 42)))
+  in
+  let faulty =
+    List.init reps (fun _ -> time (fun () -> run_scenario (with_plan lossy_plan 42)))
+  in
+  let armed_s = median armed and faulty_s = median faulty in
+  let armed_pct = (armed_s -. base_s) /. base_s *. 100.0 in
+  let faulty_pct = (faulty_s -. base_s) /. base_s *. 100.0 in
+  Printf.printf "  %-28s %10.4f s\n" "baseline (no faults field)" base_s;
+  Printf.printf "  %-28s %10.4f s %+7.2f %%\n" "empty plan" empty_s overhead_pct;
+  Printf.printf "  %-28s %10.4f s %+7.2f %%\n" "armed, nothing fires" armed_s
+    armed_pct;
+  Printf.printf "  %-28s %10.4f s %+7.2f %%\n" "lossy plan (drop+corrupt)"
+    faulty_s faulty_pct;
+  let oc = open_out "BENCH_fault.json" in
+  output_string oc
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("reps", Obs.Json.Int reps);
+            ("baseline_seconds", Obs.Json.Float base_s);
+            ("empty_plan_seconds", Obs.Json.Float empty_s);
+            ("empty_plan_overhead_pct", Obs.Json.Float overhead_pct);
+            ("armed_quiet_seconds", Obs.Json.Float armed_s);
+            ("armed_quiet_overhead_pct", Obs.Json.Float armed_pct);
+            ("lossy_seconds", Obs.Json.Float faulty_s);
+            ("lossy_overhead_pct", Obs.Json.Float faulty_pct);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  fault benchmark written to BENCH_fault.json\n";
+  if overhead_pct > 2.0 then begin
+    Printf.printf
+      "  FAIL: an empty fault plan costs %.2f%% over the baseline (limit 2%%)\n"
+      overhead_pct;
+    exit 1
+  end
+
 let run_benchmarks () =
   section "Bechamel benchmarks (monotonic clock, ns/run)";
   let instances = Instance.[ monotonic_clock ] in
@@ -685,8 +849,9 @@ let () =
      compiled-not-slower guards) — the CI perf smoke mode. *)
   match Sys.getenv_opt "TUTBENCH_ONLY" with
   | Some "dse" -> bench_dse ()
+  | Some "fault" -> bench_fault ()
   | Some other ->
-    Printf.eprintf "unknown TUTBENCH_ONLY=%s (supported: dse)\n" other;
+    Printf.eprintf "unknown TUTBENCH_ONLY=%s (supported: dse, fault)\n" other;
     exit 2
   | None ->
     print_tables_1_2_3 ();
@@ -700,5 +865,6 @@ let () =
     sweep_series ();
     analysis_section ();
     bench_dse ();
+    bench_fault ();
     run_benchmarks ();
     print_newline ()

@@ -4,7 +4,7 @@
 
 open Cmdliner
 
-let config_of ~duration_ms ~arbitration ~fifo ~crc_sw =
+let config_of ~duration_ms ~arbitration ~fifo ~crc_sw ~faults ~fault_seed =
   let platform =
     {
       Tutmac.Platform_model.default_params with
@@ -21,6 +21,8 @@ let config_of ~duration_ms ~arbitration ~fifo ~crc_sw =
     Tutmac.Scenario.scheduling =
       (if fifo then Codegen.Ir.Fifo else Codegen.Ir.Priority_preemptive);
     Tutmac.Scenario.crc_on_accelerator = not crc_sw;
+    Tutmac.Scenario.faults = Option.value ~default:Fault.Plan.empty faults;
+    Tutmac.Scenario.fault_seed;
   }
 
 let duration_arg =
@@ -39,11 +41,37 @@ let crc_sw_arg =
   let doc = "Map the CRC group to a processor instead of the accelerator." in
   Arg.(value & flag & info [ "crc-software" ] ~doc)
 
+(* Parse the plan at option-parse time so malformed plans surface as
+   argument errors with their line/field diagnostics, before any
+   simulation starts. *)
+let plan_conv =
+  let parse path =
+    match Fault.Plan.of_file path with
+    | Ok plan -> Ok plan
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt _ -> Format.pp_print_string fmt "<fault plan>")
+
+let faults_arg =
+  let doc =
+    "Inject faults from this JSON plan file (see $(b,tutflow faults --list) \
+     for the injector catalog)."
+  in
+  Arg.(value & opt (some plan_conv) None & info [ "faults" ] ~docv:"FILE" ~doc)
+
+let fault_seed_arg =
+  let doc =
+    "Seed of the fault-injection schedule; the same plan and seed replay \
+     bit-identically."
+  in
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N" ~doc)
+
 let config_term =
   Term.(
-    const (fun duration_ms arbitration fifo crc_sw ->
-        config_of ~duration_ms ~arbitration ~fifo ~crc_sw)
-    $ duration_arg $ arbitration_arg $ fifo_arg $ crc_sw_arg)
+    const (fun duration_ms arbitration fifo crc_sw faults fault_seed ->
+        config_of ~duration_ms ~arbitration ~fifo ~crc_sw ~faults ~fault_seed)
+    $ duration_arg $ arbitration_arg $ fifo_arg $ crc_sw_arg $ faults_arg
+    $ fault_seed_arg)
 
 (* -- observability ----------------------------------------------------- *)
 
@@ -342,6 +370,18 @@ let simulate_cmd =
             stats.Hibi.Network.words stats.Hibi.Network.grants
             stats.Hibi.Network.max_waiting)
         (Codegen.Runtime.segment_stats result.Tutmac.Scenario.runtime);
+      (match result.Tutmac.Scenario.fault_stats with
+      | None -> ()
+      | Some fstats ->
+        List.iter
+          (fun (seg, stats) ->
+            Printf.printf
+              "  %-14s %Ld hops delivered, %Ld dropped, %Ld corrupted\n" seg
+              stats.Hibi.Network.delivered stats.Hibi.Network.dropped
+              stats.Hibi.Network.corrupted)
+          (Codegen.Runtime.segment_stats result.Tutmac.Scenario.runtime);
+        print_newline ();
+        print_string (Profiler.Report.render_fault_section fstats));
       (match Codegen.Runtime.runtime_errors result.Tutmac.Scenario.runtime with
       | [] -> ()
       | errors ->
@@ -383,6 +423,11 @@ let profile_cmd =
       1
     | Ok result ->
       print_string (Profiler.Report.render result.Tutmac.Scenario.report);
+      (match result.Tutmac.Scenario.fault_stats with
+      | None -> ()
+      | Some fstats ->
+        print_newline ();
+        print_string (Profiler.Report.render_fault_section fstats));
       if transfers then begin
         print_newline ();
         print_string
@@ -743,6 +788,64 @@ let lint_cmd =
       const run $ config_term $ model_arg $ lint_format_arg $ max_severity_arg
       $ lint_list_arg $ chrome_trace_arg $ metrics_out_arg)
 
+(* -- faults ----------------------------------------------------------- *)
+
+let faults_cmd =
+  let list_arg =
+    let doc = "List the available fault injectors and their fields." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let plan_file_arg =
+    let doc = "Validate this fault-plan file and print a summary." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PLAN" ~doc)
+  in
+  let run list plan_file =
+    match list, plan_file with
+    | false, None ->
+      prerr_endline "faults: nothing to do (pass --list or a plan file)";
+      2
+    | _ ->
+      if list then begin
+        Printf.printf "Available fault injectors:\n";
+        List.iter
+          (fun (kind, descr) -> Printf.printf "  %-13s %s\n" kind descr)
+          Fault.Plan.catalog;
+        Printf.printf
+          "\nA plan is JSON: {\"faults\": [{\"kind\": ..., ...}, ...], \
+           \"recovery\": {\"ack_timeout_ns\", \"max_retries\", \
+           \"watchdog_period_ns\", \"remap\"}}.\n\
+           Targets accept \"*\"; omit until_ns (or use -1) for an unbounded \
+           window.\n"
+      end;
+      (match plan_file with
+      | None -> 0
+      | Some path -> (
+        match Fault.Plan.of_file path with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok plan ->
+          if list then print_newline ();
+          Printf.printf "%s: valid plan, %d fault spec(s)\n" path
+            (List.length plan.Fault.Plan.specs);
+          List.iter
+            (fun spec -> Printf.printf "  %s\n" (Fault.Plan.spec_kind spec))
+            plan.Fault.Plan.specs;
+          let r = plan.Fault.Plan.recovery in
+          Printf.printf
+            "  recovery: ack_timeout %Ld ns, %d retries, watchdog %Ld ns, \
+             remap %b\n"
+            r.Fault.Plan.ack_timeout_ns r.Fault.Plan.max_retries
+            r.Fault.Plan.watchdog_period_ns r.Fault.Plan.remap;
+          0))
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Describe the fault-injection subsystem: list injectors, validate \
+          plan files")
+    Term.(const run $ list_arg $ plan_file_arg)
+
 (* -- rules ------------------------------------------------------------ *)
 
 let rules_cmd =
@@ -780,6 +883,7 @@ let main_cmd =
       analyze_cmd;
       regroup_cmd;
       lint_cmd;
+      faults_cmd;
       rules_cmd;
     ]
 

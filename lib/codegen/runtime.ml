@@ -22,6 +22,37 @@ type proc_rt = {
   m_discards : Obs.Metrics.counter;
 }
 
+(* One in-flight ARQ exchange: a CRC-framed inter-PE message with a
+   retransmission timer.  The "ack" is implicit and instant — when the
+   receiver's CRC check passes, the sender's timer is cancelled — a
+   stop-and-wait ARQ with a free reverse channel. *)
+type arq_entry = {
+  a_id : int;
+  a_payload : string;  (** original payload, for residual detection *)
+  a_frame : string;  (** payload + CRC-32 trailer as sent *)
+  a_words : int;  (** payload words + one trailer word *)
+  a_sender : string;
+  a_receiver : string;
+  a_signal : string;
+  mutable a_attempts : int;  (** retransmissions so far *)
+  mutable a_timer : Sim.Engine.handle option;
+  mutable a_done : bool;  (** delivered intact at least once *)
+  a_deliver : unit -> unit;
+}
+
+type fault_rt = {
+  injector : Fault.Injector.t;
+  fstats : Fault.Stats.t;
+  recovery : Fault.Plan.recovery;
+  pe_override : (string, string) Hashtbl.t;
+      (** process -> PE it was re-mapped onto after a crash *)
+  mutable undetected_crashes : (string * int64) list;
+      (** crashed PEs the watchdog has not noticed yet, with crash time *)
+  mutable next_msg_id : int;
+  mutable remap_hook :
+    (dead_pe:string -> survivors:string list -> (string * string) list) option;
+}
+
 type t = {
   sys : Ir.system;
   engine : Sim.Engine.t;
@@ -30,6 +61,7 @@ type t = {
   rtos : (string, Sim.Rtos.t) Hashtbl.t;  (** PE name -> scheduler *)
   env_rtos : Sim.Rtos.t;
   procs : (string, proc_rt) Hashtbl.t;
+  faults : fault_rt option;
   mutable errors : string list;
   tracer : Obs.Tracer.t;
   obs_on : bool;
@@ -50,8 +82,21 @@ let trace t = t.trace
 let system t = t.sys
 let runtime_errors t = List.rev t.errors
 
-let rtos_of t (proc : proc_rt) =
+(* The PE a process currently runs on: its mapped PE unless degradation
+   re-mapping moved it after a crash. *)
+let effective_pe t (proc : proc_rt) =
   match proc.decl.Ir.pe with
+  | None -> None
+  | Some pe -> (
+    match t.faults with
+    | None -> Some pe
+    | Some f -> (
+      match Hashtbl.find_opt f.pe_override proc.decl.Ir.proc_name with
+      | Some moved -> Some moved
+      | None -> Some pe))
+
+let rtos_of t (proc : proc_rt) =
+  match effective_pe t proc with
   | None -> t.env_rtos
   | Some pe -> (
     match Hashtbl.find_opt t.rtos pe with
@@ -59,6 +104,11 @@ let rtos_of t (proc : proc_rt) =
     | None -> t.env_rtos)
 
 let is_env (proc : proc_rt) = proc.decl.Ir.pe = None
+
+let record_fault t ~kind ~target ~info =
+  Sim.Trace.record t.trace
+    (Sim.Trace.Fault
+       { time = Sim.Engine.now t.engine; kind; target; info })
 
 let record_exec t proc cycles =
   if not (is_env proc) then begin
@@ -72,8 +122,8 @@ let record_exec t proc cycles =
          })
   end
 
-let same_pe _t a b =
-  match a.decl.Ir.pe, b.decl.Ir.pe with
+let same_pe t a b =
+  match effective_pe t a, effective_pe t b with
   | Some x, Some y -> x = y
   | None, _ | _, None -> true
   (* environment delivery is local: the env agent sits conceptually next
@@ -230,22 +280,188 @@ and send t proc ~port ~signal ~args =
             dst.queue;
           pump t dst
         in
-        if same_pe t proc dst then
-          ignore (Sim.Engine.schedule t.engine ~delay:local_delivery_ns deliver)
+        if same_pe t proc dst then local_deliver t ~dst_name ~signal deliver
         else begin
-          let src_pe = Option.get proc.decl.Ir.pe in
-          let dst_pe = Option.get dst.decl.Ir.pe in
-          match
-            Hibi.Network.send t.network ~src:src_pe ~dst:dst_pe ~words
-              ~on_delivered:deliver
-          with
-          | Ok () -> ()
-          | Error e ->
-            t.errors <- Printf.sprintf "hibi: %s" e :: t.errors;
-            (* Fall back to local delivery so the simulation continues. *)
-            ignore (Sim.Engine.schedule t.engine ~delay:local_delivery_ns deliver)
+          match t.faults with
+          | Some f when Fault.Injector.active f.injector ->
+            arq_send t f ~src_proc:proc ~dst_proc:dst ~signal ~words deliver
+          | Some _ | None -> (
+            let src_pe = Option.get (effective_pe t proc) in
+            let dst_pe = Option.get (effective_pe t dst) in
+            match
+              Hibi.Network.send t.network ~src:src_pe ~dst:dst_pe ~words
+                ~on_delivered:deliver
+            with
+            | Ok () -> ()
+            | Error e ->
+              t.errors <- Printf.sprintf "hibi: %s" e :: t.errors;
+              (* Fall back to local delivery so the simulation continues. *)
+              ignore
+                (Sim.Engine.schedule t.engine ~delay:local_delivery_ns deliver))
         end)
     dests
+
+(* Local (same-PE) deliveries bypass the bus, so HIBI faults don't touch
+   them; the signal loss/duplication injectors model software faults
+   (queue overruns, double interrupts) on exactly this path. *)
+and local_deliver t ~dst_name ~signal deliver =
+  let schedule () =
+    ignore (Sim.Engine.schedule t.engine ~delay:local_delivery_ns deliver)
+  in
+  match t.faults with
+  | Some f when Fault.Injector.active f.injector -> (
+    match
+      Fault.Injector.signal_fate f.injector ~now:(Sim.Engine.now t.engine)
+        ~process:dst_name
+    with
+    | Fault.Injector.Deliver -> schedule ()
+    | Fault.Injector.Lose ->
+      record_fault t ~kind:"signal_loss" ~target:dst_name ~info:signal
+    | Fault.Injector.Duplicate ->
+      record_fault t ~kind:"signal_dup" ~target:dst_name ~info:signal;
+      schedule ();
+      schedule ())
+  | Some _ | None -> schedule ()
+
+(* Inter-PE messages under fault injection go through stop-and-wait ARQ:
+   the payload is CRC-32 framed, the receiver only accepts frames whose
+   trailer checks out, and the sender retransmits on timeout with
+   exponential backoff until [max_retries] is exhausted. *)
+and arq_send t f ~src_proc ~dst_proc ~signal ~words deliver =
+  let id = f.next_msg_id in
+  f.next_msg_id <- id + 1;
+  (* Deterministic stand-in payload: the model layer carries symbolic
+     arguments, but the integrity machinery needs real bytes to frame,
+     flip and checksum. *)
+  let payload =
+    String.init (words * 4) (fun i ->
+        Char.chr ((((id + 1) * 131) + (i * 29)) land 0xff))
+  in
+  let entry =
+    {
+      a_id = id;
+      a_payload = payload;
+      a_frame = Crc.Crc32.frame payload;
+      a_words = words + 1;
+      a_sender = src_proc.decl.Ir.proc_name;
+      a_receiver = dst_proc.decl.Ir.proc_name;
+      a_signal = signal;
+      a_attempts = 0;
+      a_timer = None;
+      a_done = false;
+      a_deliver = deliver;
+    }
+  in
+  arq_attempt t f ~src_proc ~dst_proc entry
+
+and arq_attempt t f ~src_proc ~dst_proc entry =
+  let attempt = entry.a_attempts in
+  (* PEs are looked up per attempt: a retransmission after degradation
+     re-mapping chases the receiver to its new home. *)
+  let src_pe = Option.get (effective_pe t src_proc) in
+  let dst_pe = Option.get (effective_pe t dst_proc) in
+  let on_outcome outcome = arq_receive t f entry ~attempt ~dst_pe outcome in
+  (match
+     Hibi.Network.transfer t.network ~src:src_pe ~dst:dst_pe
+       ~words:entry.a_words ~on_outcome
+   with
+  | Ok () -> ()
+  | Error e ->
+    t.errors <- Printf.sprintf "hibi: %s" e :: t.errors;
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:local_delivery_ns (fun () ->
+           on_outcome Hibi.Network.Delivered)));
+  let backoff =
+    Int64.shift_left f.recovery.Fault.Plan.ack_timeout_ns (min attempt 20)
+  in
+  entry.a_timer <-
+    Some
+      (Sim.Engine.schedule t.engine ~delay:backoff (fun () ->
+           arq_timeout t f ~src_proc ~dst_proc entry))
+
+and arq_timeout t f ~src_proc ~dst_proc entry =
+  entry.a_timer <- None;
+  if not entry.a_done then
+    if entry.a_attempts >= f.recovery.Fault.Plan.max_retries then begin
+      f.fstats.Fault.Stats.arq_giveups <- f.fstats.Fault.Stats.arq_giveups + 1;
+      record_fault t ~kind:"arq_giveup" ~target:entry.a_receiver
+        ~info:entry.a_signal
+    end
+    else begin
+      entry.a_attempts <- entry.a_attempts + 1;
+      f.fstats.Fault.Stats.retransmits <- f.fstats.Fault.Stats.retransmits + 1;
+      Sim.Trace.record t.trace
+        (Sim.Trace.Retransmit
+           {
+             time = Sim.Engine.now t.engine;
+             sender = entry.a_sender;
+             receiver = entry.a_receiver;
+             signal = entry.a_signal;
+             attempt = entry.a_attempts;
+           });
+      arq_attempt t f ~src_proc ~dst_proc entry
+    end
+
+and arq_receive t f entry ~attempt ~dst_pe outcome =
+  let dst_dead =
+    match Hashtbl.find_opt t.rtos dst_pe with
+    | Some r -> Sim.Rtos.crashed r
+    | None -> false
+  in
+  (* A crashed PE cannot receive: the frame dies at the wrapper and the
+     sender's timeout machinery takes over. *)
+  if not dst_dead then begin
+    let frame' =
+      match outcome with
+      | Hibi.Network.Delivered -> entry.a_frame
+      | Hibi.Network.Corrupted_delivery ->
+        Fault.Injector.corrupt_frame f.injector
+          ~salt:((entry.a_id lsl 6) lor (attempt land 63))
+          entry.a_frame
+    in
+    (* The integrity check runs on the receiving PE's clock, at the CRC
+       accelerator's cycle cost. *)
+    let delay =
+      match Hashtbl.find_opt t.rtos dst_pe with
+      | Some r ->
+        Sim.Rtos.cycles_to_ns r
+          (Crc.Crc32.accelerator_cycles ~bytes_len:(String.length frame'))
+      | None -> 20L
+    in
+    ignore
+      (Sim.Engine.schedule t.engine ~delay (fun () -> arq_check t f entry frame'))
+  end
+
+and arq_check t f entry frame' =
+  match Crc.Crc32.deframe frame' with
+  | None ->
+    f.fstats.Fault.Stats.crc_rejects <- f.fstats.Fault.Stats.crc_rejects + 1;
+    record_fault t ~kind:"crc_reject" ~target:entry.a_receiver
+      ~info:entry.a_signal
+  | Some payload ->
+    if entry.a_done then
+      (* A stalled or retransmitted copy of an already-accepted message:
+         suppressed by the sequence check. *)
+      f.fstats.Fault.Stats.arq_duplicates <-
+        f.fstats.Fault.Stats.arq_duplicates + 1
+    else begin
+      entry.a_done <- true;
+      (match entry.a_timer with
+      | Some h -> Sim.Engine.cancel h
+      | None -> ());
+      entry.a_timer <- None;
+      if payload <> entry.a_payload then begin
+        (* The CRC matched a corrupted frame: residual undetected error,
+           delivered wrong — the metric the profiler must not hide. *)
+        f.fstats.Fault.Stats.crc_residual <-
+          f.fstats.Fault.Stats.crc_residual + 1;
+        record_fault t ~kind:"crc_residual" ~target:entry.a_receiver
+          ~info:entry.a_signal
+      end
+      else if entry.a_attempts > 0 then
+        f.fstats.Fault.Stats.arq_acked <- f.fstats.Fault.Stats.arq_acked + 1;
+      entry.a_deliver ()
+    end
 
 and arm_timer t proc =
   (* One outstanding timer per process: firing a transition re-enters a
@@ -276,7 +492,119 @@ and arm_timer t proc =
     in
     proc.timer <- Some handle
 
-let create ?trace:(trace_store = Sim.Trace.create ()) ?obs sys =
+(* Graceful degradation: move every process of the dead PE onto the
+   surviving PEs.  The placement comes from the installed hook (the
+   scenario layer wires a DSE-backed one) with a deterministic
+   round-robin fallback; processes wedged on a job the dead PE discarded
+   are unblocked so they resume from their queues. *)
+let do_remap t f ~dead_pe =
+  let survivors =
+    Hashtbl.fold
+      (fun name r acc -> if Sim.Rtos.crashed r then acc else name :: acc)
+      t.rtos []
+    |> List.sort compare
+  in
+  if survivors <> [] then begin
+    let moved =
+      Hashtbl.fold
+        (fun name proc acc ->
+          if (not (is_env proc)) && effective_pe t proc = Some dead_pe then
+            (name, proc) :: acc
+          else acc)
+        t.procs []
+      |> List.sort compare
+    in
+    let placed =
+      match f.remap_hook with
+      | Some hook ->
+        let chosen = hook ~dead_pe ~survivors in
+        List.map
+          (fun (name, proc) ->
+            let pe =
+              match List.assoc_opt name chosen with
+              | Some pe when List.mem pe survivors -> pe
+              | Some _ | None -> List.hd survivors
+            in
+            (name, proc, pe))
+          moved
+      | None ->
+        List.mapi
+          (fun i (name, proc) ->
+            (name, proc, List.nth survivors (i mod List.length survivors)))
+          moved
+    in
+    List.iter
+      (fun (name, proc, pe) ->
+        Hashtbl.replace f.pe_override name pe;
+        f.fstats.Fault.Stats.remapped_processes <-
+          f.fstats.Fault.Stats.remapped_processes + 1;
+        record_fault t ~kind:"remap" ~target:name ~info:pe;
+        proc.busy <- false;
+        pump t proc)
+      placed
+  end
+
+let rec watchdog_tick t f =
+  let period = f.recovery.Fault.Plan.watchdog_period_ns in
+  if period > 0L then
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:period (fun () ->
+           let now = Sim.Engine.now t.engine in
+           let pending = List.sort compare f.undetected_crashes in
+           f.undetected_crashes <- [];
+           List.iter
+             (fun (pe, crashed_at) ->
+               f.fstats.Fault.Stats.watchdog_detections <-
+                 f.fstats.Fault.Stats.watchdog_detections + 1;
+               f.fstats.Fault.Stats.recovery_latencies_ns <-
+                 Int64.sub now crashed_at
+                 :: f.fstats.Fault.Stats.recovery_latencies_ns;
+               record_fault t ~kind:"watchdog_detect" ~target:pe ~info:"-";
+               if f.recovery.Fault.Plan.remap then do_remap t f ~dead_pe:pe)
+             pending;
+           watchdog_tick t f))
+
+(* Arm the plan's PE faults on the event queue (simulated time 0 is
+   "now" at [start]). *)
+let schedule_pe_faults t f =
+  List.iter
+    (fun (pe, at_ns) ->
+      match Hashtbl.find_opt t.rtos pe with
+      | None -> ()
+      | Some r ->
+        ignore
+          (Sim.Engine.schedule t.engine ~delay:at_ns (fun () ->
+               if not (Sim.Rtos.crashed r) then begin
+                 Sim.Rtos.crash r;
+                 f.fstats.Fault.Stats.pe_crashes <-
+                   f.fstats.Fault.Stats.pe_crashes + 1;
+                 f.undetected_crashes <-
+                   (pe, Sim.Engine.now t.engine) :: f.undetected_crashes;
+                 record_fault t ~kind:"pe_crash" ~target:pe ~info:"-"
+               end)))
+    (Fault.Injector.pe_crashes f.injector);
+  List.iter
+    (fun (pe, factor, from_ns, until_ns) ->
+      match Hashtbl.find_opt t.rtos pe with
+      | None -> ()
+      | Some r ->
+        ignore
+          (Sim.Engine.schedule t.engine ~delay:from_ns (fun () ->
+               if not (Sim.Rtos.crashed r) then begin
+                 Sim.Rtos.set_speed_scale r factor;
+                 f.fstats.Fault.Stats.pe_slowdowns <-
+                   f.fstats.Fault.Stats.pe_slowdowns + 1;
+                 record_fault t ~kind:"pe_slow_on" ~target:pe ~info:"-"
+               end));
+        ignore
+          (Sim.Engine.schedule t.engine ~delay:until_ns (fun () ->
+               if not (Sim.Rtos.crashed r) then begin
+                 Sim.Rtos.set_speed_scale r 1.0;
+                 record_fault t ~kind:"pe_slow_off" ~target:pe ~info:"-"
+               end)))
+    (Fault.Injector.pe_slowdowns f.injector)
+
+let create ?trace:(trace_store = Sim.Trace.create ()) ?faults ?obs sys =
   match Ir.check sys with
   | _ :: _ as problems -> Error problems
   | [] ->
@@ -321,6 +649,63 @@ let create ?trace:(trace_store = Sim.Trace.create ()) ?obs sys =
       Sim.Rtos.create ~engine ~name:"environment"
         ~policy:Sim.Rtos.Fifo ~frequency_mhz:1_000_000 ~obs ()
     in
+    let faults =
+      match faults with
+      | Some injector when Fault.Injector.active injector ->
+        Some
+          {
+            injector;
+            fstats = Fault.Injector.stats injector;
+            recovery = Fault.Injector.recovery injector;
+            pe_override = Hashtbl.create 8;
+            undetected_crashes = [];
+            next_msg_id = 0;
+            remap_hook = None;
+          }
+      | Some _ | None -> None
+    in
+    (match faults with
+    | Some f ->
+      Hibi.Network.set_fault_hook network
+        (Some
+           (fun ~segment ~words ->
+             ignore words;
+             match
+               Fault.Injector.hibi_action f.injector
+                 ~now:(Sim.Engine.now engine) ~segment
+             with
+             | Fault.Injector.Pass -> Hibi.Network.Pass
+             | Fault.Injector.Drop ->
+               Sim.Trace.record trace_store
+                 (Sim.Trace.Fault
+                    {
+                      time = Sim.Engine.now engine;
+                      kind = "hibi_drop";
+                      target = segment;
+                      info = "-";
+                    });
+               Hibi.Network.Drop
+             | Fault.Injector.Corrupt ->
+               Sim.Trace.record trace_store
+                 (Sim.Trace.Fault
+                    {
+                      time = Sim.Engine.now engine;
+                      kind = "hibi_corrupt";
+                      target = segment;
+                      info = "-";
+                    });
+               Hibi.Network.Corrupt
+             | Fault.Injector.Stall ns ->
+               Sim.Trace.record trace_store
+                 (Sim.Trace.Fault
+                    {
+                      time = Sim.Engine.now engine;
+                      kind = "hibi_stall";
+                      target = segment;
+                      info = Int64.to_string ns;
+                    });
+               Hibi.Network.Stall ns))
+    | None -> ());
     let procs = Hashtbl.create 32 in
     List.iter
       (fun (decl : Ir.proc_decl) ->
@@ -347,6 +732,7 @@ let create ?trace:(trace_store = Sim.Trace.create ()) ?obs sys =
         rtos;
         env_rtos;
         procs;
+        faults;
         errors = [];
         tracer = Obs.Scope.tracer obs;
         obs_on = Obs.Scope.live obs;
@@ -371,7 +757,12 @@ let start t =
             pump t proc)
       end
       else arm_timer t proc)
-    t.procs
+    t.procs;
+  match t.faults with
+  | Some f ->
+    schedule_pe_faults t f;
+    watchdog_tick t f
+  | None -> ()
 
 let run t ~until_ns = Sim.Engine.run ~until:until_ns t.engine
 
@@ -420,3 +811,11 @@ let segment_stats t =
     (fun (s : Ir.segment_decl) ->
       (s.Ir.seg_name, Hibi.Network.stats t.network ~segment:s.Ir.seg_name))
     t.sys.Ir.segments
+
+let fault_stats t = Option.map (fun f -> f.fstats) t.faults
+
+let set_remap_hook t hook =
+  match t.faults with None -> () | Some f -> f.remap_hook <- Some hook
+
+let process_pe t name =
+  Option.bind (Hashtbl.find_opt t.procs name) (fun p -> effective_pe t p)

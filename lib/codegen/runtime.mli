@@ -16,13 +16,27 @@
 type t
 
 val create :
-  ?trace:Sim.Trace.t -> ?obs:Obs.Scope.t -> Ir.system -> (t, string list) result
+  ?trace:Sim.Trace.t ->
+  ?faults:Fault.Injector.t ->
+  ?obs:Obs.Scope.t ->
+  Ir.system ->
+  (t, string list) result
 (** Builds PEs, the HIBI network and process instances; returns errors
     from {!Ir.check} or inconsistent wrappers.  [obs] is threaded through
     every layer (engine, schedulers, HIBI) and additionally receives
     per-process send/discard counters, the [app.exec_cycles_total]
     counter (cross-checkable against the profiling report) and one trace
-    span per handled signal on the ["proc/<name>"] lane. *)
+    span per handled signal on the ["proc/<name>"] lane.
+
+    [faults] arms the fault-injection subsystem: HIBI hops consult the
+    injector (drop / corrupt / stall), PE crash and slowdown specs are
+    scheduled at {!start}, and the fault-tolerance machinery switches
+    on — inter-PE signals travel as CRC-32-framed messages under
+    stop-and-wait ARQ (timeout, exponential backoff, [max_retries]),
+    a periodic watchdog detects crashed PEs, and detection triggers
+    degradation re-mapping when the plan's recovery says so.  An
+    inactive (empty-plan) injector is ignored entirely: behaviour,
+    traces and reports stay byte-identical to a fault-free run. *)
 
 val engine : t -> Sim.Engine.t
 val trace : t -> Sim.Trace.t
@@ -54,3 +68,23 @@ val queue_latencies : t -> (string * (int * float * int64)) list
 val runtime_errors : t -> string list
 (** Routing failures observed during execution (should stay empty for a
     validated model). *)
+
+(** Fault tolerance (active only when [create] received an active
+    injector). *)
+
+val fault_stats : t -> Fault.Stats.t option
+(** The injector's shared counter record, including the runtime-side
+    detection/recovery counts; [None] when faults are off. *)
+
+val set_remap_hook :
+  t -> (dead_pe:string -> survivors:string list -> (string * string) list) -> unit
+(** Override degradation placement: on watchdog detection of [dead_pe]
+    the hook receives the surviving PEs and returns [(process, pe)]
+    placements for the dead PE's processes.  Processes it leaves out
+    (or maps to a dead PE) fall back to the first survivor.  Without a
+    hook the runtime round-robins processes over survivors in sorted
+    order.  No-op when faults are off. *)
+
+val process_pe : t -> string -> string option
+(** The PE a process is currently mapped to (tracking degradation
+    re-mapping); [None] for unknown or environment processes. *)

@@ -46,6 +46,25 @@ let table_driven data = finish (feed (init ()) data)
 let digest = table_driven
 let verify data ~crc = Int32.equal (digest data) crc
 
+(* Framing: payload + 4-byte little-endian CRC trailer, the shape an
+   802.11-style MAC would hand to the radio.  [deframe] is the
+   receiver-side integrity check behind the runtime's ARQ. *)
+
+let frame payload =
+  let crc = digest payload in
+  let b = Bytes.create (String.length payload + 4) in
+  Bytes.blit_string payload 0 b 0 (String.length payload);
+  Bytes.set_int32_le b (String.length payload) crc;
+  Bytes.to_string b
+
+let deframe framed =
+  let n = String.length framed in
+  if n < 4 then None
+  else
+    let payload = String.sub framed 0 (n - 4) in
+    let crc = Bytes.get_int32_le (Bytes.of_string framed) (n - 4) in
+    if verify payload ~crc then Some payload else None
+
 let software_cycles ~bytes_len =
   (* Soft-core without byte-addressable CRC support: table lookup, xor,
      shift and loop bookkeeping per byte, plus call overhead. *)

@@ -30,6 +30,16 @@ val finish : state -> int32
 
 val verify : string -> crc:int32 -> bool
 
+val frame : string -> string
+(** [frame payload] appends the CRC-32 of the payload as a 4-byte
+    little-endian trailer — the framing the runtime's retransmission
+    layer puts on inter-PE messages. *)
+
+val deframe : string -> string option
+(** Strip and check the trailer: [Some payload] when the CRC matches,
+    [None] on a corrupted (or too-short) frame.  [deframe (frame p) =
+    Some p] for every [p]. *)
+
 val software_cycles : bytes_len:int -> int64
 (** Cycle cost of the software CRC on a general-purpose PE: per-byte
     table lookup plus loop overhead (about 20 cycles/byte on a soft

@@ -1,0 +1,55 @@
+(** Seeded interpreter of a {!Plan}.
+
+    Each spec in the plan owns its own splitmix-derived PRNG stream
+    (stream [i] for spec [i]), so adding or removing one spec never
+    perturbs the schedule of the others, and the whole injection
+    schedule replays bit-identically from [(plan, seed)].
+
+    Decision order is deterministic: injection points are consulted in
+    simulated-event order by a single-threaded simulation, and corrupt
+    bit positions are drawn from a rng derived from a per-frame [salt]
+    rather than a shared stream, so they cannot interleave across
+    in-flight messages. *)
+
+type t
+
+val create : plan:Plan.t -> seed:int -> t
+
+val active : t -> bool
+(** [false] iff the plan is empty — callers skip every hook, keeping
+    fault-free runs byte-identical. *)
+
+val plan : t -> Plan.t
+val recovery : t -> Plan.recovery
+val stats : t -> Stats.t
+(** Shared mutable counters; the runtime's recovery machinery writes the
+    detection/recovery side into the same record. *)
+
+(** Verdict for one message hop on a HIBI segment. *)
+type action =
+  | Pass
+  | Drop
+  | Corrupt  (** Deliver, but flip bits (see {!corrupt_frame}). *)
+  | Stall of int64  (** Deliver after this many extra nanoseconds. *)
+
+val hibi_action : t -> now:int64 -> segment:string -> action
+(** First matching spec (plan order) that fires wins.  Counts the
+    injection in {!Stats}. *)
+
+val corrupt_frame : t -> salt:int -> string -> string
+(** Flip [1 + rng salt (max max_flips over corrupt specs)] bits of the
+    frame.  The rng is derived from [salt] alone (plus the injector
+    seed), so the flipped positions are independent of evaluation
+    order; use a salt unique per (message, attempt). *)
+
+type fate = Deliver | Lose | Duplicate
+
+val signal_fate : t -> now:int64 -> process:string -> fate
+(** Verdict for one local (same-PE) signal delivery. *)
+
+val pe_crashes : t -> (string * int64) list
+(** [(pe, at_ns)] for every [Pe_crash] spec, for the runtime to
+    schedule. *)
+
+val pe_slowdowns : t -> (string * float * int64 * int64) list
+(** [(pe, factor, from_ns, until_ns)] for every [Pe_slowdown] spec. *)

@@ -1,0 +1,101 @@
+(** Declarative fault plans.
+
+    A plan is a list of {e fault specs} — what to break, where, how
+    often, inside which simulated-time window — plus the recovery
+    budgets the runtime's fault-tolerance machinery (ARQ, watchdog,
+    degradation re-mapping) runs under.  Plans are data: they parse
+    from JSON ({!of_json_string}/{!of_file}), print back
+    ({!to_json}), and are interpreted by {!Injector} against a seed so
+    that every run replays bit-identically.
+
+    Rates are per-opportunity probabilities in [0, 1]: a [rate] of 0.05
+    on a HIBI drop spec means each message hop on a matching segment is
+    dropped with probability 0.05.  Targets accept ["*"] as a wildcard.
+    Windows bound a spec to [from_ns <= now < until_ns]; [until_ns]
+    omitted (or [-1] in JSON) means "until the end of the run". *)
+
+type window = {
+  from_ns : int64;
+  until_ns : int64 option;  (** [None] = unbounded *)
+}
+
+val always : window
+
+type spec =
+  | Hibi_drop of { segment : string; rate : float; window : window }
+      (** Message vanishes on the segment: the receiving wrapper never
+          sees it (a lossy radio channel, a dropped bus grant). *)
+  | Hibi_corrupt of {
+      segment : string;
+      rate : float;
+      max_flips : int;
+      window : window;
+    }
+      (** Payload bit-flips in transit; 1..[max_flips] bits of the frame
+          are inverted.  CRC-32 framing at the runtime layer is what
+          detects these. *)
+  | Hibi_stall of {
+      segment : string;
+      rate : float;
+      max_stall_ns : int;
+      window : window;
+    }
+      (** Bounded extra forwarding latency of 1..[max_stall_ns] ns on
+          the hop (arbitration livelock, wrapper back-pressure). *)
+  | Pe_crash of { pe : string; at_ns : int64 }
+      (** Fail-stop at the given instant: the PE's scheduler executes
+          nothing from then on. *)
+  | Pe_slowdown of {
+      pe : string;
+      factor : float;
+      from_ns : int64;
+      until_ns : int64;
+    }
+      (** Transient slowdown window: job bursts dispatched inside it
+          take [factor] times as long (thermal throttling, DVFS). *)
+  | Signal_loss of { process : string; rate : float; window : window }
+      (** Local (same-PE) signal delivery silently lost. *)
+  | Signal_dup of { process : string; rate : float; window : window }
+      (** Local signal delivered twice. *)
+
+type recovery = {
+  ack_timeout_ns : int64;
+      (** First retransmission timeout; doubles per attempt. *)
+  max_retries : int;  (** Retransmission attempts before giving up. *)
+  watchdog_period_ns : int64;
+      (** Liveness-check period; [0L] disables the watchdog. *)
+  remap : bool;
+      (** Re-map a dead PE's processes onto survivors on detection. *)
+}
+
+val default_recovery : recovery
+(** 2 ms first timeout, 5 retries, 10 ms watchdog, remap on. *)
+
+type t = { specs : spec list; recovery : recovery }
+
+val empty : t
+(** No specs, default recovery.  An empty plan injects nothing and the
+    runtime keeps its exact fault-free behaviour (byte-identical traces
+    and reports). *)
+
+val is_empty : t -> bool
+
+val spec_kind : spec -> string
+(** The JSON [kind] tag, e.g. ["hibi_corrupt"]. *)
+
+val catalog : (string * string) list
+(** [(kind, description)] of every available injector, for
+    [tutflow faults --list]. *)
+
+val of_json_string : string -> (t, string) result
+(** Parse a plan document.  Syntax errors report the 1-based line and
+    column; shape errors name the offending fault index and field
+    (["faults[2] (hibi_corrupt): field \"rate\" must be a number in
+    [0,1]"]) — never a bare [Failure]. *)
+
+val of_file : string -> (t, string) result
+(** [of_json_string] over the file contents; the error is prefixed with
+    the path. *)
+
+val to_json : t -> Obs.Json.t
+(** Round-trips through {!of_json_string}. *)

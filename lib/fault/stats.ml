@@ -1,0 +1,58 @@
+type t = {
+  mutable hibi_drops : int;
+  mutable hibi_corrupts : int;
+  mutable hibi_stalls : int;
+  mutable pe_crashes : int;
+  mutable pe_slowdowns : int;
+  mutable signal_losses : int;
+  mutable signal_dups : int;
+  mutable crc_rejects : int;
+  mutable crc_residual : int;
+  mutable watchdog_detections : int;
+  mutable retransmits : int;
+  mutable arq_acked : int;
+  mutable arq_giveups : int;
+  mutable arq_duplicates : int;
+  mutable remapped_processes : int;
+  mutable recovery_latencies_ns : int64 list;
+}
+
+let create () =
+  {
+    hibi_drops = 0;
+    hibi_corrupts = 0;
+    hibi_stalls = 0;
+    pe_crashes = 0;
+    pe_slowdowns = 0;
+    signal_losses = 0;
+    signal_dups = 0;
+    crc_rejects = 0;
+    crc_residual = 0;
+    watchdog_detections = 0;
+    retransmits = 0;
+    arq_acked = 0;
+    arq_giveups = 0;
+    arq_duplicates = 0;
+    remapped_processes = 0;
+    recovery_latencies_ns = [];
+  }
+
+let injected t =
+  t.hibi_drops + t.hibi_corrupts + t.hibi_stalls + t.pe_crashes
+  + t.pe_slowdowns + t.signal_losses + t.signal_dups
+
+let detected t = t.crc_rejects + t.watchdog_detections
+let recovered t = t.arq_acked + t.remapped_processes
+
+let latency_percentiles t =
+  match t.recovery_latencies_ns with
+  | [] -> None
+  | ls ->
+    let a = Array.of_list ls in
+    Array.sort Int64.compare a;
+    let n = Array.length a in
+    let at p =
+      let i = (p * (n - 1)) / 100 in
+      a.(i)
+    in
+    Some (at 50, at 95, a.(n - 1))

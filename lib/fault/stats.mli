@@ -1,0 +1,48 @@
+(** Mutable counters for one faulted run: what was injected, what the
+    runtime detected, and what it recovered.  A single record is shared
+    by the {!Injector} (injection side) and the runtime's ARQ/watchdog
+    machinery (detection/recovery side), then rendered into the
+    profiler's fault section. *)
+
+type t = {
+  (* injected *)
+  mutable hibi_drops : int;
+  mutable hibi_corrupts : int;
+  mutable hibi_stalls : int;
+  mutable pe_crashes : int;
+  mutable pe_slowdowns : int;
+  mutable signal_losses : int;
+  mutable signal_dups : int;
+  (* detected *)
+  mutable crc_rejects : int;
+      (** Corrupted frames caught by the CRC-32 check. *)
+  mutable crc_residual : int;
+      (** Corrupted frames the CRC failed to catch (delivered wrong). *)
+  mutable watchdog_detections : int;
+  (* recovered *)
+  mutable retransmits : int;
+  mutable arq_acked : int;
+      (** Messages delivered intact after at least one retransmission —
+          the ARQ recoveries. *)
+  mutable arq_giveups : int;  (** Messages abandoned after max retries. *)
+  mutable arq_duplicates : int;
+      (** Redundant deliveries suppressed at the receiver. *)
+  mutable remapped_processes : int;
+  mutable recovery_latencies_ns : int64 list;
+      (** Crash-to-detection (watchdog) latencies, most recent first. *)
+}
+
+val create : unit -> t
+
+val injected : t -> int
+(** Total injected events across every injector. *)
+
+val detected : t -> int
+(** CRC rejects + watchdog detections. *)
+
+val recovered : t -> int
+(** ARQ-recovered messages ([arq_acked]) plus remapped processes. *)
+
+val latency_percentiles : t -> (int64 * int64 * int64) option
+(** [(p50, p95, max)] over {!recovery_latencies_ns}, or [None] when no
+    recovery latency was recorded. *)

@@ -24,6 +24,9 @@ type segment = {
   mutable words_total : int64;
   mutable grants : int64;
   mutable max_waiting : int;
+  mutable delivered : int64;  (** message hops completed intact *)
+  mutable dropped : int64;  (** message hops lost to an injected fault *)
+  mutable corrupted : int64;  (** message hops delivered with flipped bits *)
   seg_track : string;  (** tracing lane, "hibi/<name>" *)
   m_words : Obs.Metrics.counter;
   m_grants : Obs.Metrics.counter;
@@ -45,11 +48,14 @@ type wrapper = {
   w_segment : string;  (** primary segment (agents); first segment (bridges) *)
 }
 
+type fault_action = Pass | Drop | Corrupt | Stall of int64
+
 type t = {
   engine : Sim.Engine.t;
   mutable segments : segment list;
   mutable wrappers : wrapper list;
   mutable next_seq : int;
+  mutable fault_hook : (segment:string -> words:int -> fault_action) option;
   metrics : Obs.Metrics.t;  (** per-segment handles resolve here *)
   tracer : Obs.Tracer.t;
   obs_on : bool;
@@ -63,6 +69,7 @@ let create ?obs engine =
     segments = [];
     wrappers = [];
     next_seq = 0;
+    fault_hook = None;
     metrics = Obs.Scope.metrics obs;
     tracer = Obs.Scope.tracer obs;
     obs_on = Obs.Scope.live obs;
@@ -102,6 +109,9 @@ let add_segment t ~name ~data_width_bits ~frequency_mhz ~arbitration
           words_total = 0L;
           grants = 0L;
           max_waiting = 0;
+          delivered = 0L;
+          dropped = 0L;
+          corrupted = 0L;
           seg_track = "hibi/" ^ name;
           m_words = Obs.Metrics.counter t.metrics (metric "words");
           m_grants = Obs.Metrics.counter t.metrics (metric "grants");
@@ -303,14 +313,44 @@ let chunk_words segment wrapper =
   let by_time = (wrapper.w_max_time - 1) * words_per_cycle segment in
   max 1 (min segment.max_send_size (min wrapper.w_buffer_size (max 1 by_time)))
 
-let send t ~src ~dst ~words ~on_delivered =
+type outcome = Delivered | Corrupted_delivery
+
+let set_fault_hook t hook = t.fault_hook <- hook
+
+(* Consult the installed fault hook when a hop finishes moving its last
+   word, then continue (or not) accordingly.  Exactly one of the
+   delivered/dropped/corrupted counters increments per completed hop. *)
+let after_hop t segment ~words ~corrupt_flag ~continue =
+  let action =
+    match t.fault_hook with
+    | None -> Pass
+    | Some hook -> hook ~segment:segment.seg_name ~words
+  in
+  match action with
+  | Pass ->
+    segment.delivered <- Int64.add segment.delivered 1L;
+    continue ()
+  | Drop ->
+    (* The message vanishes: downstream hops never start and the
+       receiver never hears about it — only a timeout can tell. *)
+    segment.dropped <- Int64.add segment.dropped 1L
+  | Corrupt ->
+    segment.corrupted <- Int64.add segment.corrupted 1L;
+    corrupt_flag := true;
+    continue ()
+  | Stall delay ->
+    segment.delivered <- Int64.add segment.delivered 1L;
+    ignore (Sim.Engine.schedule t.engine ~delay continue)
+
+let transfer t ~src ~dst ~words ~on_outcome =
   if words <= 0 then Error "words must be positive"
   else
     match route t ~src ~dst with
     | Error _ as e -> e
     | Ok [] ->
       (* Same agent: local delivery after one cycle of the attached
-         segment (or 20 ns when unattached — kept total). *)
+         segment (or 20 ns when unattached — kept total).  No segment is
+         crossed, so HIBI faults don't apply. *)
       let delay =
         match wrapper_of_agent t src with
         | Some w -> (
@@ -319,18 +359,22 @@ let send t ~src ~dst ~words ~on_delivered =
           | None -> 20L)
         | None -> 20L
       in
-      ignore (Sim.Engine.schedule t.engine ~delay on_delivered);
+      ignore
+        (Sim.Engine.schedule t.engine ~delay (fun () -> on_outcome Delivered));
       Ok ()
     | Ok path ->
       let src_wrapper =
         match wrapper_of_agent t src with Some w -> w | None -> assert false
       in
+      (* A corrupting hop anywhere on the path taints the whole message. *)
+      let corrupt_flag = ref false in
       (* Store-and-forward: hop n+1 starts when hop n has moved all
          words.  The requesting wrapper of hop n>1 is the bridge that
          joins hop n-1 and hop n. *)
       let rec hop segments =
         match segments with
-        | [] -> on_delivered ()
+        | [] ->
+          on_outcome (if !corrupt_flag then Corrupted_delivery else Delivered)
         | seg_name :: rest -> (
           match find_segment t seg_name with
           | None -> ()
@@ -370,7 +414,10 @@ let send t ~src ~dst ~words ~on_delivered =
                   req_words = words;
                   req_chunk = chunk_words segment wrapper;
                   req_waiting_since = Sim.Engine.now t.engine;
-                  req_done = (fun () -> hop rest);
+                  req_done =
+                    (fun () ->
+                      after_hop t segment ~words ~corrupt_flag
+                        ~continue:(fun () -> hop rest));
                 }
               in
               t.next_seq <- t.next_seq + 1;
@@ -379,11 +426,17 @@ let send t ~src ~dst ~words ~on_delivered =
       hop path;
       Ok ()
 
+let send t ~src ~dst ~words ~on_delivered =
+  transfer t ~src ~dst ~words ~on_outcome:(fun _ -> on_delivered ())
+
 type segment_stats = {
   busy_ns : int64;
   words : int64;
   grants : int64;
   max_waiting : int;
+  delivered : int64;
+  dropped : int64;
+  corrupted : int64;
 }
 
 let stats t ~segment =
@@ -395,6 +448,9 @@ let stats t ~segment =
       words = s.words_total;
       grants = s.grants;
       max_waiting = s.max_waiting;
+      delivered = s.delivered;
+      dropped = s.dropped;
+      corrupted = s.corrupted;
     }
 
 let reset_stats t =
@@ -403,5 +459,8 @@ let reset_stats t =
       s.busy_ns <- 0L;
       s.words_total <- 0L;
       s.grants <- 0L;
-      s.max_waiting <- 0)
+      s.max_waiting <- 0;
+      s.delivered <- 0L;
+      s.dropped <- 0L;
+      s.corrupted <- 0L)
     t.segments

@@ -72,6 +72,42 @@ val route : t -> src:string -> dst:string -> (string list, string) result
 (** Segment path between two agents (breadth-first over the bridge
     graph); [Error] when unreachable. *)
 
+(** Fault injection (see {!Fault} for the subsystem that drives this).
+    The network stays generic: an installed hook is consulted once per
+    message-hop, when the hop's last burst completes, and decides the
+    hop's fate.  No hook means every hop passes — the fault-free
+    fast path is untouched. *)
+
+type fault_action =
+  | Pass
+  | Drop  (** hop lost; downstream hops never start *)
+  | Corrupt  (** hop delivered with flipped bits (taints the message) *)
+  | Stall of int64  (** hop delivered after this many extra ns *)
+
+val set_fault_hook :
+  t -> (segment:string -> words:int -> fault_action) option -> unit
+
+(** How a transfer ended at the destination wrapper.  Dropped messages
+    produce {e no} outcome — the receiver cannot observe a message that
+    never arrived; only sender-side timeouts can. *)
+type outcome =
+  | Delivered
+  | Corrupted_delivery
+      (** Arrived, but some hop flipped bits in transit. *)
+
+val transfer :
+  t ->
+  src:string ->
+  dst:string ->
+  words:int ->
+  on_outcome:(outcome -> unit) ->
+  (unit, string) result
+(** Start a transfer of [words] 32-bit words from agent [src] to agent
+    [dst]; [on_outcome] fires when the last word reaches [dst]'s
+    wrapper, saying whether it arrived intact.  Same-agent sends
+    deliver after one local-bus cycle and bypass the fault hook.
+    Errors when either agent is not attached or unreachable. *)
+
 val send :
   t ->
   src:string ->
@@ -79,10 +115,10 @@ val send :
   words:int ->
   on_delivered:(unit -> unit) ->
   (unit, string) result
-(** Start a transfer of [words] 32-bit words from agent [src] to agent
-    [dst]; [on_delivered] fires when the last word reaches [dst]'s
-    wrapper.  Same-agent sends deliver after one local-bus cycle.
-    Errors when either agent is not attached or unreachable. *)
+(** Legacy fire-and-forget API: {!transfer} discarding the outcome, so
+    [on_delivered] also fires for corrupted arrivals and never fires for
+    dropped ones.  Identical to {!transfer} when no fault hook is
+    installed. *)
 
 (** Observability for benches and tests. *)
 
@@ -91,7 +127,11 @@ type segment_stats = {
   words : int64;
   grants : int64;
   max_waiting : int;
+  delivered : int64;  (** message hops completed intact on this segment *)
+  dropped : int64;  (** message hops lost to injected faults *)
+  corrupted : int64;  (** message hops delivered with flipped bits *)
 }
 
 val stats : t -> segment:string -> segment_stats
 val reset_stats : t -> unit
+(** Clears every counter above, including the fault-outcome ones. *)

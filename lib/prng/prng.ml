@@ -1,0 +1,51 @@
+type t = { mutable state : int64 }
+
+let create seed =
+  (* Avoid the all-zero fixed point of xorshift. *)
+  let s = Int64.of_int seed in
+  { state = (if s = 0L then 0x9E3779B97F4A7C15L else s) }
+
+(* splitmix64 finaliser (Steele/Lea/Flood): a strong bijective mixer, so
+   nearby (seed, stream) pairs land on unrelated xorshift states. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let split_seed ~seed ~stream =
+  if stream < 0 then invalid_arg "Prng.split: negative stream index";
+  let z =
+    Int64.add (Int64.of_int seed)
+      (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (stream + 1)))
+  in
+  Int64.to_int (mix64 (mix64 z))
+
+let split ~seed ~stream = create (split_seed ~seed ~stream)
+
+let next t =
+  (* xorshift64-star (Vigna). *)
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+  let x = Int64.logxor x (Int64.shift_left x 25) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: non-positive bound";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.0
+
+let bool t ~p = float t < p
+
+let pick t items =
+  match items with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | items -> List.nth items (int t (List.length items))
+
+let shuffle t items =
+  let tagged = List.map (fun x -> (next t, x)) items in
+  List.map snd (List.sort compare tagged)

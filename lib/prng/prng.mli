@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random numbers (xorshift64-star).
+
+    Shared by design-space exploration ({!Dse.Rng} re-exports this
+    module unchanged) and the fault-injection subsystem: anything that
+    must replay bit-identically from a seed threads one of these
+    generators instead of touching the global [Random] state. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; the same seed always yields the same sequence. *)
+
+val split : seed:int -> stream:int -> t
+(** [split ~seed ~stream] derives an independent generator for the given
+    stream index (two rounds of the splitmix64 finaliser over seed and
+    index).  Deterministic: the same (seed, stream) pair always yields
+    the same generator, and distinct stream indices yield generators with
+    unrelated sequences.  Raises [Invalid_argument] when [stream < 0]. *)
+
+val split_seed : seed:int -> stream:int -> int
+(** The integer seed behind {!split}, for APIs that take a seed rather
+    than a generator: [split ~seed ~stream = create (split_seed ~seed
+    ~stream)]. *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [0, n).  Raises [Invalid_argument]
+    when [n <= 0]. *)
+
+val float : t -> float
+(** Uniform draw from [0, 1). *)
+
+val bool : t -> p:float -> bool
+(** Bernoulli draw: [true] with probability [p] (clamped to [0, 1]).
+    Always consumes exactly one draw, so decision schedules stay aligned
+    whatever the rate. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

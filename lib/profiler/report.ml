@@ -54,7 +54,9 @@ let build groups trace =
           Option.value ~default:0 (Hashtbl.find_opt discard_table process)
         in
         Hashtbl.replace discard_table process (current + 1)
-      | Sim.Trace.Exec _ | Sim.Trace.Signal _ | Sim.Trace.State_change _ -> ())
+      | Sim.Trace.Exec _ | Sim.Trace.Signal _ | Sim.Trace.State_change _
+      | Sim.Trace.Fault _ | Sim.Trace.Retransmit _ ->
+        ())
     (Sim.Trace.events trace);
   let discarded =
     Hashtbl.fold (fun p c acc -> (p, c) :: acc) discard_table []
@@ -150,4 +152,36 @@ let render_transfers t =
     List.iter
       (fun (process, count) -> line "  %-50s %8d" process count)
       discarded);
+  Buffer.contents buf
+
+let render_fault_section (s : Fault.Stats.t) =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun x -> Buffer.add_string buf (x ^ "\n")) fmt in
+  line "Fault injection & recovery";
+  line "";
+  line "(a) Injected faults                        %8d total" (Fault.Stats.injected s);
+  line "    %-38s %8d" "hibi drops" s.Fault.Stats.hibi_drops;
+  line "    %-38s %8d" "hibi corruptions" s.Fault.Stats.hibi_corrupts;
+  line "    %-38s %8d" "hibi stalls" s.Fault.Stats.hibi_stalls;
+  line "    %-38s %8d" "pe crashes" s.Fault.Stats.pe_crashes;
+  line "    %-38s %8d" "pe slowdowns" s.Fault.Stats.pe_slowdowns;
+  line "    %-38s %8d" "signal losses" s.Fault.Stats.signal_losses;
+  line "    %-38s %8d" "signal duplications" s.Fault.Stats.signal_dups;
+  line "";
+  line "(b) Detection                              %8d total" (Fault.Stats.detected s);
+  line "    %-38s %8d" "crc rejects (corruption caught)" s.Fault.Stats.crc_rejects;
+  line "    %-38s %8d" "crc residual (delivered corrupt)" s.Fault.Stats.crc_residual;
+  line "    %-38s %8d" "watchdog detections" s.Fault.Stats.watchdog_detections;
+  line "";
+  line "(c) Recovery                               %8d total" (Fault.Stats.recovered s);
+  line "    %-38s %8d" "retransmissions sent" s.Fault.Stats.retransmits;
+  line "    %-38s %8d" "messages recovered by arq" s.Fault.Stats.arq_acked;
+  line "    %-38s %8d" "duplicates suppressed" s.Fault.Stats.arq_duplicates;
+  line "    %-38s %8d" "messages given up (arq budget)" s.Fault.Stats.arq_giveups;
+  line "    %-38s %8d" "processes re-mapped" s.Fault.Stats.remapped_processes;
+  (match Fault.Stats.latency_percentiles s with
+  | None -> line "    %-38s %8s" "recovery latency" "n/a"
+  | Some (p50, p95, max_l) ->
+    line "    %-38s p50 %Ld ns  p95 %Ld ns  max %Ld ns" "recovery latency" p50
+      p95 max_l);
   Buffer.contents buf

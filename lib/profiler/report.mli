@@ -37,3 +37,9 @@ val render : t -> string
 
 val render_transfers : t -> string
 (** The per-process metrics table. *)
+
+val render_fault_section : Fault.Stats.t -> string
+(** The report's fault section: injected vs detected vs recovered
+    counts, retransmissions, residual undetected corruptions, and
+    watchdog recovery-latency percentiles.  Only rendered for runs with
+    an active fault plan. *)

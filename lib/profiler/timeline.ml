@@ -20,7 +20,9 @@ let build groups ~window_ns trace =
           | Sim.Trace.Exec { time; _ }
           | Sim.Trace.Signal { time; _ }
           | Sim.Trace.State_change { time; _ }
-          | Sim.Trace.Discard { time; _ } ->
+          | Sim.Trace.Discard { time; _ }
+          | Sim.Trace.Fault { time; _ }
+          | Sim.Trace.Retransmit { time; _ } ->
             time
         in
         max acc (index time))
@@ -40,7 +42,9 @@ let build groups ~window_ns trace =
         end
       | Sim.Trace.Signal { time; _ } ->
         signal_counts.(index time) <- signal_counts.(index time) + 1
-      | Sim.Trace.State_change _ | Sim.Trace.Discard _ -> ())
+      | Sim.Trace.State_change _ | Sim.Trace.Discard _ | Sim.Trace.Fault _
+      | Sim.Trace.Retransmit _ ->
+        ())
     (Sim.Trace.events trace);
   let windows =
     List.init (last_index + 1) (fun i ->

@@ -13,6 +13,7 @@ type running = {
   job : job;
   started_at : int64;
   completion : Engine.handle;
+  scale : float;  (** slowdown factor in force when dispatched *)
 }
 
 type t = {
@@ -23,6 +24,9 @@ type t = {
   perf_factor : float;
   mutable queue : job list;
   mutable running : running option;
+  mutable crashed : bool;
+  mutable speed_scale : float;
+      (** > 1.0 stretches job durations (transient slowdown fault) *)
   mutable busy_ns : int64;
   mutable executed_cycles : int64;
   mutable next_seq : int;
@@ -50,6 +54,8 @@ let create ~engine ~name ~policy ~frequency_mhz ?(perf_factor = 1.0) ?obs () =
     perf_factor;
     queue = [];
     running = None;
+    crashed = false;
+    speed_scale = 1.0;
     busy_ns = 0L;
     executed_cycles = 0L;
     next_seq = 0;
@@ -109,11 +115,19 @@ let slice_span t (r : running) ~preempted =
 let rec dispatch t =
   match t.running with
   | Some _ -> ()
+  | None when t.crashed -> ()
   | None -> (
     match pop_best t with
     | None -> ()
     | Some job ->
-      let duration = cycles_to_ns t job.remaining_cycles in
+      let scale = t.speed_scale in
+      let duration =
+        let d = cycles_to_ns t job.remaining_cycles in
+        if scale = 1.0 then d
+        else
+          let stretched = Int64.of_float (ceil (Int64.to_float d *. scale)) in
+          max d stretched
+      in
       let started_at = Engine.now t.engine in
       (if t.obs_on then begin
          Obs.Metrics.set t.m_queue_depth (List.length t.queue);
@@ -123,7 +137,7 @@ let rec dispatch t =
       let completion =
         Engine.schedule t.engine ~delay:duration (fun () -> complete t job)
       in
-      t.running <- Some { job; started_at; completion })
+      t.running <- Some { job; started_at; completion; scale })
 
 and complete t job =
   (match t.running with
@@ -151,7 +165,11 @@ let preempt_if_needed t =
       if challenger.priority > r.job.priority then begin
         (* Account for the cycles the victim already executed. *)
         let elapsed_ns = Int64.sub (Engine.now t.engine) r.started_at in
-        let done_cycles = min r.job.remaining_cycles (ns_to_cycles t elapsed_ns) in
+        let nominal_ns =
+          if r.scale = 1.0 then elapsed_ns
+          else Int64.of_float (Int64.to_float elapsed_ns /. r.scale)
+        in
+        let done_cycles = min r.job.remaining_cycles (ns_to_cycles t nominal_ns) in
         Engine.cancel r.completion;
         if t.trace_on then slice_span t r ~preempted:true;
         if t.obs_on then Obs.Metrics.inc t.m_preemptions;
@@ -170,6 +188,8 @@ let preempt_if_needed t =
 
 let submit t ~task ~priority ~cycles k =
   if cycles < 0L then invalid_arg "Sim.Rtos.submit: negative cycles";
+  if t.crashed then ()  (* fail-stop: work submitted to a dead PE vanishes *)
+  else begin
   let job =
     {
       task;
@@ -188,6 +208,39 @@ let submit t ~task ~priority ~cycles k =
    end);
   preempt_if_needed t;
   dispatch t
+  end
+
+let crash t =
+  if not t.crashed then begin
+    (match t.running with
+    | Some r ->
+      (* Account the partial slice, like a preemption that never resumes. *)
+      let elapsed_ns = Int64.sub (Engine.now t.engine) r.started_at in
+      let nominal_ns =
+        if r.scale = 1.0 then elapsed_ns
+        else Int64.of_float (Int64.to_float elapsed_ns /. r.scale)
+      in
+      let done_cycles =
+        min r.job.remaining_cycles (ns_to_cycles t nominal_ns)
+      in
+      Engine.cancel r.completion;
+      if t.trace_on then slice_span t r ~preempted:true;
+      t.busy_ns <- Int64.add t.busy_ns elapsed_ns;
+      t.executed_cycles <- Int64.add t.executed_cycles done_cycles;
+      t.running <- None
+    | None -> ());
+    t.queue <- [];
+    t.crashed <- true;
+    if t.obs_on then Obs.Metrics.set t.m_queue_depth 0
+  end
+
+let crashed t = t.crashed
+
+let set_speed_scale t scale =
+  if scale <= 0.0 then invalid_arg "Sim.Rtos.set_speed_scale: non-positive";
+  (* Takes effect at the next dispatch; the running slice keeps the
+     factor it was dispatched under. *)
+  t.speed_scale <- scale
 
 let busy_ns t = t.busy_ns
 let executed_cycles t = t.executed_cycles

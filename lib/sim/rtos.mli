@@ -44,6 +44,21 @@ val submit :
     are divided by the PE's [perf_factor].  Zero-cycle jobs complete
     after a one-cycle scheduling overhead. *)
 
+val crash : t -> unit
+(** Fail-stop fault: cancel the running slice (accounting its executed
+    cycles like a preemption), discard every queued job, and drop any
+    work submitted afterwards — completion continuations of discarded
+    jobs never run.  Idempotent. *)
+
+val crashed : t -> bool
+
+val set_speed_scale : t -> float -> unit
+(** Transient-slowdown fault: job bursts dispatched from now on take
+    [scale] times as long in wall-clock ns (cycle accounting is
+    unchanged).  [1.0] restores nominal speed; the running slice keeps
+    the factor it was dispatched under.  Raises [Invalid_argument] on a
+    non-positive scale. *)
+
 val busy_ns : t -> int64
 (** Accumulated busy time (updated when jobs complete or preempt). *)
 

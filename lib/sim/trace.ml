@@ -10,6 +10,14 @@ type event =
     }
   | State_change of { time : int64; process : string; from_ : string; to_ : string }
   | Discard of { time : int64; process : string; signal : string }
+  | Fault of { time : int64; kind : string; target : string; info : string }
+  | Retransmit of {
+      time : int64;
+      sender : string;
+      receiver : string;
+      signal : string;
+      attempt : int;
+    }
 
 type t = { mutable events : event list; mutable length : int }
 
@@ -36,7 +44,7 @@ let total_cycles t =
           Option.value ~default:0L (Hashtbl.find_opt table process)
         in
         Hashtbl.replace table process (Int64.add current cycles)
-      | Signal _ | State_change _ | Discard _ -> ())
+      | Signal _ | State_change _ | Discard _ | Fault _ | Retransmit _ -> ())
     t.events;
   Hashtbl.fold (fun process cycles acc -> (process, cycles) :: acc) table []
   |> List.sort compare
@@ -50,7 +58,7 @@ let signal_counts t =
         let key = (sender, receiver) in
         let current = Option.value ~default:0 (Hashtbl.find_opt table key) in
         Hashtbl.replace table key (current + 1)
-      | Exec _ | State_change _ | Discard _ -> ())
+      | Exec _ | State_change _ | Discard _ | Fault _ | Retransmit _ -> ())
     t.events;
   Hashtbl.fold (fun key count acc -> (key, count) :: acc) table []
   |> List.sort compare
@@ -67,6 +75,11 @@ let event_to_line = function
     Printf.sprintf "T %Ld %s %s %s" time process from_ to_
   | Discard { time; process; signal } ->
     Printf.sprintf "D %Ld %s %s" time process signal
+  | Fault { time; kind; target; info } ->
+    Printf.sprintf "F %Ld %s %s %s" time kind target
+      (if info = "" then "-" else info)
+  | Retransmit { time; sender; receiver; signal; attempt } ->
+    Printf.sprintf "R %Ld %s %s %s %d" time sender receiver signal attempt
 
 let event_of_line line =
   let fields =
@@ -99,6 +112,14 @@ let event_of_line line =
     Result.map (fun time -> State_change { time; process; from_; to_ }) (time_of time)
   | [ "D"; time; process; signal ] ->
     Result.map (fun time -> Discard { time; process; signal }) (time_of time)
+  | [ "F"; time; kind; target; info ] ->
+    Result.map (fun time -> Fault { time; kind; target; info }) (time_of time)
+  | [ "R"; time; sender; receiver; signal; attempt ] -> (
+    match time_of time, int_of_string_opt attempt with
+    | Ok time, Some attempt when attempt >= 0 ->
+      Ok (Retransmit { time; sender; receiver; signal; attempt })
+    | Error e, _ -> Error e
+    | _, _ -> Error (Printf.sprintf "bad attempt in %S" line))
   | _ -> Error (Printf.sprintf "unrecognised log line %S" line)
 
 let to_lines t = List.map event_to_line (events t)

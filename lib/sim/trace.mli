@@ -10,6 +10,8 @@
       S <time_ns> <sender> <receiver> <signal> <words> [<tag>]
       T <time_ns> <process> <from_state> <to_state>
       D <time_ns> <process> <signal>              discarded signal
+      F <time_ns> <kind> <target> <info>          fault / recovery event
+      R <time_ns> <sender> <receiver> <signal> <attempt>   retransmission
     v}
     Process names are fully qualified part names and must not contain
     whitespace. *)
@@ -27,6 +29,20 @@ type event =
     }
   | State_change of { time : int64; process : string; from_ : string; to_ : string }
   | Discard of { time : int64; process : string; signal : string }
+  | Fault of { time : int64; kind : string; target : string; info : string }
+      (** Injection, detection, or recovery milestone.  [kind] is a
+          lower_snake tag ([pe_crash], [watchdog_detect], [crc_reject],
+          [crc_residual], [arq_giveup], [remap], [pe_slow_on],
+          [pe_slow_off], ...); [target] names the PE / process /
+          segment; [info] is one whitespace-free token of extra detail
+          (["-"] when there is none). *)
+  | Retransmit of {
+      time : int64;
+      sender : string;
+      receiver : string;
+      signal : string;
+      attempt : int;  (** 1 = first retransmission *)
+    }
 
 type t
 

@@ -6,6 +6,9 @@ type config = {
   scheduling : Codegen.Ir.scheduling;
   crc_on_accelerator : bool;
   dispatch_overhead_cycles : int;
+  faults : Fault.Plan.t;
+  fault_seed : int;
+  remap_jobs : int;
 }
 
 let default =
@@ -17,6 +20,9 @@ let default =
     scheduling = Codegen.Ir.Priority_preemptive;
     crc_on_accelerator = true;
     dispatch_overhead_cycles = 20;
+    faults = Fault.Plan.empty;
+    fault_seed = 1;
+    remap_jobs = 1;
   }
 
 let build_model config =
@@ -41,7 +47,50 @@ type run_result = {
   sys : Codegen.Ir.system;
   runtime : Codegen.Runtime.t;
   via_xmi : bool;
+  fault_stats : Fault.Stats.t option;
 }
+
+(* Degradation re-mapping driven by the exploration engine: when the
+   watchdog declares a PE dead, re-run the mapping search over the
+   profile observed so far, with the dead PE's groups restricted to
+   survivors and every other group pinned where it is.  [remap_jobs]
+   only parallelises the search ({!Dse.Parallel} results are
+   bit-identical across jobs values). *)
+let install_remap_hook config view runtime =
+  let groups = Profiler.Groups.of_view view in
+  let platform = Dse.Cost.of_view view in
+  let current = ref (Dse.Cost.current_assignment view) in
+  Codegen.Runtime.set_remap_hook runtime (fun ~dead_pe ~survivors ->
+      let report =
+        Profiler.Report.build groups (Codegen.Runtime.trace runtime)
+      in
+      let profile = Dse.Cost.of_report report in
+      let candidates =
+        List.map
+          (fun (group, pes) ->
+            let assigned =
+              match List.assoc_opt group !current with
+              | Some pe -> pe
+              | None -> dead_pe
+            in
+            if assigned = dead_pe then
+              let alive = List.filter (fun pe -> List.mem pe survivors) pes in
+              (group, if alive = [] then [ List.hd survivors ] else alive)
+            else (group, [ assigned ]))
+          (Dse.Cost.candidates view)
+      in
+      let result =
+        Dse.Parallel.exhaustive ~jobs:config.remap_jobs
+          ~eval:(Dse.Cost.cost ~profile ~platform)
+          ~candidates ()
+      in
+      current := result.Dse.Explore.best;
+      List.concat_map
+        (fun (group, pe) ->
+          List.map
+            (fun process -> (process, pe))
+            (Profiler.Groups.members groups group))
+        result.Dse.Explore.best)
 
 let run_builder ?(via_xmi = false) ?obs config builder =
   let validation = Tut_profile.Builder.validate builder in
@@ -60,9 +109,15 @@ let run_builder ?(via_xmi = false) ?obs config builder =
     with
     | Error problems -> Error (String.concat "; " problems)
     | Ok sys -> (
-      match Codegen.Runtime.create ?obs sys with
+      let injector =
+        if Fault.Plan.is_empty config.faults then None
+        else
+          Some (Fault.Injector.create ~plan:config.faults ~seed:config.fault_seed)
+      in
+      match Codegen.Runtime.create ?faults:injector ?obs sys with
       | Error problems -> Error (String.concat "; " problems)
       | Ok runtime -> (
+        if injector <> None then install_remap_hook config view runtime;
         Codegen.Runtime.start runtime;
         ignore (Codegen.Runtime.run runtime ~until_ns:config.duration_ns);
         let groups_result =
@@ -81,7 +136,15 @@ let run_builder ?(via_xmi = false) ?obs config builder =
         | Ok groups ->
           let trace = Codegen.Runtime.trace runtime in
           let report = Profiler.Report.build groups trace in
-          Ok { report; trace; sys; runtime; via_xmi }))
+          Ok
+            {
+              report;
+              trace;
+              sys;
+              runtime;
+              via_xmi;
+              fault_stats = Codegen.Runtime.fault_stats runtime;
+            }))
 
 let run ?via_xmi ?obs config = run_builder ?via_xmi ?obs config (build_model config)
 

@@ -11,10 +11,18 @@ type config = {
   scheduling : Codegen.Ir.scheduling;
   crc_on_accelerator : bool;
   dispatch_overhead_cycles : int;
+  faults : Fault.Plan.t;
+      (** Fault-injection plan; {!Fault.Plan.empty} (the default) keeps
+          the run byte-identical to a fault-free one. *)
+  fault_seed : int;  (** Seed of the injection schedule (default 1). *)
+  remap_jobs : int;
+      (** Worker domains for the degradation re-mapping search (default
+          1; results are identical for any value). *)
 }
 
 val default : config
-(** 2 simulated seconds, the Figure 7/8 platform and mapping. *)
+(** 2 simulated seconds, the Figure 7/8 platform and mapping, no
+    faults. *)
 
 val build_model : config -> Tut_profile.Builder.t
 (** Application + platform + mapping in one model. *)
@@ -30,6 +38,9 @@ type run_result = {
   sys : Codegen.Ir.system;
   runtime : Codegen.Runtime.t;
   via_xmi : bool;
+  fault_stats : Fault.Stats.t option;
+      (** Injection/detection/recovery counters when the config carried
+          a non-empty fault plan; [None] otherwise. *)
 }
 
 val run : ?via_xmi:bool -> ?obs:Obs.Scope.t -> config -> (run_result, string) result

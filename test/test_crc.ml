@@ -3,6 +3,7 @@
 
 let check = Alcotest.check
 let bool_t = Alcotest.bool
+let int_t = Alcotest.int
 let int32_t = Alcotest.int32
 let int64_t = Alcotest.int64
 
@@ -29,6 +30,30 @@ let test_incremental () =
       (Crc.Crc32.feed (Crc.Crc32.feed (Crc.Crc32.init ()) "hello ") "world")
   in
   check int32_t "incremental equals one-shot" whole split
+
+let test_framing () =
+  let payload = "MSDU payload \x00\xff bytes" in
+  let frame = Crc.Crc32.frame payload in
+  check int_t "trailer is four bytes" (String.length payload + 4)
+    (String.length frame);
+  check (Alcotest.option Alcotest.string) "round-trip" (Some payload)
+    (Crc.Crc32.deframe frame);
+  (* Any 1-3 bit error is within CRC-32's Hamming distance at these
+     lengths and must be rejected, trailer bits included. *)
+  for bit = 0 to (String.length frame * 8) - 1 do
+    let corrupted = Bytes.of_string frame in
+    let byte = bit / 8 in
+    Bytes.set corrupted byte
+      (Char.chr (Char.code (Bytes.get corrupted byte) lxor (1 lsl (bit mod 8))));
+    check (Alcotest.option Alcotest.string)
+      (Printf.sprintf "flip bit %d rejected" bit)
+      None
+      (Crc.Crc32.deframe (Bytes.to_string corrupted))
+  done;
+  check (Alcotest.option Alcotest.string) "short frame rejected" None
+    (Crc.Crc32.deframe "abc");
+  check (Alcotest.option Alcotest.string) "empty payload frames" (Some "")
+    (Crc.Crc32.deframe (Crc.Crc32.frame ""))
 
 let test_cycle_models () =
   check int64_t "software grows per byte" 1340L
@@ -88,6 +113,7 @@ let () =
           Alcotest.test_case "bitwise reference" `Quick test_bitwise_matches_known;
           Alcotest.test_case "verify" `Quick test_verify;
           Alcotest.test_case "incremental" `Quick test_incremental;
+          Alcotest.test_case "framing" `Quick test_framing;
           Alcotest.test_case "cycle models" `Quick test_cycle_models;
         ] );
       ( "properties",

@@ -244,6 +244,116 @@ let test_round_robin_arbitration () =
     [ "a1"; "a2"; "a1"; "a2" ]
     (List.rev !finished)
 
+(* -- fault hook and per-segment outcome counters ----------------------- *)
+
+let outcome_counters net seg =
+  let s = Hibi.Network.stats net ~segment:seg in
+  (s.Hibi.Network.delivered, s.Hibi.Network.dropped, s.Hibi.Network.corrupted)
+
+let test_fault_hook_drop () =
+  let engine = Sim.Engine.create () in
+  let net = figure7 engine in
+  Hibi.Network.set_fault_hook net
+    (Some (fun ~segment:_ ~words:_ -> Hibi.Network.Drop));
+  let outcomes = ref [] in
+  (match
+     Hibi.Network.transfer net ~src:"cpu1" ~dst:"cpu2" ~words:8
+       ~on_outcome:(fun o -> outcomes := o :: !outcomes)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  ignore (Sim.Engine.run engine);
+  check int_t "dropped messages produce no outcome" 0 (List.length !outcomes);
+  check
+    (Alcotest.triple int64_t int64_t int64_t)
+    "seg1 counts the drop" (0L, 1L, 0L) (outcome_counters net "seg1")
+
+let test_fault_hook_corrupt_single_hop () =
+  let engine = Sim.Engine.create () in
+  let net = figure7 engine in
+  (* Corrupt only the bridge hop of a cpu1 -> acc route: the end-to-end
+     outcome is tainted but seg1/seg2 count clean hops. *)
+  Hibi.Network.set_fault_hook net
+    (Some
+       (fun ~segment ~words:_ ->
+         if segment = "bridge" then Hibi.Network.Corrupt else Hibi.Network.Pass));
+  let outcomes = ref [] in
+  (match
+     Hibi.Network.transfer net ~src:"cpu1" ~dst:"acc" ~words:8
+       ~on_outcome:(fun o -> outcomes := o :: !outcomes)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  ignore (Sim.Engine.run engine);
+  check bool_t "tainted arrival" true
+    (!outcomes = [ Hibi.Network.Corrupted_delivery ]);
+  check
+    (Alcotest.triple int64_t int64_t int64_t)
+    "seg1 clean" (1L, 0L, 0L) (outcome_counters net "seg1");
+  check
+    (Alcotest.triple int64_t int64_t int64_t)
+    "bridge corrupted" (0L, 0L, 1L)
+    (outcome_counters net "bridge");
+  check
+    (Alcotest.triple int64_t int64_t int64_t)
+    "seg2 clean" (1L, 0L, 0L) (outcome_counters net "seg2");
+  Hibi.Network.reset_stats net;
+  check
+    (Alcotest.triple int64_t int64_t int64_t)
+    "reset clears fault counters" (0L, 0L, 0L)
+    (outcome_counters net "bridge")
+
+let test_fault_hook_stall_delays () =
+  let baseline =
+    let engine = Sim.Engine.create () in
+    let net = figure7 engine in
+    run_send net engine ~src:"cpu1" ~dst:"cpu2"
+  in
+  let engine = Sim.Engine.create () in
+  let net = figure7 engine in
+  Hibi.Network.set_fault_hook net
+    (Some (fun ~segment:_ ~words:_ -> Hibi.Network.Stall 500L));
+  let stalled = run_send net engine ~src:"cpu1" ~dst:"cpu2" in
+  check int64_t "single-hop stall adds exactly its delay"
+    (Int64.add baseline 500L) stalled;
+  check
+    (Alcotest.triple int64_t int64_t int64_t)
+    "stalled hop still counts as delivered" (1L, 0L, 0L)
+    (outcome_counters net "seg1")
+
+let test_fault_hook_legacy_send () =
+  (* The fire-and-forget API: corrupted arrivals still "deliver", dropped
+     ones never do. *)
+  let deliveries hook =
+    let engine = Sim.Engine.create () in
+    let net = figure7 engine in
+    Hibi.Network.set_fault_hook net (Some hook);
+    let count = ref 0 in
+    (match
+       Hibi.Network.send net ~src:"cpu1" ~dst:"cpu2" ~words:8
+         ~on_delivered:(fun () -> incr count)
+     with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    ignore (Sim.Engine.run engine);
+    !count
+  in
+  check int_t "corrupt still fires on_delivered" 1
+    (deliveries (fun ~segment:_ ~words:_ -> Hibi.Network.Corrupt));
+  check int_t "drop never fires on_delivered" 0
+    (deliveries (fun ~segment:_ ~words:_ -> Hibi.Network.Drop))
+
+let test_no_hook_counts_delivered () =
+  let engine = Sim.Engine.create () in
+  let net = figure7 engine in
+  ignore (run_send net engine ~src:"cpu1" ~dst:"acc");
+  List.iter
+    (fun seg ->
+      check
+        (Alcotest.triple int64_t int64_t int64_t)
+        (seg ^ " hop delivered") (1L, 0L, 0L) (outcome_counters net seg))
+    [ "seg1"; "bridge"; "seg2" ]
+
 (* Property: for any number of words, exactly [words] cross each segment
    on the route, and delivery always happens. *)
 let prop_conservation =
@@ -290,6 +400,16 @@ let () =
         [
           Alcotest.test_case "priority" `Quick test_priority_arbitration;
           Alcotest.test_case "round robin" `Quick test_round_robin_arbitration;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "drop" `Quick test_fault_hook_drop;
+          Alcotest.test_case "corrupt one hop" `Quick
+            test_fault_hook_corrupt_single_hop;
+          Alcotest.test_case "stall delays" `Quick test_fault_hook_stall_delays;
+          Alcotest.test_case "legacy send" `Quick test_fault_hook_legacy_send;
+          Alcotest.test_case "no hook counts delivered" `Quick
+            test_no_hook_counts_delivered;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_conservation ]);
     ]

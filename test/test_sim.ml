@@ -105,6 +105,16 @@ let sample_events =
     Sim.Trace.Discard { time = 40L; process = "top.b"; signal = "Go" };
     Sim.Trace.Exec { time = 50L; process = "top.a"; cycles = 300L };
     Sim.Trace.Exec { time = 60L; process = "top.b"; cycles = 100L };
+    Sim.Trace.Fault
+      { time = 70L; kind = "hibi_drop"; target = "seg1"; info = "-" };
+    Sim.Trace.Retransmit
+      {
+        time = 80L;
+        sender = "top.a";
+        receiver = "top.b";
+        signal = "Go";
+        attempt = 2;
+      };
   ]
 
 let filled () =
@@ -114,7 +124,7 @@ let filled () =
 
 let test_trace_aggregation () =
   let t = filled () in
-  check int_t "length" 6 (Sim.Trace.length t);
+  check int_t "length" 8 (Sim.Trace.length t);
   check
     (Alcotest.list (Alcotest.pair Alcotest.string int64_t))
     "total cycles"
@@ -152,7 +162,18 @@ let test_trace_bad_lines () =
       match Sim.Trace.event_of_line line with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "expected error for %S" line)
-    [ ""; "X 1 a 2"; "E notatime p 5"; "E 1 p"; "S 1 a b" ]
+    [
+      "";
+      "X 1 a 2";
+      "E notatime p 5";
+      "E 1 p";
+      "S 1 a b";
+      "F 1 kind";
+      "F oops kind target info";
+      "R 1 a b sig";
+      "R 1 a b sig -2";
+      "R 1 a b sig two";
+    ]
 
 (* of_lines reports the 1-based line number of the first malformed line,
    counting blank lines, and stops there. *)
@@ -198,6 +219,20 @@ let gen_event =
         (let* time = time in
          let* process = name in
          return (Sim.Trace.Discard { time; process; signal = "Sig" }));
+        (* [info] must be a single non-empty token to round-trip (the
+           writer renders [""] as ["-"]). *)
+        (let* time = time in
+         let* kind = oneofl [ "hibi_drop"; "pe_crash"; "crc_reject" ] in
+         let* target = name in
+         let* info = oneofl [ "-"; "42"; "at=900" ] in
+         return (Sim.Trace.Fault { time; kind; target; info }));
+        (let* time = time in
+         let* sender = name in
+         let* receiver = name in
+         let* attempt = int_range 0 20 in
+         return
+           (Sim.Trace.Retransmit
+              { time; sender; receiver; signal = "Sig"; attempt }));
       ])
 
 let prop_trace_roundtrip =
