@@ -68,15 +68,9 @@ let print_table4 () =
       exit 1
   in
   let report = result.Tutmac.Scenario.report in
-  (* Machine-readable counter snapshot of the reference run, plus the
-     report-vs-runtime consistency check. *)
+  (* Report-vs-runtime consistency check (the machine-readable snapshot
+     itself is written by [bench_obs], the observability section). *)
   let snapshot = Obs.Metrics.snapshot (Obs.Scope.metrics obs) in
-  let oc = open_out "BENCH_obs.json" in
-  output_string oc (Obs.Json.to_string (Obs.Metrics.to_json snapshot));
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "observability snapshot written to BENCH_obs.json (%d metrics)\n"
-    (List.length snapshot);
   (match Profiler.Report.cross_check report snapshot with
   | Ok () -> print_endline "cross-check: report cycles = runtime counter"
   | Error e -> Printf.printf "cross-check FAILED: %s\n" e);
@@ -822,6 +816,147 @@ let bench_fault () =
     exit 1
   end
 
+(* ---- observability overhead ------------------------------------------- *)
+
+(* Written to BENCH_obs.json; run alone with TUTBENCH_ONLY=obs.
+
+   Gated: causal flow tracing must be free when off.  The default
+   runtime carries a disabled tracker, and passing one explicitly takes
+   the same [flows_on = false] guards, so two interleaved populations
+   must agree within 2% — the gate trips if a disabled tracker ever
+   starts minting flows or recording hops.  The flows-on overhead and
+   the raw histogram record throughput are reported, not gated. *)
+let bench_obs () =
+  let obs_ms =
+    match Sys.getenv_opt "TUTBENCH_OBS_MS" with
+    | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> 2000)
+    | None -> 2000
+  in
+  let horizon =
+    {
+      Tutmac.Scenario.default with
+      Tutmac.Scenario.duration_ns = Int64.mul (Int64.of_int obs_ms) 1_000_000L;
+    }
+  in
+  section
+    (Printf.sprintf "Causal flow tracing overhead (%d ms horizon)" obs_ms);
+  let reps = 10 in
+  let time f =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    Unix.gettimeofday () -. t0
+  in
+  let median samples =
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let run_flows flows config =
+    match Tutmac.Scenario.run ~flows config with
+    | Ok result -> result
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  ignore (run_scenario horizon);
+  (* warm-up *)
+  (* Same protocol as the fault gate: back-to-back pairs in alternating
+     order, min-of-3 per side, median ratio, one re-measure on a trip. *)
+  let min3 f = min (f ()) (min (f ()) (f ())) in
+  let measure_disabled_overhead () =
+    let base = ref [] and off = ref [] and ratios = ref [] in
+    for i = 1 to reps do
+      let run_base () = min3 (fun () -> time (fun () -> run_scenario horizon)) in
+      let run_off () =
+        min3 (fun () ->
+            time (fun () -> run_flows (Obs.Flow.disabled ()) horizon))
+      in
+      let b, o =
+        if i mod 2 = 0 then
+          let b = run_base () in
+          (b, run_off ())
+        else
+          let o = run_off () in
+          (run_base (), o)
+      in
+      base := b :: !base;
+      off := o :: !off;
+      ratios := (o /. b) :: !ratios
+    done;
+    (median !base, median !off, (median !ratios -. 1.0) *. 100.0)
+  in
+  let base_s, off_s, overhead_pct =
+    let ((_, _, o1) as first) = measure_disabled_overhead () in
+    if o1 <= 2.0 then first
+    else begin
+      Printf.printf
+        "  first pass measured %+.2f %%, re-measuring to rule out noise\n" o1;
+      let ((_, _, o2) as second) = measure_disabled_overhead () in
+      if o2 < o1 then second else first
+    end
+  in
+  (* Flows on: fresh tracker per run so histograms never accumulate
+     across reps.  Keep the last run's tracker for the snapshot. *)
+  let last_flows = ref (Obs.Flow.disabled ()) in
+  let on_samples =
+    List.init reps (fun _ ->
+        time (fun () ->
+            let flows = Obs.Flow.create () in
+            last_flows := flows;
+            run_flows flows horizon))
+  in
+  let on_s = median on_samples in
+  let on_pct = (on_s -. base_s) /. base_s *. 100.0 in
+  Printf.printf "  %-28s %10.4f s\n" "baseline (no flows field)" base_s;
+  Printf.printf "  %-28s %10.4f s %+7.2f %%\n" "disabled tracker" off_s
+    overhead_pct;
+  Printf.printf "  %-28s %10.4f s %+7.2f %%\n" "flow tracing on" on_s on_pct;
+  let flow_snapshot = Obs.Metrics.snapshot (Obs.Flow.metrics !last_flows) in
+  Printf.printf "  flows: %d minted, %d completed, %d metrics\n"
+    (Obs.Flow.minted !last_flows)
+    (Obs.Flow.completed !last_flows)
+    (List.length flow_snapshot);
+  (* Raw histogram record throughput: O(1) per record, no allocation. *)
+  let records = 5_000_000 in
+  let h = Obs.Histogram.create () in
+  let record_s =
+    time (fun () ->
+        for i = 1 to records do
+          Obs.Histogram.record h ((i * 2654435761) land 0xFFFFF)
+        done)
+  in
+  let records_per_sec = float_of_int records /. max 1e-9 record_s in
+  Printf.printf "  %-28s %10.1f M records/s (%d records in %.3f s)\n"
+    "histogram record" (records_per_sec /. 1e6) records record_s;
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("reps", Obs.Json.Int reps);
+            ("baseline_seconds", Obs.Json.Float base_s);
+            ("flows_off_seconds", Obs.Json.Float off_s);
+            ("flows_off_overhead_pct", Obs.Json.Float overhead_pct);
+            ("flows_on_seconds", Obs.Json.Float on_s);
+            ("flows_on_overhead_pct", Obs.Json.Float on_pct);
+            ("flows_minted", Obs.Json.Int (Obs.Flow.minted !last_flows));
+            ("flows_completed", Obs.Json.Int (Obs.Flow.completed !last_flows));
+            ("histogram_records_per_sec", Obs.Json.Float records_per_sec);
+            ("metrics", Obs.Metrics.to_json flow_snapshot);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  observability benchmark written to BENCH_obs.json\n";
+  if overhead_pct > 2.0 then begin
+    Printf.printf
+      "  FAIL: a disabled flow tracker costs %.2f%% over the baseline \
+       (limit 2%%)\n"
+      overhead_pct;
+    exit 1
+  end
+
 let run_benchmarks () =
   section "Bechamel benchmarks (monotonic clock, ns/run)";
   let instances = Instance.[ monotonic_clock ] in
@@ -850,8 +985,10 @@ let () =
   match Sys.getenv_opt "TUTBENCH_ONLY" with
   | Some "dse" -> bench_dse ()
   | Some "fault" -> bench_fault ()
+  | Some "obs" -> bench_obs ()
   | Some other ->
-    Printf.eprintf "unknown TUTBENCH_ONLY=%s (supported: dse, fault)\n" other;
+    Printf.eprintf "unknown TUTBENCH_ONLY=%s (supported: dse, fault, obs)\n"
+      other;
     exit 2
   | None ->
     print_tables_1_2_3 ();
@@ -866,5 +1003,6 @@ let () =
     analysis_section ();
     bench_dse ();
     bench_fault ();
+    bench_obs ();
     run_benchmarks ();
     print_newline ()

@@ -468,10 +468,22 @@ let profile_cmd =
 
 (* -- stats ------------------------------------------------------------ *)
 
+let stats_flows_arg =
+  let doc =
+    "Also arm the causal flow tracker so flow.* latency histograms (hdr \
+     lines) appear in the snapshot."
+  in
+  Arg.(value & flag & info [ "flows" ] ~doc)
+
 let stats_cmd =
-  let run config chrome_trace metrics_out =
+  let run config with_flows chrome_trace metrics_out =
     let obs = obs_of ~force:true ~chrome_trace ~metrics_out () in
-    match Tutmac.Scenario.run ~obs config with
+    let flows =
+      if with_flows then
+        Some (Obs.Flow.create ~metrics:(Obs.Scope.metrics obs) ())
+      else None
+    in
+    match Tutmac.Scenario.run ~obs ?flows config with
     | Error e ->
       prerr_endline e;
       1
@@ -500,7 +512,82 @@ let stats_cmd =
        ~doc:
          "Run the simulation with full instrumentation, print the metric \
           snapshot and cross-check it against the profiling report")
-    Term.(const run $ config_term $ chrome_trace_arg $ metrics_out_arg)
+    Term.(
+      const run $ config_term $ stats_flows_arg $ chrome_trace_arg
+      $ metrics_out_arg)
+
+(* -- report ----------------------------------------------------------- *)
+
+let report_format_arg =
+  let doc = "Output format: text or json." in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let replay_arg =
+  let doc =
+    "Rebuild the flow report from this saved simulation log instead of \
+     running a simulation (platform rows are omitted — busy times are not \
+     in the log)."
+  in
+  Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
+
+let report_cmd =
+  let run config format replay log =
+    let print report =
+      match format with
+      | `Text -> print_string (Profiler.Flow_report.render_text report)
+      | `Json ->
+        print_endline
+          (Obs.Json.to_string (Profiler.Flow_report.render_json report))
+    in
+    match replay with
+    | Some path -> (
+      match Sim.Trace.load path with
+      | Error e ->
+        prerr_endline (path ^ ": " ^ e);
+        1
+      | Ok trace ->
+        print (Profiler.Flow_report.of_trace trace);
+        0)
+    | None -> (
+      (* A live scope (for the RTOS queue-depth gauges) plus an enabled
+         flow tracker recording into the same registry. *)
+      let obs = Obs.Scope.create () in
+      let flows = Obs.Flow.create ~metrics:(Obs.Scope.metrics obs) () in
+      match Tutmac.Scenario.run ~obs ~flows config with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok result ->
+        let runtime = result.Tutmac.Scenario.runtime in
+        let segments =
+          List.map
+            (fun (seg, stats) ->
+              (seg, stats.Hibi.Network.words, stats.Hibi.Network.max_waiting))
+            (Codegen.Runtime.segment_stats runtime)
+        in
+        let report =
+          Profiler.Flow_report.of_snapshot
+            ~duration_ns:config.Tutmac.Scenario.duration_ns
+            ~pe_busy:(Codegen.Runtime.pe_busy_ns runtime)
+            ~segments ~trace:result.Tutmac.Scenario.trace
+            (Obs.Metrics.snapshot (Obs.Scope.metrics obs))
+        in
+        (match log with
+        | None -> ()
+        | Some path -> Sim.Trace.save result.Tutmac.Scenario.trace path);
+        print report;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run (or replay) a simulation with causal flow tracing and print \
+          the end-to-end latency report: per-traffic-class histograms, \
+          stage decomposition, platform utilisation, ARQ retries")
+    Term.(const run $ config_term $ report_format_arg $ replay_arg $ log_arg)
 
 (* -- explore --------------------------------------------------------- *)
 
@@ -878,6 +965,7 @@ let main_cmd =
       generate_cmd;
       simulate_cmd;
       profile_cmd;
+      report_cmd;
       stats_cmd;
       explore_cmd;
       analyze_cmd;

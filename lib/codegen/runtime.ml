@@ -2,6 +2,7 @@ type pending = {
   p_signal : string;
   p_args : (string * Efsm.Action.value) list;
   p_enqueued_at : int64;
+  p_flow : int;  (** causal flow id carried by the signal; -1 = none *)
 }
 
 type queue_stats = {
@@ -16,6 +17,9 @@ type proc_rt = {
   queue : pending Queue.t;
   mutable busy : bool;
   mutable timer : Sim.Engine.handle option;
+  mutable current_flow : int;
+      (** flow of the event being handled: sends made while handling it
+          inherit this id (causal propagation); -1 outside handling *)
   stats : queue_stats;
   track : string;  (** tracing lane, "proc/<name>" *)
   m_sends : Obs.Metrics.counter;
@@ -34,6 +38,7 @@ type arq_entry = {
   a_sender : string;
   a_receiver : string;
   a_signal : string;
+  a_flow : int;  (** causal flow id of the framed message; -1 = none *)
   mutable a_attempts : int;  (** retransmissions so far *)
   mutable a_timer : Sim.Engine.handle option;
   mutable a_done : bool;  (** delivered intact at least once *)
@@ -66,6 +71,8 @@ type t = {
   tracer : Obs.Tracer.t;
   obs_on : bool;
   trace_on : bool;
+  flows : Obs.Flow.t;
+  flows_on : bool;
   m_exec_cycles : Obs.Metrics.counter;
       (** cycles of application (non-environment) execution — matches the
           report's total, see {!Profiler.Report.cross_check} *)
@@ -138,6 +145,20 @@ let rec pump t proc =
     proc.stats.handled <- proc.stats.handled + 1;
     proc.stats.total_wait_ns <- Int64.add proc.stats.total_wait_ns wait;
     if wait > proc.stats.max_wait_ns then proc.stats.max_wait_ns <- wait;
+    proc.current_flow <- event.p_flow;
+    if t.flows_on && event.p_flow >= 0 then begin
+      Obs.Flow.hop t.flows ~flow:event.p_flow ~stage:Obs.Flow.Queue_wait
+        ~dur_ns:wait;
+      Sim.Trace.record t.trace
+        (Sim.Trace.Flow_hop
+           {
+             time = Sim.Engine.now t.engine;
+             flow = event.p_flow;
+             stage = "queue";
+             where_ = proc.decl.Ir.proc_name;
+             dur = wait;
+           })
+    end;
     proc.busy <- true;
     let before_state = Efsm.Interp.state proc.interp in
     let step =
@@ -184,27 +205,42 @@ let rec pump t proc =
       let effects =
         Efsm.Action.Eff_compute (Int64.to_int overhead) :: step.Efsm.Interp.effects
       in
-      (* Only build the span-emitting continuation when tracing, so the
-         common path's closure stays small. *)
+      (* Only build the span/flow-emitting continuation when observing,
+         so the common path's closure stays small. *)
+      let flow = event.p_flow in
+      let finish () =
+        proc.busy <- false;
+        arm_timer t proc;
+        pump t proc
+      in
       let k =
-        if t.trace_on && not (is_env proc) then begin
+        if (t.trace_on || (t.flows_on && flow >= 0)) && not (is_env proc)
+        then begin
           let handled_at = Sim.Engine.now t.engine in
           fun () ->
-            Obs.Tracer.complete t.tracer ~ts_ns:handled_at
-              ~dur_ns:(Int64.sub (Sim.Engine.now t.engine) handled_at)
-              ~cat:"app" ~track:proc.track
-              ~args:[ ("to_state", Obs.Span.Str after_state) ]
-              (if event.p_signal = timeout_signal then "timeout"
-               else event.p_signal);
-            proc.busy <- false;
-            arm_timer t proc;
-            pump t proc
+            let now = Sim.Engine.now t.engine in
+            let dur = Int64.sub now handled_at in
+            if t.trace_on then
+              Obs.Tracer.complete t.tracer ~ts_ns:handled_at ~dur_ns:dur
+                ~cat:"app" ~track:proc.track
+                ~args:[ ("to_state", Obs.Span.Str after_state) ]
+                (if event.p_signal = timeout_signal then "timeout"
+                 else event.p_signal);
+            if t.flows_on && flow >= 0 then begin
+              Obs.Flow.hop t.flows ~flow ~stage:Obs.Flow.Process ~dur_ns:dur;
+              Sim.Trace.record t.trace
+                (Sim.Trace.Flow_hop
+                   {
+                     time = now;
+                     flow;
+                     stage = "process";
+                     where_ = proc.decl.Ir.proc_name;
+                     dur;
+                   })
+            end;
+            finish ()
         end
-        else
-          fun () ->
-            proc.busy <- false;
-            arm_timer t proc;
-            pump t proc
+        else finish
       in
       run_effects t proc effects k
   end
@@ -215,7 +251,8 @@ and run_effects t proc effects k =
   | Efsm.Action.Eff_compute cycles :: rest ->
     let cycles64 = Int64.of_int cycles in
     Sim.Rtos.submit (rtos_of t proc) ~task:proc.decl.Ir.proc_name
-      ~priority:proc.decl.Ir.priority ~cycles:cycles64 (fun () ->
+      ~priority:proc.decl.Ir.priority ~flow:proc.current_flow
+      ~cycles:cycles64 (fun () ->
         record_exec t proc cycles64;
         run_effects t proc rest k)
   | Efsm.Action.Eff_send { port; signal; args } :: rest ->
@@ -250,6 +287,22 @@ and send t proc ~port ~signal ~args =
     | Efsm.Action.V_int n :: _ when n >= 0 -> n
     | _ -> -1
   in
+  (* Causal propagation: a send made while handling a flow-carrying
+     event rides that flow; a send with no inherited context (an
+     environment stimulus, a timer-driven transmission opportunity)
+     births a new flow — its traffic class is this signal. *)
+  let msg_flow =
+    if not t.flows_on then -1
+    else if proc.current_flow >= 0 then proc.current_flow
+    else begin
+      let now = Sim.Engine.now t.engine in
+      let id = Obs.Flow.mint t.flows ~now ~origin:signal in
+      Sim.Trace.record t.trace
+        (Sim.Trace.Flow_hop
+           { time = now; flow = id; stage = "born"; where_ = signal; dur = 0L });
+      id
+    end
+  in
   List.iter
     (fun dst_name ->
       match Hashtbl.find_opt t.procs dst_name with
@@ -270,27 +323,73 @@ and send t proc ~port ~signal ~args =
                words;
                tag;
              });
-        let deliver () =
+        let base_deliver () =
           Queue.push
             {
               p_signal = signal;
               p_args = named_args;
               p_enqueued_at = Sim.Engine.now t.engine;
+              p_flow = msg_flow;
             }
             dst.queue;
           pump t dst
+        in
+        let deliver =
+          if msg_flow < 0 then base_deliver
+          else begin
+            (* Flow accounting happens at actual delivery time: the
+               transfer stage is the bus latency (incl. ARQ rounds), and
+               a delivery into an environment process completes the
+               flow's end-to-end path for this terminal signal. *)
+            let sent_at = Sim.Engine.now t.engine in
+            let remote = not (same_pe t proc dst) in
+            fun () ->
+              let now = Sim.Engine.now t.engine in
+              (if remote then begin
+                 let dur = Int64.sub now sent_at in
+                 Obs.Flow.hop t.flows ~flow:msg_flow ~stage:Obs.Flow.Transfer
+                   ~dur_ns:dur;
+                 Sim.Trace.record t.trace
+                   (Sim.Trace.Flow_hop
+                      {
+                        time = now;
+                        flow = msg_flow;
+                        stage = "transfer";
+                        where_ = dst_name;
+                        dur;
+                      })
+               end);
+              (if is_env dst then
+                 match
+                   Obs.Flow.complete t.flows ~flow:msg_flow ~now
+                     ~terminal:signal
+                 with
+                 | None -> ()
+                 | Some e2e ->
+                   Sim.Trace.record t.trace
+                     (Sim.Trace.Flow_hop
+                        {
+                          time = now;
+                          flow = msg_flow;
+                          stage = "end";
+                          where_ = signal;
+                          dur = e2e;
+                        }));
+              base_deliver ()
+          end
         in
         if same_pe t proc dst then local_deliver t ~dst_name ~signal deliver
         else begin
           match t.faults with
           | Some f when Fault.Injector.active f.injector ->
-            arq_send t f ~src_proc:proc ~dst_proc:dst ~signal ~words deliver
+            arq_send t f ~src_proc:proc ~dst_proc:dst ~signal ~words
+              ~flow:msg_flow deliver
           | Some _ | None -> (
             let src_pe = Option.get (effective_pe t proc) in
             let dst_pe = Option.get (effective_pe t dst) in
             match
-              Hibi.Network.send t.network ~src:src_pe ~dst:dst_pe ~words
-                ~on_delivered:deliver
+              Hibi.Network.send ~flow:msg_flow t.network ~src:src_pe
+                ~dst:dst_pe ~words ~on_delivered:deliver
             with
             | Ok () -> ()
             | Error e ->
@@ -327,7 +426,7 @@ and local_deliver t ~dst_name ~signal deliver =
    the payload is CRC-32 framed, the receiver only accepts frames whose
    trailer checks out, and the sender retransmits on timeout with
    exponential backoff until [max_retries] is exhausted. *)
-and arq_send t f ~src_proc ~dst_proc ~signal ~words deliver =
+and arq_send t f ~src_proc ~dst_proc ~signal ~words ~flow deliver =
   let id = f.next_msg_id in
   f.next_msg_id <- id + 1;
   (* Deterministic stand-in payload: the model layer carries symbolic
@@ -346,6 +445,7 @@ and arq_send t f ~src_proc ~dst_proc ~signal ~words deliver =
       a_sender = src_proc.decl.Ir.proc_name;
       a_receiver = dst_proc.decl.Ir.proc_name;
       a_signal = signal;
+      a_flow = flow;
       a_attempts = 0;
       a_timer = None;
       a_done = false;
@@ -362,8 +462,8 @@ and arq_attempt t f ~src_proc ~dst_proc entry =
   let dst_pe = Option.get (effective_pe t dst_proc) in
   let on_outcome outcome = arq_receive t f entry ~attempt ~dst_pe outcome in
   (match
-     Hibi.Network.transfer t.network ~src:src_pe ~dst:dst_pe
-       ~words:entry.a_words ~on_outcome
+     Hibi.Network.transfer ~flow:entry.a_flow t.network ~src:src_pe
+       ~dst:dst_pe ~words:entry.a_words ~on_outcome
    with
   | Ok () -> ()
   | Error e ->
@@ -399,6 +499,26 @@ and arq_timeout t f ~src_proc ~dst_proc entry =
              signal = entry.a_signal;
              attempt = entry.a_attempts;
            });
+      if t.flows_on && entry.a_flow >= 0 then begin
+        (* The delay this retry adds is (at least) the timeout window
+           that just expired — the backoff armed for the previous
+           attempt. *)
+        let expired =
+          Int64.shift_left f.recovery.Fault.Plan.ack_timeout_ns
+            (min (entry.a_attempts - 1) 20)
+        in
+        Obs.Flow.hop t.flows ~flow:entry.a_flow ~stage:Obs.Flow.Retransmit
+          ~dur_ns:expired;
+        Sim.Trace.record t.trace
+          (Sim.Trace.Flow_hop
+             {
+               time = Sim.Engine.now t.engine;
+               flow = entry.a_flow;
+               stage = "retransmit";
+               where_ = entry.a_receiver;
+               dur = expired;
+             })
+      end;
       arq_attempt t f ~src_proc ~dst_proc entry
     end
 
@@ -485,6 +605,7 @@ and arm_timer t proc =
                 p_signal = timeout_signal;
                 p_args = [];
                 p_enqueued_at = Sim.Engine.now t.engine;
+                p_flow = -1;
               }
               proc.queue;
             pump t proc
@@ -604,11 +725,12 @@ let schedule_pe_faults t f =
                end)))
     (Fault.Injector.pe_slowdowns f.injector)
 
-let create ?trace:(trace_store = Sim.Trace.create ()) ?faults ?obs sys =
+let create ?trace:(trace_store = Sim.Trace.create ()) ?faults ?obs ?flows sys =
   match Ir.check sys with
   | _ :: _ as problems -> Error problems
   | [] ->
     let obs = match obs with Some s -> s | None -> Obs.Scope.null () in
+    let flows = match flows with Some f -> f | None -> Obs.Flow.disabled () in
     let metrics = Obs.Scope.metrics obs in
     let engine = Sim.Engine.create ~obs () in
     let network = Hibi.Network.create ~obs engine in
@@ -717,6 +839,7 @@ let create ?trace:(trace_store = Sim.Trace.create ()) ?faults ?obs sys =
             queue = Queue.create ();
             busy = false;
             timer = None;
+            current_flow = -1;
             stats = { handled = 0; total_wait_ns = 0L; max_wait_ns = 0L };
             track = "proc/" ^ name;
             m_sends = Obs.Metrics.counter metrics ("app." ^ name ^ ".sends");
@@ -737,6 +860,8 @@ let create ?trace:(trace_store = Sim.Trace.create ()) ?faults ?obs sys =
         tracer = Obs.Scope.tracer obs;
         obs_on = Obs.Scope.live obs;
         trace_on = Obs.Tracer.enabled (Obs.Scope.tracer obs);
+        flows;
+        flows_on = Obs.Flow.enabled flows;
         m_exec_cycles = Obs.Metrics.counter metrics "app.exec_cycles_total";
         m_signals = Obs.Metrics.counter metrics "app.signals_sent";
         m_discard_total = Obs.Metrics.counter metrics "app.signals_discarded";
@@ -770,8 +895,19 @@ let inject t ~dst ~signal ~args =
   match Hashtbl.find_opt t.procs dst with
   | None -> t.errors <- Printf.sprintf "inject: unknown process %s" dst :: t.errors
   | Some proc ->
+    let now = Sim.Engine.now t.engine in
+    let flow =
+      if not t.flows_on then -1
+      else begin
+        let id = Obs.Flow.mint t.flows ~now ~origin:signal in
+        Sim.Trace.record t.trace
+          (Sim.Trace.Flow_hop
+             { time = now; flow = id; stage = "born"; where_ = signal; dur = 0L });
+        id
+      end
+    in
     Queue.push
-      { p_signal = signal; p_args = args; p_enqueued_at = Sim.Engine.now t.engine }
+      { p_signal = signal; p_args = args; p_enqueued_at = now; p_flow = flow }
       proc.queue;
     pump t proc
 
@@ -819,3 +955,5 @@ let set_remap_hook t hook =
 
 let process_pe t name =
   Option.bind (Hashtbl.find_opt t.procs name) (fun p -> effective_pe t p)
+
+let flows t = t.flows

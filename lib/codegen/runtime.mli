@@ -19,6 +19,7 @@ val create :
   ?trace:Sim.Trace.t ->
   ?faults:Fault.Injector.t ->
   ?obs:Obs.Scope.t ->
+  ?flows:Obs.Flow.t ->
   Ir.system ->
   (t, string list) result
 (** Builds PEs, the HIBI network and process instances; returns errors
@@ -36,7 +37,18 @@ val create :
     a periodic watchdog detects crashed PEs, and detection triggers
     degradation re-mapping when the plan's recovery says so.  An
     inactive (empty-plan) injector is ignored entirely: behaviour,
-    traces and reports stay byte-identical to a fault-free run. *)
+    traces and reports stay byte-identical to a fault-free run.
+
+    [flows] enables causal flow tracing ({!Obs.Flow}): a flow id is
+    minted per context-free signal emission, inherited by every signal
+    sent while handling a flow-carrying event (fan-out through TUTMAC
+    fragmentation/reassembly included), carried through RTOS jobs and
+    HIBI transfers, and accounted per hop — queue wait, processing,
+    bus transfer, ARQ retransmission — plus end-to-end on each delivery
+    into an environment process.  Hops are also recorded as [Flow_hop]
+    trace events, so a saved log can be replayed into the same report.
+    Defaults to {!Obs.Flow.disabled}, which keeps traces, reports and
+    timing byte-identical to an untraced run. *)
 
 val engine : t -> Sim.Engine.t
 val trace : t -> Sim.Trace.t
@@ -88,3 +100,7 @@ val set_remap_hook :
 val process_pe : t -> string -> string option
 (** The PE a process is currently mapped to (tracking degradation
     re-mapping); [None] for unknown or environment processes. *)
+
+val flows : t -> Obs.Flow.t
+(** The causal flow tracker (the disabled default unless [create]
+    received one). *)

@@ -4,6 +4,7 @@ type request = {
   req_wrapper : string;
   req_address : int;
   req_priority : int;
+  req_flow : int;  (** causal flow id of the message; -1 = none *)
   req_seq : int;
   mutable req_words : int;  (** words still to move on this segment *)
   req_chunk : int;  (** words movable per grant (MaxTime / buffers) *)
@@ -292,7 +293,11 @@ let rec grant t segment =
              if t.trace_on then
                Obs.Tracer.complete t.tracer ~ts_ns:granted_at ~dur_ns:duration
                  ~cat:"hibi" ~track:segment.seg_track
-                 ~args:[ ("words", Obs.Span.Int burst) ]
+                 ~args:
+                   (let args = [ ("words", Obs.Span.Int burst) ] in
+                    if req.req_flow >= 0 then
+                      ("flow", Obs.Span.Int req.req_flow) :: args
+                    else args)
                  req.req_wrapper;
              req.req_words <- req.req_words - burst;
              if req.req_words > 0 then enqueue t segment req
@@ -342,7 +347,7 @@ let after_hop t segment ~words ~corrupt_flag ~continue =
     segment.delivered <- Int64.add segment.delivered 1L;
     ignore (Sim.Engine.schedule t.engine ~delay continue)
 
-let transfer t ~src ~dst ~words ~on_outcome =
+let transfer ?(flow = -1) t ~src ~dst ~words ~on_outcome =
   if words <= 0 then Error "words must be positive"
   else
     match route t ~src ~dst with
@@ -410,6 +415,7 @@ let transfer t ~src ~dst ~words ~on_outcome =
                   req_wrapper = wrapper.w_name;
                   req_address = wrapper.w_address;
                   req_priority = wrapper.w_bus_priority;
+                  req_flow = flow;
                   req_seq = t.next_seq;
                   req_words = words;
                   req_chunk = chunk_words segment wrapper;
@@ -426,8 +432,8 @@ let transfer t ~src ~dst ~words ~on_outcome =
       hop path;
       Ok ()
 
-let send t ~src ~dst ~words ~on_delivered =
-  transfer t ~src ~dst ~words ~on_outcome:(fun _ -> on_delivered ())
+let send ?flow t ~src ~dst ~words ~on_delivered =
+  transfer ?flow t ~src ~dst ~words ~on_outcome:(fun _ -> on_delivered ())
 
 type segment_stats = {
   busy_ns : int64;

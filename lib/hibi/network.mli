@@ -96,6 +96,7 @@ type outcome =
       (** Arrived, but some hop flipped bits in transit. *)
 
 val transfer :
+  ?flow:int ->
   t ->
   src:string ->
   dst:string ->
@@ -106,9 +107,14 @@ val transfer :
     [dst]; [on_outcome] fires when the last word reaches [dst]'s
     wrapper, saying whether it arrived intact.  Same-agent sends
     deliver after one local-bus cycle and bypass the fault hook.
-    Errors when either agent is not attached or unreachable. *)
+    [flow] (default [-1] = none) is the causal flow id of the message
+    ({!Obs.Flow}); when non-negative it is attached to every per-grant
+    trace span of the transfer, so a flow can be followed across
+    segment lanes.  Errors when either agent is not attached or
+    unreachable. *)
 
 val send :
+  ?flow:int ->
   t ->
   src:string ->
   dst:string ->

@@ -1,0 +1,115 @@
+(* Causal flow tracing: one flow id per SDU/signal origin, propagated by
+   the runtime through signal delivery, scheduling, bus transfers and
+   retransmission so end-to-end latency decomposes into per-hop stages.
+
+   The module itself is deliberately simulator-agnostic: the runtime
+   mints ids, attributes hop durations and declares completions, all in
+   simulated time; everything lands in HDR histograms registered in a
+   {!Metrics} registry under "flow.<origin>..." names, so snapshots,
+   merging and JSON export come for free.
+
+   A disabled tracker ([disabled ()]) turns every operation into a
+   single branch — runtimes precompute [enabled t] and skip the calls
+   entirely, which is what keeps flow-off runs byte-identical. *)
+
+type stage = Queue_wait | Process | Transfer | Retransmit
+
+let stage_name = function
+  | Queue_wait -> "queue"
+  | Process -> "process"
+  | Transfer -> "transfer"
+  | Retransmit -> "retransmit"
+
+let stage_of_name = function
+  | "queue" -> Some Queue_wait
+  | "process" -> Some Process
+  | "transfer" -> Some Transfer
+  | "retransmit" -> Some Retransmit
+  | _ -> None
+
+let all_stages = [ Queue_wait; Process; Transfer; Retransmit ]
+
+type birth = { b_origin : string; b_at : int64 }
+
+type t = {
+  on : bool;
+  metrics : Metrics.t;
+  mutable next_id : int;
+  births : (int, birth) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;  (** metric-name -> handle cache *)
+  m_minted : Metrics.counter;
+  m_completed : Metrics.counter;
+}
+
+let make ~on metrics =
+  {
+    on;
+    metrics;
+    next_id = 0;
+    births = Hashtbl.create 64;
+    hists = Hashtbl.create 16;
+    m_minted = Metrics.counter metrics "flow.minted";
+    m_completed = Metrics.counter metrics "flow.completed";
+  }
+
+let create ?metrics () =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  make ~on:true metrics
+
+let disabled () = make ~on:false (Metrics.create ())
+let enabled t = t.on
+let metrics t = t.metrics
+
+let hist t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    let h = Metrics.hdr t.metrics name in
+    Hashtbl.replace t.hists name h;
+    h
+
+let note_born t ~flow ~now ~origin =
+  if t.on && not (Hashtbl.mem t.births flow) then begin
+    Hashtbl.replace t.births flow { b_origin = origin; b_at = now };
+    if flow >= t.next_id then t.next_id <- flow + 1;
+    Metrics.inc t.m_minted
+  end
+
+let mint t ~now ~origin =
+  if not t.on then -1
+  else begin
+    let id = t.next_id in
+    note_born t ~flow:id ~now ~origin;
+    id
+  end
+
+let origin t ~flow =
+  Option.map (fun b -> b.b_origin) (Hashtbl.find_opt t.births flow)
+
+let birth_time t ~flow =
+  Option.map (fun b -> b.b_at) (Hashtbl.find_opt t.births flow)
+
+let hop t ~flow ~stage ~dur_ns =
+  if t.on then
+    match Hashtbl.find_opt t.births flow with
+    | None -> ()
+    | Some b ->
+      Histogram.record
+        (hist t ("flow." ^ b.b_origin ^ ".stage." ^ stage_name stage))
+        (Int64.to_int dur_ns)
+
+let complete t ~flow ~now ~terminal =
+  if not t.on then None
+  else
+    match Hashtbl.find_opt t.births flow with
+    | None -> None
+    | Some b ->
+      let e2e = Int64.sub now b.b_at in
+      Metrics.inc t.m_completed;
+      Histogram.record
+        (hist t ("flow." ^ b.b_origin ^ ".e2e." ^ terminal))
+        (Int64.to_int e2e);
+      Some e2e
+
+let minted t = Metrics.count t.m_minted
+let completed t = Metrics.count t.m_completed

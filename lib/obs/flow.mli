@@ -1,0 +1,77 @@
+(** Causal flow tracing.
+
+    A {e flow} is one causal chain through the simulated stack: it is
+    minted when a signal with no inherited causal context is emitted
+    (an SDU entering from the environment, a timer-driven transmission
+    opportunity, an external injection) and then rides along every
+    signal sent while handling it — through EFSM delivery, RTOS
+    scheduling, HIBI transfers and ARQ retransmission, fanning out
+    through fragmentation and back in through reassembly.
+
+    The runtime attributes per-hop durations to one of four stages and
+    declares a {e completion} each time a signal of the flow is
+    delivered back into an environment process.  Everything is recorded
+    in simulated time into {!Histogram}s registered in a {!Metrics}
+    registry under:
+
+    - ["flow.<origin>.stage.<stage>"] — per-hop stage durations (ns);
+    - ["flow.<origin>.e2e.<terminal>"] — end-to-end latency from mint to
+      each delivery of signal [<terminal>] into the environment (ns);
+    - ["flow.minted"] / ["flow.completed"] — counters.
+
+    [<origin>] is the signal the flow was born with, which is what makes
+    it a traffic class (TUTMAC: [MsduReq] data, [MngUserReq] management,
+    timer-born [PduReq] channel-access rounds, ...).
+
+    A tracker from {!disabled} makes every operation a no-op behind one
+    branch; runtimes precompute {!enabled} so flow-off runs stay
+    byte-identical with negligible overhead. *)
+
+type stage =
+  | Queue_wait  (** signal waiting in a process input queue *)
+  | Process  (** EFSM handling incl. RTOS scheduling + execution *)
+  | Transfer  (** inter-PE HIBI transport (incl. ARQ round trips) *)
+  | Retransmit  (** extra delay contributed by an ARQ retransmission *)
+
+val stage_name : stage -> string
+(** ["queue"], ["process"], ["transfer"], ["retransmit"] — the tokens
+    used in metric names and {!Sim.Trace} flow-hop lines. *)
+
+val stage_of_name : string -> stage option
+val all_stages : stage list
+
+type t
+
+val create : ?metrics:Metrics.t -> unit -> t
+(** An enabled tracker recording into [metrics] (a fresh registry by
+    default). *)
+
+val disabled : unit -> t
+(** All operations no-ops; {!mint} returns [-1]. *)
+
+val enabled : t -> bool
+val metrics : t -> Metrics.t
+
+val mint : t -> now:int64 -> origin:string -> int
+(** A fresh flow id (dense from 0), born [now] with traffic class
+    [origin]; [-1] when disabled. *)
+
+val note_born : t -> flow:int -> now:int64 -> origin:string -> unit
+(** Register an externally-chosen flow id (trace replay).  First birth
+    wins; ids count towards ["flow.minted"]. *)
+
+val origin : t -> flow:int -> string option
+val birth_time : t -> flow:int -> int64 option
+
+val hop : t -> flow:int -> stage:stage -> dur_ns:int64 -> unit
+(** Attribute [dur_ns] of one hop to [stage] of the flow's class.
+    Unknown flows are ignored. *)
+
+val complete : t -> flow:int -> now:int64 -> terminal:string -> int64 option
+(** Record a delivery of signal [terminal] into the environment:
+    end-to-end latency [now - birth] lands in the class's
+    [e2e.<terminal>] histogram and is returned.  [None] when disabled or
+    unknown.  A flow may complete several times (fan-out). *)
+
+val minted : t -> int
+val completed : t -> int

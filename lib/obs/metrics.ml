@@ -20,7 +20,7 @@ type histogram = {
   mutable h_max : int;
 }
 
-type instrument = C of counter | G of gauge | H of histogram
+type instrument = C of counter | G of gauge | H of histogram | D of Histogram.t
 
 type t = { table : (string, instrument) Hashtbl.t }
 
@@ -29,7 +29,8 @@ let create () = { table = Hashtbl.create 64 }
 let counter t name =
   match Hashtbl.find_opt t.table name with
   | Some (C c) -> c
-  | Some (G _ | H _) -> invalid_arg ("Obs.Metrics.counter: " ^ name ^ " is not a counter")
+  | Some (G _ | H _ | D _) ->
+    invalid_arg ("Obs.Metrics.counter: " ^ name ^ " is not a counter")
   | None ->
     let c = { c_count = 0 } in
     Hashtbl.replace t.table name (C c);
@@ -38,16 +39,27 @@ let counter t name =
 let gauge t name =
   match Hashtbl.find_opt t.table name with
   | Some (G g) -> g
-  | Some (C _ | H _) -> invalid_arg ("Obs.Metrics.gauge: " ^ name ^ " is not a gauge")
+  | Some (C _ | H _ | D _) ->
+    invalid_arg ("Obs.Metrics.gauge: " ^ name ^ " is not a gauge")
   | None ->
     let g = { g_last = 0; g_peak = 0 } in
     Hashtbl.replace t.table name (G g);
     g
 
+let hdr t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (D d) -> d
+  | Some (C _ | G _ | H _) ->
+    invalid_arg ("Obs.Metrics.hdr: " ^ name ^ " is not an HDR histogram")
+  | None ->
+    let d = Histogram.create () in
+    Hashtbl.replace t.table name (D d);
+    d
+
 let histogram t name =
   match Hashtbl.find_opt t.table name with
   | Some (H h) -> h
-  | Some (C _ | G _) ->
+  | Some (C _ | G _ | D _) ->
     invalid_arg ("Obs.Metrics.histogram: " ^ name ^ " is not a histogram")
   | None ->
     let h =
@@ -105,8 +117,14 @@ type value =
   | Counter of int
   | Gauge of { last_value : int; peak_value : int }
   | Histogram of hist_data
+  | Hdr of Histogram.snapshot
 
 type snapshot = (string * value) list
+
+(* Instrument names are unique, so ordering by name alone is total —
+   and it keeps snapshot (hence JSON key) order deterministic without
+   relying on polymorphic comparison of the values. *)
+let by_name (a, _) (b, _) = String.compare a b
 
 let snapshot t =
   Hashtbl.fold
@@ -124,10 +142,11 @@ let snapshot t =
               max_value = (if h.h_count = 0 then 0 else h.h_max);
               buckets = Array.copy h.h_buckets;
             }
+        | D d -> Hdr (Histogram.snapshot d)
       in
       (name, value) :: acc)
     t.table []
-  |> List.sort compare
+  |> List.sort by_name
 
 let find snap name = List.assoc_opt name snap
 
@@ -154,10 +173,16 @@ let merge_value a b =
           (if x.count = 0 then y.min_value
            else if y.count = 0 then x.min_value
            else min x.min_value y.min_value);
-        max_value = max x.max_value y.max_value;
+        (* same empty-side guard as min: an empty population's placeholder
+           0 must not beat an all-negative population's true maximum *)
+        max_value =
+          (if x.count = 0 then y.max_value
+           else if y.count = 0 then x.max_value
+           else max x.max_value y.max_value);
         buckets = Array.init hist_buckets (fun i -> x.buckets.(i) + y.buckets.(i));
       }
-  | (Counter _ | Gauge _ | Histogram _), _ ->
+  | Hdr x, Hdr y -> Hdr (Histogram.merge x y)
+  | (Counter _ | Gauge _ | Histogram _ | Hdr _), _ ->
     invalid_arg "Obs.Metrics.merge: instrument kind mismatch"
 
 let merge a b =
@@ -169,7 +194,7 @@ let merge a b =
       | None -> Hashtbl.replace table name v
       | Some existing -> Hashtbl.replace table name (merge_value existing v))
     b;
-  Hashtbl.fold (fun name v acc -> (name, v) :: acc) table [] |> List.sort compare
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) table [] |> List.sort by_name
 
 (* Fold a snapshot into a live registry with the same rules as [merge];
    histograms get their buckets added directly (the snapshot carries the
@@ -193,7 +218,8 @@ let absorb t snap =
         if hd.count > 0 then begin
           if hd.min_value < h.h_min then h.h_min <- hd.min_value;
           if hd.max_value > h.h_max then h.h_max <- hd.max_value
-        end)
+        end
+      | Hdr s -> Histogram.absorb (hdr t name) s)
     snap
 
 (* Percentile estimate from the log-scale buckets: the exclusive upper
@@ -238,7 +264,13 @@ let render snap =
         Printf.bprintf buf
           "hist    %-44s count=%d sum=%d min=%d max=%d mean=%.1f p50<=%.0f p90<=%.0f p99<=%.0f\n"
           name h.count h.sum h.min_value h.max_value (mean h)
-          (percentile h 50.0) (percentile h 90.0) (percentile h 99.0))
+          (percentile h 50.0) (percentile h 90.0) (percentile h 99.0)
+      | Hdr s ->
+        Printf.bprintf buf
+          "hdr     %-44s count=%d sum=%d min=%d max=%d mean=%.1f p50=%d p90=%d p99=%d\n"
+          name s.Histogram.s_count s.Histogram.s_sum s.Histogram.s_min
+          s.Histogram.s_max (Histogram.mean s) (Histogram.quantile s 50.0)
+          (Histogram.quantile s 90.0) (Histogram.quantile s 99.0))
     snap;
   Buffer.contents buf
 
@@ -271,5 +303,6 @@ let to_json snap =
                  ( "buckets",
                    Json.List
                      (Array.to_list (Array.map (fun n -> Json.Int n) h.buckets)) );
-               ] ))
+               ]
+           | Hdr s -> Histogram.to_json s ))
        snap)

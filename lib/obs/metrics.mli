@@ -21,6 +21,12 @@ val counter : t -> string -> counter
 val gauge : t -> string -> gauge
 val histogram : t -> string -> histogram
 
+val hdr : t -> string -> Histogram.t
+(** Find-or-create a fine-grained {!Histogram} (HDR-style, 3.125%
+    quantile precision) registered under [name]: it appears in
+    snapshots as {!Hdr} and participates in {!merge}/{!absorb} with the
+    {!Histogram.merge} algebra. *)
+
 val inc : ?by:int -> counter -> unit
 val count : counter -> int
 
@@ -51,9 +57,11 @@ type value =
   | Counter of int
   | Gauge of { last_value : int; peak_value : int }
   | Histogram of hist_data
+  | Hdr of Histogram.snapshot
 
 type snapshot = (string * value) list
-(** Sorted by instrument name. *)
+(** Sorted by instrument name (names are unique, so the order — and the
+    key order of {!to_json} — is deterministic). *)
 
 val snapshot : t -> snapshot
 
@@ -61,8 +69,9 @@ val find : snapshot -> string -> value option
 val counter_value : snapshot -> string -> int option
 
 val merge : snapshot -> snapshot -> snapshot
-(** Counters and histogram populations (count, sum, per-bucket tallies)
-    add; gauges keep the element-wise maximum of [last] and [peak].
+(** Counters and histogram populations (count, sum, per-bucket tallies
+    — both the coarse kind and {!Hdr}, via {!Histogram.merge}) add;
+    gauges keep the element-wise maximum of [last] and [peak].
     Gauges deliberately do {e not} use a last-writer rule: merged
     snapshots typically come from concurrently-running scopes (e.g. one
     registry per worker domain in parallel exploration) where no global

@@ -1,0 +1,94 @@
+(** End-to-end observability report over causal flows ({!Obs.Flow}).
+
+    Extends the paper's Table 4 with the latency dimension: per
+    traffic class (flows grouped by origin signal) the end-to-end
+    delivery latency distribution, its decomposition into queueing /
+    processing / transfer / retransmission stages, platform utilisation
+    (PE busy share, ready-queue high-water marks, segment pressure) and
+    the ARQ retry distribution.
+
+    The report is built either {e live} — from the metric snapshot of a
+    run whose runtime carried an enabled flow tracker — or by {e replay}
+    from a saved simulation log: the [L] flow-hop lines alone carry
+    enough information to rebuild the flow sections bit-identically
+    ({!of_trace} feeds them back through a fresh {!Obs.Flow}). *)
+
+type class_row = {
+  origin : string;  (** the flow's birth signal — its traffic class *)
+  terminal : string;  (** the delivered-into-environment signal *)
+  delivered : int;
+  mean_ns : float;
+  p50_ns : int;
+  p90_ns : int;
+  p99_ns : int;
+  max_ns : int;
+}
+
+type stage_row = {
+  s_origin : string;
+  s_stage : string;  (** {!Obs.Flow.stage_name} token *)
+  hops : int;
+  total_ns : int;
+  s_mean_ns : float;
+  s_p99_ns : int;
+  s_max_ns : int;
+}
+
+type pe_row = {
+  pe : string;
+  busy_ns : int64;
+  util_pct : float;  (** of the run duration; 0 when duration unknown *)
+  peak_ready : int;  (** RTOS ready-queue high-water mark *)
+}
+
+type segment_row = {
+  seg : string;
+  seg_words : int64;
+  seg_peak_waiting : int;  (** most requests ever queued on the segment *)
+}
+
+type retry_row = {
+  r_signal : string;
+  r_retries : int;
+  r_max_attempt : int;
+}
+
+type t = {
+  minted : int;
+  completed : int;
+  classes : class_row list;  (** sorted by (origin, terminal) *)
+  stages : stage_row list;
+      (** sorted by origin, stages in {!Obs.Flow.all_stages} order *)
+  pes : pe_row list;  (** sorted by PE name; empty in replay mode *)
+  segments : segment_row list;
+  retries : retry_row list;  (** sorted by signal *)
+  giveups : int;  (** ARQ transfers abandoned after max retries *)
+  duration_ns : int64 option;
+}
+
+val of_snapshot :
+  ?duration_ns:int64 ->
+  ?pe_busy:(string * int64) list ->
+  ?segments:(string * int64 * int) list ->
+  ?trace:Sim.Trace.t ->
+  Obs.Metrics.snapshot ->
+  t
+(** Parse the [flow.*] histogram/counter families and the
+    [sim.rtos.<pe>.queue_depth] gauge peaks out of a snapshot.
+    [pe_busy] supplies busy time per PE
+    ({!Codegen.Runtime.pe_busy_ns}), [segments] supplies
+    [(name, words, peak waiting)] triples, and [trace] supplies the
+    retransmission ([R]) and [arq_giveup] fault events for the retry
+    section. *)
+
+val of_trace : Sim.Trace.t -> t
+(** Replay: rebuild the flow sections from the [L] lines of a saved log
+    (platform rows stay empty — busy times are not in the log).  For a
+    log produced by a flows-on run, the flow sections equal the live
+    report's. *)
+
+val render_text : t -> string
+(** Deterministic fixed-width table rendering. *)
+
+val render_json : t -> Obs.Json.t
+(** Deterministic (alphabetical) key order. *)

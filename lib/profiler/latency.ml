@@ -35,7 +35,8 @@ let samples ~src_signal ~dst_signal trace =
           | Some _ | None -> ()
         end
       | Sim.Trace.Signal _ | Sim.Trace.Exec _ | Sim.Trace.State_change _
-      | Sim.Trace.Discard _ | Sim.Trace.Fault _ | Sim.Trace.Retransmit _ ->
+      | Sim.Trace.Discard _ | Sim.Trace.Fault _ | Sim.Trace.Retransmit _
+      | Sim.Trace.Flow_hop _ ->
         ())
     (Sim.Trace.events trace);
   List.rev !matched

@@ -55,7 +55,7 @@ let build groups trace =
         in
         Hashtbl.replace discard_table process (current + 1)
       | Sim.Trace.Exec _ | Sim.Trace.Signal _ | Sim.Trace.State_change _
-      | Sim.Trace.Fault _ | Sim.Trace.Retransmit _ ->
+      | Sim.Trace.Fault _ | Sim.Trace.Retransmit _ | Sim.Trace.Flow_hop _ ->
         ())
     (Sim.Trace.events trace);
   let discarded =

@@ -22,7 +22,8 @@ let build groups ~window_ns trace =
           | Sim.Trace.State_change { time; _ }
           | Sim.Trace.Discard { time; _ }
           | Sim.Trace.Fault { time; _ }
-          | Sim.Trace.Retransmit { time; _ } ->
+          | Sim.Trace.Retransmit { time; _ }
+          | Sim.Trace.Flow_hop { time; _ } ->
             time
         in
         max acc (index time))
@@ -43,7 +44,7 @@ let build groups ~window_ns trace =
       | Sim.Trace.Signal { time; _ } ->
         signal_counts.(index time) <- signal_counts.(index time) + 1
       | Sim.Trace.State_change _ | Sim.Trace.Discard _ | Sim.Trace.Fault _
-      | Sim.Trace.Retransmit _ ->
+      | Sim.Trace.Retransmit _ | Sim.Trace.Flow_hop _ ->
         ())
     (Sim.Trace.events trace);
   let windows =

@@ -3,6 +3,7 @@ type policy = Fifo | Priority_preemptive
 type job = {
   task : string;
   priority : int;
+  flow : int;  (** causal flow id the job belongs to; -1 = none *)
   mutable remaining_cycles : int64;
   seq : int;  (** arrival order; ties broken FIFO *)
   mutable ready_since : int64;  (** last time the job entered the ready queue *)
@@ -103,13 +104,17 @@ let pop_best t =
    the scheduler's trace lane.  Callers guard on [t.trace_on]. *)
 let slice_span t (r : running) ~preempted =
   let now = Engine.now t.engine in
+  let args =
+    [
+      ("priority", Obs.Span.Int r.job.priority);
+      ("preempted", Obs.Span.Bool preempted);
+    ]
+  in
   Obs.Tracer.complete t.tracer ~ts_ns:r.started_at
     ~dur_ns:(Int64.sub now r.started_at) ~cat:"rtos" ~track:t.track
     ~args:
-      [
-        ("priority", Obs.Span.Int r.job.priority);
-        ("preempted", Obs.Span.Bool preempted);
-      ]
+      (if r.job.flow >= 0 then ("flow", Obs.Span.Int r.job.flow) :: args
+       else args)
     r.job.task
 
 let rec dispatch t =
@@ -186,7 +191,7 @@ let preempt_if_needed t =
           r.job.on_complete ()
       end)
 
-let submit t ~task ~priority ~cycles k =
+let submit t ~task ~priority ?(flow = -1) ~cycles k =
   if cycles < 0L then invalid_arg "Sim.Rtos.submit: negative cycles";
   if t.crashed then ()  (* fail-stop: work submitted to a dead PE vanishes *)
   else begin
@@ -194,6 +199,7 @@ let submit t ~task ~priority ~cycles k =
     {
       task;
       priority;
+      flow;
       remaining_cycles = scale_cycles t (max 1L cycles);
       seq = t.next_seq;
       ready_since = Engine.now t.engine;

@@ -38,11 +38,20 @@ val name : t -> string
 val policy : t -> policy
 
 val submit :
-  t -> task:string -> priority:int -> cycles:int64 -> (unit -> unit) -> unit
+  t ->
+  task:string ->
+  priority:int ->
+  ?flow:int ->
+  cycles:int64 ->
+  (unit -> unit) ->
+  unit
 (** Queue [cycles] of work on behalf of [task]; the continuation runs
     when the burst completes.  [cycles] are reference-platform cycles and
     are divided by the PE's [perf_factor].  Zero-cycle jobs complete
-    after a one-cycle scheduling overhead. *)
+    after a one-cycle scheduling overhead.  [flow] (default [-1] = none)
+    is the causal flow id the job belongs to ({!Obs.Flow}); when
+    non-negative it is attached to the job's run-slice trace spans, so
+    a flow can be followed through the scheduler lanes. *)
 
 val crash : t -> unit
 (** Fail-stop fault: cancel the running slice (accounting its executed

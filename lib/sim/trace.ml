@@ -18,6 +18,13 @@ type event =
       signal : string;
       attempt : int;
     }
+  | Flow_hop of {
+      time : int64;
+      flow : int;
+      stage : string;
+      where_ : string;
+      dur : int64;
+    }
 
 type t = { mutable events : event list; mutable length : int }
 
@@ -44,7 +51,8 @@ let total_cycles t =
           Option.value ~default:0L (Hashtbl.find_opt table process)
         in
         Hashtbl.replace table process (Int64.add current cycles)
-      | Signal _ | State_change _ | Discard _ | Fault _ | Retransmit _ -> ())
+      | Signal _ | State_change _ | Discard _ | Fault _ | Retransmit _
+      | Flow_hop _ -> ())
     t.events;
   Hashtbl.fold (fun process cycles acc -> (process, cycles) :: acc) table []
   |> List.sort compare
@@ -58,7 +66,8 @@ let signal_counts t =
         let key = (sender, receiver) in
         let current = Option.value ~default:0 (Hashtbl.find_opt table key) in
         Hashtbl.replace table key (current + 1)
-      | Exec _ | State_change _ | Discard _ | Fault _ | Retransmit _ -> ())
+      | Exec _ | State_change _ | Discard _ | Fault _ | Retransmit _
+      | Flow_hop _ -> ())
     t.events;
   Hashtbl.fold (fun key count acc -> (key, count) :: acc) table []
   |> List.sort compare
@@ -80,6 +89,8 @@ let event_to_line = function
       (if info = "" then "-" else info)
   | Retransmit { time; sender; receiver; signal; attempt } ->
     Printf.sprintf "R %Ld %s %s %s %d" time sender receiver signal attempt
+  | Flow_hop { time; flow; stage; where_; dur } ->
+    Printf.sprintf "L %Ld %d %s %s %Ld" time flow stage where_ dur
 
 let event_of_line line =
   let fields =
@@ -120,6 +131,12 @@ let event_of_line line =
       Ok (Retransmit { time; sender; receiver; signal; attempt })
     | Error e, _ -> Error e
     | _, _ -> Error (Printf.sprintf "bad attempt in %S" line))
+  | [ "L"; time; flow; stage; where_; dur ] -> (
+    match time_of time, int_of_string_opt flow, Int64.of_string_opt dur with
+    | Ok time, Some flow, Some dur when flow >= 0 && dur >= 0L ->
+      Ok (Flow_hop { time; flow; stage; where_; dur })
+    | Error e, _, _ -> Error e
+    | _, _, _ -> Error (Printf.sprintf "bad flow or dur in %S" line))
   | _ -> Error (Printf.sprintf "unrecognised log line %S" line)
 
 let to_lines t = List.map event_to_line (events t)

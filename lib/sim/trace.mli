@@ -12,6 +12,7 @@
       D <time_ns> <process> <signal>              discarded signal
       F <time_ns> <kind> <target> <info>          fault / recovery event
       R <time_ns> <sender> <receiver> <signal> <attempt>   retransmission
+      L <time_ns> <flow> <stage> <where> <dur_ns>          flow hop
     v}
     Process names are fully qualified part names and must not contain
     whitespace. *)
@@ -42,6 +43,19 @@ type event =
       receiver : string;
       signal : string;
       attempt : int;  (** 1 = first retransmission *)
+    }
+  | Flow_hop of {
+      time : int64;
+      flow : int;  (** flow id, >= 0 *)
+      stage : string;
+          (** [born] (minted; [where_] = origin signal, [dur] = 0),
+              [queue] / [process] / [transfer] / [retransmit] (one hop;
+              [where_] = process / destination, [dur] = hop duration),
+              or [end] (delivered into the environment; [where_] =
+              terminal signal, [dur] = end-to-end latency).  Only
+              recorded when causal flow tracing ({!Obs.Flow}) is on. *)
+      where_ : string;
+      dur : int64;  (** ns of simulated time, >= 0 *)
     }
 
 type t

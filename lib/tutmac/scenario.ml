@@ -92,7 +92,7 @@ let install_remap_hook config view runtime =
             (Profiler.Groups.members groups group))
         result.Dse.Explore.best)
 
-let run_builder ?(via_xmi = false) ?obs config builder =
+let run_builder ?(via_xmi = false) ?obs ?flows config builder =
   let validation = Tut_profile.Builder.validate builder in
   if not (Tut_profile.Rules.is_valid validation) then
     Error
@@ -114,7 +114,7 @@ let run_builder ?(via_xmi = false) ?obs config builder =
         else
           Some (Fault.Injector.create ~plan:config.faults ~seed:config.fault_seed)
       in
-      match Codegen.Runtime.create ?faults:injector ?obs sys with
+      match Codegen.Runtime.create ?faults:injector ?obs ?flows sys with
       | Error problems -> Error (String.concat "; " problems)
       | Ok runtime -> (
         if injector <> None then install_remap_hook config view runtime;
@@ -146,7 +146,8 @@ let run_builder ?(via_xmi = false) ?obs config builder =
               fault_stats = Codegen.Runtime.fault_stats runtime;
             }))
 
-let run ?via_xmi ?obs config = run_builder ?via_xmi ?obs config (build_model config)
+let run ?via_xmi ?obs ?flows config =
+  run_builder ?via_xmi ?obs ?flows config (build_model config)
 
 let render_figures config =
   let builder = build_model config in

@@ -43,17 +43,24 @@ type run_result = {
           a non-empty fault plan; [None] otherwise. *)
 }
 
-val run : ?via_xmi:bool -> ?obs:Obs.Scope.t -> config -> (run_result, string) result
+val run :
+  ?via_xmi:bool ->
+  ?obs:Obs.Scope.t ->
+  ?flows:Obs.Flow.t ->
+  config ->
+  (run_result, string) result
 (** Simulate for [duration_ns] and profile.  With [via_xmi:true] the
     process-group information is recovered by serialising the model to
     XML and parsing it back — the authentic tool-chain path of the
     paper's profiling tool (slower, bit-identical result).  [obs] is
     threaded through the whole runtime (engine, RTOS, HIBI, process
-    network); see {!Codegen.Runtime.create}. *)
+    network) and [flows] enables causal flow tracing; see
+    {!Codegen.Runtime.create}. *)
 
 val run_builder :
   ?via_xmi:bool ->
   ?obs:Obs.Scope.t ->
+  ?flows:Obs.Flow.t ->
   config ->
   Tut_profile.Builder.t ->
   (run_result, string) result

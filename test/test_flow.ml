@@ -1,0 +1,192 @@
+(* Causal flow tracing end-to-end: flows minted/completed on the seed
+   TUTMAC scenario, per-class latency histograms in the registry, the
+   replay path (report from the saved log equals the live report), the
+   flows-off determinism guarantee, and retransmission attribution under
+   an ARQ fault plan. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let short_config =
+  { Tutmac.Scenario.default with Tutmac.Scenario.duration_ns = 50_000_000L }
+
+let run_with_flows ?(config = short_config) () =
+  let obs = Obs.Scope.create () in
+  let flows = Obs.Flow.create ~metrics:(Obs.Scope.metrics obs) () in
+  match Tutmac.Scenario.run ~obs ~flows config with
+  | Error e -> Alcotest.fail e
+  | Ok result -> (result, obs, flows)
+
+let test_scenario_flows () =
+  let result, obs, flows = run_with_flows () in
+  check bool_t "flows minted" true (Obs.Flow.minted flows > 0);
+  check bool_t "flows completed" true (Obs.Flow.completed flows > 0);
+  check bool_t "completions never outnumber hops through the stack" true
+    (Obs.Flow.completed flows <= Sim.Trace.length result.Tutmac.Scenario.trace);
+  let snapshot = Obs.Metrics.snapshot (Obs.Scope.metrics obs) in
+  check (Alcotest.option int_t) "minted counter in the registry"
+    (Some (Obs.Flow.minted flows))
+    (Obs.Metrics.counter_value snapshot "flow.minted");
+  check (Alcotest.option int_t) "completed counter in the registry"
+    (Some (Obs.Flow.completed flows))
+    (Obs.Metrics.counter_value snapshot "flow.completed");
+  (* the MSDU data path records per-stage hops under its class, and the
+     fragments cross PEs so the transfer stage must be populated *)
+  (match Obs.Metrics.find snapshot "flow.MsduReq.stage.transfer" with
+  | Some (Obs.Metrics.Hdr s) ->
+    check bool_t "MsduReq transfer hops" true (s.Obs.Histogram.s_count > 0)
+  | _ -> Alcotest.fail "no MsduReq transfer-stage histogram");
+  (* some class completes end-to-end with a positive latency *)
+  let e2e =
+    List.filter_map
+      (fun (name, v) ->
+        match (String.split_on_char '.' name, v) with
+        | [ "flow"; _; "e2e"; _ ], Obs.Metrics.Hdr s -> Some s
+        | _ -> None)
+      snapshot
+  in
+  check bool_t "at least one e2e class" true (e2e <> []);
+  check bool_t "e2e latencies are positive" true
+    (List.exists (fun s -> s.Obs.Histogram.s_max > 0) e2e)
+
+let test_report_and_replay_equivalence () =
+  let result, obs, _flows = run_with_flows () in
+  let trace = result.Tutmac.Scenario.trace in
+  let live =
+    Profiler.Flow_report.of_snapshot
+      ~duration_ns:short_config.Tutmac.Scenario.duration_ns
+      ~pe_busy:(Codegen.Runtime.pe_busy_ns result.Tutmac.Scenario.runtime)
+      ~trace
+      (Obs.Metrics.snapshot (Obs.Scope.metrics obs))
+  in
+  check bool_t "live report has classes" true
+    (live.Profiler.Flow_report.classes <> []);
+  check bool_t "live report has platform rows" true
+    (live.Profiler.Flow_report.pes <> []);
+  (* save the log, load it back, rebuild the report from L lines only *)
+  let path = Filename.temp_file "flow" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sim.Trace.save trace path;
+      match Sim.Trace.load path with
+      | Error e -> Alcotest.fail e
+      | Ok loaded ->
+        let replayed = Profiler.Flow_report.of_trace loaded in
+        check int_t "minted replays" live.Profiler.Flow_report.minted
+          replayed.Profiler.Flow_report.minted;
+        check int_t "completed replays" live.Profiler.Flow_report.completed
+          replayed.Profiler.Flow_report.completed;
+        check bool_t "class rows replay bit-identically" true
+          (live.Profiler.Flow_report.classes
+          = replayed.Profiler.Flow_report.classes);
+        check bool_t "stage rows replay bit-identically" true
+          (live.Profiler.Flow_report.stages
+          = replayed.Profiler.Flow_report.stages);
+        check bool_t "replay omits platform rows" true
+          (replayed.Profiler.Flow_report.pes = []));
+  (* both renderers are total and the JSON parses *)
+  check bool_t "text renders" true
+    (String.length (Profiler.Flow_report.render_text live) > 0);
+  match
+    Obs.Json.parse
+      (Obs.Json.to_string (Profiler.Flow_report.render_json live))
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let is_flow_hop = function Sim.Trace.Flow_hop _ -> true | _ -> false
+
+let test_flows_off_unchanged () =
+  (* The tentpole determinism guarantee: a flows-on run is the flows-off
+     run plus L lines — nothing else moves. *)
+  let off =
+    match Tutmac.Scenario.run short_config with
+    | Ok result -> result
+    | Error e -> Alcotest.fail e
+  in
+  let on, _, flows = run_with_flows () in
+  let off_events = Sim.Trace.events off.Tutmac.Scenario.trace in
+  let on_events = Sim.Trace.events on.Tutmac.Scenario.trace in
+  check bool_t "flows-off run records no flow hops" true
+    (not (List.exists is_flow_hop off_events));
+  check bool_t "flows-on run records flow hops" true
+    (List.exists is_flow_hop on_events);
+  check bool_t "stripping L lines recovers the flows-off trace" true
+    (List.filter (fun e -> not (is_flow_hop e)) on_events = off_events);
+  check bool_t "reports agree" true
+    (off.Tutmac.Scenario.report = on.Tutmac.Scenario.report);
+  check bool_t "sanity: the tracked run minted flows" true
+    (Obs.Flow.minted flows > 0)
+
+let test_fault_retransmit_attribution () =
+  (* A lossy HIBI plan forces ARQ retransmissions; their backoff windows
+     must be attributed to the retransmit stage of traced flows. *)
+  let plan =
+    {
+      Fault.Plan.specs =
+        [
+          Fault.Plan.Hibi_drop
+            { segment = "*"; rate = 0.3; window = Fault.Plan.always };
+        ];
+      recovery =
+        {
+          Fault.Plan.default_recovery with
+          Fault.Plan.ack_timeout_ns = 300_000L;
+        };
+    }
+  in
+  let config =
+    {
+      short_config with
+      Tutmac.Scenario.duration_ns = 100_000_000L;
+      Tutmac.Scenario.faults = plan;
+      Tutmac.Scenario.fault_seed = 42;
+    }
+  in
+  let result, obs, _flows = run_with_flows ~config () in
+  let trace = result.Tutmac.Scenario.trace in
+  let retransmissions =
+    List.exists
+      (function Sim.Trace.Retransmit _ -> true | _ -> false)
+      (Sim.Trace.events trace)
+  in
+  check bool_t "the plan produced retransmissions" true retransmissions;
+  let snapshot = Obs.Metrics.snapshot (Obs.Scope.metrics obs) in
+  let retransmit_hops =
+    List.fold_left
+      (fun acc (name, v) ->
+        match (String.split_on_char '.' name, v) with
+        | [ "flow"; _; "stage"; "retransmit" ], Obs.Metrics.Hdr s ->
+          acc + s.Obs.Histogram.s_count
+        | _ -> acc)
+      0 snapshot
+  in
+  check bool_t "retransmit hops attributed to flows" true (retransmit_hops > 0);
+  (* every retransmit hop carries the (positive) expired backoff window *)
+  let report = Profiler.Flow_report.of_snapshot ~trace snapshot in
+  List.iter
+    (fun (s : Profiler.Flow_report.stage_row) ->
+      if s.Profiler.Flow_report.s_stage = "retransmit" then
+        check bool_t "retransmit durations positive" true
+          (s.Profiler.Flow_report.total_ns > 0))
+    report.Profiler.Flow_report.stages;
+  check bool_t "retry rows in the report" true
+    (report.Profiler.Flow_report.retries <> [])
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "flows minted and completed" `Quick
+            test_scenario_flows;
+          Alcotest.test_case "report and replay equivalence" `Quick
+            test_report_and_replay_equivalence;
+          Alcotest.test_case "flows off leaves the run unchanged" `Quick
+            test_flows_off_unchanged;
+          Alcotest.test_case "fault retransmit attribution" `Quick
+            test_fault_retransmit_attribution;
+        ] );
+    ]

@@ -115,6 +115,12 @@ let sample_events =
         signal = "Go";
         attempt = 2;
       };
+    Sim.Trace.Flow_hop
+      { time = 90L; flow = 0; stage = "born"; where_ = "Go"; dur = 0L };
+    Sim.Trace.Flow_hop
+      { time = 95L; flow = 3; stage = "queue"; where_ = "top.b"; dur = 1200L };
+    Sim.Trace.Flow_hop
+      { time = 99L; flow = 3; stage = "end"; where_ = "GoInd"; dur = 4500L };
   ]
 
 let filled () =
@@ -124,7 +130,7 @@ let filled () =
 
 let test_trace_aggregation () =
   let t = filled () in
-  check int_t "length" 8 (Sim.Trace.length t);
+  check int_t "length" 11 (Sim.Trace.length t);
   check
     (Alcotest.list (Alcotest.pair Alcotest.string int64_t))
     "total cycles"
@@ -173,6 +179,11 @@ let test_trace_bad_lines () =
       "R 1 a b sig";
       "R 1 a b sig -2";
       "R 1 a b sig two";
+      "L 1 0 queue p";
+      "L 1 -1 queue p 5";
+      "L 1 0 queue p -5";
+      "L oops 0 queue p 5";
+      "L 1 zero queue p 5";
     ]
 
 (* of_lines reports the 1-based line number of the first malformed line,
@@ -233,6 +244,14 @@ let gen_event =
          return
            (Sim.Trace.Retransmit
               { time; sender; receiver; signal = "Sig"; attempt }));
+        (let* time = time in
+         let* flow = int_range 0 5000 in
+         let* stage =
+           oneofl [ "born"; "queue"; "process"; "transfer"; "retransmit"; "end" ]
+         in
+         let* where_ = name in
+         let* dur = map Int64.of_int (int_range 0 1_000_000) in
+         return (Sim.Trace.Flow_hop { time; flow; stage; where_; dur }));
       ])
 
 let prop_trace_roundtrip =
