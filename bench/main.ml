@@ -957,6 +957,372 @@ let bench_obs () =
     exit 1
   end
 
+(* ---- compiled simulation kernel --------------------------------------- *)
+
+(* Written to BENCH_sim.json; run alone with TUTBENCH_ONLY=sim (the CI
+   perf smoke).  Two measurements plus two gates:
+
+   - end-to-end: the TUTMAC scenario under --engine reference vs
+     --engine compiled, alternating back-to-back pairs.  This includes
+     everything both engines share (trace recording, RTOS, HIBI), so it
+     is an honest but Amdahl-diluted number.  Gate: the traces must be
+     byte-identical, and compiled must not be slower (< 1x fails).
+   - kernel: pure EFSM stepping on the real machines of the lowered
+     TUTMAC system, no event queue or platform around them — the
+     Interp-vs-Compiled ratio the bytecode engine is actually about.
+     Gate: every step must agree (state, variables, error counts).
+
+   Allocation is reported as minor words per dispatched event for both
+   engines (the compiled engine's preallocated arrays are most visible
+   there). *)
+let bench_sim () =
+  let sim_ms =
+    match Sys.getenv_opt "TUTBENCH_SIM_MS" with
+    | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> 10_000)
+    | None -> 10_000
+  in
+  section
+    (Printf.sprintf "Compiled simulation kernel (%d ms horizon)" sim_ms);
+  let config engine =
+    {
+      Tutmac.Scenario.default with
+      Tutmac.Scenario.duration_ns = Int64.mul (Int64.of_int sim_ms) 1_000_000L;
+      engine;
+    }
+  in
+  let time f =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    Unix.gettimeofday () -. t0
+  in
+  let median samples =
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let min3 f = min (f ()) (min (f ()) (f ())) in
+  let run engine () =
+    match Tutmac.Scenario.run (config engine) with
+    | Ok result -> result
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  (* Divergence gate first: one run per engine, full-trace diff. *)
+  let ref_result = run Codegen.Runtime.Reference () in
+  let com_result = run Codegen.Runtime.Compiled () in
+  let ref_lines = Sim.Trace.to_lines ref_result.Tutmac.Scenario.trace in
+  let com_lines = Sim.Trace.to_lines com_result.Tutmac.Scenario.trace in
+  let divergence =
+    let rec first i = function
+      | [], [] -> None
+      | a :: _, [] -> Some (i, a, "<end>")
+      | [], b :: _ -> Some (i, "<end>", b)
+      | a :: ra, b :: rb -> if a <> b then Some (i, a, b) else first (i + 1) (ra, rb)
+    in
+    first 0 (ref_lines, com_lines)
+  in
+  (match divergence with
+  | Some (i, a, b) ->
+    Printf.printf "  FAIL: traces diverge at event %d\n    reference: %s\n    compiled:  %s\n" i a b;
+    exit 1
+  | None ->
+    Printf.printf "  traces identical (%d events)\n" (List.length ref_lines));
+  (* End-to-end timing: alternating back-to-back pairs, min-of-3 each
+     side, median of the per-pair ratios. *)
+  let reps = 7 in
+  let ref_s = ref [] and com_s = ref [] and ratios = ref [] in
+  for i = 1 to reps do
+    let measure_ref () = min3 (fun () -> time (run Codegen.Runtime.Reference)) in
+    let measure_com () = min3 (fun () -> time (run Codegen.Runtime.Compiled)) in
+    let r, c =
+      if i mod 2 = 0 then
+        let r = measure_ref () in
+        (r, measure_com ())
+      else
+        let c = measure_com () in
+        (measure_ref (), c)
+    in
+    ref_s := r :: !ref_s;
+    com_s := c :: !com_s;
+    ratios := (r /. c) :: !ratios
+  done;
+  let ref_med = median !ref_s and com_med = median !com_s in
+  let scenario_speedup = median !ratios in
+  (* Minor words per event, one run each. *)
+  let alloc_per_event engine =
+    Gc.full_major ();
+    let w0 = Gc.minor_words () in
+    let result = run engine () in
+    let w1 = Gc.minor_words () in
+    (w1 -. w0)
+    /. float_of_int (max 1 (Sim.Trace.length result.Tutmac.Scenario.trace))
+  in
+  let ref_words = alloc_per_event Codegen.Runtime.Reference in
+  let com_words = alloc_per_event Codegen.Runtime.Compiled in
+  Printf.printf "  %-28s %10.4f s\n" "reference engine" ref_med;
+  Printf.printf "  %-28s %10.4f s\n" "compiled engine" com_med;
+  Printf.printf "  %-28s %10.2f x\n" "end-to-end speedup" scenario_speedup;
+  Printf.printf "  %-28s %10.1f minor words/event\n" "reference allocation" ref_words;
+  Printf.printf "  %-28s %10.1f minor words/event\n" "compiled allocation" com_words;
+  (* Kernel microbenchmark: the lowered TUTMAC machines stepped
+     directly.  Both engines consume the identical synthetic event
+     sequence; every step is cross-checked. *)
+  let sys =
+    match Tutmac.Scenario.system Tutmac.Scenario.default with
+    | Ok sys -> sys
+    | Error problems ->
+      prerr_endline (String.concat "; " problems);
+      exit 1
+  in
+  let stimuli =
+    List.filter_map
+      (fun p ->
+        let m = p.Codegen.Ir.machine in
+        match Efsm.Machine.signals_consumed m with
+        | [] -> None
+        | signals ->
+          let events =
+            Array.of_list
+              (List.map
+                 (fun s ->
+                   ( s,
+                     List.mapi
+                       (fun k name -> (name, Efsm.Action.V_int (k + 1)))
+                       (Codegen.Ir.signal_params sys s) ))
+                 signals)
+          in
+          Some (m, events))
+      sys.Codegen.Ir.procs
+  in
+  let kernel_rounds = 60_000 in
+  let dispatch_count =
+    List.fold_left (fun acc (_, ev) -> acc + Array.length ev) 0 stimuli
+    * kernel_rounds
+  in
+  (* drive (instance, dispatch, completions, state, vars) through the
+     synthetic sequence; returns (errors, final states+vars digest) *)
+  let drive create dispatch completions state vars =
+    let errors = ref 0 in
+    let digest = ref [] in
+    List.iter
+      (fun (m, events) ->
+        let inst = create m in
+        for round = 0 to kernel_rounds - 1 do
+          let signal, args = events.(round mod Array.length events) in
+          (try
+             ignore (Sys.opaque_identity (dispatch inst ~signal ~args));
+             ignore (Sys.opaque_identity (completions inst))
+           with Efsm.Action.Type_error _ -> incr errors)
+        done;
+        digest := (state inst, List.sort compare (vars inst)) :: !digest)
+      stimuli;
+    (!errors, !digest)
+  in
+  let drive_reference () =
+    drive Efsm.Interp.create
+      (fun i ~signal ~args -> Efsm.Interp.dispatch i ~signal ~args)
+      Efsm.Interp.run_completions Efsm.Interp.state Efsm.Interp.variables
+  in
+  let drive_compiled () =
+    let programs = Hashtbl.create 8 in
+    let create m =
+      match Hashtbl.find_opt programs m.Efsm.Machine.name with
+      | Some prog -> Efsm.Compiled.create prog
+      | None ->
+        let prog = Efsm.Compiled.compile m in
+        Hashtbl.add programs m.Efsm.Machine.name prog;
+        Efsm.Compiled.create prog
+    in
+    drive create
+      (fun i ~signal ~args -> Efsm.Compiled.dispatch i ~signal ~args)
+      Efsm.Compiled.run_completions Efsm.Compiled.state Efsm.Compiled.variables
+  in
+  let ref_out = drive_reference () in
+  let com_out = drive_compiled () in
+  if ref_out <> com_out then begin
+    Printf.printf "  FAIL: kernel microbenchmark outcomes diverge\n";
+    exit 1
+  end;
+  let kernel_ratios = ref [] in
+  let kref = ref [] and kcom = ref [] in
+  for i = 1 to reps do
+    let r, c =
+      if i mod 2 = 0 then
+        let r = min3 (fun () -> time drive_reference) in
+        (r, min3 (fun () -> time drive_compiled))
+      else
+        let c = min3 (fun () -> time drive_compiled) in
+        (min3 (fun () -> time drive_reference), c)
+    in
+    kref := r :: !kref;
+    kcom := c :: !kcom;
+    kernel_ratios := (r /. c) :: !kernel_ratios
+  done;
+  let kref_med = median !kref and kcom_med = median !kcom in
+  let kernel_speedup = median !kernel_ratios in
+  let kernel_alloc f =
+    Gc.full_major ();
+    let w0 = Gc.minor_words () in
+    ignore (Sys.opaque_identity (f ()));
+    (Gc.minor_words () -. w0) /. float_of_int dispatch_count
+  in
+  let kref_words = kernel_alloc drive_reference in
+  let kcom_words = kernel_alloc drive_compiled in
+  (* Guard/action-heavy synthetic machine: where expression evaluation
+     dominates the step (nested guards over many variables, a bounded
+     loop per action), the tree-walking interpreter pays per-node
+     allocation and O(vars) assoc lookups that the bytecode does not. *)
+  let heavy_machine =
+    let open Efsm.Action in
+    let guard k =
+      (v "a" * i 3) + (v "b" - v "c") > (v "d" * i k) - v "e"
+      && (v "f" <= v "g" * i 4 || v "flag" = b false)
+    in
+    let body k =
+      [
+        assign "acc" (i 0);
+        assign "j" (i 0);
+        While
+          ( v "j" < i 12,
+            [
+              assign "acc" (v "acc" + ((v "j" * v "a") mod i 97));
+              assign "j" (v "j" + i 1);
+            ] );
+        assign "a" ((v "a" + v "acc" + p "k") mod i 1000);
+        assign "b" ((v "b" + i k) mod i 997);
+      ]
+    in
+    Efsm.Machine.make ~name:"heavy" ~states:[ "s0"; "s1" ] ~initial:"s0"
+      ~variables:
+        [
+          ("a", V_int 3); ("b", V_int 14); ("c", V_int 15); ("d", V_int 9);
+          ("e", V_int 2); ("f", V_int 6); ("g", V_int 5); ("flag", V_bool false);
+          ("acc", V_int 0); ("j", V_int 0);
+        ]
+      [
+        Efsm.Machine.transition ~guard:(guard 2) ~actions:(body 1) ~src:"s0"
+          ~dst:"s1" (Efsm.Machine.On_signal "step");
+        Efsm.Machine.transition ~guard:(guard 5) ~actions:(body 2) ~src:"s0"
+          ~dst:"s0" (Efsm.Machine.On_signal "step");
+        Efsm.Machine.transition ~actions:(body 3) ~src:"s0" ~dst:"s0"
+          (Efsm.Machine.On_signal "step");
+        Efsm.Machine.transition ~guard:(guard 3) ~actions:(body 4) ~src:"s1"
+          ~dst:"s0" (Efsm.Machine.On_signal "step");
+        Efsm.Machine.transition ~actions:(body 5) ~src:"s1" ~dst:"s1"
+          (Efsm.Machine.On_signal "step");
+      ]
+  in
+  let heavy_rounds = 200_000 in
+  let heavy_args = [ ("k", Efsm.Action.V_int 11) ] in
+  let drive_heavy_reference () =
+    let inst = Efsm.Interp.create heavy_machine in
+    for _ = 1 to heavy_rounds do
+      ignore
+        (Sys.opaque_identity (Efsm.Interp.dispatch inst ~signal:"step" ~args:heavy_args))
+    done;
+    (Efsm.Interp.state inst, List.sort compare (Efsm.Interp.variables inst))
+  in
+  let heavy_program = Efsm.Compiled.compile heavy_machine in
+  let drive_heavy_compiled () =
+    let inst = Efsm.Compiled.create heavy_program in
+    for _ = 1 to heavy_rounds do
+      ignore
+        (Sys.opaque_identity
+           (Efsm.Compiled.dispatch inst ~signal:"step" ~args:heavy_args))
+    done;
+    (Efsm.Compiled.state inst, List.sort compare (Efsm.Compiled.variables inst))
+  in
+  if drive_heavy_reference () <> drive_heavy_compiled () then begin
+    Printf.printf "  FAIL: heavy-machine outcomes diverge\n";
+    exit 1
+  end;
+  let heavy_ratios = ref [] in
+  let href = ref [] and hcom = ref [] in
+  for i = 1 to reps do
+    let r, c =
+      if i mod 2 = 0 then
+        let r = min3 (fun () -> time drive_heavy_reference) in
+        (r, min3 (fun () -> time drive_heavy_compiled))
+      else
+        let c = min3 (fun () -> time drive_heavy_compiled) in
+        (min3 (fun () -> time drive_heavy_reference), c)
+    in
+    href := r :: !href;
+    hcom := c :: !hcom;
+    heavy_ratios := (r /. c) :: !heavy_ratios
+  done;
+  let href_med = median !href and hcom_med = median !hcom in
+  let heavy_speedup = median !heavy_ratios in
+  let heavy_alloc f =
+    Gc.full_major ();
+    let w0 = Gc.minor_words () in
+    ignore (Sys.opaque_identity (f ()));
+    (Gc.minor_words () -. w0) /. float_of_int heavy_rounds
+  in
+  let href_words = heavy_alloc drive_heavy_reference in
+  let hcom_words = heavy_alloc drive_heavy_compiled in
+  Printf.printf "  %-28s %10.4f s (%d dispatches)\n" "kernel: reference" kref_med
+    dispatch_count;
+  Printf.printf "  %-28s %10.4f s\n" "kernel: compiled" kcom_med;
+  Printf.printf "  %-28s %10.2f x (target 5x)\n" "kernel speedup" kernel_speedup;
+  Printf.printf "  %-28s %10.1f minor words/dispatch\n" "kernel: reference alloc"
+    kref_words;
+  Printf.printf "  %-28s %10.1f minor words/dispatch\n" "kernel: compiled alloc"
+    kcom_words;
+  Printf.printf "  %-28s %10.4f s (%d dispatches)\n" "heavy: reference" href_med
+    heavy_rounds;
+  Printf.printf "  %-28s %10.4f s\n" "heavy: compiled" hcom_med;
+  Printf.printf "  %-28s %10.2f x (target 5x)\n" "heavy-machine speedup"
+    heavy_speedup;
+  Printf.printf "  %-28s %10.1f minor words/dispatch\n" "heavy: reference alloc"
+    href_words;
+  Printf.printf "  %-28s %10.1f minor words/dispatch\n" "heavy: compiled alloc"
+    hcom_words;
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("horizon_ms", Obs.Json.Int sim_ms);
+            ("reps", Obs.Json.Int reps);
+            ("trace_events", Obs.Json.Int (List.length ref_lines));
+            ("traces_identical", Obs.Json.Bool true);
+            ("scenario_reference_seconds", Obs.Json.Float ref_med);
+            ("scenario_compiled_seconds", Obs.Json.Float com_med);
+            ("scenario_speedup", Obs.Json.Float scenario_speedup);
+            ("scenario_reference_minor_words_per_event", Obs.Json.Float ref_words);
+            ("scenario_compiled_minor_words_per_event", Obs.Json.Float com_words);
+            ("kernel_dispatches", Obs.Json.Int dispatch_count);
+            ("kernel_reference_seconds", Obs.Json.Float kref_med);
+            ("kernel_compiled_seconds", Obs.Json.Float kcom_med);
+            ("kernel_speedup", Obs.Json.Float kernel_speedup);
+            ("kernel_reference_minor_words_per_dispatch", Obs.Json.Float kref_words);
+            ("kernel_compiled_minor_words_per_dispatch", Obs.Json.Float kcom_words);
+            ("heavy_dispatches", Obs.Json.Int heavy_rounds);
+            ("heavy_reference_seconds", Obs.Json.Float href_med);
+            ("heavy_compiled_seconds", Obs.Json.Float hcom_med);
+            ("heavy_speedup", Obs.Json.Float heavy_speedup);
+            ("heavy_reference_minor_words_per_dispatch", Obs.Json.Float href_words);
+            ("heavy_compiled_minor_words_per_dispatch", Obs.Json.Float hcom_words);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  simulation benchmark written to BENCH_sim.json\n";
+  if scenario_speedup < 1.0 then begin
+    Printf.printf
+      "  FAIL: compiled engine is slower end-to-end (%.2fx, limit 1x)\n"
+      scenario_speedup;
+    exit 1
+  end;
+  if kernel_speedup < 1.0 then begin
+    Printf.printf "  FAIL: compiled kernel is slower (%.2fx, limit 1x)\n"
+      kernel_speedup;
+    exit 1
+  end
+
 let run_benchmarks () =
   section "Bechamel benchmarks (monotonic clock, ns/run)";
   let instances = Instance.[ monotonic_clock ] in
@@ -986,9 +1352,10 @@ let () =
   | Some "dse" -> bench_dse ()
   | Some "fault" -> bench_fault ()
   | Some "obs" -> bench_obs ()
+  | Some "sim" -> bench_sim ()
   | Some other ->
-    Printf.eprintf "unknown TUTBENCH_ONLY=%s (supported: dse, fault, obs)\n"
-      other;
+    Printf.eprintf
+      "unknown TUTBENCH_ONLY=%s (supported: dse, fault, obs, sim)\n" other;
     exit 2
   | None ->
     print_tables_1_2_3 ();
@@ -1004,5 +1371,6 @@ let () =
     bench_dse ();
     bench_fault ();
     bench_obs ();
+    bench_sim ();
     run_benchmarks ();
     print_newline ()

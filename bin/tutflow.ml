@@ -4,7 +4,8 @@
 
 open Cmdliner
 
-let config_of ~duration_ms ~arbitration ~fifo ~crc_sw ~faults ~fault_seed =
+let config_of ~duration_ms ~arbitration ~fifo ~crc_sw ~faults ~fault_seed
+    ~engine =
   let platform =
     {
       Tutmac.Platform_model.default_params with
@@ -23,6 +24,9 @@ let config_of ~duration_ms ~arbitration ~fifo ~crc_sw ~faults ~fault_seed =
     Tutmac.Scenario.crc_on_accelerator = not crc_sw;
     Tutmac.Scenario.faults = Option.value ~default:Fault.Plan.empty faults;
     Tutmac.Scenario.fault_seed;
+    Tutmac.Scenario.engine =
+      (if engine = "reference" then Codegen.Runtime.Reference
+       else Codegen.Runtime.Compiled);
   }
 
 let duration_arg =
@@ -66,12 +70,32 @@ let fault_seed_arg =
   in
   Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N" ~doc)
 
+(* One flag selects both engine pairs: the EFSM execution engine of the
+   simulation (Efsm.Compiled bytecode + calendar queue vs the
+   tree-walking reference) and, for $(b,explore), the DSE cost kernel.
+   Every pair is bit-identical by construction, so the flag is purely a
+   speed/debuggability trade-off. *)
+let sim_engine_arg =
+  let doc =
+    "Execution engine: 'compiled' (default) runs the EFSM network as \
+     interned bytecode over a calendar event queue, 'reference' as the \
+     tree-walking interpreter over a binary heap.  Traces and reports \
+     are bit-identical; 'reference' exists as the oracle for \
+     cross-checks."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("compiled", "compiled"); ("reference", "reference") ])
+        "compiled"
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let config_term =
   Term.(
-    const (fun duration_ms arbitration fifo crc_sw faults fault_seed ->
-        config_of ~duration_ms ~arbitration ~fifo ~crc_sw ~faults ~fault_seed)
+    const (fun duration_ms arbitration fifo crc_sw faults fault_seed engine ->
+        config_of ~duration_ms ~arbitration ~fifo ~crc_sw ~faults ~fault_seed
+          ~engine)
     $ duration_arg $ arbitration_arg $ fifo_arg $ crc_sw_arg $ faults_arg
-    $ fault_seed_arg)
+    $ fault_seed_arg $ sim_engine_arg)
 
 (* -- observability ----------------------------------------------------- *)
 
@@ -349,10 +373,18 @@ let log_arg =
   let doc = "Write the simulation log-file here." in
   Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
 
+let simulate_flows_arg =
+  let doc =
+    "Also arm the causal flow tracker so flow hops (L lines) appear in the \
+     log-file."
+  in
+  Arg.(value & flag & info [ "flows" ] ~doc)
+
 let simulate_cmd =
-  let run config log chrome_trace metrics_out =
+  let run config log with_flows chrome_trace metrics_out =
     let obs = obs_of ~chrome_trace ~metrics_out () in
-    match Tutmac.Scenario.run ~obs config with
+    let flows = if with_flows then Some (Obs.Flow.create ()) else None in
+    match Tutmac.Scenario.run ~obs ?flows config with
     | Error e ->
       prerr_endline e;
       1
@@ -398,7 +430,9 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Execute the generated application on the platform model")
-    Term.(const run $ config_term $ log_arg $ chrome_trace_arg $ metrics_out_arg)
+    Term.(
+      const run $ config_term $ log_arg $ simulate_flows_arg $ chrome_trace_arg
+      $ metrics_out_arg)
 
 (* -- profile --------------------------------------------------------- *)
 
@@ -613,17 +647,16 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-let engine_arg =
-  let doc =
-    "Cost evaluation engine: 'compiled' (default) scores mappings through \
-     the pre-compiled incremental kernel, 'reference' through the plain \
-     closure-based cost model.  Both return bit-identical results; \
-     'reference' exists as the oracle for cross-checks."
-  in
-  Arg.(value & opt string "compiled" & info [ "engine" ] ~docv:"ENGINE" ~doc)
-
 let explore_cmd =
-  let run config algorithm seed iterations jobs engine =
+  let run config algorithm seed iterations jobs =
+    (* the shared --engine flag also picks the DSE cost kernel:
+       compiled = pre-compiled incremental kernel, reference = plain
+       closure-based cost model (bit-identical, the cross-check oracle) *)
+    let engine =
+      match config.Tutmac.Scenario.engine with
+      | Codegen.Runtime.Compiled -> "compiled"
+      | Codegen.Runtime.Reference -> "reference"
+    in
     match Tutmac.Scenario.run config with
     | Error e ->
       prerr_endline e;
@@ -675,8 +708,8 @@ let explore_cmd =
             (Dse.Parallel.exhaustive_compiled ~jobs
                ~spec:(Dse.Compiled.spec ~profile ~platform ())
                ~candidates ())
-        | ("greedy" | "sa" | "random" | "exhaustive"), other ->
-          Error ("unknown engine " ^ other)
+        | ("greedy" | "sa" | "random" | "exhaustive"), _ ->
+          assert false (* --engine is an enum: compiled | reference *)
         | other, _ -> Error ("unknown algorithm " ^ other)
       in
       (match outcome with
@@ -699,7 +732,7 @@ let explore_cmd =
        ~doc:"Explore alternative group-to-PE mappings over profiling data")
     Term.(
       const run $ config_term $ algorithm_arg $ seed_arg $ iterations_arg
-      $ jobs_arg $ engine_arg)
+      $ jobs_arg)
 
 (* -- analyze --------------------------------------------------------- *)
 

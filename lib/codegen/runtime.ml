@@ -5,6 +5,48 @@ type pending = {
   p_flow : int;  (** causal flow id carried by the signal; -1 = none *)
 }
 
+type engine_kind = Reference | Compiled
+
+(* One process's EFSM stepper.  Both variants implement the identical
+   reactive contract ({!Efsm.Interp} documents it; {!Efsm.Compiled}
+   mirrors it bit for bit), so everything downstream of the step —
+   effects, traces, flows, faults — is shared and the two engines
+   cannot drift apart structurally. *)
+type exec =
+  | Exec_interp of Efsm.Interp.t
+  | Exec_compiled of Efsm.Compiled.t
+
+let exec_state = function
+  | Exec_interp i -> Efsm.Interp.state i
+  | Exec_compiled c -> Efsm.Compiled.state c
+
+let exec_dispatch exec ~signal ~args =
+  match exec with
+  | Exec_interp i -> Efsm.Interp.dispatch i ~signal ~args
+  | Exec_compiled c -> Efsm.Compiled.dispatch c ~signal ~args
+
+let exec_fire_timer exec ~entered_state =
+  match exec with
+  | Exec_interp i -> Efsm.Interp.fire_timer i ~entered_state
+  | Exec_compiled c -> Efsm.Compiled.fire_timer c ~entered_state
+
+let exec_timer_request = function
+  | Exec_interp i -> Efsm.Interp.timer_request i
+  | Exec_compiled c -> Efsm.Compiled.timer_request c
+
+let exec_initial_entry = function
+  | Exec_interp i -> Efsm.Interp.initial_entry i
+  | Exec_compiled c -> Efsm.Compiled.initial_entry c
+
+let exec_run_completions = function
+  | Exec_interp i -> Efsm.Interp.run_completions i
+  | Exec_compiled c -> Efsm.Compiled.run_completions c
+
+let exec_read_var exec name =
+  match exec with
+  | Exec_interp i -> Efsm.Interp.read_var i name
+  | Exec_compiled c -> Efsm.Compiled.read_var c name
+
 type queue_stats = {
   mutable handled : int;
   mutable total_wait_ns : int64;
@@ -13,8 +55,8 @@ type queue_stats = {
 
 type proc_rt = {
   decl : Ir.proc_decl;
-  interp : Efsm.Interp.t;
-  queue : pending Queue.t;
+  exec : exec;
+  queue : pending Sim.Mailbox.t;
   mutable busy : bool;
   mutable timer : Sim.Engine.handle option;
   mutable current_flow : int;
@@ -22,8 +64,19 @@ type proc_rt = {
           inherit this id (causal propagation); -1 outside handling *)
   stats : queue_stats;
   track : string;  (** tracing lane, "proc/<name>" *)
+  routes : (string * string, route) Hashtbl.t;
+      (** (port, signal) -> precompiled route; the same destinations /
+          payload words / parameter names {!Ir.destinations},
+          {!Ir.signal_words} and {!Ir.signal_params} would compute,
+          resolved once at load instead of scanned per send *)
   m_sends : Obs.Metrics.counter;
   m_discards : Obs.Metrics.counter;
+}
+
+and route = {
+  r_dests : string list;  (** bindings order, like [Ir.destinations] *)
+  r_words : int;
+  r_params : string array;  (** receiver parameter names, positional *)
 }
 
 (* One in-flight ARQ exchange: a CRC-framed inter-PE message with a
@@ -139,8 +192,8 @@ let same_pe t a b =
 let local_delivery_ns = 100L
 
 let rec pump t proc =
-  if (not proc.busy) && not (Queue.is_empty proc.queue) then begin
-    let event = Queue.pop proc.queue in
+  if (not proc.busy) && not (Sim.Mailbox.is_empty proc.queue) then begin
+    let event = Sim.Mailbox.pop proc.queue in
     let wait = Int64.sub (Sim.Engine.now t.engine) event.p_enqueued_at in
     proc.stats.handled <- proc.stats.handled + 1;
     proc.stats.total_wait_ns <- Int64.add proc.stats.total_wait_ns wait;
@@ -160,13 +213,12 @@ let rec pump t proc =
            })
     end;
     proc.busy <- true;
-    let before_state = Efsm.Interp.state proc.interp in
+    let before_state = exec_state proc.exec in
     let step =
       if event.p_signal = timeout_signal then
-        Efsm.Interp.fire_timer proc.interp ~entered_state:before_state
+        exec_fire_timer proc.exec ~entered_state:before_state
       else
-        Efsm.Interp.dispatch proc.interp ~signal:event.p_signal
-          ~args:event.p_args
+        exec_dispatch proc.exec ~signal:event.p_signal ~args:event.p_args
     in
     match step.Efsm.Interp.fired with
     | None ->
@@ -191,7 +243,7 @@ let rec pump t proc =
       proc.busy <- false;
       pump t proc
     | Some _ ->
-      let after_state = Efsm.Interp.state proc.interp in
+      let after_state = exec_state proc.exec in
       if not (is_env proc) then
         Sim.Trace.record t.trace
           (Sim.Trace.State_change
@@ -260,23 +312,29 @@ and run_effects t proc effects k =
     run_effects t proc rest k
 
 and send t proc ~port ~signal ~args =
-  let dests =
-    Ir.destinations t.sys ~src:proc.decl.Ir.proc_name ~port ~signal
+  let route =
+    match Hashtbl.find_opt proc.routes (port, signal) with
+    | Some r -> r
+    | None ->
+      {
+        r_dests = [];
+        r_words = Ir.signal_words t.sys signal;
+        r_params = Array.of_list (Ir.signal_params t.sys signal);
+      }
   in
+  let dests = route.r_dests in
   if dests = [] then
     t.errors <-
       Printf.sprintf "no binding for %s.%s!%s" proc.decl.Ir.proc_name port signal
       :: t.errors;
-  let words = Ir.signal_words t.sys signal in
+  let words = route.r_words in
   (* Positional send arguments become the named trigger parameters the
      receiving machine declared for this signal. *)
-  let param_names = Ir.signal_params t.sys signal in
   let named_args =
     List.mapi
       (fun i value ->
-        match List.nth_opt param_names i with
-        | Some name -> (name, value)
-        | None -> (Printf.sprintf "arg%d" i, value))
+        if i < Array.length route.r_params then (route.r_params.(i), value)
+        else (Printf.sprintf "arg%d" i, value))
       args
   in
   (* The first (non-negative) integer argument is recorded as the
@@ -324,14 +382,13 @@ and send t proc ~port ~signal ~args =
                tag;
              });
         let base_deliver () =
-          Queue.push
+          Sim.Mailbox.push dst.queue
             {
               p_signal = signal;
               p_args = named_args;
               p_enqueued_at = Sim.Engine.now t.engine;
               p_flow = msg_flow;
-            }
-            dst.queue;
+            };
           pump t dst
         in
         let deliver =
@@ -590,24 +647,23 @@ and arm_timer t proc =
   | Some handle -> Sim.Engine.cancel handle
   | None -> ());
   proc.timer <- None;
-  match Efsm.Interp.timer_request proc.interp with
+  match exec_timer_request proc.exec with
   | None -> ()
   | Some delay_ns ->
-    let armed_state = Efsm.Interp.state proc.interp in
+    let armed_state = exec_state proc.exec in
     let handle =
       Sim.Engine.schedule t.engine ~delay:(Int64.of_int delay_ns) (fun () ->
           proc.timer <- None;
           (* Stale timers (state changed meanwhile) are discarded; only
              deliver when still in the armed state. *)
-          if Efsm.Interp.state proc.interp = armed_state then begin
-            Queue.push
+          if exec_state proc.exec = armed_state then begin
+            Sim.Mailbox.push proc.queue
               {
                 p_signal = timeout_signal;
                 p_args = [];
                 p_enqueued_at = Sim.Engine.now t.engine;
                 p_flow = -1;
-              }
-              proc.queue;
+              };
             pump t proc
           end)
     in
@@ -725,14 +781,21 @@ let schedule_pe_faults t f =
                end)))
     (Fault.Injector.pe_slowdowns f.injector)
 
-let create ?trace:(trace_store = Sim.Trace.create ()) ?faults ?obs ?flows sys =
+let create ?trace:(trace_store = Sim.Trace.create ()) ?faults ?obs ?flows
+    ?(engine = Reference) sys =
+  let engine_kind = engine in
   match Ir.check sys with
   | _ :: _ as problems -> Error problems
   | [] ->
     let obs = match obs with Some s -> s | None -> Obs.Scope.null () in
     let flows = match flows with Some f -> f | None -> Obs.Flow.disabled () in
     let metrics = Obs.Scope.metrics obs in
-    let engine = Sim.Engine.create ~obs () in
+    let backend =
+      match engine_kind with
+      | Reference -> `Binary_heap
+      | Compiled -> `Calendar
+    in
+    let engine = Sim.Engine.create ~backend ~obs () in
     let network = Hibi.Network.create ~obs engine in
     List.iter
       (fun (s : Ir.segment_decl) ->
@@ -829,19 +892,61 @@ let create ?trace:(trace_store = Sim.Trace.create ()) ?faults ?obs ?flows sys =
                Hibi.Network.Stall ns))
     | None -> ());
     let procs = Hashtbl.create 32 in
+    (* One compiled program per distinct machine value: instances of the
+       same class share their dispatch tables and bytecode. *)
+    let programs = ref [] in
+    let program_of m =
+      match List.find_opt (fun (m', _) -> m' == m) !programs with
+      | Some (_, p) -> p
+      | None ->
+        let p = Efsm.Compiled.compile m in
+        programs := (m, p) :: !programs;
+        p
+    in
+    let dummy_pending =
+      { p_signal = ""; p_args = []; p_enqueued_at = 0L; p_flow = -1 }
+    in
+    let routes_for name =
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (b : Ir.binding) ->
+          if b.Ir.b_src = name then begin
+            let key = (b.Ir.b_port, b.Ir.b_signal) in
+            let r =
+              match Hashtbl.find_opt tbl key with
+              | Some r -> r
+              | None ->
+                {
+                  r_dests = [];
+                  r_words = Ir.signal_words sys b.Ir.b_signal;
+                  r_params = Array.of_list (Ir.signal_params sys b.Ir.b_signal);
+                }
+            in
+            (* append keeps bindings order, matching [Ir.destinations] *)
+            Hashtbl.replace tbl key { r with r_dests = r.r_dests @ [ b.Ir.b_dst ] }
+          end)
+        sys.Ir.bindings;
+      tbl
+    in
     List.iter
       (fun (decl : Ir.proc_decl) ->
         let name = decl.Ir.proc_name in
         Hashtbl.replace procs name
           {
             decl;
-            interp = Efsm.Interp.create decl.Ir.machine;
-            queue = Queue.create ();
+            exec =
+              (match engine_kind with
+              | Reference -> Exec_interp (Efsm.Interp.create decl.Ir.machine)
+              | Compiled ->
+                Exec_compiled
+                  (Efsm.Compiled.create (program_of decl.Ir.machine)));
+            queue = Sim.Mailbox.create ~dummy:dummy_pending ();
             busy = false;
             timer = None;
             current_flow = -1;
             stats = { handled = 0; total_wait_ns = 0L; max_wait_ns = 0L };
             track = "proc/" ^ name;
+            routes = routes_for name;
             m_sends = Obs.Metrics.counter metrics ("app." ^ name ^ ".sends");
             m_discards = Obs.Metrics.counter metrics ("app." ^ name ^ ".discards");
           })
@@ -871,8 +976,7 @@ let start t =
   Hashtbl.iter
     (fun _ proc ->
       let effects =
-        Efsm.Interp.initial_entry proc.interp
-        @ Efsm.Interp.run_completions proc.interp
+        exec_initial_entry proc.exec @ exec_run_completions proc.exec
       in
       if effects <> [] then begin
         proc.busy <- true;
@@ -906,9 +1010,8 @@ let inject t ~dst ~signal ~args =
         id
       end
     in
-    Queue.push
-      { p_signal = signal; p_args = args; p_enqueued_at = now; p_flow = flow }
-      proc.queue;
+    Sim.Mailbox.push proc.queue
+      { p_signal = signal; p_args = args; p_enqueued_at = now; p_flow = flow };
     pump t proc
 
 let queue_latencies t =
@@ -925,12 +1028,12 @@ let queue_latencies t =
   |> List.sort compare
 
 let process_state t name =
-  Option.map (fun p -> Efsm.Interp.state p.interp) (Hashtbl.find_opt t.procs name)
+  Option.map (fun p -> exec_state p.exec) (Hashtbl.find_opt t.procs name)
 
 let process_var t name var =
   match Hashtbl.find_opt t.procs name with
   | None -> None
-  | Some p -> Efsm.Interp.read_var p.interp var
+  | Some p -> exec_read_var p.exec var
 
 let pe_busy_ns t =
   Hashtbl.fold (fun name r acc -> (name, Sim.Rtos.busy_ns r) :: acc) t.rtos []

@@ -67,25 +67,50 @@ let rec eval env ~params expr =
   | Not e -> V_bool (not (eval_bool env ~params e))
   | Bin (op, a, b) -> eval_bin env ~params op a b
 
+(* Operand evaluation is explicitly left-to-right (OCaml's own operand
+   order is unspecified and right-to-left in practice), so the error a
+   failing expression raises is well-defined: the leftmost failing
+   operand wins.  [Div]/[Mod] evaluate both operands before the
+   divisor-zero check, like every other operator pair. *)
 and eval_bin env ~params op a b =
   match op with
-  | Add -> V_int (eval_int env ~params a + eval_int env ~params b)
-  | Sub -> V_int (eval_int env ~params a - eval_int env ~params b)
-  | Mul -> V_int (eval_int env ~params a * eval_int env ~params b)
+  | Add ->
+    let x = eval_int env ~params a in
+    V_int (x + eval_int env ~params b)
+  | Sub ->
+    let x = eval_int env ~params a in
+    V_int (x - eval_int env ~params b)
+  | Mul ->
+    let x = eval_int env ~params a in
+    V_int (x * eval_int env ~params b)
   | Div ->
+    let x = eval_int env ~params a in
     let d = eval_int env ~params b in
     if d = 0 then type_error "division by zero";
-    V_int (eval_int env ~params a / d)
+    V_int (x / d)
   | Mod ->
+    let x = eval_int env ~params a in
     let d = eval_int env ~params b in
     if d = 0 then type_error "modulo by zero";
-    V_int (eval_int env ~params a mod d)
-  | Eq -> V_bool (eval env ~params a = eval env ~params b)
-  | Ne -> V_bool (eval env ~params a <> eval env ~params b)
-  | Lt -> V_bool (eval_int env ~params a < eval_int env ~params b)
-  | Le -> V_bool (eval_int env ~params a <= eval_int env ~params b)
-  | Gt -> V_bool (eval_int env ~params a > eval_int env ~params b)
-  | Ge -> V_bool (eval_int env ~params a >= eval_int env ~params b)
+    V_int (x mod d)
+  | Eq ->
+    let x = eval env ~params a in
+    V_bool (x = eval env ~params b)
+  | Ne ->
+    let x = eval env ~params a in
+    V_bool (x <> eval env ~params b)
+  | Lt ->
+    let x = eval_int env ~params a in
+    V_bool (x < eval_int env ~params b)
+  | Le ->
+    let x = eval_int env ~params a in
+    V_bool (x <= eval_int env ~params b)
+  | Gt ->
+    let x = eval_int env ~params a in
+    V_bool (x > eval_int env ~params b)
+  | Ge ->
+    let x = eval_int env ~params a in
+    V_bool (x >= eval_int env ~params b)
   | And -> V_bool (eval_bool env ~params a && eval_bool env ~params b)
   | Or -> V_bool (eval_bool env ~params a || eval_bool env ~params b)
 

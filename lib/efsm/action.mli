@@ -60,7 +60,10 @@ val lookup : env -> string -> value option
 val set : env -> string -> value -> unit
 
 val eval : env -> params:(string * value) list -> expr -> value
-(** Evaluate an expression.  Raises {!Type_error}. *)
+(** Evaluate an expression.  Operands evaluate left-to-right, so when
+    several subexpressions would fail the leftmost failure is the one
+    reported; [Div]/[Mod] evaluate both operands before the
+    divisor-zero check.  Raises {!Type_error}. *)
 
 val eval_bool : env -> params:(string * value) list -> expr -> bool
 val eval_int : env -> params:(string * value) list -> expr -> int

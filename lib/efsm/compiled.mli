@@ -1,0 +1,62 @@
+(** Compiled EFSM engine.
+
+    A {!Machine.t} is compiled once ({!compile}) into integer-indexed
+    dispatch tables: interned states/signals/variables/parameters,
+    per-(state, signal) candidate transition arrays in declaration
+    order, and guards/actions flattened into a small stack bytecode
+    executed over preallocated arrays.  An instance ({!t}) then steps
+    without allocating on the hot path, except for the [Action.effect]
+    lists the API is obliged to return.
+
+    Observable behaviour is bit-identical to {!Interp} — same firing
+    choices, same effect order, same [Action.Type_error] messages in the
+    same evaluation order, same loop/completion bounds.  The
+    differential suite (test/test_sim_compiled.ml) enforces this under
+    fuzzing; a single compiled {!program} can be shared by many
+    instances (one per process in a network). *)
+
+type program
+(** Immutable compiled form of one machine; shareable across instances. *)
+
+type t
+(** Running instance: current state id, variable slots, parameter slots. *)
+
+val compile : Machine.t -> program
+(** Validate nothing (callers run {!Machine.check} first, like they do
+    for {!Interp.create}) and flatten the machine.  O(states x signals +
+    code size); call once per machine, not per instance. *)
+
+val create : program -> t
+(** Fresh instance in the initial state with initial variable values. *)
+
+val of_machine : Machine.t -> t
+(** [create (compile m)] — convenience for single-instance use. *)
+
+val machine : t -> Machine.t
+val program : t -> program
+val state : t -> string
+val variables : t -> (string * Action.value) list
+val read_var : t -> string -> Action.value option
+
+val dispatch :
+  t -> signal:string -> args:(string * Action.value) list -> Interp.step
+(** Same contract as {!Interp.dispatch}: first enabled [On_signal]
+    transition in declaration order fires (exit, actions, entry, then
+    chained completions); the event is discarded if none is enabled. *)
+
+val fire_timer : t -> entered_state:string -> Interp.step
+(** Same contract as {!Interp.fire_timer}: fires an enabled [After]
+    transition whose delay equals the armed ({!timer_request}) delay,
+    discarding stale timers. *)
+
+val initial_entry : t -> Action.effect list
+(** Same contract as {!Interp.initial_entry}. *)
+
+val run_completions : t -> Action.effect list
+(** Same contract as {!Interp.run_completions}. *)
+
+val timer_request : t -> int option
+(** Same contract as {!Interp.timer_request}. *)
+
+val reset : t -> unit
+(** Back to the initial state and initial variable values. *)

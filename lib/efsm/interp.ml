@@ -43,11 +43,12 @@ let fire t ~params tr =
 (* Completion transitions chain (state A -completion-> B -completion-> C);
    bound the chain so a guard that is always true cannot livelock. *)
 let max_completion_chain = 1_000
+let completion_livelock_message = "completion transition livelock"
 
 let run_completions t =
   let rec loop count acc =
     if count > max_completion_chain then
-      raise (Action.Type_error "completion transition livelock");
+      raise (Action.Type_error completion_livelock_message);
     let enabled =
       List.find_opt
         (fun tr ->
@@ -78,24 +79,6 @@ let dispatch t ~signal ~args =
     let completions = run_completions t in
     { fired = Some tr; effects = effects @ completions }
 
-let fire_timer t ~entered_state =
-  if t.state <> entered_state then { fired = None; effects = [] }
-  else
-    let enabled =
-      List.find_opt
-        (fun tr ->
-          match tr.Machine.trigger with
-          | Machine.After _ -> guard_holds t ~params:[] tr
-          | Machine.On_signal _ | Machine.Completion -> false)
-        (Machine.outgoing t.machine t.state)
-    in
-    match enabled with
-    | None -> { fired = None; effects = [] }
-    | Some tr ->
-      let effects = fire t ~params:[] tr in
-      let completions = run_completions t in
-      { fired = Some tr; effects = effects @ completions }
-
 let timer_request t =
   let delays =
     List.filter_map
@@ -106,6 +89,32 @@ let timer_request t =
       (Machine.outgoing t.machine t.state)
   in
   match List.sort compare delays with [] -> None | d :: _ -> Some d
+
+(* The runtime arms one timer per state, for the earliest [After] delay
+   ({!timer_request}).  When it fires, only transitions with exactly
+   that delay are due — a longer [After] declared earlier must not fire
+   at the shorter transition's expiry (it used to; see test_efsm's
+   "timer fires the armed delay, not the first declared After"). *)
+let fire_timer t ~entered_state =
+  if t.state <> entered_state then { fired = None; effects = [] }
+  else
+    match timer_request t with
+    | None -> { fired = None; effects = [] }
+    | Some armed ->
+      let enabled =
+        List.find_opt
+          (fun tr ->
+            match tr.Machine.trigger with
+            | Machine.After delay -> delay = armed && guard_holds t ~params:[] tr
+            | Machine.On_signal _ | Machine.Completion -> false)
+          (Machine.outgoing t.machine t.state)
+      in
+      (match enabled with
+      | None -> { fired = None; effects = [] }
+      | Some tr ->
+        let effects = fire t ~params:[] tr in
+        let completions = run_completions t in
+        { fired = Some tr; effects = effects @ completions })
 
 let initial_entry t =
   Action.exec t.env ~params:[] (Machine.entry_of t.machine t.machine.Machine.initial)

@@ -34,7 +34,9 @@ val dispatch : t -> signal:string -> args:(string * Action.value) list -> step
 val fire_timer : t -> entered_state:string -> step
 (** Fire an [After] transition if the instance is still in
     [entered_state] and such a transition is enabled; otherwise the stale
-    timer is discarded. *)
+    timer is discarded.  Only transitions whose delay equals the armed
+    delay ({!timer_request}, the state's minimum) are considered — a
+    longer [After] is not due yet when a shorter one expires. *)
 
 val initial_entry : t -> Action.effect list
 (** Execute the initial state's entry actions (call once, before any
@@ -50,3 +52,10 @@ val timer_request : t -> int option
 
 val reset : t -> unit
 (** Back to the initial state and initial variable values. *)
+
+val max_completion_chain : int
+(** Bound on chained [Completion] transitions per step; exceeding it
+    raises [Action.Type_error] {!completion_livelock_message}.  Shared
+    with {!Compiled} so both engines livelock identically. *)
+
+val completion_livelock_message : string

@@ -1,0 +1,248 @@
+(* Bucketed calendar queue (R. Brown, CACM 1988, adapted).
+
+   Events hash into [n_buckets] buckets by [time / width mod n_buckets];
+   each bucket is a singly-linked list kept sorted by [(time, seq)], so
+   within one bucket the head is the bucket's minimum and two events at
+   the same timestamp dequeue in scheduling order (seq is monotone).
+   [pop] scans one lap of buckets starting at the bucket of the last
+   popped time, accepting only heads that fall inside the bucket's
+   window for this lap; a sparse queue falls back to a direct
+   minimum-over-heads search.  Together this preserves the exact
+   [(time, seq)] total order of the binary-heap backend — the
+   differential and QCheck suites in test_sim_compiled.ml check both
+   the FIFO-within-timestamp and the cross-bucket ordering laws.
+
+   Cancelled entries are skipped lazily like the heap backend: [live]
+   classifies entries, dead ones are dropped when they surface at a
+   bucket head.  The structure resizes (and re-derives the bucket width
+   from the live events' average spacing) when occupancy strays far
+   from the bucket count. *)
+
+type 'a cell =
+  | Nil
+  | Cons of { time : int64; seq : int; v : 'a; mutable next : 'a cell }
+
+type 'a t = {
+  live : 'a -> bool;
+  mutable buckets : 'a cell array;
+  mutable mask : int;  (** [n_buckets - 1]; bucket count is a power of two *)
+  mutable width : int64;  (** nanoseconds per bucket *)
+  mutable size : int;  (** stored entries, dead included *)
+  mutable floor : int64;  (** largest time ever popped; scan starts here *)
+  mutable dead_dropped : int;
+  mutable memo : (int64 * int * int) option;
+      (** last [find_min] result [(time, seq, bucket)], so a peek
+          followed by a pop scans once; invalidated on [add]/[pop] and
+          re-checked against the bucket head (a cancel can kill it) *)
+}
+
+let min_buckets = 64
+
+let create ?(n_buckets = 256) ?(width = 1_024L) ~live () =
+  let rec pow2 n = if n >= n_buckets then n else pow2 (2 * n) in
+  let n = pow2 min_buckets in
+  {
+    live;
+    buckets = Array.make n Nil;
+    mask = n - 1;
+    width = (if width < 1L then 1L else width);
+    size = 0;
+    floor = 0L;
+    dead_dropped = 0;
+    memo = None;
+  }
+
+let length t = t.size
+let dead_dropped t = t.dead_dropped
+
+let index t time = Int64.to_int (Int64.div time t.width) land t.mask
+
+let before ~time ~seq = function
+  | Nil -> true
+  | Cons c -> time < c.time || (time = c.time && seq < c.seq)
+
+(* Insert keeping the bucket sorted ascending by (time, seq). *)
+let bucket_insert t b ~time ~seq v =
+  let cell = Cons { time; seq; v; next = t.buckets.(b) } in
+  if before ~time ~seq t.buckets.(b) then t.buckets.(b) <- cell
+  else begin
+    let rec after = function
+      | Nil -> assert false
+      | Cons c ->
+        if before ~time ~seq c.next then begin
+          (match cell with
+          | Cons n -> n.next <- c.next
+          | Nil -> assert false);
+          c.next <- cell
+        end
+        else after c.next
+    in
+    after t.buckets.(b)
+  end
+
+(* Gather every live entry sorted ascending; drops dead ones. *)
+let sorted_live t =
+  let acc = ref [] in
+  Array.iter
+    (fun head ->
+      let rec walk = function
+        | Nil -> ()
+        | Cons c ->
+          if t.live c.v then acc := (c.time, c.seq, c.v) :: !acc
+          else t.dead_dropped <- t.dead_dropped + 1;
+          walk c.next
+      in
+      walk head)
+    t.buckets;
+  List.sort
+    (fun (ta, sa, _) (tb, sb, _) -> if ta = tb then compare sa sb else compare ta tb)
+    !acc
+
+let rebuild t entries n_buckets =
+  let n_live = List.length entries in
+  let width =
+    match entries with
+    | [] | [ _ ] -> t.width
+    | (t0, _, _) :: _ ->
+      let tn, _, _ = List.nth entries (n_live - 1) in
+      (* three times the average spacing keeps a handful of events per
+         bucket for the usual periodic workloads *)
+      let span = Int64.sub tn t0 in
+      let avg = Int64.div span (Int64.of_int (n_live - 1)) in
+      let w = Int64.mul 3L avg in
+      if w < 1L then 1L else w
+  in
+  t.buckets <- Array.make n_buckets Nil;
+  t.mask <- n_buckets - 1;
+  t.width <- width;
+  t.size <- n_live;
+  t.memo <- None;
+  (* insert in descending order so prepending leaves each bucket sorted
+     ascending *)
+  List.iter
+    (fun (time, seq, v) ->
+      let b = index t time in
+      t.buckets.(b) <- Cons { time; seq; v; next = t.buckets.(b) })
+    (List.rev entries)
+
+let maybe_grow t =
+  let n = t.mask + 1 in
+  if t.size > 2 * n then rebuild t (sorted_live t) (2 * n)
+
+let maybe_shrink t =
+  let n = t.mask + 1 in
+  if n > min_buckets && t.size < n / 8 then rebuild t (sorted_live t) (n / 2)
+
+let add t ~time ~seq v =
+  (* keep the memo when the new entry cannot beat it *)
+  (match t.memo with
+  | Some (mt, ms, _) when mt < time || (mt = time && ms < seq) -> ()
+  | Some _ | None -> t.memo <- None);
+  bucket_insert t (index t time) ~time ~seq v;
+  t.size <- t.size + 1;
+  maybe_grow t
+
+let drop_dead_head t b =
+  let rec loop () =
+    match t.buckets.(b) with
+    | Cons c when not (t.live c.v) ->
+      t.buckets.(b) <- c.next;
+      t.size <- t.size - 1;
+      t.dead_dropped <- t.dead_dropped + 1;
+      loop ()
+    | Nil | Cons _ -> ()
+  in
+  loop ()
+
+let remove_head t b =
+  match t.buckets.(b) with
+  | Nil -> assert false
+  | Cons c ->
+    t.buckets.(b) <- c.next;
+    t.size <- t.size - 1
+
+(* Direct search: minimum over all bucket heads (each bucket is sorted,
+   so its head is its minimum).  O(n_buckets); the fallback for laps
+   with no event in window. *)
+let direct_min t =
+  let best = ref None in
+  for b = 0 to t.mask do
+    drop_dead_head t b;
+    match t.buckets.(b) with
+    | Nil -> ()
+    | Cons c -> (
+      match !best with
+      | Some (bt, bs, _) when bt < c.time || (bt = c.time && bs < c.seq) -> ()
+      | _ -> best := Some (c.time, c.seq, b))
+  done;
+  !best
+
+(* One lap starting at the floor's bucket (bucket k of the lap owns the
+   window ending at [lap_top + k * width]); a head inside its window is
+   the global minimum — every other live entry's first admissible
+   window lies above it.  Sparse laps fall back to {!direct_min}. *)
+let scan_min t =
+  if t.size = 0 then None
+  else begin
+    let start = index t t.floor in
+    let lap_top =
+      Int64.mul (Int64.add (Int64.div t.floor t.width) 1L) t.width
+    in
+    let found = ref None in
+    let k = ref 0 in
+    while !found = None && !k <= t.mask do
+      let b = (start + !k) land t.mask in
+      drop_dead_head t b;
+      (match t.buckets.(b) with
+      | Cons c
+        when c.time < Int64.add lap_top (Int64.mul (Int64.of_int !k) t.width)
+        ->
+        found := Some (c.time, c.seq, b)
+      | Nil | Cons _ -> ());
+      incr k
+    done;
+    match !found with None -> direct_min t | some -> some
+  end
+
+let find_min t =
+  let fresh =
+    match t.memo with
+    | Some (time, seq, b) -> (
+      (* still valid only if that exact entry is still the bucket head
+         and alive — a cancel or an interleaved mutation voids it *)
+      match t.buckets.(b) with
+      | Cons c when c.time = time && c.seq = seq && t.live c.v -> t.memo
+      | Nil | Cons _ -> scan_min t)
+    | None -> scan_min t
+  in
+  t.memo <- fresh;
+  fresh
+
+let pop t =
+  match find_min t with
+  | None -> None
+  | Some (time, _seq, b) ->
+    let v = match t.buckets.(b) with Cons c -> c.v | Nil -> assert false in
+    remove_head t b;
+    t.floor <- time;
+    t.memo <- None;
+    maybe_shrink t;
+    Some v
+
+let peek t =
+  match find_min t with
+  | None -> None
+  | Some (_, _, b) -> (
+    match t.buckets.(b) with Cons c -> Some c.v | Nil -> None)
+
+let iter t f =
+  Array.iter
+    (fun head ->
+      let rec walk = function
+        | Nil -> ()
+        | Cons c ->
+          f c.v;
+          walk c.next
+      in
+      walk head)
+    t.buckets

@@ -1,0 +1,45 @@
+(** Bucketed calendar queue (Brown 1988, adapted).
+
+    Priority queue over [(time, seq)] keys with O(1) expected enqueue
+    and dequeue for the quasi-periodic event populations a simulation
+    produces.  Events hash into time-width buckets; each bucket stays
+    sorted, so same-timestamp events dequeue in scheduling (seq) order
+    and the dequeue order is the exact [(time, seq)] total order of the
+    binary-heap backend — {!Engine} can swap one for the other without
+    observable difference.
+
+    Keys must never go below the largest time already popped (the
+    discrete-event invariant: you cannot schedule in the past); [add]
+    does not check this.
+
+    Cancellation is lazy, like the heap backend: [live] (given at
+    {!create}) classifies entries, dead ones are dropped when they reach
+    a bucket head. *)
+
+type 'a t
+
+val create : ?n_buckets:int -> ?width:int64 -> live:('a -> bool) -> unit -> 'a t
+(** [n_buckets] rounds up to a power of two (min 64); [width] is the
+    initial bucket width in ns.  Both adapt as the queue resizes, so
+    they are starting points, not tuning requirements. *)
+
+val add : 'a t -> time:int64 -> seq:int -> 'a -> unit
+(** O(bucket occupancy); grows (and re-derives the width from the live
+    events' average spacing) when occupancy exceeds twice the bucket
+    count. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the live minimum; [None] iff no live entry
+    remains (all dead entries are dropped before answering [None]). *)
+
+val peek : 'a t -> 'a option
+(** Like {!pop} without removing. *)
+
+val length : 'a t -> int
+(** Stored entries, dead ones included (matches the heap's size). *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Every stored entry, dead ones included, in no particular order. *)
+
+val dead_dropped : 'a t -> int
+(** Cancelled entries dropped so far (for kernel metrics). *)

@@ -5,13 +5,31 @@ type handle = {
   mutable live : bool;
 }
 
-(* A binary min-heap ordered by (time, seq).  The heap may contain
-   cancelled entries; they are skipped on pop, which keeps cancel O(1). *)
+type backend = [ `Binary_heap | `Calendar ]
+
+(* Two interchangeable event queues ordered by (time, seq):
+
+   - [Heap]: a binary min-heap; cancelled entries are skipped on pop,
+     which keeps cancel O(1).
+   - [Cal]: a bucketed calendar queue ({!Calendar}), O(1) expected
+     enqueue/dequeue for the quasi-periodic populations simulations
+     produce; the compiled engine's default.
+
+   Both dequeue in the identical (time, seq) total order, so a
+   simulation's trace does not depend on the backend (the differential
+   suite checks this). *)
+type queue =
+  | Heap of heap
+  | Cal of handle Calendar.t
+
+and heap = { mutable arr : handle array; mutable size : int }
+
 type t = {
-  mutable heap : handle array;
-  mutable size : int;
+  queue : queue;
   mutable clock : int64;
   mutable next_seq : int;
+  mutable cal_dead_seen : int;
+      (** calendar drop count already forwarded to [m_dead_dropped] *)
   (* Pre-resolved metric handles, updated only when [obs_on]; with a
      null scope every hook costs one branch on this boolean. *)
   obs_on : bool;
@@ -25,14 +43,17 @@ type t = {
 let dummy =
   { time = 0L; seq = 0; callback = (fun () -> ()); live = false }
 
-let create ?obs () =
+let create ?(backend = `Binary_heap) ?obs () =
   let scope = match obs with Some s -> s | None -> Obs.Scope.null () in
   let metrics = Obs.Scope.metrics scope in
   {
-    heap = Array.make 64 dummy;
-    size = 0;
+    queue =
+      (match backend with
+      | `Binary_heap -> Heap { arr = Array.make 64 dummy; size = 0 }
+      | `Calendar -> Cal (Calendar.create ~live:(fun h -> h.live) ()));
     clock = 0L;
     next_seq = 0;
+    cal_dead_seen = 0;
     obs_on = Obs.Scope.live scope;
     m_fired = Obs.Metrics.counter metrics "sim.engine.events_fired";
     m_scheduled = Obs.Metrics.counter metrics "sim.engine.events_scheduled";
@@ -45,68 +66,100 @@ let now t = t.clock
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+let swap h i j =
+  let tmp = h.arr.(i) in
+  h.arr.(i) <- h.arr.(j);
+  h.arr.(j) <- tmp
 
-let rec sift_up t i =
+let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
+    if before h.arr.(i) h.arr.(parent) then begin
+      swap h i parent;
+      sift_up h parent
     end
   end
 
-let rec sift_down t i =
+let rec sift_down h i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < t.size && before t.heap.(left) t.heap.(!smallest) then smallest := left;
-  if right < t.size && before t.heap.(right) t.heap.(!smallest) then
+  if left < h.size && before h.arr.(left) h.arr.(!smallest) then smallest := left;
+  if right < h.size && before h.arr.(right) h.arr.(!smallest) then
     smallest := right;
   if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let heap_push h handle =
+  if h.size = Array.length h.arr then begin
+    let bigger = Array.make (2 * h.size) dummy in
+    Array.blit h.arr 0 bigger 0 h.size;
+    h.arr <- bigger
+  end;
+  h.arr.(h.size) <- handle;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let remove_root h =
+  h.size <- h.size - 1;
+  h.arr.(0) <- h.arr.(h.size);
+  h.arr.(h.size) <- dummy;
+  if h.size > 0 then sift_down h 0
+
+(* Drop cancelled entries lazily so pop and peek both see a live head. *)
+let rec drop_dead t h =
+  if h.size > 0 && not h.arr.(0).live then begin
+    remove_root h;
+    if t.obs_on then Obs.Metrics.inc t.m_dead_dropped;
+    drop_dead t h
+  end
+
+(* Forward the calendar's internal drop count to the kernel metric. *)
+let sync_cal_dead t cal =
+  if t.obs_on then begin
+    let total = Calendar.dead_dropped cal in
+    if total > t.cal_dead_seen then begin
+      Obs.Metrics.inc ~by:(total - t.cal_dead_seen) t.m_dead_dropped;
+      t.cal_dead_seen <- total
+    end
   end
 
 let push t handle =
-  if t.size = Array.length t.heap then begin
-    let bigger = Array.make (2 * t.size) dummy in
-    Array.blit t.heap 0 bigger 0 t.size;
-    t.heap <- bigger
-  end;
-  t.heap.(t.size) <- handle;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1);
-  if t.obs_on then Obs.Metrics.set_peak t.m_heap_peak t.size
-
-let remove_root t =
-  t.size <- t.size - 1;
-  t.heap.(0) <- t.heap.(t.size);
-  t.heap.(t.size) <- dummy;
-  if t.size > 0 then sift_down t 0
-
-(* Drop cancelled entries lazily so pop and peek both see a live head. *)
-let rec drop_dead t =
-  if t.size > 0 && not t.heap.(0).live then begin
-    remove_root t;
-    if t.obs_on then Obs.Metrics.inc t.m_dead_dropped;
-    drop_dead t
-  end
+  (match t.queue with
+  | Heap h -> heap_push h handle
+  | Cal cal -> Calendar.add cal ~time:handle.time ~seq:handle.seq handle);
+  if t.obs_on then
+    Obs.Metrics.set_peak t.m_heap_peak
+      (match t.queue with Heap h -> h.size | Cal cal -> Calendar.length cal)
 
 let pop t =
-  drop_dead t;
-  if t.size = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    remove_root t;
-    Some top
-  end
+  match t.queue with
+  | Heap h ->
+    drop_dead t h;
+    if h.size = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      remove_root h;
+      Some top
+    end
+  | Cal cal ->
+    let popped = Calendar.pop cal in
+    sync_cal_dead t cal;
+    popped
 
 let peek t =
-  drop_dead t;
-  if t.size = 0 then None else Some t.heap.(0)
+  match t.queue with
+  | Heap h ->
+    drop_dead t h;
+    if h.size = 0 then None else Some h.arr.(0)
+  | Cal cal ->
+    let head = Calendar.peek cal in
+    sync_cal_dead t cal;
+    head
+
+let queue_size t =
+  match t.queue with Heap h -> h.size | Cal cal -> Calendar.length cal
 
 let schedule_at t ~time callback =
   if time < t.clock then
@@ -155,13 +208,16 @@ let run ?until t =
   in
   let fired = loop 0 in
   (match horizon with
-  | Some limit when t.clock < limit && t.size = 0 -> t.clock <- limit
+  | Some limit when t.clock < limit && queue_size t = 0 -> t.clock <- limit
   | Some _ | None -> ());
   fired
 
 let pending t =
   let count = ref 0 in
-  for i = 0 to t.size - 1 do
-    if t.heap.(i).live then incr count
-  done;
+  (match t.queue with
+  | Heap h ->
+    for i = 0 to h.size - 1 do
+      if h.arr.(i).live then incr count
+    done
+  | Cal cal -> Calendar.iter cal (fun h -> if h.live then incr count));
   !count

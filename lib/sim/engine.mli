@@ -9,10 +9,19 @@ type t
 type handle
 (** A scheduled event; may be cancelled before it fires. *)
 
-val create : ?obs:Obs.Scope.t -> unit -> t
-(** [obs] receives kernel metrics (events scheduled/fired, heap
-    high-water mark, cancelled-entry churn, clock-advance distribution);
-    defaults to a no-op scope. *)
+type backend = [ `Binary_heap | `Calendar ]
+(** Event-queue implementation.  Both dequeue in the identical
+    [(time, seq)] total order, so the choice never changes a
+    simulation's trace — [`Calendar] ({!Calendar}) has O(1) expected
+    operations on the quasi-periodic event populations simulations
+    produce and is what the compiled engine uses; [`Binary_heap] is the
+    reference. *)
+
+val create : ?backend:backend -> ?obs:Obs.Scope.t -> unit -> t
+(** [backend] defaults to [`Binary_heap].  [obs] receives kernel
+    metrics (events scheduled/fired, queue high-water mark,
+    cancelled-entry churn, clock-advance distribution); defaults to a
+    no-op scope. *)
 
 val now : t -> int64
 

@@ -1,0 +1,21 @@
+(** Growable ring-buffer FIFO for per-process signal mailboxes.
+
+    Same contract as [Queue] for push/pop order, but backed by a
+    preallocated array (capacities are powers of two), so the
+    simulation's signal-delivery hot path does not allocate a cell per
+    event.  Not thread-safe — the simulation is single-threaded. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused slots (and overwrites popped ones, so handled
+    events are not retained); [capacity] rounds up to a power of two,
+    minimum 8. *)
+
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a
+(** Oldest element; raises [Invalid_argument] when empty. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit

@@ -9,6 +9,7 @@ type config = {
   faults : Fault.Plan.t;
   fault_seed : int;
   remap_jobs : int;
+  engine : Codegen.Runtime.engine_kind;
 }
 
 let default =
@@ -23,6 +24,9 @@ let default =
     faults = Fault.Plan.empty;
     fault_seed = 1;
     remap_jobs = 1;
+    (* compiled is the default; traces are bit-identical to Reference
+       (differential suite + CI engine matrix), only faster *)
+    engine = Codegen.Runtime.Compiled;
   }
 
 let build_model config =
@@ -114,7 +118,10 @@ let run_builder ?(via_xmi = false) ?obs ?flows config builder =
         else
           Some (Fault.Injector.create ~plan:config.faults ~seed:config.fault_seed)
       in
-      match Codegen.Runtime.create ?faults:injector ?obs ?flows sys with
+      match
+        Codegen.Runtime.create ?faults:injector ?obs ?flows
+          ~engine:config.engine sys
+      with
       | Error problems -> Error (String.concat "; " problems)
       | Ok runtime -> (
         if injector <> None then install_remap_hook config view runtime;

@@ -18,11 +18,14 @@ type config = {
   remap_jobs : int;
       (** Worker domains for the degradation re-mapping search (default
           1; results are identical for any value). *)
+  engine : Codegen.Runtime.engine_kind;
+      (** EFSM execution engine (default [Compiled]; traces are
+          bit-identical to [Reference], only faster). *)
 }
 
 val default : config
 (** 2 simulated seconds, the Figure 7/8 platform and mapping, no
-    faults. *)
+    faults, the compiled engine. *)
 
 val build_model : config -> Tut_profile.Builder.t
 (** Application + platform + mapping in one model. *)

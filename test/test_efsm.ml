@@ -667,6 +667,144 @@ let prop_dispatch_deterministic =
       in
       run () = run ())
 
+(* -- interpreter edge cases ------------------------------------------ *)
+(* Pin the exact observable behaviour (including error messages) of the
+   corners both engines must agree on: operand evaluation order, guard
+   failures on unbound variables, duplicate deliveries and parameters,
+   and the armed-delay rule for [After] timers. *)
+
+let expect_message expected f =
+  match f () with
+  | exception Action.Type_error msg -> check string_t "message" expected msg
+  | _ -> Alcotest.fail ("expected Type_error " ^ expected)
+
+let test_operand_evaluation_order () =
+  let env = Action.env_of_bindings [] in
+  let ev e = Action.eval env ~params:no_params e in
+  let open Action in
+  (* operands evaluate left-to-right: the leftmost failure wins *)
+  expect_message "unbound variable u1" (fun () -> ev (v "u1" + v "u2"));
+  (* the left operand's int check precedes the right operand's
+     evaluation entirely *)
+  expect_message "expected an integer" (fun () -> ev (b true + v "u2"));
+  expect_message "unbound variable u2" (fun () -> ev (i 1 + v "u2"));
+  (* Div/Mod evaluate both operands before the divisor-zero check *)
+  expect_message "unbound variable u" (fun () -> ev (i 1 / v "u"));
+  expect_message "division by zero" (fun () -> ev (i 1 / i 0));
+  expect_message "modulo by zero" (fun () -> ev (i 1 mod i 0));
+  (* short-circuit: a false/true left silences errors on the right... *)
+  check bool_t "and short-circuits" false
+    (Action.eval_bool env ~params:no_params (b false && v "u"));
+  check bool_t "or short-circuits" true
+    (Action.eval_bool env ~params:no_params (b true || v "u"));
+  (* ...but an evaluated right operand is type-checked *)
+  expect_message "expected a boolean" (fun () -> ev (b true && i 1));
+  (* Eq/Ne compare values of different types as plain inequality *)
+  check bool_t "int = bool is false" false
+    (Action.eval_bool env ~params:no_params (i 1 = b true));
+  check bool_t "int <> bool is true" true
+    (Action.eval_bool env ~params:no_params (i 0 <> b false))
+
+let test_action_sequence_order () =
+  (* statements run in order; a failing statement aborts the sequence
+     with effects of earlier statements never delivered (exceptions
+     propagate out of exec, nothing partial is returned) *)
+  let env = Action.env_of_bindings [ ("n", Action.V_int 1) ] in
+  let open Action in
+  expect_message "unbound variable u" (fun () ->
+      Action.exec env ~params:no_params
+        [ assign "n" (i 10); compute (v "u"); assign "n" (i 99) ]);
+  check int_t "first assignment ran" 10
+    (match Action.lookup env "n" with Some (V_int n) -> n | _ -> -1)
+
+let unbound_guard_machine =
+  let open Action in
+  Machine.make ~name:"ug" ~states:[ "a"; "b" ] ~initial:"a"
+    [
+      Machine.transition ~guard:(v "ghost" > i 0) ~src:"a" ~dst:"b"
+        (Machine.On_signal "go");
+    ]
+
+let test_guard_unbound_variable () =
+  (* a guard over an unbound variable is an error, not a disabled
+     transition: dispatch propagates the Type_error *)
+  let inst = Interp.create unbound_guard_machine in
+  expect_message "unbound variable ghost" (fun () ->
+      Interp.dispatch inst ~signal:"go" ~args:[])
+
+let test_duplicate_delivery_and_params () =
+  let open Action in
+  let m =
+    Machine.make ~name:"dup" ~states:[ "s" ] ~initial:"s"
+      ~variables:[ ("n", V_int 0) ]
+      [
+        Machine.transition
+          ~actions:[ assign "n" (v "n" + p "k") ]
+          ~src:"s" ~dst:"s" (Machine.On_signal "bump");
+      ]
+  in
+  let inst = Interp.create m in
+  (* duplicate parameter names: the first occurrence wins *)
+  ignore
+    (Interp.dispatch inst ~signal:"bump"
+       ~args:[ ("k", V_int 5); ("k", V_int 50) ]);
+  check int_t "first duplicate param wins" 5
+    (match Interp.read_var inst "n" with Some (V_int n) -> n | _ -> -1);
+  (* duplicate delivery of the same signal is not de-duplicated: each
+     copy dispatches independently *)
+  ignore (Interp.dispatch inst ~signal:"bump" ~args:[ ("k", V_int 1) ]);
+  ignore (Interp.dispatch inst ~signal:"bump" ~args:[ ("k", V_int 1) ]);
+  check int_t "both duplicates handled" 7
+    (match Interp.read_var inst "n" with Some (V_int n) -> n | _ -> -1)
+
+let test_timer_fires_armed_delay () =
+  (* a longer After declared first must not fire at the shorter (armed)
+     delay's expiry *)
+  let open Action in
+  let m =
+    Machine.make ~name:"timers" ~states:[ "s"; "slow"; "fast" ] ~initial:"s"
+      [
+        Machine.transition ~src:"s" ~dst:"slow" (Machine.After 500);
+        Machine.transition ~src:"s" ~dst:"fast" (Machine.After 100);
+      ]
+  in
+  let inst = Interp.create m in
+  check (Alcotest.option int_t) "armed delay is the minimum" (Some 100)
+    (Interp.timer_request inst);
+  let step = Interp.fire_timer inst ~entered_state:"s" in
+  (match step.Interp.fired with
+  | Some tr -> check string_t "min-delay transition fired" "fast" tr.Machine.target
+  | None -> Alcotest.fail "timer did not fire");
+  (* when the armed (minimum) delay's guard is false, nothing fires —
+     the longer transition is not due yet *)
+  let m2 =
+    Machine.make ~name:"timers2" ~states:[ "s"; "slow"; "fast" ] ~initial:"s"
+      [
+        Machine.transition ~src:"s" ~dst:"slow" (Machine.After 500);
+        Machine.transition ~guard:(b false) ~src:"s" ~dst:"fast"
+          (Machine.After 100);
+      ]
+  in
+  let inst2 = Interp.create m2 in
+  let step2 = Interp.fire_timer inst2 ~entered_state:"s" in
+  check bool_t "guarded minimum blocks the expiry" true
+    (match step2.Interp.fired with None -> true | Some _ -> false);
+  check string_t "state unchanged" "s" (Interp.state inst2)
+
+let test_pinned_messages () =
+  let env = Action.env_of_bindings [] in
+  let open Action in
+  expect_message "unbound signal parameter k" (fun () ->
+      Action.eval env ~params:no_params (p "k"));
+  expect_message "negative computation cost" (fun () ->
+      Action.exec env ~params:no_params [ compute (i (-1)) ]);
+  expect_message
+    (Printf.sprintf "loop exceeded %d iterations" Action.max_loop_iterations)
+    (fun () ->
+      Action.exec env ~params:no_params [ While (b true, [ compute (i 1) ]) ]);
+  check string_t "livelock message" "completion transition livelock"
+    Interp.completion_livelock_message
+
 let () =
   Alcotest.run "efsm"
     [
@@ -726,5 +864,19 @@ let () =
           QCheck_alcotest.to_alcotest prop_stmt_roundtrip;
           QCheck_alcotest.to_alcotest prop_machine_notation_roundtrip;
           QCheck_alcotest.to_alcotest prop_dispatch_deterministic;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "operand evaluation order" `Quick
+            test_operand_evaluation_order;
+          Alcotest.test_case "action sequence order" `Quick
+            test_action_sequence_order;
+          Alcotest.test_case "guard on unbound variable" `Quick
+            test_guard_unbound_variable;
+          Alcotest.test_case "duplicate delivery and params" `Quick
+            test_duplicate_delivery_and_params;
+          Alcotest.test_case "timer fires the armed delay" `Quick
+            test_timer_fires_armed_delay;
+          Alcotest.test_case "pinned messages" `Quick test_pinned_messages;
         ] );
     ]

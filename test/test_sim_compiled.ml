@@ -1,0 +1,808 @@
+(* Differential testing of the compiled execution path against the
+   reference one, at every layer:
+
+   - machine level: random EFSMs (nested guards, random actions,
+     hierarchical machines flattened with Efsm.Hsm) driven in lockstep
+     through Efsm.Interp and Efsm.Compiled — states, variables, fired
+     transitions, effects, timer requests and error messages must agree
+     on every step;
+   - network level: random process networks (self-sends, fan-out
+     bindings, local and HIBI-routed signals) run under both
+     Codegen.Runtime engines — the simulation traces must be
+     byte-identical, event for event;
+   - scenario level: the TUTMAC case study (fault-free, fault-injected,
+     flow-traced) under both engines with full-trace diffs;
+   - queue level: QCheck properties pinning Sim.Calendar to the exact
+     (time, seq) total order of the binary-heap backend, including
+     FIFO within a timestamp, ordering across buckets, lazy dead-entry
+     dropping, and resize behaviour. *)
+
+open Efsm
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+(* -- machine-level lockstep ------------------------------------------ *)
+
+(* Same action-language generators as test_efsm's notation round-trips:
+   they produce ill-typed programs on purpose, so the differential also
+   covers Type_error parity (message and evaluation order). *)
+
+let gen_expr =
+  QCheck.Gen.(
+    sized @@ fix (fun self size ->
+        let leaf =
+          oneof
+            [
+              map (fun n -> Action.Int n) (int_range 0 1000);
+              map (fun b -> Action.Bool b) bool;
+              map (fun s -> Action.Var s) (oneofl [ "x"; "y"; "count" ]);
+              map (fun s -> Action.Param s) (oneofl [ "seq"; "frag" ]);
+            ]
+        in
+        if size <= 1 then leaf
+        else
+          oneof
+            [
+              leaf;
+              map (fun e -> Action.Neg e) (self (size / 2));
+              map (fun e -> Action.Not e) (self (size / 2));
+              (let* op =
+                 oneofl
+                   [
+                     Action.Add; Action.Sub; Action.Mul; Action.Div; Action.Mod;
+                     Action.Eq; Action.Ne; Action.Lt; Action.Le; Action.Gt;
+                     Action.Ge; Action.And; Action.Or;
+                   ]
+               in
+               let* a = self (size / 2) in
+               let* b = self (size / 2) in
+               return (Action.Bin (op, a, b)));
+            ]))
+
+let gen_stmt =
+  QCheck.Gen.(
+    sized @@ fix (fun self size ->
+        let leaf =
+          oneof
+            [
+              (let* name = oneofl [ "x"; "y" ] in
+               let* e = gen_expr in
+               return (Action.Assign (name, e)));
+              (let* port = oneofl [ "out"; "dp" ] in
+               let* signal = oneofl [ "Sig"; "Data" ] in
+               let* n = int_range 0 2 in
+               let* args = list_repeat n gen_expr in
+               return (Action.Send { port; signal; args }));
+              map (fun e -> Action.Compute e) gen_expr;
+            ]
+        in
+        if size <= 1 then leaf
+        else
+          oneof
+            [
+              leaf;
+              (let* cond = gen_expr in
+               let* nthen = int_range 1 2 in
+               let* then_ = list_repeat nthen (self (size / 2)) in
+               let* nelse = int_range 0 2 in
+               let* else_ = list_repeat nelse (self (size / 2)) in
+               return (Action.If (cond, then_, else_)));
+              (let* cond = gen_expr in
+               let* n = int_range 1 2 in
+               let* body = list_repeat n (self (size / 2)) in
+               return (Action.While (cond, body)));
+            ]))
+
+let gen_transition states =
+  QCheck.Gen.(
+    let* src = oneofl states in
+    let* dst = oneofl states in
+    let* trigger =
+      oneof
+        [
+          map (fun s -> Machine.On_signal s) (oneofl [ "go"; "stop"; "tick" ]);
+          map (fun n -> Machine.After n) (int_range 1 100_000);
+          return Machine.Completion;
+        ]
+    in
+    let* has_guard = bool in
+    let* guard = gen_expr in
+    let* n_actions = int_range 0 2 in
+    let* actions = list_repeat n_actions gen_stmt in
+    return
+      (Machine.transition
+         ?guard:(if has_guard then Some guard else None)
+         ~actions ~src ~dst trigger))
+
+let gen_machine =
+  QCheck.Gen.(
+    let states = [ "s0"; "s1"; "s2" ] in
+    let* n_transitions = int_range 0 8 in
+    let* transitions = list_repeat n_transitions (gen_transition states) in
+    let* variables =
+      let* vx = int_range (-50) 50 in
+      let* vb = bool in
+      return [ ("x", Action.V_int vx); ("done_", Action.V_bool vb) ]
+    in
+    let gen_state_actions =
+      let* with_actions = bool in
+      if not with_actions then return []
+      else
+        let* state = oneofl states in
+        let* n = int_range 1 2 in
+        let* stmts = list_repeat n gen_stmt in
+        return [ (state, stmts) ]
+    in
+    let* entry_actions = gen_state_actions in
+    let* exit_actions = gen_state_actions in
+    return
+      (Machine.make ~name:"gen" ~states ~initial:"s0" ~variables ~entry_actions
+         ~exit_actions transitions))
+
+(* Hierarchical machines: a fixed two-level shape (composite [c] with
+   substates, one optionally nested composite) with random transitions
+   over all state names, flattened to a flat machine.  Flattening is the
+   interesting part — inherited transitions, inner-first priority and
+   initial-chain entry all end up as ordinary declaration-order
+   transitions both engines must read identically. *)
+let gen_hsm_machine =
+  QCheck.Gen.(
+    let* nested = bool in
+    let inner =
+      if nested then
+        Hsm.composite ~name:"c2" ~initial:"d1" [ Hsm.simple "d1"; Hsm.simple "d2" ]
+      else Hsm.simple "c2"
+    in
+    let states =
+      [
+        Hsm.simple "a";
+        Hsm.composite ~name:"c" ~initial:"c1" [ Hsm.simple "c1"; inner ];
+        Hsm.simple "b";
+      ]
+    in
+    let names =
+      [ "a"; "b"; "c"; "c1"; "c2" ] @ if nested then [ "d1"; "d2" ] else []
+    in
+    let* n_transitions = int_range 1 8 in
+    let* transitions = list_repeat n_transitions (gen_transition names) in
+    let* vx = int_range (-50) 50 in
+    let hsm =
+      {
+        Hsm.name = "hgen";
+        states;
+        initial = "a";
+        variables = [ ("x", Action.V_int vx); ("done_", Action.V_bool false) ];
+        transitions;
+      }
+    in
+    match Hsm.check hsm with
+    | [] -> (
+      match Hsm.flatten hsm with Ok m -> return (Some m) | Error _ -> return None)
+    | _ -> return None)
+
+type op =
+  | Op_dispatch of string * (string * Action.value) list
+  | Op_timer of bool  (** [true]: entered_state is the current state *)
+  | Op_completions
+
+let gen_op =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* signal = oneofl [ "go"; "stop"; "tick"; "other" ] in
+         let* n_args = int_range 0 3 in
+         let* args =
+           list_repeat n_args
+             (let* name = oneofl [ "seq"; "frag"; "seq" ] in
+              let* value =
+                oneof
+                  [
+                    map (fun n -> Action.V_int n) (int_range (-5) 20);
+                    map (fun b -> Action.V_bool b) bool;
+                  ]
+              in
+              return (name, value))
+         in
+         return (Op_dispatch (signal, args)));
+        map (fun valid -> Op_timer valid) bool;
+        return Op_completions;
+      ])
+
+let gen_ops = QCheck.Gen.(list_size (int_range 1 25) gen_op)
+
+let print_op = function
+  | Op_dispatch (s, args) ->
+    Printf.sprintf "dispatch %s(%s)" s
+      (String.concat ","
+         (List.map
+            (fun (n, v) ->
+              Printf.sprintf "%s=%s" n
+                (match v with
+                | Action.V_int i -> string_of_int i
+                | Action.V_bool b -> string_of_bool b))
+            args))
+  | Op_timer valid -> if valid then "timer" else "stale-timer"
+  | Op_completions -> "completions"
+
+type outcome =
+  | O_step of Machine.transition option * Action.effect list
+  | O_effects of Action.effect list
+  | O_error of string
+
+(* Run one op on either engine, funnelled through the same outcome type
+   so the comparison is a structural equality. *)
+let catching f = try f () with Action.Type_error m -> O_error m
+
+let interp_op inst op =
+  catching (fun () ->
+      match op with
+      | Op_dispatch (signal, args) ->
+        let st = Interp.dispatch inst ~signal ~args in
+        O_step (st.Interp.fired, st.Interp.effects)
+      | Op_timer valid ->
+        let entered = if valid then Interp.state inst else "__stale__" in
+        let st = Interp.fire_timer inst ~entered_state:entered in
+        O_step (st.Interp.fired, st.Interp.effects)
+      | Op_completions -> O_effects (Interp.run_completions inst))
+
+let compiled_op inst op =
+  catching (fun () ->
+      match op with
+      | Op_dispatch (signal, args) ->
+        let st = Compiled.dispatch inst ~signal ~args in
+        O_step (st.Interp.fired, st.Interp.effects)
+      | Op_timer valid ->
+        let entered = if valid then Compiled.state inst else "__stale__" in
+        let st = Compiled.fire_timer inst ~entered_state:entered in
+        O_step (st.Interp.fired, st.Interp.effects)
+      | Op_completions -> O_effects (Compiled.run_completions inst))
+
+let sorted_vars l = List.sort compare l
+
+let pp_outcome = function
+  | O_error m -> "error: " ^ m
+  | O_step (fired, effects) ->
+    Printf.sprintf "step fired=%s effects=%d"
+      (match fired with None -> "-" | Some t -> t.Machine.source ^ "->" ^ t.Machine.target)
+      (List.length effects)
+  | O_effects effects -> Printf.sprintf "effects=%d" (List.length effects)
+
+(* Drive both engines through [ops] in lockstep; true iff every step
+   agrees.  Stops at the first error (the instance state after an
+   exception is unspecified, but the message must match). *)
+let lockstep machine ops =
+  let ri = Interp.create machine in
+  let ci = Compiled.of_machine machine in
+  let fail op_label a b =
+    QCheck.Test.fail_reportf "engines diverge on %s:\n  reference: %s\n  compiled:  %s\n%s"
+      op_label (pp_outcome a) (pp_outcome b)
+      (Notation.print_machine machine)
+  in
+  let agree op_label a b =
+    if a <> b then fail op_label a b;
+    match (a, b) with O_error _, _ -> false | _ -> true
+  in
+  let sync op_label =
+    if Interp.state ri <> Compiled.state ci then
+      QCheck.Test.fail_reportf "state diverges after %s: %s vs %s\n%s" op_label
+        (Interp.state ri) (Compiled.state ci)
+        (Notation.print_machine machine);
+    if sorted_vars (Interp.variables ri) <> sorted_vars (Compiled.variables ci)
+    then
+      QCheck.Test.fail_reportf "variables diverge after %s\n%s" op_label
+        (Notation.print_machine machine);
+    if Interp.timer_request ri <> Compiled.timer_request ci then
+      QCheck.Test.fail_reportf "timer request diverges after %s\n%s" op_label
+        (Notation.print_machine machine)
+  in
+  let init_r = catching (fun () -> O_effects (Interp.initial_entry ri)) in
+  let init_c = catching (fun () -> O_effects (Compiled.initial_entry ci)) in
+  if agree "initial entry" init_r init_c then begin
+    sync "initial entry";
+    let rec go = function
+      | [] -> ()
+      | op :: rest ->
+        let label = print_op op in
+        if agree label (interp_op ri op) (compiled_op ci op) then begin
+          sync label;
+          go rest
+        end
+    in
+    go ops
+  end;
+  true
+
+let prop_lockstep_flat =
+  QCheck.Test.make ~name:"lockstep: random flat machines" ~count:300
+    (QCheck.make
+       ~print:(fun (m, ops) ->
+         Notation.print_machine m ^ "\nops: "
+         ^ String.concat "; " (List.map print_op ops))
+       QCheck.Gen.(pair gen_machine gen_ops))
+    (fun (machine, ops) -> lockstep machine ops)
+
+let prop_lockstep_hsm =
+  QCheck.Test.make ~name:"lockstep: flattened hierarchical machines" ~count:200
+    (QCheck.make
+       ~print:(fun (m, ops) ->
+         (match m with
+         | Some m -> Notation.print_machine m
+         | None -> "<ill-formed hsm>")
+         ^ "\nops: "
+         ^ String.concat "; " (List.map print_op ops))
+       QCheck.Gen.(pair gen_hsm_machine gen_ops))
+    (fun (machine, ops) ->
+      match machine with None -> true | Some m -> lockstep m ops)
+
+(* -- network-level differential -------------------------------------- *)
+
+(* Random well-typed process networks: three processes on one or two
+   PEs, each emitting its own signal on timer loops; random binding
+   fan-out (a signal may go to several destinations, including the
+   sender itself — self-sends and TUTMAC-fragmentation-like fan-out).
+   Receives update variables; completions are guarded counters.  Both
+   runtimes execute the same Ir.system and the traces must be
+   byte-identical. *)
+
+let net_machine ~name ~sends ~receives ~recv_in_s1 ~use_completion ~after1
+    ~after2 ~cost ~limit ~guard_recv =
+  let half_cost = cost / 2 in
+  let open Action in
+  let send_all = List.map (fun (port, s) -> send ~port s ~args:[ v "n" ]) sends in
+  let recv_handler src =
+    List.map
+      (fun signal ->
+        Machine.transition ~src ~dst:src (Machine.On_signal signal)
+          ?guard:(if guard_recv then Some (v "n" < i 1_000_000) else None)
+          ~actions:[ assign "n" (v "n" + p "k") ])
+      receives
+  in
+  Machine.make ~name ~states:[ "s0"; "s1" ] ~initial:"s0"
+    ~variables:[ ("n", V_int 0); ("c", V_int 0) ]
+    ([
+       Machine.transition ~src:"s0" ~dst:"s1" (Machine.After after1)
+         ~actions:((compute (i cost) :: send_all) @ [ assign "n" (v "n" + i 1) ]);
+       Machine.transition ~src:"s1" ~dst:"s0" (Machine.After after2)
+         ~actions:(send_all @ [ compute (i half_cost) ]);
+     ]
+    @ recv_handler "s0"
+    @ (if recv_in_s1 then recv_handler "s1" else [])
+    @
+    if use_completion then
+      [
+        Machine.transition ~src:"s1" ~dst:"s1" Machine.Completion
+          ~guard:(v "c" < i limit)
+          ~actions:[ assign "c" (v "c" + i 1) ];
+      ]
+    else [])
+
+let gen_system =
+  QCheck.Gen.(
+    let proc_names = [| "net.p0"; "net.p1"; "net.p2" |] in
+    let signal_of = [| "S0"; "S1"; "S2" |] in
+    let gen_dsts =
+      let* a = bool in
+      let* b = bool in
+      let* c = bool in
+      let picked =
+        List.concat
+          [
+            (if a then [ 0 ] else []);
+            (if b then [ 1 ] else []);
+            (if c then [ 2 ] else []);
+          ]
+      in
+      if picked = [] then map (fun x -> [ x ]) (int_range 0 2) else return picked
+    in
+    let* dsts = array_repeat 3 gen_dsts in
+    let* pe_of = array_repeat 3 (oneofl [ "pe0"; "pe1" ]) in
+    let* scheduling = oneofl [ Codegen.Ir.Fifo; Codegen.Ir.Priority_preemptive ] in
+    let gen_proc i =
+      let receives =
+        List.filter_map
+          (fun j -> if List.mem i dsts.(j) then Some signal_of.(j) else None)
+          [ 0; 1; 2 ]
+      in
+      let* recv_in_s1 = bool in
+      let* use_completion = bool in
+      let* after1 = int_range 5_000 60_000 in
+      let* after2 = int_range 5_000 60_000 in
+      let* cost = int_range 20 400 in
+      let* limit = int_range 2 30 in
+      let* guard_recv = bool in
+      return
+        {
+          Codegen.Ir.proc_name = proc_names.(i);
+          machine =
+            net_machine ~name:("M" ^ string_of_int i)
+              ~sends:[ ("io", signal_of.(i)) ]
+              ~receives ~recv_in_s1 ~use_completion ~after1 ~after2 ~cost ~limit
+              ~guard_recv;
+          priority = i + 1;
+          pe = Some pe_of.(i);
+          group = Some "g";
+        }
+    in
+    let* procs = flatten_l (List.map gen_proc [ 0; 1; 2 ]) in
+    let bindings =
+      List.concat_map
+        (fun j ->
+          List.map
+            (fun d ->
+              {
+                Codegen.Ir.b_src = proc_names.(j);
+                b_port = "io";
+                b_signal = signal_of.(j);
+                b_dst = proc_names.(d);
+              })
+            dsts.(j))
+        [ 0; 1; 2 ]
+    in
+    let pe name =
+      { Codegen.Ir.pe_name = name; frequency_mhz = 100; perf_factor = 1.0; scheduling }
+    in
+    let wrapper name agent address =
+      Codegen.Ir.Agent_wrapper
+        {
+          name;
+          agent;
+          address;
+          segment = "seg";
+          buffer_size = 8;
+          max_time = 100;
+          bus_priority = address;
+        }
+    in
+    return
+      {
+        Codegen.Ir.sys_name = "net";
+        procs;
+        bindings;
+        pes = [ pe "pe0"; pe "pe1" ];
+        segments =
+          [
+            {
+              Codegen.Ir.seg_name = "seg";
+              data_width_bits = 32;
+              seg_frequency_mhz = 100;
+              arbitration = Codegen.Ir.Priority;
+              max_send_size = 16;
+            };
+          ];
+        wrappers = [ wrapper "w0" "pe0" 1; wrapper "w1" "pe1" 2 ];
+        signal_words = [ ("S0", 1); ("S1", 2); ("S2", 1) ];
+        signal_params = [ ("S0", [ "k" ]); ("S1", [ "k" ]); ("S2", [ "k" ]) ];
+        dispatch_overhead_cycles = 10;
+      })
+
+let run_network engine sys ~until_ns =
+  match Codegen.Runtime.create ~engine sys with
+  | Error problems ->
+    QCheck.Test.fail_reportf "runtime create failed: %s"
+      (String.concat "; " problems)
+  | Ok rt ->
+    Codegen.Runtime.start rt;
+    ignore (Codegen.Runtime.run rt ~until_ns);
+    let final =
+      List.map
+        (fun p ->
+          let name = p.Codegen.Ir.proc_name in
+          ( name,
+            Codegen.Runtime.process_state rt name,
+            Codegen.Runtime.process_var rt name "n",
+            Codegen.Runtime.process_var rt name "c" ))
+        sys.Codegen.Ir.procs
+    in
+    (Sim.Trace.to_lines (Codegen.Runtime.trace rt), final,
+     Codegen.Runtime.runtime_errors rt)
+
+let first_diff la lb =
+  let rec go i = function
+    | [], [] -> None
+    | a :: _, [] -> Some (i, a, "<end of trace>")
+    | [], b :: _ -> Some (i, "<end of trace>", b)
+    | a :: ra, b :: rb -> if a <> b then Some (i, a, b) else go (i + 1) (ra, rb)
+  in
+  go 0 (la, lb)
+
+let prop_network_differential =
+  QCheck.Test.make ~name:"network traces bit-identical across engines"
+    ~count:120
+    (QCheck.make
+       ~print:(fun sys -> Format.asprintf "%a" Codegen.Ir.pp sys)
+       gen_system)
+    (fun sys ->
+      if Codegen.Ir.check sys <> [] then
+        QCheck.Test.fail_reportf "generated system fails Ir.check: %s"
+          (String.concat "; " (Codegen.Ir.check sys));
+      let lr, fr, er = run_network Codegen.Runtime.Reference sys ~until_ns:1_000_000L in
+      let lc, fc, ec = run_network Codegen.Runtime.Compiled sys ~until_ns:1_000_000L in
+      (match first_diff lr lc with
+      | Some (i, a, b) ->
+        QCheck.Test.fail_reportf
+          "traces diverge at event %d:\n  reference: %s\n  compiled:  %s" i a b
+      | None -> ());
+      if fr <> fc then QCheck.Test.fail_reportf "final process states diverge";
+      if er <> ec then QCheck.Test.fail_reportf "runtime errors diverge";
+      true)
+
+(* -- scenario-level differential (TUTMAC case study) ------------------ *)
+
+let scenario_trace ?obs ?flows config =
+  match Tutmac.Scenario.run ?obs ?flows config with
+  | Error e -> Alcotest.failf "scenario run failed: %s" e
+  | Ok result ->
+    ( Sim.Trace.to_lines result.Tutmac.Scenario.trace,
+      Profiler.Report.render result.Tutmac.Scenario.report )
+
+let check_traces_equal name (lr, rr) (lc, rc) =
+  (match first_diff lr lc with
+  | Some (i, a, b) ->
+    Alcotest.failf "%s: traces diverge at event %d:\n  reference: %s\n  compiled:  %s"
+      name i a b
+  | None -> ());
+  check int_t (name ^ ": same event count") (List.length lr) (List.length lc);
+  check string_t (name ^ ": same report") rr rc
+
+let engine_config engine duration_ns =
+  { Tutmac.Scenario.default with Tutmac.Scenario.duration_ns; engine }
+
+let test_scenario_differential () =
+  let d = 50_000_000L in
+  check_traces_equal "fault-free"
+    (scenario_trace (engine_config Codegen.Runtime.Reference d))
+    (scenario_trace (engine_config Codegen.Runtime.Compiled d))
+
+let fault_plan =
+  {
+    Fault.Plan.specs =
+      [
+        Fault.Plan.Hibi_drop
+          { segment = "*"; rate = 0.05; window = Fault.Plan.always };
+        Fault.Plan.Hibi_corrupt
+          { segment = "*"; rate = 0.03; max_flips = 2; window = Fault.Plan.always };
+        Fault.Plan.Signal_dup
+          { process = "*"; rate = 0.02; window = Fault.Plan.always };
+      ];
+    recovery = Fault.Plan.default_recovery;
+  }
+
+let test_scenario_differential_faults () =
+  let config engine =
+    {
+      (engine_config engine 50_000_000L) with
+      Tutmac.Scenario.faults = fault_plan;
+      fault_seed = 42;
+    }
+  in
+  check_traces_equal "fault-injected"
+    (scenario_trace (config Codegen.Runtime.Reference))
+    (scenario_trace (config Codegen.Runtime.Compiled))
+
+let test_scenario_differential_flows () =
+  let run engine =
+    let obs = Obs.Scope.create () in
+    let flows = Obs.Flow.create ~metrics:(Obs.Scope.metrics obs) () in
+    let t = scenario_trace ~obs ~flows (engine_config engine 50_000_000L) in
+    (t, Obs.Flow.minted flows, Obs.Flow.completed flows)
+  in
+  let tr, mr, cr = run Codegen.Runtime.Reference in
+  let tc, mc, cc = run Codegen.Runtime.Compiled in
+  check_traces_equal "flow-traced" tr tc;
+  check int_t "same flows minted" mr mc;
+  check int_t "same flows completed" cr cc;
+  check bool_t "flows were minted" true (mr > 0)
+
+(* -- calendar queue properties ---------------------------------------- *)
+
+let insert_sorted key l =
+  let rec go = function
+    | [] -> [ key ]
+    | k :: rest -> if compare key k < 0 then key :: k :: rest else k :: go rest
+  in
+  go l
+
+(* The calendar must reproduce the exact (time, seq) total order of the
+   heap backend.  [spread] controls how times map to buckets: a small
+   spread packs many events (and timestamp collisions — FIFO territory)
+   into one bucket; a large spread crosses buckets and laps. *)
+let calendar_order_prop ~spread ops =
+  let c = Sim.Calendar.create ~live:(fun _ -> true) () in
+  let model = ref [] in
+  let floor = ref 0L in
+  let seq = ref 0 in
+  let take got =
+    match (got, !model) with
+    | Some got, expected :: rest ->
+      if got <> expected then
+        QCheck.Test.fail_reportf "pop order: got (%Ld,%d), expected (%Ld,%d)"
+          (fst got) (snd got) (fst expected) (snd expected);
+      model := rest;
+      floor := fst expected
+    | None, expected :: _ ->
+      QCheck.Test.fail_reportf "pop returned None, expected (%Ld,%d)"
+        (fst expected) (snd expected)
+    | Some got, [] ->
+      QCheck.Test.fail_reportf "pop returned (%Ld,%d), expected None" (fst got)
+        (snd got)
+    | None, [] -> ()
+  in
+  List.iter
+    (fun v ->
+      if v mod 5 = 0 && !model <> [] then take (Sim.Calendar.pop c)
+      else begin
+        let t = Int64.add !floor (Int64.of_int (v mod spread)) in
+        incr seq;
+        Sim.Calendar.add c ~time:t ~seq:!seq (t, !seq);
+        model := insert_sorted (t, !seq) !model
+      end)
+    ops;
+  while !model <> [] || Sim.Calendar.peek c <> None do
+    (match (Sim.Calendar.peek c, !model) with
+    | Some got, expected :: _ when got <> expected ->
+      QCheck.Test.fail_reportf "peek disagrees with pop order"
+    | _ -> ());
+    take (Sim.Calendar.pop c)
+  done;
+  true
+
+let gen_calendar_ops =
+  QCheck.(list_of_size (Gen.int_range 1 300) (int_range 0 10_000))
+
+let prop_calendar_fifo =
+  QCheck.Test.make ~name:"calendar: FIFO within a timestamp" ~count:200
+    gen_calendar_ops (calendar_order_prop ~spread:3)
+
+let prop_calendar_buckets =
+  QCheck.Test.make ~name:"calendar: order across buckets" ~count:200
+    gen_calendar_ops (calendar_order_prop ~spread:9973)
+
+(* Lazy cancellation: dead entries never come back, live order is
+   unchanged, and the drop counter moves. *)
+let prop_calendar_dead =
+  QCheck.Test.make ~name:"calendar: dead entries are dropped" ~count:200
+    gen_calendar_ops (fun ops ->
+      let dead = Hashtbl.create 64 in
+      let c = Sim.Calendar.create ~live:(fun (_, s) -> not (Hashtbl.mem dead s)) () in
+      let model = ref [] in
+      let floor = ref 0L in
+      let seq = ref 0 in
+      let pop_expected () =
+        let rec live = function
+          | [] -> []
+          | k :: rest -> if Hashtbl.mem dead (snd k) then live rest else k :: live rest
+        in
+        model := live !model;
+        match (Sim.Calendar.pop c, !model) with
+        | Some got, expected :: rest ->
+          if got <> expected then
+            QCheck.Test.fail_reportf "dead-drop pop order: got (%Ld,%d), expected (%Ld,%d)"
+              (fst got) (snd got) (fst expected) (snd expected);
+          model := rest;
+          floor := fst expected
+        | None, [] -> ()
+        | None, expected :: _ ->
+          QCheck.Test.fail_reportf "pop returned None, expected (%Ld,%d)"
+            (fst expected) (snd expected)
+        | Some got, [] ->
+          QCheck.Test.fail_reportf "pop returned (%Ld,%d), expected None"
+            (fst got) (snd got)
+      in
+      List.iter
+        (fun v ->
+          match v mod 7 with
+          | 0 -> if !model <> [] then pop_expected ()
+          | 1 | 2 ->
+            (* cancel a random pending entry *)
+            if !seq > 0 then Hashtbl.replace dead (1 + (v mod !seq)) ()
+          | _ ->
+            let t = Int64.add !floor (Int64.of_int (v mod 500)) in
+            incr seq;
+            Sim.Calendar.add c ~time:t ~seq:!seq (t, !seq);
+            model := insert_sorted (t, !seq) !model)
+        ops;
+      let rec drain () =
+        model := List.filter (fun k -> not (Hashtbl.mem dead (snd k))) !model;
+        match (Sim.Calendar.pop c, !model) with
+        | None, [] -> ()
+        | Some got, expected :: rest ->
+          if got <> expected then
+            QCheck.Test.fail_reportf "drain order: got (%Ld,%d), expected (%Ld,%d)"
+              (fst got) (snd got) (fst expected) (snd expected);
+          model := rest;
+          drain ()
+        | None, expected :: _ ->
+          QCheck.Test.fail_reportf "drain stopped early, expected (%Ld,%d)"
+            (fst expected) (snd expected)
+        | Some got, [] ->
+          QCheck.Test.fail_reportf "drained (%Ld,%d) beyond the model" (fst got)
+            (snd got)
+      in
+      drain ();
+      true)
+
+(* Deterministic resize stress: enough entries to force bucket growth
+   and a spread that forces shrink on the way down. *)
+let test_calendar_resize () =
+  let c = Sim.Calendar.create ~n_buckets:64 ~width:16L ~live:(fun _ -> true) () in
+  let lcg = ref 12345 in
+  let next () =
+    lcg := ((!lcg * 1103515245) + 12345) land 0x3FFFFFFF;
+    !lcg
+  in
+  let n = 5_000 in
+  for s = 1 to n do
+    let t = Int64.of_int (next () mod 1_000_000) in
+    Sim.Calendar.add c ~time:t ~seq:s (t, s)
+  done;
+  check int_t "all stored" n (Sim.Calendar.length c);
+  let last = ref (-1L, -1) in
+  let popped = ref 0 in
+  let rec drain () =
+    match Sim.Calendar.pop c with
+    | None -> ()
+    | Some k ->
+      check bool_t "strictly increasing (time,seq)" true (compare !last k < 0);
+      last := k;
+      incr popped;
+      drain ()
+  in
+  drain ();
+  check int_t "all popped" n !popped
+
+(* -- mailbox ----------------------------------------------------------- *)
+
+let test_mailbox_fifo () =
+  let mb = Sim.Mailbox.create ~capacity:4 ~dummy:0 () in
+  check bool_t "empty" true (Sim.Mailbox.is_empty mb);
+  (* interleave pushes and pops so head wraps around the ring while the
+     buffer grows past its initial capacity *)
+  let out = ref [] in
+  let next_in = ref 0 in
+  for round = 1 to 50 do
+    for _ = 1 to round mod 7 do
+      incr next_in;
+      Sim.Mailbox.push mb !next_in
+    done;
+    for _ = 1 to round mod 3 do
+      if not (Sim.Mailbox.is_empty mb) then out := Sim.Mailbox.pop mb :: !out
+    done
+  done;
+  while not (Sim.Mailbox.is_empty mb) do
+    out := Sim.Mailbox.pop mb :: !out
+  done;
+  let got = List.rev !out in
+  check int_t "nothing lost" !next_in (List.length got);
+  check bool_t "FIFO order" true (got = List.init !next_in (fun i -> i + 1));
+  check bool_t "empty again" true (Sim.Mailbox.is_empty mb)
+
+let () =
+  Alcotest.run "sim_compiled"
+    [
+      ( "lockstep",
+        [
+          QCheck_alcotest.to_alcotest prop_lockstep_flat;
+          QCheck_alcotest.to_alcotest prop_lockstep_hsm;
+        ] );
+      ("network", [ QCheck_alcotest.to_alcotest prop_network_differential ]);
+      ( "scenario",
+        [
+          Alcotest.test_case "fault-free traces identical" `Slow
+            test_scenario_differential;
+          Alcotest.test_case "fault-injected traces identical" `Slow
+            test_scenario_differential_faults;
+          Alcotest.test_case "flow-traced runs identical" `Slow
+            test_scenario_differential_flows;
+        ] );
+      ( "calendar",
+        [
+          QCheck_alcotest.to_alcotest prop_calendar_fifo;
+          QCheck_alcotest.to_alcotest prop_calendar_buckets;
+          QCheck_alcotest.to_alcotest prop_calendar_dead;
+          Alcotest.test_case "resize stress" `Quick test_calendar_resize;
+        ] );
+      ("mailbox", [ Alcotest.test_case "growable ring FIFO" `Quick test_mailbox_fifo ]);
+    ]
