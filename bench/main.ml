@@ -1323,6 +1323,103 @@ let bench_sim () =
     exit 1
   end
 
+(* Written to BENCH_mc.json; run alone with TUTBENCH_ONLY=mc (the CI
+   perf smoke).  Explores the seed TUTMAC network twice at a budget
+   small enough that the unreduced space stays cheap (one environment
+   injection and one timer fire per instance), with and without
+   partial-order reduction, plus once at the default `tutflow check`
+   budget for a throughput figure.  Gates: both bounded explorations
+   must be exhaustive and agree on the verdict (the seed is
+   deadlock-free), POR must visit strictly fewer states than the
+   unreduced run, and throughput must clear a conservative floor. *)
+let bench_mc () =
+  section "Model checker (explicit-state exploration)";
+  let states_per_sec_floor = 5_000.0 in
+  let model =
+    Tut_profile.Builder.model
+      (Tutmac.Scenario.build_model Tutmac.Scenario.default)
+  in
+  let explore budget por =
+    let net = Mc.Net.build model in
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Mc.Explore.run
+        ~config:{ Mc.Explore.default_config with Mc.Explore.budget; por }
+        net
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let small_budget =
+    {
+      Mc.Explore.default_budget with
+      Mc.Explore.env_budget = 1;
+      timer_budget = 1;
+      max_states = 500_000;
+    }
+  in
+  let reduced, reduced_s = explore small_budget true in
+  let full, full_s = explore small_budget false in
+  let deflt, deflt_s = explore Mc.Explore.default_budget true in
+  let states (r : Mc.Explore.result) = r.Mc.Explore.stats.Mc.Explore.states in
+  let exhausted (r : Mc.Explore.result) =
+    r.Mc.Explore.stats.Mc.Explore.exhausted
+  in
+  let verdict_agree =
+    Option.is_none reduced.Mc.Explore.violation
+    = Option.is_none full.Mc.Explore.violation
+  in
+  let deadlock_free =
+    Option.is_none reduced.Mc.Explore.violation && exhausted reduced
+  in
+  let reduction = float_of_int (states full) /. float_of_int (states reduced) in
+  let states_per_sec = float_of_int (states deflt) /. deflt_s in
+  Printf.printf "  %-28s %10d states in %.3fs\n" "por on (env 1, timer 1)"
+    (states reduced) reduced_s;
+  Printf.printf "  %-28s %10d states in %.3fs\n" "por off (env 1, timer 1)"
+    (states full) full_s;
+  Printf.printf "  %-28s %10.1fx\n" "por reduction" reduction;
+  Printf.printf "  %-28s %10d states in %.3fs (%.0f states/sec)\n"
+    "default budget (por on)" (states deflt) deflt_s states_per_sec;
+  let oc = open_out "BENCH_mc.json" in
+  output_string oc
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("states_por", Obs.Json.Int (states reduced));
+            ("states_full", Obs.Json.Int (states full));
+            ("seconds_por", Obs.Json.Float reduced_s);
+            ("seconds_full", Obs.Json.Float full_s);
+            ("reduction_factor", Obs.Json.Float reduction);
+            ("default_states", Obs.Json.Int (states deflt));
+            ("default_seconds", Obs.Json.Float deflt_s);
+            ("states_per_sec", Obs.Json.Float states_per_sec);
+            ("exhaustive", Obs.Json.Bool (exhausted reduced && exhausted full));
+            ("verdict_agree", Obs.Json.Bool verdict_agree);
+            ("deadlock_free", Obs.Json.Bool deadlock_free);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  model-checker benchmark written to BENCH_mc.json\n";
+  if not (exhausted reduced && exhausted full) then begin
+    Printf.printf "  FAIL: bounded exploration did not exhaust\n";
+    exit 1
+  end;
+  if not verdict_agree then begin
+    Printf.printf "  FAIL: POR changed the verdict\n";
+    exit 1
+  end;
+  if states reduced >= states full then begin
+    Printf.printf "  FAIL: POR visited %d states, unreduced %d (no reduction)\n"
+      (states reduced) (states full);
+    exit 1
+  end;
+  if states_per_sec < states_per_sec_floor then begin
+    Printf.printf "  FAIL: %.0f states/sec is below the %.0f floor\n"
+      states_per_sec states_per_sec_floor;
+    exit 1
+  end
+
 let run_benchmarks () =
   section "Bechamel benchmarks (monotonic clock, ns/run)";
   let instances = Instance.[ monotonic_clock ] in
@@ -1353,9 +1450,10 @@ let () =
   | Some "fault" -> bench_fault ()
   | Some "obs" -> bench_obs ()
   | Some "sim" -> bench_sim ()
+  | Some "mc" -> bench_mc ()
   | Some other ->
     Printf.eprintf
-      "unknown TUTBENCH_ONLY=%s (supported: dse, fault, obs, sim)\n" other;
+      "unknown TUTBENCH_ONLY=%s (supported: dse, fault, obs, sim, mc)\n" other;
     exit 2
   | None ->
     print_tables_1_2_3 ();
@@ -1372,5 +1470,6 @@ let () =
     bench_fault ();
     bench_obs ();
     bench_sim ();
+    bench_mc ();
     run_benchmarks ();
     print_newline ()

@@ -837,8 +837,49 @@ let lint_list_arg =
   let doc = "List the lint passes and diagnostic codes instead of running." in
   Arg.(value & flag & info [ "list" ] ~doc)
 
+let lint_passes_arg =
+  let doc =
+    "Run only this comma-separated subset of passes, named by pass name or \
+     diagnostic code (e.g. 'deadlock' or 'L05,L09')."
+  in
+  Arg.(value & opt (some string) None & info [ "passes" ] ~docv:"LIST" ~doc)
+
+(* Resolve a --passes list to passes in registration order; an unknown
+   entry is a usage error that lists every valid name and code. *)
+let resolve_passes spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let matches (p : Lint.Pass.t) entry =
+    p.Lint.Pass.name = entry || List.mem entry p.Lint.Pass.codes
+  in
+  match
+    List.find_opt
+      (fun entry ->
+        not (List.exists (fun p -> matches p entry) Lint.Engine.passes))
+      entries
+  with
+  | Some bad ->
+    Error
+      (Printf.sprintf "unknown pass or code %s (valid: %s)" bad
+         (String.concat ", "
+            (List.map
+               (fun (p : Lint.Pass.t) ->
+                 p.Lint.Pass.name ^ " ["
+                 ^ String.concat "," p.Lint.Pass.codes
+                 ^ "]")
+               Lint.Engine.passes)))
+  | None ->
+    Ok
+      (List.filter
+         (fun p -> List.exists (matches p) entries)
+         Lint.Engine.passes)
+
 let lint_cmd =
-  let run config model_file format max_severity list chrome_trace metrics_out =
+  let run config model_file format max_severity list passes_spec chrome_trace
+      metrics_out =
     if list then begin
       print_endline "passes:";
       List.iter
@@ -868,6 +909,15 @@ let lint_cmd =
           2
         end
         else
+          match
+            match passes_spec with
+            | None -> Ok Lint.Engine.passes
+            | Some spec -> resolve_passes spec
+          with
+          | Error e ->
+            prerr_endline e;
+            2
+          | Ok selection -> (
           match builder_of config model_file with
           | Error e ->
             prerr_endline e;
@@ -876,9 +926,16 @@ let lint_cmd =
             let quiet = format = "jsonl" in
             let obs = obs_of ~chrome_trace ~metrics_out () in
             let model = Tut_profile.Builder.model builder in
-            let results =
-              Lint.Engine.run ~obs (Lint.Pass.context_of_model model)
+            (* The model checker discharges or confirms L09's static
+               over-approximation; everything else is unaffected. *)
+            let ctx =
+              {
+                (Lint.Pass.context_of_model model) with
+                Lint.Pass.deadlock_oracle =
+                  Some (Mc.Check.deadlock_oracle model);
+              }
             in
+            let results = Lint.Engine.run ~obs ~selection ctx in
             let diagnostics = List.concat_map snd results in
             (if format = "jsonl" then
                List.iter
@@ -897,7 +954,7 @@ let lint_cmd =
              end);
             finish_obs ~quiet obs ~chrome_trace ~metrics_out;
             if Lint.Diagnostic.at_or_above threshold diagnostics <> [] then 1
-            else 0)
+            else 0))
   in
   Cmd.v
     (Cmd.info "lint"
@@ -906,7 +963,206 @@ let lint_cmd =
           reachability, determinism, dataflow, signal flow, deadlock")
     Term.(
       const run $ config_term $ model_arg $ lint_format_arg $ max_severity_arg
-      $ lint_list_arg $ chrome_trace_arg $ metrics_out_arg)
+      $ lint_list_arg $ lint_passes_arg $ chrome_trace_arg $ metrics_out_arg)
+
+(* -- check (model checker) -------------------------------------------- *)
+
+let check_format_arg =
+  let doc = "Output format: text or jsonl (one JSON diagnostic per line)." in
+  Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc)
+
+let on_off default name doc =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) default
+    & info [ name ] ~docv:"on|off" ~doc)
+
+let max_states_arg =
+  let doc = "Stop after storing this many global states." in
+  Arg.(
+    value
+    & opt int Mc.Explore.default_budget.Mc.Explore.max_states
+    & info [ "max-states" ] ~docv:"N" ~doc)
+
+let max_depth_arg =
+  let doc = "Do not explore schedules longer than this (0 = unlimited)." in
+  Arg.(value & opt int 0 & info [ "max-depth" ] ~docv:"N" ~doc)
+
+let queue_capacity_arg =
+  let doc = "Signal queue capacity per instance; exceeding it is M02." in
+  Arg.(
+    value
+    & opt int Mc.Explore.default_budget.Mc.Explore.queue_capacity
+    & info [ "queue-capacity" ] ~docv:"N" ~doc)
+
+let env_budget_arg =
+  let doc = "Injections per environment input along any schedule." in
+  Arg.(
+    value
+    & opt int Mc.Explore.default_budget.Mc.Explore.env_budget
+    & info [ "env-budget" ] ~docv:"N" ~doc)
+
+let timer_budget_arg =
+  let doc = "Timer fires per instance along any schedule." in
+  Arg.(
+    value
+    & opt int Mc.Explore.default_budget.Mc.Explore.timer_budget
+    & info [ "timer-budget" ] ~docv:"N" ~doc)
+
+let order_arg =
+  let doc = "Exploration order: bfs (shortest counterexamples) or dfs." in
+  Arg.(
+    value
+    & opt (enum [ ("bfs", Mc.Explore.Bfs); ("dfs", Mc.Explore.Dfs) ])
+        Mc.Explore.Bfs
+    & info [ "order" ] ~docv:"ORDER" ~doc)
+
+let property_arg =
+  let doc = "Property to check: all, deadlock or overflow." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("all", Mc.Check.P_all);
+             ("deadlock", Mc.Check.P_deadlock);
+             ("overflow", Mc.Check.P_overflow);
+           ])
+        Mc.Check.P_all
+    & info [ "property" ] ~docv:"PROP" ~doc)
+
+let trace_out_arg =
+  let doc = "Write the counterexample trace (Sim.Trace format) here." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let replay_arg =
+  let doc =
+    "Replay this counterexample trace against the model instead of \
+     exploring: re-execute its embedded schedule under --engine and \
+     require the regenerated trace to match byte for byte."
+  in
+  Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
+
+let check_cmd =
+  let run config model_file format max_states max_depth queue_capacity
+      env_budget timer_budget por coi order property trace_out replay
+      chrome_trace metrics_out =
+    if format <> "text" && format <> "jsonl" then begin
+      Printf.eprintf "unknown format %s (expected text or jsonl)\n" format;
+      2
+    end
+    else
+      match builder_of config model_file with
+      | Error e ->
+        prerr_endline e;
+        2
+      | Ok builder -> (
+        let model = Tut_profile.Builder.model builder in
+        let options =
+          {
+            Mc.Check.order;
+            budget =
+              {
+                Mc.Explore.max_states;
+                max_depth;
+                queue_capacity;
+                env_budget;
+                timer_budget;
+              };
+            por;
+            coi;
+            property;
+          }
+        in
+        match replay with
+        | Some path -> (
+          match Sim.Trace.load path with
+          | Error e ->
+            prerr_endline e;
+            2
+          | Ok trace -> (
+            let net = Mc.Net.build model in
+            let engine =
+              match config.Tutmac.Scenario.engine with
+              | Codegen.Runtime.Reference -> Mc.Net.Reference
+              | Codegen.Runtime.Compiled -> Mc.Net.Compiled
+            in
+            match Mc.Counterexample.replay net ~engine trace with
+            | Error e ->
+              prerr_endline e;
+              1
+            | Ok summary ->
+              Printf.printf "replay: %d steps reproduced byte for byte\n"
+                summary.Mc.Counterexample.s_steps;
+              (match summary.Mc.Counterexample.s_verdict with
+              | Mc.Counterexample.V_none -> print_endline "verdict: no violation"
+              | Mc.Counterexample.V_deadlock members ->
+                Printf.printf "verdict: deadlock among %s\n"
+                  (String.concat ", " members)
+              | Mc.Counterexample.V_overflow (path, signal) ->
+                Printf.printf "verdict: queue overflow at %s (signal %s)\n"
+                  path signal);
+              List.iter
+                (fun (path, state, qlen) ->
+                  Printf.printf "  %s: state %s, %d queued\n" path state qlen)
+                summary.Mc.Counterexample.s_final;
+              0))
+        | None -> (
+          let quiet = format = "jsonl" in
+          let obs = obs_of ~chrome_trace ~metrics_out () in
+          let start = Unix.gettimeofday () in
+          match Mc.Check.run ~obs ~options model with
+          | Error e ->
+            prerr_endline e;
+            2
+          | Ok report ->
+            let elapsed = Unix.gettimeofday () -. start in
+            (match (trace_out, report.Mc.Check.r_trace) with
+            | Some path, Some trace ->
+              Sim.Trace.save trace path;
+              if not quiet then
+                Printf.eprintf "counterexample written to %s\n" path
+            | Some _, None ->
+              if not quiet then
+                Printf.eprintf "no violation found: no counterexample written\n"
+            | None, _ -> ());
+            (if format = "jsonl" then
+               List.iter
+                 (fun d ->
+                   print_endline
+                     (Obs.Json.to_string (Lint.Diagnostic.to_json d)))
+                 report.Mc.Check.r_diagnostics
+             else print_string (Mc.Check.render report));
+            (* Throughput to stderr: stdout stays deterministic for the
+               CI reference diff. *)
+            if not quiet && elapsed > 0. then
+              Printf.eprintf "explored %d states in %.3fs (%.0f states/sec)\n"
+                report.Mc.Check.r_stats.Mc.Explore.states elapsed
+                (float_of_int report.Mc.Check.r_stats.Mc.Explore.states
+                /. elapsed);
+            finish_obs ~quiet obs ~chrome_trace ~metrics_out;
+            if
+              Lint.Diagnostic.errors report.Mc.Check.r_diagnostics <> []
+            then 1
+            else 0))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Explicit-state model checking of the composed EFSM network (codes \
+          M01-M06): deadlock, bounded-queue overflow, state and transition \
+          coverage, with replayable counterexamples")
+    Term.(
+      const run $ config_term $ model_arg $ check_format_arg $ max_states_arg
+      $ max_depth_arg $ queue_capacity_arg $ env_budget_arg $ timer_budget_arg
+      $ on_off true "por"
+          "Partial-order reduction: explore one representative \
+           interleaving of provably independent steps."
+      $ on_off true "coi"
+          "Cone-of-influence abstraction: key the visited set on \
+           control-relevant variables only."
+      $ order_arg $ property_arg $ trace_out_arg $ replay_arg
+      $ chrome_trace_arg $ metrics_out_arg)
 
 (* -- faults ----------------------------------------------------------- *)
 
@@ -1004,6 +1260,7 @@ let main_cmd =
       analyze_cmd;
       regroup_cmd;
       lint_cmd;
+      check_cmd;
       faults_cmd;
       rules_cmd;
     ]

@@ -878,3 +878,43 @@ let run_completions t =
   t.eff_len <- 0;
   run_completions_into t;
   effects_list t
+
+(* ---- introspection / direct state access ----------------------------- *)
+(* The model checker stores global states as flat id-indexed vectors and
+   needs to snapshot/restore an instance without going through names.
+   The persistent cross-step state of an instance is exactly
+   [state] + [var_v]/[var_t]: parameter slots are generation-cleared on
+   every dispatch, loop counters are reset by ITER_RESET before each
+   loop, and the effect buffer is truncated at the start of each step. *)
+
+let n_states prog = Array.length prog.state_names
+let n_vars prog = Array.length prog.var_names
+let state_name_of_id prog i = prog.state_names.(i)
+let var_name_of_id prog i = prog.var_names.(i)
+let var_id_of_name prog name = Hashtbl.find_opt prog.var_ids name
+
+let state_id_of_name prog name =
+  let n = Array.length prog.state_names in
+  let rec find i =
+    if i >= n then None
+    else if String.equal prog.state_names.(i) name then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let signal_id_of_name prog name = Hashtbl.find_opt prog.signal_ids name
+let after_min_of prog s = prog.after_min.(s)
+let state_id t = t.state
+let set_state_id t i = t.state <- i
+
+let read_var_id t i =
+  let tag = Bytes.get t.var_t i in
+  if tag = tag_unbound then None else Some (pack_value t.var_v.(i) tag)
+
+let write_var_id t i value =
+  match value with
+  | None -> Bytes.set t.var_t i tag_unbound
+  | Some v ->
+    let x, tag = unpack_value v in
+    t.var_v.(i) <- x;
+    Bytes.set t.var_t i tag

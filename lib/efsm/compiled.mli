@@ -60,3 +60,33 @@ val timer_request : t -> int option
 
 val reset : t -> unit
 (** Back to the initial state and initial variable values. *)
+
+(** {2 Introspection and direct state access}
+
+    Used by the model checker to encode global states as flat
+    id-indexed vectors.  The persistent cross-step state of an instance
+    is exactly its state id plus its variable slots — parameter slots,
+    loop counters and the effect accumulator are per-step. *)
+
+val n_states : program -> int
+val n_vars : program -> int
+val state_name_of_id : program -> int -> string
+val var_name_of_id : program -> int -> string
+val var_id_of_name : program -> string -> int option
+val state_id_of_name : program -> string -> int option
+
+val signal_id_of_name : program -> string -> int option
+(** Consumed signals only; [None] means a dispatch of this signal is
+    discarded without looking at the state. *)
+
+val after_min_of : program -> int -> int
+(** Earliest [After] delay out of the given state id, [-1] when the
+    state has no timer transition (mirrors {!timer_request}). *)
+
+val state_id : t -> int
+val set_state_id : t -> int -> unit
+
+val read_var_id : t -> int -> Action.value option
+(** [None] = unbound slot. *)
+
+val write_var_id : t -> int -> Action.value option -> unit

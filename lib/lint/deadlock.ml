@@ -112,15 +112,41 @@ let run ctx =
       in
       (p :: same) :: group other
   in
+  let static_warning ?(suffix = "") members =
+    Diagnostic.make ~rule:code Diagnostic.Warning
+      (Printf.sprintf
+         "wait-for cycle among %s: each machine has a state it can only \
+          leave on a signal produced inside the cycle, with no timer or \
+          environment escape (over-approximation: in-flight messages \
+          are not modelled)%s"
+         (pp_members members) suffix)
+  in
   group (List.sort compare in_cycle)
-  |> List.map (fun members ->
-         Diagnostic.make ~rule:code Diagnostic.Warning
-           (Printf.sprintf
-              "wait-for cycle among %s: each machine has a state it can only \
-               leave on a signal produced inside the cycle, with no timer or \
-               environment escape (over-approximation: in-flight messages \
-               are not modelled)"
-              (pp_members members)))
+  |> List.filter_map (fun members ->
+         match ctx.Pass.deadlock_oracle with
+         | None -> Some (static_warning members)
+         | Some oracle -> (
+           match oracle ~members with
+           | Pass.Deadlock_free _ ->
+             (* The checker proved no global deadlock is reachable
+                within its budget: the static cycle is spurious. *)
+             None
+           | Pass.Deadlock_witness { members = wm }
+             when List.exists (fun p -> List.mem p members) wm ->
+             Some
+               (Diagnostic.make ~rule:code Diagnostic.Error
+                  (Printf.sprintf
+                     "deadlock among %s confirmed by the model checker: a \
+                      reachable global state leaves every member waiting on \
+                      an empty queue (run `tutflow check` for the replayable \
+                      counterexample)"
+                     (pp_members wm)))
+           | Pass.Deadlock_witness _ -> Some (static_warning members)
+           | Pass.Deadlock_unknown _ ->
+             Some
+               (static_warning
+                  ~suffix:" (model checker inconclusive within budget)"
+                  members)))
 
 let pass =
   {

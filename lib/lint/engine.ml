@@ -34,7 +34,7 @@ let catalog =
       "wait-for cycle with no timer or environment escape" );
   ]
 
-let run ?(obs = Obs.Scope.null ()) ctx =
+let run ?(obs = Obs.Scope.null ()) ?(selection = passes) ctx =
   let live = Obs.Scope.live obs in
   let metrics = Obs.Scope.metrics obs in
   let tracer = Obs.Scope.tracer obs in
@@ -62,7 +62,7 @@ let run ?(obs = Obs.Scope.null ()) ctx =
             ("lint." ^ pass.Pass.name)
       end;
       (pass, ds))
-    passes
+    selection
 
 let analyze ?obs model =
   run ?obs (Pass.context_of_model model) |> List.concat_map snd

@@ -15,8 +15,12 @@ val catalog : (string * Diagnostic.severity * string) list
     case. *)
 
 val run :
-  ?obs:Obs.Scope.t -> Pass.context -> (Pass.t * Diagnostic.t list) list
-(** Run every pass.  Each pass gets an [Obs] span on the ["lint"] track
+  ?obs:Obs.Scope.t ->
+  ?selection:Pass.t list ->
+  Pass.context ->
+  (Pass.t * Diagnostic.t list) list
+(** Run every pass in [selection] (default: all of {!passes}, in
+    registration order).  Each pass gets an [Obs] span on the ["lint"] track
     (simulated timestamps: passes are instantaneous model-time events)
     and bumps [lint.pass_runs_total], [lint.diagnostics_total],
     [lint.errors_total] and [lint.warnings_total]. *)

@@ -1,7 +1,13 @@
+type deadlock_verdict =
+  | Deadlock_free of { states : int; exhaustive : bool }
+  | Deadlock_witness of { members : string list }
+  | Deadlock_unknown of { states : int }
+
 type context = {
   model : Uml.Model.t;
   machines : (string * Efsm.Machine.t) list;
   network : Network.t;
+  deadlock_oracle : (members:string list -> deadlock_verdict) option;
 }
 
 type t = {
@@ -20,4 +26,4 @@ let context_of_model model =
         | None -> None)
       (Uml.Model.active_classes model)
   in
-  { model; machines; network = Network.elaborate model }
+  { model; machines; network = Network.elaborate model; deadlock_oracle = None }

@@ -6,12 +6,28 @@
     handed to every pass, so adding a pass never changes what the
     others see. *)
 
+type deadlock_verdict =
+  | Deadlock_free of { states : int; exhaustive : bool }
+      (** no reachable deadlock within the checker's budget;
+          [exhaustive] means the whole bounded state space was seen *)
+  | Deadlock_witness of { members : string list }
+      (** a reachable global deadlock among [members] (instance paths) *)
+  | Deadlock_unknown of { states : int }
+      (** exploration truncated or failed before a verdict *)
+
 type context = {
   model : Uml.Model.t;
   machines : (string * Efsm.Machine.t) list;
       (** behaviours of active classes, [(class name, machine)],
           in model declaration order *)
   network : Network.t;
+  deadlock_oracle : (members:string list -> deadlock_verdict) option;
+      (** when set (by callers that link the model checker, e.g.
+          [tutflow lint]), the deadlock pass consults it to discharge
+          or confirm its static over-approximation.  [None] — the
+          default from {!context_of_model} — keeps the pass purely
+          static; the lint library itself never depends on the
+          checker. *)
 }
 
 type t = {

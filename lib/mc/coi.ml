@@ -1,0 +1,190 @@
+(* Cone-of-influence relevance analysis.
+
+   A variable is *control-relevant* when its value can (transitively)
+   reach a transition guard or an If/While condition — in its own
+   machine through assignments, or across machines through send
+   arguments that bind to parameters the receiver's guards read.
+   Everything else is a dead counter as far as reachability of control
+   states, deadlock and queue contents are concerned, so the explorer
+   masks it out of the visited-set key: two concrete states differing
+   only in irrelevant slots merge into one representative.  Execution
+   itself stays fully concrete — the representative's values keep
+   flowing — so the abstraction only ever merges, never invents,
+   behaviour.
+
+   The analysis is a fixpoint over (instance, variable) and (instance,
+   parameter name) relevance:
+     - seeds: names read by any guard or If/While condition;
+     - in-machine: [x := e] with x relevant makes every name in e
+       relevant;
+     - cross-machine: a send whose argument position binds (by the
+       signal's positional parameter names) to a relevant parameter of
+       some receiving instance makes the argument's names relevant in
+       the sender.
+
+   Environment-injected signals carry the canonical zero payload during
+   exploration; when such a signal has a control-relevant parameter at
+   its target the verdict is only valid for that payload, and the
+   checker surfaces it as a caveat ({!Net.env_input.ei_guard_read}). *)
+
+type t = {
+  var_relevant : bool array array;  (** per instance, per compiled var id *)
+  arg_relevant : bool array array array;
+      (** [inst].(gsig): per argument position, relevant at that
+          receiver — masks queued message payloads in the state key *)
+  env_caveats : (int * int) list;  (** (instance, gsig) with relevant params *)
+}
+
+let all_relevant (net : Net.t) =
+  {
+    var_relevant =
+      Array.map
+        (fun (i : Net.inst) ->
+          Array.make (Efsm.Compiled.n_vars i.Net.prog) true)
+        net.Net.insts;
+    arg_relevant =
+      Array.map
+        (fun (_ : Net.inst) ->
+          Array.map
+            (fun (s : Net.sig_info) ->
+              Array.make (Array.length s.Net.sg_params) true)
+            net.Net.sigs)
+        net.Net.insts;
+    env_caveats = [];
+  }
+
+(* ---- statement walking ------------------------------------------------ *)
+
+(* Conditions (guards, If/While) and assignments of one instance. *)
+let rec walk_stmts ~cond ~assign stmts =
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Efsm.Action.Assign (x, e) -> assign x e
+      | Efsm.Action.Compute _ | Efsm.Action.Send _ -> ()
+      | Efsm.Action.If (c, t, e) ->
+        cond c;
+        walk_stmts ~cond ~assign t;
+        walk_stmts ~cond ~assign e
+      | Efsm.Action.While (c, body) ->
+        cond c;
+        walk_stmts ~cond ~assign body)
+    stmts
+
+let machine_blocks (m : Efsm.Machine.t) =
+  List.map (fun (tr : Efsm.Machine.transition) -> tr.Efsm.Machine.actions)
+    m.Efsm.Machine.transitions
+  @ List.map snd m.Efsm.Machine.entry_actions
+  @ List.map snd m.Efsm.Machine.exit_actions
+
+let analyse (net : Net.t) =
+  let n = Net.n_insts net in
+  (* relevance sets keyed by name, converted to id masks at the end *)
+  let rvars = Array.init n (fun _ -> Hashtbl.create 16) in
+  let rparams = Array.init n (fun _ -> Hashtbl.create 16) in
+  let changed = ref false in
+  let add tbl name =
+    if not (Hashtbl.mem tbl name) then begin
+      Hashtbl.replace tbl name ();
+      changed := true
+    end
+  in
+  let mark ix e =
+    let vars = Hashtbl.create 4 and params = Hashtbl.create 4 in
+    Net.expr_names vars params e;
+    Hashtbl.iter (fun v () -> add rvars.(ix) v) vars;
+    Hashtbl.iter (fun p () -> add rparams.(ix) p) params
+  in
+  (* seeds: guards and branch conditions *)
+  Array.iter
+    (fun (inst : Net.inst) ->
+      let ix = inst.Net.ix in
+      List.iter
+        (fun (tr : Efsm.Machine.transition) ->
+          Option.iter (mark ix) tr.Efsm.Machine.guard)
+        inst.Net.machine.Efsm.Machine.transitions;
+      List.iter
+        (walk_stmts ~cond:(mark ix) ~assign:(fun _ _ -> ()))
+        (machine_blocks inst.Net.machine))
+    net.Net.insts;
+  (* fixpoint: assignment and send-argument propagation *)
+  let propagate () =
+    Array.iter
+      (fun (inst : Net.inst) ->
+        let ix = inst.Net.ix in
+        List.iter
+          (walk_stmts
+             ~cond:(fun _ -> ())
+             ~assign:(fun x e ->
+               if Hashtbl.mem rvars.(ix) x then mark ix e))
+          (machine_blocks inst.Net.machine);
+        List.iter
+          (fun (port, signal, args) ->
+            match Net.find_route inst ~port ~signal with
+            | None -> ()
+            | Some r ->
+              let params = net.Net.sigs.(r.Net.rt_gsig).Net.sg_params in
+              List.iteri
+                (fun k arg ->
+                  if k < Array.length params then
+                    let pname = fst params.(k) in
+                    let relevant_somewhere =
+                      Array.exists
+                        (fun j -> Hashtbl.mem rparams.(j) pname)
+                        r.Net.rt_dests
+                    in
+                    if relevant_somewhere then mark ix arg)
+                args)
+          (Net.machine_send_sites inst.Net.machine))
+      net.Net.insts
+  in
+  changed := true;
+  while !changed do
+    changed := false;
+    propagate ()
+  done;
+  let var_relevant =
+    Array.map
+      (fun (inst : Net.inst) ->
+        Array.init (Efsm.Compiled.n_vars inst.Net.prog) (fun id ->
+            Hashtbl.mem
+              rvars.(inst.Net.ix)
+              (Efsm.Compiled.var_name_of_id inst.Net.prog id)))
+      net.Net.insts
+  in
+  let arg_relevant =
+    Array.map
+      (fun (inst : Net.inst) ->
+        Array.map
+          (fun (s : Net.sig_info) ->
+            Array.map
+              (fun (pname, _) -> Hashtbl.mem rparams.(inst.Net.ix) pname)
+              s.Net.sg_params)
+          net.Net.sigs)
+      net.Net.insts
+  in
+  let env_caveats =
+    Array.to_list net.Net.env_inputs
+    |> List.filter_map (fun (e : Net.env_input) ->
+           let mask = arg_relevant.(e.Net.ei_target).(e.Net.ei_gsig) in
+           if Array.exists Fun.id mask then
+             Some (e.Net.ei_target, e.Net.ei_gsig)
+           else None)
+    |> List.sort_uniq compare
+  in
+  { var_relevant; arg_relevant; env_caveats }
+
+(* Refresh the env-input caveat flags from an analysis. *)
+let apply_caveats (net : Net.t) t =
+  {
+    net with
+    Net.env_inputs =
+      Array.map
+        (fun (e : Net.env_input) ->
+          {
+            e with
+            Net.ei_guard_read =
+              List.mem (e.Net.ei_target, e.Net.ei_gsig) t.env_caveats;
+          })
+        net.Net.env_inputs;
+  }
