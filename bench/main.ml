@@ -960,21 +960,28 @@ let bench_obs () =
 (* ---- compiled simulation kernel --------------------------------------- *)
 
 (* Written to BENCH_sim.json; run alone with TUTBENCH_ONLY=sim (the CI
-   perf smoke).  Two measurements plus two gates:
+   perf smoke).  Two measurements plus the gates:
 
-   - end-to-end: the TUTMAC scenario under --engine reference vs
-     --engine compiled, alternating back-to-back pairs.  This includes
-     everything both engines share (trace recording, RTOS, HIBI), so it
-     is an honest but Amdahl-diluted number.  Gate: the traces must be
-     byte-identical, and compiled must not be slower (< 1x fails).
+   - end-to-end: the TUTMAC scenario across the full engine x
+     trace-backend matrix.  The headline speedup compares the original
+     configuration (reference engine + list trace store) against the
+     optimised one (compiled engine + arena store), alternating
+     back-to-back pairs; per-cell minor words/event and events/sec are
+     reported for all four cells.  Gates: all four traces must render
+     byte-identically, the headline speedup must clear 1.5x, and the
+     optimised cell must stay under 32 minor words/event.
+
+     The 1.5x floor is deliberately below the measured 1.65x (2 s
+     horizon): most remaining time is shared machinery — RTOS burst
+     accounting, HIBI transfers, trace recording — that both engines
+     pay identically, and the tie-break seq discipline (every schedule
+     call draws a seq so equal-time events order identically across
+     backends) rules out batching schemes that would cut it further.
+     The floor guards against regressions, not against physics.
    - kernel: pure EFSM stepping on the real machines of the lowered
      TUTMAC system, no event queue or platform around them — the
      Interp-vs-Compiled ratio the bytecode engine is actually about.
-     Gate: every step must agree (state, variables, error counts).
-
-   Allocation is reported as minor words per dispatched event for both
-   engines (the compiled engine's preallocated arrays are most visible
-   there). *)
+     Gate: every step must agree (state, variables, error counts). *)
 let bench_sim () =
   let sim_ms =
     match Sys.getenv_opt "TUTBENCH_SIM_MS" with
@@ -984,11 +991,12 @@ let bench_sim () =
   in
   section
     (Printf.sprintf "Compiled simulation kernel (%d ms horizon)" sim_ms);
-  let config engine =
+  let config engine backend =
     {
       Tutmac.Scenario.default with
       Tutmac.Scenario.duration_ns = Int64.mul (Int64.of_int sim_ms) 1_000_000L;
       engine;
+      trace_backend = backend;
     }
   in
   let time f =
@@ -1003,40 +1011,63 @@ let bench_sim () =
     a.(Array.length a / 2)
   in
   let min3 f = min (f ()) (min (f ()) (f ())) in
-  let run engine () =
-    match Tutmac.Scenario.run (config engine) with
+  let run engine backend () =
+    match Tutmac.Scenario.run (config engine backend) with
     | Ok result -> result
     | Error e ->
       prerr_endline e;
       exit 1
   in
-  (* Divergence gate first: one run per engine, full-trace diff. *)
-  let ref_result = run Codegen.Runtime.Reference () in
-  let com_result = run Codegen.Runtime.Compiled () in
-  let ref_lines = Sim.Trace.to_lines ref_result.Tutmac.Scenario.trace in
-  let com_lines = Sim.Trace.to_lines com_result.Tutmac.Scenario.trace in
-  let divergence =
-    let rec first i = function
-      | [], [] -> None
-      | a :: _, [] -> Some (i, a, "<end>")
-      | [], b :: _ -> Some (i, "<end>", b)
-      | a :: ra, b :: rb -> if a <> b then Some (i, a, b) else first (i + 1) (ra, rb)
-    in
-    first 0 (ref_lines, com_lines)
+  (* Divergence gate first: one run per matrix cell, full-trace diff
+     against the (reference, list) corner. *)
+  let matrix =
+    [
+      ("reference_list", Codegen.Runtime.Reference, Sim.Trace.List);
+      ("reference_arena", Codegen.Runtime.Reference, Sim.Trace.Arena);
+      ("compiled_list", Codegen.Runtime.Compiled, Sim.Trace.List);
+      ("compiled_arena", Codegen.Runtime.Compiled, Sim.Trace.Arena);
+    ]
   in
-  (match divergence with
-  | Some (i, a, b) ->
-    Printf.printf "  FAIL: traces diverge at event %d\n    reference: %s\n    compiled:  %s\n" i a b;
-    exit 1
-  | None ->
-    Printf.printf "  traces identical (%d events)\n" (List.length ref_lines));
-  (* End-to-end timing: alternating back-to-back pairs, min-of-3 each
-     side, median of the per-pair ratios. *)
+  let cell_lines =
+    List.map
+      (fun (label, engine, backend) ->
+        (label, Sim.Trace.to_lines (run engine backend ()).Tutmac.Scenario.trace))
+      matrix
+  in
+  let ref_lines = List.assoc "reference_list" cell_lines in
+  List.iter
+    (fun (label, lines) ->
+      let rec first i = function
+        | [], [] -> None
+        | a :: _, [] -> Some (i, a, "<end>")
+        | [], b :: _ -> Some (i, "<end>", b)
+        | a :: ra, b :: rb ->
+          if a <> b then Some (i, a, b) else first (i + 1) (ra, rb)
+      in
+      match first 0 (ref_lines, lines) with
+      | Some (i, a, b) ->
+        Printf.printf
+          "  FAIL: %s diverges from reference_list at event %d\n\
+          \    reference_list: %s\n    %s: %s\n"
+          label i a label b;
+        exit 1
+      | None -> ())
+    cell_lines;
+  Printf.printf "  traces identical across the engine x backend matrix (%d events)\n"
+    (List.length ref_lines);
+  (* Headline end-to-end timing — the original configuration (reference
+     engine, list store) against the optimised one (compiled engine,
+     arena store): alternating back-to-back pairs, min-of-3 each side,
+     median of the per-pair ratios. *)
   let reps = 7 in
   let ref_s = ref [] and com_s = ref [] and ratios = ref [] in
   for i = 1 to reps do
-    let measure_ref () = min3 (fun () -> time (run Codegen.Runtime.Reference)) in
-    let measure_com () = min3 (fun () -> time (run Codegen.Runtime.Compiled)) in
+    let measure_ref () =
+      min3 (fun () -> time (run Codegen.Runtime.Reference Sim.Trace.List))
+    in
+    let measure_com () =
+      min3 (fun () -> time (run Codegen.Runtime.Compiled Sim.Trace.Arena))
+    in
     let r, c =
       if i mod 2 = 0 then
         let r = measure_ref () in
@@ -1051,22 +1082,31 @@ let bench_sim () =
   done;
   let ref_med = median !ref_s and com_med = median !com_s in
   let scenario_speedup = median !ratios in
-  (* Minor words per event, one run each. *)
-  let alloc_per_event engine =
-    Gc.full_major ();
-    let w0 = Gc.minor_words () in
-    let result = run engine () in
-    let w1 = Gc.minor_words () in
-    (w1 -. w0)
-    /. float_of_int (max 1 (Sim.Trace.length result.Tutmac.Scenario.trace))
+  (* Minor words per event and recording throughput, one run per cell. *)
+  let cell_stats =
+    List.map
+      (fun (label, engine, backend) ->
+        Gc.full_major ();
+        let w0 = Gc.minor_words () in
+        let t0 = Unix.gettimeofday () in
+        let result = run engine backend () in
+        let dt = Unix.gettimeofday () -. t0 in
+        let w1 = Gc.minor_words () in
+        let events = max 1 (Sim.Trace.length result.Tutmac.Scenario.trace) in
+        ( label,
+          ((w1 -. w0) /. float_of_int events, float_of_int events /. dt) ))
+      matrix
   in
-  let ref_words = alloc_per_event Codegen.Runtime.Reference in
-  let com_words = alloc_per_event Codegen.Runtime.Compiled in
-  Printf.printf "  %-28s %10.4f s\n" "reference engine" ref_med;
-  Printf.printf "  %-28s %10.4f s\n" "compiled engine" com_med;
-  Printf.printf "  %-28s %10.2f x\n" "end-to-end speedup" scenario_speedup;
-  Printf.printf "  %-28s %10.1f minor words/event\n" "reference allocation" ref_words;
-  Printf.printf "  %-28s %10.1f minor words/event\n" "compiled allocation" com_words;
+  let cell_words label = fst (List.assoc label cell_stats) in
+  Printf.printf "  %-28s %10.4f s\n" "reference + list store" ref_med;
+  Printf.printf "  %-28s %10.4f s\n" "compiled + arena store" com_med;
+  Printf.printf "  %-28s %10.2f x (target 3x)\n" "end-to-end speedup"
+    scenario_speedup;
+  List.iter
+    (fun (label, (words, events_per_sec)) ->
+      Printf.printf "  %-28s %10.1f minor words/event %12.0f events/s\n" label
+        words events_per_sec)
+    cell_stats;
   (* Kernel microbenchmark: the lowered TUTMAC machines stepped
      directly.  Both engines consume the identical synthetic event
      sequence; every step is cross-checked. *)
@@ -1290,11 +1330,20 @@ let bench_sim () =
             ("reps", Obs.Json.Int reps);
             ("trace_events", Obs.Json.Int (List.length ref_lines));
             ("traces_identical", Obs.Json.Bool true);
-            ("scenario_reference_seconds", Obs.Json.Float ref_med);
-            ("scenario_compiled_seconds", Obs.Json.Float com_med);
+            ("scenario_reference_list_seconds", Obs.Json.Float ref_med);
+            ("scenario_compiled_arena_seconds", Obs.Json.Float com_med);
             ("scenario_speedup", Obs.Json.Float scenario_speedup);
-            ("scenario_reference_minor_words_per_event", Obs.Json.Float ref_words);
-            ("scenario_compiled_minor_words_per_event", Obs.Json.Float com_words);
+            ( "scenario_cells",
+              Obs.Json.Obj
+                (List.map
+                   (fun (label, (words, events_per_sec)) ->
+                     ( label,
+                       Obs.Json.Obj
+                         [
+                           ("minor_words_per_event", Obs.Json.Float words);
+                           ("events_per_sec", Obs.Json.Float events_per_sec);
+                         ] ))
+                   cell_stats) );
             ("kernel_dispatches", Obs.Json.Int dispatch_count);
             ("kernel_reference_seconds", Obs.Json.Float kref_med);
             ("kernel_compiled_seconds", Obs.Json.Float kcom_med);
@@ -1311,10 +1360,17 @@ let bench_sim () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "  simulation benchmark written to BENCH_sim.json\n";
-  if scenario_speedup < 1.0 then begin
+  if scenario_speedup < 1.5 then begin
     Printf.printf
-      "  FAIL: compiled engine is slower end-to-end (%.2fx, limit 1x)\n"
+      "  FAIL: end-to-end speedup %.2fx below the 1.5x floor (reference+list \
+       vs compiled+arena)\n"
       scenario_speedup;
+    exit 1
+  end;
+  if cell_words "compiled_arena" > 32.0 then begin
+    Printf.printf
+      "  FAIL: compiled+arena allocates %.1f minor words/event (limit 32)\n"
+      (cell_words "compiled_arena");
     exit 1
   end;
   if kernel_speedup < 1.0 then begin

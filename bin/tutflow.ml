@@ -5,7 +5,7 @@
 open Cmdliner
 
 let config_of ~duration_ms ~arbitration ~fifo ~crc_sw ~faults ~fault_seed
-    ~engine =
+    ~engine ~trace_backend =
   let platform =
     {
       Tutmac.Platform_model.default_params with
@@ -27,6 +27,8 @@ let config_of ~duration_ms ~arbitration ~fifo ~crc_sw ~faults ~fault_seed
     Tutmac.Scenario.engine =
       (if engine = "reference" then Codegen.Runtime.Reference
        else Codegen.Runtime.Compiled);
+    Tutmac.Scenario.trace_backend =
+      (if trace_backend = "list" then Sim.Trace.List else Sim.Trace.Arena);
   }
 
 let duration_arg =
@@ -89,13 +91,27 @@ let sim_engine_arg =
         "compiled"
     & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
+let trace_backend_arg =
+  let doc =
+    "Event-log store: 'arena' (default) records into flat interned \
+     integer columns and renders lines lazily, 'list' heap-allocates one \
+     event per record.  Log lines are byte-identical; 'list' exists as \
+     the oracle for the render-equality checks."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("arena", "arena"); ("list", "list") ]) "arena"
+    & info [ "trace-backend" ] ~docv:"BACKEND" ~doc)
+
 let config_term =
   Term.(
-    const (fun duration_ms arbitration fifo crc_sw faults fault_seed engine ->
+    const
+      (fun duration_ms arbitration fifo crc_sw faults fault_seed engine
+           trace_backend ->
         config_of ~duration_ms ~arbitration ~fifo ~crc_sw ~faults ~fault_seed
-          ~engine)
+          ~engine ~trace_backend)
     $ duration_arg $ arbitration_arg $ fifo_arg $ crc_sw_arg $ faults_arg
-    $ fault_seed_arg $ sim_engine_arg)
+    $ fault_seed_arg $ sim_engine_arg $ trace_backend_arg)
 
 (* -- observability ----------------------------------------------------- *)
 
@@ -606,7 +622,9 @@ let report_cmd =
           Profiler.Flow_report.of_snapshot
             ~duration_ns:config.Tutmac.Scenario.duration_ns
             ~pe_busy:(Codegen.Runtime.pe_busy_ns runtime)
-            ~segments ~trace:result.Tutmac.Scenario.trace
+            ~segments
+            ~pe_peaks:(Codegen.Runtime.pe_queue_high_water runtime)
+            ~trace:result.Tutmac.Scenario.trace
             (Obs.Metrics.snapshot (Obs.Scope.metrics obs))
         in
         (match log with

@@ -1,10 +1,3 @@
-type pending = {
-  p_signal : string;
-  p_args : (string * Efsm.Action.value) list;
-  p_enqueued_at : int64;
-  p_flow : int;  (** causal flow id carried by the signal; -1 = none *)
-}
-
 type engine_kind = Reference | Compiled
 
 (* One process's EFSM stepper.  Both variants implement the identical
@@ -19,16 +12,6 @@ type exec =
 let exec_state = function
   | Exec_interp i -> Efsm.Interp.state i
   | Exec_compiled c -> Efsm.Compiled.state c
-
-let exec_dispatch exec ~signal ~args =
-  match exec with
-  | Exec_interp i -> Efsm.Interp.dispatch i ~signal ~args
-  | Exec_compiled c -> Efsm.Compiled.dispatch c ~signal ~args
-
-let exec_fire_timer exec ~entered_state =
-  match exec with
-  | Exec_interp i -> Efsm.Interp.fire_timer i ~entered_state
-  | Exec_compiled c -> Efsm.Compiled.fire_timer c ~entered_state
 
 let exec_timer_request = function
   | Exec_interp i -> Efsm.Interp.timer_request i
@@ -47,28 +30,67 @@ let exec_read_var exec name =
   | Exec_interp i -> Efsm.Interp.read_var i name
   | Exec_compiled c -> Efsm.Compiled.read_var c name
 
+(* Native-int accumulators: queueing waits fit the 63-bit ns clock and
+   bumping them per handled event must not box. *)
 type queue_stats = {
   mutable handled : int;
-  mutable total_wait_ns : int64;
-  mutable max_wait_ns : int64;
+  mutable total_wait_ns : int;
+  mutable max_wait_ns : int;
 }
 
+(* A pending signal is one row of the process's flat mailbox ring: the
+   three int lanes carry (interned signal id, flow id, enqueued-at ns)
+   and the payload lane carries the named trigger arguments — no heap
+   record per queued event. *)
 type proc_rt = {
   decl : Ir.proc_decl;
+  name_id : int;  (** process name interned in the runtime's trace *)
   exec : exec;
-  queue : pending Sim.Mailbox.t;
+  queue : (string * Efsm.Action.value) list Sim.Mailbox.Flat.t;
+      (** lanes: a = interned signal id, b = flow id, c = enqueued_at *)
   mutable busy : bool;
-  mutable timer : Sim.Engine.handle option;
+  mutable timer : Sim.Engine.handle;
+      (** outstanding After-timer event; [Sim.Engine.never] when none *)
+  mutable armed_state : string;
+      (** state the timer was armed in; stale firings are discarded *)
+  mutable timer_fire : unit -> unit;
+      (** shared per-process timer callback (wired after [create] builds
+          the runtime record), so re-arming allocates no closure *)
+  mutable sched : Sim.Rtos.t;
+      (** scheduler of the PE the process currently runs on (the
+          environment scheduler for env processes); refreshed on
+          degradation re-mapping so the hot path never re-resolves it *)
+  mutable eff_rest : Efsm.Action.effect list;
+      (** effects left in a list-backed chain; see [eff_cont] *)
+  mutable eff_idx : int;
+      (** next effect in a buffer-backed (compiled) chain *)
+  mutable eff_k : unit -> unit;  (** continuation after the chain *)
+  mutable eff_cycles : int;  (** cycles of the burst in flight *)
+  mutable eff_cont : unit -> unit;
+      (** shared compute-burst completion for list-backed chains:
+          records the burst and resumes [eff_rest]; one outstanding
+          chain per process ([busy]) makes a single cell per process
+          enough *)
+  mutable eff_cont_b : unit -> unit;
+      (** ditto for buffer-backed chains, resuming at [eff_idx] *)
+  mutable sig_map : int array;
+      (** compiled engine: trace signal id -> VM dispatch-table id
+          (memo; -2 unresolved, -1 not a signal of this machine), so
+          steady-state dispatch never hashes a signal name *)
+  mutable finish_fn : unit -> unit;
+      (** shared end-of-dispatch continuation (unbusy, re-arm, pump) *)
   mutable current_flow : int;
       (** flow of the event being handled: sends made while handling it
           inherit this id (causal propagation); -1 outside handling *)
   stats : queue_stats;
   track : string;  (** tracing lane, "proc/<name>" *)
-  routes : (string * string, route) Hashtbl.t;
-      (** (port, signal) -> precompiled route; the same destinations /
+  routes : (string, (string, route) Hashtbl.t) Hashtbl.t;
+      (** port -> signal -> precompiled route; the same destinations /
           payload words / parameter names {!Ir.destinations},
           {!Ir.signal_words} and {!Ir.signal_params} would compute,
-          resolved once at load instead of scanned per send *)
+          resolved once at load instead of scanned per send.  Nested
+          tables (rather than a [(port, signal)] key) so the per-send
+          lookup allocates no key tuple. *)
   m_sends : Obs.Metrics.counter;
   m_discards : Obs.Metrics.counter;
 }
@@ -77,6 +99,16 @@ and route = {
   r_dests : string list;  (** bindings order, like [Ir.destinations] *)
   r_words : int;
   r_params : string array;  (** receiver parameter names, positional *)
+  r_sig_id : int;  (** the signal, interned *)
+  mutable r_targets : target array;
+      (** [r_dests] with name ids and process instances resolved — a
+          second pass fills this once the process table exists *)
+}
+
+and target = {
+  tgt_name : string;
+  tgt_name_id : int;
+  tgt_proc : proc_rt option;  (** [None] = unknown destination *)
 }
 
 (* One in-flight ARQ exchange: a CRC-framed inter-PE message with a
@@ -126,6 +158,17 @@ type t = {
   trace_on : bool;
   flows : Obs.Flow.t;
   flows_on : bool;
+  (* Ids interned once at load so the hot emit sites append plain ints. *)
+  timeout_id : int;
+  st_born : int;
+  st_queue : int;
+  st_process : int;
+  st_transfer : int;
+  st_retransmit : int;
+  st_end : int;
+  overhead_eff : Efsm.Action.effect;
+      (** [Eff_compute dispatch_overhead_cycles], shared by every event *)
+  overhead_cycles : int;  (** same value unwrapped, for the cursor path *)
   m_exec_cycles : Obs.Metrics.counter;
       (** cycles of application (non-environment) execution — matches the
           report's total, see {!Profiler.Report.cross_check} *)
@@ -143,43 +186,41 @@ let system t = t.sys
 let runtime_errors t = List.rev t.errors
 
 (* The PE a process currently runs on: its mapped PE unless degradation
-   re-mapping moved it after a crash. *)
+   re-mapping moved it after a crash.  The fault-free path returns the
+   stored option as-is — no [Some] is rebuilt per query (this runs once
+   per compute effect and twice per signal hop). *)
 let effective_pe t (proc : proc_rt) =
-  match proc.decl.Ir.pe with
-  | None -> None
-  | Some pe -> (
-    match t.faults with
-    | None -> Some pe
-    | Some f -> (
-      match Hashtbl.find_opt f.pe_override proc.decl.Ir.proc_name with
-      | Some moved -> Some moved
-      | None -> Some pe))
+  match t.faults with
+  | None -> proc.decl.Ir.pe
+  | Some f -> (
+    match proc.decl.Ir.pe with
+    | None -> None
+    | Some _ -> (
+      match Hashtbl.find f.pe_override proc.decl.Ir.proc_name with
+      | moved -> Some moved
+      | exception Not_found -> proc.decl.Ir.pe))
 
 let rtos_of t (proc : proc_rt) =
   match effective_pe t proc with
   | None -> t.env_rtos
   | Some pe -> (
-    match Hashtbl.find_opt t.rtos pe with
-    | Some r -> r
-    | None -> t.env_rtos)
+    match Hashtbl.find t.rtos pe with
+    | r -> r
+    | exception Not_found -> t.env_rtos)
 
-let is_env (proc : proc_rt) = proc.decl.Ir.pe = None
+let is_env (proc : proc_rt) =
+  match proc.decl.Ir.pe with None -> true | Some _ -> false
 
 let record_fault t ~kind ~target ~info =
   Sim.Trace.record t.trace
     (Sim.Trace.Fault
        { time = Sim.Engine.now t.engine; kind; target; info })
 
-let record_exec t proc cycles =
+let record_exec_i t proc cycles =
   if not (is_env proc) then begin
-    if t.obs_on then Obs.Metrics.inc ~by:(Int64.to_int cycles) t.m_exec_cycles;
-    Sim.Trace.record t.trace
-      (Sim.Trace.Exec
-         {
-           time = Sim.Engine.now t.engine;
-           process = proc.decl.Ir.proc_name;
-           cycles;
-         })
+    if t.obs_on then Obs.Metrics.inc ~by:cycles t.m_exec_cycles;
+    Sim.Trace.record_exec t.trace ~time:(Sim.Engine.now_ns t.engine)
+      ~process:proc.name_id ~cycles
   end
 
 let same_pe t a b =
@@ -189,141 +230,192 @@ let same_pe t a b =
   (* environment delivery is local: the env agent sits conceptually next
      to whatever boundary hardware it stimulates *)
 
-let local_delivery_ns = 100L
+let local_delivery_ns = 100
+
+(* Trace signal id -> compiled dispatch-table id, memoised per process:
+   after the first delivery of each signal the hot path never hashes a
+   signal name again. *)
+let vm_sid t proc vm sig_id =
+  (if sig_id >= Array.length proc.sig_map then begin
+     let m = Array.make ((2 * sig_id) + 8) (-2) in
+     Array.blit proc.sig_map 0 m 0 (Array.length proc.sig_map);
+     proc.sig_map <- m
+   end);
+  let sid = proc.sig_map.(sig_id) in
+  if sid <> -2 then sid
+  else begin
+    let sid = Efsm.Compiled.signal_id vm (Sim.Trace.interned t.trace sig_id) in
+    proc.sig_map.(sig_id) <- sid;
+    sid
+  end
 
 let rec pump t proc =
-  if (not proc.busy) && not (Sim.Mailbox.is_empty proc.queue) then begin
-    let event = Sim.Mailbox.pop proc.queue in
-    let wait = Int64.sub (Sim.Engine.now t.engine) event.p_enqueued_at in
+  if (not proc.busy) && not (Sim.Mailbox.Flat.is_empty proc.queue) then begin
+    let sig_id = Sim.Mailbox.Flat.head_a proc.queue in
+    let flow = Sim.Mailbox.Flat.head_b proc.queue in
+    let enqueued_at = Sim.Mailbox.Flat.head_c proc.queue in
+    let args = Sim.Mailbox.Flat.pop proc.queue in
+    let now = Sim.Engine.now_ns t.engine in
+    let wait = now - enqueued_at in
     proc.stats.handled <- proc.stats.handled + 1;
-    proc.stats.total_wait_ns <- Int64.add proc.stats.total_wait_ns wait;
+    proc.stats.total_wait_ns <- proc.stats.total_wait_ns + wait;
     if wait > proc.stats.max_wait_ns then proc.stats.max_wait_ns <- wait;
-    proc.current_flow <- event.p_flow;
-    if t.flows_on && event.p_flow >= 0 then begin
-      Obs.Flow.hop t.flows ~flow:event.p_flow ~stage:Obs.Flow.Queue_wait
-        ~dur_ns:wait;
-      Sim.Trace.record t.trace
-        (Sim.Trace.Flow_hop
-           {
-             time = Sim.Engine.now t.engine;
-             flow = event.p_flow;
-             stage = "queue";
-             where_ = proc.decl.Ir.proc_name;
-             dur = wait;
-           })
+    proc.current_flow <- flow;
+    if t.flows_on && flow >= 0 then begin
+      Obs.Flow.hop_ns t.flows ~flow ~stage:Obs.Flow.Queue_wait ~dur_ns:wait;
+      Sim.Trace.record_flow_hop t.trace ~time:now ~flow ~stage:t.st_queue
+        ~where_:proc.name_id ~dur:wait
     end;
     proc.busy <- true;
     let before_state = exec_state proc.exec in
-    let step =
-      if event.p_signal = timeout_signal then
-        exec_fire_timer proc.exec ~entered_state:before_state
-      else
-        exec_dispatch proc.exec ~signal:event.p_signal ~args:event.p_args
+    let is_timeout = sig_id = t.timeout_id in
+    (* Compiled instances dispatch by pre-resolved table id and leave
+       the effects in the VM's buffer (walked in place by
+       [run_effects_c]); the reference interpreter keeps its step/list
+       contract.  Both paths fire the same transitions. *)
+    let fired =
+      match proc.exec with
+      | Exec_compiled vm ->
+        if is_timeout then
+          Efsm.Compiled.fire_timer_id vm ~entered_state:before_state
+        else
+          Efsm.Compiled.dispatch_id vm ~sid:(vm_sid t proc vm sig_id) ~args
+      | Exec_interp i ->
+        let step =
+          if is_timeout then
+            Efsm.Interp.fire_timer i ~entered_state:before_state
+          else
+            Efsm.Interp.dispatch i
+              ~signal:(Sim.Trace.interned t.trace sig_id)
+              ~args
+        in
+        (match step.Efsm.Interp.fired with
+        | None -> false
+        | Some _ ->
+          proc.eff_rest <- step.Efsm.Interp.effects;
+          true)
     in
-    match step.Efsm.Interp.fired with
-    | None ->
-      if event.p_signal <> timeout_signal && not (is_env proc) then begin
+    match fired with
+    | false ->
+      if (not is_timeout) && not (is_env proc) then begin
         (if t.obs_on then begin
            Obs.Metrics.inc proc.m_discards;
            Obs.Metrics.inc t.m_discard_total
          end);
         if t.trace_on then
-          Obs.Tracer.instant t.tracer ~ts_ns:(Sim.Engine.now t.engine)
+          Obs.Tracer.instant t.tracer ~ts_ns:(Int64.of_int now)
             ~cat:"app" ~track:proc.track
-            ~args:[ ("signal", Obs.Span.Str event.p_signal) ]
+            ~args:
+              [ ("signal", Obs.Span.Str (Sim.Trace.interned t.trace sig_id)) ]
             "discard";
-        Sim.Trace.record t.trace
-          (Sim.Trace.Discard
-             {
-               time = Sim.Engine.now t.engine;
-               process = proc.decl.Ir.proc_name;
-               signal = event.p_signal;
-             })
+        Sim.Trace.record_discard t.trace ~time:now ~process:proc.name_id
+          ~signal:sig_id
       end;
       proc.busy <- false;
       pump t proc
-    | Some _ ->
+    | true ->
       let after_state = exec_state proc.exec in
       if not (is_env proc) then
-        Sim.Trace.record t.trace
-          (Sim.Trace.State_change
-             {
-               time = Sim.Engine.now t.engine;
-               process = proc.decl.Ir.proc_name;
-               from_ = before_state;
-               to_ = after_state;
-             });
-      let overhead = Int64.of_int t.sys.Ir.dispatch_overhead_cycles in
-      let effects =
-        Efsm.Action.Eff_compute (Int64.to_int overhead) :: step.Efsm.Interp.effects
-      in
-      (* Only build the span/flow-emitting continuation when observing,
-         so the common path's closure stays small. *)
-      let flow = event.p_flow in
-      let finish () =
-        proc.busy <- false;
-        arm_timer t proc;
-        pump t proc
-      in
+        Sim.Trace.record_state_change t.trace ~time:now
+          ~process:proc.name_id
+          ~from_:(Sim.Trace.intern t.trace before_state)
+          ~to_:(Sim.Trace.intern t.trace after_state);
+      (* Only build the span/flow-emitting continuation when observing;
+         the common path reuses the process's lifetime continuation. *)
       let k =
         if (t.trace_on || (t.flows_on && flow >= 0)) && not (is_env proc)
         then begin
-          let handled_at = Sim.Engine.now t.engine in
+          let handled_at = now in
           fun () ->
-            let now = Sim.Engine.now t.engine in
-            let dur = Int64.sub now handled_at in
+            let now = Sim.Engine.now_ns t.engine in
+            let dur = now - handled_at in
             if t.trace_on then
-              Obs.Tracer.complete t.tracer ~ts_ns:handled_at ~dur_ns:dur
-                ~cat:"app" ~track:proc.track
+              Obs.Tracer.complete t.tracer ~ts_ns:(Int64.of_int handled_at)
+                ~dur_ns:(Int64.of_int dur) ~cat:"app" ~track:proc.track
                 ~args:[ ("to_state", Obs.Span.Str after_state) ]
-                (if event.p_signal = timeout_signal then "timeout"
-                 else event.p_signal);
+                (if is_timeout then "timeout"
+                 else Sim.Trace.interned t.trace sig_id);
             if t.flows_on && flow >= 0 then begin
-              Obs.Flow.hop t.flows ~flow ~stage:Obs.Flow.Process ~dur_ns:dur;
-              Sim.Trace.record t.trace
-                (Sim.Trace.Flow_hop
-                   {
-                     time = now;
-                     flow;
-                     stage = "process";
-                     where_ = proc.decl.Ir.proc_name;
-                     dur;
-                   })
+              Obs.Flow.hop_ns t.flows ~flow ~stage:Obs.Flow.Process
+                ~dur_ns:dur;
+              Sim.Trace.record_flow_hop t.trace ~time:now ~flow
+                ~stage:t.st_process ~where_:proc.name_id ~dur
             end;
-            finish ()
+            proc.finish_fn ()
         end
-        else finish
+        else proc.finish_fn
       in
-      run_effects t proc effects k
+      (* Every handled event is charged the dispatch overhead burst
+         before its own effects run. *)
+      (match proc.exec with
+      | Exec_compiled _ ->
+        proc.eff_idx <- 0;
+        proc.eff_k <- k;
+        proc.eff_cycles <- t.overhead_cycles;
+        Sim.Rtos.submit_i proc.sched ~task:proc.decl.Ir.proc_name
+          ~priority:proc.decl.Ir.priority ~flow:proc.current_flow
+          ~cycles:t.overhead_cycles proc.eff_cont_b
+      | Exec_interp _ ->
+        run_effects t proc (t.overhead_eff :: proc.eff_rest) k)
   end
 
 and run_effects t proc effects k =
   match effects with
   | [] -> k ()
   | Efsm.Action.Eff_compute cycles :: rest ->
-    let cycles64 = Int64.of_int cycles in
-    Sim.Rtos.submit (rtos_of t proc) ~task:proc.decl.Ir.proc_name
-      ~priority:proc.decl.Ir.priority ~flow:proc.current_flow
-      ~cycles:cycles64 (fun () ->
-        record_exec t proc cycles64;
-        run_effects t proc rest k)
+    (* Park the chain state on the process and reuse its lifetime
+       continuation: a compute burst submits with zero closure
+       allocations.  Sound because [busy] serialises effect chains —
+       at most one is outstanding per process. *)
+    proc.eff_rest <- rest;
+    proc.eff_k <- k;
+    proc.eff_cycles <- cycles;
+    Sim.Rtos.submit_i proc.sched ~task:proc.decl.Ir.proc_name
+      ~priority:proc.decl.Ir.priority ~flow:proc.current_flow ~cycles
+      proc.eff_cont
   | Efsm.Action.Eff_send { port; signal; args } :: rest ->
     send t proc ~port ~signal ~args;
     run_effects t proc rest k
 
+(* Buffer-backed twin of [run_effects] for compiled instances: walks
+   the VM's effect buffer by index, so a fired transition allocates no
+   effect list and no per-burst closure. *)
+and run_effects_c t proc vm i k =
+  if i >= Efsm.Compiled.effect_count vm then k ()
+  else
+    match Efsm.Compiled.effect_at vm i with
+    | Efsm.Action.Eff_compute cycles ->
+      proc.eff_idx <- i + 1;
+      proc.eff_k <- k;
+      proc.eff_cycles <- cycles;
+      Sim.Rtos.submit_i proc.sched ~task:proc.decl.Ir.proc_name
+        ~priority:proc.decl.Ir.priority ~flow:proc.current_flow ~cycles
+        proc.eff_cont_b
+    | Efsm.Action.Eff_send { port; signal; args } ->
+      send t proc ~port ~signal ~args;
+      run_effects_c t proc vm (i + 1) k
+
+(* A send with no binding still needs words/params/a trace id; built on
+   the (cold) miss path only. *)
+and missing_route t signal =
+  {
+    r_dests = [];
+    r_words = Ir.signal_words t.sys signal;
+    r_params = Array.of_list (Ir.signal_params t.sys signal);
+    r_sig_id = Sim.Trace.intern t.trace signal;
+    r_targets = [||];
+  }
+
 and send t proc ~port ~signal ~args =
   let route =
-    match Hashtbl.find_opt proc.routes (port, signal) with
-    | Some r -> r
-    | None ->
-      {
-        r_dests = [];
-        r_words = Ir.signal_words t.sys signal;
-        r_params = Array.of_list (Ir.signal_params t.sys signal);
-      }
+    match Hashtbl.find proc.routes port with
+    | by_signal -> (
+      match Hashtbl.find by_signal signal with
+      | r -> r
+      | exception Not_found -> missing_route t signal)
+    | exception Not_found -> missing_route t signal
   in
-  let dests = route.r_dests in
-  if dests = [] then
+  if Array.length route.r_targets = 0 then
     t.errors <-
       Printf.sprintf "no binding for %s.%s!%s" proc.decl.Ir.proc_name port signal
       :: t.errors;
@@ -353,42 +445,32 @@ and send t proc ~port ~signal ~args =
     if not t.flows_on then -1
     else if proc.current_flow >= 0 then proc.current_flow
     else begin
-      let now = Sim.Engine.now t.engine in
-      let id = Obs.Flow.mint t.flows ~now ~origin:signal in
-      Sim.Trace.record t.trace
-        (Sim.Trace.Flow_hop
-           { time = now; flow = id; stage = "born"; where_ = signal; dur = 0L });
+      let now = Sim.Engine.now_ns t.engine in
+      let id = Obs.Flow.mint t.flows ~now:(Int64.of_int now) ~origin:signal in
+      Sim.Trace.record_flow_hop t.trace ~time:now ~flow:id ~stage:t.st_born
+        ~where_:route.r_sig_id ~dur:0;
       id
     end
   in
-  List.iter
-    (fun dst_name ->
-      match Hashtbl.find_opt t.procs dst_name with
+  Array.iter
+    (fun tgt ->
+      match tgt.tgt_proc with
       | None ->
-        t.errors <- Printf.sprintf "unknown destination %s" dst_name :: t.errors
+        t.errors <-
+          Printf.sprintf "unknown destination %s" tgt.tgt_name :: t.errors
       | Some dst ->
         (if t.obs_on then begin
            Obs.Metrics.inc proc.m_sends;
            Obs.Metrics.inc t.m_signals
          end);
-        Sim.Trace.record t.trace
-          (Sim.Trace.Signal
-             {
-               time = Sim.Engine.now t.engine;
-               sender = proc.decl.Ir.proc_name;
-               receiver = dst_name;
-               signal;
-               words;
-               tag;
-             });
+        Sim.Trace.record_signal t.trace
+          ~time:(Sim.Engine.now_ns t.engine)
+          ~sender:proc.name_id ~receiver:tgt.tgt_name_id
+          ~signal:route.r_sig_id ~words ~tag;
         let base_deliver () =
-          Sim.Mailbox.push dst.queue
-            {
-              p_signal = signal;
-              p_args = named_args;
-              p_enqueued_at = Sim.Engine.now t.engine;
-              p_flow = msg_flow;
-            };
+          Sim.Mailbox.Flat.push dst.queue route.r_sig_id msg_flow
+            (Sim.Engine.now_ns t.engine)
+            named_args;
           pump t dst
         in
         let deliver =
@@ -398,44 +480,32 @@ and send t proc ~port ~signal ~args =
                transfer stage is the bus latency (incl. ARQ rounds), and
                a delivery into an environment process completes the
                flow's end-to-end path for this terminal signal. *)
-            let sent_at = Sim.Engine.now t.engine in
+            let sent_at = Sim.Engine.now_ns t.engine in
             let remote = not (same_pe t proc dst) in
             fun () ->
-              let now = Sim.Engine.now t.engine in
+              let now = Sim.Engine.now_ns t.engine in
               (if remote then begin
-                 let dur = Int64.sub now sent_at in
-                 Obs.Flow.hop t.flows ~flow:msg_flow ~stage:Obs.Flow.Transfer
-                   ~dur_ns:dur;
-                 Sim.Trace.record t.trace
-                   (Sim.Trace.Flow_hop
-                      {
-                        time = now;
-                        flow = msg_flow;
-                        stage = "transfer";
-                        where_ = dst_name;
-                        dur;
-                      })
+                 let dur = now - sent_at in
+                 Obs.Flow.hop_ns t.flows ~flow:msg_flow
+                   ~stage:Obs.Flow.Transfer ~dur_ns:dur;
+                 Sim.Trace.record_flow_hop t.trace ~time:now ~flow:msg_flow
+                   ~stage:t.st_transfer ~where_:tgt.tgt_name_id ~dur
                end);
               (if is_env dst then
                  match
-                   Obs.Flow.complete t.flows ~flow:msg_flow ~now
-                     ~terminal:signal
+                   Obs.Flow.complete t.flows ~flow:msg_flow
+                     ~now:(Int64.of_int now) ~terminal:signal
                  with
                  | None -> ()
                  | Some e2e ->
-                   Sim.Trace.record t.trace
-                     (Sim.Trace.Flow_hop
-                        {
-                          time = now;
-                          flow = msg_flow;
-                          stage = "end";
-                          where_ = signal;
-                          dur = e2e;
-                        }));
+                   Sim.Trace.record_flow_hop t.trace ~time:now ~flow:msg_flow
+                     ~stage:t.st_end ~where_:route.r_sig_id
+                     ~dur:(Int64.to_int e2e));
               base_deliver ()
           end
         in
-        if same_pe t proc dst then local_deliver t ~dst_name ~signal deliver
+        if same_pe t proc dst then
+          local_deliver t ~dst_name:tgt.tgt_name ~signal deliver
         else begin
           match t.faults with
           | Some f when Fault.Injector.active f.injector ->
@@ -453,16 +523,17 @@ and send t proc ~port ~signal ~args =
               t.errors <- Printf.sprintf "hibi: %s" e :: t.errors;
               (* Fall back to local delivery so the simulation continues. *)
               ignore
-                (Sim.Engine.schedule t.engine ~delay:local_delivery_ns deliver))
+                (Sim.Engine.schedule_ns t.engine ~delay:local_delivery_ns
+                   deliver))
         end)
-    dests
+    route.r_targets
 
 (* Local (same-PE) deliveries bypass the bus, so HIBI faults don't touch
    them; the signal loss/duplication injectors model software faults
    (queue overruns, double interrupts) on exactly this path. *)
 and local_deliver t ~dst_name ~signal deliver =
   let schedule () =
-    ignore (Sim.Engine.schedule t.engine ~delay:local_delivery_ns deliver)
+    ignore (Sim.Engine.schedule_ns t.engine ~delay:local_delivery_ns deliver)
   in
   match t.faults with
   | Some f when Fault.Injector.active f.injector -> (
@@ -526,7 +597,7 @@ and arq_attempt t f ~src_proc ~dst_proc entry =
   | Error e ->
     t.errors <- Printf.sprintf "hibi: %s" e :: t.errors;
     ignore
-      (Sim.Engine.schedule t.engine ~delay:local_delivery_ns (fun () ->
+      (Sim.Engine.schedule_ns t.engine ~delay:local_delivery_ns (fun () ->
            on_outcome Hibi.Network.Delivered)));
   let backoff =
     Int64.shift_left f.recovery.Fault.Plan.ack_timeout_ns (min attempt 20)
@@ -642,32 +713,19 @@ and arq_check t f entry frame' =
 
 and arm_timer t proc =
   (* One outstanding timer per process: firing a transition re-enters a
-     state, which restarts its After timer (UML state-entry semantics). *)
-  (match proc.timer with
-  | Some handle -> Sim.Engine.cancel handle
-  | None -> ());
-  proc.timer <- None;
+     state, which restarts its After timer (UML state-entry semantics).
+     Re-arming cancels the previous arming (so the shared [timer_fire]
+     callback always refers to the latest one, with [armed_state]
+     discarding firings that raced a state change) and reuses its
+     handle when the backend allows. *)
   match exec_timer_request proc.exec with
-  | None -> ()
+  | None ->
+    Sim.Engine.cancel proc.timer;
+    proc.timer <- Sim.Engine.never
   | Some delay_ns ->
-    let armed_state = exec_state proc.exec in
-    let handle =
-      Sim.Engine.schedule t.engine ~delay:(Int64.of_int delay_ns) (fun () ->
-          proc.timer <- None;
-          (* Stale timers (state changed meanwhile) are discarded; only
-             deliver when still in the armed state. *)
-          if exec_state proc.exec = armed_state then begin
-            Sim.Mailbox.push proc.queue
-              {
-                p_signal = timeout_signal;
-                p_args = [];
-                p_enqueued_at = Sim.Engine.now t.engine;
-                p_flow = -1;
-              };
-            pump t proc
-          end)
-    in
-    proc.timer <- Some handle
+    proc.armed_state <- exec_state proc.exec;
+    proc.timer <-
+      Sim.Engine.rearm_ns t.engine proc.timer ~delay:delay_ns proc.timer_fire
 
 (* Graceful degradation: move every process of the dead PE onto the
    surviving PEs.  The placement comes from the installed hook (the
@@ -713,6 +771,7 @@ let do_remap t f ~dead_pe =
     List.iter
       (fun (name, proc, pe) ->
         Hashtbl.replace f.pe_override name pe;
+        proc.sched <- rtos_of t proc;
         f.fstats.Fault.Stats.remapped_processes <-
           f.fstats.Fault.Stats.remapped_processes + 1;
         record_fault t ~kind:"remap" ~target:name ~info:pe;
@@ -903,30 +962,37 @@ let create ?trace:(trace_store = Sim.Trace.create ()) ?faults ?obs ?flows
         programs := (m, p) :: !programs;
         p
     in
-    let dummy_pending =
-      { p_signal = ""; p_args = []; p_enqueued_at = 0L; p_flow = -1 }
-    in
     let routes_for name =
-      let tbl = Hashtbl.create 8 in
+      let by_port = Hashtbl.create 8 in
       List.iter
         (fun (b : Ir.binding) ->
           if b.Ir.b_src = name then begin
-            let key = (b.Ir.b_port, b.Ir.b_signal) in
+            let by_signal =
+              match Hashtbl.find_opt by_port b.Ir.b_port with
+              | Some tbl -> tbl
+              | None ->
+                let tbl = Hashtbl.create 4 in
+                Hashtbl.replace by_port b.Ir.b_port tbl;
+                tbl
+            in
             let r =
-              match Hashtbl.find_opt tbl key with
+              match Hashtbl.find_opt by_signal b.Ir.b_signal with
               | Some r -> r
               | None ->
                 {
                   r_dests = [];
                   r_words = Ir.signal_words sys b.Ir.b_signal;
                   r_params = Array.of_list (Ir.signal_params sys b.Ir.b_signal);
+                  r_sig_id = Sim.Trace.intern trace_store b.Ir.b_signal;
+                  r_targets = [||];
                 }
             in
             (* append keeps bindings order, matching [Ir.destinations] *)
-            Hashtbl.replace tbl key { r with r_dests = r.r_dests @ [ b.Ir.b_dst ] }
+            Hashtbl.replace by_signal b.Ir.b_signal
+              { r with r_dests = r.r_dests @ [ b.Ir.b_dst ] }
           end)
         sys.Ir.bindings;
-      tbl
+      by_port
     in
     List.iter
       (fun (decl : Ir.proc_decl) ->
@@ -934,24 +1000,58 @@ let create ?trace:(trace_store = Sim.Trace.create ()) ?faults ?obs ?flows
         Hashtbl.replace procs name
           {
             decl;
+            name_id = Sim.Trace.intern trace_store name;
             exec =
               (match engine_kind with
               | Reference -> Exec_interp (Efsm.Interp.create decl.Ir.machine)
               | Compiled ->
                 Exec_compiled
                   (Efsm.Compiled.create (program_of decl.Ir.machine)));
-            queue = Sim.Mailbox.create ~dummy:dummy_pending ();
+            queue = Sim.Mailbox.Flat.create ~dummy:[] ();
             busy = false;
-            timer = None;
+            timer = Sim.Engine.never;
+            armed_state = "";
+            timer_fire = ignore;
+            sched = env_rtos;
+            eff_rest = [];
+            eff_idx = 0;
+            eff_k = ignore;
+            eff_cycles = 0;
+            eff_cont = ignore;
+            eff_cont_b = ignore;
+            sig_map = [||];
+            finish_fn = ignore;
             current_flow = -1;
-            stats = { handled = 0; total_wait_ns = 0L; max_wait_ns = 0L };
+            stats = { handled = 0; total_wait_ns = 0; max_wait_ns = 0 };
             track = "proc/" ^ name;
             routes = routes_for name;
             m_sends = Obs.Metrics.counter metrics ("app." ^ name ^ ".sends");
             m_discards = Obs.Metrics.counter metrics ("app." ^ name ^ ".discards");
           })
       sys.Ir.procs;
-    Ok
+    (* Second pass: resolve each route's destinations to process
+       instances (and interned ids) now that every process exists, so a
+       send walks a flat array instead of hashing per destination. *)
+    Hashtbl.iter
+      (fun _ proc ->
+        Hashtbl.iter
+          (fun _ by_signal ->
+            Hashtbl.iter
+              (fun _ r ->
+                r.r_targets <-
+                  Array.of_list
+                    (List.map
+                       (fun d ->
+                         {
+                           tgt_name = d;
+                           tgt_name_id = Sim.Trace.intern trace_store d;
+                           tgt_proc = Hashtbl.find_opt procs d;
+                         })
+                       r.r_dests))
+              by_signal)
+          proc.routes)
+      procs;
+    let t =
       {
         sys;
         engine;
@@ -967,10 +1067,54 @@ let create ?trace:(trace_store = Sim.Trace.create ()) ?faults ?obs ?flows
         trace_on = Obs.Tracer.enabled (Obs.Scope.tracer obs);
         flows;
         flows_on = Obs.Flow.enabled flows;
+        timeout_id = Sim.Trace.intern trace_store timeout_signal;
+        st_born = Sim.Trace.intern trace_store "born";
+        st_queue = Sim.Trace.intern trace_store "queue";
+        st_process = Sim.Trace.intern trace_store "process";
+        st_transfer = Sim.Trace.intern trace_store "transfer";
+        st_retransmit = Sim.Trace.intern trace_store "retransmit";
+        st_end = Sim.Trace.intern trace_store "end";
+        overhead_eff = Efsm.Action.Eff_compute sys.Ir.dispatch_overhead_cycles;
+        overhead_cycles = sys.Ir.dispatch_overhead_cycles;
         m_exec_cycles = Obs.Metrics.counter metrics "app.exec_cycles_total";
         m_signals = Obs.Metrics.counter metrics "app.signals_sent";
         m_discard_total = Obs.Metrics.counter metrics "app.signals_discarded";
       }
+    in
+    (* Third pass: each process gets one timer callback for its whole
+       lifetime (it needs [t], so it is wired after the record exists). *)
+    Hashtbl.iter
+      (fun _ proc ->
+        proc.sched <- rtos_of t proc;
+        proc.timer_fire <-
+          (fun () ->
+            proc.timer <- Sim.Engine.never;
+            (* Stale timers (state changed meanwhile) are discarded; only
+               deliver when still in the armed state. *)
+            if exec_state proc.exec = proc.armed_state then begin
+              Sim.Mailbox.Flat.push proc.queue t.timeout_id (-1)
+                (Sim.Engine.now_ns t.engine)
+                [];
+              pump t proc
+            end);
+        proc.eff_cont <-
+          (fun () ->
+            record_exec_i t proc proc.eff_cycles;
+            run_effects t proc proc.eff_rest proc.eff_k);
+        (match proc.exec with
+        | Exec_compiled vm ->
+          proc.eff_cont_b <-
+            (fun () ->
+              record_exec_i t proc proc.eff_cycles;
+              run_effects_c t proc vm proc.eff_idx proc.eff_k)
+        | Exec_interp _ -> ());
+        proc.finish_fn <-
+          (fun () ->
+            proc.busy <- false;
+            arm_timer t proc;
+            pump t proc))
+      t.procs;
+    Ok t
 
 let start t =
   Hashtbl.iter
@@ -999,19 +1143,20 @@ let inject t ~dst ~signal ~args =
   match Hashtbl.find_opt t.procs dst with
   | None -> t.errors <- Printf.sprintf "inject: unknown process %s" dst :: t.errors
   | Some proc ->
-    let now = Sim.Engine.now t.engine in
+    let now = Sim.Engine.now_ns t.engine in
+    let sig_id = Sim.Trace.intern t.trace signal in
     let flow =
       if not t.flows_on then -1
       else begin
-        let id = Obs.Flow.mint t.flows ~now ~origin:signal in
-        Sim.Trace.record t.trace
-          (Sim.Trace.Flow_hop
-             { time = now; flow = id; stage = "born"; where_ = signal; dur = 0L });
+        let id =
+          Obs.Flow.mint t.flows ~now:(Int64.of_int now) ~origin:signal
+        in
+        Sim.Trace.record_flow_hop t.trace ~time:now ~flow:id ~stage:t.st_born
+          ~where_:sig_id ~dur:0;
         id
       end
     in
-    Sim.Mailbox.push proc.queue
-      { p_signal = signal; p_args = args; p_enqueued_at = now; p_flow = flow };
+    Sim.Mailbox.Flat.push proc.queue sig_id flow now args;
     pump t proc
 
 let queue_latencies t =
@@ -1020,11 +1165,26 @@ let queue_latencies t =
       if proc.stats.handled = 0 then acc
       else
         let mean =
-          Int64.to_float proc.stats.total_wait_ns
+          float_of_int proc.stats.total_wait_ns
           /. float_of_int proc.stats.handled
         in
-        (name, (proc.stats.handled, mean, proc.stats.max_wait_ns)) :: acc)
+        (name, (proc.stats.handled, mean, Int64.of_int proc.stats.max_wait_ns))
+        :: acc)
     t.procs []
+  |> List.sort compare
+
+let queue_high_water t =
+  Hashtbl.fold
+    (fun name proc acc ->
+      (name, Sim.Mailbox.Flat.high_water proc.queue) :: acc)
+    t.procs []
+  |> List.sort compare
+
+let pe_queue_high_water t =
+  Hashtbl.fold
+    (fun name r acc -> (name, Sim.Rtos.queue_high_water r) :: acc)
+    t.rtos
+    [ ("environment", Sim.Rtos.queue_high_water t.env_rtos) ]
   |> List.sort compare
 
 let process_state t name =

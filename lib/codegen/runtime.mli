@@ -88,6 +88,15 @@ val queue_latencies : t -> (string * (int * float * int64)) list
     dispatches them.  Scheduling policy changes these latencies even when
     total work is identical. *)
 
+val queue_high_water : t -> (string * int) list
+(** Per process: peak input-queue depth (pending signals), read straight
+    from the mailbox ring's high-water mark; sorted by process name. *)
+
+val pe_queue_high_water : t -> (string * int) list
+(** Per PE (the environment pseudo-PE included): peak ready-queue length
+    of its scheduler ({!Sim.Rtos}), sorted by PE name.  Maintained by the
+    schedulers themselves — available with no metrics scope attached. *)
+
 val runtime_errors : t -> string list
 (** Routing failures observed during execution (should stay empty for a
     validated model). *)

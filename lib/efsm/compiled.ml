@@ -53,6 +53,7 @@ let op_compute = 24
 let op_iter_reset = 25 (* loop counter id *)
 let op_iter_check = 26 (* loop counter id *)
 let op_check_int = 27 (* top of stack must be an int; not popped *)
+let op_compute_const = 28 (* const-effect id; literal positive Compute *)
 
 type send_site = { s_port : string; s_signal : string; s_argc : int }
 
@@ -62,6 +63,9 @@ type ctrans = {
   t_target : int;  (** target state id *)
   t_delay : int;  (** [After] delay, -1 otherwise *)
   t_machine_tr : Machine.transition;  (** original record, for [step.fired] *)
+  t_fired : Machine.transition option;
+      (** [Some t_machine_tr], boxed once at compile time so a firing
+          dispatch does not allocate the option *)
 }
 
 type program = {
@@ -75,6 +79,8 @@ type program = {
   param_ids : (string, int) Hashtbl.t;
   signal_ids : (string, int) Hashtbl.t;  (** consumed signals only *)
   sites : send_site array;
+  consts : Action.effect array;
+      (** preallocated [Eff_compute] effects of literal compute costs *)
   (* initial variable values, pre-unpacked: (-1, unbound) for names only
      ever assigned at runtime *)
   var_init_v : int array;
@@ -98,6 +104,7 @@ type emitter = {
   mutable len : int;
   mutable loops : int;
   prog_sites : send_site list ref;
+  prog_consts : Action.effect list ref;
   p_state_ids : (string, int) Hashtbl.t;
   p_var_ids : (string, int) Hashtbl.t;
   p_var_names : string list ref;
@@ -242,6 +249,16 @@ let rec compile_stmt e stmt =
     e.prog_sites := site :: !(e.prog_sites);
     emit e op_send;
     emit e id
+  | Action.Compute (Action.Int n) when n >= 0 ->
+    (* a literal non-negative cost can neither fail the int check nor
+       the negativity check, so the effect is boxed once at compile
+       time; zero-cost computes emit no effect in the reference either *)
+    if n > 0 then begin
+      let id = List.length !(e.prog_consts) in
+      e.prog_consts := Action.Eff_compute n :: !(e.prog_consts);
+      emit e op_compute_const;
+      emit e id
+    end
   | Action.Compute expr ->
     compile_expr e expr;
     emit e op_compute
@@ -304,6 +321,7 @@ let compile machine =
       len = 0;
       loops = 0;
       prog_sites = ref [];
+      prog_consts = ref [];
       p_state_ids = Hashtbl.create 16;
       p_var_ids = Hashtbl.create 16;
       p_var_names = ref [];
@@ -351,6 +369,7 @@ let compile machine =
         | Machine.After d -> d
         | Machine.On_signal _ | Machine.Completion -> -1);
       t_machine_tr = tr;
+      t_fired = Some tr;
     }
   in
   (* per-state candidate tables, declaration order *)
@@ -436,6 +455,7 @@ let compile machine =
     param_ids = e.p_param_ids;
     signal_ids;
     sites = Array.of_list (List.rev !(e.prog_sites));
+    consts = Array.of_list (List.rev !(e.prog_consts));
     var_init_v;
     var_init_t;
     initial_state = state_id machine.Machine.initial;
@@ -757,6 +777,10 @@ let run_prog t pc =
       if Bytes.unsafe_get stk_t (sp - 1) <> tag_int then
         type_error "expected an integer";
       loop (pc + 1) sp
+    | 28 (* op_compute_const *) ->
+      push_effect t
+        (Array.unsafe_get t.prog.consts (Array.unsafe_get code (pc + 1)));
+      loop (pc + 2) sp
     | _ -> assert false
   in
   loop pc 0
@@ -794,28 +818,38 @@ let fire t c =
 
 let clear_params t = t.gen <- t.gen + 1
 
+(* Plain recursion (no [List.iter] closure) and inline tag unpacking
+   (no [unpack_value] tuple): binding allocates nothing. *)
+let rec bind_args t = function
+  | [] -> ()
+  | (name, value) :: rest ->
+    (match Hashtbl.find t.prog.param_ids name with
+    | exception Not_found -> ()
+    | i ->
+      (* first occurrence wins, like [List.assoc_opt] *)
+      if t.par_gen.(i) <> t.gen then begin
+        (match value with
+        | Action.V_int n ->
+          t.par_v.(i) <- n;
+          Bytes.set t.par_t i tag_int
+        | Action.V_bool b ->
+          t.par_v.(i) <- (if b then 1 else 0);
+          Bytes.set t.par_t i tag_bool);
+        t.par_gen.(i) <- t.gen
+      end);
+    bind_args t rest
+
 let bind_params t args =
   clear_params t;
-  List.iter
-    (fun (name, value) ->
-      match Hashtbl.find_opt t.prog.param_ids name with
-      | None -> ()
-      | Some i ->
-        (* first occurrence wins, like [List.assoc_opt] *)
-        if t.par_gen.(i) <> t.gen then begin
-          let v, tag = unpack_value value in
-          t.par_v.(i) <- v;
-          Bytes.set t.par_t i tag;
-          t.par_gen.(i) <- t.gen
-        end)
-    args
+  bind_args t args
 
-let first_enabled t cands =
+(* Index of the first candidate whose guard holds, -1 if none: the
+   per-dispatch option box of a [Some cand] result would be the only
+   allocation on a transition miss. *)
+let first_enabled_idx t cands =
   let n = Array.length cands in
   let rec find i =
-    if i >= n then None
-    else if guard_holds t cands.(i) then Some cands.(i)
-    else find (i + 1)
+    if i >= n then -1 else if guard_holds t cands.(i) then i else find (i + 1)
   in
   find 0
 
@@ -826,42 +860,87 @@ let run_completions_into t =
   let rec loop count =
     if count > Interp.max_completion_chain then
       raise (Action.Type_error Interp.completion_livelock_message);
-    match first_enabled t t.prog.completions.(t.state) with
-    | None -> ()
-    | Some c ->
-      fire t c;
+    let cands = t.prog.completions.(t.state) in
+    let i = first_enabled_idx t cands in
+    if i >= 0 then begin
+      fire t cands.(i);
       loop (count + 1)
+    end
   in
   loop 0
 
+(* The no-transition outcome is immutable and carries nothing, so every
+   miss shares one preallocated step. *)
+let no_step = { Interp.fired = None; Interp.effects = [] }
+
 let dispatch t ~signal ~args =
-  match Hashtbl.find_opt t.prog.signal_ids signal with
-  | None -> { Interp.fired = None; Interp.effects = [] }
-  | Some sid ->
+  match Hashtbl.find t.prog.signal_ids signal with
+  | exception Not_found -> no_step
+  | sid ->
     bind_params t args;
-    (match first_enabled t t.prog.on_signal.(t.state).(sid) with
-    | None -> { Interp.fired = None; Interp.effects = [] }
-    | Some c ->
+    let cands = t.prog.on_signal.(t.state).(sid) in
+    let i = first_enabled_idx t cands in
+    if i < 0 then no_step
+    else begin
+      let c = cands.(i) in
       t.eff_len <- 0;
       fire t c;
       run_completions_into t;
-      {
-        Interp.fired = Some c.t_machine_tr;
-        Interp.effects = effects_list t;
-      })
+      { Interp.fired = c.t_fired; Interp.effects = effects_list t }
+    end
 
-let fire_timer t ~entered_state =
-  if t.prog.state_names.(t.state) <> entered_state then
-    { Interp.fired = None; Interp.effects = [] }
+let signal_id t signal =
+  match Hashtbl.find t.prog.signal_ids signal with
+  | sid -> sid
+  | exception Not_found -> -1
+
+let dispatch_id t ~sid ~args =
+  if sid < 0 then false
+  else begin
+    bind_params t args;
+    let cands = t.prog.on_signal.(t.state).(sid) in
+    let i = first_enabled_idx t cands in
+    if i < 0 then false
+    else begin
+      t.eff_len <- 0;
+      fire t cands.(i);
+      run_completions_into t;
+      true
+    end
+  end
+
+let fire_timer_id t ~entered_state =
+  if t.prog.state_names.(t.state) <> entered_state then false
   else begin
     clear_params t;
-    match first_enabled t t.prog.afters.(t.state) with
-    | None -> { Interp.fired = None; Interp.effects = [] }
-    | Some c ->
+    let cands = t.prog.afters.(t.state) in
+    let i = first_enabled_idx t cands in
+    if i < 0 then false
+    else begin
+      t.eff_len <- 0;
+      fire t cands.(i);
+      run_completions_into t;
+      true
+    end
+  end
+
+let effect_count t = t.eff_len
+let effect_at t i = t.eff.(i)
+
+let fire_timer t ~entered_state =
+  if t.prog.state_names.(t.state) <> entered_state then no_step
+  else begin
+    clear_params t;
+    let cands = t.prog.afters.(t.state) in
+    let i = first_enabled_idx t cands in
+    if i < 0 then no_step
+    else begin
+      let c = cands.(i) in
       t.eff_len <- 0;
       fire t c;
       run_completions_into t;
-      { Interp.fired = Some c.t_machine_tr; Interp.effects = effects_list t }
+      { Interp.fired = c.t_fired; Interp.effects = effects_list t }
+    end
   end
 
 let timer_request t =

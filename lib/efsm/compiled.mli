@@ -58,6 +58,36 @@ val run_completions : t -> Action.effect list
 val timer_request : t -> int option
 (** Same contract as {!Interp.timer_request}. *)
 
+(** {2 Allocation-free dispatch}
+
+    The [Interp.step]-returning entry points above materialise the
+    fired transition and the effect list per event — fine for tests
+    and the model checker, measurable on the simulation hot path.  The
+    [_id] variants below keep the outcome as a boolean and leave the
+    effects in the instance's internal buffer, to be walked in place
+    via {!effect_count} / {!effect_at}. *)
+
+val signal_id : t -> string -> int
+(** Dispatch-table id of [signal] in this machine, [-1] if the machine
+    never listens for it.  Resolve once and reuse with {!dispatch_id} —
+    this is the only string lookup on the id path. *)
+
+val dispatch_id : t -> sid:int -> args:(string * Action.value) list -> bool
+(** Same transition semantics as {!dispatch}, keyed by a {!signal_id}
+    result ([sid = -1] discards).  Returns whether a transition fired;
+    on [true] the effects are in the buffer until the next dispatch. *)
+
+val fire_timer_id : t -> entered_state:string -> bool
+(** Same transition semantics as {!fire_timer}, buffer-backed like
+    {!dispatch_id}. *)
+
+val effect_count : t -> int
+(** Number of effects produced by the last fired [_id] dispatch. *)
+
+val effect_at : t -> int -> Action.effect
+(** The [i]th effect, in execution order; valid below {!effect_count}
+    and only until the next dispatch on this instance. *)
+
 val reset : t -> unit
 (** Back to the initial state and initial variable values. *)
 

@@ -8,7 +8,7 @@ type request = {
   req_seq : int;
   mutable req_words : int;  (** words still to move on this segment *)
   req_chunk : int;  (** words movable per grant (MaxTime / buffers) *)
-  mutable req_waiting_since : int64;  (** last time it joined the queue *)
+  mutable req_waiting_since : int;  (** last time it joined the queue *)
   req_done : unit -> unit;  (** all words crossed this segment *)
 }
 
@@ -19,15 +19,20 @@ type segment = {
   arbitration : arbitration;
   max_send_size : int;
   mutable busy : bool;
-  mutable waiting : request list;  (** arrival order *)
+  mutable waiting : request list;
+      (** a bag: arbitration picks by a strict total order, never by
+          position, so prepend-only is safe and O(1) *)
+  mutable waiting_len : int;
   mutable last_granted_address : int;
-  mutable busy_ns : int64;
-  mutable words_total : int64;
-  mutable grants : int64;
+  (* plain-int counters and ns accumulators: bumping them on the
+     per-grant hot path must not box an int64 *)
+  mutable busy_ns : int;
+  mutable words_total : int;
+  mutable grants : int;
   mutable max_waiting : int;
-  mutable delivered : int64;  (** message hops completed intact *)
-  mutable dropped : int64;  (** message hops lost to an injected fault *)
-  mutable corrupted : int64;  (** message hops delivered with flipped bits *)
+  mutable delivered : int;  (** message hops completed intact *)
+  mutable dropped : int;  (** message hops lost to an injected fault *)
+  mutable corrupted : int;  (** message hops delivered with flipped bits *)
   seg_track : string;  (** tracing lane, "hibi/<name>" *)
   m_words : Obs.Metrics.counter;
   m_grants : Obs.Metrics.counter;
@@ -56,6 +61,9 @@ type t = {
   mutable segments : segment list;
   mutable wrappers : wrapper list;
   mutable next_seq : int;
+  route_cache : (string * string, (string list, string) result) Hashtbl.t;
+      (** (src, dst) -> BFS route; topology is fixed after setup, so the
+          per-message BFS runs once per pair; topology mutators drop it *)
   mutable fault_hook : (segment:string -> words:int -> fault_action) option;
   metrics : Obs.Metrics.t;  (** per-segment handles resolve here *)
   tracer : Obs.Tracer.t;
@@ -70,6 +78,7 @@ let create ?obs engine =
     segments = [];
     wrappers = [];
     next_seq = 0;
+    route_cache = Hashtbl.create 32;
     fault_hook = None;
     metrics = Obs.Scope.metrics obs;
     tracer = Obs.Scope.tracer obs;
@@ -93,6 +102,7 @@ let add_segment t ~name ~data_width_bits ~frequency_mhz ~arbitration
     invalid_arg ("Hibi: duplicate segment " ^ name);
   if data_width_bits <= 0 || frequency_mhz <= 0 || max_send_size <= 0 then
     invalid_arg "Hibi.add_segment: non-positive parameter";
+  Hashtbl.reset t.route_cache;
   let metric suffix = "hibi." ^ name ^ "." ^ suffix in
   t.segments <-
     t.segments
@@ -105,14 +115,15 @@ let add_segment t ~name ~data_width_bits ~frequency_mhz ~arbitration
           max_send_size;
           busy = false;
           waiting = [];
+          waiting_len = 0;
           last_granted_address = -1;
-          busy_ns = 0L;
-          words_total = 0L;
-          grants = 0L;
+          busy_ns = 0;
+          words_total = 0;
+          grants = 0;
           max_waiting = 0;
-          delivered = 0L;
-          dropped = 0L;
-          corrupted = 0L;
+          delivered = 0;
+          dropped = 0;
+          corrupted = 0;
           seg_track = "hibi/" ^ name;
           m_words = Obs.Metrics.counter t.metrics (metric "words");
           m_grants = Obs.Metrics.counter t.metrics (metric "grants");
@@ -136,6 +147,7 @@ let add_agent_wrapper t ~name ~agent ~address ~segment ?(buffer_size = 8)
     invalid_arg ("Hibi: agent already attached: " ^ agent);
   if buffer_size <= 0 || max_time <= 0 then
     invalid_arg "Hibi.add_agent_wrapper: non-positive parameter";
+  Hashtbl.reset t.route_cache;
   t.wrappers <-
     t.wrappers
     @ [
@@ -156,6 +168,7 @@ let add_bridge_wrapper t ~name ~address ~segments:(seg_a, seg_b)
   if find_segment t seg_b = None then
     invalid_arg ("Hibi: unknown segment " ^ seg_b);
   if seg_a = seg_b then invalid_arg "Hibi: bridge must join distinct segments";
+  Hashtbl.reset t.route_cache;
   t.wrappers <-
     t.wrappers
     @ [
@@ -187,7 +200,7 @@ let neighbours t segment =
       | Bridge _ | Agent _ -> None)
     t.wrappers
 
-let route t ~src ~dst =
+let route_uncached t ~src ~dst =
   match wrapper_of_agent t src, wrapper_of_agent t dst with
   | None, _ -> Error (Printf.sprintf "agent %s is not attached" src)
   | _, None -> Error (Printf.sprintf "agent %s is not attached" dst)
@@ -222,8 +235,16 @@ let route t ~src ~dst =
       search ()
     end
 
+let route t ~src ~dst =
+  match Hashtbl.find t.route_cache (src, dst) with
+  | r -> r
+  | exception Not_found ->
+    let r = route_uncached t ~src ~dst in
+    Hashtbl.add t.route_cache (src, dst) r;
+    r
+
 let cycle_ns segment =
-  Int64.of_int ((1000 + segment.frequency_mhz - 1) / segment.frequency_mhz)
+  (1000 + segment.frequency_mhz - 1) / segment.frequency_mhz
 
 let words_per_cycle segment = max 1 (segment.data_width_bits / 32)
 
@@ -270,28 +291,30 @@ let rec grant t segment =
     | None -> ()
     | Some req ->
       segment.waiting <- List.filter (fun r -> r != req) segment.waiting;
+      segment.waiting_len <- segment.waiting_len - 1;
       segment.busy <- true;
       segment.last_granted_address <- req.req_address;
-      segment.grants <- Int64.add segment.grants 1L;
-      let granted_at = Sim.Engine.now t.engine in
+      segment.grants <- segment.grants + 1;
+      let granted_at = Sim.Engine.now_ns t.engine in
       (if t.obs_on then begin
          Obs.Metrics.inc segment.m_grants;
-         Obs.Metrics.set segment.m_queue_depth (List.length segment.waiting);
+         Obs.Metrics.set segment.m_queue_depth segment.waiting_len;
          Obs.Metrics.observe segment.m_arb_wait
-           (Int64.to_int (Int64.sub granted_at req.req_waiting_since))
+           (granted_at - req.req_waiting_since)
        end);
       let burst = min req.req_words req.req_chunk in
       (* One arbitration cycle plus the data cycles of this burst. *)
       let cycles = 1 + cycles_for_words segment burst in
-      let duration = Int64.mul (Int64.of_int cycles) (cycle_ns segment) in
-      segment.busy_ns <- Int64.add segment.busy_ns duration;
-      segment.words_total <- Int64.add segment.words_total (Int64.of_int burst);
+      let duration = cycles * cycle_ns segment in
+      segment.busy_ns <- segment.busy_ns + duration;
+      segment.words_total <- segment.words_total + burst;
       if t.obs_on then Obs.Metrics.inc ~by:burst segment.m_words;
       ignore
-        (Sim.Engine.schedule t.engine ~delay:duration (fun () ->
+        (Sim.Engine.schedule_ns t.engine ~delay:duration (fun () ->
              segment.busy <- false;
              if t.trace_on then
-               Obs.Tracer.complete t.tracer ~ts_ns:granted_at ~dur_ns:duration
+               Obs.Tracer.complete t.tracer ~ts_ns:(Int64.of_int granted_at)
+                 ~dur_ns:(Int64.of_int duration)
                  ~cat:"hibi" ~track:segment.seg_track
                  ~args:
                    (let args = [ ("words", Obs.Span.Int burst) ] in
@@ -305,9 +328,10 @@ let rec grant t segment =
              grant t segment))
 
 and enqueue t segment req =
-  req.req_waiting_since <- Sim.Engine.now t.engine;
-  segment.waiting <- segment.waiting @ [ req ];
-  let depth = List.length segment.waiting in
+  req.req_waiting_since <- Sim.Engine.now_ns t.engine;
+  segment.waiting <- req :: segment.waiting;
+  segment.waiting_len <- segment.waiting_len + 1;
+  let depth = segment.waiting_len in
   segment.max_waiting <- max segment.max_waiting depth;
   if t.obs_on then Obs.Metrics.set segment.m_queue_depth depth;
   grant t segment
@@ -333,18 +357,18 @@ let after_hop t segment ~words ~corrupt_flag ~continue =
   in
   match action with
   | Pass ->
-    segment.delivered <- Int64.add segment.delivered 1L;
+    segment.delivered <- segment.delivered + 1;
     continue ()
   | Drop ->
     (* The message vanishes: downstream hops never start and the
        receiver never hears about it — only a timeout can tell. *)
-    segment.dropped <- Int64.add segment.dropped 1L
+    segment.dropped <- segment.dropped + 1
   | Corrupt ->
-    segment.corrupted <- Int64.add segment.corrupted 1L;
+    segment.corrupted <- segment.corrupted + 1;
     corrupt_flag := true;
     continue ()
   | Stall delay ->
-    segment.delivered <- Int64.add segment.delivered 1L;
+    segment.delivered <- segment.delivered + 1;
     ignore (Sim.Engine.schedule t.engine ~delay continue)
 
 let transfer ?(flow = -1) t ~src ~dst ~words ~on_outcome =
@@ -361,11 +385,11 @@ let transfer ?(flow = -1) t ~src ~dst ~words ~on_outcome =
         | Some w -> (
           match find_segment t w.w_segment with
           | Some seg -> cycle_ns seg
-          | None -> 20L)
-        | None -> 20L
+          | None -> 20)
+        | None -> 20
       in
       ignore
-        (Sim.Engine.schedule t.engine ~delay (fun () -> on_outcome Delivered));
+        (Sim.Engine.schedule_ns t.engine ~delay (fun () -> on_outcome Delivered));
       Ok ()
     | Ok path ->
       let src_wrapper =
@@ -419,7 +443,7 @@ let transfer ?(flow = -1) t ~src ~dst ~words ~on_outcome =
                   req_seq = t.next_seq;
                   req_words = words;
                   req_chunk = chunk_words segment wrapper;
-                  req_waiting_since = Sim.Engine.now t.engine;
+                  req_waiting_since = Sim.Engine.now_ns t.engine;
                   req_done =
                     (fun () ->
                       after_hop t segment ~words ~corrupt_flag
@@ -450,23 +474,23 @@ let stats t ~segment =
   | None -> invalid_arg ("Hibi.stats: unknown segment " ^ segment)
   | Some s ->
     {
-      busy_ns = s.busy_ns;
-      words = s.words_total;
-      grants = s.grants;
+      busy_ns = Int64.of_int s.busy_ns;
+      words = Int64.of_int s.words_total;
+      grants = Int64.of_int s.grants;
       max_waiting = s.max_waiting;
-      delivered = s.delivered;
-      dropped = s.dropped;
-      corrupted = s.corrupted;
+      delivered = Int64.of_int s.delivered;
+      dropped = Int64.of_int s.dropped;
+      corrupted = Int64.of_int s.corrupted;
     }
 
 let reset_stats t =
   List.iter
     (fun (s : segment) ->
-      s.busy_ns <- 0L;
-      s.words_total <- 0L;
-      s.grants <- 0L;
+      s.busy_ns <- 0;
+      s.words_total <- 0;
+      s.grants <- 0;
       s.max_waiting <- 0;
-      s.delivered <- 0L;
-      s.dropped <- 0L;
-      s.corrupted <- 0L)
+      s.delivered <- 0;
+      s.dropped <- 0;
+      s.corrupted <- 0)
     t.segments

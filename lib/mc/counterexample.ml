@@ -253,7 +253,7 @@ let parse_schedule (net : Net.t) trace =
     | Some ix -> ix
     | None -> fail "unknown instance %s in trace" path
   in
-  List.iter
+  Sim.Trace.iter trace
     (fun event ->
       match event with
       | Sim.Trace.Fault { kind = "mc_init"; info; _ } -> (
@@ -285,8 +285,7 @@ let parse_schedule (net : Net.t) trace =
         schedule := Explore.S_deliver (ix_of target) :: !schedule
       | Sim.Trace.Fault { kind = "mc_timer"; target; _ } ->
         schedule := Explore.S_timer (ix_of target) :: !schedule
-      | _ -> ())
-    (Sim.Trace.events trace);
+      | _ -> ());
   match !capacity with
   | None -> fail "no mc_init marker: not a model-checker counterexample"
   | Some c -> (c, List.rev !schedule)

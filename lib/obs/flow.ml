@@ -29,7 +29,19 @@ let stage_of_name = function
 
 let all_stages = [ Queue_wait; Process; Transfer; Retransmit ]
 
-type birth = { b_origin : string; b_at : int64 }
+type birth = {
+  b_origin : string;
+  b_at : int64;
+  b_stage_hists : Histogram.t option array;
+      (* one lazily-resolved handle per stage, so a hop neither
+         concatenates a metric name nor hashes the registry *)
+}
+
+let stage_idx = function
+  | Queue_wait -> 0
+  | Process -> 1
+  | Transfer -> 2
+  | Retransmit -> 3
 
 type t = {
   on : bool;
@@ -70,7 +82,8 @@ let hist t name =
 
 let note_born t ~flow ~now ~origin =
   if t.on && not (Hashtbl.mem t.births flow) then begin
-    Hashtbl.replace t.births flow { b_origin = origin; b_at = now };
+    Hashtbl.replace t.births flow
+      { b_origin = origin; b_at = now; b_stage_hists = Array.make 4 None };
     if flow >= t.next_id then t.next_id <- flow + 1;
     Metrics.inc t.m_minted
   end
@@ -89,14 +102,25 @@ let origin t ~flow =
 let birth_time t ~flow =
   Option.map (fun b -> b.b_at) (Hashtbl.find_opt t.births flow)
 
-let hop t ~flow ~stage ~dur_ns =
+let hop_ns t ~flow ~stage ~dur_ns =
   if t.on then
-    match Hashtbl.find_opt t.births flow with
-    | None -> ()
-    | Some b ->
-      Histogram.record
-        (hist t ("flow." ^ b.b_origin ^ ".stage." ^ stage_name stage))
-        (Int64.to_int dur_ns)
+    match Hashtbl.find t.births flow with
+    | exception Not_found -> ()
+    | b ->
+      let i = stage_idx stage in
+      let h =
+        match b.b_stage_hists.(i) with
+        | Some h -> h
+        | None ->
+          let h =
+            hist t ("flow." ^ b.b_origin ^ ".stage." ^ stage_name stage)
+          in
+          b.b_stage_hists.(i) <- Some h;
+          h
+      in
+      Histogram.record h dur_ns
+
+let hop t ~flow ~stage ~dur_ns = hop_ns t ~flow ~stage ~dur_ns:(Int64.to_int dur_ns)
 
 let complete t ~flow ~now ~terminal =
   if not t.on then None

@@ -67,6 +67,11 @@ val hop : t -> flow:int -> stage:stage -> dur_ns:int64 -> unit
 (** Attribute [dur_ns] of one hop to [stage] of the flow's class.
     Unknown flows are ignored. *)
 
+val hop_ns : t -> flow:int -> stage:stage -> dur_ns:int -> unit
+(** {!hop} with a native-int duration — the per-hop histogram handle is
+    cached on the flow's birth record, so the simulation hot path
+    neither builds a metric name nor boxes the duration. *)
+
 val complete : t -> flow:int -> now:int64 -> terminal:string -> int64 option
 (** Record a delivery of signal [terminal] into the environment:
     end-to-end latency [now - birth] lands in the class's

@@ -77,7 +77,7 @@ let retry_rows trace =
   | Some trace ->
     let table = Hashtbl.create 8 in
     let giveups = ref 0 in
-    List.iter
+    Sim.Trace.iter trace
       (fun event ->
         match event with
         | Sim.Trace.Retransmit { signal; attempt; _ } ->
@@ -86,8 +86,7 @@ let retry_rows trace =
           in
           Hashtbl.replace table signal (retries + 1, max max_attempt attempt)
         | Sim.Trace.Fault { kind = "arq_giveup"; _ } -> incr giveups
-        | _ -> ())
-      (Sim.Trace.events trace);
+        | _ -> ());
     let rows =
       Hashtbl.fold
         (fun signal (retries, max_attempt) acc ->
@@ -98,7 +97,8 @@ let retry_rows trace =
     in
     (rows, !giveups)
 
-let of_snapshot ?duration_ns ?(pe_busy = []) ?(segments = []) ?trace snapshot =
+let of_snapshot ?duration_ns ?(pe_busy = []) ?(segments = []) ?pe_peaks ?trace
+    snapshot =
   let minted = ref 0 and completed = ref 0 in
   let classes = ref [] and stages = ref [] in
   let peaks = Hashtbl.create 8 in
@@ -116,6 +116,14 @@ let of_snapshot ?duration_ns ?(pe_busy = []) ?(segments = []) ?trace snapshot =
         Hashtbl.replace peaks pe peak_value
       | _ -> ())
     snapshot;
+  (* A live runtime reads ready-queue peaks straight off the scheduler
+     rings (maintained unconditionally); the gauge-derived peaks above
+     only serve snapshots with no runtime behind them. *)
+  (match pe_peaks with
+  | None -> ()
+  | Some rows ->
+    Hashtbl.reset peaks;
+    List.iter (fun (pe, peak) -> Hashtbl.replace peaks pe peak) rows);
   let classes =
     List.sort
       (fun a b ->
@@ -181,7 +189,7 @@ let of_snapshot ?duration_ns ?(pe_busy = []) ?(segments = []) ?trace snapshot =
 let of_trace trace =
   let metrics = Obs.Metrics.create () in
   let flows = Obs.Flow.create ~metrics () in
-  List.iter
+  Sim.Trace.iter trace
     (fun event ->
       match event with
       | Sim.Trace.Flow_hop { time; flow; stage = "born"; where_; _ } ->
@@ -192,8 +200,7 @@ let of_trace trace =
         match Obs.Flow.stage_of_name stage with
         | Some s -> Obs.Flow.hop flows ~flow ~stage:s ~dur_ns:dur
         | None -> ())
-      | _ -> ())
-    (Sim.Trace.events trace);
+      | _ -> ());
   of_snapshot ~trace (Obs.Metrics.snapshot metrics)
 
 let render_text t =

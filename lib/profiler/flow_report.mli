@@ -70,6 +70,7 @@ val of_snapshot :
   ?duration_ns:int64 ->
   ?pe_busy:(string * int64) list ->
   ?segments:(string * int64 * int) list ->
+  ?pe_peaks:(string * int) list ->
   ?trace:Sim.Trace.t ->
   Obs.Metrics.snapshot ->
   t
@@ -77,9 +78,11 @@ val of_snapshot :
     [sim.rtos.<pe>.queue_depth] gauge peaks out of a snapshot.
     [pe_busy] supplies busy time per PE
     ({!Codegen.Runtime.pe_busy_ns}), [segments] supplies
-    [(name, words, peak waiting)] triples, and [trace] supplies the
-    retransmission ([R]) and [arq_giveup] fault events for the retry
-    section. *)
+    [(name, words, peak waiting)] triples, [pe_peaks]
+    ({!Codegen.Runtime.pe_queue_high_water}) overrides the gauge-derived
+    ready-queue peaks with the scheduler's own high-water counters, and
+    [trace] supplies the retransmission ([R]) and [arq_giveup] fault
+    events for the retry section. *)
 
 val of_trace : Sim.Trace.t -> t
 (** Replay: rebuild the flow sections from the [L] lines of a saved log

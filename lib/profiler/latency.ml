@@ -12,7 +12,7 @@ let samples ~src_signal ~dst_signal trace =
      sequence numbers match their earliest occurrence. *)
   let outstanding : (int, int64 Queue.t) Hashtbl.t = Hashtbl.create 64 in
   let matched = ref [] in
-  List.iter
+  Sim.Trace.iter trace
     (fun event ->
       match event with
       | Sim.Trace.Signal { time; signal; tag; _ } when tag >= 0 ->
@@ -37,21 +37,19 @@ let samples ~src_signal ~dst_signal trace =
       | Sim.Trace.Signal _ | Sim.Trace.Exec _ | Sim.Trace.State_change _
       | Sim.Trace.Discard _ | Sim.Trace.Fault _ | Sim.Trace.Retransmit _
       | Sim.Trace.Flow_hop _ ->
-        ())
-    (Sim.Trace.events trace);
+        ());
   List.rev !matched
 
 let measure ~src_signal ~dst_signal trace =
   let pairs = samples ~src_signal ~dst_signal trace in
   (* Count the source events that never completed. *)
   let sources =
-    List.length
-      (List.filter
-         (function
-           | Sim.Trace.Signal { signal; tag; _ } ->
-             signal = src_signal && tag >= 0
-           | _ -> false)
-         (Sim.Trace.events trace))
+    Sim.Trace.fold trace 0 (fun acc event ->
+        match event with
+        | Sim.Trace.Signal { signal; tag; _ }
+          when signal = src_signal && tag >= 0 ->
+          acc + 1
+        | _ -> acc)
   in
   match pairs with
   | [] -> None

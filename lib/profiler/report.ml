@@ -45,23 +45,7 @@ let build groups trace =
     Hashtbl.fold (fun key count acc -> (key, count) :: acc) matrix_table []
     |> List.sort compare
   in
-  let discard_table = Hashtbl.create 8 in
-  List.iter
-    (fun event ->
-      match event with
-      | Sim.Trace.Discard { process; _ } ->
-        let current =
-          Option.value ~default:0 (Hashtbl.find_opt discard_table process)
-        in
-        Hashtbl.replace discard_table process (current + 1)
-      | Sim.Trace.Exec _ | Sim.Trace.Signal _ | Sim.Trace.State_change _
-      | Sim.Trace.Fault _ | Sim.Trace.Retransmit _ | Sim.Trace.Flow_hop _ ->
-        ())
-    (Sim.Trace.events trace);
-  let discarded =
-    Hashtbl.fold (fun p c acc -> (p, c) :: acc) discard_table []
-    |> List.sort compare
-  in
+  let discarded = Sim.Trace.discard_counts trace in
   {
     group_cycles;
     total_cycles;

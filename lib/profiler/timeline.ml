@@ -13,7 +13,7 @@ let build groups ~window_ns trace =
   if window_ns <= 0L then invalid_arg "Profiler.Timeline.build: window size";
   let index time = Int64.to_int (Int64.div time window_ns) in
   let last_index =
-    List.fold_left
+    Sim.Trace.fold trace 0
       (fun acc event ->
         let time =
           match event with
@@ -27,11 +27,10 @@ let build groups ~window_ns trace =
             time
         in
         max acc (index time))
-      0 (Sim.Trace.events trace)
   in
   let cycle_tables = Array.init (last_index + 1) (fun _ -> Hashtbl.create 8) in
   let signal_counts = Array.make (last_index + 1) 0 in
-  List.iter
+  Sim.Trace.iter trace
     (fun event ->
       match event with
       | Sim.Trace.Exec { time; process; cycles } ->
@@ -45,8 +44,7 @@ let build groups ~window_ns trace =
         signal_counts.(index time) <- signal_counts.(index time) + 1
       | Sim.Trace.State_change _ | Sim.Trace.Discard _ | Sim.Trace.Fault _
       | Sim.Trace.Retransmit _ | Sim.Trace.Flow_hop _ ->
-        ())
-    (Sim.Trace.events trace);
+        ());
   let windows =
     List.init (last_index + 1) (fun i ->
         {

@@ -16,69 +16,77 @@
    classifies entries, dead ones are dropped when they surface at a
    bucket head.  The structure resizes (and re-derives the bucket width
    from the live events' average spacing) when occupancy strays far
-   from the bucket count. *)
+   from the bucket count.
+
+   Times are native ints (the simulation's 63-bit ns clock), and the
+   current-minimum memo lives in mutable int fields, so neither adds
+   nor pops box an [int64] or allocate an option/tuple per call. *)
 
 type 'a cell =
   | Nil
-  | Cons of { time : int64; seq : int; v : 'a; mutable next : 'a cell }
+  | Cons of { time : int; seq : int; v : 'a; mutable next : 'a cell }
 
 type 'a t = {
   live : 'a -> bool;
   mutable buckets : 'a cell array;
   mutable mask : int;  (** [n_buckets - 1]; bucket count is a power of two *)
-  mutable width : int64;  (** nanoseconds per bucket *)
+  mutable width : int;  (** nanoseconds per bucket *)
   mutable size : int;  (** stored entries, dead included *)
-  mutable floor : int64;  (** largest time ever popped; scan starts here *)
+  mutable floor : int;  (** largest time ever popped; scan starts here *)
   mutable dead_dropped : int;
-  mutable memo : (int64 * int * int) option;
-      (** last [find_min] result [(time, seq, bucket)], so a peek
-          followed by a pop scans once; invalidated on [add]/[pop] and
-          re-checked against the bucket head (a cancel can kill it) *)
+  (* Last [find_min] result, so a peek followed by a pop scans once;
+     [memo_bucket < 0] means invalid.  Invalidated on [add]/[pop] and
+     re-checked against the bucket head (a cancel can kill it). *)
+  mutable memo_time : int;
+  mutable memo_seq : int;
+  mutable memo_bucket : int;
 }
 
 let min_buckets = 64
 
-let create ?(n_buckets = 256) ?(width = 1_024L) ~live () =
+let create ?(n_buckets = 256) ?(width = 1_024) ~live () =
   let rec pow2 n = if n >= n_buckets then n else pow2 (2 * n) in
   let n = pow2 min_buckets in
   {
     live;
     buckets = Array.make n Nil;
     mask = n - 1;
-    width = (if width < 1L then 1L else width);
+    width = (if width < 1 then 1 else width);
     size = 0;
-    floor = 0L;
+    floor = 0;
     dead_dropped = 0;
-    memo = None;
+    memo_time = 0;
+    memo_seq = 0;
+    memo_bucket = -1;
   }
 
 let length t = t.size
 let dead_dropped t = t.dead_dropped
 
-let index t time = Int64.to_int (Int64.div time t.width) land t.mask
+let index t time = (time / t.width) land t.mask
 
 let before ~time ~seq = function
   | Nil -> true
   | Cons c -> time < c.time || (time = c.time && seq < c.seq)
 
-(* Insert keeping the bucket sorted ascending by (time, seq). *)
+(* Insert keeping the bucket sorted ascending by (time, seq).  The scan
+   is a top-level recursion (not a local closure) so inserting allocates
+   exactly the one cell. *)
+let rec insert_after ~time ~seq cell = function
+  | Nil -> assert false
+  | Cons c ->
+    if before ~time ~seq c.next then begin
+      (match cell with
+      | Cons n -> n.next <- c.next
+      | Nil -> assert false);
+      c.next <- cell
+    end
+    else insert_after ~time ~seq cell c.next
+
 let bucket_insert t b ~time ~seq v =
   let cell = Cons { time; seq; v; next = t.buckets.(b) } in
   if before ~time ~seq t.buckets.(b) then t.buckets.(b) <- cell
-  else begin
-    let rec after = function
-      | Nil -> assert false
-      | Cons c ->
-        if before ~time ~seq c.next then begin
-          (match cell with
-          | Cons n -> n.next <- c.next
-          | Nil -> assert false);
-          c.next <- cell
-        end
-        else after c.next
-    in
-    after t.buckets.(b)
-  end
+  else insert_after ~time ~seq cell t.buckets.(b)
 
 (* Gather every live entry sorted ascending; drops dead ones. *)
 let sorted_live t =
@@ -107,16 +115,15 @@ let rebuild t entries n_buckets =
       let tn, _, _ = List.nth entries (n_live - 1) in
       (* three times the average spacing keeps a handful of events per
          bucket for the usual periodic workloads *)
-      let span = Int64.sub tn t0 in
-      let avg = Int64.div span (Int64.of_int (n_live - 1)) in
-      let w = Int64.mul 3L avg in
-      if w < 1L then 1L else w
+      let avg = (tn - t0) / (n_live - 1) in
+      let w = 3 * avg in
+      if w < 1 then 1 else w
   in
   t.buckets <- Array.make n_buckets Nil;
   t.mask <- n_buckets - 1;
   t.width <- width;
   t.size <- n_live;
-  t.memo <- None;
+  t.memo_bucket <- -1;
   (* insert in descending order so prepending leaves each bucket sorted
      ascending *)
   List.iter
@@ -135,24 +142,21 @@ let maybe_shrink t =
 
 let add t ~time ~seq v =
   (* keep the memo when the new entry cannot beat it *)
-  (match t.memo with
-  | Some (mt, ms, _) when mt < time || (mt = time && ms < seq) -> ()
-  | Some _ | None -> t.memo <- None);
+  (if t.memo_bucket >= 0 then
+     let mt = t.memo_time and ms = t.memo_seq in
+     if not (mt < time || (mt = time && ms < seq)) then t.memo_bucket <- -1);
   bucket_insert t (index t time) ~time ~seq v;
   t.size <- t.size + 1;
   maybe_grow t
 
-let drop_dead_head t b =
-  let rec loop () =
-    match t.buckets.(b) with
-    | Cons c when not (t.live c.v) ->
-      t.buckets.(b) <- c.next;
-      t.size <- t.size - 1;
-      t.dead_dropped <- t.dead_dropped + 1;
-      loop ()
-    | Nil | Cons _ -> ()
-  in
-  loop ()
+let rec drop_dead_head t b =
+  match t.buckets.(b) with
+  | Cons c when not (t.live c.v) ->
+    t.buckets.(b) <- c.next;
+    t.size <- t.size - 1;
+    t.dead_dropped <- t.dead_dropped + 1;
+    drop_dead_head t b
+  | Nil | Cons _ -> ()
 
 let remove_head t b =
   match t.buckets.(b) with
@@ -163,77 +167,101 @@ let remove_head t b =
 
 (* Direct search: minimum over all bucket heads (each bucket is sorted,
    so its head is its minimum).  O(n_buckets); the fallback for laps
-   with no event in window. *)
+   with no event in window.  Stores the result in the memo fields and
+   returns whether one was found. *)
 let direct_min t =
-  let best = ref None in
+  t.memo_bucket <- -1;
   for b = 0 to t.mask do
     drop_dead_head t b;
     match t.buckets.(b) with
     | Nil -> ()
-    | Cons c -> (
-      match !best with
-      | Some (bt, bs, _) when bt < c.time || (bt = c.time && bs < c.seq) -> ()
-      | _ -> best := Some (c.time, c.seq, b))
+    | Cons c ->
+      if
+        t.memo_bucket < 0
+        || c.time < t.memo_time
+        || (c.time = t.memo_time && c.seq < t.memo_seq)
+      then begin
+        t.memo_time <- c.time;
+        t.memo_seq <- c.seq;
+        t.memo_bucket <- b
+      end
   done;
-  !best
+  t.memo_bucket >= 0
 
 (* One lap starting at the floor's bucket (bucket k of the lap owns the
    window ending at [lap_top + k * width]); a head inside its window is
    the global minimum — every other live entry's first admissible
    window lies above it.  Sparse laps fall back to {!direct_min}. *)
-let scan_min t =
-  if t.size = 0 then None
+let rec scan_lap t start lap_top k =
+  if k > t.mask then direct_min t
   else begin
-    let start = index t t.floor in
-    let lap_top =
-      Int64.mul (Int64.add (Int64.div t.floor t.width) 1L) t.width
-    in
-    let found = ref None in
-    let k = ref 0 in
-    while !found = None && !k <= t.mask do
-      let b = (start + !k) land t.mask in
-      drop_dead_head t b;
-      (match t.buckets.(b) with
-      | Cons c
-        when c.time < Int64.add lap_top (Int64.mul (Int64.of_int !k) t.width)
-        ->
-        found := Some (c.time, c.seq, b)
-      | Nil | Cons _ -> ());
-      incr k
-    done;
-    match !found with None -> direct_min t | some -> some
+    let b = (start + k) land t.mask in
+    drop_dead_head t b;
+    match t.buckets.(b) with
+    | Cons c when c.time < lap_top + (k * t.width) ->
+      t.memo_time <- c.time;
+      t.memo_seq <- c.seq;
+      t.memo_bucket <- b;
+      true
+    | Nil | Cons _ -> scan_lap t start lap_top (k + 1)
   end
 
-let find_min t =
-  let fresh =
-    match t.memo with
-    | Some (time, seq, b) -> (
-      (* still valid only if that exact entry is still the bucket head
-         and alive — a cancel or an interleaved mutation voids it *)
-      match t.buckets.(b) with
-      | Cons c when c.time = time && c.seq = seq && t.live c.v -> t.memo
-      | Nil | Cons _ -> scan_min t)
-    | None -> scan_min t
-  in
-  t.memo <- fresh;
-  fresh
+let scan_min t =
+  if t.size = 0 then begin
+    t.memo_bucket <- -1;
+    false
+  end
+  else
+    scan_lap t (index t t.floor) (((t.floor / t.width) + 1) * t.width) 0
 
-let pop t =
-  match find_min t with
-  | None -> None
-  | Some (time, _seq, b) ->
+let find_min t =
+  if t.memo_bucket >= 0 then begin
+    (* still valid only if that exact entry is still the bucket head
+       and alive — a cancel or an interleaved mutation voids it *)
+    match t.buckets.(t.memo_bucket) with
+    | Cons c when c.time = t.memo_time && c.seq = t.memo_seq && t.live c.v ->
+      true
+    | Nil | Cons _ -> scan_min t
+  end
+  else scan_min t
+
+(* [_or] variants return [default] instead of boxing an option — the
+   engine's run loop peeks and pops once per fired event, so the two
+   [Some] cells would otherwise be a measurable share of the kernel's
+   per-event allocation. *)
+let pop_or t ~default =
+  if not (find_min t) then default
+  else begin
+    let b = t.memo_bucket in
     let v = match t.buckets.(b) with Cons c -> c.v | Nil -> assert false in
     remove_head t b;
-    t.floor <- time;
-    t.memo <- None;
+    t.floor <- t.memo_time;
+    t.memo_bucket <- -1;
+    maybe_shrink t;
+    v
+  end
+
+let peek_or t ~default =
+  if not (find_min t) then default
+  else
+    match t.buckets.(t.memo_bucket) with Cons c -> c.v | Nil -> default
+
+let pop t =
+  if not (find_min t) then None
+  else begin
+    let b = t.memo_bucket in
+    let v = match t.buckets.(b) with Cons c -> c.v | Nil -> assert false in
+    remove_head t b;
+    t.floor <- t.memo_time;
+    t.memo_bucket <- -1;
     maybe_shrink t;
     Some v
+  end
 
 let peek t =
-  match find_min t with
-  | None -> None
-  | Some (_, _, b) -> (
-    match t.buckets.(b) with Cons c -> Some c.v | Nil -> None)
+  if not (find_min t) then None
+  else
+    match t.buckets.(t.memo_bucket) with Cons c -> Some c.v | Nil -> None
 
 let iter t f =
   Array.iter

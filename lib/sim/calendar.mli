@@ -1,6 +1,7 @@
 (** Bucketed calendar queue (Brown 1988, adapted).
 
-    Priority queue over [(time, seq)] keys with O(1) expected enqueue
+    Priority queue over [(time, seq)] keys (times are native-int ns,
+    like {!Engine}'s internal clock) with O(1) expected enqueue
     and dequeue for the quasi-periodic event populations a simulation
     produces.  Events hash into time-width buckets; each bucket stays
     sorted, so same-timestamp events dequeue in scheduling (seq) order
@@ -18,12 +19,12 @@
 
 type 'a t
 
-val create : ?n_buckets:int -> ?width:int64 -> live:('a -> bool) -> unit -> 'a t
+val create : ?n_buckets:int -> ?width:int -> live:('a -> bool) -> unit -> 'a t
 (** [n_buckets] rounds up to a power of two (min 64); [width] is the
     initial bucket width in ns.  Both adapt as the queue resizes, so
     they are starting points, not tuning requirements. *)
 
-val add : 'a t -> time:int64 -> seq:int -> 'a -> unit
+val add : 'a t -> time:int -> seq:int -> 'a -> unit
 (** O(bucket occupancy); grows (and re-derives the width from the live
     events' average spacing) when occupancy exceeds twice the bucket
     count. *)
@@ -34,6 +35,13 @@ val pop : 'a t -> 'a option
 
 val peek : 'a t -> 'a option
 (** Like {!pop} without removing. *)
+
+val pop_or : 'a t -> default:'a -> 'a
+(** Like {!pop}, but returns [default] when empty instead of boxing an
+    option — the engine's per-event hot path. *)
+
+val peek_or : 'a t -> default:'a -> 'a
+(** Like {!peek}, but returns [default] when empty. *)
 
 val length : 'a t -> int
 (** Stored entries, dead ones included (matches the heap's size). *)

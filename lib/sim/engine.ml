@@ -1,9 +1,244 @@
 type handle = {
-  time : int64;
-  seq : int;
+  mutable time : int;
+      (** native-int ns — no [int64] box per scheduled event; mutable
+          (with [seq]) only for {!rearm_ns}'s in-place re-keying *)
+  mutable seq : int;
   callback : unit -> unit;
   mutable live : bool;
+  mutable qnext : handle;
+      (** intrusive calendar-bucket link ([== dummy] terminates): the
+          handle doubles as its own queue cell, so the calendar backend
+          enqueues without allocating *)
 }
+
+let rec dummy =
+  { time = 0; seq = 0; callback = (fun () -> ()); live = false; qnext = dummy }
+
+(* Intrusive twin of {!Calendar} (same Brown-1988 bucketed algorithm,
+   same lazy deletion and memoized minimum — keep the two in sync): the
+   handle itself is the bucket cell via [qnext], so steady-state
+   scheduling allocates only the handle the caller already pays for.
+   [dummy] doubles as the nil link/result sentinel; it is never
+   scheduled, so physical equality is unambiguous. *)
+module Iq = struct
+  type cal = {
+    mutable buckets : handle array;
+    mutable mask : int;
+    mutable width : int;
+    mutable size : int;
+    mutable floor : int;
+    mutable dead_dropped : int;
+    mutable memo_time : int;
+    mutable memo_seq : int;
+    mutable memo_bucket : int;
+  }
+
+  let min_buckets = 64
+
+  let create () =
+    let n = 256 in
+    {
+      buckets = Array.make n dummy;
+      mask = n - 1;
+      width = 1_024;
+      size = 0;
+      floor = 0;
+      dead_dropped = 0;
+      memo_time = 0;
+      memo_seq = 0;
+      memo_bucket = -1;
+    }
+
+  let length t = t.size
+  let dead_dropped t = t.dead_dropped
+  let index t time = (time / t.width) land t.mask
+
+  let before ~time ~seq h =
+    h == dummy || time < h.time || (time = h.time && seq < h.seq)
+
+  let rec insert_after cell h =
+    if before ~time:cell.time ~seq:cell.seq h.qnext then begin
+      cell.qnext <- h.qnext;
+      h.qnext <- cell
+    end
+    else insert_after cell h.qnext
+
+  let bucket_insert t b cell =
+    if before ~time:cell.time ~seq:cell.seq t.buckets.(b) then begin
+      cell.qnext <- t.buckets.(b);
+      t.buckets.(b) <- cell
+    end
+    else insert_after cell t.buckets.(b)
+
+  let sorted_live t =
+    let acc = ref [] in
+    Array.iter
+      (fun head ->
+        let rec walk h =
+          if h != dummy then begin
+            if h.live then acc := h :: !acc
+            else t.dead_dropped <- t.dead_dropped + 1;
+            walk h.qnext
+          end
+        in
+        walk head)
+      t.buckets;
+    List.sort
+      (fun a b ->
+        if a.time = b.time then compare a.seq b.seq else compare a.time b.time)
+      !acc
+
+  let rebuild t entries n_buckets =
+    let n_live = List.length entries in
+    let width =
+      match entries with
+      | [] | [ _ ] -> t.width
+      | h0 :: _ ->
+        let hn = List.nth entries (n_live - 1) in
+        let avg = (hn.time - h0.time) / (n_live - 1) in
+        let w = 3 * avg in
+        if w < 1 then 1 else w
+    in
+    t.buckets <- Array.make n_buckets dummy;
+    t.mask <- n_buckets - 1;
+    t.width <- width;
+    t.size <- n_live;
+    t.memo_bucket <- -1;
+    List.iter
+      (fun h ->
+        let b = index t h.time in
+        h.qnext <- t.buckets.(b);
+        t.buckets.(b) <- h)
+      (List.rev entries)
+
+  let maybe_grow t =
+    let n = t.mask + 1 in
+    if t.size > 2 * n then rebuild t (sorted_live t) (2 * n)
+
+  let maybe_shrink t =
+    let n = t.mask + 1 in
+    if n > min_buckets && t.size < n / 8 then rebuild t (sorted_live t) (n / 2)
+
+  let add t h =
+    (if t.memo_bucket >= 0 then
+       let mt = t.memo_time and ms = t.memo_seq in
+       if not (mt < h.time || (mt = h.time && ms < h.seq)) then
+         t.memo_bucket <- -1);
+    bucket_insert t (index t h.time) h;
+    t.size <- t.size + 1;
+    maybe_grow t
+
+  let rec drop_dead_head t b =
+    let h = t.buckets.(b) in
+    if h != dummy && not h.live then begin
+      t.buckets.(b) <- h.qnext;
+      t.size <- t.size - 1;
+      t.dead_dropped <- t.dead_dropped + 1;
+      drop_dead_head t b
+    end
+
+  let remove_head t b =
+    t.buckets.(b) <- t.buckets.(b).qnext;
+    t.size <- t.size - 1
+
+  let direct_min t =
+    t.memo_bucket <- -1;
+    for b = 0 to t.mask do
+      drop_dead_head t b;
+      let h = t.buckets.(b) in
+      if
+        h != dummy
+        && (t.memo_bucket < 0
+           || h.time < t.memo_time
+           || (h.time = t.memo_time && h.seq < t.memo_seq))
+      then begin
+        t.memo_time <- h.time;
+        t.memo_seq <- h.seq;
+        t.memo_bucket <- b
+      end
+    done;
+    t.memo_bucket >= 0
+
+  let rec scan_lap t start lap_top k =
+    if k > t.mask then direct_min t
+    else begin
+      let b = (start + k) land t.mask in
+      drop_dead_head t b;
+      let h = t.buckets.(b) in
+      if h != dummy && h.time < lap_top + (k * t.width) then begin
+        t.memo_time <- h.time;
+        t.memo_seq <- h.seq;
+        t.memo_bucket <- b;
+        true
+      end
+      else scan_lap t start lap_top (k + 1)
+    end
+
+  let scan_min t =
+    if t.size = 0 then begin
+      t.memo_bucket <- -1;
+      false
+    end
+    else scan_lap t (index t t.floor) (((t.floor / t.width) + 1) * t.width) 0
+
+  let find_min t =
+    if t.memo_bucket >= 0 then begin
+      let h = t.buckets.(t.memo_bucket) in
+      if h != dummy && h.time = t.memo_time && h.seq = t.memo_seq && h.live
+      then true
+      else scan_min t
+    end
+    else scan_min t
+
+  let pop_or_dummy t =
+    if not (find_min t) then dummy
+    else begin
+      let b = t.memo_bucket in
+      let h = t.buckets.(b) in
+      remove_head t b;
+      t.floor <- t.memo_time;
+      t.memo_bucket <- -1;
+      maybe_shrink t;
+      h
+    end
+
+  let peek_or_dummy t =
+    if not (find_min t) then dummy else t.buckets.(t.memo_bucket)
+
+  (* Unlink [h] if present (it may already have been lazily dropped).
+     [index] uses the current geometry, which is also where any rebuild
+     re-placed the entry, so the bucket is always the right one. *)
+  let remove t h =
+    let b = index t h.time in
+    let head = t.buckets.(b) in
+    if head == h then begin
+      t.buckets.(b) <- h.qnext;
+      t.size <- t.size - 1
+    end
+    else if head != dummy then begin
+      let rec unlink prev =
+        let cur = prev.qnext in
+        if cur == h then begin
+          prev.qnext <- cur.qnext;
+          t.size <- t.size - 1
+        end
+        else if cur != dummy then unlink cur
+      in
+      unlink head
+    end
+
+  let iter t f =
+    Array.iter
+      (fun head ->
+        let rec walk h =
+          if h != dummy then begin
+            f h;
+            walk h.qnext
+          end
+        in
+        walk head)
+      t.buckets
+end
 
 type backend = [ `Binary_heap | `Calendar ]
 
@@ -11,22 +246,27 @@ type backend = [ `Binary_heap | `Calendar ]
 
    - [Heap]: a binary min-heap; cancelled entries are skipped on pop,
      which keeps cancel O(1).
-   - [Cal]: a bucketed calendar queue ({!Calendar}), O(1) expected
+   - [Cal]: a bucketed calendar queue ({!Iq}, the intrusive twin of
+     {!Calendar}), O(1) expected
      enqueue/dequeue for the quasi-periodic populations simulations
      produce; the compiled engine's default.
 
    Both dequeue in the identical (time, seq) total order, so a
    simulation's trace does not depend on the backend (the differential
-   suite checks this). *)
+   suite checks this).
+
+   The clock and every queue key are native ints: the public [int64]
+   entry points convert once at the boundary, and the [_ns] variants
+   let the runtime's hot path skip the boxing altogether. *)
 type queue =
   | Heap of heap
-  | Cal of handle Calendar.t
+  | Cal of Iq.cal
 
 and heap = { mutable arr : handle array; mutable size : int }
 
 type t = {
   queue : queue;
-  mutable clock : int64;
+  mutable clock : int;
   mutable next_seq : int;
   mutable cal_dead_seen : int;
       (** calendar drop count already forwarded to [m_dead_dropped] *)
@@ -40,9 +280,6 @@ type t = {
   m_clock_advance : Obs.Metrics.histogram;
 }
 
-let dummy =
-  { time = 0L; seq = 0; callback = (fun () -> ()); live = false }
-
 let create ?(backend = `Binary_heap) ?obs () =
   let scope = match obs with Some s -> s | None -> Obs.Scope.null () in
   let metrics = Obs.Scope.metrics scope in
@@ -50,8 +287,8 @@ let create ?(backend = `Binary_heap) ?obs () =
     queue =
       (match backend with
       | `Binary_heap -> Heap { arr = Array.make 64 dummy; size = 0 }
-      | `Calendar -> Cal (Calendar.create ~live:(fun h -> h.live) ()));
-    clock = 0L;
+      | `Calendar -> Cal (Iq.create ()));
+    clock = 0;
     next_seq = 0;
     cal_dead_seen = 0;
     obs_on = Obs.Scope.live scope;
@@ -62,7 +299,8 @@ let create ?(backend = `Binary_heap) ?obs () =
     m_clock_advance = Obs.Metrics.histogram metrics "sim.engine.clock_advance_ns";
   }
 
-let now t = t.clock
+let now_ns t = t.clock
+let now t = Int64.of_int t.clock
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -118,7 +356,7 @@ let rec drop_dead t h =
 (* Forward the calendar's internal drop count to the kernel metric. *)
 let sync_cal_dead t cal =
   if t.obs_on then begin
-    let total = Calendar.dead_dropped cal in
+    let total = Iq.dead_dropped cal in
     if total > t.cal_dead_seen then begin
       Obs.Metrics.inc ~by:(total - t.cal_dead_seen) t.m_dead_dropped;
       t.cal_dead_seen <- total
@@ -128,88 +366,129 @@ let sync_cal_dead t cal =
 let push t handle =
   (match t.queue with
   | Heap h -> heap_push h handle
-  | Cal cal -> Calendar.add cal ~time:handle.time ~seq:handle.seq handle);
+  | Cal cal -> Iq.add cal handle);
   if t.obs_on then
     Obs.Metrics.set_peak t.m_heap_peak
-      (match t.queue with Heap h -> h.size | Cal cal -> Calendar.length cal)
+      (match t.queue with Heap h -> h.size | Cal cal -> Iq.length cal)
 
-let pop t =
+(* [dummy] doubles as the empty sentinel so the run loop never boxes an
+   option per fired event; [dummy] is never scheduled, so a physical
+   equality check is unambiguous. *)
+let pop_or_dummy t =
   match t.queue with
   | Heap h ->
     drop_dead t h;
-    if h.size = 0 then None
+    if h.size = 0 then dummy
     else begin
       let top = h.arr.(0) in
       remove_root h;
-      Some top
+      top
     end
   | Cal cal ->
-    let popped = Calendar.pop cal in
+    let popped = Iq.pop_or_dummy cal in
     sync_cal_dead t cal;
     popped
 
-let peek t =
+let peek_or_dummy t =
   match t.queue with
   | Heap h ->
     drop_dead t h;
-    if h.size = 0 then None else Some h.arr.(0)
+    if h.size = 0 then dummy else h.arr.(0)
   | Cal cal ->
-    let head = Calendar.peek cal in
+    let head = Iq.peek_or_dummy cal in
     sync_cal_dead t cal;
     head
 
 let queue_size t =
-  match t.queue with Heap h -> h.size | Cal cal -> Calendar.length cal
+  match t.queue with Heap h -> h.size | Cal cal -> Iq.length cal
 
-let schedule_at t ~time callback =
+let schedule_at_ns t ~time callback =
   if time < t.clock then
     invalid_arg "Sim.Engine.schedule_at: time is in the past";
-  let handle = { time; seq = t.next_seq; callback; live = true } in
+  let handle = { time; seq = t.next_seq; callback; live = true; qnext = dummy } in
   t.next_seq <- t.next_seq + 1;
   push t handle;
   if t.obs_on then Obs.Metrics.inc t.m_scheduled;
   handle
 
+let schedule_ns t ~delay callback =
+  if delay < 0 then invalid_arg "Sim.Engine.schedule: negative delay";
+  schedule_at_ns t ~time:(t.clock + delay) callback
+
+let schedule_at t ~time callback = schedule_at_ns t ~time:(Int64.to_int time) callback
+
 let schedule t ~delay callback =
   if delay < 0L then invalid_arg "Sim.Engine.schedule: negative delay";
-  schedule_at t ~time:(Int64.add t.clock delay) callback
+  schedule_ns t ~delay:(Int64.to_int delay) callback
 
 let cancel handle =
   if handle.live then handle.live <- false
 
+(* Semantically [cancel handle; schedule_ns t ~delay callback] — the
+   re-arm pattern of a state machine's After timer.  On the calendar
+   backend, when [handle] is the caller's own previous arming of the
+   same [callback], the handle is unlinked and re-keyed in place: no
+   allocation and no dead entry left to churn through bucket chains.
+   The fresh seq is drawn exactly where the eager path would draw it,
+   so every (time, seq) tie across backends orders identically. *)
+let rearm_ns t handle ~delay callback =
+  if delay < 0 then invalid_arg "Sim.Engine.schedule: negative delay";
+  match t.queue with
+  | Cal cal when handle != dummy && handle.callback == callback ->
+    Iq.remove cal handle;
+    handle.time <- t.clock + delay;
+    handle.seq <- t.next_seq;
+    t.next_seq <- t.next_seq + 1;
+    handle.live <- true;
+    Iq.add cal handle;
+    if t.obs_on then begin
+      Obs.Metrics.inc t.m_scheduled;
+      Obs.Metrics.set_peak t.m_heap_peak (Iq.length cal)
+    end;
+    handle
+  | Cal _ | Heap _ ->
+    cancel handle;
+    schedule_ns t ~delay callback
+
 let cancelled handle = not handle.live
 
+let never = dummy
+
+let fire t handle =
+  (if t.obs_on then begin
+     let advance = handle.time - t.clock in
+     if advance > 0 then Obs.Metrics.observe t.m_clock_advance advance;
+     Obs.Metrics.inc t.m_fired
+   end);
+  t.clock <- handle.time;
+  handle.live <- false;
+  handle.callback ()
+
 let step t =
-  match pop t with
-  | None -> false
-  | Some handle ->
-    (if t.obs_on then begin
-       let advance = Int64.sub handle.time t.clock in
-       if advance > 0L then
-         Obs.Metrics.observe t.m_clock_advance (Int64.to_int advance);
-       Obs.Metrics.inc t.m_fired
-     end);
-    t.clock <- handle.time;
-    handle.live <- false;
-    handle.callback ();
+  let handle = pop_or_dummy t in
+  if handle == dummy then false
+  else begin
+    fire t handle;
     true
+  end
 
 let run ?until t =
-  let horizon = until in
+  (* [max_int] as the no-horizon limit keeps the loop option-free; no
+     event time can reach it (the clock is 63-bit ns). *)
+  let limit = match until with None -> max_int | Some l -> Int64.to_int l in
   let rec loop fired =
-    match peek t with
-    | None -> fired
-    | Some head -> (
-      match horizon with
-      | Some limit when head.time > limit ->
-        t.clock <- max t.clock limit;
-        fired
-      | Some _ | None -> if step t then loop (fired + 1) else fired)
+    let head = peek_or_dummy t in
+    if head == dummy then fired
+    else if head.time > limit then begin
+      t.clock <- max t.clock limit;
+      fired
+    end
+    else if step t then loop (fired + 1)
+    else fired
   in
   let fired = loop 0 in
-  (match horizon with
-  | Some limit when t.clock < limit && queue_size t = 0 -> t.clock <- limit
-  | Some _ | None -> ());
+  if limit < max_int && t.clock < limit && queue_size t = 0 then
+    t.clock <- limit;
   fired
 
 let pending t =
@@ -219,5 +498,5 @@ let pending t =
     for i = 0 to h.size - 1 do
       if h.arr.(i).live then incr count
     done
-  | Cal cal -> Calendar.iter cal (fun h -> if h.live then incr count));
+  | Cal cal -> Iq.iter cal (fun h -> if h.live then incr count));
   !count

@@ -25,6 +25,10 @@ val create : ?backend:backend -> ?obs:Obs.Scope.t -> unit -> t
 
 val now : t -> int64
 
+val now_ns : t -> int
+(** The clock as a native int — the clock is stored unboxed, so this is
+    the allocation-free read the hot path wants ({!now} boxes). *)
+
 val schedule : t -> delay:int64 -> (unit -> unit) -> handle
 (** Schedule a callback [delay] ns from now.  Raises [Invalid_argument]
     on negative delays. *)
@@ -32,10 +36,27 @@ val schedule : t -> delay:int64 -> (unit -> unit) -> handle
 val schedule_at : t -> time:int64 -> (unit -> unit) -> handle
 (** Absolute-time variant; the time must not be in the past. *)
 
+val schedule_ns : t -> delay:int -> (unit -> unit) -> handle
+val schedule_at_ns : t -> time:int -> (unit -> unit) -> handle
+(** Native-int variants of {!schedule} / {!schedule_at}: same
+    semantics, no [int64] boxing on the way in. *)
+
 val cancel : handle -> unit
 (** Idempotent; cancelling an already-fired event is a no-op. *)
 
 val cancelled : handle -> bool
+
+val rearm_ns : t -> handle -> delay:int -> (unit -> unit) -> handle
+(** [rearm_ns t h ~delay f] is semantically [cancel h; schedule_ns t
+    ~delay f], returning the armed handle.  When [h] is a previous
+    arming of the same (physically equal) callback, backends may re-key
+    [h] in place instead of allocating — the repeated re-arm pattern of
+    an EFSM After timer costs nothing in steady state.  Ordering is
+    identical to the eager cancel-and-schedule path. *)
+
+val never : handle
+(** A permanently-dead handle ([cancelled never] is [true]); an
+    allocation-free initial value for mutable handle slots. *)
 
 val step : t -> bool
 (** Fire the earliest pending event.  Returns [false] when the queue is

@@ -1,21 +1,40 @@
 type policy = Fifo | Priority_preemptive
 
+(* Times and cycle counts are native ints end to end (the [int64]
+   entry points convert at the boundary), so a submit/dispatch/complete
+   round allocates no number boxes. *)
 type job = {
-  task : string;
-  priority : int;
-  flow : int;  (** causal flow id the job belongs to; -1 = none *)
-  mutable remaining_cycles : int64;
-  seq : int;  (** arrival order; ties broken FIFO *)
-  mutable ready_since : int64;  (** last time the job entered the ready queue *)
-  on_complete : unit -> unit;
+  (* all fields mutable: completed job records go on a per-scheduler
+     free list and are refilled in place by the next submit, so the
+     steady state allocates no job records at all *)
+  mutable task : string;
+  mutable priority : int;
+  mutable flow : int;  (** causal flow id the job belongs to; -1 = none *)
+  mutable remaining_cycles : int;
+  mutable seq : int;  (** arrival order; ties broken FIFO *)
+  mutable ready_since : int;  (** last time the job entered the ready queue *)
+  mutable on_complete : unit -> unit;
+  mutable next_free : job;  (** free-list link; [== no_job] = end *)
 }
 
-type running = {
-  job : job;
-  started_at : int64;
-  completion : Engine.handle;
-  scale : float;  (** slowdown factor in force when dispatched *)
-}
+(* Sentinel for "nothing running": the running-job state lives in flat
+   mutable fields (no [running option] record per dispatch), and the
+   completion event is one shared closure per scheduler rather than one
+   per dispatch.  That is sound because [Engine.cancel] always precedes
+   any change of the running job (preemption, crash), so a completion
+   that actually fires always refers to the job currently in
+   [t.running].  [seq = -1] can never collide with a real job. *)
+let rec no_job =
+  {
+    task = "";
+    priority = min_int;
+    flow = -1;
+    remaining_cycles = 0;
+    seq = -1;
+    ready_since = 0;
+    on_complete = ignore;
+    next_free = no_job;
+  }
 
 type t = {
   engine : Engine.t;
@@ -24,13 +43,23 @@ type t = {
   frequency_mhz : int;
   perf_factor : float;
   mutable queue : job list;
-  mutable running : running option;
+  mutable running : job;  (** [== no_job] when idle *)
+  mutable run_started : int;
+  mutable run_completion : Engine.handle;
+  mutable run_scale : float;
+      (** slowdown factor in force when the running job was dispatched *)
+  mutable completion_fn : unit -> unit;  (** shared; completes [running] *)
+  mutable free : job;  (** free list of recycled job records *)
   mutable crashed : bool;
   mutable speed_scale : float;
       (** > 1.0 stretches job durations (transient slowdown fault) *)
-  mutable busy_ns : int64;
-  mutable executed_cycles : int64;
+  mutable busy_ns : int;
+  mutable executed_cycles : int;
   mutable next_seq : int;
+  mutable queue_len : int;
+  mutable queue_high_water : int;
+      (** peak ready-queue length, maintained unconditionally so reports
+          can read it without a live metrics scope *)
   tracer : Obs.Tracer.t;
   track : string;  (** tracing lane, "rtos/<name>" *)
   obs_on : bool;
@@ -41,50 +70,20 @@ type t = {
   m_sched_latency : Obs.Metrics.histogram;
 }
 
-let create ~engine ~name ~policy ~frequency_mhz ?(perf_factor = 1.0) ?obs () =
-  if frequency_mhz <= 0 then invalid_arg "Sim.Rtos.create: frequency";
-  if perf_factor <= 0.0 then invalid_arg "Sim.Rtos.create: perf_factor";
-  let obs = match obs with Some s -> s | None -> Obs.Scope.null () in
-  let metrics = Obs.Scope.metrics obs in
-  let metric suffix = "sim.rtos." ^ name ^ "." ^ suffix in
-  {
-    engine;
-    name;
-    policy;
-    frequency_mhz;
-    perf_factor;
-    queue = [];
-    running = None;
-    crashed = false;
-    speed_scale = 1.0;
-    busy_ns = 0L;
-    executed_cycles = 0L;
-    next_seq = 0;
-    tracer = Obs.Scope.tracer obs;
-    track = "rtos/" ^ name;
-    obs_on = Obs.Scope.live obs;
-    trace_on = Obs.Tracer.enabled (Obs.Scope.tracer obs);
-    m_jobs = Obs.Metrics.counter metrics (metric "jobs");
-    m_preemptions = Obs.Metrics.counter metrics (metric "preemptions");
-    m_queue_depth = Obs.Metrics.gauge metrics (metric "queue_depth");
-    m_sched_latency = Obs.Metrics.histogram metrics (metric "sched_latency_ns");
-  }
-
 let name t = t.name
 let policy t = t.policy
 
-let cycles_to_ns t cycles =
+let cycles_to_ns_i t cycles =
   (* ns = cycles * 1000 / MHz, rounded up so work never takes zero time. *)
-  let numerator = Int64.mul cycles 1000L in
-  let mhz = Int64.of_int t.frequency_mhz in
-  Int64.div (Int64.add numerator (Int64.sub mhz 1L)) mhz
+  ((cycles * 1000) + t.frequency_mhz - 1) / t.frequency_mhz
 
-let ns_to_cycles t ns =
-  Int64.div (Int64.mul ns (Int64.of_int t.frequency_mhz)) 1000L
+let cycles_to_ns t cycles = Int64.of_int (cycles_to_ns_i t (Int64.to_int cycles))
+
+let ns_to_cycles t ns = ns * t.frequency_mhz / 1000
 
 let scale_cycles t cycles =
-  let scaled = Int64.of_float (Int64.to_float cycles /. t.perf_factor) in
-  if scaled < 1L then 1L else scaled
+  let scaled = int_of_float (float_of_int cycles /. t.perf_factor) in
+  if scaled < 1 then 1 else scaled
 
 let better t a b =
   match t.policy with
@@ -92,150 +91,239 @@ let better t a b =
   | Priority_preemptive ->
     a.priority > b.priority || (a.priority = b.priority && a.seq < b.seq)
 
-let pop_best t =
-  match t.queue with
-  | [] -> None
-  | first :: rest ->
-    let best = List.fold_left (fun acc j -> if better t j acc then j else acc) first rest in
-    t.queue <- List.filter (fun j -> j != best) t.queue;
-    Some best
+(* [better] is a strict total order (seq is unique), so the minimum is
+   independent of list order — the queue is a prepend-only bag.  Both
+   helpers are plain recursions, not fold/filter, so a scan allocates
+   no closures and removal copies only the prefix before the hit. *)
+let rec find_best t best = function
+  | [] -> best
+  | j :: rest -> find_best t (if better t j best then j else best) rest
+
+let rec remove_job best = function
+  | [] -> []
+  | j :: rest -> if j == best then rest else j :: remove_job best rest
 
 (* A finished run slice (completion or preemption) becomes one span on
-   the scheduler's trace lane.  Callers guard on [t.trace_on]. *)
-let slice_span t (r : running) ~preempted =
-  let now = Engine.now t.engine in
+   the scheduler's trace lane.  Callers guard on [t.trace_on] and call
+   before clearing [t.running]. *)
+let slice_span t ~preempted =
+  let job = t.running in
+  let now = Engine.now_ns t.engine in
   let args =
     [
-      ("priority", Obs.Span.Int r.job.priority);
+      ("priority", Obs.Span.Int job.priority);
       ("preempted", Obs.Span.Bool preempted);
     ]
   in
-  Obs.Tracer.complete t.tracer ~ts_ns:r.started_at
-    ~dur_ns:(Int64.sub now r.started_at) ~cat:"rtos" ~track:t.track
+  Obs.Tracer.complete t.tracer ~ts_ns:(Int64.of_int t.run_started)
+    ~dur_ns:(Int64.of_int (now - t.run_started)) ~cat:"rtos" ~track:t.track
     ~args:
-      (if r.job.flow >= 0 then ("flow", Obs.Span.Int r.job.flow) :: args
+      (if job.flow >= 0 then ("flow", Obs.Span.Int job.flow) :: args
        else args)
-    r.job.task
+    job.task
+
+(* Recycle a finished job record; drop the closure and task references
+   so the free list pins nothing. *)
+let release t job =
+  job.on_complete <- ignore;
+  job.task <- "";
+  job.next_free <- t.free;
+  t.free <- job
 
 let rec dispatch t =
-  match t.running with
-  | Some _ -> ()
-  | None when t.crashed -> ()
-  | None -> (
-    match pop_best t with
-    | None -> ()
-    | Some job ->
-      let scale = t.speed_scale in
-      let duration =
-        let d = cycles_to_ns t job.remaining_cycles in
-        if scale = 1.0 then d
-        else
-          let stretched = Int64.of_float (ceil (Int64.to_float d *. scale)) in
-          max d stretched
-      in
-      let started_at = Engine.now t.engine in
-      (if t.obs_on then begin
-         Obs.Metrics.set t.m_queue_depth (List.length t.queue);
-         Obs.Metrics.observe t.m_sched_latency
-           (Int64.to_int (Int64.sub started_at job.ready_since))
-       end);
-      let completion =
-        Engine.schedule t.engine ~delay:duration (fun () -> complete t job)
-      in
-      t.running <- Some { job; started_at; completion; scale })
-
-and complete t job =
-  (match t.running with
-  | Some r when r.job == job ->
-    if t.trace_on then slice_span t r ~preempted:false;
-    t.busy_ns <- Int64.add t.busy_ns (Int64.sub (Engine.now t.engine) r.started_at);
-    t.executed_cycles <- Int64.add t.executed_cycles job.remaining_cycles;
-    job.remaining_cycles <- 0L;
-    t.running <- None
-  | Some _ | None -> ());
-  job.on_complete ();
-  dispatch t
-
-let preempt_if_needed t =
-  match t.policy, t.running with
-  | Fifo, _ | _, None -> ()
-  | Priority_preemptive, Some r -> (
+  if t.running == no_job && not t.crashed then
     match t.queue with
     | [] -> ()
-    | queue ->
-      let challenger =
-        List.fold_left (fun acc j -> if better t j acc then j else acc)
-          (List.hd queue) (List.tl queue)
-      in
-      if challenger.priority > r.job.priority then begin
-        (* Account for the cycles the victim already executed. *)
-        let elapsed_ns = Int64.sub (Engine.now t.engine) r.started_at in
-        let nominal_ns =
-          if r.scale = 1.0 then elapsed_ns
-          else Int64.of_float (Int64.to_float elapsed_ns /. r.scale)
-        in
-        let done_cycles = min r.job.remaining_cycles (ns_to_cycles t nominal_ns) in
-        Engine.cancel r.completion;
-        if t.trace_on then slice_span t r ~preempted:true;
-        if t.obs_on then Obs.Metrics.inc t.m_preemptions;
-        t.busy_ns <- Int64.add t.busy_ns elapsed_ns;
-        t.executed_cycles <- Int64.add t.executed_cycles done_cycles;
-        r.job.remaining_cycles <- Int64.sub r.job.remaining_cycles done_cycles;
-        t.running <- None;
-        if r.job.remaining_cycles > 0L then begin
-          r.job.ready_since <- Engine.now t.engine;
-          t.queue <- r.job :: t.queue
-        end
-        else
-          (* Fully executed during its slice: finish it now. *)
-          r.job.on_complete ()
-      end)
+    | first :: rest ->
+      let job = find_best t first rest in
+      t.queue <- (if job == first then rest else remove_job job t.queue);
+      t.queue_len <- t.queue_len - 1;
+      run_job t job
 
-let submit t ~task ~priority ?(flow = -1) ~cycles k =
-  if cycles < 0L then invalid_arg "Sim.Rtos.submit: negative cycles";
+and run_job t job =
+  let scale = t.speed_scale in
+  let duration =
+    let d = cycles_to_ns_i t job.remaining_cycles in
+    if scale = 1.0 then d
+    else
+      let stretched = int_of_float (ceil (float_of_int d *. scale)) in
+      max d stretched
+  in
+  let started_at = Engine.now_ns t.engine in
+  (if t.obs_on then begin
+     Obs.Metrics.set t.m_queue_depth t.queue_len;
+     Obs.Metrics.observe t.m_sched_latency (started_at - job.ready_since)
+   end);
+  t.running <- job;
+  t.run_started <- started_at;
+  t.run_scale <- scale;
+  t.run_completion <- Engine.schedule_ns t.engine ~delay:duration t.completion_fn
+
+and complete_running t =
+  let job = t.running in
+  if job != no_job then begin
+    if t.trace_on then slice_span t ~preempted:false;
+    t.busy_ns <- t.busy_ns + (Engine.now_ns t.engine - t.run_started);
+    t.executed_cycles <- t.executed_cycles + job.remaining_cycles;
+    job.remaining_cycles <- 0;
+    t.running <- no_job;
+    let k = job.on_complete in
+    release t job;
+    k ();
+    dispatch t
+  end
+
+let create ~engine ~name ~policy ~frequency_mhz ?(perf_factor = 1.0) ?obs () =
+  if frequency_mhz <= 0 then invalid_arg "Sim.Rtos.create: frequency";
+  if perf_factor <= 0.0 then invalid_arg "Sim.Rtos.create: perf_factor";
+  let obs = match obs with Some s -> s | None -> Obs.Scope.null () in
+  let metrics = Obs.Scope.metrics obs in
+  let metric suffix = "sim.rtos." ^ name ^ "." ^ suffix in
+  let t =
+    {
+      engine;
+      name;
+      policy;
+      frequency_mhz;
+      perf_factor;
+      queue = [];
+      running = no_job;
+      free = no_job;
+      run_started = 0;
+      run_completion = Engine.never;
+      run_scale = 1.0;
+      completion_fn = ignore;
+      crashed = false;
+      speed_scale = 1.0;
+      busy_ns = 0;
+      executed_cycles = 0;
+      next_seq = 0;
+      queue_len = 0;
+      queue_high_water = 0;
+      tracer = Obs.Scope.tracer obs;
+      track = "rtos/" ^ name;
+      obs_on = Obs.Scope.live obs;
+      trace_on = Obs.Tracer.enabled (Obs.Scope.tracer obs);
+      m_jobs = Obs.Metrics.counter metrics (metric "jobs");
+      m_preemptions = Obs.Metrics.counter metrics (metric "preemptions");
+      m_queue_depth = Obs.Metrics.gauge metrics (metric "queue_depth");
+      m_sched_latency = Obs.Metrics.histogram metrics (metric "sched_latency_ns");
+    }
+  in
+  t.completion_fn <- (fun () -> complete_running t);
+  t
+
+(* Charge the partial slice of the running job and stop it; shared by
+   preemption and crash.  Leaves [t.running] cleared with the victim's
+   [remaining_cycles] updated; the completion event is cancelled. *)
+let stop_running_slice t =
+  let victim = t.running in
+  let elapsed_ns = Engine.now_ns t.engine - t.run_started in
+  let nominal_ns =
+    if t.run_scale = 1.0 then elapsed_ns
+    else int_of_float (float_of_int elapsed_ns /. t.run_scale)
+  in
+  let done_cycles = min victim.remaining_cycles (ns_to_cycles t nominal_ns) in
+  Engine.cancel t.run_completion;
+  if t.trace_on then slice_span t ~preempted:true;
+  t.busy_ns <- t.busy_ns + elapsed_ns;
+  t.executed_cycles <- t.executed_cycles + done_cycles;
+  victim.remaining_cycles <- victim.remaining_cycles - done_cycles;
+  t.running <- no_job
+
+let preempt_if_needed t =
+  match t.policy with
+  | Fifo -> ()
+  | Priority_preemptive ->
+    if t.running != no_job then (
+      match t.queue with
+      | [] -> ()
+      | first :: rest ->
+        let challenger = find_best t first rest in
+        if challenger.priority > t.running.priority then begin
+          let victim = t.running in
+          stop_running_slice t;
+          if t.obs_on then Obs.Metrics.inc t.m_preemptions;
+          if victim.remaining_cycles > 0 then begin
+            victim.ready_since <- Engine.now_ns t.engine;
+            t.queue <- victim :: t.queue;
+            t.queue_len <- t.queue_len + 1;
+            if t.queue_len > t.queue_high_water then
+              t.queue_high_water <- t.queue_len
+          end
+          else begin
+            (* Fully executed during its slice: finish it now. *)
+            let k = victim.on_complete in
+            release t victim;
+            k ()
+          end
+        end)
+
+let submit_i t ~task ~priority ?(flow = -1) ~cycles k =
+  if cycles < 0 then invalid_arg "Sim.Rtos.submit: negative cycles";
   if t.crashed then ()  (* fail-stop: work submitted to a dead PE vanishes *)
   else begin
   let job =
-    {
-      task;
-      priority;
-      flow;
-      remaining_cycles = scale_cycles t (max 1L cycles);
-      seq = t.next_seq;
-      ready_since = Engine.now t.engine;
-      on_complete = k;
-    }
+    let f = t.free in
+    if f != no_job then begin
+      t.free <- f.next_free;
+      f.next_free <- no_job;
+      f.task <- task;
+      f.priority <- priority;
+      f.flow <- flow;
+      f.remaining_cycles <- scale_cycles t (max 1 cycles);
+      f.seq <- t.next_seq;
+      f.ready_since <- Engine.now_ns t.engine;
+      f.on_complete <- k;
+      f
+    end
+    else
+      {
+        task;
+        priority;
+        flow;
+        remaining_cycles = scale_cycles t (max 1 cycles);
+        seq = t.next_seq;
+        ready_since = Engine.now_ns t.engine;
+        on_complete = k;
+        next_free = no_job;
+      }
   in
   t.next_seq <- t.next_seq + 1;
-  t.queue <- t.queue @ [ job ];
-  (if t.obs_on then begin
-     Obs.Metrics.inc t.m_jobs;
-     Obs.Metrics.set t.m_queue_depth (List.length t.queue)
-   end);
-  preempt_if_needed t;
-  dispatch t
+  match t.queue with
+  | [] when t.running == no_job && not t.obs_on ->
+    (* Uncontended submit on an idle scheduler: the job would be
+       enqueued and immediately popped by [dispatch] — run it directly.
+       The high-water mark still counts the phantom depth-1 moment so
+       reports are identical to the queued path.  (With a live metrics
+       scope the queued path runs instead, keeping gauge streams
+       exact.) *)
+    if t.queue_high_water < 1 then t.queue_high_water <- 1;
+    run_job t job
+  | _ ->
+    (* prepend, not append: the best-job scan selects by (priority, seq),
+       never by position, and O(1) beats rebuilding the list per submit *)
+    t.queue <- job :: t.queue;
+    t.queue_len <- t.queue_len + 1;
+    if t.queue_len > t.queue_high_water then t.queue_high_water <- t.queue_len;
+    (if t.obs_on then begin
+       Obs.Metrics.inc t.m_jobs;
+       Obs.Metrics.set t.m_queue_depth t.queue_len
+     end);
+    preempt_if_needed t;
+    dispatch t
   end
+
+let submit t ~task ~priority ?flow ~cycles k =
+  if cycles < 0L then invalid_arg "Sim.Rtos.submit: negative cycles";
+  submit_i t ~task ~priority ?flow ~cycles:(Int64.to_int cycles) k
 
 let crash t =
   if not t.crashed then begin
-    (match t.running with
-    | Some r ->
-      (* Account the partial slice, like a preemption that never resumes. *)
-      let elapsed_ns = Int64.sub (Engine.now t.engine) r.started_at in
-      let nominal_ns =
-        if r.scale = 1.0 then elapsed_ns
-        else Int64.of_float (Int64.to_float elapsed_ns /. r.scale)
-      in
-      let done_cycles =
-        min r.job.remaining_cycles (ns_to_cycles t nominal_ns)
-      in
-      Engine.cancel r.completion;
-      if t.trace_on then slice_span t r ~preempted:true;
-      t.busy_ns <- Int64.add t.busy_ns elapsed_ns;
-      t.executed_cycles <- Int64.add t.executed_cycles done_cycles;
-      t.running <- None
-    | None -> ());
+    (* Account the partial slice, like a preemption that never resumes. *)
+    if t.running != no_job then stop_running_slice t;
     t.queue <- [];
+    t.queue_len <- 0;
     t.crashed <- true;
     if t.obs_on then Obs.Metrics.set t.m_queue_depth 0
   end
@@ -248,8 +336,9 @@ let set_speed_scale t scale =
      factor it was dispatched under. *)
   t.speed_scale <- scale
 
-let busy_ns t = t.busy_ns
-let executed_cycles t = t.executed_cycles
-let queue_length t = List.length t.queue
+let busy_ns t = Int64.of_int t.busy_ns
+let executed_cycles t = Int64.of_int t.executed_cycles
+let queue_length t = t.queue_len
+let queue_high_water t = t.queue_high_water
 let idle t =
-  match t.running, t.queue with None, [] -> true | _, _ -> false
+  match t.queue with [] -> t.running == no_job | _ :: _ -> false

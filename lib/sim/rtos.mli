@@ -53,6 +53,17 @@ val submit :
     non-negative it is attached to the job's run-slice trace spans, so
     a flow can be followed through the scheduler lanes. *)
 
+val submit_i :
+  t ->
+  task:string ->
+  priority:int ->
+  ?flow:int ->
+  cycles:int ->
+  (unit -> unit) ->
+  unit
+(** {!submit} with a native-int cycle count — the simulation hot path's
+    entry point; no [int64] boxing. *)
+
 val crash : t -> unit
 (** Fail-stop fault: cancel the running slice (accounting its executed
     cycles like a preemption), discard every queued job, and drop any
@@ -76,6 +87,11 @@ val executed_cycles : t -> int64
 
 val queue_length : t -> int
 (** Jobs waiting (excluding the running one). *)
+
+val queue_high_water : t -> int
+(** Peak ready-queue length since creation, maintained unconditionally
+    (no metrics scope needed); reset only by {!crash} discarding the
+    queue does NOT reset it — it is a lifetime peak. *)
 
 val idle : t -> bool
 val cycles_to_ns : t -> int64 -> int64

@@ -60,13 +60,75 @@ type event =
 
 type t
 
-val create : unit -> t
+type backend =
+  | Arena
+      (** Struct-of-arrays store: int columns plus a string-interning
+          table.  [record] is an (amortised) allocation-free append of
+          interned ids; the textual lines are rendered lazily at
+          {!save} / {!to_lines} time.  The default. *)
+  | List  (** Legacy store: one heap-allocated {!event} per record. *)
+
+val create : ?backend:backend -> unit -> t
+(** [backend] defaults to {!Arena}.  Both backends render byte-identical
+    log lines for the same event stream (they share the renderer). *)
+
+val backend : t -> backend
+
 val record : t -> event -> unit
+
+val intern : t -> string -> int
+(** Intern a string in the trace's table, returning its id.  Ids are
+    stable for the lifetime of the trace ({!clear} keeps the table) and
+    valid on either backend. *)
+
+val interned : t -> int -> string
+(** The string behind an id handed out by {!intern}. *)
+
+(** Unboxed hot-path appenders: [time]/[cycles]/[dur] are plain int
+    nanoseconds (no [int64] boxing), string arguments are ids from
+    {!intern}.  Equivalent to {!record} of the corresponding event. *)
+
+val record_exec : t -> time:int -> process:int -> cycles:int -> unit
+
+val record_signal :
+  t ->
+  time:int ->
+  sender:int ->
+  receiver:int ->
+  signal:int ->
+  words:int ->
+  tag:int ->
+  unit
+
+val record_state_change :
+  t -> time:int -> process:int -> from_:int -> to_:int -> unit
+
+val record_discard : t -> time:int -> process:int -> signal:int -> unit
+
+val record_retransmit :
+  t -> time:int -> sender:int -> receiver:int -> signal:int -> attempt:int -> unit
+
+val record_flow_hop :
+  t -> time:int -> flow:int -> stage:int -> where_:int -> dur:int -> unit
+
 val events : t -> event list
-(** In recording order. *)
+(** In recording order.  Materialises the whole list — prefer {!iter} /
+    {!fold} / {!get}, which decode one event at a time. *)
+
+val iter : t -> (event -> unit) -> unit
+(** Streaming view in recording order; decodes one event at a time. *)
+
+val fold : t -> 'a -> ('a -> event -> 'a) -> 'a
+(** [fold t init f] folds [f] over the events in recording order. *)
+
+val get : t -> int -> event
+(** [get t i] is the [i]th recorded event (0-based).  O(1) on the
+    {!Arena} backend, O(n) on {!List}.  Raises [Invalid_argument] when
+    out of range. *)
 
 val length : t -> int
 val clear : t -> unit
+(** Drops the recorded events.  Interned ids stay valid. *)
 
 val total_cycles : t -> (string * int64) list
 (** Cycles per process, sorted by process name. *)
@@ -74,17 +136,24 @@ val total_cycles : t -> (string * int64) list
 val signal_counts : t -> ((string * string) * int) list
 (** Signal counts per (sender, receiver) pair, sorted. *)
 
+val discard_counts : t -> (string * int) list
+(** Discarded-signal counts per process, sorted by process name.  Like
+    {!total_cycles} / {!signal_counts}, a column scan on the {!Arena}
+    backend — no per-event decoding. *)
+
 val event_to_line : event -> string
 val event_of_line : string -> (event, string) result
 
 val to_lines : t -> string list
 
-val of_lines : string list -> (t, string) result
+val of_lines : ?backend:backend -> string list -> (t, string) result
 (** Blank lines are skipped; the first malformed line aborts parsing
     with an error of the form ["line N: <reason>"] (1-based, counting
-    blank lines). *)
+    blank lines).  The numbering covers every physical line handed in —
+    in particular the last line of a file without a trailing newline
+    gets the same number the editor shows for it. *)
 
 val save : t -> string -> unit
 (** Write the log file. *)
 
-val load : string -> (t, string) result
+val load : ?backend:backend -> string -> (t, string) result

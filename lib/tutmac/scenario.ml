@@ -10,6 +10,7 @@ type config = {
   fault_seed : int;
   remap_jobs : int;
   engine : Codegen.Runtime.engine_kind;
+  trace_backend : Sim.Trace.backend;
 }
 
 let default =
@@ -27,6 +28,9 @@ let default =
     (* compiled is the default; traces are bit-identical to Reference
        (differential suite + CI engine matrix), only faster *)
     engine = Codegen.Runtime.Compiled;
+    (* same story for the trace store: Arena renders byte-identically to
+       List (shared renderer + QCheck equality property), only cheaper *)
+    trace_backend = Sim.Trace.Arena;
   }
 
 let build_model config =
@@ -118,8 +122,9 @@ let run_builder ?(via_xmi = false) ?obs ?flows config builder =
         else
           Some (Fault.Injector.create ~plan:config.faults ~seed:config.fault_seed)
       in
+      let trace = Sim.Trace.create ~backend:config.trace_backend () in
       match
-        Codegen.Runtime.create ?faults:injector ?obs ?flows
+        Codegen.Runtime.create ~trace ?faults:injector ?obs ?flows
           ~engine:config.engine sys
       with
       | Error problems -> Error (String.concat "; " problems)

@@ -21,6 +21,9 @@ type config = {
   engine : Codegen.Runtime.engine_kind;
       (** EFSM execution engine (default [Compiled]; traces are
           bit-identical to [Reference], only faster). *)
+  trace_backend : Sim.Trace.backend;
+      (** Event-log store (default [Arena]; renders byte-identical log
+          lines to [List], only without per-event heap boxing). *)
 }
 
 val default : config

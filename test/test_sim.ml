@@ -205,6 +205,30 @@ let test_trace_of_lines_line_numbers () =
   | Ok t -> check int_t "blank lines are skipped" 2 (Sim.Trace.length t)
   | Error e -> Alcotest.fail e
 
+(* A malformed final line — the shape a file without a trailing newline
+   loads as: a last element with no successor — is still reported with
+   its 1-based physical line number, on both the in-memory split path
+   and the [load] path. *)
+let test_trace_last_line_numbering () =
+  (match Sim.Trace.of_lines [ "E 1 p 5"; ""; "E oops p 5" ] with
+  | Ok _ -> Alcotest.fail "expected a parse error on the last line"
+  | Error e ->
+    if not (String.starts_with ~prefix:"line 3: " e) then
+      Alcotest.failf "split path: expected a 'line 3: ' prefix, got %S" e);
+  let path = Filename.temp_file "trace_lastline" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      (* no trailing newline after the malformed last line *)
+      output_string oc "E 1 p 5\n\nE oops p 5";
+      close_out oc;
+      match Sim.Trace.load path with
+      | Ok _ -> Alcotest.fail "expected a parse error on the last file line"
+      | Error e ->
+        if not (String.starts_with ~prefix:"line 3: " e) then
+          Alcotest.failf "load path: expected a 'line 3: ' prefix, got %S" e)
+
 (* Property: log text round-trips for arbitrary well-formed events. *)
 let gen_event =
   QCheck.Gen.(
@@ -264,6 +288,81 @@ let prop_trace_roundtrip =
       match Sim.Trace.of_lines (Sim.Trace.to_lines t) with
       | Ok t' -> Sim.Trace.events t' = events
       | Error e -> QCheck.Test.fail_reportf "%s" e)
+
+(* Property: the arena and list backends render byte-identical log
+   lines for any event stream.  [gen_event] spans all seven kinds and
+   the renderer's edge cases: untagged signals (tag -1), "-" fault info,
+   zero-duration flow hops. *)
+let prop_arena_list_render_equal =
+  QCheck.Test.make ~name:"arena and list backends render identically"
+    ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 40) gen_event))
+    (fun events ->
+      let arena = Sim.Trace.create ~backend:Sim.Trace.Arena () in
+      let list = Sim.Trace.create ~backend:Sim.Trace.List () in
+      List.iter (Sim.Trace.record arena) events;
+      List.iter (Sim.Trace.record list) events;
+      Sim.Trace.to_lines arena = Sim.Trace.to_lines list
+      && Sim.Trace.events arena = Sim.Trace.events list)
+
+(* Interning torture: thousands of distinct names force the intern
+   table and string store through several growth doublings (and plenty
+   of hash-bucket collisions); out-of-range int64 payloads exercise the
+   overflow side table.  The arena must keep rendering, aggregating and
+   re-interning exactly like the list store. *)
+let test_trace_intern_torture () =
+  let arena = Sim.Trace.create ~backend:Sim.Trace.Arena () in
+  let list = Sim.Trace.create ~backend:Sim.Trace.List () in
+  let record e =
+    Sim.Trace.record arena e;
+    Sim.Trace.record list e
+  in
+  for i = 0 to 4999 do
+    let p = Printf.sprintf "proc_%d" (i mod 3000) in
+    let q = Printf.sprintf "proc_%d" ((i * 7) mod 3000) in
+    record
+      (Sim.Trace.Exec
+         { time = Int64.of_int i; process = p; cycles = Int64.of_int (i mod 97) });
+    if i mod 3 = 0 then
+      record
+        (Sim.Trace.Signal
+           {
+             time = Int64.of_int i;
+             sender = p;
+             receiver = q;
+             signal = Printf.sprintf "sig_%d" (i mod 411);
+             words = (i mod 50) + 1;
+             tag = (i mod 5) - 1;
+           });
+    if i mod 7 = 0 then
+      record (Sim.Trace.Discard { time = Int64.of_int i; process = q; signal = "s" })
+  done;
+  (* out-of-range rows land in the overflow table and force every
+     aggregation onto the generic decode path *)
+  record
+    (Sim.Trace.Exec { time = Int64.max_int; process = "proc_0"; cycles = 1L });
+  record
+    (Sim.Trace.Flow_hop
+       {
+         time = 1L;
+         flow = 2;
+         stage = "transfer";
+         where_ = "proc_1";
+         dur = Int64.max_int;
+       });
+  check int_t "same length" (Sim.Trace.length list) (Sim.Trace.length arena);
+  if Sim.Trace.to_lines arena <> Sim.Trace.to_lines list then
+    Alcotest.fail "render diverged after interning growth";
+  if Sim.Trace.total_cycles arena <> Sim.Trace.total_cycles list then
+    Alcotest.fail "total_cycles diverged";
+  if Sim.Trace.signal_counts arena <> Sim.Trace.signal_counts list then
+    Alcotest.fail "signal_counts diverged";
+  if Sim.Trace.discard_counts arena <> Sim.Trace.discard_counts list then
+    Alcotest.fail "discard_counts diverged";
+  (* re-interning an already-known name is stable *)
+  check int_t "intern is idempotent"
+    (Sim.Trace.intern arena "proc_42")
+    (Sim.Trace.intern arena "proc_42")
 
 (* -- rtos ---------------------------------------------------------------- *)
 
@@ -383,7 +482,12 @@ let () =
           Alcotest.test_case "bad lines" `Quick test_trace_bad_lines;
           Alcotest.test_case "line-numbered errors" `Quick
             test_trace_of_lines_line_numbers;
+          Alcotest.test_case "last-line numbering" `Quick
+            test_trace_last_line_numbering;
+          Alcotest.test_case "interning torture" `Quick
+            test_trace_intern_torture;
           QCheck_alcotest.to_alcotest prop_trace_roundtrip;
+          QCheck_alcotest.to_alcotest prop_arena_list_render_equal;
         ] );
       ( "rtos",
         [

@@ -612,21 +612,21 @@ let insert_sorted key l =
 let calendar_order_prop ~spread ops =
   let c = Sim.Calendar.create ~live:(fun _ -> true) () in
   let model = ref [] in
-  let floor = ref 0L in
+  let floor = ref 0 in
   let seq = ref 0 in
   let take got =
     match (got, !model) with
     | Some got, expected :: rest ->
       if got <> expected then
-        QCheck.Test.fail_reportf "pop order: got (%Ld,%d), expected (%Ld,%d)"
+        QCheck.Test.fail_reportf "pop order: got (%d,%d), expected (%d,%d)"
           (fst got) (snd got) (fst expected) (snd expected);
       model := rest;
       floor := fst expected
     | None, expected :: _ ->
-      QCheck.Test.fail_reportf "pop returned None, expected (%Ld,%d)"
+      QCheck.Test.fail_reportf "pop returned None, expected (%d,%d)"
         (fst expected) (snd expected)
     | Some got, [] ->
-      QCheck.Test.fail_reportf "pop returned (%Ld,%d), expected None" (fst got)
+      QCheck.Test.fail_reportf "pop returned (%d,%d), expected None" (fst got)
         (snd got)
     | None, [] -> ()
   in
@@ -634,7 +634,7 @@ let calendar_order_prop ~spread ops =
     (fun v ->
       if v mod 5 = 0 && !model <> [] then take (Sim.Calendar.pop c)
       else begin
-        let t = Int64.add !floor (Int64.of_int (v mod spread)) in
+        let t = !floor + (v mod spread) in
         incr seq;
         Sim.Calendar.add c ~time:t ~seq:!seq (t, !seq);
         model := insert_sorted (t, !seq) !model
@@ -668,7 +668,7 @@ let prop_calendar_dead =
       let dead = Hashtbl.create 64 in
       let c = Sim.Calendar.create ~live:(fun (_, s) -> not (Hashtbl.mem dead s)) () in
       let model = ref [] in
-      let floor = ref 0L in
+      let floor = ref 0 in
       let seq = ref 0 in
       let pop_expected () =
         let rec live = function
@@ -679,16 +679,16 @@ let prop_calendar_dead =
         match (Sim.Calendar.pop c, !model) with
         | Some got, expected :: rest ->
           if got <> expected then
-            QCheck.Test.fail_reportf "dead-drop pop order: got (%Ld,%d), expected (%Ld,%d)"
+            QCheck.Test.fail_reportf "dead-drop pop order: got (%d,%d), expected (%d,%d)"
               (fst got) (snd got) (fst expected) (snd expected);
           model := rest;
           floor := fst expected
         | None, [] -> ()
         | None, expected :: _ ->
-          QCheck.Test.fail_reportf "pop returned None, expected (%Ld,%d)"
+          QCheck.Test.fail_reportf "pop returned None, expected (%d,%d)"
             (fst expected) (snd expected)
         | Some got, [] ->
-          QCheck.Test.fail_reportf "pop returned (%Ld,%d), expected None"
+          QCheck.Test.fail_reportf "pop returned (%d,%d), expected None"
             (fst got) (snd got)
       in
       List.iter
@@ -699,7 +699,7 @@ let prop_calendar_dead =
             (* cancel a random pending entry *)
             if !seq > 0 then Hashtbl.replace dead (1 + (v mod !seq)) ()
           | _ ->
-            let t = Int64.add !floor (Int64.of_int (v mod 500)) in
+            let t = !floor + (v mod 500) in
             incr seq;
             Sim.Calendar.add c ~time:t ~seq:!seq (t, !seq);
             model := insert_sorted (t, !seq) !model)
@@ -710,15 +710,15 @@ let prop_calendar_dead =
         | None, [] -> ()
         | Some got, expected :: rest ->
           if got <> expected then
-            QCheck.Test.fail_reportf "drain order: got (%Ld,%d), expected (%Ld,%d)"
+            QCheck.Test.fail_reportf "drain order: got (%d,%d), expected (%d,%d)"
               (fst got) (snd got) (fst expected) (snd expected);
           model := rest;
           drain ()
         | None, expected :: _ ->
-          QCheck.Test.fail_reportf "drain stopped early, expected (%Ld,%d)"
+          QCheck.Test.fail_reportf "drain stopped early, expected (%d,%d)"
             (fst expected) (snd expected)
         | Some got, [] ->
-          QCheck.Test.fail_reportf "drained (%Ld,%d) beyond the model" (fst got)
+          QCheck.Test.fail_reportf "drained (%d,%d) beyond the model" (fst got)
             (snd got)
       in
       drain ();
@@ -727,7 +727,7 @@ let prop_calendar_dead =
 (* Deterministic resize stress: enough entries to force bucket growth
    and a spread that forces shrink on the way down. *)
 let test_calendar_resize () =
-  let c = Sim.Calendar.create ~n_buckets:64 ~width:16L ~live:(fun _ -> true) () in
+  let c = Sim.Calendar.create ~n_buckets:64 ~width:16 ~live:(fun _ -> true) () in
   let lcg = ref 12345 in
   let next () =
     lcg := ((!lcg * 1103515245) + 12345) land 0x3FFFFFFF;
@@ -735,11 +735,11 @@ let test_calendar_resize () =
   in
   let n = 5_000 in
   for s = 1 to n do
-    let t = Int64.of_int (next () mod 1_000_000) in
+    let t = next () mod 1_000_000 in
     Sim.Calendar.add c ~time:t ~seq:s (t, s)
   done;
   check int_t "all stored" n (Sim.Calendar.length c);
-  let last = ref (-1L, -1) in
+  let last = ref (-1, -1) in
   let popped = ref 0 in
   let rec drain () =
     match Sim.Calendar.pop c with
@@ -779,6 +779,80 @@ let test_mailbox_fifo () =
   check bool_t "FIFO order" true (got = List.init !next_in (fun i -> i + 1));
   check bool_t "empty again" true (Sim.Mailbox.is_empty mb)
 
+(* High-water mark: tracks the peak length across wrap-around and
+   growth, and only [clear] resets it — popping to empty does not. *)
+let test_mailbox_high_water () =
+  let mb = Sim.Mailbox.create ~capacity:4 ~dummy:0 () in
+  check int_t "starts at 0" 0 (Sim.Mailbox.high_water mb);
+  for i = 1 to 3 do
+    Sim.Mailbox.push mb i
+  done;
+  check int_t "tracks pushes" 3 (Sim.Mailbox.high_water mb);
+  (* wrap the head: drain, then push enough to cross the ring boundary
+     without growing (capacity rounds 4 up to the 8 minimum) *)
+  while not (Sim.Mailbox.is_empty mb) do
+    ignore (Sim.Mailbox.pop mb)
+  done;
+  check int_t "draining keeps the peak" 3 (Sim.Mailbox.high_water mb);
+  for i = 1 to 2 do
+    Sim.Mailbox.push mb i
+  done;
+  check int_t "lower refills keep the peak" 3 (Sim.Mailbox.high_water mb);
+  (* grow past the backing array: peak follows the new maximum *)
+  for i = 3 to 40 do
+    Sim.Mailbox.push mb i
+  done;
+  check int_t "growth raises the peak" 40 (Sim.Mailbox.high_water mb);
+  Sim.Mailbox.clear mb;
+  check bool_t "clear empties" true (Sim.Mailbox.is_empty mb);
+  check int_t "clear resets the peak" 0 (Sim.Mailbox.high_water mb);
+  Sim.Mailbox.push mb 7;
+  check int_t "peak restarts after clear" 1 (Sim.Mailbox.high_water mb)
+
+(* The flat ring keeps its three int lanes and the payload in step
+   through wrap-around and growth, and shares the high-water/clear
+   contract with the boxed ring. *)
+let test_mailbox_flat_lanes () =
+  let mb = Sim.Mailbox.Flat.create ~capacity:4 ~dummy:"" () in
+  let popped = ref [] in
+  let next_in = ref 0 in
+  for round = 1 to 60 do
+    for _ = 1 to round mod 8 do
+      incr next_in;
+      let n = !next_in in
+      Sim.Mailbox.Flat.push mb n (n * 2) (n * 3) (string_of_int n)
+    done;
+    for _ = 1 to round mod 5 do
+      if not (Sim.Mailbox.Flat.is_empty mb) then begin
+        let a = Sim.Mailbox.Flat.head_a mb in
+        let b = Sim.Mailbox.Flat.head_b mb in
+        let c = Sim.Mailbox.Flat.head_c mb in
+        let payload = Sim.Mailbox.Flat.pop mb in
+        popped := (a, b, c, payload) :: !popped
+      end
+    done
+  done;
+  while not (Sim.Mailbox.Flat.is_empty mb) do
+    let a = Sim.Mailbox.Flat.head_a mb in
+    let b = Sim.Mailbox.Flat.head_b mb in
+    let c = Sim.Mailbox.Flat.head_c mb in
+    let payload = Sim.Mailbox.Flat.pop mb in
+    popped := (a, b, c, payload) :: !popped
+  done;
+  let got = List.rev !popped in
+  check int_t "nothing lost" !next_in (List.length got);
+  List.iteri
+    (fun i (a, b, c, payload) ->
+      let n = i + 1 in
+      if (a, b, c, payload) <> (n, n * 2, n * 3, string_of_int n) then
+        Alcotest.failf "entry %d lanes out of step: %d %d %d %s" n a b c payload)
+    got;
+  check bool_t "high-water saw the peak" true
+    (Sim.Mailbox.Flat.high_water mb >= 8);
+  Sim.Mailbox.Flat.clear mb;
+  check int_t "clear resets the peak" 0 (Sim.Mailbox.Flat.high_water mb);
+  check bool_t "empty after clear" true (Sim.Mailbox.Flat.is_empty mb)
+
 let () =
   Alcotest.run "sim_compiled"
     [
@@ -804,5 +878,10 @@ let () =
           QCheck_alcotest.to_alcotest prop_calendar_dead;
           Alcotest.test_case "resize stress" `Quick test_calendar_resize;
         ] );
-      ("mailbox", [ Alcotest.test_case "growable ring FIFO" `Quick test_mailbox_fifo ]);
+      ( "mailbox",
+        [
+          Alcotest.test_case "growable ring FIFO" `Quick test_mailbox_fifo;
+          Alcotest.test_case "high-water marks" `Quick test_mailbox_high_water;
+          Alcotest.test_case "flat ring lanes" `Quick test_mailbox_flat_lanes;
+        ] );
     ]
