@@ -1379,6 +1379,150 @@ let bench_sim () =
     exit 1
   end
 
+(* ---- fleet-scale TUTWLAN ---------------------------------------------- *)
+
+(* Written to BENCH_wlan.json; run alone with TUTBENCH_ONLY=wlan (the
+   CI perf smoke).  Two gates:
+
+   - determinism: a 1-terminal fleet — the degenerate configuration
+     closest to the seed single-terminal path — must render
+     byte-identical reports and traces across the engine x trace-backend
+     matrix and across a repeated run of the same (plan, seed).
+   - scale: a 200-terminal, fault-plan-driven fleet must finish inside
+     the wall-clock budget with >= 99% of offered frames resolved as
+     delivered, cleanly abandoned, or flushed by churn — nothing may
+     wedge on the contended channel. *)
+let bench_wlan () =
+  let wlan_ms =
+    match Sys.getenv_opt "TUTBENCH_WLAN_MS" with
+    | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> 2000)
+    | None -> 2000
+  in
+  let wall_budget_s =
+    match Sys.getenv_opt "TUTBENCH_WLAN_BUDGET_S" with
+    | Some s -> (
+      match float_of_string_opt s with Some f when f > 0.0 -> f | _ -> 20.0)
+    | None -> 20.0
+  in
+  section
+    (Printf.sprintf "Fleet-scale TUTWLAN (%d ms horizon, 200 terminals)"
+       wlan_ms);
+  let plan =
+    match
+      Fault.Plan.of_json_string
+        {|{"faults":[
+            {"kind":"chan_loss","terminals":"*","rate":0.08},
+            {"kind":"chan_burst","terminals":"0-3","rate":0.02,
+             "max_burst_ns":400000},
+            {"kind":"term_crash","terminals":"5","at_ns":250000000}]}|}
+    with
+    | Ok p -> p
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  let config ~terminals ~faults engine backend =
+    {
+      Tutmac.Wlan.default with
+      Tutmac.Wlan.terminals;
+      duration_ns = wlan_ms * 1_000_000;
+      seed = 7;
+      faults;
+      fault_seed = 42;
+      engine;
+      trace_backend = backend;
+    }
+  in
+  let fingerprint (r : Tutmac.Wlan.result) =
+    Tutmac.Wlan.render r ^ "\n--\n"
+    ^ String.concat "\n" (Sim.Trace.to_lines r.Tutmac.Wlan.trace)
+  in
+  (* Gate 1: the 1-terminal fleet replays byte-identically everywhere. *)
+  let matrix =
+    [
+      ("reference_list", Codegen.Runtime.Reference, Sim.Trace.List);
+      ("reference_arena", Codegen.Runtime.Reference, Sim.Trace.Arena);
+      ("compiled_list", Codegen.Runtime.Compiled, Sim.Trace.List);
+      ("compiled_arena", Codegen.Runtime.Compiled, Sim.Trace.Arena);
+    ]
+  in
+  let one_cell engine backend =
+    fingerprint (Tutmac.Wlan.run (config ~terminals:1 ~faults:plan engine backend))
+  in
+  let reference_fp = one_cell Codegen.Runtime.Reference Sim.Trace.List in
+  List.iter
+    (fun (label, engine, backend) ->
+      if one_cell engine backend <> reference_fp then begin
+        Printf.printf "  FAIL: 1-terminal %s diverges from reference_list\n"
+          label;
+        exit 1
+      end)
+    matrix;
+  Printf.printf
+    "  1-terminal fleet byte-identical across the engine x backend matrix\n";
+  (* Gate 2: 200 terminals under fire, inside the wall budget, with the
+     offered load resolved rather than wedged. *)
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Tutmac.Wlan.run
+      (config ~terminals:200 ~faults:plan Codegen.Runtime.Compiled
+         Sim.Trace.Arena)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let resolved =
+    r.Tutmac.Wlan.delivered + r.Tutmac.Wlan.abandoned + r.Tutmac.Wlan.flushed
+  in
+  let resolved_rate =
+    if r.Tutmac.Wlan.offered = 0 then 1.0
+    else float_of_int resolved /. float_of_int r.Tutmac.Wlan.offered
+  in
+  let events_per_sec = float_of_int r.Tutmac.Wlan.events /. wall_s in
+  Printf.printf "  %-28s %10.3f s (budget %.0f s)\n" "200-terminal wall clock"
+    wall_s wall_budget_s;
+  Printf.printf "  %-28s %10d offered  %d delivered  %d abandoned  %d flushed\n"
+    "frames" r.Tutmac.Wlan.offered r.Tutmac.Wlan.delivered
+    r.Tutmac.Wlan.abandoned r.Tutmac.Wlan.flushed;
+  Printf.printf "  %-28s %10.4f (floor 0.99)\n" "resolved fraction"
+    resolved_rate;
+  Printf.printf "  %-28s %10d collisions  %d retries  %.0f events/s\n"
+    "channel" r.Tutmac.Wlan.collisions r.Tutmac.Wlan.retries events_per_sec;
+  let oc = open_out "BENCH_wlan.json" in
+  output_string oc
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("horizon_ms", Obs.Json.Int wlan_ms);
+            ("terminals", Obs.Json.Int 200);
+            ("one_terminal_identical", Obs.Json.Bool true);
+            ("wall_seconds", Obs.Json.Float wall_s);
+            ("wall_budget_seconds", Obs.Json.Float wall_budget_s);
+            ("events", Obs.Json.Int r.Tutmac.Wlan.events);
+            ("events_per_sec", Obs.Json.Float events_per_sec);
+            ("offered", Obs.Json.Int r.Tutmac.Wlan.offered);
+            ("delivered", Obs.Json.Int r.Tutmac.Wlan.delivered);
+            ("abandoned", Obs.Json.Int r.Tutmac.Wlan.abandoned);
+            ("flushed", Obs.Json.Int r.Tutmac.Wlan.flushed);
+            ("unresolved", Obs.Json.Int r.Tutmac.Wlan.unresolved);
+            ("resolved_rate", Obs.Json.Float resolved_rate);
+            ("collisions", Obs.Json.Int r.Tutmac.Wlan.collisions);
+            ("retries", Obs.Json.Int r.Tutmac.Wlan.retries);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wlan benchmark written to BENCH_wlan.json\n";
+  if wall_s > wall_budget_s then begin
+    Printf.printf "  FAIL: 200-terminal run took %.3f s (budget %.0f s)\n"
+      wall_s wall_budget_s;
+    exit 1
+  end;
+  if resolved_rate < 0.99 then begin
+    Printf.printf "  FAIL: only %.4f of offered frames resolved (floor 0.99)\n"
+      resolved_rate;
+    exit 1
+  end
+
 (* Written to BENCH_mc.json; run alone with TUTBENCH_ONLY=mc (the CI
    perf smoke).  Explores the seed TUTMAC network twice at a budget
    small enough that the unreduced space stays cheap (one environment
@@ -1507,9 +1651,11 @@ let () =
   | Some "obs" -> bench_obs ()
   | Some "sim" -> bench_sim ()
   | Some "mc" -> bench_mc ()
+  | Some "wlan" -> bench_wlan ()
   | Some other ->
     Printf.eprintf
-      "unknown TUTBENCH_ONLY=%s (supported: dse, fault, obs, sim, mc)\n" other;
+      "unknown TUTBENCH_ONLY=%s (supported: dse, fault, obs, sim, mc, wlan)\n"
+      other;
     exit 2
   | None ->
     print_tables_1_2_3 ();
@@ -1527,5 +1673,6 @@ let () =
     bench_obs ();
     bench_sim ();
     bench_mc ();
+    bench_wlan ();
     run_benchmarks ();
     print_newline ()

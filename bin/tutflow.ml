@@ -1182,6 +1182,125 @@ let check_cmd =
       $ order_arg $ property_arg $ trace_out_arg $ replay_arg
       $ chrome_trace_arg $ metrics_out_arg)
 
+(* -- wlan ------------------------------------------------------------- *)
+
+let wlan_cmd =
+  let terminals_arg =
+    let doc = "Number of terminals in the fleet." in
+    Arg.(value & opt int 8 & info [ "terminals" ] ~docv:"N" ~doc)
+  in
+  let slot_arg =
+    let doc = "Channel slot (transmission airtime) in nanoseconds." in
+    Arg.(value & opt int 50_000 & info [ "slot-ns" ] ~docv:"NS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed of the arrival-jitter and backoff streams." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let mix_arg =
+    let doc =
+      "Comma-separated traffic classes terminals cycle over: cbr, bursty, \
+       video."
+    in
+    Arg.(value & opt string "cbr,bursty,video" & info [ "mix" ] ~docv:"MIX" ~doc)
+  in
+  let churn_arg =
+    let doc =
+      "Scripted churn: comma-separated TERMINAL@LEAVE_MS[-REJOIN_MS] items, \
+       e.g. 4\\@200-800,5\\@300."
+    in
+    Arg.(value & opt string "" & info [ "churn" ] ~docv:"SPEC" ~doc)
+  in
+  let retries_arg =
+    let doc = "Per-fragment transmission attempts before abandoning." in
+    Arg.(value & opt int 6 & info [ "max-retries" ] ~docv:"N" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Domains used to aggregate per-terminal metrics (never changes the \
+       result)."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: text or json." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let run duration_ms terminals slot_ns seed mix churn max_retries faults
+      fault_seed engine trace_backend jobs format log chrome_trace metrics_out
+      =
+    let mix_or_err =
+      let names =
+        List.filter
+          (fun s -> s <> "")
+          (List.map String.trim (String.split_on_char ',' mix))
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | name :: rest -> (
+          match Tutmac.Workload.profile_of_name name with
+          | Some p -> go (p :: acc) rest
+          | None -> Error (Printf.sprintf "mix: unknown traffic class %S" name))
+      in
+      go [] names
+    in
+    match mix_or_err, Tutmac.Wlan.churn_of_string churn with
+    | Error e, _ | _, Error e ->
+      prerr_endline ("wlan: " ^ e);
+      1
+    | Ok mix, Ok churn -> (
+      let obs = obs_of ~chrome_trace ~metrics_out () in
+      let config =
+        {
+          Tutmac.Wlan.default with
+          Tutmac.Wlan.terminals;
+          Tutmac.Wlan.duration_ns = duration_ms * 1_000_000;
+          Tutmac.Wlan.slot_ns;
+          Tutmac.Wlan.seed;
+          Tutmac.Wlan.mix;
+          Tutmac.Wlan.max_retries;
+          Tutmac.Wlan.churn;
+          Tutmac.Wlan.faults = Option.value ~default:Fault.Plan.empty faults;
+          Tutmac.Wlan.fault_seed;
+          Tutmac.Wlan.jobs;
+          Tutmac.Wlan.engine =
+            (if engine = "reference" then Codegen.Runtime.Reference
+             else Codegen.Runtime.Compiled);
+          Tutmac.Wlan.trace_backend =
+            (if trace_backend = "list" then Sim.Trace.List else Sim.Trace.Arena);
+        }
+      in
+      match Tutmac.Wlan.run ~obs config with
+      | exception Invalid_argument e ->
+        prerr_endline ("wlan: " ^ e);
+        1
+      | result ->
+        (match format with
+        | `Text -> print_string (Tutmac.Wlan.render result)
+        | `Json ->
+          print_endline (Obs.Json.to_string (Tutmac.Wlan.render_json result)));
+        (match log with
+        | None -> ()
+        | Some path ->
+          Sim.Trace.save result.Tutmac.Wlan.trace path;
+          Printf.printf "log written to %s\n" path);
+        finish_obs obs ~chrome_trace ~metrics_out;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "wlan"
+       ~doc:
+         "Simulate a fleet of TUTWLAN terminals on a hostile shared channel \
+          (collisions, channel faults, churn)")
+    Term.(
+      const run $ duration_arg $ terminals_arg $ slot_arg $ seed_arg $ mix_arg
+      $ churn_arg $ retries_arg $ faults_arg $ fault_seed_arg $ sim_engine_arg
+      $ trace_backend_arg $ jobs_arg $ format_arg $ log_arg $ chrome_trace_arg
+      $ metrics_out_arg)
+
 (* -- faults ----------------------------------------------------------- *)
 
 let faults_cmd =
@@ -1279,6 +1398,7 @@ let main_cmd =
       regroup_cmd;
       lint_cmd;
       check_cmd;
+      wlan_cmd;
       faults_cmd;
       rules_cmd;
     ]

@@ -4,13 +4,17 @@ type t = {
   flip_seed : int;
       (* base seed for per-frame bit-flip rngs (salted at call time) *)
   streams : Prng.t array;  (* streams.(i) drives plan spec i *)
+  chan_seed : int;
+      (* base seed for per-(spec, terminal) channel streams *)
+  chan_streams : (int * int, Prng.t) Hashtbl.t;
   max_flips : int;  (* max over corrupt specs; 0 when none *)
   stats : Stats.t;
 }
 
-(* Reserved stream index for deriving flip_seed — far above any
-   plausible spec count so it can never collide with streams.(i). *)
+(* Reserved stream indices — far above any plausible spec count so they
+   can never collide with streams.(i). *)
 let flip_stream = 0x7F_F11F
+let chan_stream = 0x7E_C4A0
 
 let create ~plan ~seed =
   let specs = Array.of_list plan.Plan.specs in
@@ -19,6 +23,8 @@ let create ~plan ~seed =
     specs;
     flip_seed = Prng.split_seed ~seed ~stream:flip_stream;
     streams = Array.init (Array.length specs) (fun i -> Prng.split ~seed ~stream:i);
+    chan_seed = Prng.split_seed ~seed ~stream:chan_stream;
+    chan_streams = Hashtbl.create 64;
     max_flips =
       Array.fold_left
         (fun acc spec ->
@@ -28,6 +34,21 @@ let create ~plan ~seed =
         0 specs;
     stats = Stats.create ();
   }
+
+(* The stream for (spec i, terminal) is derived purely from the seed, so
+   lazy creation order cannot matter; draws within a stream happen in
+   simulated-event order by a single-threaded simulation. *)
+let chan_rng t ~spec ~terminal =
+  match Hashtbl.find_opt t.chan_streams (spec, terminal) with
+  | Some rng -> rng
+  | None ->
+    let rng =
+      Prng.split
+        ~seed:(Prng.split_seed ~seed:t.chan_seed ~stream:spec)
+        ~stream:terminal
+    in
+    Hashtbl.add t.chan_streams (spec, terminal) rng;
+    rng
 
 let active t = not (Plan.is_empty t.plan)
 let plan t = t.plan
@@ -116,6 +137,53 @@ let signal_fate t ~now ~process =
       | _ -> go (i + 1)
   in
   go 0
+
+let chan_loss t ~now ~terminal =
+  let n = Array.length t.specs in
+  let rec go i =
+    if i >= n then false
+    else
+      match t.specs.(i) with
+      | Plan.Chan_loss { terminals; rate; window }
+        when Selector.matches terminals terminal && in_window ~now window ->
+        if Prng.bool (chan_rng t ~spec:i ~terminal) ~p:rate then begin
+          t.stats.Stats.chan_losses <- t.stats.Stats.chan_losses + 1;
+          true
+        end
+        else go (i + 1)
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let chan_burst_start t ~now ~terminal =
+  let n = Array.length t.specs in
+  let rec go i =
+    if i >= n then None
+    else
+      match t.specs.(i) with
+      | Plan.Chan_burst { terminals; rate; max_burst_ns; window }
+        when Selector.matches terminals terminal && in_window ~now window ->
+        let rng = chan_rng t ~spec:i ~terminal in
+        if Prng.bool rng ~p:rate then begin
+          t.stats.Stats.chan_bursts <- t.stats.Stats.chan_bursts + 1;
+          Some (1 + Prng.int rng max_burst_ns)
+        end
+        else go (i + 1)
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let term_crashes t ~terminals:count =
+  List.concat_map
+    (function
+      | Plan.Term_crash { terminals; at_ns } ->
+        List.filter_map
+          (fun term ->
+            if Selector.matches terminals term then Some (term, at_ns)
+            else None)
+          (List.init count Fun.id)
+      | _ -> [])
+    t.plan.Plan.specs
 
 let pe_crashes t =
   List.filter_map

@@ -47,6 +47,23 @@ type fate = Deliver | Lose | Duplicate
 val signal_fate : t -> now:int64 -> process:string -> fate
 (** Verdict for one local (same-PE) signal delivery. *)
 
+val chan_loss : t -> now:int64 -> terminal:int -> bool
+(** Verdict for one WLAN transmission opportunity by [terminal]: [true]
+    when a matching [Chan_loss] spec fires.  Draws come from a stream
+    derived from [(spec index, terminal)], so each terminal's loss
+    schedule is independent of fleet size and of the other terminals'
+    traffic. *)
+
+val chan_burst_start : t -> now:int64 -> terminal:int -> int option
+(** Consult matching [Chan_burst] specs for one opportunity; [Some
+    duration_ns] starts a burst of that length near the terminal.  The
+    caller owns the burst clock (and must not consult again until the
+    burst ends, so the draw schedule is reproducible from the plan). *)
+
+val term_crashes : t -> terminals:int -> (int * int64) list
+(** [(terminal, at_ns)] expanded over terminals [0 .. terminals-1] for
+    every [Term_crash] spec, in plan order. *)
+
 val pe_crashes : t -> (string * int64) list
 (** [(pe, at_ns)] for every [Pe_crash] spec, for the runtime to
     schedule. *)

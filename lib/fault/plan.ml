@@ -25,6 +25,14 @@ type spec =
     }
   | Signal_loss of { process : string; rate : float; window : window }
   | Signal_dup of { process : string; rate : float; window : window }
+  | Chan_loss of { terminals : Selector.t; rate : float; window : window }
+  | Chan_burst of {
+      terminals : Selector.t;
+      rate : float;
+      max_burst_ns : int;
+      window : window;
+    }
+  | Term_crash of { terminals : Selector.t; at_ns : int64 }
 
 type recovery = {
   ack_timeout_ns : int64;
@@ -54,6 +62,9 @@ let spec_kind = function
   | Pe_slowdown _ -> "pe_slowdown"
   | Signal_loss _ -> "signal_loss"
   | Signal_dup _ -> "signal_dup"
+  | Chan_loss _ -> "chan_loss"
+  | Chan_burst _ -> "chan_burst"
+  | Term_crash _ -> "term_crash"
 
 let catalog =
   [
@@ -76,6 +87,16 @@ let catalog =
     ( "signal_dup",
       "deliver a local same-PE signal twice (fields: process, rate, \
        [from_ns], [until_ns])" );
+    ( "chan_loss",
+      "lose a WLAN transmission by a matching terminal (fields: terminals \
+       selector, rate, [from_ns], [until_ns])" );
+    ( "chan_burst",
+      "start a burst of interference of 1..max_burst_ns near a matching \
+       terminal; its transmissions corrupt while the burst lasts (fields: \
+       terminals selector, rate, max_burst_ns, [from_ns], [until_ns])" );
+    ( "term_crash",
+      "fail-stop matching WLAN terminals at the given instant (fields: \
+       terminals selector, at_ns)" );
   ]
 
 (* ---- decoding -------------------------------------------------------- *)
@@ -154,8 +175,14 @@ let field_window ctx json =
 let known_fields =
   [
     "kind"; "segment"; "pe"; "process"; "rate"; "max_flips"; "max_stall_ns";
-    "at_ns"; "factor"; "from_ns"; "until_ns";
+    "at_ns"; "factor"; "from_ns"; "until_ns"; "terminals"; "max_burst_ns";
   ]
+
+let field_terminals ctx json =
+  let text = field_string ctx json "terminals" in
+  match Selector.parse text with
+  | Ok sel -> sel
+  | Error e -> shape ctx (Printf.sprintf "field \"terminals\": %s" e)
 
 let decode_spec i json =
   let kind =
@@ -226,6 +253,27 @@ let decode_spec i json =
         rate = field_rate ctx json "rate";
         window = field_window ctx json;
       }
+  | "chan_loss" ->
+    Chan_loss
+      {
+        terminals = field_terminals ctx json;
+        rate = field_rate ctx json "rate";
+        window = field_window ctx json;
+      }
+  | "chan_burst" ->
+    let max_burst_ns = field_int ctx json "max_burst_ns" in
+    if max_burst_ns < 1 then shape ctx "field \"max_burst_ns\" must be >= 1";
+    Chan_burst
+      {
+        terminals = field_terminals ctx json;
+        rate = field_rate ctx json "rate";
+        max_burst_ns;
+        window = field_window ctx json;
+      }
+  | "term_crash" ->
+    let at_ns = field_int64 ctx json "at_ns" in
+    if at_ns < 0L then shape ctx "field \"at_ns\" must be >= 0";
+    Term_crash { terminals = field_terminals ctx json; at_ns }
   | other ->
     shape
       (Printf.sprintf "faults[%d]" i)
@@ -378,7 +426,28 @@ let spec_to_json spec =
     | Signal_dup { process; rate; window } ->
       (kind
       :: [ ("process", Obs.Json.Str process); ("rate", Obs.Json.Float rate) ])
-      @ window_fields window)
+      @ window_fields window
+    | Chan_loss { terminals; rate; window } ->
+      (kind
+      :: [
+           ("terminals", Obs.Json.Str (Selector.to_string terminals));
+           ("rate", Obs.Json.Float rate);
+         ])
+      @ window_fields window
+    | Chan_burst { terminals; rate; max_burst_ns; window } ->
+      (kind
+      :: [
+           ("terminals", Obs.Json.Str (Selector.to_string terminals));
+           ("rate", Obs.Json.Float rate);
+           ("max_burst_ns", Obs.Json.Int max_burst_ns);
+         ])
+      @ window_fields window
+    | Term_crash { terminals; at_ns } ->
+      [
+        kind;
+        ("terminals", Obs.Json.Str (Selector.to_string terminals));
+        ("at_ns", Obs.Json.Int (Int64.to_int at_ns));
+      ])
 
 let to_json t =
   Obs.Json.Obj

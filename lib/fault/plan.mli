@@ -57,6 +57,25 @@ type spec =
       (** Local (same-PE) signal delivery silently lost. *)
   | Signal_dup of { process : string; rate : float; window : window }
       (** Local signal delivered twice. *)
+  | Chan_loss of { terminals : Selector.t; rate : float; window : window }
+      (** WLAN channel: a transmission by a matching terminal is lost in
+          the air (deep fade, hidden node).  Each matching terminal draws
+          from its own PRNG stream, so adding a terminal to the selector
+          never perturbs the others' loss schedules. *)
+  | Chan_burst of {
+      terminals : Selector.t;
+      rate : float;
+      max_burst_ns : int;
+      window : window;
+    }
+      (** WLAN channel: burst interference near a matching terminal.
+          Each opportunity starts a burst with probability [rate]; while
+          a burst lasts (1..[max_burst_ns] ns, drawn per burst) every
+          transmission by that terminal corrupts. *)
+  | Term_crash of { terminals : Selector.t; at_ns : int64 }
+      (** Fail-stop of matching WLAN terminals at the given instant —
+          ungraceful churn: no departure notice, peers discover via
+          timeout. *)
 
 type recovery = {
   ack_timeout_ns : int64;

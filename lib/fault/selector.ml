@@ -1,0 +1,82 @@
+type item = { lo : int; hi : int }
+type t = All | Set of item list
+
+let all = All
+
+let parse text =
+  let len = String.length text in
+  let err pos msg =
+    Error (Printf.sprintf "column %d: %s" (pos + 1) msg)
+  in
+  if text = "*" then Ok All
+  else if len = 0 then err 0 "empty terminal selector"
+  else begin
+    (* items ::= item ("," item)*   item ::= INT | INT "-" INT *)
+    let exception Bad of string in
+    let bad pos msg =
+      raise (Bad (Printf.sprintf "column %d: %s" (pos + 1) msg))
+    in
+    let pos = ref 0 in
+    let peek () = if !pos < len then Some text.[!pos] else None in
+    let number what =
+      let start = !pos in
+      while
+        !pos < len && match text.[!pos] with '0' .. '9' -> true | _ -> false
+      do
+        incr pos
+      done;
+      if !pos = start then
+        bad start
+          (Printf.sprintf "expected %s, got %s" what
+             (match peek () with
+             | Some c -> Printf.sprintf "%C" c
+             | None -> "end of input"));
+      int_of_string (String.sub text start (!pos - start))
+    in
+    let item () =
+      let start = !pos in
+      let lo = number "a terminal number" in
+      match peek () with
+      | Some '-' ->
+        incr pos;
+        let hi = number "the end of the range" in
+        if hi < lo then
+          bad start (Printf.sprintf "range %d-%d is empty" lo hi);
+        { lo; hi }
+      | _ -> { lo; hi = lo }
+    in
+    match
+      let first = item () in
+      let rec more acc =
+        match peek () with
+        | None -> List.rev acc
+        | Some ',' ->
+          incr pos;
+          more (item () :: acc)
+        | Some c -> bad !pos (Printf.sprintf "expected ',' or '-', got %C" c)
+      in
+      more [ first ]
+    with
+    | items -> Ok (Set items)
+    | exception Bad msg -> Error msg
+  end
+
+let matches t terminal =
+  match t with
+  | All -> true
+  | Set items ->
+    List.exists (fun { lo; hi } -> terminal >= lo && terminal <= hi) items
+
+let max_terminal = function
+  | All -> None
+  | Set items ->
+    Some (List.fold_left (fun acc { hi; _ } -> max acc hi) 0 items)
+
+let to_string = function
+  | All -> "*"
+  | Set items ->
+    String.concat ","
+      (List.map
+         (fun { lo; hi } ->
+           if lo = hi then string_of_int lo else Printf.sprintf "%d-%d" lo hi)
+         items)

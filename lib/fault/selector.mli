@@ -1,0 +1,27 @@
+(** Terminal selectors for channel-fault specs.
+
+    A selector names a set of terminal indices: ["*"] (every terminal),
+    a single index (["7"]), an inclusive range (["3-12"]), or a
+    comma-separated list of those (["0,5,9-11"]).  The parsed form is
+    what fault plans store, so {!to_string} round-trips through
+    {!parse}. *)
+
+type t
+
+val all : t
+(** The ["*"] selector. *)
+
+val parse : string -> (t, string) result
+(** Errors carry the 1-based column of the offending character
+    (["column 4: expected ',' or '-', got 'x'"]); {!Plan} prefixes them
+    with the fault index and field so a plan-file mistake points at the
+    exact spot. *)
+
+val matches : t -> int -> bool
+
+val max_terminal : t -> int option
+(** Largest index the selector can match; [None] for ["*"].  Lets a
+    scenario warn when a plan names terminals it does not have. *)
+
+val to_string : t -> string
+(** Canonical form; [parse (to_string t)] yields [t]. *)

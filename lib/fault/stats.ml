@@ -6,6 +6,9 @@ type t = {
   mutable pe_slowdowns : int;
   mutable signal_losses : int;
   mutable signal_dups : int;
+  mutable chan_losses : int;
+  mutable chan_bursts : int;
+  mutable term_crashes : int;
   mutable crc_rejects : int;
   mutable crc_residual : int;
   mutable watchdog_detections : int;
@@ -26,6 +29,9 @@ let create () =
     pe_slowdowns = 0;
     signal_losses = 0;
     signal_dups = 0;
+    chan_losses = 0;
+    chan_bursts = 0;
+    term_crashes = 0;
     crc_rejects = 0;
     crc_residual = 0;
     watchdog_detections = 0;
@@ -39,7 +45,8 @@ let create () =
 
 let injected t =
   t.hibi_drops + t.hibi_corrupts + t.hibi_stalls + t.pe_crashes
-  + t.pe_slowdowns + t.signal_losses + t.signal_dups
+  + t.pe_slowdowns + t.signal_losses + t.signal_dups + t.chan_losses
+  + t.chan_bursts + t.term_crashes
 
 let detected t = t.crc_rejects + t.watchdog_detections
 let recovered t = t.arq_acked + t.remapped_processes

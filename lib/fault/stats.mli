@@ -13,6 +13,9 @@ type t = {
   mutable pe_slowdowns : int;
   mutable signal_losses : int;
   mutable signal_dups : int;
+  mutable chan_losses : int;  (** WLAN transmissions lost in the air. *)
+  mutable chan_bursts : int;  (** Interference bursts started. *)
+  mutable term_crashes : int;  (** WLAN terminals fail-stopped. *)
   (* detected *)
   mutable crc_rejects : int;
       (** Corrupted frames caught by the CRC-32 check. *)

@@ -37,9 +37,10 @@ type budget = {
 
 (* Defaults sized so the reference TUTMAC network is exhausted in well
    under a second: one injection per environment input, two timer fires
-   per instance.  Raising --env-budget to 2 grows the bounded space
-   past 4M states (and surfaces a genuine RChConfig queue overflow at
-   the slot allocator); the budgets are the knob, not the ceiling. *)
+   per instance.  Raising --env-budget to 2 grows the bounded space to
+   ~240k states (it once surfaced a genuine RChConfig queue overflow at
+   the slot allocator, since closed by admission control at the radio
+   configurator); the budgets are the knob, not the ceiling. *)
 let default_budget =
   {
     max_states = 200_000;

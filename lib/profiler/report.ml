@@ -151,6 +151,9 @@ let render_fault_section (s : Fault.Stats.t) =
   line "    %-38s %8d" "pe slowdowns" s.Fault.Stats.pe_slowdowns;
   line "    %-38s %8d" "signal losses" s.Fault.Stats.signal_losses;
   line "    %-38s %8d" "signal duplications" s.Fault.Stats.signal_dups;
+  line "    %-38s %8d" "channel losses" s.Fault.Stats.chan_losses;
+  line "    %-38s %8d" "interference bursts" s.Fault.Stats.chan_bursts;
+  line "    %-38s %8d" "terminal crashes" s.Fault.Stats.term_crashes;
   line "";
   line "(b) Detection                              %8d total" (Fault.Stats.detected s);
   line "    %-38s %8d" "crc rejects (corruption caught)" s.Fault.Stats.crc_rejects;

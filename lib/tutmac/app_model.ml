@@ -62,7 +62,7 @@ let fragmenter_class costs =
       [
         port "ui_in" ~receives:[ Signals.msdu_to_dp ];
         port "crc_port" ~sends:[ Signals.crc_req ] ~receives:[ Signals.crc_resp ];
-        port "rch_out" ~sends:[ Signals.pdu_req ];
+        port "rch_out" ~sends:[ Signals.pdu_req ] ~receives:[ Signals.pdu_conf ];
       ]
     ~behavior:(Behavior.fragmenter costs) "Fragmenter"
 
@@ -87,7 +87,7 @@ let rca_class params =
   cls ~kind:Uml.Classifier.Active
     ~ports:
       [
-        port "dp_in" ~receives:[ Signals.pdu_req ];
+        port "dp_in" ~receives:[ Signals.pdu_req ] ~sends:[ Signals.pdu_conf ];
         port "dp_out" ~sends:[ Signals.pdu_ind ];
         port "mng_port" ~receives:[ Signals.rch_config ]
           ~sends:[ Signals.rch_status ];
@@ -155,7 +155,7 @@ let data_processing_class =
       [
         port "ui_in" ~receives:[ Signals.msdu_to_dp ];
         port "ui_out" ~sends:[ Signals.msdu_to_ui ];
-        port "rch_out" ~sends:[ Signals.pdu_req ];
+        port "rch_out" ~sends:[ Signals.pdu_req ] ~receives:[ Signals.pdu_conf ];
         port "rch_in" ~receives:[ Signals.pdu_ind ];
       ]
     ~parts:

@@ -83,11 +83,16 @@ let msdu_deliverer costs =
 (* Fragmenter: splits one MSDU into [pdus_per_msdu] PDUs; each PDU gets a
    CRC from the CRC calculator before entering the channel-access tx
    queue.  The request/response handshake keeps at most one CRC
-   outstanding, like the original blocking hardware-accelerator call. *)
+   outstanding, like the original blocking hardware-accelerator call.
+   Channel-access admission is a window of one: each PduReq must be
+   confirmed by the MAC's PduConf before the next fragment is prepared,
+   which bounds the MAC's PduReq backlog to a single message no matter
+   how the scheduler interleaves the producers (the env-budget-2
+   model-checking run overflowed the unconfirmed design). *)
 let fragmenter costs =
   let last = last_pdu_index in
   Efsm.Machine.make ~name:"Fragmenter"
-    ~states:[ "idle"; "fragging" ]
+    ~states:[ "idle"; "fragging"; "confwait" ]
     ~initial:"idle"
     ~variables:[ ("cur_seq", V_int 0); ("frag_i", V_int 0) ]
     [
@@ -99,25 +104,24 @@ let fragmenter costs =
             compute (i costs.frag_setup);
             send ~port:"crc_port" Signals.crc_req ~args:[ p "seq"; i 0 ];
           ];
-      tr ~src:"fragging" ~dst:"fragging" (on Signals.crc_resp)
-        ~guard:(v "frag_i" < i last)
+      tr ~src:"fragging" ~dst:"confwait" (on Signals.crc_resp)
         ~actions:
           [
             compute (i costs.frag_per_pdu);
             send ~port:"rch_out" Signals.pdu_req
               ~args:[ v "cur_seq"; v "frag_i" ];
+          ];
+      tr ~src:"confwait" ~dst:"fragging" (on Signals.pdu_conf)
+        ~guard:(v "frag_i" < i last)
+        ~actions:
+          [
             assign "frag_i" (v "frag_i" + i 1);
             send ~port:"crc_port" Signals.crc_req
               ~args:[ v "cur_seq"; v "frag_i" ];
           ];
-      tr ~src:"fragging" ~dst:"idle" (on Signals.crc_resp)
+      tr ~src:"confwait" ~dst:"idle" (on Signals.pdu_conf)
         ~guard:(v "frag_i" >= i last)
-        ~actions:
-          [
-            compute (i costs.frag_per_pdu);
-            send ~port:"rch_out" Signals.pdu_req
-              ~args:[ v "cur_seq"; v "frag_i" ];
-          ];
+        ~actions:[];
     ]
 
 (* CrcCalculator: the offloadable protocol function.  The cycle cost is a
@@ -193,6 +197,7 @@ let radio_channel_access ~slot_period_ns costs =
             assign "txq" (v "txq" + i 1);
             assign "last_seq" (p "seq");
             assign "last_frag" (p "frag");
+            send ~port:"dp_in" Signals.pdu_conf ~args:[ p "seq"; p "frag" ];
           ];
       tr ~src:"wait_slot" ~dst:"wait_slot" (on Signals.phy_rx)
         ~actions:
@@ -209,24 +214,33 @@ let radio_channel_access ~slot_period_ns costs =
     ]
 
 (* Management: periodic beacon/connection upkeep plus reactions to
-   channel-access status, radio reports and user management requests. *)
+   channel-access status, radio reports and user management requests.
+   Config pushes to channel access are credit-based: at most one
+   RChConfig is outstanding until its RChStatus comes back, so a stalled
+   MAC never accumulates configuration backlog. *)
 let management ~beacon_period_ns costs =
   Efsm.Machine.make ~name:"Management" ~states:[ "run" ] ~initial:"run"
-    ~variables:[ ("beacons", V_int 0) ]
+    ~variables:[ ("beacons", V_int 0); ("cfg_pending", V_int 0) ]
     [
       tr ~src:"run" ~dst:"run" (after beacon_period_ns)
         ~actions:
           [
             compute (i costs.mng_beacon);
             assign "beacons" (v "beacons" + i 1);
-            send ~port:"rch_port" Signals.rch_config ~args:[ v "beacons" ];
+            If
+              ( v "cfg_pending" = i 0,
+                [
+                  assign "cfg_pending" (i 1);
+                  send ~port:"rch_port" Signals.rch_config ~args:[ v "beacons" ];
+                ],
+                [] );
             If
               ( v "beacons" mod i 2 = i 0,
                 [ send ~port:"rmng_port" Signals.mng_to_rmng ~args:[ v "beacons" ] ],
                 [] );
           ];
       tr ~src:"run" ~dst:"run" (on Signals.rch_status)
-        ~actions:[ compute (i costs.mng_status) ];
+        ~actions:[ compute (i costs.mng_status); assign "cfg_pending" (i 0) ];
       tr ~src:"run" ~dst:"run" (on Signals.rmng_report)
         ~actions:[ compute (i costs.mng_report) ];
       tr ~src:"run" ~dst:"run" (on Signals.mng_user_req)
@@ -251,18 +265,19 @@ let management_hierarchical ~beacon_period_ns costs =
             [ Efsm.Hsm.simple "Operational" ];
         ];
       Efsm.Hsm.initial = "Unassociated";
-      Efsm.Hsm.variables = [ ("beacons", V_int 0) ];
+      Efsm.Hsm.variables = [ ("beacons", V_int 0); ("cfg_pending", V_int 0) ];
       Efsm.Hsm.transitions =
         [
           tr ~src:"Unassociated" ~dst:"Associated" (after beacon_period_ns)
             ~actions:
               [
                 compute (i costs.mng_beacon);
+                assign "cfg_pending" (i 1);
                 send ~port:"rch_port" Signals.rch_config ~args:[ i 0 ];
               ];
           (* Composite-level handlers, inherited by Operational. *)
           tr ~src:"Associated" ~dst:"Associated" (on Signals.rch_status)
-            ~actions:[ compute (i costs.mng_status) ];
+            ~actions:[ compute (i costs.mng_status); assign "cfg_pending" (i 0) ];
           tr ~src:"Associated" ~dst:"Associated" (on Signals.rmng_report)
             ~actions:[ compute (i costs.mng_report) ];
           tr ~src:"Associated" ~dst:"Associated" (on Signals.mng_user_req)
@@ -277,7 +292,14 @@ let management_hierarchical ~beacon_period_ns costs =
               [
                 compute (i costs.mng_beacon);
                 assign "beacons" (v "beacons" + i 1);
-                send ~port:"rch_port" Signals.rch_config ~args:[ v "beacons" ];
+                If
+                  ( v "cfg_pending" = i 0,
+                    [
+                      assign "cfg_pending" (i 1);
+                      send ~port:"rch_port" Signals.rch_config
+                        ~args:[ v "beacons" ];
+                    ],
+                    [] );
                 If
                   ( v "beacons" mod i 2 = i 0,
                     [

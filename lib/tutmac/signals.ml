@@ -5,6 +5,7 @@ let msdu_to_ui = "MsduToUi"
 let crc_req = "CrcReq"
 let crc_resp = "CrcResp"
 let pdu_req = "PduReq"
+let pdu_conf = "PduConf"
 let pdu_ind = "PduInd"
 let phy_tx = "PhyTx"
 let phy_rx = "PhyRx"
@@ -32,6 +33,7 @@ let all =
     signal ~params:[ seq; frag ] ~payload_bytes:64 crc_req;
     signal ~params:[ seq; frag ] ~payload_bytes:8 crc_resp;
     signal ~params:[ seq; frag ] ~payload_bytes:64 pdu_req;
+    signal ~params:[ seq; frag ] ~payload_bytes:8 pdu_conf;
     signal ~params:[ seq; frag ] ~payload_bytes:64 pdu_ind;
     signal ~params:[ seq; frag ] ~payload_bytes:64 phy_tx;
     signal ~params:[ seq; frag ] ~payload_bytes:64 phy_rx;

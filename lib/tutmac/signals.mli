@@ -11,6 +11,7 @@ val msdu_to_ui : string  (* data processing -> user interface *)
 val crc_req : string
 val crc_resp : string
 val pdu_req : string  (* data processing -> channel access (tx queue) *)
+val pdu_conf : string  (* channel access -> data processing (tx admission ack) *)
 val pdu_ind : string  (* channel access -> data processing (rx path) *)
 val phy_tx : string
 val phy_rx : string

@@ -15,6 +15,37 @@ let user_env = "user_env"
 let mng_user_env = "mng_user_env"
 let radio_env = "radio_env"
 
+(* ---- WLAN traffic profiles ---------------------------------------- *)
+
+type profile =
+  | Cbr of { period_ns : int; frags : int }
+  | Bursty of { mean_gap_ns : int; burst : int; frags : int }
+  | Video of { frame_period_ns : int; gop : int; i_frags : int; p_frags : int }
+
+let cbr = Cbr { period_ns = 50_000_000; frags = 2 }
+let bursty = Bursty { mean_gap_ns = 80_000_000; burst = 3; frags = 1 }
+
+let video =
+  Video { frame_period_ns = 40_000_000; gop = 4; i_frags = 4; p_frags = 1 }
+
+let default_mix = [ cbr; bursty; video ]
+
+let profile_name = function
+  | Cbr _ -> "cbr"
+  | Bursty _ -> "bursty"
+  | Video _ -> "video"
+
+let profile_of_name = function
+  | "cbr" -> Some cbr
+  | "bursty" -> Some bursty
+  | "video" -> Some video
+  | _ -> None
+
+let profile_for ~mix terminal =
+  match mix with
+  | [] -> cbr
+  | _ -> List.nth mix (terminal mod List.length mix)
+
 open Efsm.Action
 
 let on s = Efsm.Machine.On_signal s

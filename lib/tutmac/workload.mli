@@ -18,6 +18,35 @@ val user_env : string
 val mng_user_env : string
 val radio_env : string
 
+(** Heterogeneous per-terminal traffic profiles for the fleet-scale
+    TUTWLAN scenario ({!Wlan}).  A profile describes when frames arrive
+    at a terminal's MAC queue and how many PDU fragments each carries;
+    the profile name doubles as the latency class reported per
+    profile. *)
+type profile =
+  | Cbr of { period_ns : int; frags : int }
+      (** Constant bit rate: one frame every [period_ns]. *)
+  | Bursty of { mean_gap_ns : int; burst : int; frags : int }
+      (** [burst] back-to-back frames, then an exponential-ish gap drawn
+          from the terminal's arrival stream with mean [mean_gap_ns]. *)
+  | Video of { frame_period_ns : int; gop : int; i_frags : int; p_frags : int }
+      (** Periodic frames where every [gop]-th is a large I-frame of
+          [i_frags] fragments and the rest are [p_frags] P-frames. *)
+
+val cbr : profile
+val bursty : profile
+val video : profile
+
+val default_mix : profile list
+(** [[cbr; bursty; video]] — terminals round-robin over it. *)
+
+val profile_name : profile -> string
+val profile_of_name : string -> profile option
+(** Recognises ["cbr"], ["bursty"], ["video"]. *)
+
+val profile_for : mix:profile list -> int -> profile
+(** Terminal [i]'s profile: [mix] cycled by index ([cbr] when empty). *)
+
 val environment : params -> Codegen.Lower.env_proc list
 (** The three environment processes wired to the application's boundary
     ports [pUser], [pMngUser] and [pPhy]. *)

@@ -38,7 +38,11 @@ let full_plan_json =
     {"kind": "pe_slowdown", "pe": "processor1", "factor": 2.5,
      "from_ns": 10, "until_ns": 20},
     {"kind": "signal_loss", "process": "*", "rate": 0.01},
-    {"kind": "signal_dup", "process": "top.x", "rate": 1}
+    {"kind": "signal_dup", "process": "top.x", "rate": 1},
+    {"kind": "chan_loss", "terminals": "*", "rate": 0.1},
+    {"kind": "chan_burst", "terminals": "0,3,9-11", "rate": 0.05,
+     "max_burst_ns": 250000},
+    {"kind": "term_crash", "terminals": "5-6", "at_ns": 90000000}
   ],
   "recovery": {"ack_timeout_ns": 500000, "max_retries": 7,
                "watchdog_period_ns": 3000000, "remap": false}
@@ -50,7 +54,7 @@ let test_parse_full () =
   | Ok plan ->
     check (Alcotest.list string_t) "kinds in order"
       [ "hibi_drop"; "hibi_corrupt"; "hibi_stall"; "pe_crash"; "pe_slowdown";
-        "signal_loss"; "signal_dup" ]
+        "signal_loss"; "signal_dup"; "chan_loss"; "chan_burst"; "term_crash" ]
       (List.map Fault.Plan.spec_kind plan.Fault.Plan.specs);
     (match plan.Fault.Plan.specs with
     | Fault.Plan.Hibi_drop { segment; rate; window } :: _ ->
@@ -65,6 +69,23 @@ let test_parse_full () =
       check bool_t "bounded window" true
         (window = { Fault.Plan.from_ns = 1000L; until_ns = Some 9000L })
     | _ -> Alcotest.fail "second spec is not hibi_corrupt");
+    (match List.nth plan.Fault.Plan.specs 8 with
+    | Fault.Plan.Chan_burst { terminals; rate; max_burst_ns; window } ->
+      check string_t "selector parses to canonical form" "0,3,9-11"
+        (Fault.Selector.to_string terminals);
+      check bool_t "selector matches its members" true
+        (Fault.Selector.matches terminals 10
+        && not (Fault.Selector.matches terminals 4));
+      check (Alcotest.float 1e-9) "burst rate" 0.05 rate;
+      check int_t "max_burst_ns" 250_000 max_burst_ns;
+      check bool_t "burst window defaults to always" true
+        (window = Fault.Plan.always)
+    | _ -> Alcotest.fail "ninth spec is not chan_burst");
+    (match List.nth plan.Fault.Plan.specs 9 with
+    | Fault.Plan.Term_crash { terminals; at_ns } ->
+      check string_t "crash selector" "5-6" (Fault.Selector.to_string terminals);
+      check int64_t "crash instant" 90_000_000L at_ns
+    | _ -> Alcotest.fail "tenth spec is not term_crash");
     let r = plan.Fault.Plan.recovery in
     check int64_t "ack timeout" 500_000L r.Fault.Plan.ack_timeout_ns;
     check int_t "retries" 7 r.Fault.Plan.max_retries;
@@ -132,7 +153,23 @@ let test_parse_errors () =
     (parse {|{"recovery":{"max_retries":-1}}|});
   expect_error
     ~substrings:[ "plan: unknown field \"fautls\"" ]
-    (parse {|{"fautls":[]}|})
+    (parse {|{"fautls":[]}|});
+  (* Malformed terminal selectors point at the exact column. *)
+  expect_error
+    ~substrings:
+      [ "faults[0] (chan_loss)"; "terminals"; "column 3";
+        "expected a terminal number, got 'x'" ]
+    (parse {|{"faults":[{"kind":"chan_loss","terminals":"0,x","rate":0.1}]}|});
+  expect_error
+    ~substrings:[ "faults[0] (term_crash)"; "column 1"; "range 9-3 is empty" ]
+    (parse {|{"faults":[{"kind":"term_crash","terminals":"9-3","at_ns":1}]}|});
+  expect_error
+    ~substrings:
+      [ "faults[0] (chan_loss)"; "column 2"; "expected ',' or '-', got '*'" ]
+    (parse {|{"faults":[{"kind":"chan_loss","terminals":"1*","rate":0.1}]}|});
+  expect_error
+    ~substrings:[ "faults[0] (chan_burst)"; "missing field \"max_burst_ns\"" ]
+    (parse {|{"faults":[{"kind":"chan_burst","terminals":"*","rate":0.1}]}|})
 
 let test_of_file () =
   let path = Filename.temp_file "fault_plan" ".json" in

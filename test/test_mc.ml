@@ -307,6 +307,29 @@ let test_seed_por_sound () =
     (reduced.Mc.Explore.stats.Mc.Explore.states
     < full.Mc.Explore.stats.Mc.Explore.states)
 
+let test_env_budget_two_overflow_free () =
+  (* Two environment injections in flight once drove the radio
+     configurator's RChConfig queue past capacity (the M02 that shipped
+     with the checker).  Admission control at the rca — a window-of-one
+     PduConf credit — closes it; this pins the whole env-budget-2 space
+     as overflow-free so the regression cannot come back silently. *)
+  let budget =
+    {
+      Mc.Explore.default_budget with
+      Mc.Explore.env_budget = 2;
+      timer_budget = 1;
+      max_states = 1_000_000;
+    }
+  in
+  let options = { Mc.Check.default_options with Mc.Check.budget } in
+  let r = run_check ~options (seed_model ()) in
+  check bool_t "exhausted within 1M states" true
+    r.Mc.Check.r_stats.Mc.Explore.exhausted;
+  check int_t "no M02 queue overflow" 0
+    (List.length (rules r.Mc.Check.r_diagnostics "M02"));
+  check int_t "no errors at all" 0
+    (List.length (Lint.Diagnostic.errors r.Mc.Check.r_diagnostics))
+
 (* -- deadlock mutation --------------------------------------------------- *)
 
 let test_pingpong_free () =
@@ -454,6 +477,8 @@ let () =
           Alcotest.test_case "determinism across runs and orders" `Quick
             test_seed_determinism;
           Alcotest.test_case "por preserves verdicts" `Quick test_seed_por_sound;
+          Alcotest.test_case "env-budget 2 is overflow-free" `Slow
+            test_env_budget_two_overflow_free;
           Alcotest.test_case "lint L09 discharged" `Quick
             test_seed_lint_discharged;
         ] );
